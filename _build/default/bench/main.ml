@@ -1,0 +1,706 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) plus timing micro-benchmarks and ablations.
+
+   Usage:
+     dune exec bench/main.exe            runs everything
+     dune exec bench/main.exe -- list    lists targets
+     dune exec bench/main.exe -- fig4 fig12   runs a subset
+
+   Seeds are fixed so every run reproduces the same numbers; EXPERIMENTS.md
+   records the measured values against the paper's. *)
+
+module Est = Selest.Estimator
+module E = Workload.Experiment
+module G = Workload.Generate
+module M = Workload.Metrics
+module K = Kernels.Kernel
+
+let data_seed = 42L
+let sample_seed = 7L
+let query_seed = 9L
+
+let dataset_cache : (string, Data.Dataset.t) Hashtbl.t = Hashtbl.create 16
+
+let dataset name =
+  match Hashtbl.find_opt dataset_cache name with
+  | Some ds -> ds
+  | None ->
+    let ds = Data.Catalog.find ~seed:data_seed name in
+    Hashtbl.replace dataset_cache name ds;
+    ds
+
+let headline_names = [ "u(20)"; "n(20)"; "e(20)"; "arap1"; "arap2"; "rr1(22)"; "rr2(22)"; "iw" ]
+
+let sample ?(n = E.paper_sample_size) ds = E.sample_of ds ~seed:sample_seed ~n
+
+let queries ?(fraction = 0.01) ?(count = G.paper_count) ds =
+  G.size_separated ds ~seed:query_seed ~fraction ~count
+
+let pct x = 100.0 *. x
+
+let mre_of ds ~sample:s ~queries:qs spec = E.mre_of_spec ds ~sample:s ~queries:qs spec
+
+let kernel_spec ?(kernel = K.Epanechnikov) ?(boundary = Kde.Estimator.Boundary_kernels) bandwidth
+    =
+  Est.Kernel { kernel; boundary; bandwidth }
+
+let header title = Printf.printf "\n== %s ==\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: properties of the data files                               *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  header "table2: data files (paper Table 2)";
+  Printf.printf "%-8s %-4s %-9s %-9s %-8s\n" "file" "p" "records" "distinct" "max_dup";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      Printf.printf "%-8s %-4d %-9d %-9d %-8d\n" name (Data.Dataset.bits ds)
+        (Data.Dataset.size ds)
+        (Data.Dataset.distinct_count ds)
+        (Data.Dataset.max_duplicate_frequency ds))
+    Data.Catalog.names
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: signed absolute error of 1% queries by position           *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  header "fig3: signed absolute error vs query position (u(20), kernel, no boundary treatment)";
+  let ds = dataset "u(20)" in
+  let s = sample ds in
+  let qs = G.positional_sweep ds ~fraction:0.01 ~count:41 in
+  let est =
+    Est.build
+      (kernel_spec ~boundary:Kde.Estimator.No_treatment Est.Normal_scale_bandwidth)
+      ~domain:(E.domain_of ds) s
+  in
+  let errs = M.error_by_position ds (fun ~a ~b -> Est.selectivity est ~a ~b) qs in
+  let domain = float_of_int (Data.Dataset.domain_size ds) in
+  Printf.printf "%-10s %-12s\n" "pos%" "signed_error";
+  Array.iter
+    (fun (e : M.position_error) ->
+      Printf.printf "%-10.1f %-12.1f\n" (100.0 *. e.M.position /. domain) e.M.signed_error)
+    errs;
+  let edge = Float.max (Float.abs errs.(0).M.signed_error) (Float.abs errs.(40).M.signed_error) in
+  let center = Float.abs errs.(20).M.signed_error in
+  Printf.printf "summary: |error| at edges %.0f records vs %.0f at center\n" edge center
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4 & 5: MRE vs number of bins                                *)
+(* ------------------------------------------------------------------ *)
+
+let bin_grid = [ 2; 5; 10; 20; 40; 80; 160; 320; 640; 1280 ]
+
+let mre_vs_bins ds =
+  let s = sample ds in
+  let qs = queries ds in
+  List.map
+    (fun k -> (k, mre_of ds ~sample:s ~queries:qs (Est.Equi_width (Est.Fixed_bins k))))
+    bin_grid
+
+let fig4 () =
+  header "fig4: MRE vs number of bins (EWH, n(20), 1% queries) + pure sampling line";
+  let ds = dataset "n(20)" in
+  let s = sample ds in
+  let qs = queries ds in
+  let sampling = mre_of ds ~sample:s ~queries:qs Est.Sampling in
+  Printf.printf "%-8s %-8s\n" "bins" "mre%";
+  List.iter (fun (k, m) -> Printf.printf "%-8d %-8.2f\n" k (pct m)) (mre_vs_bins ds);
+  Printf.printf "%-8s %-8.2f\n" "sampling" (pct sampling)
+
+let fig5 () =
+  header "fig5: MRE vs number of bins for domain cardinalities p=10,15,20 (EWH, normal data)";
+  let files = [ "n(10)"; "n(15)"; "n(20)" ] in
+  let results = List.map (fun name -> (name, mre_vs_bins (dataset name))) files in
+  Printf.printf "%-8s" "bins";
+  List.iter (fun name -> Printf.printf " %-9s" name) files;
+  print_newline ();
+  List.iteri
+    (fun i k ->
+      Printf.printf "%-8d" k;
+      List.iter (fun (_, rows) -> Printf.printf " %-9.2f" (pct (snd (List.nth rows i)))) results;
+      print_newline ())
+    bin_grid;
+  let best rows = List.fold_left (fun acc (_, m) -> Float.min acc m) Float.infinity rows in
+  Printf.printf "best:   ";
+  List.iter (fun (_, rows) -> Printf.printf " %-9.2f" (pct (best rows))) results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: MRE vs sample size                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header "fig6: MRE(n(20), 1%) vs sample size: sampling, EWH(NS), kernel(NS)";
+  let ds = dataset "n(20)" in
+  let qs = queries ds in
+  let sizes = [ 200; 500; 1000; 2000; 5000; 10000 ] in
+  Printf.printf "%-8s %-10s %-10s %-10s\n" "n" "sampling%" "ewh%" "kernel%";
+  List.iter
+    (fun n ->
+      let s = sample ~n ds in
+      let m_s = mre_of ds ~sample:s ~queries:qs Est.Sampling in
+      let m_h = mre_of ds ~sample:s ~queries:qs (Est.Equi_width Est.Normal_scale_bins) in
+      let m_k = mre_of ds ~sample:s ~queries:qs (kernel_spec Est.Normal_scale_bandwidth) in
+      Printf.printf "%-8d %-10.2f %-10.2f %-10.2f\n" n (pct m_s) (pct m_h) (pct m_k))
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: MRE of EWH for different query sizes                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  header "fig7: MRE of EWH(NS) for query sizes 1/2/5/10% across data files";
+  Printf.printf "%-8s" "file";
+  List.iter (fun f -> Printf.printf " %5.0f%%  " (100.0 *. f)) G.paper_fractions;
+  print_newline ();
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      Printf.printf "%-8s" name;
+      List.iter
+        (fun fraction ->
+          let qs = queries ~fraction ds in
+          let m = mre_of ds ~sample:s ~queries:qs (Est.Equi_width Est.Normal_scale_bins) in
+          Printf.printf " %-7.2f" (pct m))
+        G.paper_fractions;
+      print_newline ())
+    headline_names
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: histogram shootout at observed-optimal bin counts         *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  header "fig8: EWH vs EDH vs MDH (observed-optimal bins) vs sampling vs uniform, 1% queries";
+  Printf.printf "%-8s %-10s %-10s %-10s %-10s %-10s\n" "file" "ewh%" "edh%" "mdh%" "sampling%"
+    "uniform%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      let best_over spec_of_bins =
+        let objective k = mre_of ds ~sample:s ~queries:qs (spec_of_bins k) in
+        snd (Bandwidth.Oracle.best_bin_count ~max_bins:1500 ~objective ())
+      in
+      let m_ewh = best_over (fun k -> Est.Equi_width (Est.Fixed_bins k)) in
+      let m_edh = best_over (fun k -> Est.Equi_depth { bins = k }) in
+      let m_mdh = best_over (fun k -> Est.Max_diff { bins = k }) in
+      let m_s = mre_of ds ~sample:s ~queries:qs Est.Sampling in
+      let m_u = mre_of ds ~sample:s ~queries:qs Est.Uniform_assumption in
+      Printf.printf "%-8s %-10.2f %-10.2f %-10.2f %-10.2f %-10.2f\n" name (pct m_ewh) (pct m_edh)
+        (pct m_mdh) (pct m_s) (pct m_u))
+    headline_names
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: EWH bin-count selection: h-opt vs normal scale            *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  header "fig9: EWH bin selection: observed optimum (h-opt) vs normal-scale rule (h-NS)";
+  Printf.printf "%-8s %-10s %-10s %-10s %-10s\n" "file" "opt_bins" "h-opt%" "NS_bins" "h-NS%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      let bins_opt, m_opt = E.oracle_bin_count ~max_bins:1500 ds ~sample:s ~queries:qs in
+      let ns_bins = Bandwidth.Normal_scale.bin_count_of_samples ~domain:(E.domain_of ds) s in
+      let m_ns = mre_of ds ~sample:s ~queries:qs (Est.Equi_width Est.Normal_scale_bins) in
+      Printf.printf "%-8s %-10d %-10.2f %-10d %-10.2f\n" name bins_opt (pct m_opt) ns_bins
+        (pct m_ns))
+    headline_names
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: boundary treatments, relative error by position          *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  header "fig10: relative error of 1% queries vs position (u(20)): boundary policies";
+  let ds = dataset "u(20)" in
+  let s = sample ds in
+  let qs = G.positional_sweep ds ~fraction:0.01 ~count:41 in
+  let curve boundary =
+    let est =
+      Est.build (kernel_spec ~boundary Est.Normal_scale_bandwidth) ~domain:(E.domain_of ds) s
+    in
+    M.error_by_position ds (fun ~a ~b -> Est.selectivity est ~a ~b) qs
+  in
+  let none = curve Kde.Estimator.No_treatment in
+  let refl = curve Kde.Estimator.Reflection in
+  let bk = curve Kde.Estimator.Boundary_kernels in
+  let domain = float_of_int (Data.Dataset.domain_size ds) in
+  Printf.printf "%-8s %-10s %-12s %-10s\n" "pos%" "none" "reflection" "bnd-kernels";
+  Array.iteri
+    (fun i (e : M.position_error) ->
+      Printf.printf "%-8.1f %-10.3f %-12.3f %-10.3f\n"
+        (100.0 *. e.M.position /. domain)
+        e.M.relative_error refl.(i).M.relative_error bk.(i).M.relative_error)
+    none;
+  let edge curve =
+    0.5 *. (curve.(0).M.relative_error +. curve.(Array.length curve - 1).M.relative_error)
+  in
+  Printf.printf "edge means: none %.3f, reflection %.3f, boundary-kernels %.3f\n" (edge none)
+    (edge refl) (edge bk)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: bandwidth selection: h-opt vs h-NS vs h-DPI2             *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  header "fig11: kernel bandwidth selection (boundary kernels): h-opt vs h-NS vs h-DPI2";
+  Printf.printf "%-8s %-10s %-10s %-10s\n" "file" "h-opt%" "h-NS%" "h-DPI2%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      let _, m_opt =
+        E.oracle_bandwidth ~points:25 ~boundary:Kde.Estimator.Boundary_kernels ds ~sample:s
+          ~queries:qs
+      in
+      let m_ns = mre_of ds ~sample:s ~queries:qs (kernel_spec Est.Normal_scale_bandwidth) in
+      let m_dpi = mre_of ds ~sample:s ~queries:qs (kernel_spec (Est.Plug_in_bandwidth 2)) in
+      Printf.printf "%-8s %-10.2f %-10.2f %-10.2f\n" name (pct m_opt) (pct m_ns) (pct m_dpi))
+    headline_names
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: the final comparison                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  header "fig12: most promising estimators, 1% queries: EWH(NS), Kernel(bk,DPI2), Hybrid, ASH(10)";
+  Printf.printf "%-8s %-10s %-10s %-10s %-10s\n" "file" "ewh%" "kernel%" "hybrid%" "ash%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      let row spec = pct (mre_of ds ~sample:s ~queries:qs spec) in
+      Printf.printf "%-8s %-10.2f %-10.2f %-10.2f %-10.2f\n" name
+        (row (Est.Equi_width Est.Normal_scale_bins))
+        (row Est.kernel_defaults) (row Est.hybrid_defaults)
+        (row (Est.Ash { bins = Est.Normal_scale_bins; shifts = 10 })))
+    headline_names
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (extensions beyond the paper, flagged in DESIGN.md)       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_kernels () =
+  header "ablation: kernel function choice (Section 3.2's 'K matters little')";
+  let files = [ "n(20)"; "e(20)"; "arap1" ] in
+  Printf.printf "%-14s" "kernel";
+  List.iter (fun f -> Printf.printf " %-9s" f) files;
+  print_newline ();
+  List.iter
+    (fun k ->
+      Printf.printf "%-14s" (K.name k);
+      List.iter
+        (fun name ->
+          let ds = dataset name in
+          let s = sample ds in
+          let qs = queries ds in
+          let boundary =
+            (* Boundary kernels pair with unit-support kernels only. *)
+            if K.support_radius k = Some 1.0 then Kde.Estimator.Boundary_kernels
+            else Kde.Estimator.Reflection
+          in
+          let m =
+            mre_of ds ~sample:s ~queries:qs
+              (kernel_spec ~kernel:k ~boundary Est.Normal_scale_bandwidth)
+          in
+          Printf.printf " %-9.2f" (pct m))
+        files;
+      print_newline ())
+    K.all
+
+let ablation_dpi () =
+  header "ablation: DPI engine (paper's pilot iteration vs staged Wand-Jones) and iteration count";
+  Printf.printf "%-8s %-8s %-11s %-11s\n" "file" "iters" "iterated%" "staged%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      List.iter
+        (fun iters ->
+          let m_iter =
+            mre_of ds ~sample:s ~queries:qs (kernel_spec (Est.Plug_in_bandwidth iters))
+          in
+          let h_staged =
+            Bandwidth.Plug_in.staged_bandwidth ~iterations:iters ~kernel:K.Epanechnikov s
+          in
+          let m_staged =
+            mre_of ds ~sample:s ~queries:qs (kernel_spec (Est.Fixed_bandwidth h_staged))
+          in
+          Printf.printf "%-8s %-8d %-11.2f %-11.2f\n" name iters (pct m_iter) (pct m_staged))
+        [ 1; 2; 3 ])
+    [ "n(20)"; "arap1"; "rr1(22)" ]
+
+let ablation_ash () =
+  header "ablation: ASH shift count (paper fixes 10)";
+  Printf.printf "%-8s" "file";
+  let shift_counts = [ 1; 2; 5; 10; 20 ] in
+  List.iter (fun m -> Printf.printf " m=%-6d" m) shift_counts;
+  print_newline ();
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      Printf.printf "%-8s" name;
+      List.iter
+        (fun shifts ->
+          let m =
+            mre_of ds ~sample:s ~queries:qs (Est.Ash { bins = Est.Normal_scale_bins; shifts })
+          in
+          Printf.printf " %-8.2f" (pct m))
+        shift_counts;
+      print_newline ())
+    [ "n(20)"; "e(20)"; "arap1" ]
+
+let ablation_hybrid () =
+  header "ablation: hybrid change-point budget and merge threshold";
+  Printf.printf "%-8s %-6s %-8s %-8s\n" "file" "cps" "min_bin" "mre%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      List.iter
+        (fun (cps, min_bin) ->
+          let spec =
+            Est.Hybrid_spec
+              {
+                bandwidth = Est.Plug_in_bandwidth 1;
+                min_bin_count = min_bin;
+                max_change_points = cps;
+              }
+          in
+          Printf.printf "%-8s %-6d %-8d %-8.2f\n" name cps min_bin
+            (pct (mre_of ds ~sample:s ~queries:qs spec)))
+        [ (4, 100); (8, 100); (16, 100); (16, 50); (32, 50) ])
+    [ "arap1"; "rr1(22)"; "n(20)" ]
+
+let ablation_boundary () =
+  header "ablation: boundary policy overall MRE (not just edge queries)";
+  Printf.printf "%-8s %-8s %-12s %-12s\n" "file" "none%" "reflection%" "bnd-kern%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      let m b =
+        pct (mre_of ds ~sample:s ~queries:qs (kernel_spec ~boundary:b Est.Normal_scale_bandwidth))
+      in
+      Printf.printf "%-8s %-8.2f %-12.2f %-12.2f\n" name
+        (m Kde.Estimator.No_treatment) (m Kde.Estimator.Reflection)
+        (m Kde.Estimator.Boundary_kernels))
+    [ "u(20)"; "e(20)"; "n(20)" ]
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: the paper's future-work items                           *)
+(* ------------------------------------------------------------------ *)
+
+let ext_multidim () =
+  header "ext_multidim: 2-D rectangle queries (future work 1): sampling vs grid vs product kernel";
+  let configs =
+    [
+      ("street", Multidim.Generate2d.street_grid ~name:"street" ~bits:16 ~count:50_000 ~seed:data_seed);
+      ("rails", Multidim.Generate2d.rail_network ~name:"rails" ~bits:16 ~count:50_000 ~seed:data_seed);
+      ("normal.8", Multidim.Generate2d.correlated_normal ~name:"normal.8" ~bits:16 ~count:50_000 ~rho:0.8 ~seed:data_seed);
+    ]
+  in
+  Printf.printf "%-10s %-10s %-10s %-10s %-12s %-12s %-10s %-10s\n" "file" "sampling%" "grid16%"
+    "grid64%" "kernel(NS)%" "kernel(DPI)%" "kernel*%" "indep%";
+  List.iter
+    (fun (name, ds) ->
+      let rng = Prng.Xoshiro256pp.create sample_seed in
+      let s = Multidim.Dataset2d.sample_without_replacement ds rng ~n:2000 in
+      let rects = Multidim.Workload2d.size_separated ds ~seed:query_seed ~fraction:0.05 ~count:500 in
+      let domain = (-0.5, 65535.5) in
+      let eval f = pct (Multidim.Workload2d.evaluate ds f rects).Multidim.Workload2d.mre in
+      let m_sampling =
+        eval (fun (r : Multidim.Workload2d.rect) ->
+            Multidim.Hist2d.sampling_selectivity s ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo
+              ~y_hi:r.y_hi)
+      in
+      let grid bins =
+        let h = Multidim.Hist2d.build ~domain_x:domain ~domain_y:domain ~bins_x:bins ~bins_y:bins s in
+        eval (fun (r : Multidim.Workload2d.rect) ->
+            Multidim.Hist2d.selectivity h ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+      in
+      let hx_ns, hy_ns = Multidim.Kde2d.normal_scale_bandwidths ~kernel:K.Epanechnikov s in
+      let kernel_at scale =
+        let kde =
+          Multidim.Kde2d.create ~domain_x:domain ~domain_y:domain ~hx:(hx_ns *. scale)
+            ~hy:(hy_ns *. scale) s
+        in
+        eval (fun (r : Multidim.Workload2d.rect) ->
+            Multidim.Kde2d.selectivity kde ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+      in
+      let m_dpi =
+        let hx, hy = Multidim.Kde2d.plug_in_bandwidths ~kernel:K.Epanechnikov s in
+        let kde = Multidim.Kde2d.create ~domain_x:domain ~domain_y:domain ~hx ~hy s in
+        eval (fun (r : Multidim.Workload2d.rect) ->
+            Multidim.Kde2d.selectivity kde ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+      in
+      (* "kernel*" searches a bandwidth-scale grid, the 2-D h-opt analog. *)
+      let best =
+        List.fold_left
+          (fun acc scale -> Float.min acc (kernel_at scale))
+          Float.infinity
+          [ 1.0; 0.5; 0.25; 0.125; 0.0625; 0.03125 ]
+      in
+      let m_indep =
+        (* Attribute-value independence: product of 1-D kernel marginals. *)
+        let ex = Est.build Est.kernel_defaults ~domain:domain (Array.map fst s) in
+        let ey = Est.build Est.kernel_defaults ~domain:domain (Array.map snd s) in
+        eval (fun (r : Multidim.Workload2d.rect) ->
+            Multidim.Independence.selectivity
+              (fun ~a ~b -> Est.selectivity ex ~a ~b)
+              (fun ~a ~b -> Est.selectivity ey ~a ~b)
+              ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+      in
+      Printf.printf "%-10s %-10.2f %-10.2f %-10.2f %-12.2f %-12.2f %-10.2f %-10.2f\n" name
+        m_sampling (grid 16) (grid 64) (kernel_at 1.0) m_dpi best m_indep)
+    configs
+
+let ext_histograms () =
+  header "ext_histograms: frequency polygon, V-optimal and serial vs the paper's histograms, 1% queries";
+  Printf.printf "%-8s %-9s %-9s %-9s %-9s %-9s %-9s %-9s\n" "file" "ewh%" "fp%" "voh40%"
+    "mdh40%" "serial40%" "wave40%" "kernel%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let qs = queries ds in
+      let row spec = pct (mre_of ds ~sample:s ~queries:qs spec) in
+      let serial = Histograms.Serial.build ~bins:40 s in
+      let m_serial =
+        pct (M.evaluate ds (fun ~a ~b -> Histograms.Serial.selectivity serial ~a ~b) qs).M.mre
+      in
+      let wavelet =
+        Histograms.Wavelet.build ~granularity:256 ~domain:(E.domain_of ds) ~coefficients:40 s
+      in
+      let m_wavelet =
+        pct
+          (M.evaluate ds (fun ~a ~b -> Histograms.Histogram.selectivity wavelet ~a ~b) qs).M.mre
+      in
+      Printf.printf "%-8s %-9.2f %-9.2f %-9.2f %-9.2f %-9.2f %-9.2f %-9.2f\n" name
+        (row (Est.Equi_width Est.Normal_scale_bins))
+        (row (Est.Frequency_polygon Est.Normal_scale_bins))
+        (row (Est.V_optimal { bins = 40 }))
+        (row (Est.Max_diff { bins = 40 }))
+        m_serial m_wavelet
+        (row Est.kernel_defaults))
+    headline_names
+
+let ext_join () =
+  header "ext_join: equi-join size |R JOIN S| from 2000-record samples (exact = 100%)";
+  (* Pairs share the domain parameter p; rr1(12) x rr2(12) is the
+     duplicate-heavy regime where even the sample join finds collisions. *)
+  let pairs =
+    [ ("n(20)", "u(20)"); ("e(20)", "u(20)"); ("n(20)", "e(20)"); ("rr1(12)", "rr2(12)") ]
+  in
+  Printf.printf "%-16s %-12s %-10s %-10s %-12s\n" "R x S" "exact" "ewh%" "kernel%" "sample-join%";
+  List.iter
+    (fun (rn, sn) ->
+      let r = dataset rn and s = dataset sn in
+      (* Join requires a shared domain; all chosen pairs share p except the
+         self-join. *)
+      let exact = float_of_int (Join.Equijoin.exact_size r s) in
+      let domain = E.domain_of r in
+      let sr = E.sample_of r ~seed:sample_seed ~n:2000 in
+      let ss = E.sample_of s ~seed:(Int64.add sample_seed 1L) ~n:2000 in
+      let density_pct spec =
+        let er = Est.build spec ~domain sr and es = Est.build spec ~domain ss in
+        match
+          Join.Equijoin.estimate ~domain er es ~n_r:(Data.Dataset.size r)
+            ~n_s:(Data.Dataset.size s)
+        with
+        | Some v -> 100.0 *. v /. exact
+        | None -> Float.nan
+      in
+      let sample_pct =
+        100.0
+        *. Join.Equijoin.sample_join sr ss ~n_r:(Data.Dataset.size r)
+             ~n_s:(Data.Dataset.size s)
+        /. exact
+      in
+      Printf.printf "%-16s %-12.3e %-10.1f %-10.1f %-12.1f\n"
+        (rn ^ " x " ^ sn)
+        exact
+        (density_pct (Est.Equi_width Est.Normal_scale_bins))
+        (density_pct Est.kernel_defaults) sample_pct)
+    pairs
+
+let ext_mise () =
+  header "ext_mise: simulated MISE vs the AMISE theory (standard normal, Epanechnikov)";
+  let model = Dists.Model.normal ~mu:0.0 ~sigma:1.0 in
+  let domain = (-6.0, 6.0) in
+  let roughness2 = 3.0 /. (8.0 *. 1.7724538509055159) in
+  List.iter
+    (fun n ->
+      let h_star = Bandwidth.Amise.optimal_bandwidth ~kernel:K.Epanechnikov ~n ~roughness_d2:roughness2 in
+      Printf.printf "n=%d  (AMISE-optimal h = %.3f)\n" n h_star;
+      Printf.printf "  %-10s %-12s %-12s %-10s\n" "h/h*" "MISE" "AMISE" "ratio";
+      List.iter
+        (fun factor ->
+          let h = h_star *. factor in
+          let r = Bandwidth.Mise.kernel_mise ~replications:30 ~model ~domain ~n ~h ~seed:11L () in
+          let predicted = Bandwidth.Amise.kernel_amise ~kernel:K.Epanechnikov ~n ~h ~roughness_d2:roughness2 in
+          Printf.printf "  %-10.2f %-12.6f %-12.6f %-10.2f\n" factor r.Bandwidth.Mise.mise
+            predicted (r.Bandwidth.Mise.mise /. predicted))
+        [ 0.25; 0.5; 1.0; 2.0; 4.0 ])
+    [ 200; 1000 ]
+
+let ext_feedback () =
+  header "ext_feedback: query feedback (future work 3): MRE before/after replaying a workload";
+  Printf.printf "%-8s %-22s %-10s %-10s\n" "file" "base" "before%" "after%";
+  List.iter
+    (fun name ->
+      let ds = dataset name in
+      let s = sample ds in
+      let domain = E.domain_of ds in
+      let train = queries ~fraction:0.02 ~count:500 ds in
+      let test = G.size_separated ds ~seed:31L ~fraction:0.02 ~count:500 in
+      List.iter
+        (fun (label, spec) ->
+          let base_est = Est.build spec ~domain s in
+          let base ~a ~b = Est.selectivity base_est ~a ~b in
+          let adaptive = Feedback.Adaptive.create ~buckets:128 ~domain ~base () in
+          let mre_now () =
+            pct (M.evaluate ds (fun ~a ~b -> Feedback.Adaptive.selectivity adaptive ~a ~b) test).M.mre
+          in
+          let before = mre_now () in
+          Array.iter
+            (fun (q : Workload.Query.t) ->
+              Feedback.Adaptive.observe adaptive ~a:q.Workload.Query.lo ~b:q.Workload.Query.hi
+                ~actual:(Data.Dataset.exact_selectivity ds ~lo:q.Workload.Query.lo ~hi:q.Workload.Query.hi))
+            train;
+          let after = mre_now () in
+          Printf.printf "%-8s %-22s %-10.2f %-10.2f\n" name label before after)
+        [ ("uniform", Est.Uniform_assumption); ("ewh(NS)", Est.Equi_width Est.Normal_scale_bins) ])
+    [ "e(20)"; "arap1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Timing: bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+let timing () =
+  header "timing: estimator build and probe costs (bechamel, monotonic clock)";
+  let ds = dataset "n(20)" in
+  let s = sample ds in
+  let domain = E.domain_of ds in
+  let h = Bandwidth.Normal_scale.bandwidth_of_samples ~kernel:K.Epanechnikov s in
+  let kde = Kde.Estimator.create ~domain ~h s in
+  let ewh = Histograms.Builders.equi_width ~domain ~bins:87 s in
+  let hybrid = Hybrid.Partitioned.build ~domain s in
+  let qs = queries ~count:64 ds in
+  let probe_idx = ref 0 in
+  let next_query () =
+    let q = qs.(!probe_idx land 63) in
+    incr probe_idx;
+    q
+  in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"kernel-probe-indexed"
+        (Staged.stage (fun () ->
+             let q = next_query () in
+             Kde.Estimator.selectivity kde ~a:q.Workload.Query.lo ~b:q.Workload.Query.hi));
+      Test.make ~name:"kernel-probe-scan"
+        (Staged.stage (fun () ->
+             let q = next_query () in
+             Kde.Estimator.selectivity_scan kde ~a:q.Workload.Query.lo ~b:q.Workload.Query.hi));
+      Test.make ~name:"histogram-probe"
+        (Staged.stage (fun () ->
+             let q = next_query () in
+             Histograms.Histogram.selectivity ewh ~a:q.Workload.Query.lo ~b:q.Workload.Query.hi));
+      Test.make ~name:"hybrid-probe"
+        (Staged.stage (fun () ->
+             let q = next_query () in
+             Hybrid.Partitioned.selectivity hybrid ~a:q.Workload.Query.lo ~b:q.Workload.Query.hi));
+      Test.make ~name:"ewh-build"
+        (Staged.stage (fun () -> ignore (Histograms.Builders.equi_width ~domain ~bins:87 s)));
+      Test.make ~name:"kernel-build-NS"
+        (Staged.stage (fun () ->
+             let h = Bandwidth.Normal_scale.bandwidth_of_samples ~kernel:K.Epanechnikov s in
+             ignore (Kde.Estimator.create ~domain ~h s)));
+      Test.make ~name:"bandwidth-DPI2"
+        (Staged.stage (fun () ->
+             ignore (Bandwidth.Plug_in.bandwidth ~iterations:2 ~kernel:K.Epanechnikov s)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let results_raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"selest" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance results_raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] -> Printf.printf "%-32s %12.1f ns/op\n" name ns
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Registry and main                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let targets =
+  [
+    ("table2", table2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("ablation_kernels", ablation_kernels);
+    ("ablation_dpi", ablation_dpi);
+    ("ablation_ash", ablation_ash);
+    ("ablation_hybrid", ablation_hybrid);
+    ("ablation_boundary", ablation_boundary);
+    ("ext_multidim", ext_multidim);
+    ("ext_histograms", ext_histograms);
+    ("ext_feedback", ext_feedback);
+    ("ext_join", ext_join);
+    ("ext_mise", ext_mise);
+    ("timing", timing);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "list" ] -> List.iter (fun (name, _) -> print_endline name) targets
+  | [] ->
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (_, run) ->
+        let t = Unix.gettimeofday () in
+        run ();
+        Printf.printf "(%.1fs)\n%!" (Unix.gettimeofday () -. t))
+      targets;
+    Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name targets with
+        | Some run -> run ()
+        | None ->
+          Printf.eprintf "unknown target %s (try: dune exec bench/main.exe -- list)\n" name;
+          exit 1)
+      names

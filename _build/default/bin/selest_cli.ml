@@ -1,0 +1,330 @@
+(* selest: command-line interface to the selectivity-estimation library.
+
+   Subcommands:
+     datasets    list the Table 2 catalog with summary statistics
+     export      write a catalog dataset's values to a file (one per line)
+     estimate    answer one range query with a chosen estimator vs the truth
+     compare     MRE of several estimators on a size-separated query file
+     sweep       MRE of the equi-width histogram across bin counts
+     bandwidths  show the smoothing parameters the rules pick for a sample *)
+
+module Est = Selest.Estimator
+module E = Workload.Experiment
+module G = Workload.Generate
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let file_arg =
+  let doc =
+    "Data file: either a catalog name (one of: "
+    ^ String.concat ", " Data.Catalog.names
+    ^ ") or a path to a text file with one integer value per line."
+  in
+  Arg.(required & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "Seed for dataset generation (deterministic)." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let sample_seed_arg =
+  let doc = "Seed for drawing the estimation sample." in
+  Arg.(value & opt int64 7L & info [ "sample-seed" ] ~docv:"SEED" ~doc)
+
+let sample_size_arg =
+  let doc = "Sample size used to build estimators (the paper uses 2000)." in
+  Arg.(value & opt int 2000 & info [ "sample"; "n" ] ~docv:"N" ~doc)
+
+let load_dataset seed name =
+  try Ok (Data.Catalog.find ~seed name)
+  with Not_found -> (
+    if Sys.file_exists name then
+      try Ok (Data.Io.load ~path:name ()) with
+      | Invalid_argument msg | Sys_error msg -> Error msg
+    else Error (Printf.sprintf "unknown data file %S; try `selest datasets`" name))
+
+let estimator_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Est.spec_of_string s) in
+  let print fmt spec = Format.pp_print_string fmt (Est.spec_name spec) in
+  Arg.conv (parse, print)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("selest: " ^ msg);
+    exit 1
+
+(* --- datasets --- *)
+
+let datasets_cmd =
+  let run seed =
+    Printf.printf "%-8s %-4s %-9s %-9s %-8s\n" "file" "p" "records" "distinct" "max_dup";
+    List.iter
+      (fun name ->
+        let ds = Data.Catalog.find ~seed name in
+        Printf.printf "%-8s %-4d %-9d %-9d %-8d\n" name (Data.Dataset.bits ds)
+          (Data.Dataset.size ds)
+          (Data.Dataset.distinct_count ds)
+          (Data.Dataset.max_duplicate_frequency ds))
+      Data.Catalog.names
+  in
+  let doc = "List the Table 2 data-file catalog with summary statistics." in
+  Cmd.v (Cmd.info "datasets" ~doc) Term.(const run $ seed_arg)
+
+(* --- export --- *)
+
+let export_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH"
+         ~doc:"Output path (one integer value per line).")
+  in
+  let run seed name out =
+    let ds = or_die (load_dataset seed name) in
+    Data.Io.save ds ~path:out;
+    Printf.printf "wrote %d values of %s to %s\n" (Data.Dataset.size ds) name out
+  in
+  let doc = "Write a catalog dataset's attribute values to a file." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ seed_arg $ file_arg $ out_arg)
+
+(* --- estimate --- *)
+
+let estimate_cmd =
+  let estimator_arg =
+    Arg.(value & opt estimator_conv Est.kernel_defaults
+         & info [ "estimator"; "e" ] ~docv:"SPEC"
+             ~doc:"Estimator spec, e.g. sampling, ewh, ewh:40, kernel:ns, hybrid.")
+  in
+  let a_arg =
+    Arg.(required & opt (some float) None & info [ "a" ] ~docv:"A" ~doc:"Range lower bound.")
+  in
+  let b_arg =
+    Arg.(required & opt (some float) None & info [ "b" ] ~docv:"B" ~doc:"Range upper bound.")
+  in
+  let run seed sample_seed n name spec a b =
+    let ds = or_die (load_dataset seed name) in
+    let sample = E.sample_of ds ~seed:sample_seed ~n in
+    let est = Est.build spec ~domain:(E.domain_of ds) sample in
+    let truth = Data.Dataset.exact_count ds ~lo:a ~hi:b in
+    let sel = Est.selectivity est ~a ~b in
+    let guess = Est.estimate_count est ~n_records:(Data.Dataset.size ds) ~a ~b in
+    Printf.printf "file:        %s\n" (Data.Dataset.describe ds);
+    Printf.printf "estimator:   %s  (sample of %d records)\n" (Est.name est) n;
+    Printf.printf "query:       [%g, %g]\n" a b;
+    Printf.printf "selectivity: %.6f\n" sel;
+    Printf.printf "estimated:   %.0f records\n" guess;
+    Printf.printf "exact:       %d records\n" truth;
+    if truth > 0 then
+      Printf.printf "rel. error:  %.2f%%\n"
+        (100.0 *. Float.abs (guess -. float_of_int truth) /. float_of_int truth)
+  in
+  let doc = "Estimate the selectivity of one range query and compare with the truth." in
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ estimator_arg
+          $ a_arg $ b_arg)
+
+(* --- compare --- *)
+
+let fraction_arg =
+  Arg.(value & opt float 0.01
+       & info [ "size"; "s" ] ~docv:"FRACTION"
+           ~doc:"Query width as a fraction of the domain (paper: 0.01-0.10).")
+
+let count_arg =
+  Arg.(value & opt int 1000 & info [ "queries"; "q" ] ~docv:"N" ~doc:"Number of queries.")
+
+let compare_cmd =
+  let estimators_arg =
+    Arg.(value & opt_all estimator_conv []
+         & info [ "estimator"; "e" ] ~docv:"SPEC"
+             ~doc:"Estimator to include (repeatable); defaults to the paper's Figure 12 suite.")
+  in
+  let run seed sample_seed n name fraction count specs =
+    let ds = or_die (load_dataset seed name) in
+    let sample = E.sample_of ds ~seed:sample_seed ~n in
+    let queries = G.size_separated ds ~seed:9L ~fraction ~count in
+    let specs = if specs = [] then Est.default_suite else specs in
+    Printf.printf "file: %s   queries: %d x %.1f%%   sample: %d\n\n"
+      (Data.Dataset.name ds) count (100.0 *. fraction) n;
+    Printf.printf "%-36s %-8s %-10s %-10s\n" "estimator" "mre%" "mae" "worst_rel";
+    List.iter
+      (fun (label, summary) ->
+        Printf.printf "%-36s %-8.2f %-10.1f %-10.2f\n" label
+          (100.0 *. summary.Workload.Metrics.mre)
+          summary.Workload.Metrics.mae summary.Workload.Metrics.max_relative)
+      (E.compare_specs ds ~sample ~queries specs)
+  in
+  let doc = "Compare estimators' mean relative error on a size-separated query file." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ fraction_arg
+          $ count_arg $ estimators_arg)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let run seed sample_seed n name fraction count =
+    let ds = or_die (load_dataset seed name) in
+    let sample = E.sample_of ds ~seed:sample_seed ~n in
+    let queries = G.size_separated ds ~seed:9L ~fraction ~count in
+    Printf.printf "%-8s %-8s\n" "bins" "mre%";
+    List.iter
+      (fun k ->
+        let mre =
+          E.mre_of_spec ds ~sample ~queries (Est.Equi_width (Est.Fixed_bins k))
+        in
+        Printf.printf "%-8d %-8.2f\n" k (100.0 *. mre))
+      [ 2; 5; 10; 20; 40; 80; 160; 320; 640; 1280 ];
+    let ns = Bandwidth.Normal_scale.bin_count_of_samples ~domain:(E.domain_of ds) sample in
+    Printf.printf "normal-scale rule picks %d bins\n" ns
+  in
+  let doc = "Equi-width histogram error as a function of the bin count (Figure 4)." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ fraction_arg
+          $ count_arg)
+
+(* --- bandwidths --- *)
+
+let bandwidths_cmd =
+  let run seed sample_seed n name =
+    let ds = or_die (load_dataset seed name) in
+    let sample = E.sample_of ds ~seed:sample_seed ~n in
+    let k = Kernels.Kernel.Epanechnikov in
+    let scale = Bandwidth.Normal_scale.scale sample in
+    Printf.printf "file: %s   sample: %d records\n\n" (Data.Dataset.name ds) n;
+    Printf.printf "robust scale s = min(stddev, IQR/1.348):   %.1f\n" scale;
+    Printf.printf "kernel bandwidth, normal scale (2.345):    %.1f\n"
+      (Bandwidth.Normal_scale.bandwidth_of_samples ~kernel:k sample);
+    Printf.printf "kernel bandwidth, plug-in (1 iteration):   %.1f\n"
+      (Bandwidth.Plug_in.bandwidth ~iterations:1 ~kernel:k sample);
+    Printf.printf "kernel bandwidth, plug-in (2 iterations):  %.1f\n"
+      (Bandwidth.Plug_in.bandwidth ~iterations:2 ~kernel:k sample);
+    Printf.printf "kernel bandwidth, LSCV:                    %.1f\n"
+      (Bandwidth.Lscv.bandwidth ~kernel:k sample);
+    Printf.printf "histogram bin width, normal scale:         %.1f\n"
+      (Bandwidth.Normal_scale.bin_width_of_samples sample);
+    Printf.printf "histogram bins, normal scale:              %d\n"
+      (Bandwidth.Normal_scale.bin_count_of_samples ~domain:(E.domain_of ds) sample);
+    Printf.printf "histogram bins, plug-in (2 iterations):    %d\n"
+      (Bandwidth.Plug_in.bin_count ~iterations:2 ~domain:(E.domain_of ds) sample)
+  in
+  let doc = "Show the smoothing parameters each selection rule picks for a sample." in
+  Cmd.v (Cmd.info "bandwidths" ~doc)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg)
+
+(* --- analyze / lookup: stored statistics summaries --- *)
+
+let analyze_cmd =
+  let estimator_arg =
+    Arg.(value & opt estimator_conv Est.kernel_defaults
+         & info [ "estimator"; "e" ] ~docv:"SPEC" ~doc:"Estimator to reduce into the summary.")
+  in
+  let cells_arg =
+    Arg.(value & opt int 256 & info [ "cells" ] ~docv:"N" ~doc:"Summary resolution.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH"
+         ~doc:"Where to write the summary.")
+  in
+  let run seed sample_seed n name spec cells out =
+    let ds = or_die (load_dataset seed name) in
+    let sample = E.sample_of ds ~seed:sample_seed ~n in
+    let domain = E.domain_of ds in
+    let est = Est.build spec ~domain sample in
+    let stored = Selest.Stored.of_estimator ~cells ~domain est in
+    let oc = open_out out in
+    output_string oc (Selest.Stored.to_string stored);
+    close_out oc;
+    Printf.printf "analyzed %s with %s into %d cells -> %s\n" (Data.Dataset.name ds)
+      (Est.name est) cells out
+  in
+  let doc = "Reduce an estimator to a stored statistics summary (ANALYZE)." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ estimator_arg
+          $ cells_arg $ out_arg)
+
+let lookup_cmd =
+  let summary_arg =
+    Arg.(required & opt (some string) None & info [ "summary"; "s" ] ~docv:"PATH"
+         ~doc:"Summary file written by `selest analyze`.")
+  in
+  let a_arg =
+    Arg.(required & opt (some float) None & info [ "a" ] ~docv:"A" ~doc:"Range lower bound.")
+  in
+  let b_arg =
+    Arg.(required & opt (some float) None & info [ "b" ] ~docv:"B" ~doc:"Range upper bound.")
+  in
+  let run summary a b =
+    let ic = open_in summary in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Selest.Stored.of_string contents with
+    | Error msg -> or_die (Error msg)
+    | Ok stored ->
+      let sel = Selest.Stored.selectivity stored ~a ~b in
+      Printf.printf "selectivity of [%g, %g]: %.6f  (%d cells over [%g, %g])\n" a b sel
+        (Selest.Stored.cells stored)
+        (fst (Selest.Stored.domain stored))
+        (snd (Selest.Stored.domain stored))
+  in
+  let doc = "Answer a range query from a stored summary, no data needed." in
+  Cmd.v (Cmd.info "lookup" ~doc) Term.(const run $ summary_arg $ a_arg $ b_arg)
+
+(* --- join --- *)
+
+let join_cmd =
+  let other_arg =
+    Arg.(required & opt (some string) None & info [ "with"; "g" ] ~docv:"FILE"
+         ~doc:"Second data file (same domain bits).")
+  in
+  let estimator_arg =
+    Arg.(value & opt estimator_conv Est.kernel_defaults
+         & info [ "estimator"; "e" ] ~docv:"SPEC" ~doc:"Per-relation density estimator.")
+  in
+  let run seed sample_seed n name other spec =
+    let r = or_die (load_dataset seed name) in
+    let s = or_die (load_dataset seed other) in
+    if Data.Dataset.bits r <> Data.Dataset.bits s then
+      or_die (Error "join: the two files must share the same domain bits");
+    let domain = E.domain_of r in
+    let sr = E.sample_of r ~seed:sample_seed ~n in
+    let ss = E.sample_of s ~seed:(Int64.add sample_seed 1L) ~n in
+    let er = Est.build spec ~domain sr and es = Est.build spec ~domain ss in
+    let exact = Join.Equijoin.exact_size r s in
+    Printf.printf "R: %s\nS: %s\n" (Data.Dataset.describe r) (Data.Dataset.describe s);
+    (match
+       Join.Equijoin.estimate ~domain er es ~n_r:(Data.Dataset.size r)
+         ~n_s:(Data.Dataset.size s)
+     with
+    | Some est ->
+      Printf.printf "estimated |R JOIN S| (%s): %.0f\n" (Est.name er) est
+    | None -> print_endline "estimator exposes no density; cannot estimate");
+    Printf.printf "sample-join estimate:        %.0f\n"
+      (Join.Equijoin.sample_join sr ss ~n_r:(Data.Dataset.size r) ~n_s:(Data.Dataset.size s));
+    Printf.printf "exact |R JOIN S|:            %d\n" exact
+  in
+  let doc = "Estimate the equi-join size of two data files from samples." in
+  Cmd.v (Cmd.info "join" ~doc)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ other_arg
+          $ estimator_arg)
+
+(* --- main --- *)
+
+let () =
+  let doc = "Selectivity estimators for range queries on metric attributes." in
+  let info = Cmd.info "selest" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            datasets_cmd;
+            export_cmd;
+            estimate_cmd;
+            compare_cmd;
+            sweep_cmd;
+            bandwidths_cmd;
+            analyze_cmd;
+            lookup_cmd;
+            join_cmd;
+          ]))

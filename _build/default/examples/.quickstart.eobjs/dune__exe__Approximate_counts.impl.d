@@ -1,0 +1,1 @@
+examples/approximate_counts.ml: Array Data Float List Online Printf Prng Workload

@@ -1,0 +1,1 @@
+examples/multidim_queries.ml: Array Kernels List Multidim Printf Prng

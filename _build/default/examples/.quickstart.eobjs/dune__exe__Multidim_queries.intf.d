@@ -1,0 +1,1 @@
+examples/multidim_queries.mli:

@@ -1,0 +1,1 @@
+examples/query_optimizer.ml: Array Data List Printf Selest Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Data Float List Printf Prng Selest Workload

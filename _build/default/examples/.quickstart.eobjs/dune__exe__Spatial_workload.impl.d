@@ -1,0 +1,1 @@
+examples/spatial_workload.ml: Array Data Float Hybrid Int Kde Kernels List Printf Selest String Workload

@@ -1,0 +1,50 @@
+(* Approximate COUNT(all) answers with progressively growing samples — the
+   online-aggregation scenario the paper's introduction cites ([6], and its
+   future-work item 2), built on the Online.Aggregator module.
+
+   A user asks  SELECT COUNT(all) FROM r WHERE a BETWEEN x AND y  and wants an
+   early approximate answer that sharpens as more of the sample streams in.
+   The aggregator answers with both the pure-sampling estimate (and its
+   CLT confidence interval) and the kernel estimate over the same samples:
+   the kernel's faster convergence rate means it reaches a usable answer
+   with fewer records, which is the paper's core selling point for kernel
+   methods.
+
+   Run with:  dune exec examples/approximate_counts.exe *)
+
+let () =
+  let ds = Data.Catalog.find ~seed:2024L "e(20)" in
+  let n_records = Data.Dataset.size ds in
+  Printf.printf "relation: %s\n" (Data.Dataset.describe ds);
+
+  (* The query: a 2% range in the dense region of the exponential file. *)
+  let a = 20_000.0 and b = 41_000.0 in
+  let truth = Data.Dataset.exact_count ds ~lo:a ~hi:b in
+  Printf.printf "query: COUNT(all) WHERE a BETWEEN %.0f AND %.0f   (exact: %d)\n\n" a b truth;
+
+  (* One long sample, streamed to the aggregator in batches, as an online
+     executor would deliver it. *)
+  let rng = Prng.Xoshiro256pp.create 17L in
+  let full_sample = Data.Dataset.sample_floats ds rng ~n:10_000 in
+  let agg = Online.Aggregator.create ~domain:(Workload.Experiment.domain_of ds) () in
+
+  Printf.printf "%-8s %-24s %-24s\n" "n" "sampling (95% CI)" "kernel estimate";
+  let consumed = ref 0 in
+  List.iter
+    (fun upto ->
+      Online.Aggregator.add agg (Array.sub full_sample !consumed (upto - !consumed));
+      consumed := upto;
+      let e = Online.Aggregator.estimate agg ~a ~b in
+      let count_kernel, low, high = Online.Aggregator.estimated_count e ~n_records in
+      let count_sampling = e.Online.Aggregator.sampling_selectivity *. float_of_int n_records in
+      Printf.printf "%-8d %9.0f +/- %-9.0f %9.0f  (%.1f%% off)\n" upto count_sampling
+        (0.5 *. (high -. low))
+        count_kernel
+        (100.0 *. Float.abs (count_kernel -. float_of_int truth) /. float_of_int truth))
+    [ 50; 100; 250; 500; 1000; 2500; 5000; 10000 ];
+
+  Printf.printf "\nexact answer: %d records\n" truth;
+  Printf.printf
+    "The kernel estimate settles near the truth with a few hundred samples,\n\
+     while the pure-sampling interval is still wide — the O(n^-4/5) versus\n\
+     O(n^-1/2) convergence gap of Section 2 made tangible.\n"

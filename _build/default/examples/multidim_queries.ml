@@ -1,0 +1,72 @@
+(* Multidimensional range queries — the paper's first future-work item.
+
+   TIGER line endpoints are (x, y) points; a spatial query is a rectangle.
+   This example builds 2-D estimators from a 2,000-point sample of a
+   simulated street-grid point set and compares pure sampling, grid
+   histograms and the product-Epanechnikov kernel estimator on rectangle
+   workloads — including the same normal-scale-versus-plug-in bandwidth
+   story the paper tells in 1-D.
+
+   Run with:  dune exec examples/multidim_queries.exe *)
+
+module D2 = Multidim.Dataset2d
+module K2 = Multidim.Kde2d
+module H2 = Multidim.Hist2d
+module W2 = Multidim.Workload2d
+
+let () =
+  let ds =
+    Multidim.Generate2d.street_grid ~name:"city" ~bits:16 ~count:50_000 ~seed:2024L
+  in
+  Printf.printf "point set: %s (simulated street grid)\n\n" (D2.describe ds);
+
+  let rng = Prng.Xoshiro256pp.create 5L in
+  let sample = D2.sample_without_replacement ds rng ~n:2000 in
+  let domain = (-0.5, 65535.5) in
+
+  (* One concrete query first. *)
+  let r : W2.rect = { x_lo = 20000.0; x_hi = 28000.0; y_lo = 30000.0; y_hi = 38000.0 } in
+  let truth = D2.exact_count ds ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi in
+  Printf.printf "query: x in [%.0f, %.0f], y in [%.0f, %.0f]   (exact: %d points)\n" r.x_lo
+    r.x_hi r.y_lo r.y_hi truth;
+
+  let hx, hy = K2.plug_in_bandwidths ~kernel:Kernels.Kernel.Epanechnikov sample in
+  let kde = K2.create ~domain_x:domain ~domain_y:domain ~hx ~hy sample in
+  let est =
+    K2.selectivity kde ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi
+    *. float_of_int (D2.size ds)
+  in
+  Printf.printf "product-kernel estimate (plug-in bandwidths %.0f x %.0f): %.0f points\n\n" hx hy
+    est;
+
+  (* Then a full workload comparison. *)
+  let rects = W2.size_separated ds ~seed:7L ~fraction:0.05 ~count:500 in
+  Printf.printf "mean relative error on %d rectangle queries (5%% per axis):\n"
+    (Array.length rects);
+  let eval label f =
+    let summary = W2.evaluate ds f rects in
+    Printf.printf "  %-34s %6.2f%%\n" label (100.0 *. summary.W2.mre)
+  in
+  eval "sampling" (fun (r : W2.rect) ->
+      H2.sampling_selectivity sample ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi);
+  List.iter
+    (fun bins ->
+      let h = H2.build ~domain_x:domain ~domain_y:domain ~bins_x:bins ~bins_y:bins sample in
+      eval
+        (Printf.sprintf "grid histogram %dx%d" bins bins)
+        (fun (r : W2.rect) ->
+          H2.selectivity h ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi))
+    [ 8; 32 ];
+  let hx_ns, hy_ns = K2.normal_scale_bandwidths ~kernel:Kernels.Kernel.Epanechnikov sample in
+  let kde_ns = K2.create ~domain_x:domain ~domain_y:domain ~hx:hx_ns ~hy:hy_ns sample in
+  eval "product kernel, normal scale" (fun (r : W2.rect) ->
+      K2.selectivity kde_ns ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi);
+  eval "product kernel, plug-in" (fun (r : W2.rect) ->
+      K2.selectivity kde ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi);
+  print_newline ();
+  Printf.printf
+    "The 1-D story repeats in 2-D: the normal-scale rule oversmooths the\n\
+     street clusters away (worse than a coarse grid), while the plug-in\n\
+     bandwidths bring the product kernel back to the accuracy of the best\n\
+     alternatives — on data this sharply clustered, close to pure sampling,\n\
+     exactly as the paper observes for its 1-D real files.\n"

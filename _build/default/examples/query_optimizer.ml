@@ -1,0 +1,92 @@
+(* A miniature cost-based query optimizer: the paper's motivating scenario.
+
+   For each range query the optimizer chooses between a clustered index
+   range scan (cost proportional to the result size) and a full table scan
+   (cost proportional to the relation size), based on the *estimated*
+   selectivity.  A bad estimate past the crossover picks the wrong plan and
+   pays the difference.  This example measures, per estimator, how often the
+   wrong plan is chosen and how much execution cost that mistake adds.
+
+   Run with:  dune exec examples/query_optimizer.exe *)
+
+module Est = Selest.Estimator
+
+(* A simple cost model: the index scan pays one random I/O per qualifying
+   record plus a lookup; the sequential scan reads every page.  With 100
+   records per page, the crossover sits near 1% selectivity — squarely in
+   the range where the paper's 1% query files live. *)
+let records_per_page = 100
+let random_io_cost = 1.0
+let sequential_page_cost = 0.1
+
+type plan =
+  | Index_scan
+  | Full_scan
+
+let plan_cost ~n_records ~result_size = function
+  | Index_scan -> random_io_cost *. float_of_int result_size
+  | Full_scan -> sequential_page_cost *. float_of_int (n_records / records_per_page)
+
+let choose_plan ~n_records ~estimated_result =
+  let idx = random_io_cost *. estimated_result in
+  let scan = sequential_page_cost *. float_of_int (n_records / records_per_page) in
+  if idx <= scan then Index_scan else Full_scan
+
+let evaluate_estimator ds queries est =
+  let n_records = Data.Dataset.size ds in
+  let wrong = ref 0 and regret = ref 0.0 and total = ref 0.0 in
+  Array.iter
+    (fun (q : Workload.Query.t) ->
+      let truth = Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi in
+      let estimate = Est.estimate_count est ~n_records ~a:q.lo ~b:q.hi in
+      let chosen = choose_plan ~n_records ~estimated_result:estimate in
+      let oracle = choose_plan ~n_records ~estimated_result:(float_of_int truth) in
+      let cost p = plan_cost ~n_records ~result_size:truth p in
+      let chosen_cost = cost chosen and best_cost = cost oracle in
+      total := !total +. chosen_cost;
+      if chosen <> oracle then begin
+        incr wrong;
+        regret := !regret +. (chosen_cost -. best_cost)
+      end)
+    queries;
+  (!wrong, !regret, !total)
+
+let () =
+  (* The skewed real-like file is where estimators genuinely disagree. *)
+  let ds = Data.Catalog.find ~seed:2024L "arap1" in
+  Printf.printf "relation: %s\n" (Data.Dataset.describe ds);
+  let sample = Workload.Experiment.sample_of ds ~seed:3L ~n:2000 in
+  let domain = Workload.Experiment.domain_of ds in
+
+  (* A mixed workload: mostly selective queries near the crossover. *)
+  let queries =
+    Array.concat
+      [
+        Workload.Generate.size_separated ds ~seed:5L ~fraction:0.002 ~count:400;
+        Workload.Generate.size_separated ds ~seed:6L ~fraction:0.01 ~count:400;
+        Workload.Generate.size_separated ds ~seed:7L ~fraction:0.05 ~count:200;
+      ]
+  in
+  Printf.printf "workload: %d range queries (0.2%%, 1%% and 5%% widths)\n\n"
+    (Array.length queries);
+
+  Printf.printf "%-34s %-12s %-14s %-12s\n" "estimator" "wrong plans" "regret (cost)"
+    "total cost";
+  List.iter
+    (fun spec ->
+      let est = Est.build spec ~domain sample in
+      let wrong, regret, total = evaluate_estimator ds queries est in
+      Printf.printf "%-34s %-12d %-14.0f %-12.0f\n" (Est.name est) wrong regret total)
+    Est.
+      [
+        Uniform_assumption;
+        Sampling;
+        Equi_width Normal_scale_bins;
+        kernel_defaults;
+        hybrid_defaults;
+      ];
+  print_newline ();
+  Printf.printf
+    "The uniform (System R) assumption misplans most; the hybrid estimator's\n\
+     accurate selectivities on clustered data keep the optimizer near the\n\
+     oracle plan.\n"

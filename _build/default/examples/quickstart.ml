@@ -1,0 +1,58 @@
+(* Quickstart: build every estimator from a small sample of a relation and
+   compare their answers on a few range queries against the exact result.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Est = Selest.Estimator
+
+let () =
+  (* A relation with one metric attribute: 100,000 records, normally
+     distributed over a 20-bit integer domain (the paper's n(20) file). *)
+  let relation = Data.Catalog.find ~seed:2024L "n(20)" in
+  Printf.printf "relation: %s\n\n" (Data.Dataset.describe relation);
+
+  (* The estimator never sees the relation — only a 2,000-record sample. *)
+  let rng = Prng.Xoshiro256pp.create 1L in
+  let sample = Data.Dataset.sample_floats relation rng ~n:2000 in
+  let domain = Workload.Experiment.domain_of relation in
+
+  (* Build one estimator of each kind through the declarative spec API. *)
+  let estimators =
+    List.map
+      (fun spec -> Est.build spec ~domain sample)
+      Est.
+        [
+          Sampling;
+          Uniform_assumption;
+          Equi_width Normal_scale_bins;
+          Equi_depth { bins = 40 };
+          Max_diff { bins = 40 };
+          Ash { bins = Normal_scale_bins; shifts = 10 };
+          kernel_defaults;
+          hybrid_defaults;
+        ]
+  in
+
+  (* Three range queries of growing width around the distribution center. *)
+  let center = float_of_int (Data.Dataset.domain_size relation / 2) in
+  let queries =
+    List.map
+      (fun half -> (center -. half, center +. half))
+      [ 2_000.0; 20_000.0; 100_000.0 ]
+  in
+
+  List.iter
+    (fun (a, b) ->
+      let truth = Data.Dataset.exact_count relation ~lo:a ~hi:b in
+      Printf.printf "query [%.0f, %.0f]  (true result size: %d records)\n" a b truth;
+      List.iter
+        (fun est ->
+          let guess = Est.estimate_count est ~n_records:(Data.Dataset.size relation) ~a ~b in
+          let err =
+            if truth = 0 then Float.nan
+            else 100.0 *. Float.abs (guess -. float_of_int truth) /. float_of_int truth
+          in
+          Printf.printf "  %-34s -> %9.0f records  (%5.1f%% off)\n" (Est.name est) guess err)
+        estimators;
+      print_newline ())
+    queries

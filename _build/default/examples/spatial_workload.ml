@@ -1,0 +1,80 @@
+(* Spatial selectivity estimation: the paper's motivating domain.
+
+   TIGER-like line endpoints (street grids, rail roads, rivers) projected on
+   one axis produce the multi-modal, change-point-heavy distributions on
+   which the normal-scale kernel rule collapses and the hybrid estimator
+   shines (Figures 11-12).  This example walks through that story on the
+   simulated Arapahoe county file: it prints the density landscape the
+   estimators face, the change points the hybrid detects, and the final
+   accuracy of each method.
+
+   Run with:  dune exec examples/spatial_workload.exe *)
+
+module Est = Selest.Estimator
+
+let bar width value max_value =
+  let n = int_of_float (Float.round (float_of_int width *. value /. max_value)) in
+  String.make (Int.max 0 (Int.min width n)) '#'
+
+let () =
+  let ds = Data.Catalog.find ~seed:2024L "arap1" in
+  Printf.printf "spatial file: %s\n\n" (Data.Dataset.describe ds);
+
+  let sample = Workload.Experiment.sample_of ds ~seed:11L ~n:2000 in
+  let domain = Workload.Experiment.domain_of ds in
+  let lo, hi = domain in
+
+  (* 1. The density landscape, from the exact data (what the estimators are
+     trying to recover from 2,000 samples). *)
+  Printf.printf "exact record density over the domain (40 buckets):\n";
+  let buckets = 40 in
+  let counts =
+    Array.init buckets (fun i ->
+        let a = lo +. (float_of_int i /. float_of_int buckets *. (hi -. lo)) in
+        let b = lo +. (float_of_int (i + 1) /. float_of_int buckets *. (hi -. lo)) in
+        Data.Dataset.exact_count ds ~lo:a ~hi:b)
+  in
+  let max_count = Array.fold_left Int.max 1 counts in
+  Array.iteri
+    (fun i c ->
+      Printf.printf "%5.1f%% |%-50s %d\n"
+        (100.0 *. float_of_int i /. float_of_int buckets)
+        (bar 50 (float_of_int c) (float_of_int max_count))
+        c)
+    counts;
+
+  (* 2. The change points the hybrid estimator detects from the sample. *)
+  let points = Hybrid.Change_point.detect ~domain sample in
+  Printf.printf "\nchange points detected from the sample (%d):\n" (List.length points);
+  List.iter
+    (fun x -> Printf.printf "  at %.0f (%.1f%% of the domain)\n" x (100.0 *. (x -. lo) /. (hi -. lo)))
+    points;
+
+  (* 3. Accuracy of the contenders on the paper's 1% workload. *)
+  let queries = Workload.Generate.size_separated ds ~seed:13L ~fraction:0.01 ~count:1000 in
+  Printf.printf "\nmean relative error on 1%% range queries (1000 queries):\n";
+  List.iter
+    (fun spec ->
+      let summary = Workload.Experiment.summary_of_spec ds ~sample ~queries spec in
+      Printf.printf "  %-34s %6.2f%%  (worst %.1fx)\n"
+        (Est.spec_name spec)
+        (100.0 *. summary.Workload.Metrics.mre)
+        summary.Workload.Metrics.max_relative)
+    Est.
+      [
+        Equi_width Normal_scale_bins;
+        Kernel
+          {
+            kernel = Kernels.Kernel.Epanechnikov;
+            boundary = Kde.Estimator.Boundary_kernels;
+            bandwidth = Normal_scale_bandwidth;
+          };
+        kernel_defaults;
+        hybrid_defaults;
+      ];
+  print_newline ();
+  Printf.printf
+    "The normal-scale bandwidth oversmooths the street-grid clusters; the\n\
+     plug-in rule adapts, and the hybrid estimator isolates the clusters\n\
+     into bins before smoothing, giving the best accuracy — the paper's\n\
+     Figure 12 in miniature.\n"

@@ -1,0 +1,1 @@
+lib/bandwidth/amise.ml: Float Kernels

@@ -1,0 +1,1 @@
+lib/bandwidth/amise.mli: Kernels

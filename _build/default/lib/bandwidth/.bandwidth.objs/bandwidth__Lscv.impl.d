@@ -1,0 +1,1 @@
+lib/bandwidth/lscv.ml: Array Float Kernels Normal_scale Stats

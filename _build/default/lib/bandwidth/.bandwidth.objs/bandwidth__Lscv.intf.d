@@ -1,0 +1,1 @@
+lib/bandwidth/lscv.mli: Kernels

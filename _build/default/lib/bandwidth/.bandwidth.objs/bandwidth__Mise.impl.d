@@ -1,0 +1,1 @@
+lib/bandwidth/mise.ml: Array Dists Float Histograms Kde Kernels Lazy Prng Stats

@@ -1,0 +1,1 @@
+lib/bandwidth/mise.mli: Dists Kernels

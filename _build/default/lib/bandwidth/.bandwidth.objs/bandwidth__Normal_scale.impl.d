@@ -1,0 +1,1 @@
+lib/bandwidth/normal_scale.ml: Array Float Int Kernels Stats

@@ -1,0 +1,1 @@
+lib/bandwidth/normal_scale.mli: Kernels

@@ -1,0 +1,1 @@
+lib/bandwidth/oracle.ml: Float Int List Stats

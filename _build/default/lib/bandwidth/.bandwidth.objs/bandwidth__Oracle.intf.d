@@ -1,0 +1,1 @@
+lib/bandwidth/oracle.mli:

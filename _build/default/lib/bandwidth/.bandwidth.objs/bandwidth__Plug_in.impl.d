@@ -1,0 +1,1 @@
+lib/bandwidth/plug_in.ml: Amise Array Float Int Kde Kernels Normal_scale Stats

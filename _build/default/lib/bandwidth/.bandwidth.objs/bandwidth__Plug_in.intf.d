@@ -1,0 +1,1 @@
+lib/bandwidth/plug_in.mli: Kernels

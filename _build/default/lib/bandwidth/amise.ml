@@ -1,0 +1,30 @@
+let check ~n ~roughness name =
+  if n <= 0 then invalid_arg (name ^ ": n must be positive");
+  if roughness <= 0.0 || not (Float.is_finite roughness) then
+    invalid_arg (name ^ ": roughness functional must be positive and finite")
+
+let histogram_amise ~n ~h ~roughness_d1 =
+  (1.0 /. (float_of_int n *. h)) +. (h *. h /. 12.0 *. roughness_d1)
+
+let optimal_bin_width ~n ~roughness_d1 =
+  check ~n ~roughness:roughness_d1 "Amise.optimal_bin_width";
+  (6.0 /. (float_of_int n *. roughness_d1)) ** (1.0 /. 3.0)
+
+let kernel_amise ~kernel ~n ~h ~roughness_d2 =
+  let k2 = Kernels.Kernel.second_moment kernel in
+  let r = Kernels.Kernel.roughness kernel in
+  ((h ** 4.0) *. k2 *. k2 /. 4.0 *. roughness_d2) +. (r /. (float_of_int n *. h))
+
+let optimal_bandwidth ~kernel ~n ~roughness_d2 =
+  check ~n ~roughness:roughness_d2 "Amise.optimal_bandwidth";
+  let k2 = Kernels.Kernel.second_moment kernel in
+  let r = Kernels.Kernel.roughness kernel in
+  (r /. (float_of_int n *. k2 *. k2 *. roughness_d2)) ** 0.2
+
+let histogram_amise_at_optimum ~n ~roughness_d1 =
+  let h = optimal_bin_width ~n ~roughness_d1 in
+  histogram_amise ~n ~h ~roughness_d1
+
+let kernel_amise_at_optimum ~kernel ~n ~roughness_d2 =
+  let h = optimal_bandwidth ~kernel ~n ~roughness_d2 in
+  kernel_amise ~kernel ~n ~h ~roughness_d2

@@ -1,0 +1,28 @@
+(** Asymptotic mean integrated squared error formulas (Sections 4.1-4.2).
+
+    These are the theory half of the smoothing-parameter story: given the
+    roughness functionals [int (f')^2] (histograms) or [int (f'')^2]
+    (kernels) of the true density, they return the AMISE value and its
+    minimizer.  Tests validate them against the closed-form functionals of
+    the synthetic distributions and against brute-force MISE simulations. *)
+
+val histogram_amise : n:int -> h:float -> roughness_d1:float -> float
+(** [1/(nh) + h^2/12 * int (f')^2] — the equi-width histogram AMISE. *)
+
+val optimal_bin_width : n:int -> roughness_d1:float -> float
+(** Formula (7): [h_EW = (6 / (n int (f')^2))^(1/3)].
+    @raise Invalid_argument if [roughness_d1 <= 0] or [n <= 0]. *)
+
+val kernel_amise : kernel:Kernels.Kernel.t -> n:int -> h:float -> roughness_d2:float -> float
+(** [AIBias^2 + AIVar = h^4 k2^2 / 4 * int (f'')^2 + R(K) / (nh)]
+    (equations (9a)-(9b)). *)
+
+val optimal_bandwidth : kernel:Kernels.Kernel.t -> n:int -> roughness_d2:float -> float
+(** [h_K = (R(K) / (n k2^2 int (f'')^2))^(1/5)] (Section 4.2).
+    @raise Invalid_argument if [roughness_d2 <= 0] or [n <= 0]. *)
+
+val histogram_amise_at_optimum : n:int -> roughness_d1:float -> float
+(** AMISE at {!optimal_bin_width}; decays as [O(n^(-2/3))]. *)
+
+val kernel_amise_at_optimum : kernel:Kernels.Kernel.t -> n:int -> roughness_d2:float -> float
+(** AMISE at {!optimal_bandwidth}; decays as [O(n^(-4/5))]. *)

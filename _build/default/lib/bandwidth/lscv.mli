@@ -1,0 +1,21 @@
+(** Least-squares cross-validation bandwidth selection (extension beyond the
+    paper; standard in Wand & Jones [15], which the paper cites).
+
+    LSCV minimizes an unbiased estimate of [int (f_hat - f)^2] over the
+    bandwidth:
+
+    {v LSCV(h) = int f_hat^2 - 2/n sum_i f_hat_{-i}(X_i) v}
+
+    computed here for the Gaussian kernel, where both terms are pairwise
+    sums in closed form.  The minimizer is converted to the target kernel by
+    canonical-bandwidth rescaling. *)
+
+val objective : float array -> float -> float
+(** [objective samples h] is the Gaussian-kernel LSCV score at bandwidth
+    [h].  @raise Invalid_argument if [h <= 0] or fewer than two samples. *)
+
+val bandwidth : ?grid_points:int -> kernel:Kernels.Kernel.t -> float array -> float
+(** [bandwidth ~kernel samples] minimizes {!objective} over a logarithmic
+    grid spanning [[ns/20, 5 ns]] around the normal-scale bandwidth [ns]
+    ([grid_points] defaults to 40), polishes with golden section and
+    rescales to [kernel]. *)

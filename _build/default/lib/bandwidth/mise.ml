@@ -1,0 +1,47 @@
+type result = {
+  mise : float;
+  std_error : float;
+  replications : int;
+}
+
+let simulate ?(replications = 30) ?(grid_points = 512) ~model ~domain:(lo, hi) ~n ~seed
+    ~build () =
+  if replications <= 0 then invalid_arg "Mise.simulate: replications must be positive";
+  if n <= 0 then invalid_arg "Mise.simulate: n must be positive";
+  if grid_points < 2 then invalid_arg "Mise.simulate: grid_points must be >= 2";
+  if lo >= hi then invalid_arg "Mise.simulate: empty domain";
+  let rng = Prng.Xoshiro256pp.create seed in
+  let draw = Lazy.force (Dists.Model.sampler model) in
+  let xs_grid =
+    Array.init grid_points (fun i ->
+        lo +. (float_of_int i /. float_of_int (grid_points - 1) *. (hi -. lo)))
+  in
+  let truth = Array.map (Dists.Model.pdf model) xs_grid in
+  let ises =
+    Array.init replications (fun _ ->
+        let sample = Array.init n (fun _ -> draw rng) in
+        let estimate = build sample in
+        let sq = Array.mapi (fun i x -> (estimate x -. truth.(i)) ** 2.0) xs_grid in
+        Stats.Integrate.integrate_grid xs_grid sq)
+  in
+  let mean = Stats.Descriptive.mean ises in
+  let std_error =
+    if replications = 1 then Float.nan
+    else Stats.Descriptive.stddev ~mean ises /. sqrt (float_of_int replications)
+  in
+  { mise = mean; std_error; replications }
+
+let histogram_mise ?replications ~model ~domain ~n ~bins ~seed () =
+  simulate ?replications ~model ~domain ~n ~seed
+    ~build:(fun sample ->
+      let h = Histograms.Builders.equi_width ~domain ~bins sample in
+      Histograms.Histogram.density h)
+    ()
+
+let kernel_mise ?replications ?(kernel = Kernels.Kernel.Epanechnikov) ~model ~domain ~n ~h
+    ~seed () =
+  simulate ?replications ~model ~domain ~n ~seed
+    ~build:(fun sample ->
+      let est = Kde.Estimator.create ~kernel ~domain ~h sample in
+      Kde.Estimator.density est)
+    ()

@@ -1,0 +1,33 @@
+let sqrt_pi = 1.7724538509055159
+
+let scale samples = Stats.Quantile.robust_scale samples
+
+let check ~n ~scale name =
+  if n <= 0 then invalid_arg (name ^ ": n must be positive");
+  if scale <= 0.0 || not (Float.is_finite scale) then
+    invalid_arg (name ^ ": scale must be positive and finite")
+
+let bin_width ~n ~scale =
+  check ~n ~scale "Normal_scale.bin_width";
+  ((24.0 *. sqrt_pi) ** (1.0 /. 3.0)) *. scale *. (float_of_int n ** (-1.0 /. 3.0))
+
+let bin_count ~domain:(lo, hi) ~n ~scale =
+  if lo >= hi then invalid_arg "Normal_scale.bin_count: empty domain";
+  let h = bin_width ~n ~scale in
+  Int.max 1 (int_of_float (Float.ceil ((hi -. lo) /. h)))
+
+let bandwidth ~kernel ~n ~scale =
+  check ~n ~scale "Normal_scale.bandwidth";
+  let k2 = Kernels.Kernel.second_moment kernel in
+  let r = Kernels.Kernel.roughness kernel in
+  let const = (8.0 *. sqrt_pi *. r /. (3.0 *. k2 *. k2)) ** 0.2 in
+  const *. scale *. (float_of_int n ** (-0.2))
+
+let bin_width_of_samples samples =
+  bin_width ~n:(Array.length samples) ~scale:(scale samples)
+
+let bin_count_of_samples ~domain samples =
+  bin_count ~domain ~n:(Array.length samples) ~scale:(scale samples)
+
+let bandwidth_of_samples ~kernel samples =
+  bandwidth ~kernel ~n:(Array.length samples) ~scale:(scale samples)

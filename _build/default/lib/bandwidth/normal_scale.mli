@@ -1,0 +1,30 @@
+(** Normal-scale rules (Sections 4.1-4.2): approximate the unknown true
+    density by a normal with the sample's robust scale
+    [s = min(stddev, IQR/1.348)], for which the roughness functionals are
+    closed-form, and plug into the AMISE optimizers. *)
+
+val scale : float array -> float
+(** The paper's robust scale estimate of the sample (see
+    {!Stats.Quantile.robust_scale}). *)
+
+val bin_width : n:int -> scale:float -> float
+(** Formula (8): [h_EW ~ (24 sqrt pi)^(1/3) * s * n^(-1/3)].
+    @raise Invalid_argument if [n <= 0] or [scale <= 0]. *)
+
+val bin_count : domain:float * float -> n:int -> scale:float -> int
+(** [ceil (domain width / bin_width)], at least 1. *)
+
+val bandwidth : kernel:Kernels.Kernel.t -> n:int -> scale:float -> float
+(** The kernel normal-scale bandwidth
+    [(8 sqrt pi R(K) / (3 k2^2))^(1/5) * s * n^(-1/5)]; for the Epanechnikov
+    kernel the constant is the paper's 2.345.
+    @raise Invalid_argument if [n <= 0] or [scale <= 0]. *)
+
+val bin_width_of_samples : float array -> float
+(** {!bin_width} with [n] and [scale] taken from the sample. *)
+
+val bin_count_of_samples : domain:float * float -> float array -> int
+(** {!bin_count} with [n] and [scale] taken from the sample. *)
+
+val bandwidth_of_samples : kernel:Kernels.Kernel.t -> float array -> float
+(** {!bandwidth} with [n] and [scale] taken from the sample. *)

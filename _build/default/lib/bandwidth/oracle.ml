@@ -1,0 +1,27 @@
+let best_bandwidth ?(points = 30) ~objective ~lo ~hi () =
+  let grid = Stats.Optimize.log_grid ~lo ~hi ~n:points in
+  Stats.Optimize.refine_around_grid_min objective grid
+
+let geometric_int_grid max_bins =
+  let rec build acc k =
+    if k > max_bins then List.rev acc
+    else begin
+      let next = Int.max (k + 1) (int_of_float (Float.round (float_of_int k *. 1.18))) in
+      build (k :: acc) next
+    end
+  in
+  build [] 1
+
+let best_bin_count ?(max_bins = 1000) ~objective () =
+  if max_bins < 1 then invalid_arg "Oracle.best_bin_count: max_bins must be >= 1";
+  let candidates = geometric_int_grid max_bins in
+  match candidates with
+  | [] -> invalid_arg "Oracle.best_bin_count: empty candidate grid"
+  | first :: rest ->
+    let best = ref (first, objective first) in
+    List.iter
+      (fun k ->
+        let e = objective k in
+        if e < snd !best then best := (k, e))
+      rest;
+    !best

@@ -1,0 +1,21 @@
+(** Oracle smoothing-parameter search.
+
+    The paper's [h-opt] columns (Figures 4, 9, 11) report the smoothing
+    parameter that minimizes the observed mean relative error on the actual
+    query workload — impractical in a real system (it needs the true result
+    sizes) but the reference point every practical rule is judged against.
+    This module provides the searches; callers supply the
+    error-of-parameter objective. *)
+
+val best_bandwidth :
+  ?points:int -> objective:(float -> float) -> lo:float -> hi:float -> unit -> float * float
+(** [best_bandwidth ~objective ~lo ~hi ()] minimizes over a logarithmic
+    bandwidth grid of [points] (default 30) and polishes with golden
+    section; returns [(h_opt, error)].
+    @raise Invalid_argument unless [0 < lo < hi]. *)
+
+val best_bin_count :
+  ?max_bins:int -> objective:(int -> float) -> unit -> int * float
+(** [best_bin_count ~objective ()] scans bin counts over a geometric integer
+    grid from 1 to [max_bins] (default 1000, ~60 distinct values) and
+    returns the best [(bins, error)]. *)

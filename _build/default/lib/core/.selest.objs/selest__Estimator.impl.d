@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Bandwidth Float Histograms Hybrid Kde Kernels List Option Printf Stats String

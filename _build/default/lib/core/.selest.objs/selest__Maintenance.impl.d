@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: Estimator Float Int List

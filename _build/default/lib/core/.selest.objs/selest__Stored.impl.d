@@ -1,0 +1,1 @@
+lib/core/stored.ml: Array Buffer Estimator Float Fun Int List Printf String

@@ -1,0 +1,1 @@
+lib/core/stored.mli: Estimator

@@ -1,0 +1,88 @@
+type reason =
+  | Insert_volume
+  | Feedback_error
+
+type t = {
+  spec : Estimator.spec;
+  domain : float * float;
+  refresh_after_change : float;
+  max_feedback_mre : float;
+  feedback_window : int;
+  mutable est : Estimator.t;
+  mutable base_records : int; (* relation size at the last refresh *)
+  mutable changed : int; (* |inserts| + |deletes| since the last refresh *)
+  mutable current_records : int;
+  mutable errors : float list; (* most recent first, length <= window *)
+  mutable refreshes : int;
+}
+
+let create ?(refresh_after_change = 0.2) ?(max_feedback_mre = 0.5) ?(feedback_window = 50)
+    ~spec ~domain ~sample ~n_records () =
+  if refresh_after_change <= 0.0 then
+    invalid_arg "Maintenance.create: refresh_after_change must be positive";
+  if max_feedback_mre <= 0.0 then
+    invalid_arg "Maintenance.create: max_feedback_mre must be positive";
+  if feedback_window <= 0 then invalid_arg "Maintenance.create: feedback_window must be positive";
+  if n_records <= 0 then invalid_arg "Maintenance.create: n_records must be positive";
+  {
+    spec;
+    domain;
+    refresh_after_change;
+    max_feedback_mre;
+    feedback_window;
+    est = Estimator.build spec ~domain sample;
+    base_records = n_records;
+    changed = 0;
+    current_records = n_records;
+    errors = [];
+    refreshes = 0;
+  }
+
+let estimator t = t.est
+let n_records t = t.current_records
+
+let estimate_count t ~a ~b =
+  Estimator.estimate_count t.est ~n_records:t.current_records ~a ~b
+
+let record_inserts t delta =
+  if t.current_records + delta < 0 then
+    invalid_arg "Maintenance.record_inserts: relation size would become negative";
+  t.current_records <- t.current_records + delta;
+  t.changed <- t.changed + abs delta
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let record_feedback t ~a ~b ~actual_count =
+  if actual_count < 0 then invalid_arg "Maintenance.record_feedback: negative count";
+  if actual_count > 0 then begin
+    let predicted = estimate_count t ~a ~b in
+    let rel = Float.abs (predicted -. float_of_int actual_count) /. float_of_int actual_count in
+    t.errors <- take t.feedback_window (rel :: t.errors)
+  end
+
+let needs_refresh t =
+  if float_of_int t.changed >= t.refresh_after_change *. float_of_int t.base_records then
+    Some Insert_volume
+  else begin
+    (* Demand a meaningfully full window before trusting the error signal. *)
+    let m = List.length t.errors in
+    if m >= Int.max 5 (t.feedback_window / 2) then begin
+      let mean = List.fold_left ( +. ) 0.0 t.errors /. float_of_int m in
+      if mean > t.max_feedback_mre then Some Feedback_error else None
+    end
+    else None
+  end
+
+let refresh t ~sample ~n_records =
+  if n_records <= 0 then invalid_arg "Maintenance.refresh: n_records must be positive";
+  t.est <- Estimator.build t.spec ~domain:t.domain sample;
+  t.base_records <- n_records;
+  t.current_records <- n_records;
+  t.changed <- 0;
+  t.errors <- [];
+  t.refreshes <- t.refreshes + 1
+
+let refresh_count t = t.refreshes

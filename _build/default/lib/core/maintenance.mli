@@ -1,0 +1,66 @@
+(** Statistics maintenance: when to re-ANALYZE.
+
+    A fitted estimator describes the relation at sampling time; inserts and
+    workload drift silently invalidate it.  This module wraps an estimator
+    with the two standard staleness triggers production systems use:
+
+    - {b volume}: re-analyze after the relation grows (or churns) by a
+      configurable fraction of the size it had when the statistics were
+      collected;
+    - {b feedback}: re-analyze when the recent observed relative error of
+      the estimator (from completed queries) exceeds a threshold.
+
+    The wrapper never resamples by itself — the caller owns data access —
+    it only says {e when}, and rebuilds from the fresh sample it is
+    handed. *)
+
+type t
+
+type reason =
+  | Insert_volume  (** the relation changed by more than the threshold *)
+  | Feedback_error  (** recent observed errors exceed the threshold *)
+
+val create :
+  ?refresh_after_change:float ->
+  ?max_feedback_mre:float ->
+  ?feedback_window:int ->
+  spec:Estimator.spec ->
+  domain:float * float ->
+  sample:float array ->
+  n_records:int ->
+  unit ->
+  t
+(** [create ~spec ~domain ~sample ~n_records ()] builds the initial
+    estimator.  [refresh_after_change] is the changed-record fraction
+    triggering refresh (default 0.2), [max_feedback_mre] the mean relative
+    error over the last [feedback_window] (default 50) observations that
+    triggers refresh (default 0.5).
+    @raise Invalid_argument on non-positive thresholds, window or
+    [n_records], or an empty sample. *)
+
+val estimator : t -> Estimator.t
+(** The currently fitted estimator. *)
+
+val n_records : t -> int
+(** Relation size as of the last refresh plus recorded inserts — what
+    {!estimate_count} should scale by. *)
+
+val estimate_count : t -> a:float -> b:float -> float
+(** Estimated result size of [Q(a,b)] against the current record count. *)
+
+val record_inserts : t -> int -> unit
+(** Tell the wrapper the relation received (or lost, negative) records.
+    @raise Invalid_argument if the resulting size would be negative. *)
+
+val record_feedback : t -> a:float -> b:float -> actual_count:int -> unit
+(** Report a completed query's true result size.
+    @raise Invalid_argument if [actual_count < 0]. *)
+
+val needs_refresh : t -> reason option
+(** Whether a trigger has fired (volume checked first). *)
+
+val refresh : t -> sample:float array -> n_records:int -> unit
+(** Rebuild from a fresh sample and reset both triggers. *)
+
+val refresh_count : t -> int
+(** Number of refreshes performed (0 after {!create}). *)

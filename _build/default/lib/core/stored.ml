@@ -1,0 +1,91 @@
+type t = {
+  lo : float;
+  hi : float;
+  weights : float array; (* per-cell selectivity mass *)
+}
+
+let of_estimator ?(cells = 256) ~domain:(lo, hi) est =
+  if cells <= 0 then invalid_arg "Stored.of_estimator: cells must be positive";
+  if lo >= hi then invalid_arg "Stored.of_estimator: empty domain";
+  let w = (hi -. lo) /. float_of_int cells in
+  let weights =
+    Array.init cells (fun i ->
+        let a = lo +. (float_of_int i *. w) in
+        Float.max 0.0 (Estimator.selectivity est ~a ~b:(a +. w)))
+  in
+  { lo; hi; weights }
+
+let of_sample ?cells ?(spec = Estimator.kernel_defaults) ~domain sample =
+  of_estimator ?cells ~domain (Estimator.build spec ~domain sample)
+
+let cells t = Array.length t.weights
+let domain t = (t.lo, t.hi)
+
+let selectivity t ~a ~b =
+  if a > b then 0.0
+  else begin
+    let k = Array.length t.weights in
+    let w = (t.hi -. t.lo) /. float_of_int k in
+    let first = Int.max 0 (int_of_float (Float.floor ((a -. t.lo) /. w))) in
+    let last = Int.min (k - 1) (int_of_float (Float.floor ((b -. t.lo) /. w))) in
+    let acc = ref 0.0 in
+    for i = first to last do
+      let c_lo = t.lo +. (float_of_int i *. w) in
+      let c_hi = c_lo +. w in
+      let overlap = Float.min b c_hi -. Float.max a c_lo in
+      if overlap > 0.0 then acc := !acc +. (t.weights.(i) *. overlap /. w)
+    done;
+    Float.max 0.0 (Float.min 1.0 !acc)
+  end
+
+let to_string t =
+  let buf = Buffer.create (16 * Array.length t.weights) in
+  Buffer.add_string buf "selest-stored v1\n";
+  Buffer.add_string buf (Printf.sprintf "domain %.17g %.17g\n" t.lo t.hi);
+  Buffer.add_string buf (Printf.sprintf "cells %d\n" (Array.length t.weights));
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%.17g\n" v)) t.weights;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | magic :: domain_line :: cells_line :: rest when String.trim magic = "selest-stored v1" -> (
+    let parse_domain () =
+      match String.split_on_char ' ' (String.trim domain_line) with
+      | [ "domain"; a; b ] -> (
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some lo, Some hi when lo < hi -> Ok (lo, hi)
+        | _ -> Error "Stored.of_string: malformed domain bounds")
+      | _ -> Error "Stored.of_string: missing domain line"
+    in
+    let parse_cells () =
+      match String.split_on_char ' ' (String.trim cells_line) with
+      | [ "cells"; n ] -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 -> Ok k
+        | _ -> Error "Stored.of_string: malformed cell count")
+      | _ -> Error "Stored.of_string: missing cells line"
+    in
+    match (parse_domain (), parse_cells ()) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok (lo, hi), Ok k -> (
+      let values =
+        List.filter_map
+          (fun line ->
+            let line = String.trim line in
+            if line = "" then None else Some (float_of_string_opt line))
+          rest
+      in
+      if List.exists (fun v -> v = None) values then
+        Error "Stored.of_string: malformed weight"
+      else begin
+        let weights = Array.of_list (List.filter_map Fun.id values) in
+        if Array.length weights <> k then
+          Error
+            (Printf.sprintf "Stored.of_string: expected %d weights, found %d" k
+               (Array.length weights))
+        else if Array.exists (fun v -> v < 0.0 || not (Float.is_finite v)) weights then
+          Error "Stored.of_string: weights must be non-negative and finite"
+        else Ok { lo; hi; weights }
+      end))
+  | _ -> Error "Stored.of_string: missing header"

@@ -1,0 +1,38 @@
+(** Serializable statistics summaries.
+
+    A production optimizer does not keep samples or fitted estimators in
+    memory between sessions; ANALYZE reduces them to a compact summary in
+    the system catalog.  This module is that reduction: any fitted
+    {!Estimator.t} is probed once per cell of an equal-width grid, the
+    per-cell masses are stored, and the summary answers range queries
+    under the uniform-within-cell assumption — with a textual
+    serialization for persistence.
+
+    The cell masses are exact cell selectivities of the source estimator
+    (probed via {!Estimator.selectivity}, not by sampling the density), so
+    a stored kernel summary at [cells] resolution is exactly the kernel
+    estimator convolved onto that grid. *)
+
+type t
+
+val of_estimator : ?cells:int -> domain:float * float -> Estimator.t -> t
+(** [of_estimator ~domain est] probes [cells] (default 256) equal-width
+    cells.  @raise Invalid_argument if [cells <= 0] or the domain is
+    empty. *)
+
+val of_sample :
+  ?cells:int -> ?spec:Estimator.spec -> domain:float * float -> float array -> t
+(** Build the estimator from the sample (spec defaults to
+    {!Estimator.kernel_defaults}) and reduce it. *)
+
+val cells : t -> int
+val domain : t -> float * float
+
+val selectivity : t -> a:float -> b:float -> float
+(** Piecewise-constant range selectivity, clamped to [[0, 1]]. *)
+
+val to_string : t -> string
+(** One-line-per-field textual form, safe to store in a catalog column. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [Error] describes the first malformed field. *)

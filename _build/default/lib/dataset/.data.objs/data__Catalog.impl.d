@@ -1,0 +1,1 @@
+lib/dataset/catalog.ml: Dataset Dists Generate List Realistic String

@@ -1,0 +1,1 @@
+lib/dataset/catalog.mli: Dataset Dists

@@ -1,0 +1,1 @@
+lib/dataset/dataset.ml: Array Float Fun Printf Prng Stats

@@ -1,0 +1,1 @@
+lib/dataset/encode.ml: Char Printf String

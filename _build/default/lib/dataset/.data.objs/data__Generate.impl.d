@@ -1,0 +1,1 @@
+lib/dataset/generate.ml: Array Dataset Dists Float Lazy Printf Prng

@@ -1,0 +1,1 @@
+lib/dataset/generate.mli: Dataset Dists

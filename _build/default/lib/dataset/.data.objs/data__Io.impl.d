@@ -1,0 +1,1 @@
+lib/dataset/io.ml: Array Dataset Filename Fun Int List Option Printf String

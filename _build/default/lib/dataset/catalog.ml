@@ -1,0 +1,57 @@
+let synthetic_count = 100_000
+
+let builders : (string * (seed:int64 -> Dataset.t)) list =
+  let syn family bits ~seed =
+    Generate.generate family ~bits ~count:synthetic_count ~seed
+  in
+  [
+    ("u(15)", syn Generate.Uniform_family 15);
+    ("u(20)", syn Generate.Uniform_family 20);
+    ("n(10)", syn Generate.Normal_family 10);
+    ("n(15)", syn Generate.Normal_family 15);
+    ("n(20)", syn Generate.Normal_family 20);
+    ("e(15)", syn Generate.Exponential_family 15);
+    ("e(20)", syn Generate.Exponential_family 20);
+    ("arap1", fun ~seed -> Realistic.arapahoe ~dim:1 ~seed);
+    ("arap2", fun ~seed -> Realistic.arapahoe ~dim:2 ~seed);
+    ("rr1(12)", fun ~seed -> Realistic.railroad ~dim:1 ~bits:12 ~seed);
+    ("rr1(22)", fun ~seed -> Realistic.railroad ~dim:1 ~bits:22 ~seed);
+    ("rr2(12)", fun ~seed -> Realistic.railroad ~dim:2 ~bits:12 ~seed);
+    ("rr2(22)", fun ~seed -> Realistic.railroad ~dim:2 ~bits:22 ~seed);
+    ("iw", fun ~seed -> Realistic.instance_weight ~seed);
+  ]
+
+let names = List.map fst builders
+
+let find ~seed name =
+  match List.assoc_opt name builders with
+  | Some build -> build ~seed
+  | None -> raise Not_found
+
+let all ~seed = List.map (fun (_, build) -> build ~seed) builders
+
+let headline_names =
+  [ "u(20)"; "n(20)"; "e(20)"; "arap1"; "arap2"; "rr1(22)"; "rr2(22)"; "iw" ]
+
+let headline ~seed = List.map (find ~seed) headline_names
+
+let synthetic_model ds =
+  let bits = Dataset.bits ds in
+  let name = Dataset.name ds in
+  (* Synthetic files are named "<family>(<p>)"; everything else is a
+     simulated real file without a closed-form model. *)
+  if String.length name < 2 || name.[1] <> '(' then None
+  else begin
+    (* The generator floors continuous draws into [0, 2^p) and rejects the
+       rest, so the model of the data is the scaled family truncated to the
+       domain. *)
+    let in_domain model =
+      Some (Dists.Model.truncated model ~lo:0.0 ~hi:(float_of_int (1 lsl bits)))
+    in
+    match name.[0] with
+    | 'u' -> Some (Generate.scaled_model Generate.Uniform_family ~bits)
+    | 'n' -> in_domain (Generate.scaled_model Generate.Normal_family ~bits)
+    | 'e' -> in_domain (Generate.scaled_model Generate.Exponential_family ~bits)
+    | 'z' -> Some (Generate.scaled_model Generate.Zipf_family ~bits)
+    | _ -> None
+  end

@@ -1,0 +1,26 @@
+(** The Table 2 catalog: every data file of the paper's test environment,
+    generated deterministically from one seed. *)
+
+val all : seed:int64 -> Dataset.t list
+(** All fourteen files of Table 2: [u(15)], [u(20)], [n(10)], [n(15)],
+    [n(20)], [e(15)], [e(20)], [arap1], [arap2], [rr1(12)], [rr1(22)],
+    [rr2(12)], [rr2(22)], [iw].  Synthetic families have 100,000 records;
+    the simulated real files match the paper's record counts. *)
+
+val headline : seed:int64 -> Dataset.t list
+(** The large-domain files used by the headline comparisons (Figures 8, 9,
+    11, 12) after Section 5.2.1 drops the high-duplicate-frequency files:
+    [u(20)], [n(20)], [e(20)], [arap1], [arap2], [rr1(22)], [rr2(22)],
+    [iw]. *)
+
+val find : seed:int64 -> string -> Dataset.t
+(** [find ~seed name] generates just the named Table 2 file.
+    @raise Not_found on an unknown name. *)
+
+val names : string list
+(** Names of all catalog files, in Table 2 order. *)
+
+val synthetic_model : Dataset.t -> Dists.Model.t option
+(** For synthetic files, the true underlying continuous model in domain
+    coordinates (used by oracle smoothing-parameter computations and tests);
+    [None] for the simulated real files. *)

@@ -1,0 +1,78 @@
+type t = {
+  name : string;
+  bits : int;
+  values : int array;
+  sorted : int array;
+}
+
+let create ~name ~bits values =
+  if Array.length values = 0 then invalid_arg "Dataset.create: empty value array";
+  if bits < 1 || bits > 62 then invalid_arg "Dataset.create: bits must be in [1, 62]";
+  let limit = 1 lsl bits in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= limit then
+        invalid_arg
+          (Printf.sprintf "Dataset.create(%s): value %d outside domain [0, %d)" name v limit))
+    values;
+  let values = Array.copy values in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  { name; bits; values; sorted }
+
+let name t = t.name
+let bits t = t.bits
+let domain_size t = 1 lsl t.bits
+let size t = Array.length t.values
+let values t = t.values
+let sorted_values t = t.sorted
+
+let distinct_count t =
+  let n = Array.length t.sorted in
+  let count = ref 1 in
+  for i = 1 to n - 1 do
+    if t.sorted.(i) <> t.sorted.(i - 1) then incr count
+  done;
+  !count
+
+let max_duplicate_frequency t =
+  let n = Array.length t.sorted in
+  let best = ref 1 and run = ref 1 in
+  for i = 1 to n - 1 do
+    if t.sorted.(i) = t.sorted.(i - 1) then begin
+      incr run;
+      if !run > !best then best := !run
+    end
+    else run := 1
+  done;
+  !best
+
+let exact_count t ~lo ~hi =
+  if lo > hi then 0
+  else begin
+    (* Integer bounds equivalent to the float range [lo, hi]. *)
+    let ilo = int_of_float (Float.ceil lo) in
+    let ihi = int_of_float (Float.floor hi) in
+    if ilo > ihi then 0
+    else
+      Stats.Array_util.int_upper_bound t.sorted ihi
+      - Stats.Array_util.int_lower_bound t.sorted ilo
+  end
+
+let exact_selectivity t ~lo ~hi =
+  float_of_int (exact_count t ~lo ~hi) /. float_of_int (size t)
+
+let sample_without_replacement t rng ~n =
+  let total = size t in
+  if n <= 0 || n > total then
+    invalid_arg "Dataset.sample_without_replacement: n outside [1, size]";
+  let indices = Array.init total Fun.id in
+  Prng.Xoshiro256pp.shuffle_prefix rng indices n;
+  Array.init n (fun i -> t.values.(indices.(i)))
+
+let sample_floats t rng ~n =
+  Array.map float_of_int (sample_without_replacement t rng ~n)
+
+let describe t =
+  Printf.sprintf "%-8s p=%-2d records=%-7d distinct=%-7d max_dup=%d" t.name t.bits (size t)
+    (distinct_count t) (max_duplicate_frequency t)

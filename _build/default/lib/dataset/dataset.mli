@@ -1,0 +1,64 @@
+(** Integer-domain datasets.
+
+    A dataset models one metric attribute of a relation, following the
+    paper's test environment: values are integers in the domain
+    [[0, 2^p - 1]] where [p] ("bits" here) is a parameter controlling the
+    domain cardinality and hence the duplicate frequency (Section 5.1.1,
+    Table 2). *)
+
+type t
+(** A named dataset: attribute values in insertion order plus a sorted copy
+    that serves the exact-selectivity oracle. *)
+
+val create : name:string -> bits:int -> int array -> t
+(** [create ~name ~bits values] validates that every value lies in
+    [[0, 2^p - 1]] and builds the dataset (the input array is copied).
+    @raise Invalid_argument on an empty array, [bits] outside [[1, 62]], or
+    out-of-domain values. *)
+
+val name : t -> string
+
+val bits : t -> int
+(** The domain parameter [p]. *)
+
+val domain_size : t -> int
+(** [2^p], the cardinality of the attribute domain. *)
+
+val size : t -> int
+(** Number of records [N]. *)
+
+val values : t -> int array
+(** Attribute values in insertion order.  The returned array is the
+    dataset's own storage: do not mutate. *)
+
+val sorted_values : t -> int array
+(** Values in non-decreasing order (shared storage: do not mutate). *)
+
+val distinct_count : t -> int
+(** Number of distinct attribute values, reported in Table 2 style
+    summaries. *)
+
+val max_duplicate_frequency : t -> int
+(** Largest number of records sharing one attribute value. *)
+
+val exact_count : t -> lo:float -> hi:float -> int
+(** [exact_count t ~lo ~hi] is the exact number of records [r] with
+    [lo <= r <= hi] — the true query result size used as ground truth by all
+    error metrics.  Accepts float bounds so that estimator and oracle see
+    the identical query. *)
+
+val exact_selectivity : t -> lo:float -> hi:float -> float
+(** [exact_count] divided by [size]: the instance selectivity. *)
+
+val sample_without_replacement : t -> Prng.Xoshiro256pp.t -> n:int -> int array
+(** [sample_without_replacement t rng ~n] draws [n] record values uniformly
+    without replacement (partial Fisher-Yates over record indices), matching
+    the paper's sampling procedure.  @raise Invalid_argument if
+    [n <= 0 || n > size t]. *)
+
+val sample_floats : t -> Prng.Xoshiro256pp.t -> n:int -> float array
+(** {!sample_without_replacement} converted to floats, the form consumed by
+    the estimators. *)
+
+val describe : t -> string
+(** One-line Table 2 style summary: name, p, #records, #distinct values. *)

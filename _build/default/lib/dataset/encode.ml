@@ -1,0 +1,68 @@
+(* Calendar arithmetic follows the civil-from-days algorithms (era-based,
+   proleptic Gregorian), exact over the full int range we use. *)
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> invalid_arg "Encode: month must be in [1, 12]"
+
+let days_of_date ~year ~month ~day =
+  if month < 1 || month > 12 then invalid_arg "Encode.days_of_date: month must be in [1, 12]";
+  if day < 1 || day > days_in_month year month then
+    invalid_arg "Encode.days_of_date: day out of range for the month";
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (month + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let date_of_days days =
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - ((153 * mp + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  (year, month, day)
+
+let parse_date s =
+  match String.split_on_char '-' (String.trim s) with
+  | [ ys; ms; ds ] -> (
+    match (int_of_string_opt ys, int_of_string_opt ms, int_of_string_opt ds) with
+    | Some year, Some month, Some day -> (
+      try Ok (days_of_date ~year ~month ~day) with Invalid_argument msg -> Error msg)
+    | _ -> Error (Printf.sprintf "Encode.parse_date: non-numeric component in %S" s))
+  | _ -> Error (Printf.sprintf "Encode.parse_date: expected YYYY-MM-DD, got %S" s)
+
+let format_date days =
+  let year, month, day = date_of_days days in
+  Printf.sprintf "%04d-%02d-%02d" year month day
+
+(* Base-257 prefix encoding: digit 0 marks an absent byte (so shorter
+   strings sort before their extensions), bytes map to 1..256. *)
+
+let check_length length =
+  if length < 1 || length > 7 then invalid_arg "Encode: prefix length must be in [1, 7]"
+
+let int_of_string_prefix ?(length = 7) s =
+  check_length length;
+  let acc = ref 0 in
+  for i = 0 to length - 1 do
+    let digit = if i < String.length s then Char.code s.[i] + 1 else 0 in
+    acc := (!acc * 257) + digit
+  done;
+  !acc
+
+let string_prefix_bits length =
+  check_length length;
+  (8 * length) + 1

@@ -1,0 +1,38 @@
+(** Metric encodings for non-integer attributes.
+
+    The paper's metric domains "occur for example in spatial and temporal
+    databases": dates and lexicographic strings carry a natural order, so
+    they become estimable once mapped order-preservingly to integers.  This
+    module provides the two standard encodings so the estimators apply to
+    temporal and (prefix-ordered) string attributes out of the box. *)
+
+(** {1 Dates} *)
+
+val days_of_date : year:int -> month:int -> day:int -> int
+(** Days since 1970-01-01 (proleptic Gregorian; negative before the epoch).
+    @raise Invalid_argument on an invalid calendar date (bad month, day out
+    of range for the month, including leap-year February rules). *)
+
+val date_of_days : int -> int * int * int
+(** Inverse of {!days_of_date}: [(year, month, day)]. *)
+
+val parse_date : string -> (int, string) result
+(** [parse_date "YYYY-MM-DD"] to epoch days; [Error] explains the failure. *)
+
+val format_date : int -> string
+(** Epoch days to ["YYYY-MM-DD"]. *)
+
+(** {1 Strings} *)
+
+val int_of_string_prefix : ?length:int -> string -> int
+(** Order-preserving integer from the first [length] bytes (default 7, the
+    maximum fitting OCaml's 63-bit integers): shorter strings sort before
+    their extensions, and
+    [s1 <= s2] on prefixes implies
+    [int_of_string_prefix s1 <= int_of_string_prefix s2].
+    @raise Invalid_argument if [length] outside [[1, 7]]. *)
+
+val string_prefix_bits : int -> int
+(** Domain bits needed for prefixes of the given length ([8 * length + 1],
+    since the encoding shifts by one to distinguish absent bytes).
+    @raise Invalid_argument if [length] outside [[1, 7]]. *)

@@ -1,0 +1,62 @@
+type family =
+  | Uniform_family
+  | Normal_family
+  | Exponential_family
+  | Zipf_family
+
+(* The continuous spread of the normal and exponential families is fixed in
+   absolute terms (anchored to the reference 20-bit domain of the paper's
+   headline files).  Smaller domains therefore truncate the same underlying
+   distribution to fewer integer values: they contain more duplicates and a
+   flatter within-domain shape, which is what makes the low-cardinality
+   files easier to estimate in the paper's Figure 5 and why records falling
+   outside the domain must be rejected at all. *)
+let reference_bits = 20
+
+let scaled_model family ~bits =
+  let domain = float_of_int (1 lsl bits) in
+  let spread = float_of_int (1 lsl reference_bits) /. 8.0 in
+  match family with
+  | Uniform_family -> Dists.Model.uniform ~lo:0.0 ~hi:domain
+  | Normal_family -> Dists.Model.normal ~mu:(domain /. 2.0) ~sigma:spread
+  | Exponential_family -> Dists.Model.exponential ~rate:(1.0 /. spread)
+  | Zipf_family -> Dists.Model.zipf ~exponent:1.0 ~ranks:(1 lsl bits)
+
+let family_prefix = function
+  | Uniform_family -> "u"
+  | Normal_family -> "n"
+  | Exponential_family -> "e"
+  | Zipf_family -> "z"
+
+let of_model ~name ~bits ~count ~seed model =
+  if count <= 0 then invalid_arg "Generate.of_model: count must be positive";
+  let rng = Prng.Xoshiro256pp.create seed in
+  let draw = Lazy.force (Dists.Model.sampler model) in
+  let limit = 1 lsl bits in
+  let values = Array.make count 0 in
+  let filled = ref 0 in
+  let rejections = ref 0 in
+  (* Heavily truncated models (e.g. n(10), which keeps only the central
+     sliver of the reference-width normal) reject most draws; budget the
+     total rejections rather than consecutive ones. *)
+  let rejection_budget = 10_000 * count in
+  while !filled < count do
+    let x = draw rng in
+    let v = int_of_float (Float.floor x) in
+    if v >= 0 && v < limit then begin
+      values.(!filled) <- v;
+      incr filled
+    end
+    else begin
+      incr rejections;
+      if !rejections > rejection_budget then
+        invalid_arg
+          (Printf.sprintf "Generate.of_model(%s): model mass lies outside the %d-bit domain" name
+             bits)
+    end
+  done;
+  Dataset.create ~name ~bits values
+
+let generate family ~bits ~count ~seed =
+  let name = Printf.sprintf "%s(%d)" (family_prefix family) bits in
+  of_model ~name ~bits ~count ~seed (scaled_model family ~bits)

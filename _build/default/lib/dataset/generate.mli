@@ -1,0 +1,39 @@
+(** Synthetic data files of Section 5.1.1.
+
+    Continuous draws from a scaled distribution model are floored to the
+    integer domain [[0, 2^p - 1]]; draws falling outside the domain are
+    rejected ("we did not consider data records that were outside of the
+    domain").  For the normal family the mean is mapped to the center of the
+    domain, exactly as in the paper. *)
+
+type family =
+  | Uniform_family
+  | Normal_family
+  | Exponential_family
+  | Zipf_family  (** kept for ablations; the paper uses exponential as its stand-in *)
+
+val scaled_model : family -> bits:int -> Dists.Model.t
+(** [scaled_model family ~bits] is the continuous model in domain
+    coordinates: uniform over the whole domain; normal centered at
+    [2^(p-1)]; exponential with mass concentrated at the left boundary (the
+    paper's "highly skewed" shape); Zipf over the domain ranks with
+    exponent 1.
+
+    The normal sigma and exponential mean are fixed at [2^20 / 8]
+    independent of [bits] (anchored to the paper's reference 20-bit
+    domain), so at p = 20 a ±4 sigma normal spans the domain exactly while
+    smaller domains truncate the same distribution — more duplicates,
+    flatter shape, easier estimation, reproducing Figure 5's ordering. *)
+
+val generate :
+  family -> bits:int -> count:int -> seed:int64 -> Dataset.t
+(** [generate family ~bits ~count ~seed] draws [count] in-domain records.
+    Dataset names follow the paper: [u(p)], [n(p)], [e(p)], [z(p)].
+    @raise Invalid_argument if [count <= 0]. *)
+
+val of_model :
+  name:string -> bits:int -> count:int -> seed:int64 -> Dists.Model.t -> Dataset.t
+(** Generic generator: floor continuous draws of an arbitrary model into the
+    domain, rejecting out-of-domain draws.  Raises [Invalid_argument] if the
+    rejection rate makes progress impossible (more than 1000 consecutive
+    rejections). *)

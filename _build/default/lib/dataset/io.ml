@@ -1,0 +1,70 @@
+let save ds ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# selest dataset name=%s bits=%d records=%d\n" (Dataset.name ds)
+        (Dataset.bits ds) (Dataset.size ds);
+      Array.iter (fun v -> output_string oc (string_of_int v ^ "\n")) (Dataset.values ds))
+
+let parse_header line =
+  (* "# selest dataset name=<name> bits=<bits> records=<n>" *)
+  let find key =
+    let prefix = key ^ "=" in
+    let parts = String.split_on_char ' ' line in
+    List.find_map
+      (fun p ->
+        if String.length p > String.length prefix
+           && String.sub p 0 (String.length prefix) = prefix
+        then Some (String.sub p (String.length prefix) (String.length p - String.length prefix))
+        else None)
+      parts
+  in
+  (find "name", Option.bind (find "bits") int_of_string_opt)
+
+let load ?name ?bits ~path () =
+  let ic = open_in path in
+  let values = ref [] in
+  let header_name = ref None and header_bits = ref None in
+  let line_no = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          incr line_no;
+          if line = "" then ()
+          else if String.length line > 0 && line.[0] = '#' then begin
+            if !line_no = 1 then begin
+              let n, b = parse_header line in
+              header_name := n;
+              header_bits := b
+            end
+          end
+          else
+            match int_of_string_opt line with
+            | Some v -> values := v :: !values
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Io.load(%s): unparsable line %d: %S" path !line_no line)
+        done
+      with End_of_file -> ());
+  let values = Array.of_list (List.rev !values) in
+  if Array.length values = 0 then invalid_arg (Printf.sprintf "Io.load(%s): no values" path);
+  let name =
+    match (name, !header_name) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> Filename.remove_extension (Filename.basename path)
+  in
+  let bits =
+    match (bits, !header_bits) with
+    | Some b, _ -> b
+    | None, Some b -> b
+    | None, None ->
+      let max_v = Array.fold_left Int.max 0 values in
+      let rec fit b = if 1 lsl b > max_v then b else fit (b + 1) in
+      fit 1
+  in
+  Dataset.create ~name ~bits values

@@ -1,0 +1,14 @@
+(** Loading and saving datasets as plain text (one integer attribute value
+    per line, [#]-prefixed comment lines ignored) — the format of the
+    paper's published data files and the CLI's bridge to user data. *)
+
+val save : Dataset.t -> path:string -> unit
+(** [save ds ~path] writes a header comment (name, bits, record count) and
+    one value per line.  @raise Sys_error on I/O failure. *)
+
+val load : ?name:string -> ?bits:int -> path:string -> unit -> Dataset.t
+(** [load ~path ()] reads values back.  [name] defaults to the file's
+    basename; [bits] defaults to the smallest domain containing every
+    value (or the value recorded in the header comment when present).
+    @raise Sys_error on I/O failure and [Invalid_argument] on unparsable
+    lines, an empty file, or values outside the given domain. *)

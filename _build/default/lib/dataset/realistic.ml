@@ -1,0 +1,167 @@
+module Rng = Prng.Xoshiro256pp
+
+(* All simulators draw positions in the unit interval [0, 1) and quantize to
+   the integer domain at the end, so the same layout can be rendered at any
+   domain resolution (used by the rr1(12)/rr1(22) pair). *)
+
+let quantize ~name ~bits positions =
+  let scale = float_of_int (1 lsl bits) in
+  let limit = (1 lsl bits) - 1 in
+  let values =
+    Array.map
+      (fun x ->
+        let v = int_of_float (Float.floor (x *. scale)) in
+        Int.max 0 (Int.min limit v))
+      positions
+  in
+  Dataset.create ~name ~bits values
+
+(* --- Arapahoe: street-grid clusters ------------------------------------- *)
+
+type cluster = { center : float; width : float; weight : float }
+
+let draw_arapahoe_layout rng =
+  (* A dense urban core of many narrow clusters plus scattered small towns.
+     Cluster mass follows a skewed (squared-uniform) law so a few clusters
+     dominate, producing the abrupt density changes of street-grid data. *)
+  let n_clusters = 48 in
+  let clusters =
+    Array.init n_clusters (fun i ->
+        let urban = i < n_clusters / 2 in
+        let center =
+          if urban then 0.25 +. (0.35 *. Rng.float rng) else Rng.float rng
+        in
+        let width =
+          if urban then 0.002 +. (0.01 *. Rng.float rng)
+          else 0.005 +. (0.03 *. Rng.float rng)
+        in
+        let u = Rng.float rng in
+        let weight = (u *. u) +. 0.02 in
+        { center; width; weight })
+  in
+  let total = Array.fold_left (fun acc c -> acc +. c.weight) 0.0 clusters in
+  Array.map (fun c -> { c with weight = c.weight /. total }) clusters
+
+let sample_cluster_mixture rng clusters ~background n =
+  let cum = Array.make (Array.length clusters) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      acc := !acc +. c.weight;
+      cum.(i) <- !acc)
+    clusters;
+  let box_muller () =
+    let u1 = 1.0 -. Rng.float rng in
+    let u2 = Rng.float rng in
+    sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  let rec draw () =
+    if Rng.float rng < background then Rng.float rng
+    else begin
+      let u = Rng.float rng in
+      let i = Stats.Array_util.float_upper_bound cum u in
+      let c = clusters.(Int.min i (Array.length clusters - 1)) in
+      let x = c.center +. (c.width *. box_muller ()) in
+      if x >= 0.0 && x < 1.0 then x else draw ()
+    end
+  in
+  Array.init n (fun _ -> draw ())
+
+let arapahoe ~dim ~seed =
+  let bits =
+    match dim with
+    | 1 -> 21
+    | 2 -> 18
+    | _ -> invalid_arg "Realistic.arapahoe: dim must be 1 or 2"
+  in
+  (* Separate substreams for the layout and the records; the second
+     dimension gets an independent layout, as real x/y coordinates would. *)
+  let root = Rng.create seed in
+  let layout_rng = Rng.substream root (2 * dim) in
+  let record_rng = Rng.substream root ((2 * dim) + 1) in
+  let clusters = draw_arapahoe_layout layout_rng in
+  let positions = sample_cluster_mixture record_rng clusters ~background:0.08 52_120 in
+  quantize ~name:(Printf.sprintf "arap%d" dim) ~bits positions
+
+(* --- Rail roads & rivers: piecewise-uniform segments --------------------- *)
+
+type segment = { lo : float; len : float; weight : float }
+
+let draw_railroad_layout rng ~dim =
+  (* Long polylines project to runs of near-uniform density separated by
+     empty stretches; rivers add a few wide, low-density runs.  [dim]
+     perturbs the layout the way a second coordinate axis would. *)
+  let n_segments = 22 + (3 * dim) in
+  let segments =
+    Array.init n_segments (fun i ->
+        let river = i mod 5 = 0 in
+        let lo = Rng.float rng *. 0.95 in
+        let len =
+          if river then 0.08 +. (0.15 *. Rng.float rng)
+          else 0.01 +. (0.05 *. Rng.float rng)
+        in
+        let len = Float.min len (1.0 -. lo) in
+        let density = if river then 0.4 +. Rng.float rng else 1.5 +. (2.0 *. Rng.float rng) in
+        { lo; len; weight = len *. density })
+  in
+  let total = Array.fold_left (fun acc s -> acc +. s.weight) 0.0 segments in
+  Array.map (fun s -> { s with weight = s.weight /. total }) segments
+
+let sample_segments rng segments n =
+  let cum = Array.make (Array.length segments) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i s ->
+      acc := !acc +. s.weight;
+      cum.(i) <- !acc)
+    segments;
+  Array.init n (fun _ ->
+      let u = Rng.float rng in
+      let i = Stats.Array_util.float_upper_bound cum u in
+      let s = segments.(Int.min i (Array.length segments - 1)) in
+      let x = s.lo +. (s.len *. Rng.float rng) in
+      Float.min x (Float.pred 1.0))
+
+let railroad ~dim ~bits ~seed =
+  if dim <> 1 && dim <> 2 then invalid_arg "Realistic.railroad: dim must be 1 or 2";
+  if bits < 8 || bits > 30 then invalid_arg "Realistic.railroad: bits must be in [8, 30]";
+  let root = Rng.create seed in
+  let layout_rng = Rng.substream root (10 + (2 * dim)) in
+  let record_rng = Rng.substream root (11 + (2 * dim)) in
+  let segments = draw_railroad_layout layout_rng ~dim in
+  let positions = sample_segments record_rng segments 257_942 in
+  quantize ~name:(Printf.sprintf "rr%d(%d)" dim bits) ~bits positions
+
+(* --- Census instance weight: heavy-tailed bulk plus spikes --------------- *)
+
+let instance_weight ~seed =
+  let bits = 21 in
+  let root = Rng.create seed in
+  let layout_rng = Rng.substream root 20 in
+  let record_rng = Rng.substream root 21 in
+  (* Frequent weights: a few dozen atoms carrying ~15% of the records, as
+     repeated sampling weights do in the census file. *)
+  let n_atoms = 40 in
+  let atoms =
+    Array.init n_atoms (fun _ ->
+        let u = 1.0 -. Rng.float layout_rng in
+        (* Atoms follow the same lognormal-ish placement as the bulk. *)
+        0.05 +. (0.4 *. u *. u))
+  in
+  let box_muller () =
+    let u1 = 1.0 -. Rng.float record_rng in
+    let u2 = Rng.float record_rng in
+    sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  let rec draw_bulk () =
+    (* Lognormal bulk rescaled into the unit interval. *)
+    let z = box_muller () in
+    let x = 0.12 *. exp (0.55 *. z) in
+    if x >= 0.0 && x < 1.0 then x else draw_bulk ()
+  in
+  let positions =
+    Array.init 199_523 (fun _ ->
+        if Rng.float record_rng < 0.15 then atoms.(Rng.int_below record_rng n_atoms)
+        else draw_bulk ())
+  in
+  quantize ~name:"iw" ~bits positions

@@ -1,0 +1,38 @@
+(** Simulated "real" data files.
+
+    The paper evaluates on TIGER/Line endpoints (county Arapahoe and a
+    rail-road & rivers extract around L.A.) and on the census-income
+    instance-weight attribute.  Those files are not redistributable and the
+    build runs offline, so this module synthesizes datasets that reproduce
+    the statistical properties that drive the paper's findings:
+
+    - {b arapahoe}: multi-modal density from urban street grids — many
+      narrow clusters with abruptly varying mass over a mostly empty domain.
+      These change points are what break the normal-scale bandwidth rule
+      (Figure 11) and favor the hybrid estimator (Figure 12).
+    - {b railroad}: endpoints along long polylines — a piecewise-uniform
+      density with plateaus and hard gaps; offered at p = 12 (heavy
+      duplication) and p = 22 (few duplicates), as in Table 2.
+    - {b instance_weight}: heavy-tailed bulk plus large discrete spikes of
+      repeated weights; on this file the paper finds "almost no difference"
+      between methods.
+
+    Cluster/segment layouts are drawn deterministically from the seed, so a
+    given seed always produces byte-identical datasets. *)
+
+val arapahoe : dim:int -> seed:int64 -> Dataset.t
+(** [arapahoe ~dim ~seed] simulates the endpoints of county Arapahoe lines;
+    [dim = 1] uses a 21-bit domain, [dim = 2] an 18-bit domain (Table 2);
+    52,120 records.  @raise Invalid_argument unless [dim] is 1 or 2. *)
+
+val railroad : dim:int -> bits:int -> seed:int64 -> Dataset.t
+(** [railroad ~dim ~bits ~seed] simulates rail-road & river endpoints;
+    257,942 records on a [bits]-bit domain (the paper uses 12 and 22).
+    The same [seed] and [dim] give the same continuous layout at every
+    [bits], so the p = 12 file is the coarse quantization of the p = 22
+    file, as with real coordinate data.
+    @raise Invalid_argument unless [dim] is 1 or 2 and [bits] in [[8, 30]]. *)
+
+val instance_weight : seed:int64 -> Dataset.t
+(** [instance_weight ~seed] simulates the census-income instance-weight
+    attribute: 199,523 records on a 21-bit domain. *)

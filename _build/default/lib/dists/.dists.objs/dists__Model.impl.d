@@ -1,0 +1,1 @@
+lib/dists/model.ml: Array Float Hashtbl Int List Printf Prng Stats String

@@ -1,0 +1,1 @@
+lib/dists/model.mli: Lazy Prng

@@ -1,0 +1,326 @@
+type t =
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mu : float; sigma : float }
+  | Exponential of { rate : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Zipf of { exponent : float; ranks : int }
+  | Mixture of (float * t) list
+  | Truncated of { dist : t; lo : float; hi : float }
+
+let uniform ~lo ~hi =
+  if lo >= hi then invalid_arg "Model.uniform: requires lo < hi";
+  Uniform { lo; hi }
+
+let normal ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Model.normal: requires sigma > 0";
+  Normal { mu; sigma }
+
+let exponential ~rate =
+  if rate <= 0.0 then invalid_arg "Model.exponential: requires rate > 0";
+  Exponential { rate }
+
+let lognormal ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Model.lognormal: requires sigma > 0";
+  Lognormal { mu; sigma }
+
+let zipf ~exponent ~ranks =
+  if exponent <= 0.0 then invalid_arg "Model.zipf: requires exponent > 0";
+  if ranks <= 0 then invalid_arg "Model.zipf: requires ranks > 0";
+  Zipf { exponent; ranks }
+
+let mixture components =
+  if components = [] then invalid_arg "Model.mixture: empty component list";
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 components in
+  if List.exists (fun (w, _) -> w <= 0.0) components || total <= 0.0 then
+    invalid_arg "Model.mixture: weights must be positive";
+  Mixture (List.map (fun (w, d) -> (w /. total, d)) components)
+
+(* Cumulative probability tables for Zipf models, cached by parameters since
+   [t] values are immutable and the tables cost O(ranks) to build. *)
+let zipf_tables : (float * int, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_cumulative exponent ranks =
+  match Hashtbl.find_opt zipf_tables (exponent, ranks) with
+  | Some table -> table
+  | None ->
+    let raw = Array.init ranks (fun i -> (float_of_int (i + 1)) ** -.exponent) in
+    let total = Stats.Descriptive.kahan_sum raw in
+    let cum = Array.make ranks 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to ranks - 1 do
+      acc := !acc +. (raw.(i) /. total);
+      cum.(i) <- !acc
+    done;
+    cum.(ranks - 1) <- 1.0;
+    Hashtbl.replace zipf_tables (exponent, ranks) cum;
+    cum
+
+let zipf_pmf exponent ranks k =
+  if k < 1 || k > ranks then 0.0
+  else begin
+    let cum = zipf_cumulative exponent ranks in
+    if k = 1 then cum.(0) else cum.(k - 1) -. cum.(k - 2)
+  end
+
+let is_atom x =
+  let r = Float.round x in
+  Float.abs (x -. r) < 1e-9
+
+let rec cdf d x =
+  match d with
+  | Uniform { lo; hi } ->
+    if x < lo then 0.0 else if x > hi then 1.0 else (x -. lo) /. (hi -. lo)
+  | Normal { mu; sigma } -> Stats.Special.normal_cdf ((x -. mu) /. sigma)
+  | Exponential { rate } -> if x < 0.0 then 0.0 else 1.0 -. exp (-.rate *. x)
+  | Lognormal { mu; sigma } ->
+    if x <= 0.0 then 0.0 else Stats.Special.normal_cdf ((log x -. mu) /. sigma)
+  | Zipf { exponent; ranks } ->
+    let k = int_of_float (Float.floor x) in
+    if k < 1 then 0.0
+    else if k >= ranks then 1.0
+    else (zipf_cumulative exponent ranks).(k - 1)
+  | Mixture components ->
+    List.fold_left (fun acc (w, c) -> acc +. (w *. cdf c x)) 0.0 components
+  | Truncated { dist; lo; hi } ->
+    if x < lo then 0.0
+    else if x >= hi then 1.0
+    else (cdf dist x -. cdf dist lo) /. (cdf dist hi -. cdf dist lo)
+
+let rec pdf d x =
+  match d with
+  | Uniform { lo; hi } -> if x >= lo && x <= hi then 1.0 /. (hi -. lo) else 0.0
+  | Normal { mu; sigma } -> Stats.Special.normal_pdf ((x -. mu) /. sigma) /. sigma
+  | Exponential { rate } -> if x < 0.0 then 0.0 else rate *. exp (-.rate *. x)
+  | Lognormal { mu; sigma } ->
+    if x <= 0.0 then 0.0
+    else Stats.Special.normal_pdf ((log x -. mu) /. sigma) /. (x *. sigma)
+  | Zipf { exponent; ranks } ->
+    if is_atom x then zipf_pmf exponent ranks (int_of_float (Float.round x)) else 0.0
+  | Mixture components ->
+    List.fold_left (fun acc (w, c) -> acc +. (w *. pdf c x)) 0.0 components
+  | Truncated { dist; lo; hi } ->
+    if x < lo || x > hi then 0.0 else pdf dist x /. (cdf dist hi -. cdf dist lo)
+
+let truncated dist ~lo ~hi =
+  if lo >= hi then invalid_arg "Model.truncated: requires lo < hi";
+  let mass = cdf dist hi -. cdf dist lo in
+  if mass <= 0.0 then invalid_arg "Model.truncated: no mass on the interval";
+  Truncated { dist; lo; hi }
+
+let rec support d =
+  match d with
+  | Uniform { lo; hi } -> (lo, hi)
+  | Normal _ -> (Float.neg_infinity, Float.infinity)
+  | Exponential _ -> (0.0, Float.infinity)
+  | Lognormal _ -> (0.0, Float.infinity)
+  | Zipf { ranks; _ } -> (1.0, float_of_int ranks)
+  | Mixture components ->
+    List.fold_left
+      (fun (lo, hi) (_, c) ->
+        let clo, chi = support c in
+        (Float.min lo clo, Float.max hi chi))
+      (Float.infinity, Float.neg_infinity)
+      components
+  | Truncated { dist; lo; hi } ->
+    let slo, shi = support dist in
+    (Float.max lo slo, Float.min hi shi)
+
+let bisect_inv_cdf d p =
+  (* Establish finite brackets even for unbounded supports. *)
+  let lo0, hi0 = support d in
+  let lo = ref (if Float.is_finite lo0 then lo0 else -1.0) in
+  let hi = ref (if Float.is_finite hi0 then hi0 else 1.0) in
+  while cdf d !lo > p do
+    lo := (2.0 *. !lo) -. Float.abs !hi -. 1.0
+  done;
+  while cdf d !hi < p do
+    hi := (2.0 *. !hi) +. Float.abs !lo +. 1.0
+  done;
+  for _ = 1 to 200 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if cdf d mid < p then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let rec inv_cdf d p =
+  if not (p > 0.0 && p < 1.0) then invalid_arg "Model.inv_cdf: p must be in (0,1)";
+  match d with
+  | Uniform { lo; hi } -> lo +. (p *. (hi -. lo))
+  | Normal { mu; sigma } -> mu +. (sigma *. Stats.Special.normal_quantile p)
+  | Exponential { rate } -> -.log (1.0 -. p) /. rate
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. Stats.Special.normal_quantile p))
+  | Zipf { exponent; ranks } ->
+    let cum = zipf_cumulative exponent ranks in
+    let i = Stats.Array_util.float_lower_bound cum p in
+    float_of_int (Int.min (i + 1) ranks)
+  | Mixture _ -> bisect_inv_cdf d p
+  | Truncated { dist; lo; hi } ->
+    let flo = cdf dist lo and fhi = cdf dist hi in
+    let q = flo +. (p *. (fhi -. flo)) in
+    if q <= 0.0 || q >= 1.0 then bisect_inv_cdf d p
+    else Float.max lo (Float.min hi (inv_cdf dist q))
+
+let rec range_probability d a b =
+  if a > b then 0.0
+  else
+    match d with
+    | Zipf { exponent; ranks } ->
+      let k_lo = Int.max 1 (int_of_float (Float.ceil a)) in
+      let k_hi = Int.min ranks (int_of_float (Float.floor b)) in
+      if k_lo > k_hi then 0.0
+      else begin
+        let cum = zipf_cumulative exponent ranks in
+        let below = if k_lo = 1 then 0.0 else cum.(k_lo - 2) in
+        cum.(k_hi - 1) -. below
+      end
+    | Truncated { dist; lo; hi } ->
+      range_probability dist (Float.max a lo) (Float.min b hi)
+      /. (cdf dist hi -. cdf dist lo)
+    | Uniform _ | Normal _ | Exponential _ | Lognormal _ | Mixture _ -> cdf d b -. cdf d a
+
+let box_muller rng =
+  let u1 = 1.0 -. Prng.Xoshiro256pp.float rng in
+  let u2 = Prng.Xoshiro256pp.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let rec make_sampler d =
+  match d with
+  | Uniform { lo; hi } -> fun rng -> Prng.Xoshiro256pp.float_range rng lo hi
+  | Normal { mu; sigma } -> fun rng -> mu +. (sigma *. box_muller rng)
+  | Exponential { rate } ->
+    fun rng -> -.log (1.0 -. Prng.Xoshiro256pp.float rng) /. rate
+  | Lognormal { mu; sigma } -> fun rng -> exp (mu +. (sigma *. box_muller rng))
+  | Zipf { exponent; ranks } ->
+    let cum = zipf_cumulative exponent ranks in
+    fun rng ->
+      let u = Prng.Xoshiro256pp.float rng in
+      let i = Stats.Array_util.float_upper_bound cum u in
+      float_of_int (Int.min (i + 1) ranks)
+  | Mixture components ->
+    let samplers = List.map (fun (w, c) -> (w, make_sampler c)) components in
+    fun rng ->
+      let u = Prng.Xoshiro256pp.float rng in
+      let rec pick acc = function
+        | [] -> (* numeric slack: fall through to the last component *)
+          snd (List.hd (List.rev samplers))
+        | (w, s) :: rest -> if u < acc +. w || rest = [] then s else pick (acc +. w) rest
+      in
+      (pick 0.0 samplers) rng
+  | Truncated { dist; lo; hi } ->
+    (* Inversion through the parent quantile function keeps sampling O(1)
+       even for severe truncation. *)
+    let flo = cdf dist lo and fhi = cdf dist hi in
+    fun rng ->
+      let u = Prng.Xoshiro256pp.float rng in
+      let q = flo +. (u *. (fhi -. flo)) in
+      if q <= 0.0 then lo
+      else if q >= 1.0 then hi
+      else Float.max lo (Float.min hi (inv_cdf dist q))
+
+let sampler d = lazy (make_sampler d)
+
+let sample d rng = (make_sampler d) rng
+
+(* Numeric moments over a finite interval, for truncated continuous
+   parents. *)
+let numeric_moment d ~power =
+  let lo, hi = support d in
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Model: numeric moment needs a bounded support";
+  Stats.Integrate.simpson (fun x -> (x ** float_of_int power) *. pdf d x) ~a:lo ~b:hi ~n:4096
+
+let rec zipf_parent = function
+  | Zipf _ -> true
+  | Truncated { dist; _ } -> zipf_parent dist
+  | Uniform _ | Normal _ | Exponential _ | Lognormal _ | Mixture _ -> false
+
+let zipf_truncated_moment dist lo hi ~power =
+  (* Sum over the surviving atoms. *)
+  let rec atoms = function
+    | Zipf { exponent; ranks } -> (exponent, ranks)
+    | Truncated { dist; _ } -> atoms dist
+    | Uniform _ | Normal _ | Exponential _ | Lognormal _ | Mixture _ -> assert false
+  in
+  let exponent, ranks = atoms dist in
+  let k_lo = Int.max 1 (int_of_float (Float.ceil lo)) in
+  let k_hi = Int.min ranks (int_of_float (Float.floor hi)) in
+  let total = ref 0.0 and mass = ref 0.0 in
+  for k = k_lo to k_hi do
+    let p = zipf_pmf exponent ranks k in
+    mass := !mass +. p;
+    total := !total +. (p *. (float_of_int k ** float_of_int power))
+  done;
+  if !mass <= 0.0 then 0.0 else !total /. !mass
+
+let rec mean d =
+  match d with
+  | Uniform { lo; hi } -> 0.5 *. (lo +. hi)
+  | Normal { mu; _ } -> mu
+  | Exponential { rate } -> 1.0 /. rate
+  | Lognormal { mu; sigma } -> exp (mu +. (0.5 *. sigma *. sigma))
+  | Zipf { exponent; ranks } ->
+    let cum = zipf_cumulative exponent ranks in
+    let acc = ref cum.(0) in
+    for k = 2 to ranks do
+      acc := !acc +. (float_of_int k *. (cum.(k - 1) -. cum.(k - 2)))
+    done;
+    !acc
+  | Mixture components ->
+    List.fold_left (fun acc (w, c) -> acc +. (w *. mean c)) 0.0 components
+  | Truncated { dist; lo; hi } ->
+    if zipf_parent dist then zipf_truncated_moment dist lo hi ~power:1
+    else numeric_moment d ~power:1
+
+let rec second_moment d =
+  match d with
+  | Uniform { lo; hi } ->
+    let m = 0.5 *. (lo +. hi) in
+    (m *. m) +. (((hi -. lo) ** 2.0) /. 12.0)
+  | Normal { mu; sigma } -> (mu *. mu) +. (sigma *. sigma)
+  | Exponential { rate } -> 2.0 /. (rate *. rate)
+  | Lognormal { mu; sigma } -> exp ((2.0 *. mu) +. (2.0 *. sigma *. sigma))
+  | Zipf { exponent; ranks } ->
+    let cum = zipf_cumulative exponent ranks in
+    let acc = ref cum.(0) in
+    for k = 2 to ranks do
+      let p = cum.(k - 1) -. cum.(k - 2) in
+      acc := !acc +. (float_of_int (k * k) *. p)
+    done;
+    !acc
+  | Mixture components ->
+    List.fold_left (fun acc (w, c) -> acc +. (w *. second_moment c)) 0.0 components
+  | Truncated { dist; lo; hi } ->
+    if zipf_parent dist then zipf_truncated_moment dist lo hi ~power:2
+    else numeric_moment d ~power:2
+
+let stddev d =
+  let m = mean d in
+  sqrt (Float.max 0.0 (second_moment d -. (m *. m)))
+
+let sqrt_pi = 1.7724538509055159
+
+let roughness_deriv1 = function
+  | Uniform _ -> Some 0.0
+  | Normal { sigma; _ } -> Some (1.0 /. (4.0 *. sqrt_pi *. (sigma ** 3.0)))
+  | Exponential { rate } -> Some ((rate ** 3.0) /. 2.0)
+  | Lognormal _ | Zipf _ | Mixture _ | Truncated _ -> None
+
+let roughness_deriv2 = function
+  | Uniform _ -> Some 0.0
+  | Normal { sigma; _ } -> Some (3.0 /. (8.0 *. sqrt_pi *. (sigma ** 5.0)))
+  | Exponential { rate } -> Some ((rate ** 5.0) /. 2.0)
+  | Lognormal _ | Zipf _ | Mixture _ | Truncated _ -> None
+
+let rec to_string = function
+  | Uniform { lo; hi } -> Printf.sprintf "uniform(lo=%g, hi=%g)" lo hi
+  | Normal { mu; sigma } -> Printf.sprintf "normal(mu=%g, sigma=%g)" mu sigma
+  | Exponential { rate } -> Printf.sprintf "exponential(rate=%g)" rate
+  | Lognormal { mu; sigma } -> Printf.sprintf "lognormal(mu=%g, sigma=%g)" mu sigma
+  | Zipf { exponent; ranks } -> Printf.sprintf "zipf(s=%g, ranks=%d)" exponent ranks
+  | Mixture components ->
+    let parts =
+      List.map (fun (w, c) -> Printf.sprintf "%.3f*%s" w (to_string c)) components
+    in
+    "mixture[" ^ String.concat "; " parts ^ "]"
+  | Truncated { dist; lo; hi } ->
+    Printf.sprintf "truncated(%s, lo=%g, hi=%g)" (to_string dist) lo hi

@@ -1,0 +1,99 @@
+(** Distribution models used to generate the synthetic data files of the
+    paper (uniform, standard normal, exponential, with Zipf as the
+    distribution the exponential substitutes) and the cluster mixtures behind
+    the simulated "real" files.
+
+    Each model exposes its density, cumulative distribution, quantile
+    function, a sampler, and — where they exist in closed form — the
+    roughness functionals [int f'^2] and [int f''^2] that appear in the
+    AMISE-optimal smoothing formulas (Sections 4.1-4.2 of the paper).  Tests
+    use the closed forms as ground truth for the plug-in estimators. *)
+
+type t =
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mu : float; sigma : float }
+  | Exponential of { rate : float }
+  | Lognormal of { mu : float; sigma : float }
+      (** [exp(N(mu, sigma^2))] — the heavy-tailed shape of attributes like
+          the census instance weights *)
+  | Zipf of { exponent : float; ranks : int }
+      (** Discrete Zipf on ranks [1..ranks] with [P(k) proportional to
+          k^-exponent]; treated as a distribution over the real line with
+          atoms at integer ranks. *)
+  | Mixture of (float * t) list
+      (** Weighted mixture; weights must be positive and are normalized. *)
+  | Truncated of { dist : t; lo : float; hi : float }
+      (** [dist] conditioned on [[lo, hi]] (mass outside rejected and the
+          remainder renormalized) — the effect of the paper's "records
+          outside the domain are not considered" rule. *)
+
+val uniform : lo:float -> hi:float -> t
+(** @raise Invalid_argument if [lo >= hi]. *)
+
+val normal : mu:float -> sigma:float -> t
+(** @raise Invalid_argument if [sigma <= 0]. *)
+
+val exponential : rate:float -> t
+(** @raise Invalid_argument if [rate <= 0]. *)
+
+val lognormal : mu:float -> sigma:float -> t
+(** @raise Invalid_argument if [sigma <= 0]. *)
+
+val zipf : exponent:float -> ranks:int -> t
+(** @raise Invalid_argument if [exponent <= 0 || ranks <= 0]. *)
+
+val mixture : (float * t) list -> t
+(** @raise Invalid_argument on an empty list or non-positive weights. *)
+
+val truncated : t -> lo:float -> hi:float -> t
+(** @raise Invalid_argument if [lo >= hi] or the distribution carries no
+    mass on [[lo, hi]]. *)
+
+val pdf : t -> float -> float
+(** Density at a point.  For {!Zipf} this is the probability mass when the
+    argument rounds to an atom, else [0]; mixtures are weighted sums. *)
+
+val cdf : t -> float -> float
+(** Cumulative distribution function, right-continuous. *)
+
+val inv_cdf : t -> float -> float
+(** [inv_cdf d p] is the [p]-quantile.  Closed form where available,
+    bisection on {!cdf} for mixtures.
+    @raise Invalid_argument unless [0 < p < 1]. *)
+
+val range_probability : t -> float -> float -> float
+(** [range_probability d a b] is [P(a <= X <= b)], the distribution
+    selectivity of the range query [Q(a,b)] in the paper's terminology.
+    Returns 0 when [a > b].  Inclusive of atoms at both endpoints for
+    discrete models. *)
+
+val sample : t -> Prng.Xoshiro256pp.t -> float
+(** Draw one value.  Normal uses Box-Muller, exponential inversion, Zipf a
+    precomputed CDF table (cached per call via {!sampler} below for bulk
+    use). *)
+
+val sampler : t -> (Prng.Xoshiro256pp.t -> float) Lazy.t
+(** [sampler d] forces any precomputation (e.g. the Zipf CDF table) once and
+    returns a fast draw function; prefer it when drawing many values. *)
+
+val mean : t -> float
+(** Expected value. *)
+
+val stddev : t -> float
+(** Standard deviation. *)
+
+val support : t -> float * float
+(** Smallest closed interval carrying all mass; normal returns
+    [(-inf, +inf)]. *)
+
+val roughness_deriv1 : t -> float option
+(** [int (f')^2 dx] in closed form: [Some] for uniform (0 away from the
+    jumps), normal [1 / (4 sqrt pi sigma^3)] and exponential [rate^3 / 2];
+    [None] for Zipf and mixtures. *)
+
+val roughness_deriv2 : t -> float option
+(** [int (f'')^2 dx] in closed form: normal [3 / (8 sqrt pi sigma^5)],
+    exponential [rate^5 / 2]; [None] otherwise. *)
+
+val to_string : t -> string
+(** Human-readable description, e.g. ["normal(mu=0, sigma=1)"]. *)

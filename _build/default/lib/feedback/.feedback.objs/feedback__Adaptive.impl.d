@@ -1,0 +1,1 @@
+lib/feedback/adaptive.ml: Array Float Int Stats

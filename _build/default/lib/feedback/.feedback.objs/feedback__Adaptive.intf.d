@@ -1,0 +1,1 @@
+lib/feedback/adaptive.mli:

@@ -1,0 +1,84 @@
+type t = {
+  lo : float;
+  width : float; (* bucket width *)
+  weights : float array;
+  learning_rate : float;
+  mutable observations : int;
+}
+
+let create ?(buckets = 64) ?(learning_rate = 0.5) ~domain:(lo, hi) ~base () =
+  if buckets <= 0 then invalid_arg "Adaptive.create: buckets must be positive";
+  if lo >= hi then invalid_arg "Adaptive.create: empty domain";
+  if not (learning_rate > 0.0 && learning_rate <= 1.0) then
+    invalid_arg "Adaptive.create: learning_rate must be in (0, 1]";
+  let width = (hi -. lo) /. float_of_int buckets in
+  let weights =
+    Array.init buckets (fun i ->
+        let a = lo +. (float_of_int i *. width) in
+        Float.max 0.0 (base ~a ~b:(a +. width)))
+  in
+  { lo; width; weights; learning_rate; observations = 0 }
+
+let buckets t = Array.length t.weights
+
+(* Overlap fraction of bucket [i] with [a, b]. *)
+let overlap t i a b =
+  let c_lo = t.lo +. (float_of_int i *. t.width) in
+  let c_hi = c_lo +. t.width in
+  let o = Float.min b c_hi -. Float.max a c_lo in
+  if o <= 0.0 then 0.0 else o /. t.width
+
+let bucket_range t a b =
+  let k = buckets t in
+  let first = Int.max 0 (int_of_float (Float.floor ((a -. t.lo) /. t.width))) in
+  let last = Int.min (k - 1) (int_of_float (Float.floor ((b -. t.lo) /. t.width))) in
+  (first, last)
+
+let raw_selectivity t ~a ~b =
+  if a > b then 0.0
+  else begin
+    let first, last = bucket_range t a b in
+    let acc = ref 0.0 in
+    for i = first to last do
+      acc := !acc +. (t.weights.(i) *. overlap t i a b)
+    done;
+    !acc
+  end
+
+let selectivity t ~a ~b = Float.max 0.0 (Float.min 1.0 (raw_selectivity t ~a ~b))
+
+let observe t ~a ~b ~actual =
+  if not (actual >= 0.0 && actual <= 1.0) then
+    invalid_arg "Adaptive.observe: actual selectivity must be in [0, 1]";
+  if a <= b then begin
+    t.observations <- t.observations + 1;
+    let first, last = bucket_range t a b in
+    let estimated = raw_selectivity t ~a ~b in
+    let error = t.learning_rate *. (actual -. estimated) in
+    (* Distribute the error over the overlapped buckets proportionally to
+       their current contribution (uniformly when the region is empty), the
+       ST-histogram refinement rule. *)
+    if error <> 0.0 then begin
+      let contributions = Array.init (last - first + 1) (fun j ->
+          t.weights.(first + j) *. overlap t (first + j) a b)
+      in
+      let total = Array.fold_left ( +. ) 0.0 contributions in
+      for j = 0 to last - first do
+        let share =
+          if total > 0.0 then contributions.(j) /. total
+          else 1.0 /. float_of_int (last - first + 1)
+        in
+        let i = first + j in
+        let o = overlap t i a b in
+        if o > 0.0 then
+          (* The bucket absorbs its share of the error, scaled back up by
+             the overlap so that a repeat of the same query sees the
+             correction in full. *)
+          t.weights.(i) <- Float.max 0.0 (t.weights.(i) +. (error *. share /. o))
+      done
+    end
+  end
+
+let feedback_count t = t.observations
+
+let total_mass t = Stats.Descriptive.kahan_sum t.weights

@@ -1,0 +1,1 @@
+lib/histograms/ash.ml: Array Float Histogram

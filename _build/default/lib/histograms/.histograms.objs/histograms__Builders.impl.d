@@ -1,0 +1,1 @@
+lib/histograms/builders.ml: Array Float Histogram List Stats

@@ -1,0 +1,1 @@
+lib/histograms/builders.mli: Histogram

@@ -1,0 +1,1 @@
+lib/histograms/frequency_polygon.ml: Array Builders Float Histogram Int Stats

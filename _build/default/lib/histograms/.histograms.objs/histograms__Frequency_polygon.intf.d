@@ -1,0 +1,1 @@
+lib/histograms/frequency_polygon.mli: Histogram

@@ -1,0 +1,1 @@
+lib/histograms/histogram.ml: Array Float Int Stats

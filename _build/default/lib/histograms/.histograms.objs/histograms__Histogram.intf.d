@@ -1,0 +1,1 @@
+lib/histograms/histogram.mli:

@@ -1,0 +1,1 @@
+lib/histograms/serial.ml: Array Float Int Stats

@@ -1,0 +1,1 @@
+lib/histograms/v_optimal.ml: Array Float Histogram Int List

@@ -1,0 +1,1 @@
+lib/histograms/v_optimal.mli: Histogram

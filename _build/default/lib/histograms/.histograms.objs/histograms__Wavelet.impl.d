@@ -1,0 +1,1 @@
+lib/histograms/wavelet.ml: Array Float Fun Histogram V_optimal

@@ -1,0 +1,64 @@
+let check_domain (lo, hi) = if lo >= hi then invalid_arg "Histograms: empty domain"
+
+let equi_width ~domain:(lo, hi) ~bins samples =
+  check_domain (lo, hi);
+  if bins <= 0 then invalid_arg "Builders.equi_width: bins must be positive";
+  let edges =
+    Array.init (bins + 1) (fun i ->
+        lo +. (float_of_int i /. float_of_int bins *. (hi -. lo)))
+  in
+  (* Guard against rounding: the last edge must close the domain exactly. *)
+  edges.(bins) <- hi;
+  Histogram.of_samples ~edges samples
+
+let uniform ~domain samples = equi_width ~domain ~bins:1 samples
+
+(* Deduplicate a sorted edge candidate list and force the domain borders. *)
+let finalize_edges ~lo ~hi interior =
+  let all = List.sort_uniq Float.compare (lo :: hi :: interior) in
+  let all = List.filter (fun e -> e >= lo && e <= hi) all in
+  Array.of_list all
+
+let equi_depth ~domain:(lo, hi) ~bins samples =
+  check_domain (lo, hi);
+  if bins <= 0 then invalid_arg "Builders.equi_depth: bins must be positive";
+  if Array.length samples = 0 then invalid_arg "Builders.equi_depth: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let interior =
+    List.init (bins - 1) (fun i ->
+        Stats.Quantile.quantile_sorted sorted (float_of_int (i + 1) /. float_of_int bins))
+  in
+  let edges = finalize_edges ~lo ~hi interior in
+  Histogram.of_samples ~edges samples
+
+let max_diff ~domain:(lo, hi) ~bins samples =
+  check_domain (lo, hi);
+  if bins <= 0 then invalid_arg "Builders.max_diff: bins must be positive";
+  if Array.length samples = 0 then invalid_arg "Builders.max_diff: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  (* Gaps between adjacent distinct sample values, with their midpoints. *)
+  let gaps = ref [] in
+  for i = 1 to n - 1 do
+    let gap = sorted.(i) -. sorted.(i - 1) in
+    if gap > 0.0 then gaps := (gap, 0.5 *. (sorted.(i - 1) +. sorted.(i))) :: !gaps
+  done;
+  let sorted_gaps =
+    List.sort (fun (g1, _) (g2, _) -> Float.compare g2 g1) !gaps
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | (_, mid) :: rest -> mid :: take (k - 1) rest
+  in
+  let interior = take (bins - 1) sorted_gaps in
+  let edges = finalize_edges ~lo ~hi interior in
+  Histogram.of_samples ~edges samples
+
+let equal_bin_counts h =
+  let counts = Histogram.counts h in
+  let mn = Array.fold_left Float.min counts.(0) counts in
+  let mx = Array.fold_left Float.max counts.(0) counts in
+  mx -. mn <= 1.0

@@ -1,0 +1,27 @@
+(** Construction policies for the histogram types compared in the paper. *)
+
+val equi_width : domain:float * float -> bins:int -> float array -> Histogram.t
+(** All bins have width [(hi - lo) / bins] (Section 3.1).
+    @raise Invalid_argument if [bins <= 0], the domain is empty or the
+    sample is empty. *)
+
+val uniform : domain:float * float -> float array -> Histogram.t
+(** The uniform estimator: a one-bin histogram, i.e. System R's uniformity
+    assumption, the baseline "loser" of Figure 8. *)
+
+val equi_depth : domain:float * float -> bins:int -> float array -> Histogram.t
+(** Bin boundaries at sample quantiles [i / bins], so every bin holds the
+    same number of samples (Piatetsky-Shapiro & Connell [3]).  Duplicate
+    quantiles (heavy duplication) collapse into fewer, wider bins, so the
+    result may have fewer than [bins] bins. *)
+
+val max_diff : domain:float * float -> bins:int -> float array -> Histogram.t
+(** Max-diff histogram (Poosala et al. [8]): boundaries are placed in the
+    [bins - 1] largest gaps between adjacent sorted sample values (gap
+    midpoints).  With fewer distinct values than bins the result shrinks
+    accordingly. *)
+
+val equal_bin_counts : Histogram.t -> bool
+(** True when every bin of the histogram holds the same sample count up to
+    one unit — the defining property of an equi-depth histogram on
+    duplicate-free data (used by tests). *)

@@ -1,0 +1,35 @@
+(** Frequency polygon (Scott [11], §4): the piecewise-linear interpolation
+    of an equi-width histogram's bin-center heights, with zero-height knots
+    half a bin outside each border.
+
+    The polygon removes the histogram's discontinuous jump points (the
+    deficiency Section 3.1 of the paper highlights) at no extra storage
+    beyond the bin counts, and improves the MISE convergence rate from
+    [O(n^-2/3)] to [O(n^-4/5)] — the same rate as kernel estimators.  It
+    sits exactly between the equi-width histogram and the kernel estimator
+    in the paper's design space, which is why it joins the extension
+    benches. *)
+
+type t
+
+val build : domain:float * float -> bins:int -> float array -> t
+(** [build ~domain ~bins samples] constructs the underlying equi-width
+    histogram and its interpolation knots.
+    @raise Invalid_argument if [bins <= 0], the domain is empty or the
+    sample is empty. *)
+
+val of_histogram : Histogram.t -> t
+(** Interpolate an existing histogram.  The histogram must be equi-width
+    (knots are placed at bin centers); @raise Invalid_argument if bins
+    differ in width by more than 1e-9 relatively. *)
+
+val bins : t -> int
+
+val density : t -> float -> float
+(** Piecewise-linear density; 0 beyond half a bin outside the domain. *)
+
+val selectivity : t -> a:float -> b:float -> float
+(** Exact integral of the piecewise-linear density over [[a, b]], clamped
+    to [[0, 1]].  Total mass over the real line is exactly 1, of which a
+    small boundary share lives within half a bin outside the domain (the
+    polygon's analog of the kernel boundary leakage). *)

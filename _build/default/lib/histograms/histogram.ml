@@ -1,0 +1,74 @@
+type t = { edges : float array; counts : float array; total : float }
+
+let validate_edges edges =
+  let k1 = Array.length edges in
+  if k1 < 2 then invalid_arg "Histogram: need at least two edges";
+  for i = 1 to k1 - 1 do
+    if not (edges.(i) > edges.(i - 1)) then
+      invalid_arg "Histogram: edges must be strictly increasing"
+  done
+
+let create ~edges ~counts =
+  validate_edges edges;
+  if Array.length edges <> Array.length counts + 1 then
+    invalid_arg "Histogram.create: need one more edge than counts";
+  if Array.exists (fun c -> c < 0.0 || not (Float.is_finite c)) counts then
+    invalid_arg "Histogram.create: counts must be non-negative and finite";
+  let total = Stats.Descriptive.kahan_sum counts in
+  if total <= 0.0 then invalid_arg "Histogram.create: total count must be positive";
+  { edges = Array.copy edges; counts = Array.copy counts; total }
+
+let of_samples ~edges samples =
+  validate_edges edges;
+  if Array.length samples = 0 then invalid_arg "Histogram.of_samples: empty sample";
+  let k = Array.length edges - 1 in
+  let counts = Array.make k 0.0 in
+  Array.iter
+    (fun x ->
+      (* Bin i covers (c_i, c_{i+1}]; lower_bound on edges gives the number
+         of edges < x... use upper-bound semantics to locate the bin. *)
+      let j = Stats.Array_util.float_lower_bound edges x in
+      (* j is the first edge index with edges.(j) >= x; the bin left of that
+         edge is j - 1 (clamped into range so out-of-range samples land in
+         the border bins). *)
+      let bin = Int.max 0 (Int.min (k - 1) (j - 1)) in
+      counts.(bin) <- counts.(bin) +. 1.0)
+    samples;
+  { edges = Array.copy edges; counts; total = float_of_int (Array.length samples) }
+
+let bins t = Array.length t.counts
+let edges t = t.edges
+let counts t = t.counts
+let total_count t = t.total
+
+let selectivity t ~a ~b =
+  if a > b then 0.0
+  else begin
+    let k = bins t in
+    (* Bins intersecting [a, b]: from the bin containing a to the bin
+       containing b. *)
+    let first = Int.max 0 (Stats.Array_util.float_upper_bound t.edges a - 1) in
+    let s = ref 0.0 in
+    let i = ref first in
+    while !i < k && t.edges.(!i) <= b do
+      let lo = t.edges.(!i) and hi = t.edges.(!i + 1) in
+      let overlap = Float.min b hi -. Float.max a lo in
+      if overlap > 0.0 then s := !s +. (t.counts.(!i) /. (hi -. lo) *. overlap);
+      incr i
+    done;
+    Float.max 0.0 (Float.min 1.0 (!s /. t.total))
+  end
+
+let density t x =
+  let k = bins t in
+  if x < t.edges.(0) || x > t.edges.(k) then 0.0
+  else begin
+    let j = Stats.Array_util.float_lower_bound t.edges x in
+    let bin = Int.max 0 (Int.min (k - 1) (j - 1)) in
+    let width = t.edges.(bin + 1) -. t.edges.(bin) in
+    t.counts.(bin) /. (t.total *. width)
+  end
+
+let mean_width t =
+  let k = bins t in
+  (t.edges.(k) -. t.edges.(0)) /. float_of_int k

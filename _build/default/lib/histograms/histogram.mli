@@ -1,0 +1,45 @@
+(** Bin-based density and selectivity estimation (Section 3.1).
+
+    A histogram is a strictly increasing edge sequence [c_0 < ... < c_k]
+    plus per-bin sample counts [n_i].  Selectivity follows the paper's
+    formula (4): each bin contributes its count times the overlapped
+    fraction of its width, under the uniform-within-bin assumption.  Counts
+    are floats so that the average shifted histogram can reuse the same
+    machinery with fractional weights. *)
+
+type t
+
+val create : edges:float array -> counts:float array -> t
+(** [create ~edges ~counts] validates [Array.length edges = Array.length
+    counts + 1], strict monotonicity of [edges], non-negative counts and a
+    positive total count.
+    @raise Invalid_argument otherwise. *)
+
+val of_samples : edges:float array -> float array -> t
+(** [of_samples ~edges samples] bins the samples: bin [i] receives samples
+    in [(c_i, c_{i+1}]] with the first bin closed on the left, as in the
+    paper's bin definition.  Samples outside [[c_0, c_k]] are counted into
+    the first/last bin (callers pass edges covering the domain).
+    @raise Invalid_argument on empty [samples] or invalid [edges]. *)
+
+val bins : t -> int
+val edges : t -> float array
+(** Shared storage: do not mutate. *)
+
+val counts : t -> float array
+(** Shared storage: do not mutate. *)
+
+val total_count : t -> float
+
+val selectivity : t -> a:float -> b:float -> float
+(** Formula (4): [1/n * sum_i n_i / h_i * psi_i(a, b)] where [psi_i] is the
+    length of the overlap of bin [i] with [[a, b]].  0 when [a > b]; clamped
+    to [[0, 1]]. *)
+
+val density : t -> float -> float
+(** [density t x] is [n_i / (n h_i)] for the bin containing [x]; 0 outside
+    the histogram range.  The bin containing [x] is the unique [i] with
+    [c_i < x <= c_{i+1}] (first bin closed on the left). *)
+
+val mean_width : t -> float
+(** Average bin width, [ (c_k - c_0) / k ]. *)

@@ -1,0 +1,70 @@
+type bucket = {
+  values : float array; (* member values, sorted ascending *)
+  avg_freq : float;
+  min_freq : float;
+  max_freq : float;
+}
+
+type t = { buckets : bucket array; n : float }
+
+let build ~bins samples =
+  if bins <= 0 then invalid_arg "Serial.build: bins must be positive";
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Serial.build: empty sample";
+  (* Distinct values with frequencies. *)
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let distinct = ref [] in
+  let run_start = ref 0 in
+  for i = 1 to n do
+    if i = n || sorted.(i) <> sorted.(!run_start) then begin
+      distinct := (sorted.(!run_start), i - !run_start) :: !distinct;
+      run_start := i
+    end
+  done;
+  let by_freq = Array.of_list !distinct in
+  (* Descending frequency; ties broken by value for determinism. *)
+  Array.sort
+    (fun (v1, f1) (v2, f2) -> if f1 <> f2 then compare f2 f1 else Float.compare v1 v2)
+    by_freq;
+  let m = Array.length by_freq in
+  let k = Int.min bins m in
+  let buckets =
+    Array.init k (fun b ->
+        let start = b * m / k and stop = (b + 1) * m / k in
+        let members = Array.sub by_freq start (stop - start) in
+        let values = Array.map fst members in
+        Array.sort Float.compare values;
+        let freqs = Array.map (fun (_, f) -> float_of_int f) members in
+        let total = Array.fold_left ( +. ) 0.0 freqs in
+        {
+          values;
+          avg_freq = total /. float_of_int (Array.length freqs);
+          min_freq = Array.fold_left Float.min freqs.(0) freqs;
+          max_freq = Array.fold_left Float.max freqs.(0) freqs;
+        })
+  in
+  { buckets; n = float_of_int n }
+
+let bucket_count t = Array.length t.buckets
+
+let storage_entries t =
+  Array.fold_left (fun acc b -> acc + Array.length b.values) 0 t.buckets
+
+let selectivity t ~a ~b =
+  if a > b then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun bucket ->
+        let members =
+          Stats.Array_util.float_upper_bound bucket.values b
+          - Stats.Array_util.float_lower_bound bucket.values a
+        in
+        acc := !acc +. (bucket.avg_freq *. float_of_int members))
+      t.buckets;
+    Float.max 0.0 (Float.min 1.0 (!acc /. t.n))
+  end
+
+let frequency_spread t =
+  Array.fold_left (fun acc b -> Float.max acc (b.max_freq -. b.min_freq)) 0.0 t.buckets

@@ -1,0 +1,37 @@
+(** Serial histogram (Ioannidis & Christodoulakis [2]).
+
+    The paper's taxonomy (Sections 1-2) contrasts histograms for
+    {e categorical} domains with those for metric domains: a serial
+    histogram groups attribute values by {e frequency} (buckets are
+    contiguous runs of the frequency-sorted value list), which is optimal
+    for limiting join-size error propagation but has no relationship to
+    value adjacency — so range queries are only supported by remembering
+    which values landed in which bucket, defeating the compression.
+
+    This implementation is faithful to that trade-off: buckets store their
+    (sorted) member values, each approximated by the bucket's average
+    frequency.  It exists to make the taxonomy measurable — on the paper's
+    large metric domains its accuracy collapses to pure sampling while its
+    storage is O(distinct values), which is exactly why the paper studies
+    equi-width/equi-depth/max-diff histograms there instead. *)
+
+type t
+
+val build : bins:int -> float array -> t
+(** [build ~bins samples] groups the distinct sample values by descending
+    frequency into [bins] buckets of (near-)equal value counts.
+    @raise Invalid_argument if [bins <= 0] or the sample is empty. *)
+
+val bucket_count : t -> int
+
+val storage_entries : t -> int
+(** Number of stored values — the serial histogram's storage cost, equal to
+    the number of distinct sample values. *)
+
+val selectivity : t -> a:float -> b:float -> float
+(** Sum over buckets of [average frequency * members in range / n]. *)
+
+val frequency_spread : t -> float
+(** Maximum over buckets of (max member frequency - min member frequency);
+    0 means the grouping is perfectly serial for the sample, the property
+    the variant optimizes.  Exposed for tests. *)

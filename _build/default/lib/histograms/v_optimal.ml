@@ -1,0 +1,88 @@
+let micro_frequencies ~granularity ~domain:(lo, hi) samples =
+  if granularity <= 0 then invalid_arg "V_optimal.micro_frequencies: granularity must be positive";
+  if lo >= hi then invalid_arg "V_optimal.micro_frequencies: empty domain";
+  if Array.length samples = 0 then invalid_arg "V_optimal.micro_frequencies: empty sample";
+  let freqs = Array.make granularity 0.0 in
+  let w = (hi -. lo) /. float_of_int granularity in
+  Array.iter
+    (fun x ->
+      let i = Int.max 0 (Int.min (granularity - 1) (int_of_float (Float.floor ((x -. lo) /. w)))) in
+      freqs.(i) <- freqs.(i) +. 1.0)
+    samples;
+  freqs
+
+(* Prefix sums give O(1) within-segment SSE:
+   sse(i, j) = sum f^2 - (sum f)^2 / (j - i + 1). *)
+let prefix_sums freqs =
+  let m = Array.length freqs in
+  let s = Array.make (m + 1) 0.0 and s2 = Array.make (m + 1) 0.0 in
+  for i = 0 to m - 1 do
+    s.(i + 1) <- s.(i) +. freqs.(i);
+    s2.(i + 1) <- s2.(i) +. (freqs.(i) *. freqs.(i))
+  done;
+  (s, s2)
+
+let segment_sse s s2 i j =
+  (* micro cells i..j inclusive *)
+  let len = float_of_int (j - i + 1) in
+  let sum = s.(j + 1) -. s.(i) in
+  Float.max 0.0 (s2.(j + 1) -. s2.(i) -. (sum *. sum /. len))
+
+let partition_sse freqs ~boundaries =
+  let m = Array.length freqs in
+  let s, s2 = prefix_sums freqs in
+  let rec go start acc = function
+    | [] -> acc +. segment_sse s s2 start (m - 1)
+    | b :: rest ->
+      if b <= start || b >= m then invalid_arg "V_optimal.partition_sse: bad boundary";
+      go b (acc +. segment_sse s s2 start (b - 1)) rest
+  in
+  go 0 0.0 boundaries
+
+let build_with_cost ?(granularity = 360) ~domain:(lo, hi) ~bins samples =
+  if bins <= 0 then invalid_arg "V_optimal.build: bins must be positive";
+  if granularity < bins then invalid_arg "V_optimal.build: granularity must be >= bins";
+  let freqs = micro_frequencies ~granularity ~domain:(lo, hi) samples in
+  let m = granularity in
+  let s, s2 = prefix_sums freqs in
+  let k = Int.min bins m in
+  (* dp.(kk).(j): minimal SSE of splitting cells 0..j into kk+1 segments. *)
+  let inf = Float.infinity in
+  let dp = Array.make_matrix k m inf in
+  let parent = Array.make_matrix k m (-1) in
+  for j = 0 to m - 1 do
+    dp.(0).(j) <- segment_sse s s2 0 j
+  done;
+  for kk = 1 to k - 1 do
+    for j = kk to m - 1 do
+      (* last segment is i..j; previous kk segments cover 0..i-1 *)
+      let best = ref inf and best_i = ref (-1) in
+      for i = kk to j do
+        let c = dp.(kk - 1).(i - 1) +. segment_sse s s2 i j in
+        if c < !best then begin
+          best := c;
+          best_i := i
+        end
+      done;
+      dp.(kk).(j) <- !best;
+      parent.(kk).(j) <- !best_i
+    done
+  done;
+  let cost = dp.(k - 1).(m - 1) in
+  (* Recover the boundaries. *)
+  let rec backtrack kk j acc =
+    if kk = 0 then acc
+    else begin
+      let i = parent.(kk).(j) in
+      backtrack (kk - 1) (i - 1) (i :: acc)
+    end
+  in
+  let boundaries = backtrack (k - 1) (m - 1) [] in
+  let w = (hi -. lo) /. float_of_int m in
+  let edge_of_cell i = lo +. (float_of_int i *. w) in
+  let interior = List.map edge_of_cell boundaries in
+  let edges = Array.of_list ((lo :: interior) @ [ hi ]) in
+  (Histogram.of_samples ~edges samples, cost)
+
+let build ?granularity ~domain ~bins samples =
+  fst (build_with_cost ?granularity ~domain ~bins samples)

@@ -1,0 +1,35 @@
+(** V-optimal histogram (Jagadish et al. [7]; the quality target of Poosala
+    et al. [8]): bin boundaries minimizing the total within-bin variance of
+    the frequency distribution, computed by dynamic programming.
+
+    Exact V-optimal DP is quadratic in the number of distinct values, so
+    the sample is first aggregated onto a fine equi-width micro-grid
+    (resolution [granularity], default 360 cells); the DP then runs on
+    micro-cell frequencies in [O(bins * granularity^2)], which is exact for
+    the aggregated distribution and fast for the paper's sample sizes.
+    Extension beyond the paper, included in the histogram ablation. *)
+
+val micro_frequencies : granularity:int -> domain:float * float -> float array -> float array
+(** Per-micro-cell sample counts — the frequency vector the DP optimizes
+    over.  @raise Invalid_argument if [granularity <= 0], the domain is
+    empty or the sample is empty. *)
+
+val partition_sse : float array -> boundaries:int list -> float
+(** [partition_sse freqs ~boundaries] is the V-optimal objective of the
+    partition of [freqs] whose segments end before each boundary index:
+    the sum over segments of the within-segment sum of squared deviations
+    from the segment mean.  [boundaries] must be sorted interior indices in
+    [(0, length)].  Exposed for the optimality tests. *)
+
+val build_with_cost :
+  ?granularity:int -> domain:float * float -> bins:int -> float array -> Histogram.t * float
+(** [build_with_cost ~domain ~bins samples] returns the V-optimal partition
+    as an ordinary {!Histogram.t} (edges on micro-grid boundaries, true
+    sample counts per bin) together with its objective value.  The result
+    may have fewer than [bins] bins when fewer micro-cells are occupied.
+    @raise Invalid_argument if [bins <= 0], [granularity < bins], the
+    domain is empty or the sample is empty. *)
+
+val build :
+  ?granularity:int -> domain:float * float -> bins:int -> float array -> Histogram.t
+(** {!build_with_cost} without the cost. *)

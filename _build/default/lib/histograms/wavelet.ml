@@ -1,0 +1,103 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* Pyramid layout: index 0 holds the overall average; each level's detail
+   coefficients follow.  Unnormalized (average, difference/2) pairs keep the
+   arithmetic simple; normalization happens only for thresholding. *)
+
+let haar_forward v =
+  let n = Array.length v in
+  if not (is_power_of_two n) then
+    invalid_arg "Wavelet.haar_forward: length must be a positive power of two";
+  let a = Array.copy v in
+  let tmp = Array.make n 0.0 in
+  let len = ref n in
+  while !len > 1 do
+    let half = !len / 2 in
+    for i = 0 to half - 1 do
+      tmp.(i) <- 0.5 *. (a.(2 * i) +. a.((2 * i) + 1));
+      tmp.(half + i) <- 0.5 *. (a.(2 * i) -. a.((2 * i) + 1))
+    done;
+    Array.blit tmp 0 a 0 !len;
+    len := half
+  done;
+  a
+
+let haar_inverse v =
+  let n = Array.length v in
+  if not (is_power_of_two n) then
+    invalid_arg "Wavelet.haar_inverse: length must be a positive power of two";
+  let a = Array.copy v in
+  let tmp = Array.make n 0.0 in
+  let len = ref 1 in
+  while !len < n do
+    let half = !len in
+    for i = 0 to half - 1 do
+      tmp.(2 * i) <- a.(i) +. a.(half + i);
+      tmp.((2 * i) + 1) <- a.(i) -. a.(half + i)
+    done;
+    Array.blit tmp 0 a 0 (2 * half);
+    len := 2 * half
+  done;
+  a
+
+(* Level of a pyramid index: coefficient i (> 0) belongs to the detail block
+   starting at the largest power of two <= i; deeper blocks describe finer
+   resolutions and carry less L2 weight per unit of unnormalized value. *)
+let level_of_index i =
+  if i = 0 then 0
+  else begin
+    let l = ref 0 and v = ref i in
+    while !v > 1 do
+      v := !v / 2;
+      incr l
+    done;
+    !l + 1
+  end
+
+let compress ~coefficients v =
+  if coefficients <= 0 then invalid_arg "Wavelet.compress: coefficients must be positive";
+  let n = Array.length v in
+  if n = 0 then invalid_arg "Wavelet.compress: empty vector";
+  let padded_len =
+    let rec grow m = if m >= n then m else grow (2 * m) in
+    grow 1
+  in
+  let padded = Array.make padded_len 0.0 in
+  Array.blit v 0 padded 0 n;
+  let coeffs = haar_forward padded in
+  if coefficients < padded_len then begin
+    (* L2 norm of the unnormalized coefficient at pyramid level l scales as
+       2^((levels - l)/2); rank by that weight. *)
+    let levels = level_of_index (padded_len - 1) in
+    let weight i =
+      let l = level_of_index i in
+      Float.abs coeffs.(i) *. (2.0 ** (0.5 *. float_of_int (levels - l)))
+    in
+    let order = Array.init padded_len Fun.id in
+    Array.sort (fun i j -> Float.compare (weight j) (weight i)) order;
+    for r = coefficients to padded_len - 1 do
+      coeffs.(order.(r)) <- 0.0
+    done
+  end;
+  Array.sub (haar_inverse coeffs) 0 n
+
+let build ?(granularity = 256) ~domain:(lo, hi) ~coefficients samples =
+  if granularity <= 0 then invalid_arg "Wavelet.build: granularity must be positive";
+  if lo >= hi then invalid_arg "Wavelet.build: empty domain";
+  if Array.length samples = 0 then invalid_arg "Wavelet.build: empty sample";
+  let freqs = V_optimal.micro_frequencies ~granularity ~domain:(lo, hi) samples in
+  let approx = compress ~coefficients freqs in
+  let clamped = Array.map (fun x -> Float.max 0.0 x) approx in
+  let total = Array.fold_left ( +. ) 0.0 clamped in
+  let counts =
+    if total <= 0.0 then Array.make granularity (float_of_int (Array.length samples) /. float_of_int granularity)
+    else begin
+      let scale = float_of_int (Array.length samples) /. total in
+      Array.map (fun x -> x *. scale) clamped
+    end
+  in
+  let edges =
+    Array.init (granularity + 1) (fun i ->
+        lo +. (float_of_int i /. float_of_int granularity *. (hi -. lo)))
+  in
+  Histogram.create ~edges ~counts

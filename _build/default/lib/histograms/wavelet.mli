@@ -1,0 +1,37 @@
+(** Wavelet-based histogram (Matias, Vitter & Wang [4], cited by the paper
+    as the contemporary alternative synopsis).
+
+    The sample's micro-grid frequency vector is Haar-transformed and only
+    the [coefficients] largest normalized coefficients are kept — the
+    synopsis a system would store.  Reconstruction yields an approximate
+    frequency vector (clamped non-negative and renormalized) that answers
+    range queries as an ordinary histogram.  Included so the paper's
+    comparison can be extended to the method its related-work section
+    points at. *)
+
+val haar_forward : float array -> float array
+(** In-order Haar transform (unnormalized averages/differences pyramid).
+    @raise Invalid_argument unless the length is a positive power of two. *)
+
+val haar_inverse : float array -> float array
+(** Inverse of {!haar_forward} (exact up to rounding). *)
+
+val compress : coefficients:int -> float array -> float array
+(** [compress ~coefficients v] Haar-transforms [v] (padding to a power of
+    two with zeros), keeps the [coefficients] largest level-normalized
+    coefficients (the L2-optimal selection), zeroes the rest and
+    reconstructs; the result is truncated back to the input length.
+    @raise Invalid_argument if [coefficients <= 0] or [v] is empty. *)
+
+val build :
+  ?granularity:int ->
+  domain:float * float ->
+  coefficients:int ->
+  float array ->
+  Histogram.t
+(** [build ~domain ~coefficients samples] reconstructs the compressed
+    frequency vector over a [granularity]-cell grid (default 256) and
+    returns it as a {!Histogram.t} (negative reconstructed frequencies
+    clamped to zero; total mass renormalized to the sample size).
+    @raise Invalid_argument if [coefficients <= 0], [granularity <= 0], the
+    domain is empty or the sample is empty. *)

@@ -1,0 +1,1 @@
+lib/hybrid/change_point.ml: Array Bandwidth Float Kde Kernels List Stats

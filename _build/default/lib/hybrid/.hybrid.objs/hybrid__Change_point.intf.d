@@ -1,0 +1,1 @@
+lib/hybrid/change_point.mli:

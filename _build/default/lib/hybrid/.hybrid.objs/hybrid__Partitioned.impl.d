@@ -1,0 +1,1 @@
+lib/hybrid/partitioned.ml: Array Bandwidth Change_point Float Int Kde Kernels Stats

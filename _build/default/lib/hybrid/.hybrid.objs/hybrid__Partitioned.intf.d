@@ -1,0 +1,1 @@
+lib/hybrid/partitioned.mli: Change_point Kernels

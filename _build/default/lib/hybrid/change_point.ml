@@ -1,0 +1,78 @@
+type config = {
+  max_change_points : int;
+  min_separation_fraction : float;
+  min_samples_per_segment : int;
+  grid_points : int;
+  relative_threshold : float;
+}
+
+let default_config =
+  {
+    max_change_points = 8;
+    min_separation_fraction = 0.02;
+    min_samples_per_segment = 50;
+    grid_points = 512;
+    relative_threshold = 0.05;
+  }
+
+let pilot_of_samples samples =
+  let scale = Stats.Quantile.robust_scale samples in
+  let scale = if scale > 0.0 then scale else 1.0 in
+  let h =
+    Bandwidth.Normal_scale.bandwidth ~kernel:Kernels.Kernel.Gaussian
+      ~n:(Array.length samples) ~scale
+  in
+  Kde.Pilot.create ~h samples
+
+let curvature_profile ?(config = default_config) ~domain:(lo, hi) samples =
+  if lo >= hi then invalid_arg "Change_point.curvature_profile: empty domain";
+  if Array.length samples = 0 then
+    invalid_arg "Change_point.curvature_profile: empty sample";
+  let pilot = pilot_of_samples samples in
+  let m = config.grid_points in
+  Array.init m (fun i ->
+      let x = lo +. ((float_of_int i +. 0.5) /. float_of_int m *. (hi -. lo)) in
+      (x, Float.abs (Kde.Pilot.deriv2 pilot x)))
+
+let detect ?(config = default_config) ~domain:(lo, hi) samples =
+  let profile = curvature_profile ~config ~domain:(lo, hi) samples in
+  let sorted_samples = Array.copy samples in
+  Array.sort Float.compare sorted_samples;
+  let global_max = Array.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 profile in
+  if global_max <= 0.0 then []
+  else begin
+    let min_sep = config.min_separation_fraction *. (hi -. lo) in
+    let candidates = Array.copy profile in
+    Array.sort (fun (_, v1) (_, v2) -> Float.compare v2 v1) candidates;
+    let accepted = ref [] in
+    let samples_between a b =
+      Stats.Array_util.float_upper_bound sorted_samples b
+      - Stats.Array_util.float_lower_bound sorted_samples a
+    in
+    let segment_ok x =
+      (* The segments x would create: between its nearest accepted (or
+         border) neighbours. *)
+      let left =
+        List.fold_left (fun acc c -> if c < x then Float.max acc c else acc) lo !accepted
+      in
+      let right =
+        List.fold_left (fun acc c -> if c > x then Float.min acc c else acc) hi !accepted
+      in
+      samples_between left x >= config.min_samples_per_segment
+      && samples_between x right >= config.min_samples_per_segment
+    in
+    let well_separated x =
+      x -. lo >= min_sep
+      && hi -. x >= min_sep
+      && List.for_all (fun c -> Float.abs (c -. x) >= min_sep) !accepted
+    in
+    (try
+       Array.iter
+         (fun (x, v) ->
+           if v < config.relative_threshold *. global_max then raise Exit;
+           if List.length !accepted >= config.max_change_points then raise Exit;
+           if well_separated x && segment_ok x then accepted := x :: !accepted)
+         candidates
+     with Exit -> ());
+    List.sort Float.compare !accepted
+  end

@@ -1,0 +1,36 @@
+(** Change-point detection for the hybrid estimator (Section 3.3).
+
+    The paper detects change points of the true PDF as the maxima of the
+    second derivative, found recursively: the strongest curvature point
+    splits the domain, then each part is searched in turn.  The curvature
+    signal comes from a Gaussian pilot estimate ({!Kde.Pilot}), evaluated on
+    a grid; candidates are accepted strongest-first subject to a minimum
+    separation and a minimum number of samples on each side, which is
+    equivalent to the recursive search but simpler to bound. *)
+
+type config = {
+  max_change_points : int;  (** upper bound on detected points (default 8) *)
+  min_separation_fraction : float;
+      (** minimum distance between change points and to the domain borders,
+          as a fraction of the domain width (default 0.02) *)
+  min_samples_per_segment : int;
+      (** a split is rejected if either side would hold fewer samples
+          (default 50) *)
+  grid_points : int;  (** curvature-grid resolution (default 512) *)
+  relative_threshold : float;
+      (** candidates below this fraction of the global curvature maximum are
+          ignored (default 0.05) *)
+}
+
+val default_config : config
+
+val detect : ?config:config -> domain:float * float -> float array -> float list
+(** [detect ~domain samples] returns the detected change points in
+    increasing order (possibly empty).  The pilot bandwidth is the Gaussian
+    normal-scale rule on [samples].
+    @raise Invalid_argument on an empty sample or empty domain. *)
+
+val curvature_profile :
+  ?config:config -> domain:float * float -> float array -> (float * float) array
+(** The [(x, |f_hat''(x)|)] grid the detector works from, for inspection and
+    plotting. *)

@@ -1,0 +1,1 @@
+lib/join/equijoin.ml: Array Data Float Option Selest Stats

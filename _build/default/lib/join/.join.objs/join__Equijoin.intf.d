@@ -1,0 +1,1 @@
+lib/join/equijoin.mli: Data Selest

@@ -1,0 +1,104 @@
+let exact_size r s =
+  let vr = Data.Dataset.sorted_values r and vs = Data.Dataset.sorted_values s in
+  let nr = Array.length vr and ns = Array.length vs in
+  let total = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < nr && !j < ns do
+    let a = vr.(!i) and b = vs.(!j) in
+    if a < b then incr i
+    else if a > b then incr j
+    else begin
+      (* Count the runs of the shared value on both sides. *)
+      let i0 = !i and j0 = !j in
+      while !i < nr && vr.(!i) = a do
+        incr i
+      done;
+      while !j < ns && vs.(!j) = a do
+        incr j
+      done;
+      total := !total + ((!i - i0) * (!j - j0))
+    end
+  done;
+  !total
+
+let from_densities ?(grid = 2048) ~domain:(lo, hi) f_r f_s ~n_r ~n_s =
+  if grid < 2 then invalid_arg "Equijoin.from_densities: grid must be >= 2";
+  if n_r <= 0 || n_s <= 0 then
+    invalid_arg "Equijoin.from_densities: relation sizes must be positive";
+  if lo >= hi then invalid_arg "Equijoin.from_densities: empty domain";
+  let xs =
+    Array.init grid (fun i -> lo +. (float_of_int i /. float_of_int (grid - 1) *. (hi -. lo)))
+  in
+  let ys = Array.map (fun x -> f_r x *. f_s x) xs in
+  let integral = Stats.Integrate.integrate_grid xs ys in
+  float_of_int n_r *. float_of_int n_s *. integral
+
+let estimate ?grid ~domain est_r est_s ~n_r ~n_s =
+  let lo, _ = domain in
+  (* Probe the densities once to detect estimators without one (sampling). *)
+  match (Selest.Estimator.density est_r lo, Selest.Estimator.density est_s lo) with
+  | Some _, Some _ ->
+    let f est x = Option.value ~default:0.0 (Selest.Estimator.density est x) in
+    Some (from_densities ?grid ~domain (f est_r) (f est_s) ~n_r ~n_s)
+  | None, _ | _, None -> None
+
+let exact_range_restricted_size r s ~lo ~hi =
+  let vr = Data.Dataset.sorted_values r and vs = Data.Dataset.sorted_values s in
+  let nr = Array.length vr and ns = Array.length vs in
+  let ilo = int_of_float (Float.ceil lo) and ihi = int_of_float (Float.floor hi) in
+  let total = ref 0 in
+  let i = ref (Stats.Array_util.int_lower_bound vr ilo) in
+  let j = ref 0 in
+  while !i < nr && vr.(!i) <= ihi && !j < ns do
+    let a = vr.(!i) and b = vs.(!j) in
+    if a < b then incr i
+    else if a > b then incr j
+    else begin
+      let i0 = !i and j0 = !j in
+      while !i < nr && vr.(!i) = a do
+        incr i
+      done;
+      while !j < ns && vs.(!j) = a do
+        incr j
+      done;
+      total := !total + ((!i - i0) * (!j - j0))
+    end
+  done;
+  !total
+
+let range_restricted ?(grid = 2048) ~domain:(dlo, dhi) est_r est_s ~n_r ~n_s ~lo ~hi =
+  let lo = Float.max lo dlo and hi = Float.min hi dhi in
+  if lo >= hi then Some 0.0
+  else
+    match (Selest.Estimator.density est_r lo, Selest.Estimator.density est_s lo) with
+    | Some _, Some _ ->
+      let f est x = Option.value ~default:0.0 (Selest.Estimator.density est x) in
+      Some (from_densities ~grid ~domain:(lo, hi) (f est_r) (f est_s) ~n_r ~n_s)
+    | None, _ | _, None -> None
+
+let sample_join sample_r sample_s ~n_r ~n_s =
+  let mr = Array.length sample_r and ms = Array.length sample_s in
+  if mr = 0 || ms = 0 then invalid_arg "Equijoin.sample_join: empty sample";
+  if n_r <= 0 || n_s <= 0 then invalid_arg "Equijoin.sample_join: relation sizes must be positive";
+  let vr = Array.copy sample_r and vs = Array.copy sample_s in
+  Array.sort Float.compare vr;
+  Array.sort Float.compare vs;
+  let matches = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < mr && !j < ms do
+    if vr.(!i) < vs.(!j) then incr i
+    else if vr.(!i) > vs.(!j) then incr j
+    else begin
+      let v = vr.(!i) in
+      let i0 = !i and j0 = !j in
+      while !i < mr && vr.(!i) = v do
+        incr i
+      done;
+      while !j < ms && vs.(!j) = v do
+        incr j
+      done;
+      matches := !matches + ((!i - i0) * (!j - j0))
+    end
+  done;
+  float_of_int !matches *. float_of_int n_r *. float_of_int n_s
+  /. (float_of_int mr *. float_of_int ms)

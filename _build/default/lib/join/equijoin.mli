@@ -1,0 +1,76 @@
+(** Equi-join size estimation from per-relation density estimates.
+
+    The paper's opening motivation is estimating the sizes of intermediate
+    results for plan costing, citing System R [12] and Ioannidis'
+    worst-case join error propagation [2].  For an equi-join
+    [R.A = S.B] over a shared integer domain the exact size is
+
+    {v |R JOIN S| = sum_v count_R(v) * count_S(v) v}
+
+    and with per-value probabilities approximated by densities (each value
+    occupying a unit cell), the estimate becomes
+
+    {v N_R * N_S * int f_R(x) f_S(x) dx v}
+
+    which any two estimators exposing densities can answer.  This module
+    provides the exact oracle, the density-product estimator, and the
+    classic sample-join estimator, so the 1-D selectivity machinery extends
+    to the join cardinalities optimizers actually need. *)
+
+val exact_size : Data.Dataset.t -> Data.Dataset.t -> int
+(** Exact equi-join result size (sum over shared values of the count
+    products), by merging the sorted value arrays. *)
+
+val from_densities :
+  ?grid:int ->
+  domain:float * float ->
+  (float -> float) ->
+  (float -> float) ->
+  n_r:int ->
+  n_s:int ->
+  float
+(** [from_densities ~domain f_r f_s ~n_r ~n_s] integrates the density
+    product on a [grid]-point grid (default 2048) and scales by both
+    relation sizes.
+    @raise Invalid_argument if [grid < 2], sizes are non-positive or the
+    domain is empty. *)
+
+val estimate :
+  ?grid:int ->
+  domain:float * float ->
+  Selest.Estimator.t ->
+  Selest.Estimator.t ->
+  n_r:int ->
+  n_s:int ->
+  float option
+(** {!from_densities} over two fitted estimators (pass the attribute domain
+    they were built with); [None] when either lacks a density (pure
+    sampling). *)
+
+val exact_range_restricted_size :
+  Data.Dataset.t -> Data.Dataset.t -> lo:float -> hi:float -> int
+(** Exact size of [sigma_(lo <= A <= hi)(R) JOIN S] — a selection pushed
+    below the join, the plan shape whose cardinality errors compound
+    (Ioannidis' error-propagation setting [2]). *)
+
+val range_restricted :
+  ?grid:int ->
+  domain:float * float ->
+  Selest.Estimator.t ->
+  Selest.Estimator.t ->
+  n_r:int ->
+  n_s:int ->
+  lo:float ->
+  hi:float ->
+  float option
+(** Density-product estimate of the range-restricted join
+    [N_R N_S int_lo^hi f_R f_S]; [None] when either estimator lacks a
+    density. *)
+
+val sample_join :
+  float array -> float array -> n_r:int -> n_s:int -> float
+(** The sampling estimator: join the two samples exactly (on equal float
+    values) and scale by [(N_R N_S) / (n_r n_s)] — unbiased but useless
+    when values rarely collide, which is precisely the large-domain regime
+    of the paper.  @raise Invalid_argument on empty samples or non-positive
+    sizes. *)

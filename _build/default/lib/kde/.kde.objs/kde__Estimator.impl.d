@@ -1,0 +1,1 @@
+lib/kde/estimator.ml: Array Float Int Kernels Seq Stats

@@ -1,0 +1,1 @@
+lib/kde/estimator.mli: Kernels

@@ -1,0 +1,1 @@
+lib/kde/pilot.ml: Array Float Stats

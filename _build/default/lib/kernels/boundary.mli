@@ -1,0 +1,31 @@
+(** Boundary kernels for the left and right boundary regions.
+
+    Section 3.2.1: within one bandwidth of a domain boundary the ordinary
+    kernel estimator loses mass outside the domain and is inconsistent.  The
+    second remedy of the paper replaces the Epanechnikov kernel for
+    estimation points [x in [l, l+h)] by the family of Simonoff & Dong
+    (1994)
+
+    {v K_l(u, q) = (3 + 3q^2 - 6u^2) / (1 + q)^3   for u in [-1, q] v}
+
+    with [q = (x - l) / h in [0, 1]]; the right boundary uses the mirrored
+    family.  Each member integrates to one over its support, so consistency
+    is restored at the price of the estimate not being a density (the paper
+    accepts that trade-off). *)
+
+val left : u:float -> q:float -> float
+(** [left ~u ~q] is [K_l(u, q)]; zero outside [[-1, q]].
+    @raise Invalid_argument unless [0 <= q <= 1]. *)
+
+val right : u:float -> q:float -> float
+(** [right ~u ~q = left ~u:(-u) ~q]: support [[-q, 1]]. *)
+
+val left_cdf : u:float -> q:float -> float
+(** [left_cdf ~u ~q] is [int_{-1}^{u} K_l(v, q) dv]; closed form
+    [((3 + 3q^2)(u + 1) - 2(u^3 + 1)) / (1 + q)^3].  The kernel is signed
+    near [u = -1], so the primitive may leave [[0, 1]] in the interior; it
+    is exactly 0 at [u <= -1] and 1 at [u >= q]. *)
+
+val right_cdf : u:float -> q:float -> float
+(** [right_cdf ~u ~q] is [int_{-inf}^{u}] of the right-boundary kernel,
+    i.e. [1 - left_cdf ~u:(-u) ~q]. *)

@@ -1,0 +1,60 @@
+(** Kernel functions for density and selectivity estimation.
+
+    Every kernel [K] is symmetric, integrates to one and has second moment
+    [k2 = int t^2 K(t) dt <> 0], the conditions of Section 4.2.  The paper
+    uses the Epanechnikov kernel (AMISE-optimal and cheap); the others are
+    provided because Section 3.2 notes that the choice of [K] matters far
+    less than the bandwidth — an ablation bench verifies exactly that.
+
+    [cdf] is the primitive [int_{-inf}^x K]; selectivity estimation consumes
+    only the primitive (formula (6) of the paper), never the kernel itself. *)
+
+type t =
+  | Epanechnikov
+  | Biweight
+  | Triweight
+  | Triangular
+  | Box  (** the uniform kernel [1/2] on [[-1, 1]] *)
+  | Cosine
+  | Gaussian
+
+val all : t list
+(** Every kernel, Epanechnikov first. *)
+
+val name : t -> string
+
+val of_name : string -> t option
+(** Case-insensitive inverse of {!name}. *)
+
+val eval : t -> float -> float
+(** [eval k t] is [K(t)]. *)
+
+val cdf : t -> float -> float
+(** [cdf k t] is [int_{-inf}^t K(u) du], clamped to [[0, 1]] outside the
+    support.  For the Epanechnikov kernel this is
+    [1/2 + (3t - t^3)/4], i.e. the paper's primitive [F_K] shifted so that
+    it is a true CDF. *)
+
+val second_moment : t -> float
+(** [k2 = int t^2 K(t) dt]; [1/5] for Epanechnikov. *)
+
+val roughness : t -> float
+(** [R(K) = int K(t)^2 dt]; [3/5] for Epanechnikov. *)
+
+val support_radius : t -> float option
+(** [Some 1.0] for the compactly supported kernels, [None] for Gaussian. *)
+
+val effective_radius : t -> float
+(** Radius beyond which the kernel mass is negligible: the support radius
+    for compact kernels, [8.0] for Gaussian (mass beyond is < 1e-15).  Used
+    by the sorted-sample index to bound the scan. *)
+
+val canonical_bandwidth_factor : t -> float
+(** [delta0(K) = (R(K) / k2^2)^(1/5)].  Bandwidths tuned for one kernel
+    transfer to another by rescaling with the ratio of these factors
+    (canonical kernel theory), which the kernel-choice ablation uses. *)
+
+val amise_constant : t -> float
+(** The kernel-dependent constant [5/4 * (k2^2 R(K)^4)^(1/5)] appearing in
+    the minimized AMISE [C(K) * (int f''^2)^(1/5) * n^(-4/5)]; smallest for
+    the Epanechnikov kernel (its classical optimality). *)

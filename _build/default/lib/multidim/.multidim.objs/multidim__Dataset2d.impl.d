@@ -1,0 +1,1 @@
+lib/multidim/dataset2d.ml: Array Float Fun Int Printf Prng Stats

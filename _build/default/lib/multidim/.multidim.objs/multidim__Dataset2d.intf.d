@@ -1,0 +1,1 @@
+lib/multidim/dataset2d.mli: Prng

@@ -1,0 +1,1 @@
+lib/multidim/generate2d.ml: Array Dataset2d Dists Float Int Lazy Printf Prng Stats

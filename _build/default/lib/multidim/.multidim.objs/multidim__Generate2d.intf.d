@@ -1,0 +1,1 @@
+lib/multidim/generate2d.mli: Dataset2d Dists

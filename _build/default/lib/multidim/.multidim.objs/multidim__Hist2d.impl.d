@@ -1,0 +1,1 @@
+lib/multidim/hist2d.ml: Array Float Int

@@ -1,0 +1,1 @@
+lib/multidim/independence.ml: Array Float Selest

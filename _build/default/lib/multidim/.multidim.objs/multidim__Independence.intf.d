@@ -1,0 +1,1 @@
+lib/multidim/independence.mli: Selest

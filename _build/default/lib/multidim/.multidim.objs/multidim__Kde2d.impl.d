@@ -1,0 +1,1 @@
+lib/multidim/kde2d.ml: Array Bandwidth Float Kernels Stats

@@ -1,0 +1,1 @@
+lib/multidim/kde2d.mli: Kernels

@@ -1,0 +1,1 @@
+lib/multidim/workload2d.ml: Array Dataset2d Float Int Prng

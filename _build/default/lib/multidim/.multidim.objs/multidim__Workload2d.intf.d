@@ -1,0 +1,1 @@
+lib/multidim/workload2d.mli: Dataset2d

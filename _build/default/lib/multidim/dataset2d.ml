@@ -1,0 +1,109 @@
+(* Points are stored sorted by x and partitioned into fixed-size blocks;
+   each block keeps its y values sorted.  A rectangle count then touches
+   O(sqrt N) blocks: interior blocks answer by binary search on y, the two
+   boundary blocks by a short scan — fast enough to serve as the exact
+   oracle for thousand-query workloads over the 250k-point files. *)
+
+let block_size = 512
+
+type block = {
+  x_min : int;
+  x_max : int;
+  xs : int array; (* x of each point in the block, ascending *)
+  ys_by_x : int array; (* y of each point, same order as [xs] *)
+  ys_sorted : int array;
+}
+
+type t = {
+  name : string;
+  bits_x : int;
+  bits_y : int;
+  points : (int * int) array; (* insertion order *)
+  blocks : block array;
+}
+
+let create ~name ~bits_x ~bits_y points =
+  if Array.length points = 0 then invalid_arg "Dataset2d.create: empty point array";
+  if bits_x < 1 || bits_x > 30 || bits_y < 1 || bits_y > 30 then
+    invalid_arg "Dataset2d.create: bits must be in [1, 30]";
+  let limit_x = 1 lsl bits_x and limit_y = 1 lsl bits_y in
+  Array.iter
+    (fun (x, y) ->
+      if x < 0 || x >= limit_x || y < 0 || y >= limit_y then
+        invalid_arg
+          (Printf.sprintf "Dataset2d.create(%s): point (%d, %d) outside domain" name x y))
+    points;
+  let points = Array.copy points in
+  let by_x = Array.copy points in
+  Array.sort (fun (x1, y1) (x2, y2) -> if x1 <> x2 then compare x1 x2 else compare y1 y2) by_x;
+  let n = Array.length by_x in
+  let n_blocks = (n + block_size - 1) / block_size in
+  let blocks =
+    Array.init n_blocks (fun b ->
+        let start = b * block_size in
+        let len = Int.min block_size (n - start) in
+        let xs = Array.init len (fun i -> fst by_x.(start + i)) in
+        let ys_by_x = Array.init len (fun i -> snd by_x.(start + i)) in
+        let ys_sorted = Array.copy ys_by_x in
+        Array.sort compare ys_sorted;
+        { x_min = xs.(0); x_max = xs.(len - 1); xs; ys_by_x; ys_sorted })
+  in
+  { name; bits_x; bits_y; points; blocks }
+
+let name t = t.name
+let bits_x t = t.bits_x
+let bits_y t = t.bits_y
+let size t = Array.length t.points
+let points t = t.points
+let xs t = Array.map fst t.points
+let ys t = Array.map snd t.points
+
+let count_in_sorted a lo hi =
+  if lo > hi then 0
+  else Stats.Array_util.int_upper_bound a hi - Stats.Array_util.int_lower_bound a lo
+
+let exact_count t ~x_lo ~x_hi ~y_lo ~y_hi =
+  if x_lo > x_hi || y_lo > y_hi then 0
+  else begin
+    let ix_lo = int_of_float (Float.ceil x_lo) in
+    let ix_hi = int_of_float (Float.floor x_hi) in
+    let iy_lo = int_of_float (Float.ceil y_lo) in
+    let iy_hi = int_of_float (Float.floor y_hi) in
+    if ix_lo > ix_hi || iy_lo > iy_hi then 0
+    else begin
+      let total = ref 0 in
+      Array.iter
+        (fun b ->
+          if b.x_max >= ix_lo && b.x_min <= ix_hi then
+            if b.x_min >= ix_lo && b.x_max <= ix_hi then
+              (* Block fully inside the x range: count on sorted y. *)
+              total := !total + count_in_sorted b.ys_sorted iy_lo iy_hi
+            else begin
+              (* Boundary block: scan the points whose x qualifies. *)
+              let i0 = Stats.Array_util.int_lower_bound b.xs ix_lo in
+              let i1 = Stats.Array_util.int_upper_bound b.xs ix_hi in
+              for i = i0 to i1 - 1 do
+                let y = b.ys_by_x.(i) in
+                if y >= iy_lo && y <= iy_hi then incr total
+              done
+            end)
+        t.blocks;
+      !total
+    end
+  end
+
+let exact_selectivity t ~x_lo ~x_hi ~y_lo ~y_hi =
+  float_of_int (exact_count t ~x_lo ~x_hi ~y_lo ~y_hi) /. float_of_int (size t)
+
+let sample_without_replacement t rng ~n =
+  let total = size t in
+  if n <= 0 || n > total then
+    invalid_arg "Dataset2d.sample_without_replacement: n outside [1, size]";
+  let indices = Array.init total Fun.id in
+  Prng.Xoshiro256pp.shuffle_prefix rng indices n;
+  Array.init n (fun i ->
+      let x, y = t.points.(indices.(i)) in
+      (float_of_int x, float_of_int y))
+
+let describe t =
+  Printf.sprintf "%-10s px=%-2d py=%-2d points=%d" t.name t.bits_x t.bits_y (size t)

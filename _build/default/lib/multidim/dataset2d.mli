@@ -1,0 +1,45 @@
+(** Two-dimensional integer-domain datasets.
+
+    The paper's first future-work item is multidimensional kernel
+    estimation for multidimensional range queries; its own real data (TIGER
+    line endpoints) is inherently two-dimensional — [arap1]/[arap2] are the
+    two coordinates of the same points.  This module provides the
+    two-dimensional substrate: point sets over a pair of integer domains
+    with an exact rectangle-count oracle and sampling. *)
+
+type t
+
+val create : name:string -> bits_x:int -> bits_y:int -> (int * int) array -> t
+(** [create ~name ~bits_x ~bits_y points] validates every coordinate
+    against its domain and copies the input.
+    @raise Invalid_argument on an empty array, bits outside [[1, 30]], or
+    out-of-domain coordinates. *)
+
+val name : t -> string
+val bits_x : t -> int
+val bits_y : t -> int
+val size : t -> int
+
+val points : t -> (int * int) array
+(** Shared storage: do not mutate. *)
+
+val xs : t -> int array
+(** First coordinates, in insertion order (fresh array). *)
+
+val ys : t -> int array
+(** Second coordinates, in insertion order (fresh array). *)
+
+val exact_count :
+  t -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> int
+(** Exact number of points in the closed rectangle — the ground truth for
+    two-dimensional range queries [a_x <= X <= b_x AND a_y <= Y <= b_y]. *)
+
+val exact_selectivity :
+  t -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float
+
+val sample_without_replacement :
+  t -> Prng.Xoshiro256pp.t -> n:int -> (float * float) array
+(** A uniform sample of points, as float pairs for the estimators.
+    @raise Invalid_argument if [n <= 0 || n > size t]. *)
+
+val describe : t -> string

@@ -1,0 +1,121 @@
+module Rng = Prng.Xoshiro256pp
+
+let floor_into limit x =
+  let v = int_of_float (Float.floor x) in
+  if v >= 0 && v < limit then Some v else None
+
+let generate ~name ~bits_x ~bits_y ~count draw rng =
+  let limit_x = 1 lsl bits_x and limit_y = 1 lsl bits_y in
+  let points = Array.make count (0, 0) in
+  let filled = ref 0 in
+  let rejections = ref 0 in
+  let budget = 10_000 * count in
+  while !filled < count do
+    let fx, fy = draw rng in
+    match (floor_into limit_x fx, floor_into limit_y fy) with
+    | Some x, Some y ->
+      points.(!filled) <- (x, y);
+      incr filled
+    | None, _ | _, None ->
+      incr rejections;
+      if !rejections > budget then
+        invalid_arg (Printf.sprintf "Generate2d(%s): mass lies outside the domain" name)
+  done;
+  Dataset2d.create ~name ~bits_x ~bits_y points
+
+let product ~name ~bits_x ~bits_y ~count ~seed mx my =
+  let rng = Rng.create seed in
+  let draw_x = Lazy.force (Dists.Model.sampler mx) in
+  let draw_y = Lazy.force (Dists.Model.sampler my) in
+  generate ~name ~bits_x ~bits_y ~count (fun rng -> (draw_x rng, draw_y rng)) rng
+
+let box_muller rng =
+  let u1 = 1.0 -. Rng.float rng in
+  let u2 = Rng.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let correlated_normal ~name ~bits ~count ~rho ~seed =
+  if not (rho > -1.0 && rho < 1.0) then
+    invalid_arg "Generate2d.correlated_normal: rho must be in (-1, 1)";
+  let rng = Rng.create seed in
+  let domain = float_of_int (1 lsl bits) in
+  let mu = domain /. 2.0 and sigma = domain /. 8.0 in
+  let coeff = sqrt (1.0 -. (rho *. rho)) in
+  let draw rng =
+    let z1 = box_muller rng in
+    let z2 = box_muller rng in
+    let x = mu +. (sigma *. z1) in
+    let y = mu +. (sigma *. ((rho *. z1) +. (coeff *. z2))) in
+    (x, y)
+  in
+  generate ~name ~bits_x:bits ~bits_y:bits ~count draw rng
+
+let street_grid ~name ~bits ~count ~seed =
+  let root = Rng.create seed in
+  let layout = Rng.substream root 1 in
+  let records = Rng.substream root 2 in
+  let domain = float_of_int (1 lsl bits) in
+  let n_clusters = 36 in
+  (* Anisotropic blobs: city blocks are elongated along one axis. *)
+  let clusters =
+    Array.init n_clusters (fun _ ->
+        let cx = domain *. (0.15 +. (0.7 *. Rng.float layout)) in
+        let cy = domain *. (0.15 +. (0.7 *. Rng.float layout)) in
+        let wx = domain *. (0.002 +. (0.015 *. Rng.float layout)) in
+        let wy = domain *. (0.002 +. (0.015 *. Rng.float layout)) in
+        let u = Rng.float layout in
+        (cx, cy, wx, wy, (u *. u) +. 0.02))
+  in
+  let total = Array.fold_left (fun acc (_, _, _, _, w) -> acc +. w) 0.0 clusters in
+  let cum = Array.make n_clusters 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i (_, _, _, _, w) ->
+      acc := !acc +. (w /. total);
+      cum.(i) <- !acc)
+    clusters;
+  let draw rng =
+    if Rng.float rng < 0.08 then (domain *. Rng.float rng, domain *. Rng.float rng)
+    else begin
+      let u = Rng.float rng in
+      let i = Int.min (Stats.Array_util.float_upper_bound cum u) (n_clusters - 1) in
+      let cx, cy, wx, wy, _ = clusters.(i) in
+      (cx +. (wx *. box_muller rng), cy +. (wy *. box_muller rng))
+    end
+  in
+  generate ~name ~bits_x:bits ~bits_y:bits ~count draw (Rng.copy records)
+
+let rail_network ~name ~bits ~count ~seed =
+  let root = Rng.create seed in
+  let layout = Rng.substream root 3 in
+  let records = Rng.substream root 4 in
+  let domain = float_of_int (1 lsl bits) in
+  let n_segments = 24 in
+  let segments =
+    Array.init n_segments (fun _ ->
+        let x0 = domain *. Rng.float layout and y0 = domain *. Rng.float layout in
+        let angle = 2.0 *. Float.pi *. Rng.float layout in
+        let len = domain *. (0.1 +. (0.5 *. Rng.float layout)) in
+        let x1 = x0 +. (len *. cos angle) and y1 = y0 +. (len *. sin angle) in
+        let weight = len *. (0.5 +. Rng.float layout) in
+        (x0, y0, x1, y1, weight))
+  in
+  let total = Array.fold_left (fun acc (_, _, _, _, w) -> acc +. w) 0.0 segments in
+  let cum = Array.make n_segments 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i (_, _, _, _, w) ->
+      acc := !acc +. (w /. total);
+      cum.(i) <- !acc)
+    segments;
+  let jitter = domain *. 0.002 in
+  let draw rng =
+    let u = Rng.float rng in
+    let i = Int.min (Stats.Array_util.float_upper_bound cum u) (n_segments - 1) in
+    let x0, y0, x1, y1, _ = segments.(i) in
+    let t = Rng.float rng in
+    let x = x0 +. (t *. (x1 -. x0)) +. (jitter *. box_muller rng) in
+    let y = y0 +. (t *. (y1 -. y0)) +. (jitter *. box_muller rng) in
+    (x, y)
+  in
+  generate ~name ~bits_x:bits ~bits_y:bits ~count draw (Rng.copy records)

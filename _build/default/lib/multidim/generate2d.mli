@@ -1,0 +1,39 @@
+(** Two-dimensional data generators: synthetic product/correlated families
+    and TIGER-like spatial point processes (the joint versions of the
+    [arap]/[rr] projections in the 1-D catalog). *)
+
+val product :
+  name:string ->
+  bits_x:int ->
+  bits_y:int ->
+  count:int ->
+  seed:int64 ->
+  Dists.Model.t ->
+  Dists.Model.t ->
+  Dataset2d.t
+(** [product ~name ... mx my] draws the coordinates independently from [mx]
+    and [my] (both in their domain coordinates), flooring and rejecting
+    out-of-domain draws per coordinate pair. *)
+
+val correlated_normal :
+  name:string ->
+  bits:int ->
+  count:int ->
+  rho:float ->
+  seed:int64 ->
+  Dataset2d.t
+(** A bivariate normal centered in the square domain with per-axis sigma
+    [2^bits / 8] and correlation [rho] — the workload where product-form
+    estimators are challenged.  @raise Invalid_argument unless
+    [-1 < rho < 1]. *)
+
+val street_grid :
+  name:string -> bits:int -> count:int -> seed:int64 -> Dataset2d.t
+(** TIGER-like urban clusters in the plane: a seeded mixture of anisotropic
+    Gaussian blobs (city blocks) over a sparse background, the joint analog
+    of the catalog's [arap1]/[arap2] files. *)
+
+val rail_network :
+  name:string -> bits:int -> count:int -> seed:int64 -> Dataset2d.t
+(** TIGER-like linear features: points scattered tightly along random line
+    segments (rail roads, rivers), the joint analog of [rr1]/[rr2]. *)

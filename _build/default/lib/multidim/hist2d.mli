@@ -1,0 +1,31 @@
+(** Two-dimensional equi-width grid histogram: the baseline the 2-D kernel
+    estimator is compared against (the straightforward generalization of
+    Section 3.1's equi-width histogram and of formula (4) to rectangles,
+    under a uniform-within-cell assumption). *)
+
+type t
+
+val build :
+  domain_x:float * float ->
+  domain_y:float * float ->
+  bins_x:int ->
+  bins_y:int ->
+  (float * float) array ->
+  t
+(** @raise Invalid_argument on empty sample, empty domains or non-positive
+    bin counts. *)
+
+val bins : t -> int * int
+
+val selectivity :
+  t -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float
+(** Sum over grid cells of [count/n] times the overlapped area fraction,
+    clamped to [[0, 1]]. *)
+
+val density : t -> float -> float -> float
+(** Cell count over [n * cell area]; 0 outside the grid. *)
+
+val sampling_selectivity :
+  (float * float) array -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float
+(** Pure 2-D sampling: the fraction of sample points inside the rectangle
+    (the baseline estimator, here because it needs no structure). *)

@@ -1,0 +1,14 @@
+type marginal = a:float -> b:float -> float
+
+let selectivity mx my ~x_lo ~x_hi ~y_lo ~y_hi =
+  let v = mx ~a:x_lo ~b:x_hi *. my ~a:y_lo ~b:y_hi in
+  Float.max 0.0 (Float.min 1.0 v)
+
+let of_samples ?(spec = Selest.Estimator.kernel_defaults) ~domain_x ~domain_y points ~x_lo
+    ~x_hi ~y_lo ~y_hi =
+  let ex = Selest.Estimator.build spec ~domain:domain_x (Array.map fst points) in
+  let ey = Selest.Estimator.build spec ~domain:domain_y (Array.map snd points) in
+  selectivity
+    (fun ~a ~b -> Selest.Estimator.selectivity ex ~a ~b)
+    (fun ~a ~b -> Selest.Estimator.selectivity ey ~a ~b)
+    ~x_lo ~x_hi ~y_lo ~y_hi

@@ -1,0 +1,32 @@
+(** The attribute-value-independence assumption: estimate a rectangle's
+    selectivity as the product of the two marginal range selectivities —
+    what System R-style optimizers do with per-column statistics.
+
+    This is the practical alternative to true 2-D estimation, exact when
+    the attributes are independent and arbitrarily wrong when they are
+    correlated; the [ext_multidim] bench measures both regimes against the
+    product-kernel estimator. *)
+
+type marginal = a:float -> b:float -> float
+(** A fitted 1-D estimator over one attribute (e.g.
+    [Selest.Estimator.selectivity]). *)
+
+val selectivity :
+  marginal -> marginal -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float
+(** [selectivity mx my ~x_lo ~x_hi ~y_lo ~y_hi] is
+    [mx (x range) * my (y range)], clamped to [[0, 1]]. *)
+
+val of_samples :
+  ?spec:Selest.Estimator.spec ->
+  domain_x:float * float ->
+  domain_y:float * float ->
+  (float * float) array ->
+  x_lo:float ->
+  x_hi:float ->
+  y_lo:float ->
+  y_hi:float ->
+  float
+(** Convenience: build the two marginal estimators from the sample's
+    coordinate projections ([spec] defaults to
+    {!Selest.Estimator.kernel_defaults}) and evaluate one rectangle.  For
+    workloads, build the marginals once and use {!selectivity}. *)

@@ -1,0 +1,58 @@
+type rect = { x_lo : float; x_hi : float; y_lo : float; y_hi : float }
+
+let size_separated ds ~seed ~fraction ~count =
+  if not (fraction > 0.0 && fraction <= 1.0) then
+    invalid_arg "Workload2d.size_separated: fraction must be in (0, 1]";
+  if count <= 0 then invalid_arg "Workload2d.size_separated: count must be positive";
+  let rng = Prng.Xoshiro256pp.create seed in
+  let pts = Dataset2d.points ds in
+  let n = Array.length pts in
+  let limit_x = 1 lsl Dataset2d.bits_x ds and limit_y = 1 lsl Dataset2d.bits_y ds in
+  let w_x = Int.max 1 (int_of_float (Float.round (fraction *. float_of_int limit_x))) in
+  let w_y = Int.max 1 (int_of_float (Float.round (fraction *. float_of_int limit_y))) in
+  let rec draw attempts =
+    if attempts > 10_000 then
+      invalid_arg "Workload2d.size_separated: could not place a rectangle inside the domain"
+    else begin
+      let cx, cy = pts.(Prng.Xoshiro256pp.int_below rng n) in
+      let ax = cx - (w_x / 2) and ay = cy - (w_y / 2) in
+      if ax >= 0 && ax + w_x <= limit_x && ay >= 0 && ay + w_y <= limit_y then
+        {
+          x_lo = float_of_int ax -. 0.5;
+          x_hi = float_of_int (ax + w_x - 1) +. 0.5;
+          y_lo = float_of_int ay -. 0.5;
+          y_hi = float_of_int (ay + w_y - 1) +. 0.5;
+        }
+      else draw (attempts + 1)
+    end
+  in
+  Array.init count (fun _ -> draw 0)
+
+type estimate_fn = rect -> float
+
+type summary = { mre : float; mae : float; evaluated : int; skipped_empty : int }
+
+let evaluate ds estimate rects =
+  if Array.length rects = 0 then invalid_arg "Workload2d.evaluate: empty query array";
+  let n_records = float_of_int (Dataset2d.size ds) in
+  let rel = ref 0.0 and abs_sum = ref 0.0 and evaluated = ref 0 and skipped = ref 0 in
+  Array.iter
+    (fun r ->
+      let truth =
+        float_of_int
+          (Dataset2d.exact_count ds ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+      in
+      let est = estimate r *. n_records in
+      abs_sum := !abs_sum +. Float.abs (est -. truth);
+      if truth > 0.0 then begin
+        rel := !rel +. (Float.abs (est -. truth) /. truth);
+        incr evaluated
+      end
+      else incr skipped)
+    rects;
+  {
+    mre = (if !evaluated = 0 then Float.nan else !rel /. float_of_int !evaluated);
+    mae = !abs_sum /. float_of_int (Array.length rects);
+    evaluated = !evaluated;
+    skipped_empty = !skipped;
+  }

@@ -1,0 +1,21 @@
+(** Rectangle-query workloads and error metrics for the two-dimensional
+    estimators — the 2-D analog of the [workload] library's size-separated
+    query files. *)
+
+type rect = { x_lo : float; x_hi : float; y_lo : float; y_hi : float }
+
+val size_separated :
+  Dataset2d.t -> seed:int64 -> fraction:float -> count:int -> rect array
+(** [size_separated ds ~seed ~fraction ~count] draws rectangle queries
+    covering [fraction] of each axis (so [fraction^2] of the area), centered
+    on data points with half-integer bounds, rejecting rectangles that clip
+    the domain.  @raise Invalid_argument unless [0 < fraction <= 1] and
+    [count > 0]. *)
+
+type estimate_fn = rect -> float
+
+type summary = { mre : float; mae : float; evaluated : int; skipped_empty : int }
+
+val evaluate : Dataset2d.t -> estimate_fn -> rect array -> summary
+(** Mean relative / absolute error against the exact rectangle counts;
+    empty-truth rectangles are excluded from the relative error. *)

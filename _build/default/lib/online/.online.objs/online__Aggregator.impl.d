@@ -1,0 +1,1 @@
+lib/online/aggregator.ml: Array Bandwidth Float Int Kde Kernels Stats

@@ -1,0 +1,1 @@
+lib/online/aggregator.mli: Kde Kernels

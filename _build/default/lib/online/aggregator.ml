@@ -1,0 +1,87 @@
+type t = {
+  kernel : Kernels.Kernel.t;
+  boundary : Kde.Estimator.boundary_policy;
+  domain : float * float;
+  mutable samples : float array; (* growable buffer *)
+  mutable used : int;
+  mutable fitted : Kde.Estimator.t option; (* estimator over the first [fitted_n] *)
+  mutable fitted_n : int;
+}
+
+let create ?(kernel = Kernels.Kernel.Epanechnikov)
+    ?(boundary = Kde.Estimator.Boundary_kernels) ~domain:(lo, hi) () =
+  if lo >= hi then invalid_arg "Aggregator.create: empty domain";
+  {
+    kernel;
+    boundary;
+    domain = (lo, hi);
+    samples = Array.make 1024 0.0;
+    used = 0;
+    fitted = None;
+    fitted_n = 0;
+  }
+
+let add t batch =
+  let need = t.used + Array.length batch in
+  if need > Array.length t.samples then begin
+    let grown = Array.make (Int.max need (2 * Array.length t.samples)) 0.0 in
+    Array.blit t.samples 0 grown 0 t.used;
+    t.samples <- grown
+  end;
+  Array.blit batch 0 t.samples t.used (Array.length batch);
+  t.used <- need
+
+let sample_size t = t.used
+
+let current_estimator t =
+  match t.fitted with
+  | Some est when t.fitted_n = t.used -> est
+  | Some _ | None ->
+    if t.used = 0 then invalid_arg "Aggregator.estimate: no samples yet";
+    let xs = Array.sub t.samples 0 t.used in
+    let scale = if t.used < 2 then 0.0 else Stats.Quantile.robust_scale xs in
+    let lo, hi = t.domain in
+    let h =
+      if t.used < 2 || scale <= 0.0 || not (Float.is_finite scale) then
+        (* Degenerate start-up sample: fall back on a domain-scaled width. *)
+        0.1 *. (hi -. lo)
+      else Bandwidth.Normal_scale.bandwidth ~kernel:t.kernel ~n:t.used ~scale
+    in
+    let h =
+      match t.boundary with
+      | Kde.Estimator.Boundary_kernels -> Float.min h (0.499 *. (hi -. lo))
+      | Kde.Estimator.No_treatment | Kde.Estimator.Reflection -> h
+    in
+    let est = Kde.Estimator.create ~kernel:t.kernel ~boundary:t.boundary ~domain:t.domain ~h xs in
+    t.fitted <- Some est;
+    t.fitted_n <- t.used;
+    est
+
+type estimate = {
+  kernel_selectivity : float;
+  sampling_selectivity : float;
+  ci_halfwidth : float;
+  n : int;
+}
+
+let estimate t ~a ~b =
+  let est = current_estimator t in
+  let kernel_selectivity = Kde.Estimator.selectivity est ~a ~b in
+  let inside = ref 0 in
+  for i = 0 to t.used - 1 do
+    let x = t.samples.(i) in
+    if x >= a && x <= b then incr inside
+  done;
+  let n = t.used in
+  let p = float_of_int !inside /. float_of_int n in
+  let ci_halfwidth =
+    if n = 0 then 1.0
+    else 1.96 *. sqrt (Float.max 1e-12 (p *. (1.0 -. p)) /. float_of_int n)
+  in
+  { kernel_selectivity; sampling_selectivity = p; ci_halfwidth; n }
+
+let estimated_count e ~n_records =
+  let scale = float_of_int n_records in
+  let low = Float.max 0.0 ((e.sampling_selectivity -. e.ci_halfwidth) *. scale) in
+  let high = Float.min scale ((e.sampling_selectivity +. e.ci_halfwidth) *. scale) in
+  (e.kernel_selectivity *. scale, low, high)

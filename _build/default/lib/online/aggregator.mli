@@ -1,0 +1,43 @@
+(** Online approximate aggregation (the paper's future-work item 2, citing
+    Hellerstein et al.'s online aggregation [6]).
+
+    Sample values stream in batches, as an online executor would deliver
+    them; at any point the aggregator answers range-count questions with
+    both the pure-sampling estimate (with its CLT confidence interval) and
+    the kernel estimate built from the samples seen so far.  The kernel
+    estimator is refitted lazily — at most once per batch — with the
+    normal-scale bandwidth of the current sample. *)
+
+type t
+
+val create :
+  ?kernel:Kernels.Kernel.t ->
+  ?boundary:Kde.Estimator.boundary_policy ->
+  domain:float * float ->
+  unit ->
+  t
+(** [create ~domain ()] starts an empty aggregator (Epanechnikov kernel
+    and boundary-kernel treatment by default).
+    @raise Invalid_argument on an empty domain. *)
+
+val add : t -> float array -> unit
+(** [add t batch] appends a batch of sampled attribute values. *)
+
+val sample_size : t -> int
+
+type estimate = {
+  kernel_selectivity : float;  (** the kernel estimate, in [[0, 1]] *)
+  sampling_selectivity : float;  (** fraction of samples in range *)
+  ci_halfwidth : float;
+      (** 95% CLT half-width of the sampling estimate (selectivity units);
+          1 when no samples have arrived *)
+  n : int;  (** samples used *)
+}
+
+val estimate : t -> a:float -> b:float -> estimate
+(** Current answer for the range [[a, b]].
+    @raise Invalid_argument before any sample has arrived. *)
+
+val estimated_count : estimate -> n_records:int -> float * float * float
+(** [(kernel count, sampling CI low, sampling CI high)] scaled to a
+    relation of [n_records] records, the form a progress bar displays. *)

@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* 2^-53: spacing of the 53-bit mantissa grid on [0,1). *)
+let two_pow_minus_53 = 1.0 /. 9007199254740992.0
+
+let next_float t =
+  let bits53 = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits53 *. two_pow_minus_53
+
+let next_below t bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_below: bound must be positive";
+  (* Rejection sampling on the top 62 bits keeps the draw unbiased: reject
+     draws from the incomplete final block of size [range mod b]. *)
+  let b = Int64.of_int bound in
+  let range = Int64.shift_left 1L 62 in
+  let limit = Int64.sub range (Int64.rem range b) in
+  let rec loop () =
+    let r = Int64.shift_right_logical (next t) 2 in
+    if Int64.compare r limit >= 0 then loop () else Int64.to_int (Int64.rem r b)
+  in
+  loop ()

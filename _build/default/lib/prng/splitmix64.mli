@@ -1,0 +1,32 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, high-quality 64-bit generator with a trivially splittable
+    state (Steele, Lea & Flood, OOPSLA 2014).  It is used in this project both
+    as a stand-alone generator and as the seeding procedure of
+    {!Xoshiro256pp}, which must not be seeded with correlated words.
+
+    All state is explicit; none of the functions touch the global [Random]
+    state, so every experiment in the repository is reproducible from its
+    integer seed alone. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Distinct seeds produce
+    independent-looking streams; the all-zero seed is valid. *)
+
+val copy : t -> t
+(** [copy t] is a generator that will produce the same future stream as [t]
+    without affecting it. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val next_float : t -> float
+(** [next_float t] is a uniform float in [[0, 1)], built from the top 53 bits
+    of {!next}. *)
+
+val next_below : t -> int -> int
+(** [next_below t bound] is a uniform integer in [[0, bound)].  Uses rejection
+    to avoid modulo bias.  @raise Invalid_argument if [bound <= 0]. *)

@@ -1,0 +1,96 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  (* The all-zero state is the only invalid one; SplitMix64 cannot produce
+     four zero outputs in a row from any seed, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1 = 0L; s2 = 0L; s3 = 0L }
+  else { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let two_pow_minus_53 = 1.0 /. 9007199254740992.0
+
+let float t =
+  let bits53 = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits53 *. two_pow_minus_53
+
+let float_range t lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) || lo >= hi then
+    invalid_arg "Xoshiro256pp.float_range: requires finite lo < hi";
+  lo +. (float t *. (hi -. lo))
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Xoshiro256pp.int_below: bound must be positive";
+  let b = Int64.of_int bound in
+  let range = Int64.shift_left 1L 62 in
+  let limit = Int64.sub range (Int64.rem range b) in
+  let rec loop () =
+    let r = Int64.shift_right_logical (next t) 2 in
+    if Int64.compare r limit >= 0 then loop () else Int64.to_int (Int64.rem r b)
+  in
+  loop ()
+
+let int_range t lo hi =
+  if lo > hi then invalid_arg "Xoshiro256pp.int_range: requires lo <= hi";
+  lo + int_below t (hi - lo + 1)
+
+let bool t = Int64.compare (Int64.logand (next t) 1L) 1L = 0
+
+(* Jump polynomial of xoshiro256++ (advances 2^128 steps). *)
+let jump_constants = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun c ->
+      for b = 0 to 63 do
+        if Int64.logand c (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (next t)
+      done)
+    jump_constants;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let substream t i =
+  if i < 0 then invalid_arg "Xoshiro256pp.substream: index must be non-negative";
+  let u = copy t in
+  for _ = 0 to i do
+    jump u
+  done;
+  u
+
+let shuffle_prefix t a k =
+  let n = Array.length a in
+  if k < 0 || k > n then invalid_arg "Xoshiro256pp.shuffle_prefix: k out of range";
+  for i = 0 to k - 1 do
+    let j = int_range t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

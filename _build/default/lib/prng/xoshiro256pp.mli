@@ -1,0 +1,54 @@
+(** Xoshiro256++ pseudo-random number generator.
+
+    The general-purpose generator of the repository (Blackman & Vigna, 2019):
+    256 bits of state, period [2^256 - 1], excellent statistical quality and
+    a [jump] function providing 2^128 non-overlapping substreams for
+    independent experiment arms.
+
+    State is explicit and mutable; the global [Random] module is never
+    touched. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] initializes the four state words by running
+    {!Splitmix64} from [seed], as recommended by the authors. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state so the copy replays [t]'s future stream. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val float : t -> float
+(** [float t] is a uniform float in [[0, 1)] (53-bit resolution). *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is a uniform float in [[lo, hi)].
+    @raise Invalid_argument if [lo >= hi] or either bound is not finite. *)
+
+val int_below : t -> int -> int
+(** [int_below t bound] is a uniform integer in [[0, bound)], bias-free.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is a uniform integer in [[lo, hi]] (inclusive).
+    @raise Invalid_argument if [lo > hi]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val jump : t -> unit
+(** [jump t] advances [t] by 2^128 steps in place.  Calling [jump] [i] times
+    on copies of a common origin yields non-overlapping substreams. *)
+
+val substream : t -> int -> t
+(** [substream t i] is an independent generator: a copy of [t] jumped [i + 1]
+    times.  [t] itself is not modified.  @raise Invalid_argument if [i < 0]. *)
+
+val shuffle_prefix : t -> 'a array -> int -> unit
+(** [shuffle_prefix t a k] reorders [a] in place so that its first [k] cells
+    hold a uniform random [k]-subset of the original elements, in random
+    order (partial Fisher-Yates).  @raise Invalid_argument if
+    [k < 0 || k > Array.length a]. *)

@@ -1,0 +1,1 @@
+lib/stats/array_util.mli:

@@ -1,0 +1,1 @@
+lib/stats/integrate.ml: Array Float

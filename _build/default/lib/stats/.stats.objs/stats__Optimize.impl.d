@@ -1,0 +1,1 @@
+lib/stats/optimize.ml: Array

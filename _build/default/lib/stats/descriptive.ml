@@ -1,0 +1,103 @@
+let kahan_sum a =
+  let sum = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = a.(i) -. !c in
+    let t = !sum +. y in
+    c := t -. !sum -. y;
+    sum := t
+  done;
+  !sum
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Descriptive.mean: empty array";
+  kahan_sum a /. float_of_int n
+
+let sum_sq_dev m a =
+  let sum = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. m in
+    let y = (d *. d) -. !c in
+    let t = !sum +. y in
+    c := t -. !sum -. y;
+    sum := t
+  done;
+  !sum
+
+let variance ?mean:m a =
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Descriptive.variance: need at least two elements";
+  let m = match m with Some m -> m | None -> mean a in
+  sum_sq_dev m a /. float_of_int (n - 1)
+
+let population_variance ?mean:m a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Descriptive.population_variance: empty array";
+  let m = match m with Some m -> m | None -> mean a in
+  sum_sq_dev m a /. float_of_int n
+
+let stddev ?mean a = sqrt (variance ?mean a)
+
+let min_max a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Descriptive.min_max: empty array";
+  let mn = ref a.(0) and mx = ref a.(0) in
+  for i = 1 to n - 1 do
+    if a.(i) < !mn then mn := a.(i);
+    if a.(i) > !mx then mx := a.(i)
+  done;
+  (!mn, !mx)
+
+let central_moment k a =
+  if k < 0 then invalid_arg "Descriptive.central_moment: negative order";
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Descriptive.central_moment: empty array";
+  if k = 0 then 1.0
+  else begin
+    let m = mean a in
+    let sum = ref 0.0 and c = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = a.(i) -. m in
+      let rec pow acc j = if j = 0 then acc else pow (acc *. d) (j - 1) in
+      let y = pow 1.0 k -. !c in
+      let t = !sum +. y in
+      c := t -. !sum -. y;
+      sum := t
+    done;
+    !sum /. float_of_int n
+  end
+
+let skewness a =
+  if Array.length a < 2 then invalid_arg "Descriptive.skewness: need at least two elements";
+  let m2 = central_moment 2 a in
+  if m2 <= 0.0 then invalid_arg "Descriptive.skewness: zero variance";
+  central_moment 3 a /. (m2 ** 1.5)
+
+let kurtosis_excess a =
+  if Array.length a < 2 then invalid_arg "Descriptive.kurtosis_excess: need at least two elements";
+  let m2 = central_moment 2 a in
+  if m2 <= 0.0 then invalid_arg "Descriptive.kurtosis_excess: zero variance";
+  (central_moment 4 a /. (m2 *. m2)) -. 3.0
+
+let mean_of_ints a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Descriptive.mean_of_ints: empty array";
+  let sum = ref 0.0 and c = ref 0.0 in
+  for i = 0 to n - 1 do
+    let y = float_of_int a.(i) -. !c in
+    let t = !sum +. y in
+    c := t -. !sum -. y;
+    sum := t
+  done;
+  !sum /. float_of_int n
+
+let stddev_of_ints a =
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Descriptive.stddev_of_ints: need at least two elements";
+  let m = mean_of_ints a in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = float_of_int a.(i) -. m in
+    sum := !sum +. (d *. d)
+  done;
+  sqrt (!sum /. float_of_int (n - 1))

@@ -1,0 +1,45 @@
+(** Descriptive statistics over float arrays.
+
+    Sums use Kahan compensation so that the moment estimates stay accurate on
+    the 100,000-record datasets of the experiments; variances use the
+    two-pass corrected algorithm. *)
+
+val kahan_sum : float array -> float
+(** [kahan_sum a] is the compensated sum of the elements of [a]. *)
+
+val mean : float array -> float
+(** [mean a] is the arithmetic mean.  @raise Invalid_argument on empty. *)
+
+val variance : ?mean:float -> float array -> float
+(** [variance a] is the unbiased sample variance (divides by [n - 1]).
+    [?mean] short-circuits the first pass when already known.
+    @raise Invalid_argument if [Array.length a < 2]. *)
+
+val population_variance : ?mean:float -> float array -> float
+(** [population_variance a] divides by [n].
+    @raise Invalid_argument on empty. *)
+
+val stddev : ?mean:float -> float array -> float
+(** [stddev a] is [sqrt (variance a)]. *)
+
+val min_max : float array -> float * float
+(** [min_max a] is the pair (minimum, maximum).
+    @raise Invalid_argument on empty. *)
+
+val central_moment : int -> float array -> float
+(** [central_moment k a] is [mean ((x - mean a)^k)].
+    @raise Invalid_argument on empty or [k < 0]. *)
+
+val skewness : float array -> float
+(** Sample skewness [m3 / m2^1.5].  @raise Invalid_argument if [n < 2] or the
+    data has zero variance. *)
+
+val kurtosis_excess : float array -> float
+(** Excess kurtosis [m4 / m2^2 - 3].  Same preconditions as {!skewness}. *)
+
+val mean_of_ints : int array -> float
+(** Mean of an integer array, without intermediate float array allocation. *)
+
+val stddev_of_ints : int array -> float
+(** Sample standard deviation of an integer array.
+    @raise Invalid_argument if fewer than two elements. *)

@@ -1,0 +1,74 @@
+let check_bounds name a b =
+  if not (Float.is_finite a && Float.is_finite b) then
+    invalid_arg (name ^ ": bounds must be finite")
+
+let trapezoid f ~a ~b ~n =
+  check_bounds "Integrate.trapezoid" a b;
+  if n <= 0 then invalid_arg "Integrate.trapezoid: n must be positive";
+  let h = (b -. a) /. float_of_int n in
+  let sum = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to n - 1 do
+    sum := !sum +. f (a +. (float_of_int i *. h))
+  done;
+  !sum *. h
+
+let simpson f ~a ~b ~n =
+  check_bounds "Integrate.simpson" a b;
+  if n <= 0 then invalid_arg "Integrate.simpson: n must be positive";
+  let n = if n mod 2 = 0 then n else n + 1 in
+  let h = (b -. a) /. float_of_int n in
+  let sum = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let w = if i mod 2 = 1 then 4.0 else 2.0 in
+    sum := !sum +. (w *. f (a +. (float_of_int i *. h)))
+  done;
+  !sum *. h /. 3.0
+
+let adaptive_simpson ?(eps = 1e-10) ?(max_depth = 50) f ~a ~b =
+  check_bounds "Integrate.adaptive_simpson" a b;
+  let simpson3 fa fm fb a b = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
+  let rec go a b fa fm fb whole eps depth =
+    let m = 0.5 *. (a +. b) in
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson3 fa flm fm a m in
+    let right = simpson3 fm frm fb m b in
+    let delta = left +. right -. whole in
+    if depth <= 0 || Float.abs delta <= 15.0 *. eps then left +. right +. (delta /. 15.0)
+    else
+      go a m fa flm fm left (eps /. 2.0) (depth - 1)
+      +. go m b fm frm fb right (eps /. 2.0) (depth - 1)
+  in
+  let fa = f a and fb = f b and fm = f (0.5 *. (a +. b)) in
+  go a b fa fm fb (simpson3 fa fm fb a b) eps max_depth
+
+(* Gauss-Legendre nodes/weights for n = 10 on [-1, 1] (symmetric halves). *)
+let gl10_nodes =
+  [| 0.1488743389816312; 0.4333953941292472; 0.6794095682990244; 0.8650633666889845;
+     0.9739065285171717 |]
+
+let gl10_weights =
+  [| 0.2955242247147529; 0.2692667193099963; 0.2190863625159820; 0.1494513491505806;
+     0.0666713443086881 |]
+
+let gauss_legendre_10 f ~a ~b =
+  check_bounds "Integrate.gauss_legendre_10" a b;
+  let mid = 0.5 *. (a +. b) and half = 0.5 *. (b -. a) in
+  let acc = ref 0.0 in
+  for i = 0 to 4 do
+    let dx = half *. gl10_nodes.(i) in
+    acc := !acc +. (gl10_weights.(i) *. (f (mid -. dx) +. f (mid +. dx)))
+  done;
+  !acc *. half
+
+let integrate_grid xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Integrate.integrate_grid: length mismatch";
+  if n < 2 then invalid_arg "Integrate.integrate_grid: need at least two points";
+  let sum = ref 0.0 in
+  for i = 0 to n - 2 do
+    let dx = xs.(i + 1) -. xs.(i) in
+    if dx <= 0.0 then invalid_arg "Integrate.integrate_grid: xs must be strictly increasing";
+    sum := !sum +. (0.5 *. dx *. (ys.(i) +. ys.(i + 1)))
+  done;
+  !sum

@@ -1,0 +1,67 @@
+let golden_ratio_conjugate = 0.6180339887498949
+
+let golden_section ?(tol = 1e-8) ?(max_iter = 200) f ~lo ~hi =
+  if lo >= hi then invalid_arg "Optimize.golden_section: requires lo < hi";
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (golden_ratio_conjugate *. (!b -. !a))) in
+  let x2 = ref (!a +. (golden_ratio_conjugate *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let iter = ref 0 in
+  while !b -. !a > tol && !iter < max_iter do
+    incr iter;
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden_ratio_conjugate *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden_ratio_conjugate *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  if !f1 < !f2 then (!x1, !f1) else (!x2, !f2)
+
+let grid_min f xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Optimize.grid_min: empty grid";
+  let best_x = ref xs.(0) and best_f = ref (f xs.(0)) in
+  for i = 1 to n - 1 do
+    let fx = f xs.(i) in
+    if fx < !best_f then begin
+      best_f := fx;
+      best_x := xs.(i)
+    end
+  done;
+  (!best_x, !best_f)
+
+let log_grid ~lo ~hi ~n =
+  if not (lo > 0.0 && lo < hi) then invalid_arg "Optimize.log_grid: requires 0 < lo < hi";
+  if n < 2 then invalid_arg "Optimize.log_grid: need at least two points";
+  let llo = log lo and lhi = log hi in
+  Array.init n (fun i -> exp (llo +. (float_of_int i /. float_of_int (n - 1) *. (lhi -. llo))))
+
+let linear_grid ~lo ~hi ~n =
+  if lo >= hi then invalid_arg "Optimize.linear_grid: requires lo < hi";
+  if n < 2 then invalid_arg "Optimize.linear_grid: need at least two points";
+  Array.init n (fun i -> lo +. (float_of_int i /. float_of_int (n - 1) *. (hi -. lo)))
+
+let refine_around_grid_min ?(polish_iters = 60) f xs =
+  let best_x, best_f = grid_min f xs in
+  let n = Array.length xs in
+  (* Locate the best index to find its neighbours. *)
+  let idx = ref 0 in
+  for i = 0 to n - 1 do
+    if xs.(i) = best_x then idx := i
+  done;
+  let lo = if !idx > 0 then xs.(!idx - 1) else xs.(0) in
+  let hi = if !idx < n - 1 then xs.(!idx + 1) else xs.(n - 1) in
+  if lo >= hi then (best_x, best_f)
+  else begin
+    let x, fx = golden_section ~max_iter:polish_iters f ~lo ~hi in
+    if fx < best_f then (x, fx) else (best_x, best_f)
+  end

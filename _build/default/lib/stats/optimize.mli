@@ -1,0 +1,31 @@
+(** Scalar minimization used by the oracle smoothing-parameter searches.
+
+    The error-versus-smoothing-parameter curves of the paper (Figures 4, 9,
+    11) are roughly U-shaped but noisy, so the oracle searches combine a
+    coarse logarithmic grid scan with a golden-section polish around the best
+    grid cell. *)
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float * float
+(** [golden_section f ~lo ~hi] minimizes unimodal [f] on [[lo, hi]]; returns
+    [(argmin, min)].  [tol] is the absolute interval tolerance (default
+    [1e-8]).  @raise Invalid_argument if [lo >= hi]. *)
+
+val grid_min : (float -> float) -> float array -> float * float
+(** [grid_min f xs] evaluates [f] on every point of [xs] and returns the
+    [(argmin, min)] pair.  @raise Invalid_argument on empty [xs]. *)
+
+val log_grid : lo:float -> hi:float -> n:int -> float array
+(** [log_grid ~lo ~hi ~n] is [n] points geometrically spaced from [lo] to
+    [hi] inclusive.  @raise Invalid_argument unless [0 < lo < hi] and
+    [n >= 2]. *)
+
+val linear_grid : lo:float -> hi:float -> n:int -> float array
+(** [linear_grid ~lo ~hi ~n] is [n] points linearly spaced from [lo] to [hi]
+    inclusive.  @raise Invalid_argument unless [lo < hi] and [n >= 2]. *)
+
+val refine_around_grid_min :
+  ?polish_iters:int -> (float -> float) -> float array -> float * float
+(** [refine_around_grid_min f xs] runs {!grid_min} then golden-section within
+    the two grid cells adjacent to the best point, which tolerates mild
+    non-unimodality away from the optimum. *)

@@ -1,0 +1,36 @@
+let quantile_sorted a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Quantile.quantile_sorted: empty array";
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Quantile.quantile_sorted: q outside [0,1]";
+  if n = 1 then a.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor pos) in
+    let frac = pos -. float_of_int i in
+    if i >= n - 1 then a.(n - 1) else a.(i) +. (frac *. (a.(i + 1) -. a.(i)))
+  end
+
+let quantile a q =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  quantile_sorted b q
+
+let median_sorted a = quantile_sorted a 0.5
+
+let iqr_sorted a = quantile_sorted a 0.75 -. quantile_sorted a 0.25
+
+(* 1.348 ~ 2 * Phi^-1(0.75): IQR of a standard normal. *)
+let iqr_to_sigma = 1.348
+
+let robust_scale_sorted a =
+  if Array.length a < 2 then invalid_arg "Quantile.robust_scale_sorted: need at least two elements";
+  let sd = Descriptive.stddev a in
+  let iqr_scale = iqr_sorted a /. iqr_to_sigma in
+  if sd <= 0.0 then iqr_scale
+  else if iqr_scale <= 0.0 then sd
+  else Float.min sd iqr_scale
+
+let robust_scale a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  robust_scale_sorted b

@@ -1,0 +1,32 @@
+(** Order statistics: quantiles, median, interquartile range and the robust
+    scale estimate used by the normal-scale smoothing rules.
+
+    Quantiles follow the "type 7" convention (linear interpolation of the
+    empirical CDF at [(n-1)q]), the default of R and NumPy, which matches the
+    interquartile-range recipe of the paper's Section 4.1. *)
+
+val quantile_sorted : float array -> float -> float
+(** [quantile_sorted a q] is the type-7 [q]-quantile of the sorted array [a].
+    @raise Invalid_argument if [a] is empty or [q] outside [[0, 1]]. *)
+
+val quantile : float array -> float -> float
+(** Like {!quantile_sorted} but sorts a copy of the input first. *)
+
+val median_sorted : float array -> float
+(** [median_sorted a] is [quantile_sorted a 0.5]. *)
+
+val iqr_sorted : float array -> float
+(** [iqr_sorted a] is the interquartile range [q0.75 - q0.25] of a sorted
+    array. *)
+
+val robust_scale : float array -> float
+(** [robust_scale a] estimates the standard deviation of the underlying
+    distribution as [min (sample stddev) (IQR / 1.348)], the exact rule of
+    the paper's Sections 4.1-4.2 (the constant 1.348 makes the IQR an
+    unbiased scale estimate under normality).  The input does not have to be
+    sorted.  Falls back on whichever of the two estimates is positive when
+    the other degenerates to zero, and raises [Invalid_argument] when the
+    array has fewer than two elements. *)
+
+val robust_scale_sorted : float array -> float
+(** {!robust_scale} for data already sorted (skips the sorting copy). *)

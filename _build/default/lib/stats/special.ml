@@ -1,0 +1,135 @@
+(* erf/erfc: rational Chebyshev approximations of W. J. Cody (1969), as in
+   netlib's CALERF.  Three regions: |x| <= 0.46875, 0.46875 < |x| <= 4,
+   |x| > 4; relative error below 1.2e-16 in each. *)
+
+let a_small =
+  [| 3.16112374387056560e0; 1.13864154151050156e2; 3.77485237685302021e2;
+     3.20937758913846947e3; 1.85777706184603153e-1 |]
+
+let b_small =
+  [| 2.36012909523441209e1; 2.44024637934444173e2; 1.28261652607737228e3;
+     2.84423683343917062e3 |]
+
+let c_mid =
+  [| 5.64188496988670089e-1; 8.88314979438837594e0; 6.61191906371416295e1;
+     2.98635138197400131e2; 8.81952221241769090e2; 1.71204761263407058e3;
+     2.05107837782607147e3; 1.23033935479799725e3; 2.15311535474403846e-8 |]
+
+let d_mid =
+  [| 1.57449261107098347e1; 1.17693950891312499e2; 5.37181101862009858e2;
+     1.62138957456669019e3; 3.29079923573345963e3; 4.36261909014324716e3;
+     3.43936767414372164e3; 1.23033935480374942e3 |]
+
+let p_large =
+  [| 3.05326634961232344e-1; 3.60344899949804439e-1; 1.25781726111229246e-1;
+     1.60837851487422766e-2; 6.58749161529837803e-4; 1.63153871373020978e-2 |]
+
+let q_large =
+  [| 2.56852019228982242e0; 1.87295284992346047e0; 5.27905102951428412e-1;
+     6.05183413124413191e-2; 2.33520497626869185e-3 |]
+
+let inv_sqrt_pi = 0.5641895835477562869
+
+(* exp(-y^2) with the argument split to avoid cancellation for large y. *)
+let exp_neg_sq y =
+  let ysq = Float.of_int (int_of_float (y *. 16.0)) /. 16.0 in
+  let del = (y -. ysq) *. (y +. ysq) in
+  exp (-.ysq *. ysq) *. exp (-.del)
+
+let erf_small x =
+  let z = x *. x in
+  let xnum = ref (a_small.(4) *. z) and xden = ref z in
+  for i = 0 to 2 do
+    xnum := (!xnum +. a_small.(i)) *. z;
+    xden := (!xden +. b_small.(i)) *. z
+  done;
+  x *. (!xnum +. a_small.(3)) /. (!xden +. b_small.(3))
+
+let erfc_mid y =
+  let xnum = ref (c_mid.(8) *. y) and xden = ref y in
+  for i = 0 to 6 do
+    xnum := (!xnum +. c_mid.(i)) *. y;
+    xden := (!xden +. d_mid.(i)) *. y
+  done;
+  exp_neg_sq y *. (!xnum +. c_mid.(7)) /. (!xden +. d_mid.(7))
+
+let erfc_large y =
+  let z = 1.0 /. (y *. y) in
+  let xnum = ref (p_large.(5) *. z) and xden = ref z in
+  for i = 0 to 3 do
+    xnum := (!xnum +. p_large.(i)) *. z;
+    xden := (!xden +. q_large.(i)) *. z
+  done;
+  let r = z *. (!xnum +. p_large.(4)) /. (!xden +. q_large.(4)) in
+  exp_neg_sq y *. (inv_sqrt_pi -. r) /. y
+
+let erfc_positive y =
+  if y <= 0.46875 then 1.0 -. erf_small y
+  else if y <= 4.0 then erfc_mid y
+  else if y < 26.6 then erfc_large y
+  else 0.0
+
+let erfc x = if x >= 0.0 then erfc_positive x else 2.0 -. erfc_positive (-.x)
+
+let erf x =
+  let y = Float.abs x in
+  if y <= 0.46875 then erf_small x
+  else begin
+    let v = 1.0 -. erfc_positive y in
+    if x >= 0.0 then v else -.v
+  end
+
+let sqrt_two_pi = 2.5066282746310002
+
+let normal_pdf x = exp (-0.5 *. x *. x) /. sqrt_two_pi
+
+let sqrt_half = 0.7071067811865476
+
+let normal_cdf x = 0.5 *. erfc (-.x *. sqrt_half)
+
+(* Inverse normal CDF: Acklam's rational approximation (relative error
+   ~1.15e-9), refined by one Halley step to full double precision. *)
+
+let aq =
+  [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+     1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+
+let bq =
+  [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+     6.680131188771972e+01; -1.328068155288572e+01 |]
+
+let cq =
+  [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+     -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+
+let dq =
+  [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+     3.754408661907416e+00 |]
+
+let acklam p =
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    (((((cq.(0) *. q +. cq.(1)) *. q +. cq.(2)) *. q +. cq.(3)) *. q +. cq.(4)) *. q +. cq.(5))
+    /. ((((dq.(0) *. q +. dq.(1)) *. q +. dq.(2)) *. q +. dq.(3)) *. q +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((aq.(0) *. r +. aq.(1)) *. r +. aq.(2)) *. r +. aq.(3)) *. r +. aq.(4)) *. r +. aq.(5))
+    *. q
+    /. (((((bq.(0) *. r +. bq.(1)) *. r +. bq.(2)) *. r +. bq.(3)) *. r +. bq.(4)) *. r +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((cq.(0) *. q +. cq.(1)) *. q +. cq.(2)) *. q +. cq.(3)) *. q +. cq.(4)) *. q +. cq.(5))
+       /. ((((dq.(0) *. q +. dq.(1)) *. q +. dq.(2)) *. q +. dq.(3)) *. q +. 1.0))
+  end
+
+let normal_quantile p =
+  if not (p > 0.0 && p < 1.0) then invalid_arg "Special.normal_quantile: p must be in (0,1)";
+  let x = acklam p in
+  (* One Halley refinement using the accurate CDF. *)
+  let e = normal_cdf x -. p in
+  let u = e *. sqrt_two_pi *. exp (0.5 *. x *. x) in
+  x -. (u /. (1.0 +. (x *. u *. 0.5)))

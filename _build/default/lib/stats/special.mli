@@ -1,0 +1,27 @@
+(** Special functions needed by the normal distribution: error function,
+    complementary error function, the standard normal PDF/CDF and the inverse
+    normal CDF.
+
+    [erf]/[erfc] use the rational Chebyshev approximation of W. J. Cody
+    (Communications of the ACM, 1969) with relative error below 1e-15 on the
+    whole real line; the inverse CDF uses Acklam's rational approximation
+    refined by one Halley step, accurate to full double precision. *)
+
+val erf : float -> float
+(** The error function [2/sqrt(pi) * int_0^x exp(-t^2) dt]. *)
+
+val erfc : float -> float
+(** The complementary error function [1 - erf x], accurate for large [x]. *)
+
+val normal_pdf : float -> float
+(** Standard normal density [exp(-x^2/2) / sqrt(2 pi)]. *)
+
+val normal_cdf : float -> float
+(** Standard normal cumulative distribution function. *)
+
+val normal_quantile : float -> float
+(** [normal_quantile p] is the [p]-quantile of the standard normal.
+    @raise Invalid_argument unless [0 < p < 1]. *)
+
+val sqrt_two_pi : float
+(** [sqrt (2 * pi)], shared by density formulas across the repository. *)

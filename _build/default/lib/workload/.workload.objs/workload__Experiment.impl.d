@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Bandwidth Data Float Kernels List Metrics Prng Selest

@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Data Kde Metrics Query Selest

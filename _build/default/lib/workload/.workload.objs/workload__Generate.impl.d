@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Data Float Int Prng Query

@@ -1,0 +1,1 @@
+lib/workload/query.mli:

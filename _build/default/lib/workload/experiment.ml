@@ -1,0 +1,49 @@
+(* Value k occupies the cell [k - 0.5, k + 0.5] of the continuous
+   estimation domain, matching the half-integer query representation of
+   {!Generate}. *)
+let domain_of ds = (-0.5, float_of_int (Data.Dataset.domain_size ds) -. 0.5)
+
+let sample_of ds ~seed ~n =
+  let rng = Prng.Xoshiro256pp.create seed in
+  Data.Dataset.sample_floats ds rng ~n
+
+let paper_sample_size = 2000
+
+let estimate_fn_of_spec ds ~sample spec =
+  let est = Selest.Estimator.build spec ~domain:(domain_of ds) sample in
+  fun ~a ~b -> Selest.Estimator.selectivity est ~a ~b
+
+let summary_of_spec ds ~sample ~queries spec =
+  Metrics.evaluate ds (estimate_fn_of_spec ds ~sample spec) queries
+
+let mre_of_spec ds ~sample ~queries spec = (summary_of_spec ds ~sample ~queries spec).mre
+
+let compare_specs ds ~sample ~queries specs =
+  List.map
+    (fun spec -> (Selest.Estimator.spec_name spec, summary_of_spec ds ~sample ~queries spec))
+    specs
+
+let oracle_bin_count ?(max_bins = 2000) ds ~sample ~queries =
+  let objective bins =
+    mre_of_spec ds ~sample ~queries (Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins bins))
+  in
+  Bandwidth.Oracle.best_bin_count ~max_bins ~objective ()
+
+let oracle_bandwidth ?(points = 30) ~boundary ds ~sample ~queries =
+  let ns =
+    Bandwidth.Normal_scale.bandwidth_of_samples ~kernel:Kernels.Kernel.Epanechnikov sample
+  in
+  let lo, hi = domain_of ds in
+  (* Bandwidths past half the domain are all equivalent after the boundary
+     clamp; searching them only wastes oracle evaluations. *)
+  let upper = Float.min (30.0 *. ns) (0.45 *. (hi -. lo)) in
+  let objective h =
+    mre_of_spec ds ~sample ~queries
+      (Selest.Estimator.Kernel
+         {
+           kernel = Kernels.Kernel.Epanechnikov;
+           boundary;
+           bandwidth = Selest.Estimator.Fixed_bandwidth h;
+         })
+  in
+  Bandwidth.Oracle.best_bandwidth ~points ~objective ~lo:(ns /. 30.0) ~hi:upper ()

@@ -1,0 +1,59 @@
+(** Experiment harness tying datasets, samples, query files and estimator
+    specs together — the machinery behind every figure reproduction and the
+    CLI's [experiment] command. *)
+
+val domain_of : Data.Dataset.t -> float * float
+(** The continuous estimation domain [[-0.5, 2^p - 0.5]] of a dataset:
+    value [k] occupies the unit cell centered at [k], so the half-integer
+    query bounds of {!Generate} cover whole atoms. *)
+
+val sample_of : Data.Dataset.t -> seed:int64 -> n:int -> float array
+(** Deterministic sample (without replacement) of [n] record values as
+    floats. *)
+
+val paper_sample_size : int
+(** 2,000 — the sample size of the paper's experiments. *)
+
+val mre_of_spec :
+  Data.Dataset.t ->
+  sample:float array ->
+  queries:Query.t array ->
+  Selest.Estimator.spec ->
+  float
+(** Build the spec on the sample and return its MRE on the query file. *)
+
+val summary_of_spec :
+  Data.Dataset.t ->
+  sample:float array ->
+  queries:Query.t array ->
+  Selest.Estimator.spec ->
+  Metrics.summary
+(** Like {!mre_of_spec} but returning the full error summary. *)
+
+val compare_specs :
+  Data.Dataset.t ->
+  sample:float array ->
+  queries:Query.t array ->
+  Selest.Estimator.spec list ->
+  (string * Metrics.summary) list
+(** Evaluate several specs on the same sample and query file. *)
+
+val oracle_bin_count :
+  ?max_bins:int ->
+  Data.Dataset.t ->
+  sample:float array ->
+  queries:Query.t array ->
+  int * float
+(** The [h-opt] reference for equi-width histograms: the bin count
+    minimizing the observed MRE, with that MRE. *)
+
+val oracle_bandwidth :
+  ?points:int ->
+  boundary:Kde.Estimator.boundary_policy ->
+  Data.Dataset.t ->
+  sample:float array ->
+  queries:Query.t array ->
+  float * float
+(** The [h-opt] reference for kernel estimators: the Epanechnikov bandwidth
+    minimizing the observed MRE over a logarithmic grid spanning
+    [[ns/30, 30 ns]] around the normal-scale bandwidth. *)

@@ -1,0 +1,50 @@
+let paper_fractions = [ 0.01; 0.02; 0.05; 0.10 ]
+let paper_count = 1000
+
+(* Queries are integer ranges over the attribute domain: a query of
+   [width_int] values covering integers [a .. a + width_int - 1] is
+   represented by the continuous interval [a - 0.5, a + width_int - 0.5],
+   so that the exact oracle (which counts integers) and the density
+   estimators (which integrate) see exactly the same atoms — each value's
+   kernel bump is symmetric around the value, so half-integer endpoints
+   include or exclude whole atoms. *)
+
+let width_of ds fraction =
+  Int.max 1 (int_of_float (Float.round (fraction *. float_of_int (Data.Dataset.domain_size ds))))
+
+let query_of_start a width_int =
+  Query.make ~lo:(float_of_int a -. 0.5) ~hi:(float_of_int (a + width_int - 1) +. 0.5)
+
+let size_separated ds ~seed ~fraction ~count =
+  if not (fraction > 0.0 && fraction <= 1.0) then
+    invalid_arg "Generate.size_separated: fraction must be in (0, 1]";
+  if count <= 0 then invalid_arg "Generate.size_separated: count must be positive";
+  let rng = Prng.Xoshiro256pp.create seed in
+  let values = Data.Dataset.values ds in
+  let n = Array.length values in
+  let limit = Data.Dataset.domain_size ds in
+  let width_int = width_of ds fraction in
+  let rec draw attempts =
+    if attempts > 10_000 then
+      invalid_arg
+        "Generate.size_separated: could not place a query inside the domain (query too wide \
+         for this data distribution?)"
+    else begin
+      let center = values.(Prng.Xoshiro256pp.int_below rng n) in
+      let a = center - (width_int / 2) in
+      if a >= 0 && a + width_int <= limit then query_of_start a width_int
+      else draw (attempts + 1)
+    end
+  in
+  Array.init count (fun _ -> draw 0)
+
+let positional_sweep ds ~fraction ~count =
+  if not (fraction > 0.0 && fraction <= 1.0) then
+    invalid_arg "Generate.positional_sweep: fraction must be in (0, 1]";
+  if count <= 1 then invalid_arg "Generate.positional_sweep: count must be at least 2";
+  let limit = Data.Dataset.domain_size ds in
+  let width_int = Int.min (width_of ds fraction) limit in
+  let span = limit - width_int in
+  Array.init count (fun i ->
+      let a = int_of_float (Float.round (float_of_int i /. float_of_int (count - 1) *. float_of_int span)) in
+      query_of_start a width_int)

@@ -1,0 +1,32 @@
+(** Query-file generation (Section 5.1.2).
+
+    The paper's query files are size-separated: each file fixes the query
+    width to a percentage of the domain (1, 2, 5 or 10 %), holds 1,000
+    queries whose positions follow the data distribution (a random record
+    is the query center), and rejects positions that would clip the query
+    at a domain boundary. *)
+
+val size_separated :
+  Data.Dataset.t -> seed:int64 -> fraction:float -> count:int -> Query.t array
+(** [size_separated ds ~seed ~fraction ~count] draws [count] integer range
+    queries covering [round (fraction * domain_size)] consecutive attribute
+    values; centers are record values drawn with replacement; queries
+    partially outside the domain are rejected and redrawn.  Queries are
+    represented with half-integer continuous bounds ([a - 0.5,
+    b + 0.5] for the integer range [a..b]) so the exact oracle and the
+    density estimators agree on which atoms a query covers.
+    @raise Invalid_argument unless [0 < fraction <= 1] and [count > 0]. *)
+
+val positional_sweep :
+  Data.Dataset.t -> fraction:float -> count:int -> Query.t array
+(** [positional_sweep ds ~fraction ~count] places [count] queries of the
+    given width with starts evenly spaced from one domain end to the other,
+    including positions flush against the boundaries — the workload behind
+    the boundary-error curves (Figures 3 and 10).  Same half-integer
+    representation as {!size_separated}. *)
+
+val paper_fractions : float list
+(** The four query sizes of the paper: 1 %, 2 %, 5 % and 10 %. *)
+
+val paper_count : int
+(** 1,000 queries per file, as in the paper. *)

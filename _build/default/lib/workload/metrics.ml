@@ -1,0 +1,66 @@
+type estimate_fn = a:float -> b:float -> float
+
+type summary = {
+  mre : float;
+  mae : float;
+  mean_signed : float;
+  max_relative : float;
+  evaluated : int;
+  skipped_empty : int;
+}
+
+let evaluate ds estimate queries =
+  if Array.length queries = 0 then invalid_arg "Metrics.evaluate: empty query array";
+  let n_records = Data.Dataset.size ds in
+  let rel_sum = ref 0.0
+  and abs_sum = ref 0.0
+  and signed_sum = ref 0.0
+  and rel_max = ref 0.0
+  and evaluated = ref 0
+  and skipped = ref 0 in
+  Array.iter
+    (fun (q : Query.t) ->
+      let truth = float_of_int (Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi) in
+      let est = estimate ~a:q.lo ~b:q.hi *. float_of_int n_records in
+      let signed = est -. truth in
+      abs_sum := !abs_sum +. Float.abs signed;
+      signed_sum := !signed_sum +. signed;
+      if truth > 0.0 then begin
+        let rel = Float.abs signed /. truth in
+        rel_sum := !rel_sum +. rel;
+        if rel > !rel_max then rel_max := rel;
+        incr evaluated
+      end
+      else incr skipped)
+    queries;
+  let count = float_of_int (Array.length queries) in
+  {
+    mre = (if !evaluated = 0 then Float.nan else !rel_sum /. float_of_int !evaluated);
+    mae = !abs_sum /. count;
+    mean_signed = !signed_sum /. count;
+    max_relative = !rel_max;
+    evaluated = !evaluated;
+    skipped_empty = !skipped;
+  }
+
+let mre ds estimate queries = (evaluate ds estimate queries).mre
+
+type position_error = {
+  position : float;
+  signed_error : float;
+  relative_error : float;
+}
+
+let error_by_position ds estimate queries =
+  let n_records = Data.Dataset.size ds in
+  Array.map
+    (fun (q : Query.t) ->
+      let truth = float_of_int (Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi) in
+      let est = estimate ~a:q.lo ~b:q.hi *. float_of_int n_records in
+      let signed = est -. truth in
+      {
+        position = Query.center q;
+        signed_error = signed;
+        relative_error = (if truth > 0.0 then Float.abs signed /. truth else 0.0);
+      })
+    queries

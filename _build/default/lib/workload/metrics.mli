@@ -1,0 +1,40 @@
+(** Error metrics over query workloads (Section 5.1.2).
+
+    The headline metric is the mean relative error
+
+    {v MRE(D, s) = 1/|F| * sum_Q | |Q| - sigma_hat * |D| | / |Q| v}
+
+    where [|Q|] is the true result size.  Queries with an empty true result
+    are excluded from the relative error (the paper's query generator makes
+    them rare: query positions follow the data); they are still counted in
+    the absolute error and reported in the summary. *)
+
+type estimate_fn = a:float -> b:float -> float
+(** A fitted estimator: distribution selectivity of [Q(a,b)]. *)
+
+type summary = {
+  mre : float;  (** mean relative error over queries with non-empty results *)
+  mae : float;  (** mean absolute error in records, over all queries *)
+  mean_signed : float;  (** mean of (estimated - true) record counts *)
+  max_relative : float;  (** worst relative error over non-empty queries *)
+  evaluated : int;  (** queries with non-empty true results *)
+  skipped_empty : int;  (** queries with a zero true result size *)
+}
+
+val evaluate : Data.Dataset.t -> estimate_fn -> Query.t array -> summary
+(** [evaluate ds estimate queries] compares the estimated result sizes
+    against the dataset's exact counts.
+    @raise Invalid_argument on an empty query array. *)
+
+val mre : Data.Dataset.t -> estimate_fn -> Query.t array -> float
+(** Shorthand for [(evaluate ...).mre]. *)
+
+type position_error = {
+  position : float;  (** query center *)
+  signed_error : float;  (** estimated minus true result size, in records *)
+  relative_error : float;  (** |signed| / true size; 0 when the truth is 0 *)
+}
+
+val error_by_position :
+  Data.Dataset.t -> estimate_fn -> Query.t array -> position_error array
+(** Per-query errors in workload order — the curves of Figures 3 and 10. *)

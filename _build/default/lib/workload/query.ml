@@ -1,0 +1,10 @@
+type t = { lo : float; hi : float }
+
+let make ~lo ~hi =
+  if not (Float.is_finite lo && Float.is_finite hi) || lo > hi then
+    invalid_arg "Query.make: requires finite lo <= hi";
+  { lo; hi }
+
+let width q = q.hi -. q.lo
+let center q = 0.5 *. (q.lo +. q.hi)
+let contains q x = x >= q.lo && x <= q.hi

@@ -1,0 +1,13 @@
+(** Range queries [Q(a, b)] over one metric attribute (Section 2). *)
+
+type t = { lo : float; hi : float }
+
+val make : lo:float -> hi:float -> t
+(** @raise Invalid_argument if [lo > hi] or a bound is not finite. *)
+
+val width : t -> float
+
+val center : t -> float
+
+val contains : t -> float -> bool
+(** Inclusive on both ends, matching [a <= r.A <= b]. *)

@@ -1,0 +1,1 @@
+test/test_bandwidth.ml: Alcotest Array Bandwidth Dists Float Int Kernels List Printf Prng

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Data Dists Float Fun Gen Int List Prng QCheck QCheck_alcotest Result Set Stats String

@@ -1,0 +1,1 @@
+test/test_dists.ml: Alcotest Array Dists Float Lazy List Prng QCheck QCheck_alcotest Stats

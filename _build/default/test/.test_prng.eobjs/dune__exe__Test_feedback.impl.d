@@ -1,0 +1,1 @@
+test/test_feedback.ml: Alcotest Array Data Feedback Float List Printf Prng QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_histograms.ml: Alcotest Array Float Histograms List Printf Prng QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Array Bandwidth Float Hybrid Kde Kernels List Printf Prng QCheck QCheck_alcotest Stats

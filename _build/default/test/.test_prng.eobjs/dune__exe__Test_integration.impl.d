@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Data Float Kde Kernels Lazy List Printf Selest Workload

@@ -1,0 +1,1 @@
+test/test_join.ml: Alcotest Array Data Float Gen Join List Printf QCheck QCheck_alcotest Selest Workload

@@ -1,0 +1,1 @@
+test/test_kde.ml: Alcotest Array Float Kde Kernels List Printf Prng QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Float Kernels List Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_multidim.ml: Alcotest Array Dists Float Gen Int Kernels List Multidim Printf Prng QCheck QCheck_alcotest Selest Stats

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Data Filename Float Int64 Online Printf Prng Sys

@@ -1,0 +1,1 @@
+test/test_selest.ml: Alcotest Array Float Kde Kernels List Printf Prng QCheck QCheck_alcotest Selest Set String

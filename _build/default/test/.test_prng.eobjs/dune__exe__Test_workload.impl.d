@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Data Float Kde Kernels List Printf Selest Workload

@@ -1,0 +1,413 @@
+(* Tests for the data library: datasets, generators, the exact-selectivity
+   oracle, sampling and the Table 2 catalog. *)
+
+module Ds = Data.Dataset
+module G = Data.Generate
+module R = Data.Realistic
+module C = Data.Catalog
+module Xo = Prng.Xoshiro256pp
+
+let checkf tol = Alcotest.(check (float tol))
+
+let small = Ds.create ~name:"small" ~bits:4 [| 0; 1; 1; 3; 7; 7; 7; 15 |]
+
+(* --- creation & accessors --- *)
+
+let test_create_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dataset.create: empty value array") (fun () ->
+      ignore (Ds.create ~name:"x" ~bits:4 [||]));
+  Alcotest.check_raises "bits range" (Invalid_argument "Dataset.create: bits must be in [1, 62]")
+    (fun () -> ignore (Ds.create ~name:"x" ~bits:0 [| 0 |]));
+  Alcotest.check_raises "value outside"
+    (Invalid_argument "Dataset.create(x): value 16 outside domain [0, 16)") (fun () ->
+      ignore (Ds.create ~name:"x" ~bits:4 [| 16 |]));
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Dataset.create(x): value -1 outside domain [0, 16)") (fun () ->
+      ignore (Ds.create ~name:"x" ~bits:4 [| -1 |]))
+
+let test_accessors () =
+  Alcotest.(check string) "name" "small" (Ds.name small);
+  Alcotest.(check int) "bits" 4 (Ds.bits small);
+  Alcotest.(check int) "domain" 16 (Ds.domain_size small);
+  Alcotest.(check int) "size" 8 (Ds.size small);
+  Alcotest.(check int) "distinct" 5 (Ds.distinct_count small);
+  Alcotest.(check int) "max dup" 3 (Ds.max_duplicate_frequency small)
+
+let test_sorted_values () =
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 1; 3; 7; 7; 7; 15 |] (Ds.sorted_values small)
+
+let test_input_copied () =
+  let arr = [| 1; 2; 3 |] in
+  let ds = Ds.create ~name:"c" ~bits:4 arr in
+  arr.(0) <- 9;
+  Alcotest.(check (array int)) "storage copied" [| 1; 2; 3 |] (Ds.values ds)
+
+(* --- exact count oracle --- *)
+
+let test_exact_count_basic () =
+  Alcotest.(check int) "middle" 6 (Ds.exact_count small ~lo:1.0 ~hi:7.0);
+  Alcotest.(check int) "inclusive both ends" 8 (Ds.exact_count small ~lo:0.0 ~hi:15.0);
+  Alcotest.(check int) "empty range" 0 (Ds.exact_count small ~lo:4.0 ~hi:6.0);
+  Alcotest.(check int) "inverted" 0 (Ds.exact_count small ~lo:7.0 ~hi:1.0);
+  Alcotest.(check int) "single point" 3 (Ds.exact_count small ~lo:7.0 ~hi:7.0)
+
+let test_exact_count_fractional_bounds () =
+  (* [0.5, 7.5] contains integers 1..7. *)
+  Alcotest.(check int) "fractional" 6 (Ds.exact_count small ~lo:0.5 ~hi:7.5);
+  (* [6.9, 7.1] contains only 7. *)
+  Alcotest.(check int) "tight fractional" 3 (Ds.exact_count small ~lo:6.9 ~hi:7.1)
+
+let test_exact_selectivity () =
+  checkf 1e-12 "selectivity" 0.75 (Ds.exact_selectivity small ~lo:1.0 ~hi:7.0)
+
+let prop_exact_count_matches_scan =
+  QCheck.Test.make ~name:"oracle matches linear scan" ~count:500
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 60) (int_range 0 31))
+        (int_range (-2) 33) (int_range (-2) 33))
+    (fun (l, a, b) ->
+      let ds = Ds.create ~name:"p" ~bits:5 (Array.of_list l) in
+      let lo = float_of_int (min a b) and hi = float_of_int (max a b) in
+      let expected =
+        List.length (List.filter (fun v -> float_of_int v >= lo && float_of_int v <= hi) l)
+      in
+      Ds.exact_count ds ~lo ~hi = expected)
+
+(* --- sampling --- *)
+
+let test_sample_full_is_permutation () =
+  let rng = Xo.create 3L in
+  let s = Ds.sample_without_replacement small rng ~n:8 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "multiset equality" (Ds.sorted_values small) sorted
+
+let test_sample_bounds () =
+  let rng = Xo.create 4L in
+  Alcotest.check_raises "n too large"
+    (Invalid_argument "Dataset.sample_without_replacement: n outside [1, size]") (fun () ->
+      ignore (Ds.sample_without_replacement small rng ~n:9));
+  Alcotest.check_raises "n zero"
+    (Invalid_argument "Dataset.sample_without_replacement: n outside [1, size]") (fun () ->
+      ignore (Ds.sample_without_replacement small rng ~n:0))
+
+let test_sample_deterministic () =
+  let s1 = Ds.sample_without_replacement small (Xo.create 5L) ~n:4 in
+  let s2 = Ds.sample_without_replacement small (Xo.create 5L) ~n:4 in
+  Alcotest.(check (array int)) "same seed same sample" s1 s2
+
+let test_sample_floats () =
+  let s = Ds.sample_floats small (Xo.create 6L) ~n:3 in
+  Alcotest.(check int) "length" 3 (Array.length s);
+  Array.iter (fun x -> Alcotest.(check bool) "integral" true (Float.is_integer x)) s
+
+let test_sample_without_replacement_distinct_indices () =
+  (* On a dataset with all-distinct values, a sample without replacement has
+     no duplicates. *)
+  let ds = Ds.create ~name:"d" ~bits:10 (Array.init 500 Fun.id) in
+  let s = Ds.sample_without_replacement ds (Xo.create 7L) ~n:200 in
+  let module IS = Set.Make (Int) in
+  Alcotest.(check int) "distinct" 200 (IS.cardinal (IS.of_list (Array.to_list s)))
+
+(* --- generators --- *)
+
+let test_generate_in_domain () =
+  List.iter
+    (fun family ->
+      let ds = G.generate family ~bits:10 ~count:5_000 ~seed:11L in
+      let limit = 1024 in
+      Array.iter
+        (fun v -> if v < 0 || v >= limit then Alcotest.failf "out of domain: %d" v)
+        (Ds.values ds);
+      Alcotest.(check int) "count" 5_000 (Ds.size ds))
+    [ G.Uniform_family; G.Normal_family; G.Exponential_family; G.Zipf_family ]
+
+let test_generate_names () =
+  Alcotest.(check string) "uniform name" "u(10)"
+    (Ds.name (G.generate G.Uniform_family ~bits:10 ~count:10 ~seed:1L));
+  Alcotest.(check string) "zipf name" "z(8)"
+    (Ds.name (G.generate G.Zipf_family ~bits:8 ~count:10 ~seed:1L))
+
+let test_normal_centered () =
+  let ds = G.generate G.Normal_family ~bits:12 ~count:20_000 ~seed:12L in
+  let m = Stats.Descriptive.mean_of_ints (Ds.values ds) in
+  (* Mean maps to the domain center, 2048 (the truncated slice of the
+     reference-width normal is symmetric around it). *)
+  Alcotest.(check bool) "centered" true (Float.abs (m -. 2048.0) < 40.0)
+
+let test_exponential_left_skewed () =
+  (* At the reference domain (p = 20) the exponential is the paper's highly
+     skewed shape: the median sits at mean * ln 2 = 2^17 ln 2, far below
+     the domain center 2^19. *)
+  let ds = G.generate G.Exponential_family ~bits:20 ~count:20_000 ~seed:13L in
+  let sorted = Ds.sorted_values ds in
+  let median = sorted.(Array.length sorted / 2) in
+  Alcotest.(check bool) "left-skewed" true (median < 1 lsl 18)
+
+let test_small_domains_have_more_duplicates () =
+  (* The figure-5 premise: the same family at a smaller p duplicates more
+     heavily because the absolute spread is fixed. *)
+  let coarse = G.generate G.Normal_family ~bits:10 ~count:20_000 ~seed:14L in
+  let fine = G.generate G.Normal_family ~bits:20 ~count:20_000 ~seed:14L in
+  Alcotest.(check bool) "coarse duplicates" true
+    (Ds.max_duplicate_frequency coarse > 3 * Ds.max_duplicate_frequency fine)
+
+let test_generate_deterministic () =
+  let d1 = G.generate G.Normal_family ~bits:10 ~count:100 ~seed:77L in
+  let d2 = G.generate G.Normal_family ~bits:10 ~count:100 ~seed:77L in
+  Alcotest.(check (array int)) "reproducible" (Ds.values d1) (Ds.values d2)
+
+let test_scaled_model_shapes () =
+  let m = G.scaled_model G.Normal_family ~bits:10 in
+  checkf 1e-9 "mean is domain center" 512.0 (Dists.Model.mean m);
+  let u = G.scaled_model G.Uniform_family ~bits:10 in
+  checkf 1e-9 "uniform mean" 512.0 (Dists.Model.mean u)
+
+(* --- realistic simulators --- *)
+
+let test_arapahoe_properties () =
+  let ds = R.arapahoe ~dim:1 ~seed:42L in
+  Alcotest.(check int) "records" 52_120 (Ds.size ds);
+  Alcotest.(check int) "bits" 21 (Ds.bits ds);
+  Alcotest.(check string) "name" "arap1" (Ds.name ds);
+  let ds2 = R.arapahoe ~dim:2 ~seed:42L in
+  Alcotest.(check int) "dim2 bits" 18 (Ds.bits ds2)
+
+let test_arapahoe_invalid_dim () =
+  Alcotest.check_raises "dim 3" (Invalid_argument "Realistic.arapahoe: dim must be 1 or 2")
+    (fun () -> ignore (R.arapahoe ~dim:3 ~seed:1L))
+
+let test_railroad_properties () =
+  let ds = R.railroad ~dim:1 ~bits:12 ~seed:42L in
+  Alcotest.(check int) "records" 257_942 (Ds.size ds);
+  Alcotest.(check string) "name" "rr1(12)" (Ds.name ds)
+
+let test_railroad_resolution_coupling () =
+  (* The p = 12 file must be the coarse quantization of the p = 22 file. *)
+  let coarse = R.railroad ~dim:1 ~bits:12 ~seed:42L in
+  let fine = R.railroad ~dim:1 ~bits:22 ~seed:42L in
+  let vc = Ds.values coarse and vf = Ds.values fine in
+  let ok = ref true in
+  for i = 0 to 1000 do
+    if vf.(i) lsr 10 <> vc.(i) then ok := false
+  done;
+  Alcotest.(check bool) "coarse = fine >> 10" true !ok
+
+let test_railroad_duplicates_at_low_bits () =
+  let coarse = R.railroad ~dim:1 ~bits:12 ~seed:42L in
+  let fine = R.railroad ~dim:1 ~bits:22 ~seed:42L in
+  Alcotest.(check bool) "coarse heavily duplicated" true
+    (Ds.distinct_count coarse < Ds.size coarse / 50);
+  Alcotest.(check bool) "fine mostly distinct" true (Ds.distinct_count fine > Ds.size fine / 2)
+
+let test_instance_weight_properties () =
+  let ds = R.instance_weight ~seed:42L in
+  Alcotest.(check int) "records" 199_523 (Ds.size ds);
+  Alcotest.(check string) "name" "iw" (Ds.name ds);
+  (* The atom construction yields heavy duplicate spikes. *)
+  Alcotest.(check bool) "spikes" true (Ds.max_duplicate_frequency ds > 200)
+
+let test_realistic_deterministic () =
+  let a = R.arapahoe ~dim:1 ~seed:9L and b = R.arapahoe ~dim:1 ~seed:9L in
+  Alcotest.(check (array int)) "same seed same data" (Ds.values a) (Ds.values b);
+  let c = R.arapahoe ~dim:1 ~seed:10L in
+  Alcotest.(check bool) "different seed differs" true (Ds.values a <> Ds.values c)
+
+(* --- catalog --- *)
+
+let test_catalog_names_complete () =
+  Alcotest.(check int) "14 files" 14 (List.length C.names);
+  Alcotest.(check bool) "has u(20)" true (List.mem "u(20)" C.names);
+  Alcotest.(check bool) "has iw" true (List.mem "iw" C.names)
+
+let test_catalog_find () =
+  let ds = C.find ~seed:1L "n(15)" in
+  Alcotest.(check string) "name" "n(15)" (Ds.name ds);
+  Alcotest.(check int) "bits" 15 (Ds.bits ds);
+  Alcotest.(check int) "records" 100_000 (Ds.size ds)
+
+let test_catalog_find_unknown () =
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (C.find ~seed:1L "bogus"))
+
+let test_catalog_headline () =
+  let files = C.headline ~seed:1L in
+  Alcotest.(check int) "8 headline files" 8 (List.length files);
+  List.iter
+    (fun ds ->
+      (* Headline files are the large-domain, low-duplicate ones. *)
+      Alcotest.(check bool) (Ds.name ds ^ " large domain") true (Ds.bits ds >= 18))
+    files
+
+let test_synthetic_model_detection () =
+  let n20 = C.find ~seed:1L "n(20)" in
+  Alcotest.(check bool) "n(20) has model" true (C.synthetic_model n20 <> None);
+  let arap = C.find ~seed:1L "arap1" in
+  Alcotest.(check bool) "arap1 has none" true (C.synthetic_model arap = None);
+  let iw = C.find ~seed:1L "iw" in
+  Alcotest.(check bool) "iw has none" true (C.synthetic_model iw = None)
+
+let test_synthetic_model_matches_data () =
+  (* The detected model's range probabilities should approximate the actual
+     file's empirical selectivities. *)
+  let ds = C.find ~seed:21L "n(15)" in
+  match C.synthetic_model ds with
+  | None -> Alcotest.fail "expected a model"
+  | Some m ->
+    let domain = float_of_int (Ds.domain_size ds) in
+    let lo = 0.4 *. domain and hi = 0.6 *. domain in
+    let predicted = Dists.Model.range_probability m lo hi in
+    let actual = Ds.exact_selectivity ds ~lo ~hi in
+    Alcotest.(check bool) "model predicts selectivity" true
+      (Float.abs (predicted -. actual) < 0.01)
+
+(* --- metric encodings --- *)
+
+module E = Data.Encode
+
+let test_date_epoch () =
+  Alcotest.(check int) "epoch" 0 (E.days_of_date ~year:1970 ~month:1 ~day:1);
+  Alcotest.(check int) "next day" 1 (E.days_of_date ~year:1970 ~month:1 ~day:2);
+  Alcotest.(check int) "before epoch" (-1) (E.days_of_date ~year:1969 ~month:12 ~day:31)
+
+let test_date_known_values () =
+  (* 2000-03-01 is day 11017; 2026-07-05 is day 20639. *)
+  Alcotest.(check int) "2000-03-01" 11017 (E.days_of_date ~year:2000 ~month:3 ~day:1);
+  Alcotest.(check int) "2026-07-05" 20639 (E.days_of_date ~year:2026 ~month:7 ~day:5)
+
+let test_date_roundtrip () =
+  List.iter
+    (fun days ->
+      let y, m, d = E.date_of_days days in
+      Alcotest.(check int) "roundtrip" days (E.days_of_date ~year:y ~month:m ~day:d))
+    [ -100000; -1; 0; 59; 60; 365; 11016; 11017; 20639; 1000000 ]
+
+let test_date_leap_rules () =
+  Alcotest.(check int) "2000 is leap" 29 (E.days_of_date ~year:2000 ~month:3 ~day:1
+                                          - E.days_of_date ~year:2000 ~month:2 ~day:1);
+  Alcotest.check_raises "1900 not leap"
+    (Invalid_argument "Encode.days_of_date: day out of range for the month") (fun () ->
+      ignore (E.days_of_date ~year:1900 ~month:2 ~day:29));
+  Alcotest.check_raises "month range" (Invalid_argument "Encode.days_of_date: month must be in [1, 12]")
+    (fun () -> ignore (E.days_of_date ~year:2000 ~month:13 ~day:1))
+
+let test_parse_and_format_date () =
+  (match E.parse_date "2026-07-05" with
+  | Ok d -> Alcotest.(check int) "parse" 20639 d
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "format" "2026-07-05" (E.format_date 20639);
+  Alcotest.(check bool) "bad format rejected" true (Result.is_error (E.parse_date "2026/07/05"));
+  Alcotest.(check bool) "bad day rejected" true (Result.is_error (E.parse_date "2026-02-30"))
+
+let prop_date_encoding_monotone =
+  QCheck.Test.make ~name:"date encoding preserves order" ~count:300
+    QCheck.(pair (int_range (-200000) 200000) (int_range (-200000) 200000))
+    (fun (d1, d2) ->
+      let y1, m1, dd1 = E.date_of_days d1 and y2, m2, dd2 = E.date_of_days d2 in
+      let cmp_date = compare (y1, m1, dd1) (y2, m2, dd2) in
+      compare d1 d2 = cmp_date)
+
+let prop_string_prefix_monotone =
+  QCheck.Test.make ~name:"string prefix encoding preserves order" ~count:500
+    QCheck.(pair (string_gen_of_size (Gen.int_range 0 10) Gen.printable) (string_gen_of_size (Gen.int_range 0 10) Gen.printable))
+    (fun (s1, s2) ->
+      let v1 = E.int_of_string_prefix s1 and v2 = E.int_of_string_prefix s2 in
+      let p1 = String.sub s1 0 (Int.min 7 (String.length s1)) in
+      let p2 = String.sub s2 0 (Int.min 7 (String.length s2)) in
+      (* The encoding must order exactly like the truncated strings. *)
+      compare v1 v2 = compare p1 p2)
+
+let test_string_prefix_basics () =
+  Alcotest.(check int) "empty is zero" 0 (E.int_of_string_prefix "");
+  Alcotest.(check bool) "prefix sorts before extension" true
+    (E.int_of_string_prefix "abc" < E.int_of_string_prefix "abca");
+  Alcotest.(check int) "bits" 57 (E.string_prefix_bits 7);
+  Alcotest.(check int) "bits short" 9 (E.string_prefix_bits 1);
+  Alcotest.check_raises "length range" (Invalid_argument "Encode: prefix length must be in [1, 7]")
+    (fun () -> ignore (E.int_of_string_prefix ~length:8 "x"))
+
+let test_string_prefix_fits_domain () =
+  let v = E.int_of_string_prefix ~length:7 "\xff\xff\xff\xff\xff\xff\xff" in
+  Alcotest.(check bool) "fits declared bits" true (v < 1 lsl E.string_prefix_bits 7)
+
+let test_dates_as_dataset () =
+  (* End to end: encode a year of dates, build a dataset and query a month
+     range. *)
+  let start = E.days_of_date ~year:2025 ~month:1 ~day:1 in
+  let values = Array.init 365 (fun i -> start + i) in
+  let ds = Ds.create ~name:"dates" ~bits:16 values in
+  let month_lo = float_of_int (E.days_of_date ~year:2025 ~month:6 ~day:1) in
+  let month_hi = float_of_int (E.days_of_date ~year:2025 ~month:6 ~day:30) in
+  Alcotest.(check int) "June has 30 days" 30 (Ds.exact_count ds ~lo:month_lo ~hi:month_hi)
+
+let () =
+  Alcotest.run "data"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "sorted values" `Quick test_sorted_values;
+          Alcotest.test_case "input copied" `Quick test_input_copied;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "basic counts" `Quick test_exact_count_basic;
+          Alcotest.test_case "fractional bounds" `Quick test_exact_count_fractional_bounds;
+          Alcotest.test_case "selectivity" `Quick test_exact_selectivity;
+          QCheck_alcotest.to_alcotest prop_exact_count_matches_scan;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "full sample permutation" `Quick test_sample_full_is_permutation;
+          Alcotest.test_case "bounds" `Quick test_sample_bounds;
+          Alcotest.test_case "deterministic" `Quick test_sample_deterministic;
+          Alcotest.test_case "floats" `Quick test_sample_floats;
+          Alcotest.test_case "distinct on distinct data" `Quick
+            test_sample_without_replacement_distinct_indices;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "in domain" `Quick test_generate_in_domain;
+          Alcotest.test_case "names" `Quick test_generate_names;
+          Alcotest.test_case "normal centered" `Quick test_normal_centered;
+          Alcotest.test_case "exponential skewed" `Quick test_exponential_left_skewed;
+          Alcotest.test_case "small domains duplicate more" `Quick
+            test_small_domains_have_more_duplicates;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "scaled models" `Quick test_scaled_model_shapes;
+        ] );
+      ( "realistic",
+        [
+          Alcotest.test_case "arapahoe" `Quick test_arapahoe_properties;
+          Alcotest.test_case "arapahoe invalid dim" `Quick test_arapahoe_invalid_dim;
+          Alcotest.test_case "railroad" `Quick test_railroad_properties;
+          Alcotest.test_case "railroad resolution coupling" `Quick
+            test_railroad_resolution_coupling;
+          Alcotest.test_case "railroad duplicates" `Quick test_railroad_duplicates_at_low_bits;
+          Alcotest.test_case "instance weight" `Quick test_instance_weight_properties;
+          Alcotest.test_case "deterministic" `Quick test_realistic_deterministic;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "names" `Quick test_catalog_names_complete;
+          Alcotest.test_case "find" `Quick test_catalog_find;
+          Alcotest.test_case "find unknown" `Quick test_catalog_find_unknown;
+          Alcotest.test_case "headline" `Quick test_catalog_headline;
+          Alcotest.test_case "synthetic model detection" `Quick test_synthetic_model_detection;
+          Alcotest.test_case "model matches data" `Quick test_synthetic_model_matches_data;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "epoch" `Quick test_date_epoch;
+          Alcotest.test_case "known dates" `Quick test_date_known_values;
+          Alcotest.test_case "roundtrip" `Quick test_date_roundtrip;
+          Alcotest.test_case "leap rules" `Quick test_date_leap_rules;
+          Alcotest.test_case "parse/format" `Quick test_parse_and_format_date;
+          QCheck_alcotest.to_alcotest prop_date_encoding_monotone;
+          QCheck_alcotest.to_alcotest prop_string_prefix_monotone;
+          Alcotest.test_case "string prefix basics" `Quick test_string_prefix_basics;
+          Alcotest.test_case "string prefix domain" `Quick test_string_prefix_fits_domain;
+          Alcotest.test_case "dates as dataset" `Quick test_dates_as_dataset;
+        ] );
+    ]

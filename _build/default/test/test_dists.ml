@@ -1,0 +1,343 @@
+(* Tests for the dists library: model pdfs/cdfs, sampling, roughness
+   functionals. *)
+
+module M = Dists.Model
+module Xo = Prng.Xoshiro256pp
+
+let checkf tol = Alcotest.(check (float tol))
+
+let std_normal = M.normal ~mu:0.0 ~sigma:1.0
+let unit_uniform = M.uniform ~lo:0.0 ~hi:1.0
+let expo2 = M.exponential ~rate:2.0
+let zipf5 = M.zipf ~exponent:1.0 ~ranks:5
+let lognorm = M.lognormal ~mu:0.5 ~sigma:0.75
+let mix = M.mixture [ (1.0, M.normal ~mu:(-2.0) ~sigma:0.5); (3.0, M.normal ~mu:2.0 ~sigma:1.0) ]
+
+(* --- constructor validation --- *)
+
+let test_constructor_validation () =
+  Alcotest.check_raises "uniform" (Invalid_argument "Model.uniform: requires lo < hi") (fun () ->
+      ignore (M.uniform ~lo:1.0 ~hi:1.0));
+  Alcotest.check_raises "normal" (Invalid_argument "Model.normal: requires sigma > 0") (fun () ->
+      ignore (M.normal ~mu:0.0 ~sigma:0.0));
+  Alcotest.check_raises "exponential" (Invalid_argument "Model.exponential: requires rate > 0")
+    (fun () -> ignore (M.exponential ~rate:(-1.0)));
+  Alcotest.check_raises "zipf" (Invalid_argument "Model.zipf: requires ranks > 0") (fun () ->
+      ignore (M.zipf ~exponent:1.0 ~ranks:0));
+  Alcotest.check_raises "mixture empty" (Invalid_argument "Model.mixture: empty component list")
+    (fun () -> ignore (M.mixture []))
+
+(* --- pdf/cdf consistency --- *)
+
+let test_pdf_integrates_to_cdf () =
+  (* int_{lo}^{x} pdf = cdf(x) - cdf(lo) for the continuous models. *)
+  List.iter
+    (fun (d, lo, x) ->
+      let integral = Stats.Integrate.adaptive_simpson (M.pdf d) ~a:lo ~b:x in
+      checkf 1e-6 (M.to_string d) (M.cdf d x -. M.cdf d lo) integral)
+    [
+      (std_normal, -8.0, 1.3);
+      (unit_uniform, -0.5, 0.7);
+      (expo2, 0.0, 2.1);
+      (mix, -10.0, 1.0);
+      (lognorm, 1e-9, 3.0);
+    ]
+
+let test_uniform_cdf_exact () =
+  let d = M.uniform ~lo:2.0 ~hi:6.0 in
+  checkf 1e-12 "below" 0.0 (M.cdf d 1.0);
+  checkf 1e-12 "quarter" 0.25 (M.cdf d 3.0);
+  checkf 1e-12 "above" 1.0 (M.cdf d 7.0);
+  checkf 1e-12 "density inside" 0.25 (M.pdf d 4.0);
+  checkf 1e-12 "density outside" 0.0 (M.pdf d 7.0)
+
+let test_exponential_cdf_exact () =
+  checkf 1e-12 "cdf(0)" 0.0 (M.cdf expo2 0.0);
+  checkf 1e-9 "cdf(1)" (1.0 -. exp (-2.0)) (M.cdf expo2 1.0);
+  checkf 1e-12 "negative" 0.0 (M.cdf expo2 (-1.0))
+
+let test_zipf_pmf_sums_to_one () =
+  let total = ref 0.0 in
+  for k = 1 to 5 do
+    total := !total +. M.pdf zipf5 (float_of_int k)
+  done;
+  checkf 1e-9 "pmf sums to 1" 1.0 !total
+
+let test_zipf_pmf_ratios () =
+  (* P(1)/P(2) = 2 for exponent 1. *)
+  checkf 1e-9 "rank ratio" 2.0 (M.pdf zipf5 1.0 /. M.pdf zipf5 2.0)
+
+let test_zipf_off_atom () = checkf 1e-12 "no mass off atoms" 0.0 (M.pdf zipf5 1.5)
+
+let test_mixture_weights_normalized () =
+  (* mixture [1;3] -> weights 0.25/0.75; pdf at the second mode dominated by
+     the second component. *)
+  match mix with
+  | M.Mixture [ (w1, _); (w2, _) ] ->
+    checkf 1e-12 "w1" 0.25 w1;
+    checkf 1e-12 "w2" 0.75 w2
+  | _ -> Alcotest.fail "expected a two-component mixture"
+
+(* --- inv_cdf --- *)
+
+let test_inv_cdf_roundtrip_closed_forms () =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun p -> checkf 1e-8 (M.to_string d) p (M.cdf d (M.inv_cdf d p)))
+        [ 0.05; 0.25; 0.5; 0.9; 0.99 ])
+    [ std_normal; unit_uniform; expo2; lognorm ]
+
+let test_inv_cdf_mixture_bisection () =
+  List.iter
+    (fun p -> checkf 1e-6 "mixture roundtrip" p (M.cdf mix (M.inv_cdf mix p)))
+    [ 0.1; 0.5; 0.9 ]
+
+let test_inv_cdf_zipf () =
+  (* For zipf(1, 5): P(1) = 1/H5 ~ 0.438; so inv_cdf(0.4) = 1, inv_cdf(0.5) = 2. *)
+  checkf 1e-12 "first rank" 1.0 (M.inv_cdf zipf5 0.4);
+  checkf 1e-12 "second rank" 2.0 (M.inv_cdf zipf5 0.5)
+
+let test_inv_cdf_invalid () =
+  Alcotest.check_raises "p out of range" (Invalid_argument "Model.inv_cdf: p must be in (0,1)")
+    (fun () -> ignore (M.inv_cdf std_normal 1.0))
+
+(* --- range probability --- *)
+
+let test_range_probability_continuous () =
+  checkf 1e-9 "central normal mass" (Stats.Special.normal_cdf 1.0 -. Stats.Special.normal_cdf (-1.0))
+    (M.range_probability std_normal (-1.0) 1.0);
+  checkf 1e-12 "inverted range" 0.0 (M.range_probability std_normal 1.0 (-1.0))
+
+let test_range_probability_zipf_inclusive () =
+  (* [2, 3] includes both atoms. *)
+  let expected = M.pdf zipf5 2.0 +. M.pdf zipf5 3.0 in
+  checkf 1e-9 "atoms inclusive" expected (M.range_probability zipf5 2.0 3.0);
+  checkf 1e-9 "fractional bounds" expected (M.range_probability zipf5 1.5 3.5);
+  checkf 1e-9 "whole support" 1.0 (M.range_probability zipf5 1.0 5.0)
+
+(* --- sampling --- *)
+
+let sample_many d seed n =
+  let rng = Xo.create seed in
+  let draw = Lazy.force (M.sampler d) in
+  Array.init n (fun _ -> draw rng)
+
+let test_sampling_moments () =
+  List.iter
+    (fun d ->
+      let xs = sample_many d 123L 50_000 in
+      let m = Stats.Descriptive.mean xs in
+      let s = Stats.Descriptive.stddev ~mean:m xs in
+      let tol_m = 4.0 *. M.stddev d /. sqrt 50_000.0 in
+      if Float.abs (m -. M.mean d) > Float.max tol_m 1e-3 then
+        Alcotest.failf "%s: sample mean %f vs %f" (M.to_string d) m (M.mean d);
+      if Float.abs (s -. M.stddev d) /. M.stddev d > 0.05 then
+        Alcotest.failf "%s: sample std %f vs %f" (M.to_string d) s (M.stddev d))
+    [ std_normal; unit_uniform; expo2; mix; zipf5 ]
+
+let test_sampling_ks_uniform () =
+  (* Rough Kolmogorov-Smirnov check on the uniform sampler. *)
+  let xs = sample_many unit_uniform 7L 10_000 in
+  Array.sort Float.compare xs;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let emp = float_of_int (i + 1) /. 10_000.0 in
+      worst := Float.max !worst (Float.abs (emp -. x)))
+    xs;
+  Alcotest.(check bool) "KS distance small" true (!worst < 0.025)
+
+let test_sampling_within_support () =
+  List.iter
+    (fun d ->
+      let lo, hi = M.support d in
+      let xs = sample_many d 55L 5_000 in
+      Array.iter
+        (fun x ->
+          if x < lo -. 1e-9 || x > hi +. 1e-9 then
+            Alcotest.failf "%s: sample %f outside support" (M.to_string d) x)
+        xs)
+    [ unit_uniform; expo2; zipf5; mix ]
+
+let test_sampling_deterministic () =
+  let a = sample_many mix 99L 100 and b = sample_many mix 99L 100 in
+  Alcotest.(check bool) "same seed, same draws" true (a = b)
+
+(* --- moments & support --- *)
+
+let test_lognormal_moments () =
+  (* mean = exp(mu + sigma^2/2), E[X^2] = exp(2mu + 2 sigma^2). *)
+  checkf 1e-9 "mean" (exp (0.5 +. (0.75 *. 0.75 /. 2.0))) (M.mean lognorm);
+  let second = exp ((2.0 *. 0.5) +. (2.0 *. 0.75 *. 0.75)) in
+  checkf 1e-9 "std" (sqrt (second -. (M.mean lognorm ** 2.0))) (M.stddev lognorm)
+
+let test_lognormal_median () =
+  (* Median is exp(mu). *)
+  checkf 1e-9 "median" (exp 0.5) (M.inv_cdf lognorm 0.5)
+
+let test_lognormal_sampling_moments () =
+  let xs = sample_many lognorm 321L 50_000 in
+  let m = Stats.Descriptive.mean xs in
+  Alcotest.(check bool) "sample mean close" true
+    (Float.abs (m -. M.mean lognorm) /. M.mean lognorm < 0.03)
+
+let test_closed_form_moments () =
+  checkf 1e-12 "uniform mean" 0.5 (M.mean unit_uniform);
+  checkf 1e-9 "uniform std" (1.0 /. sqrt 12.0) (M.stddev unit_uniform);
+  checkf 1e-12 "normal mean" 0.0 (M.mean std_normal);
+  checkf 1e-12 "normal std" 1.0 (M.stddev std_normal);
+  checkf 1e-12 "exponential mean" 0.5 (M.mean expo2);
+  checkf 1e-12 "exponential std" 0.5 (M.stddev expo2)
+
+let test_mixture_moments () =
+  (* mean = 0.25*(-2) + 0.75*2 = 1; var = sum w(sigma^2 + mu^2) - mean^2. *)
+  checkf 1e-9 "mixture mean" 1.0 (M.mean mix);
+  let second = (0.25 *. (0.25 +. 4.0)) +. (0.75 *. (1.0 +. 4.0)) in
+  checkf 1e-9 "mixture std" (sqrt (second -. 1.0)) (M.stddev mix)
+
+let test_support () =
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "uniform" (0.0, 1.0) (M.support unit_uniform);
+  let lo, hi = M.support std_normal in
+  Alcotest.(check bool) "normal unbounded" true (lo = Float.neg_infinity && hi = Float.infinity);
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "zipf" (1.0, 5.0) (M.support zipf5)
+
+(* --- roughness functionals --- *)
+
+let numeric_roughness_deriv1 d lo hi =
+  let eps = 1e-5 in
+  let f' x = (M.pdf d (x +. eps) -. M.pdf d (x -. eps)) /. (2.0 *. eps) in
+  Stats.Integrate.simpson (fun x -> f' x ** 2.0) ~a:lo ~b:hi ~n:4000
+
+let numeric_roughness_deriv2 d lo hi =
+  let eps = 1e-4 in
+  let f'' x = (M.pdf d (x +. eps) -. (2.0 *. M.pdf d x) +. M.pdf d (x -. eps)) /. (eps *. eps) in
+  Stats.Integrate.simpson (fun x -> f'' x ** 2.0) ~a:lo ~b:hi ~n:4000
+
+let test_roughness_normal_closed_form () =
+  let d = M.normal ~mu:1.0 ~sigma:1.5 in
+  (match M.roughness_deriv1 d with
+  | Some v -> checkf 1e-4 "normal int f'^2" (numeric_roughness_deriv1 d (-11.0) 13.0) v
+  | None -> Alcotest.fail "expected closed form");
+  match M.roughness_deriv2 d with
+  | Some v ->
+    let num = numeric_roughness_deriv2 d (-11.0) 13.0 in
+    Alcotest.(check bool) "normal int f''^2" true (Float.abs (v -. num) /. v < 1e-3)
+  | None -> Alcotest.fail "expected closed form"
+
+let test_roughness_exponential_closed_form () =
+  (* int (f')^2 = rate^3/2 over (0, inf); the numeric check avoids the jump
+     at zero by integrating from a small positive epsilon. *)
+  let d = M.exponential ~rate:1.7 in
+  (match M.roughness_deriv1 d with
+  | Some v ->
+    let num = numeric_roughness_deriv1 d 1e-3 12.0 in
+    Alcotest.(check bool) "expo int f'^2" true (Float.abs (v -. num) /. v < 1e-2)
+  | None -> Alcotest.fail "expected closed form");
+  match M.roughness_deriv2 d with
+  | Some v ->
+    (* The numeric integral starts at a > 0 and therefore misses a mass
+       fraction of about 2*rate*a; account for it in the tolerance. *)
+    let a = 5e-3 in
+    let num = numeric_roughness_deriv2 d a 12.0 in
+    Alcotest.(check bool) "expo int f''^2" true
+      (Float.abs (v -. num) /. v < (2.0 *. 1.7 *. a) +. 1e-2)
+  | None -> Alcotest.fail "expected closed form"
+
+let test_roughness_none_for_mixture () =
+  Alcotest.(check bool) "mixture d1" true (M.roughness_deriv1 mix = None);
+  Alcotest.(check bool) "zipf d2" true (M.roughness_deriv2 zipf5 = None)
+
+(* --- qcheck properties --- *)
+
+let model_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun mu sigma -> M.normal ~mu ~sigma:(0.1 +. Float.abs sigma)) (float_range (-5.) 5.)
+          (float_range 0. 3.);
+        map2
+          (fun lo w -> M.uniform ~lo ~hi:(lo +. 0.1 +. Float.abs w))
+          (float_range (-5.) 5.) (float_range 0. 10.);
+        map (fun r -> M.exponential ~rate:(0.1 +. Float.abs r)) (float_range 0. 4.);
+      ])
+
+let arb_model = QCheck.make ~print:M.to_string model_gen
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"cdf monotone" ~count:300
+    QCheck.(triple arb_model (float_range (-20.) 20.) (float_range (-20.) 20.))
+    (fun (d, x, y) ->
+      let lo = Float.min x y and hi = Float.max x y in
+      M.cdf d lo <= M.cdf d hi +. 1e-12)
+
+let prop_range_probability_bounds =
+  QCheck.Test.make ~name:"range probability in [0,1]" ~count:300
+    QCheck.(triple arb_model (float_range (-20.) 20.) (float_range (-20.) 20.))
+    (fun (d, x, y) ->
+      let p = M.range_probability d (Float.min x y) (Float.max x y) in
+      p >= -1e-12 && p <= 1.0 +. 1e-12)
+
+let prop_range_additive =
+  QCheck.Test.make ~name:"range probability additive over adjacent ranges" ~count:300
+    QCheck.(quad arb_model (float_range (-10.) 10.) (float_range 0. 5.) (float_range 0. 5.))
+    (fun (d, a, w1, w2) ->
+      let b = a +. w1 in
+      let c = b +. w2 in
+      let whole = M.range_probability d a c in
+      let parts = M.range_probability d a b +. M.range_probability d b c in
+      Float.abs (whole -. parts) < 1e-9)
+
+let () =
+  Alcotest.run "dists"
+    [
+      ( "construction",
+        [ Alcotest.test_case "validation" `Quick test_constructor_validation ] );
+      ( "pdf/cdf",
+        [
+          Alcotest.test_case "pdf integrates to cdf" `Quick test_pdf_integrates_to_cdf;
+          Alcotest.test_case "uniform exact" `Quick test_uniform_cdf_exact;
+          Alcotest.test_case "exponential exact" `Quick test_exponential_cdf_exact;
+          Alcotest.test_case "zipf pmf total" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "zipf pmf ratios" `Quick test_zipf_pmf_ratios;
+          Alcotest.test_case "zipf off atom" `Quick test_zipf_off_atom;
+          Alcotest.test_case "mixture weights" `Quick test_mixture_weights_normalized;
+        ] );
+      ( "inv_cdf",
+        [
+          Alcotest.test_case "closed-form roundtrip" `Quick test_inv_cdf_roundtrip_closed_forms;
+          Alcotest.test_case "mixture bisection" `Quick test_inv_cdf_mixture_bisection;
+          Alcotest.test_case "zipf" `Quick test_inv_cdf_zipf;
+          Alcotest.test_case "invalid p" `Quick test_inv_cdf_invalid;
+        ] );
+      ( "range probability",
+        [
+          Alcotest.test_case "continuous" `Quick test_range_probability_continuous;
+          Alcotest.test_case "zipf inclusive" `Quick test_range_probability_zipf_inclusive;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "moments" `Slow test_sampling_moments;
+          Alcotest.test_case "KS uniform" `Quick test_sampling_ks_uniform;
+          Alcotest.test_case "support" `Quick test_sampling_within_support;
+          Alcotest.test_case "deterministic" `Quick test_sampling_deterministic;
+        ] );
+      ( "moments",
+        [
+          Alcotest.test_case "closed forms" `Quick test_closed_form_moments;
+          Alcotest.test_case "mixture" `Quick test_mixture_moments;
+          Alcotest.test_case "lognormal moments" `Quick test_lognormal_moments;
+          Alcotest.test_case "lognormal median" `Quick test_lognormal_median;
+          Alcotest.test_case "lognormal sampling" `Slow test_lognormal_sampling_moments;
+          Alcotest.test_case "support" `Quick test_support;
+        ] );
+      ( "roughness",
+        [
+          Alcotest.test_case "normal" `Quick test_roughness_normal_closed_form;
+          Alcotest.test_case "exponential" `Quick test_roughness_exponential_closed_form;
+          Alcotest.test_case "none for mixture/zipf" `Quick test_roughness_none_for_mixture;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cdf_monotone; prop_range_probability_bounds; prop_range_additive ] );
+    ]

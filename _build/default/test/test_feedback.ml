@@ -1,0 +1,121 @@
+(* Tests for the feedback library: the adaptive (ST-histogram style)
+   estimator seeded from a base estimator and refined by query feedback. *)
+
+module A = Feedback.Adaptive
+module Xo = Prng.Xoshiro256pp
+
+let checkf tol = Alcotest.(check (float tol))
+
+let uniform_base ~a ~b = Float.max 0.0 (Float.min 1.0 ((b -. a) /. 100.0))
+
+let test_create_validation () =
+  Alcotest.check_raises "buckets" (Invalid_argument "Adaptive.create: buckets must be positive")
+    (fun () -> ignore (A.create ~buckets:0 ~domain:(0.0, 1.0) ~base:uniform_base ()));
+  Alcotest.check_raises "domain" (Invalid_argument "Adaptive.create: empty domain") (fun () ->
+      ignore (A.create ~domain:(1.0, 1.0) ~base:uniform_base ()));
+  Alcotest.check_raises "rate" (Invalid_argument "Adaptive.create: learning_rate must be in (0, 1]")
+    (fun () ->
+      ignore (A.create ~learning_rate:0.0 ~domain:(0.0, 1.0) ~base:uniform_base ()))
+
+let test_initial_matches_base () =
+  let t = A.create ~buckets:50 ~domain:(0.0, 100.0) ~base:uniform_base () in
+  checkf 1e-9 "half" 0.5 (A.selectivity t ~a:0.0 ~b:50.0);
+  checkf 1e-9 "tenth" 0.1 (A.selectivity t ~a:20.0 ~b:30.0);
+  checkf 1e-9 "full" 1.0 (A.selectivity t ~a:0.0 ~b:100.0);
+  checkf 1e-9 "initial mass" 1.0 (A.total_mass t);
+  Alcotest.(check int) "no feedback yet" 0 (A.feedback_count t)
+
+let test_observe_validation () =
+  let t = A.create ~domain:(0.0, 100.0) ~base:uniform_base () in
+  Alcotest.check_raises "actual out of range"
+    (Invalid_argument "Adaptive.observe: actual selectivity must be in [0, 1]") (fun () ->
+      A.observe t ~a:0.0 ~b:10.0 ~actual:1.5)
+
+let test_single_feedback_corrects_exact_repeat () =
+  (* With learning rate 1 and a bucket-aligned query, a repeat of the same
+     query must return the observed truth exactly. *)
+  let t = A.create ~buckets:10 ~learning_rate:1.0 ~domain:(0.0, 100.0) ~base:uniform_base () in
+  A.observe t ~a:20.0 ~b:30.0 ~actual:0.4;
+  checkf 1e-9 "repeat query corrected" 0.4 (A.selectivity t ~a:20.0 ~b:30.0);
+  Alcotest.(check int) "counted" 1 (A.feedback_count t)
+
+let test_feedback_converges_on_repeat () =
+  (* With a partial learning rate the estimate converges geometrically. *)
+  let t = A.create ~buckets:10 ~learning_rate:0.5 ~domain:(0.0, 100.0) ~base:uniform_base () in
+  for _ = 1 to 12 do
+    A.observe t ~a:20.0 ~b:30.0 ~actual:0.4
+  done;
+  Alcotest.(check bool) "converged" true (Float.abs (A.selectivity t ~a:20.0 ~b:30.0 -. 0.4) < 1e-3)
+
+let test_feedback_local () =
+  (* Feedback about [20, 30] must not disturb estimates of disjoint
+     regions. *)
+  let t = A.create ~buckets:10 ~learning_rate:1.0 ~domain:(0.0, 100.0) ~base:uniform_base () in
+  let before = A.selectivity t ~a:60.0 ~b:90.0 in
+  A.observe t ~a:20.0 ~b:30.0 ~actual:0.4;
+  checkf 1e-12 "disjoint region untouched" before (A.selectivity t ~a:60.0 ~b:90.0)
+
+let test_weights_stay_nonnegative () =
+  let t = A.create ~buckets:10 ~learning_rate:1.0 ~domain:(0.0, 100.0) ~base:uniform_base () in
+  (* Report far less mass than the base predicts, repeatedly. *)
+  for _ = 1 to 5 do
+    A.observe t ~a:0.0 ~b:50.0 ~actual:0.0
+  done;
+  let s = A.selectivity t ~a:0.0 ~b:50.0 in
+  Alcotest.(check bool) "non-negative" true (s >= 0.0);
+  checkf 1e-9 "learned emptiness" 0.0 s
+
+let prop_selectivity_bounds_after_feedback =
+  QCheck.Test.make ~name:"adaptive estimates stay in [0,1] under random feedback" ~count:100
+    QCheck.(
+      small_list (triple (float_range 0. 100.) (float_range 0. 100.) (float_range 0. 1.)))
+    (fun observations ->
+      let t = A.create ~buckets:16 ~domain:(0.0, 100.0) ~base:uniform_base () in
+      List.iter
+        (fun (x, y, actual) ->
+          A.observe t ~a:(Float.min x y) ~b:(Float.max x y) ~actual)
+        observations;
+      let s = A.selectivity t ~a:10.0 ~b:90.0 in
+      s >= 0.0 && s <= 1.0)
+
+let test_feedback_improves_bad_base_estimator () =
+  (* End-to-end: seed the adaptive estimator with the uniform assumption on
+     a skewed dataset, replay a workload with feedback, and verify the MRE
+     on fresh queries from the same workload distribution improves a lot. *)
+  let ds = Data.Generate.generate Data.Generate.Exponential_family ~bits:20 ~count:50_000 ~seed:21L in
+  let domain = Workload.Experiment.domain_of ds in
+  let t = A.create ~buckets:64 ~learning_rate:0.5 ~domain ~base:(fun ~a ~b -> uniform_base ~a:(a /. 10485.76) ~b:(b /. 10485.76)) () in
+  let mre queries =
+    (Workload.Metrics.evaluate ds (fun ~a ~b -> A.selectivity t ~a ~b) queries).Workload.Metrics.mre
+  in
+  let train = Workload.Generate.size_separated ds ~seed:22L ~fraction:0.02 ~count:300 in
+  let test_qs = Workload.Generate.size_separated ds ~seed:23L ~fraction:0.02 ~count:300 in
+  let before = mre test_qs in
+  Array.iter
+    (fun (q : Workload.Query.t) ->
+      let actual = Data.Dataset.exact_selectivity ds ~lo:q.lo ~hi:q.hi in
+      A.observe t ~a:q.lo ~b:q.hi ~actual)
+    train;
+  let after = mre test_qs in
+  Alcotest.(check bool)
+    (Printf.sprintf "feedback improves MRE (%.3f -> %.3f)" before after)
+    true
+    (after < 0.5 *. before)
+
+let () =
+  Alcotest.run "feedback"
+    [
+      ( "adaptive",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "initial matches base" `Quick test_initial_matches_base;
+          Alcotest.test_case "observe validation" `Quick test_observe_validation;
+          Alcotest.test_case "exact repeat corrected" `Quick
+            test_single_feedback_corrects_exact_repeat;
+          Alcotest.test_case "converges on repeat" `Quick test_feedback_converges_on_repeat;
+          Alcotest.test_case "feedback is local" `Quick test_feedback_local;
+          Alcotest.test_case "weights non-negative" `Quick test_weights_stay_nonnegative;
+          QCheck_alcotest.to_alcotest prop_selectivity_bounds_after_feedback;
+          Alcotest.test_case "improves a bad base" `Quick test_feedback_improves_bad_base_estimator;
+        ] );
+    ]

@@ -1,0 +1,529 @@
+(* Tests for the histograms library: the formula-(4) selectivity, bin
+   assignment and the construction policies. *)
+
+module H = Histograms.Histogram
+module B = Histograms.Builders
+module Ash = Histograms.Ash
+
+let checkf tol = Alcotest.(check (float tol))
+
+let samples10 = Array.init 10 (fun i -> float_of_int i +. 0.5) (* 0.5 .. 9.5 *)
+
+(* --- Histogram core --- *)
+
+let test_create_validation () =
+  Alcotest.check_raises "edge count" (Invalid_argument "Histogram.create: need one more edge than counts")
+    (fun () -> ignore (H.create ~edges:[| 0.0; 1.0 |] ~counts:[| 1.0; 2.0 |]));
+  Alcotest.check_raises "monotone" (Invalid_argument "Histogram: edges must be strictly increasing")
+    (fun () -> ignore (H.create ~edges:[| 0.0; 0.0; 1.0 |] ~counts:[| 1.0; 1.0 |]));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Histogram.create: counts must be non-negative and finite") (fun () ->
+      ignore (H.create ~edges:[| 0.0; 1.0; 2.0 |] ~counts:[| 1.0; -1.0 |]));
+  Alcotest.check_raises "zero total" (Invalid_argument "Histogram.create: total count must be positive")
+    (fun () -> ignore (H.create ~edges:[| 0.0; 1.0 |] ~counts:[| 0.0 |]))
+
+let test_of_samples_binning () =
+  (* Edges 0,5,10: first five samples land in bin 0, rest in bin 1. *)
+  let h = H.of_samples ~edges:[| 0.0; 5.0; 10.0 |] samples10 in
+  Alcotest.(check (array (float 1e-12))) "counts" [| 5.0; 5.0 |] (H.counts h)
+
+let test_of_samples_edge_value_goes_left () =
+  (* Bins are (c_i, c_{i+1}]; a sample exactly on an interior edge belongs to
+     the bin left of it. *)
+  let h = H.of_samples ~edges:[| 0.0; 5.0; 10.0 |] [| 5.0; 6.0 |] in
+  Alcotest.(check (array (float 1e-12))) "edge goes left" [| 1.0; 1.0 |] (H.counts h)
+
+let test_of_samples_out_of_range_clamped () =
+  let h = H.of_samples ~edges:[| 0.0; 5.0; 10.0 |] [| -3.0; 12.0 |] in
+  Alcotest.(check (array (float 1e-12))) "clamped to border bins" [| 1.0; 1.0 |] (H.counts h)
+
+let test_selectivity_full_range_is_one () =
+  let h = H.of_samples ~edges:[| 0.0; 2.0; 7.0; 10.0 |] samples10 in
+  checkf 1e-12 "full range" 1.0 (H.selectivity h ~a:0.0 ~b:10.0)
+
+let test_selectivity_partial_bin () =
+  (* One bin [0,10] with 10 samples: query [2,4] overlaps 20% of the bin. *)
+  let h = H.of_samples ~edges:[| 0.0; 10.0 |] samples10 in
+  checkf 1e-12 "fractional overlap" 0.2 (H.selectivity h ~a:2.0 ~b:4.0)
+
+let test_selectivity_inverted_range () =
+  let h = H.of_samples ~edges:[| 0.0; 10.0 |] samples10 in
+  checkf 1e-12 "inverted" 0.0 (H.selectivity h ~a:4.0 ~b:2.0)
+
+let test_selectivity_outside_range () =
+  let h = H.of_samples ~edges:[| 0.0; 10.0 |] samples10 in
+  checkf 1e-12 "fully left" 0.0 (H.selectivity h ~a:(-5.0) ~b:(-1.0));
+  checkf 1e-12 "fully right" 0.0 (H.selectivity h ~a:11.0 ~b:15.0)
+
+let test_selectivity_hand_computed () =
+  (* Edges 0,2,6,10 with counts 2,4,4 (samples 0.5..9.5).  Query [1,7]:
+     bin0 contributes 2 * (1/2), bin1 contributes 4 (full), bin2 contributes
+     4 * (1/4); total 6/10. *)
+  let h = H.of_samples ~edges:[| 0.0; 2.0; 6.0; 10.0 |] samples10 in
+  checkf 1e-12 "hand computed" 0.6 (H.selectivity h ~a:1.0 ~b:7.0)
+
+let test_density_uniform_within_bin () =
+  let h = H.of_samples ~edges:[| 0.0; 2.0; 10.0 |] samples10 in
+  (* Bin 0 holds 2 of 10 samples over width 2 -> density 0.1. *)
+  checkf 1e-12 "bin0" 0.1 (H.density h 1.0);
+  checkf 1e-12 "bin1" (8.0 /. 10.0 /. 8.0) (H.density h 5.0);
+  checkf 1e-12 "outside" 0.0 (H.density h 11.0)
+
+let test_density_integrates_to_selectivity () =
+  let h = H.of_samples ~edges:[| 0.0; 3.0; 5.0; 10.0 |] samples10 in
+  let integral = Stats.Integrate.simpson (H.density h) ~a:1.0 ~b:8.0 ~n:2000 in
+  checkf 1e-4 "integral equals formula (4)" (H.selectivity h ~a:1.0 ~b:8.0) integral
+
+let prop_selectivity_additive =
+  QCheck.Test.make ~name:"selectivity additive over adjacent ranges" ~count:300
+    QCheck.(triple (float_range 0. 10.) (float_range 0. 10.) (float_range 0. 10.))
+    (fun (x, y, z) ->
+      let h = H.of_samples ~edges:[| 0.0; 2.0; 6.0; 10.0 |] samples10 in
+      let s = List.sort Float.compare [ x; y; z ] in
+      match s with
+      | [ a; b; c ] ->
+        let whole = H.selectivity h ~a ~b:c in
+        let parts = H.selectivity h ~a ~b +. H.selectivity h ~a:b ~b:c in
+        Float.abs (whole -. parts) < 1e-9
+      | _ -> false)
+
+let prop_selectivity_monotone =
+  QCheck.Test.make ~name:"selectivity monotone in b" ~count:300
+    QCheck.(triple (float_range 0. 10.) (float_range 0. 10.) (float_range 0. 10.))
+    (fun (a, b1, b2) ->
+      let h = H.of_samples ~edges:[| 0.0; 2.0; 6.0; 10.0 |] samples10 in
+      let lo = Float.min b1 b2 and hi = Float.max b1 b2 in
+      H.selectivity h ~a ~b:lo <= H.selectivity h ~a ~b:hi +. 1e-12)
+
+(* --- Builders --- *)
+
+let test_equi_width_edges () =
+  let h = B.equi_width ~domain:(0.0, 10.0) ~bins:5 samples10 in
+  Alcotest.(check int) "bins" 5 (H.bins h);
+  checkf 1e-12 "mean width" 2.0 (H.mean_width h);
+  Alcotest.(check (array (float 1e-12))) "counts" [| 2.0; 2.0; 2.0; 2.0; 2.0 |] (H.counts h)
+
+let test_equi_width_invalid () =
+  Alcotest.check_raises "bins" (Invalid_argument "Builders.equi_width: bins must be positive")
+    (fun () -> ignore (B.equi_width ~domain:(0.0, 1.0) ~bins:0 samples10))
+
+let test_uniform_is_one_bin () =
+  let h = B.uniform ~domain:(0.0, 10.0) samples10 in
+  Alcotest.(check int) "one bin" 1 (H.bins h)
+
+let test_equi_depth_equal_counts () =
+  (* 100 distinct values, 10 bins: every bin holds ~10 samples. *)
+  let xs = Array.init 100 (fun i -> float_of_int i +. 0.5) in
+  let h = B.equi_depth ~domain:(0.0, 100.0) ~bins:10 xs in
+  Alcotest.(check bool) "equal depth" true (B.equal_bin_counts h)
+
+let test_equi_depth_duplicates_collapse () =
+  (* All samples identical: quantile edges coincide; builder degrades to a
+     single bin covering the domain instead of failing. *)
+  let xs = Array.make 50 5.0 in
+  let h = B.equi_depth ~domain:(0.0, 10.0) ~bins:8 xs in
+  Alcotest.(check bool) "few bins" true (H.bins h <= 2);
+  checkf 1e-12 "total mass" 1.0 (H.selectivity h ~a:0.0 ~b:10.0)
+
+let test_equi_depth_narrow_bins_in_dense_regions () =
+  (* Heavily clustered data: the bin containing the cluster must be much
+     narrower than the widest bin. *)
+  let xs = Array.init 100 (fun i -> if i < 90 then 1.0 +. (0.01 *. float_of_int i) else 50.0 +. float_of_int i) in
+  let h = B.equi_depth ~domain:(0.0, 200.0) ~bins:10 xs in
+  let edges = H.edges h in
+  let widths = Array.init (H.bins h) (fun i -> edges.(i + 1) -. edges.(i)) in
+  let wmin = Array.fold_left Float.min widths.(0) widths in
+  let wmax = Array.fold_left Float.max widths.(0) widths in
+  Alcotest.(check bool) "adaptive widths" true (wmax /. wmin > 10.0)
+
+let test_max_diff_splits_largest_gaps () =
+  (* Two tight clusters with a huge gap: the first boundary must fall in the
+     gap. *)
+  let xs = Array.append (Array.init 20 (fun i -> float_of_int i *. 0.1)) (Array.init 20 (fun i -> 90.0 +. (float_of_int i *. 0.1))) in
+  let h = B.max_diff ~domain:(0.0, 100.0) ~bins:2 xs in
+  let edges = H.edges h in
+  Alcotest.(check int) "two bins" 2 (H.bins h);
+  Alcotest.(check bool) "boundary inside the gap" true (edges.(1) > 2.0 && edges.(1) < 90.0)
+
+let test_max_diff_counts_split () =
+  let xs = Array.append (Array.init 20 (fun i -> float_of_int i *. 0.1)) (Array.init 30 (fun i -> 90.0 +. (float_of_int i *. 0.1))) in
+  let h = B.max_diff ~domain:(0.0, 100.0) ~bins:2 xs in
+  Alcotest.(check (array (float 1e-12))) "cluster counts" [| 20.0; 30.0 |] (H.counts h)
+
+let test_max_diff_fewer_distinct_than_bins () =
+  let xs = [| 1.0; 1.0; 5.0; 5.0 |] in
+  let h = B.max_diff ~domain:(0.0, 10.0) ~bins:8 xs in
+  Alcotest.(check bool) "shrinks" true (H.bins h <= 2);
+  checkf 1e-12 "mass" 1.0 (H.selectivity h ~a:0.0 ~b:10.0)
+
+(* --- ASH --- *)
+
+let test_ash_build_validation () =
+  Alcotest.check_raises "shifts" (Invalid_argument "Ash.build: shifts must be positive")
+    (fun () -> ignore (Ash.build ~domain:(0.0, 1.0) ~bins:4 ~shifts:0 samples10))
+
+let test_ash_one_shift_close_to_plain_histogram () =
+  (* With a single shift the ASH is one equi-width histogram (origin offset
+     by -h, same width); estimates agree on ranges aligned with both grids. *)
+  let ash = Ash.build ~domain:(0.0, 10.0) ~bins:5 ~shifts:1 samples10 in
+  let h = B.equi_width ~domain:(0.0, 10.0) ~bins:5 samples10 in
+  checkf 1e-9 "aligned range" (H.selectivity h ~a:2.0 ~b:8.0) (Ash.selectivity ash ~a:2.0 ~b:8.0)
+
+let test_ash_full_domain_mass () =
+  let ash = Ash.build ~domain:(0.0, 10.0) ~bins:5 ~shifts:10 samples10 in
+  (* Mild boundary leakage is allowed (bins straddle the borders). *)
+  let mass = Ash.selectivity ash ~a:0.0 ~b:10.0 in
+  Alcotest.(check bool) "near one" true (mass > 0.85 && mass <= 1.0 +. 1e-9)
+
+let test_ash_smoother_than_histogram () =
+  (* The ASH density changes in steps of h/m rather than h: sampling the
+     density on a fine grid, the maximum jump must be smaller. *)
+  let xs = Array.init 200 (fun i -> 5.0 +. (0.02 *. float_of_int i)) in
+  let h = B.equi_width ~domain:(0.0, 10.0) ~bins:10 xs in
+  let ash = Ash.build ~domain:(0.0, 10.0) ~bins:10 ~shifts:10 xs in
+  let max_jump f =
+    let worst = ref 0.0 in
+    for i = 1 to 999 do
+      let x0 = float_of_int (i - 1) *. 0.01 in
+      let x1 = float_of_int i *. 0.01 in
+      worst := Float.max !worst (Float.abs (f x1 -. f x0))
+    done;
+    !worst
+  in
+  Alcotest.(check bool) "smaller jumps" true
+    (max_jump (Ash.density ash) < max_jump (H.density h) /. 2.0)
+
+let test_ash_accessors () =
+  let ash = Ash.build ~domain:(0.0, 10.0) ~bins:5 ~shifts:7 samples10 in
+  Alcotest.(check int) "shifts" 7 (Ash.shifts ash);
+  checkf 1e-12 "bin width" 2.0 (Ash.bin_width ash)
+
+let prop_ash_selectivity_bounds =
+  QCheck.Test.make ~name:"ASH selectivity in [0,1]" ~count:200
+    QCheck.(pair (float_range 0. 10.) (float_range 0. 10.))
+    (fun (x, y) ->
+      let ash = Ash.build ~domain:(0.0, 10.0) ~bins:4 ~shifts:5 samples10 in
+      let s = Ash.selectivity ash ~a:(Float.min x y) ~b:(Float.max x y) in
+      s >= 0.0 && s <= 1.0 +. 1e-9)
+
+(* --- Frequency polygon --- *)
+
+module FP = Histograms.Frequency_polygon
+
+let test_fp_total_mass () =
+  let fp = FP.build ~domain:(0.0, 10.0) ~bins:5 samples10 in
+  (* Mass over the extended support (half a bin beyond each border) is 1. *)
+  checkf 1e-12 "total mass" 1.0 (FP.selectivity fp ~a:(-1.0) ~b:11.0)
+
+let test_fp_continuous_no_jumps () =
+  (* Unlike the histogram, the polygon's density has no jumps: adjacent
+     evaluations differ by at most slope * dx. *)
+  let xs = Array.init 200 (fun i -> 5.0 +. (0.02 *. float_of_int i)) in
+  let fp = FP.build ~domain:(0.0, 10.0) ~bins:10 xs in
+  let worst = ref 0.0 in
+  for i = 1 to 999 do
+    let x0 = float_of_int (i - 1) *. 0.01 and x1 = float_of_int i *. 0.01 in
+    worst := Float.max !worst (Float.abs (FP.density fp x1 -. FP.density fp x0))
+  done;
+  let h = Histograms.Builders.equi_width ~domain:(0.0, 10.0) ~bins:10 xs in
+  let worst_hist = ref 0.0 in
+  for i = 1 to 999 do
+    let x0 = float_of_int (i - 1) *. 0.01 and x1 = float_of_int i *. 0.01 in
+    worst_hist := Float.max !worst_hist (Float.abs (H.density h x1 -. H.density h x0))
+  done;
+  Alcotest.(check bool) "polygon much smoother" true (!worst < !worst_hist /. 10.0)
+
+let test_fp_density_at_bin_center_matches_histogram () =
+  let fp = FP.build ~domain:(0.0, 10.0) ~bins:5 samples10 in
+  let h = Histograms.Builders.equi_width ~domain:(0.0, 10.0) ~bins:5 samples10 in
+  (* At a bin center the interpolation passes through the histogram
+     height. *)
+  checkf 1e-12 "knot value" (H.density h 3.0) (FP.density fp 3.0)
+
+let test_fp_selectivity_matches_numeric_integral () =
+  let fp = FP.build ~domain:(0.0, 10.0) ~bins:4 samples10 in
+  let num = Stats.Integrate.simpson (FP.density fp) ~a:1.3 ~b:7.9 ~n:4000 in
+  checkf 1e-6 "closed form equals integral" num (FP.selectivity fp ~a:1.3 ~b:7.9)
+
+let test_fp_of_histogram_requires_equi_width () =
+  let h = H.of_samples ~edges:[| 0.0; 2.0; 10.0 |] samples10 in
+  Alcotest.check_raises "non-equi-width"
+    (Invalid_argument "Frequency_polygon.of_histogram: histogram must be equi-width") (fun () ->
+      ignore (FP.of_histogram h))
+
+let prop_fp_monotone =
+  QCheck.Test.make ~name:"frequency polygon selectivity monotone" ~count:200
+    QCheck.(triple (float_range 0. 10.) (float_range 0. 10.) (float_range 0. 10.))
+    (fun (a, b1, b2) ->
+      let fp = FP.build ~domain:(0.0, 10.0) ~bins:5 samples10 in
+      let lo = Float.min b1 b2 and hi = Float.max b1 b2 in
+      FP.selectivity fp ~a ~b:lo <= FP.selectivity fp ~a ~b:hi +. 1e-12)
+
+(* --- V-optimal --- *)
+
+module V = Histograms.V_optimal
+
+let test_voh_micro_frequencies () =
+  let freqs = V.micro_frequencies ~granularity:5 ~domain:(0.0, 10.0) samples10 in
+  Alcotest.(check (array (float 1e-12))) "two per cell" [| 2.0; 2.0; 2.0; 2.0; 2.0 |] freqs
+
+let test_voh_partition_sse_hand_computed () =
+  (* freqs [0;0;10;10]: split at 2 gives SSE 0; no split gives 100. *)
+  let freqs = [| 0.0; 0.0; 10.0; 10.0 |] in
+  checkf 1e-9 "perfect split" 0.0 (V.partition_sse freqs ~boundaries:[ 2 ]);
+  checkf 1e-9 "no split" 100.0 (V.partition_sse freqs ~boundaries:[])
+
+let test_voh_finds_perfect_split () =
+  (* Two flat plateaus of different heights: with 2 bins the DP must place
+     the boundary exactly at the step and achieve (near-)zero SSE. *)
+  let xs =
+    Array.append
+      (Array.init 300 (fun i -> float_of_int (i mod 50) /. 50.0 *. 5.0))
+      (Array.init 100 (fun i -> 5.0 +. (float_of_int (i mod 50) /. 50.0 *. 5.0)))
+  in
+  let h, cost = V.build_with_cost ~granularity:10 ~domain:(0.0, 10.0) ~bins:2 xs in
+  Alcotest.(check int) "two bins" 2 (H.bins h);
+  checkf 1e-9 "boundary at the step" 5.0 (H.edges h).(1);
+  checkf 1e-9 "zero SSE" 0.0 cost
+
+let test_voh_dp_matches_brute_force () =
+  (* Tiny instance: compare the DP cost with exhaustive enumeration of all
+     two-boundary partitions. *)
+  let rng = Prng.Xoshiro256pp.create 33L in
+  let xs = Array.init 100 (fun _ -> Prng.Xoshiro256pp.float_range rng 0.0 10.0) in
+  let granularity = 8 in
+  let freqs = V.micro_frequencies ~granularity ~domain:(0.0, 10.0) xs in
+  let _, dp_cost = V.build_with_cost ~granularity ~domain:(0.0, 10.0) ~bins:3 xs in
+  let best = ref Float.infinity in
+  for b1 = 1 to granularity - 2 do
+    for b2 = b1 + 1 to granularity - 1 do
+      best := Float.min !best (V.partition_sse freqs ~boundaries:[ b1; b2 ])
+    done
+  done;
+  checkf 1e-9 "DP optimal" !best dp_cost
+
+let test_voh_beats_equi_width_objective () =
+  (* On clustered data the V-optimal SSE must not exceed the equi-width
+     partition's SSE at the same bin count. *)
+  let rng = Prng.Xoshiro256pp.create 34L in
+  let xs =
+    Array.init 500 (fun i ->
+        if i mod 3 = 0 then Prng.Xoshiro256pp.float_range rng 0.0 2.0
+        else Prng.Xoshiro256pp.float_range rng 7.0 8.0)
+  in
+  let granularity = 60 and bins = 6 in
+  let freqs = V.micro_frequencies ~granularity ~domain:(0.0, 10.0) xs in
+  let _, dp_cost = V.build_with_cost ~granularity ~domain:(0.0, 10.0) ~bins xs in
+  let equi_boundaries = List.init (bins - 1) (fun i -> (i + 1) * granularity / bins) in
+  let equi_cost = V.partition_sse freqs ~boundaries:equi_boundaries in
+  Alcotest.(check bool)
+    (Printf.sprintf "dp %.1f <= equi %.1f" dp_cost equi_cost)
+    true (dp_cost <= equi_cost +. 1e-9)
+
+let test_voh_validation () =
+  Alcotest.check_raises "granularity" (Invalid_argument "V_optimal.build: granularity must be >= bins")
+    (fun () -> ignore (V.build ~granularity:4 ~domain:(0.0, 1.0) ~bins:8 samples10))
+
+(* --- Serial histogram --- *)
+
+module S = Histograms.Serial
+
+let test_serial_build_validation () =
+  Alcotest.check_raises "bins" (Invalid_argument "Serial.build: bins must be positive")
+    (fun () -> ignore (S.build ~bins:0 samples10));
+  Alcotest.check_raises "empty" (Invalid_argument "Serial.build: empty sample") (fun () ->
+      ignore (S.build ~bins:4 [||]))
+
+let test_serial_full_range_mass () =
+  let s = S.build ~bins:3 samples10 in
+  checkf 1e-12 "mass" 1.0 (S.selectivity s ~a:0.0 ~b:10.0)
+
+let test_serial_is_serial () =
+  (* With duplicated values of distinct frequencies and one bucket per
+     distinct value, the grouping must be perfectly serial. *)
+  let xs = Array.concat [ Array.make 6 1.0; Array.make 3 5.0; Array.make 1 9.0 ] in
+  let s = S.build ~bins:3 xs in
+  Alcotest.(check int) "buckets" 3 (S.bucket_count s);
+  checkf 1e-12 "zero spread" 0.0 (S.frequency_spread s)
+
+let test_serial_exact_on_grouped_frequencies () =
+  (* Frequencies 6,3,1 in their own buckets: every single-value query is
+     answered exactly. *)
+  let xs = Array.concat [ Array.make 6 1.0; Array.make 3 5.0; Array.make 1 9.0 ] in
+  let s = S.build ~bins:3 xs in
+  checkf 1e-12 "heavy value" 0.6 (S.selectivity s ~a:1.0 ~b:1.0);
+  checkf 1e-12 "medium value" 0.3 (S.selectivity s ~a:5.0 ~b:5.0);
+  checkf 1e-12 "light value" 0.1 (S.selectivity s ~a:9.0 ~b:9.0)
+
+let test_serial_averaging_error () =
+  (* Frequencies 6 and 2 forced into one bucket average to 4: both member
+     values are misestimated, the serial histogram's intrinsic error. *)
+  let xs = Array.concat [ Array.make 6 1.0; Array.make 2 5.0 ] in
+  let s = S.build ~bins:1 xs in
+  checkf 1e-12 "averaged" 0.5 (S.selectivity s ~a:1.0 ~b:1.0)
+
+let test_serial_storage_is_distinct_count () =
+  let s = S.build ~bins:4 samples10 in
+  Alcotest.(check int) "stores every distinct value" 10 (S.storage_entries s)
+
+let test_serial_on_distinct_data_equals_sampling () =
+  (* All frequencies 1: the serial estimate equals pure sampling for every
+     range, the taxonomy point of Section 2. *)
+  let xs = Array.init 100 (fun i -> float_of_int i) in
+  let s = S.build ~bins:7 xs in
+  List.iter
+    (fun (a, b) ->
+      let sampling =
+        float_of_int
+          (Array.length (Array.of_list (List.filter (fun x -> x >= a && x <= b) (Array.to_list xs))))
+        /. 100.0
+      in
+      checkf 1e-12 "equals sampling" sampling (S.selectivity s ~a ~b))
+    [ (0.0, 9.0); (13.0, 50.5); (90.0, 99.0) ]
+
+(* --- Wavelet histogram --- *)
+
+module W = Histograms.Wavelet
+
+let test_haar_roundtrip () =
+  let v = [| 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 |] in
+  let back = W.haar_inverse (W.haar_forward v) in
+  Array.iteri (fun i x -> checkf 1e-9 "roundtrip" v.(i) x) back
+
+let test_haar_constant_vector () =
+  (* A constant vector has only the average coefficient. *)
+  let c = W.haar_forward (Array.make 8 5.0) in
+  checkf 1e-12 "average" 5.0 c.(0);
+  for i = 1 to 7 do
+    checkf 1e-12 "zero detail" 0.0 c.(i)
+  done
+
+let test_haar_validation () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Wavelet.haar_forward: length must be a positive power of two") (fun () ->
+      ignore (W.haar_forward [| 1.0; 2.0; 3.0 |]))
+
+let test_compress_all_coefficients_exact () =
+  let v = [| 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 |] in
+  let back = W.compress ~coefficients:8 v in
+  Array.iteri (fun i x -> checkf 1e-9 "lossless" v.(i) x) back
+
+let test_compress_step_function_few_coefficients () =
+  (* A 2-level step function needs only 2 Haar coefficients. *)
+  let v = Array.init 16 (fun i -> if i < 8 then 10.0 else 2.0) in
+  let back = W.compress ~coefficients:2 v in
+  Array.iteri (fun i x -> checkf 1e-9 "step recovered" v.(i) x) back
+
+let test_compress_error_decreases_with_budget () =
+  let rng = Prng.Xoshiro256pp.create 55L in
+  let v = Array.init 64 (fun _ -> Prng.Xoshiro256pp.float_range rng 0.0 10.0) in
+  let err k =
+    let back = W.compress ~coefficients:k v in
+    let acc = ref 0.0 in
+    Array.iteri (fun i x -> acc := !acc +. ((x -. back.(i)) ** 2.0)) v;
+    !acc
+  in
+  Alcotest.(check bool) "8 <= 4 budget error" true (err 8 <= err 4 +. 1e-9);
+  Alcotest.(check bool) "32 <= 8 budget error" true (err 32 <= err 8 +. 1e-9);
+  checkf 1e-9 "full budget lossless" 0.0 (err 64)
+
+let test_compress_pads_non_power_of_two () =
+  let v = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let back = W.compress ~coefficients:8 v in
+  Alcotest.(check int) "length preserved" 5 (Array.length back);
+  Array.iteri (fun i x -> checkf 1e-9 "lossless" v.(i) x) back
+
+let test_wavelet_histogram_mass_and_bounds () =
+  let h = W.build ~granularity:64 ~domain:(0.0, 10.0) ~coefficients:16 samples10 in
+  checkf 1e-9 "mass" 1.0 (H.selectivity h ~a:0.0 ~b:10.0);
+  let s = H.selectivity h ~a:2.0 ~b:4.0 in
+  Alcotest.(check bool) "plausible" true (s > 0.0 && s < 1.0)
+
+let () =
+  Alcotest.run "histograms"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "binning" `Quick test_of_samples_binning;
+          Alcotest.test_case "edge goes left" `Quick test_of_samples_edge_value_goes_left;
+          Alcotest.test_case "out of range clamped" `Quick test_of_samples_out_of_range_clamped;
+          Alcotest.test_case "full range mass" `Quick test_selectivity_full_range_is_one;
+          Alcotest.test_case "partial bin" `Quick test_selectivity_partial_bin;
+          Alcotest.test_case "inverted range" `Quick test_selectivity_inverted_range;
+          Alcotest.test_case "outside range" `Quick test_selectivity_outside_range;
+          Alcotest.test_case "hand computed" `Quick test_selectivity_hand_computed;
+          Alcotest.test_case "density uniform within bin" `Quick test_density_uniform_within_bin;
+          Alcotest.test_case "density integrates" `Quick test_density_integrates_to_selectivity;
+          QCheck_alcotest.to_alcotest prop_selectivity_additive;
+          QCheck_alcotest.to_alcotest prop_selectivity_monotone;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "equi-width edges" `Quick test_equi_width_edges;
+          Alcotest.test_case "equi-width invalid" `Quick test_equi_width_invalid;
+          Alcotest.test_case "uniform one bin" `Quick test_uniform_is_one_bin;
+          Alcotest.test_case "equi-depth equal counts" `Quick test_equi_depth_equal_counts;
+          Alcotest.test_case "equi-depth duplicates" `Quick test_equi_depth_duplicates_collapse;
+          Alcotest.test_case "equi-depth adaptive widths" `Quick
+            test_equi_depth_narrow_bins_in_dense_regions;
+          Alcotest.test_case "max-diff gap split" `Quick test_max_diff_splits_largest_gaps;
+          Alcotest.test_case "max-diff counts" `Quick test_max_diff_counts_split;
+          Alcotest.test_case "max-diff few distinct" `Quick test_max_diff_fewer_distinct_than_bins;
+        ] );
+      ( "ash",
+        [
+          Alcotest.test_case "validation" `Quick test_ash_build_validation;
+          Alcotest.test_case "single shift" `Quick test_ash_one_shift_close_to_plain_histogram;
+          Alcotest.test_case "full-domain mass" `Quick test_ash_full_domain_mass;
+          Alcotest.test_case "smoother than histogram" `Quick test_ash_smoother_than_histogram;
+          Alcotest.test_case "accessors" `Quick test_ash_accessors;
+          QCheck_alcotest.to_alcotest prop_ash_selectivity_bounds;
+        ] );
+      ( "frequency polygon",
+        [
+          Alcotest.test_case "total mass" `Quick test_fp_total_mass;
+          Alcotest.test_case "continuous" `Quick test_fp_continuous_no_jumps;
+          Alcotest.test_case "knot values" `Quick test_fp_density_at_bin_center_matches_histogram;
+          Alcotest.test_case "closed form integral" `Quick
+            test_fp_selectivity_matches_numeric_integral;
+          Alcotest.test_case "requires equi-width" `Quick test_fp_of_histogram_requires_equi_width;
+          QCheck_alcotest.to_alcotest prop_fp_monotone;
+        ] );
+      ( "v-optimal",
+        [
+          Alcotest.test_case "micro frequencies" `Quick test_voh_micro_frequencies;
+          Alcotest.test_case "sse hand computed" `Quick test_voh_partition_sse_hand_computed;
+          Alcotest.test_case "finds perfect split" `Quick test_voh_finds_perfect_split;
+          Alcotest.test_case "dp matches brute force" `Quick test_voh_dp_matches_brute_force;
+          Alcotest.test_case "beats equi-width objective" `Quick
+            test_voh_beats_equi_width_objective;
+          Alcotest.test_case "validation" `Quick test_voh_validation;
+        ] );
+      ( "serial",
+        [
+          Alcotest.test_case "validation" `Quick test_serial_build_validation;
+          Alcotest.test_case "full-range mass" `Quick test_serial_full_range_mass;
+          Alcotest.test_case "serial grouping" `Quick test_serial_is_serial;
+          Alcotest.test_case "exact on grouped frequencies" `Quick
+            test_serial_exact_on_grouped_frequencies;
+          Alcotest.test_case "averaging error" `Quick test_serial_averaging_error;
+          Alcotest.test_case "storage cost" `Quick test_serial_storage_is_distinct_count;
+          Alcotest.test_case "equals sampling on distinct data" `Quick
+            test_serial_on_distinct_data_equals_sampling;
+        ] );
+      ( "wavelet",
+        [
+          Alcotest.test_case "haar roundtrip" `Quick test_haar_roundtrip;
+          Alcotest.test_case "constant vector" `Quick test_haar_constant_vector;
+          Alcotest.test_case "validation" `Quick test_haar_validation;
+          Alcotest.test_case "lossless with full budget" `Quick
+            test_compress_all_coefficients_exact;
+          Alcotest.test_case "step with 2 coefficients" `Quick
+            test_compress_step_function_few_coefficients;
+          Alcotest.test_case "error decreases with budget" `Quick
+            test_compress_error_decreases_with_budget;
+          Alcotest.test_case "padding" `Quick test_compress_pads_non_power_of_two;
+          Alcotest.test_case "histogram mass" `Quick test_wavelet_histogram_mass_and_bounds;
+        ] );
+    ]

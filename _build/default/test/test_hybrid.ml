@@ -1,0 +1,247 @@
+(* Tests for the hybrid library: change-point detection and the partitioned
+   kernel estimator. *)
+
+module CP = Hybrid.Change_point
+module Hb = Hybrid.Partitioned
+module Xo = Prng.Xoshiro256pp
+
+let checkf tol = Alcotest.(check (float tol))
+
+(* A density with one hard change point at 50: uniform mass 0.8 on [0, 50),
+   uniform mass 0.2 on [50, 100). *)
+let step_sample seed n =
+  let rng = Xo.create seed in
+  Array.init n (fun _ ->
+      if Xo.float rng < 0.8 then Xo.float_range rng 0.0 50.0
+      else Xo.float_range rng 50.0 100.0)
+
+(* Two tight clusters separated by a desert. *)
+let cluster_sample seed n =
+  let rng = Xo.create seed in
+  Array.init n (fun _ ->
+      if Xo.bool rng then Xo.float_range rng 10.0 20.0 else Xo.float_range rng 80.0 85.0)
+
+let smooth_sample seed n =
+  let rng = Xo.create seed in
+  Array.init n (fun _ ->
+      let u1 = 1.0 -. Xo.float rng and u2 = Xo.float rng in
+      50.0 +. (8.0 *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)))
+
+(* --- change point detection --- *)
+
+let test_detect_validation () =
+  Alcotest.check_raises "empty domain"
+    (Invalid_argument "Change_point.curvature_profile: empty domain") (fun () ->
+      ignore (CP.detect ~domain:(1.0, 1.0) [| 0.5 |]));
+  Alcotest.check_raises "empty sample"
+    (Invalid_argument "Change_point.curvature_profile: empty sample") (fun () ->
+      ignore (CP.detect ~domain:(0.0, 1.0) [||]))
+
+let test_detect_finds_step () =
+  let xs = step_sample 1L 2000 in
+  let points = CP.detect ~domain:(0.0, 100.0) xs in
+  Alcotest.(check bool) "found at least one" true (points <> []);
+  let nearest =
+    List.fold_left (fun acc p -> Float.min acc (Float.abs (p -. 50.0))) Float.infinity points
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "one near 50 (closest %.1f away)" nearest)
+    true (nearest < 6.0)
+
+let test_detect_sorted_and_separated () =
+  let xs = cluster_sample 2L 2000 in
+  let config = { CP.default_config with max_change_points = 6 } in
+  let points = CP.detect ~config ~domain:(0.0, 100.0) xs in
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "sorted" true (a < b);
+      Alcotest.(check bool) "separated" true (b -. a >= 0.02 *. 100.0);
+      check_sorted rest
+    | _ -> ()
+  in
+  check_sorted points
+
+let test_detect_respects_max () =
+  let xs = cluster_sample 3L 2000 in
+  let config = { CP.default_config with max_change_points = 2 } in
+  let points = CP.detect ~config ~domain:(0.0, 100.0) xs in
+  Alcotest.(check bool) "at most 2" true (List.length points <= 2)
+
+let test_detect_respects_min_segment_samples () =
+  let xs = step_sample 4L 2000 in
+  let config = { CP.default_config with min_samples_per_segment = 400 } in
+  let points = CP.detect ~config ~domain:(0.0, 100.0) xs in
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let boundaries = (0.0 :: points) @ [ 100.0 ] in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      let c =
+        Stats.Array_util.float_upper_bound sorted b - Stats.Array_util.float_lower_bound sorted a
+      in
+      Alcotest.(check bool) (Printf.sprintf "segment [%.0f,%.0f] has %d" a b c) true (c >= 400);
+      check rest
+    | _ -> ()
+  in
+  check boundaries
+
+let test_curvature_profile_shape () =
+  let xs = step_sample 5L 1000 in
+  let profile = CP.curvature_profile ~domain:(0.0, 100.0) xs in
+  Alcotest.(check int) "grid size" 512 (Array.length profile);
+  Array.iter
+    (fun (x, v) ->
+      if x < 0.0 || x > 100.0 then Alcotest.failf "x out of domain: %f" x;
+      if v < 0.0 then Alcotest.failf "negative curvature magnitude: %f" v)
+    profile
+
+(* --- hybrid estimator --- *)
+
+let test_build_validation () =
+  Alcotest.check_raises "empty sample" (Invalid_argument "Hybrid.build: empty sample") (fun () ->
+      ignore (Hb.build ~domain:(0.0, 1.0) [||]));
+  Alcotest.check_raises "empty domain" (Invalid_argument "Hybrid.build: empty domain") (fun () ->
+      ignore (Hb.build ~domain:(1.0, 0.0) [| 0.5 |]))
+
+let test_partition_is_partition () =
+  let xs = cluster_sample 6L 2000 in
+  let t = Hb.build ~domain:(0.0, 100.0) xs in
+  let edges = Hb.partition t in
+  checkf 1e-12 "starts at lo" 0.0 edges.(0);
+  checkf 1e-12 "ends at hi" 100.0 edges.(Array.length edges - 1);
+  for i = 1 to Array.length edges - 1 do
+    if not (edges.(i) > edges.(i - 1)) then Alcotest.fail "edges not increasing"
+  done;
+  Alcotest.(check int) "bin count consistent" (Array.length edges - 1) (Hb.bin_count t)
+
+let test_full_domain_mass () =
+  let xs = step_sample 7L 2000 in
+  let t = Hb.build ~domain:(0.0, 100.0) xs in
+  let mass = Hb.selectivity t ~a:0.0 ~b:100.0 in
+  Alcotest.(check bool) (Printf.sprintf "mass %.4f near 1" mass) true (mass > 0.97 && mass <= 1.0)
+
+let test_selectivity_bounds_and_inverted () =
+  let xs = step_sample 8L 1000 in
+  let t = Hb.build ~domain:(0.0, 100.0) xs in
+  checkf 1e-12 "inverted" 0.0 (Hb.selectivity t ~a:60.0 ~b:40.0);
+  let s = Hb.selectivity t ~a:10.0 ~b:90.0 in
+  Alcotest.(check bool) "bounds" true (s >= 0.0 && s <= 1.0)
+
+let prop_selectivity_monotone =
+  QCheck.Test.make ~name:"hybrid selectivity monotone in b" ~count:100
+    QCheck.(triple (float_range 0. 100.) (float_range 0. 100.) (float_range 0. 100.))
+    (fun (a, b1, b2) ->
+      let xs = step_sample 9L 1000 in
+      let t = Hb.build ~domain:(0.0, 100.0) xs in
+      let lo = Float.min b1 b2 and hi = Float.max b1 b2 in
+      Hb.selectivity t ~a ~b:lo <= Hb.selectivity t ~a ~b:hi +. 1e-9)
+
+let test_density_nonnegative_and_integrates () =
+  let xs = step_sample 10L 2000 in
+  let t = Hb.build ~domain:(0.0, 100.0) xs in
+  for i = 0 to 200 do
+    let x = float_of_int i *. 0.5 in
+    if Hb.density t x < 0.0 then Alcotest.failf "negative density at %f" x
+  done;
+  let integral = Stats.Integrate.simpson (Hb.density t) ~a:0.0 ~b:100.0 ~n:4000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "integral %.3f near mass" integral)
+    true
+    (Float.abs (integral -. Hb.selectivity t ~a:0.0 ~b:100.0) < 0.02)
+
+let test_hybrid_beats_plain_kernel_on_step () =
+  (* The design goal (Section 3.3): near a hard change point the hybrid's
+     partitioned estimate beats one global NS bandwidth. *)
+  let xs = step_sample 11L 2000 in
+  let truth a b =
+    (* True step density: 0.8 mass on [0,50), 0.2 on [50,100). *)
+    let seg lo hi w =
+      let a' = Float.max a lo and b' = Float.min b hi in
+      if a' >= b' then 0.0 else w *. ((b' -. a') /. (hi -. lo))
+    in
+    seg 0.0 50.0 0.8 +. seg 50.0 100.0 0.2
+  in
+  let h_ns =
+    Bandwidth.Normal_scale.bandwidth_of_samples ~kernel:Kernels.Kernel.Epanechnikov xs
+  in
+  let plain =
+    Kde.Estimator.create ~boundary:Kde.Estimator.Boundary_kernels ~domain:(0.0, 100.0)
+      ~h:(Float.min h_ns 49.0) xs
+  in
+  let hyb = Hb.build ~domain:(0.0, 100.0) xs in
+  (* Compare on queries straddling the change point. *)
+  let queries = [ (46.0, 54.0); (48.0, 52.0); (45.0, 50.0); (50.0, 55.0) ] in
+  let err f =
+    List.fold_left
+      (fun acc (a, b) -> acc +. Float.abs (f a b -. truth a b))
+      0.0 queries
+  in
+  let e_plain = err (fun a b -> Kde.Estimator.selectivity plain ~a ~b) in
+  let e_hyb = err (fun a b -> Hb.selectivity hyb ~a ~b) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid %.4f <= plain %.4f" e_hyb e_plain)
+    true (e_hyb <= e_plain)
+
+let test_smooth_data_few_bins () =
+  (* On smooth unimodal data the partition stays within the change-point
+     budget (a normal density still has genuine curvature maxima, so some
+     splits are expected and harmless). *)
+  let xs = smooth_sample 12L 2000 in
+  let t = Hb.build ~domain:(0.0, 100.0) xs in
+  let budget = Hb.default_config.Hb.change_points.Hybrid.Change_point.max_change_points in
+  Alcotest.(check bool)
+    (Printf.sprintf "within budget (%d bins)" (Hb.bin_count t))
+    true
+    (Hb.bin_count t <= budget + 1)
+
+let test_min_bin_count_merging () =
+  (* With a very high merge threshold everything collapses into one bin. *)
+  let xs = cluster_sample 13L 500 in
+  let config = { Hb.default_config with min_bin_count = 10_000 } in
+  let t = Hb.build ~config ~domain:(0.0, 100.0) xs in
+  Alcotest.(check int) "single bin" 1 (Hb.bin_count t)
+
+let test_tiny_sample_uniform_fallback () =
+  (* Nine samples: below the kernel-bin threshold, the estimator must still
+     answer queries via the uniform fallback. *)
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0 |] in
+  let t = Hb.build ~domain:(0.0, 100.0) xs in
+  let s = Hb.selectivity t ~a:0.0 ~b:50.0 in
+  checkf 1e-9 "uniform half" 0.5 s
+
+let test_duplicate_heavy_sample () =
+  (* All-duplicate samples have zero scale; must not crash. *)
+  let xs = Array.make 300 42.0 in
+  let t = Hb.build ~domain:(0.0, 100.0) xs in
+  let s = Hb.selectivity t ~a:0.0 ~b:100.0 in
+  Alcotest.(check bool) "mass" true (s > 0.9 && s <= 1.0)
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "change points",
+        [
+          Alcotest.test_case "validation" `Quick test_detect_validation;
+          Alcotest.test_case "finds step" `Quick test_detect_finds_step;
+          Alcotest.test_case "sorted and separated" `Quick test_detect_sorted_and_separated;
+          Alcotest.test_case "respects max" `Quick test_detect_respects_max;
+          Alcotest.test_case "respects min segment" `Quick
+            test_detect_respects_min_segment_samples;
+          Alcotest.test_case "curvature profile" `Quick test_curvature_profile_shape;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "validation" `Quick test_build_validation;
+          Alcotest.test_case "partition" `Quick test_partition_is_partition;
+          Alcotest.test_case "full-domain mass" `Quick test_full_domain_mass;
+          Alcotest.test_case "bounds and inverted" `Quick test_selectivity_bounds_and_inverted;
+          QCheck_alcotest.to_alcotest prop_selectivity_monotone;
+          Alcotest.test_case "density" `Quick test_density_nonnegative_and_integrates;
+          Alcotest.test_case "beats plain kernel on step" `Quick
+            test_hybrid_beats_plain_kernel_on_step;
+          Alcotest.test_case "smooth data few bins" `Quick test_smooth_data_few_bins;
+          Alcotest.test_case "merging" `Quick test_min_bin_count_merging;
+          Alcotest.test_case "tiny sample fallback" `Quick test_tiny_sample_uniform_fallback;
+          Alcotest.test_case "duplicate-heavy sample" `Quick test_duplicate_heavy_sample;
+        ] );
+    ]

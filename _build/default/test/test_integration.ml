@@ -1,0 +1,300 @@
+(* End-to-end integration tests: fixed-seed mini-versions of the paper's
+   experiments asserting the qualitative findings of Section 5 hold. *)
+
+module Est = Selest.Estimator
+module E = Workload.Experiment
+module G = Workload.Generate
+module M = Workload.Metrics
+
+let seed = 42L
+
+(* Shared datasets, built once. *)
+let n20 = lazy (Data.Catalog.find ~seed "n(20)")
+let u20 = lazy (Data.Catalog.find ~seed "u(20)")
+let e20 = lazy (Data.Catalog.find ~seed "e(20)")
+let n10 = lazy (Data.Catalog.find ~seed "n(10)")
+let arap1 = lazy (Data.Catalog.find ~seed "arap1")
+
+let mre ?(n = 2000) ?(fraction = 0.01) ?(count = 300) ds spec =
+  let sample = E.sample_of ds ~seed:7L ~n in
+  let queries = G.size_separated ds ~seed:9L ~fraction ~count in
+  E.mre_of_spec ds ~sample ~queries spec
+
+let kernel_ns boundary =
+  Est.Kernel
+    { kernel = Kernels.Kernel.Epanechnikov; boundary; bandwidth = Est.Normal_scale_bandwidth }
+
+(* --- Figure 6: consistency in the sample size --- *)
+
+let test_error_decreases_with_sample_size () =
+  let ds = Lazy.force n20 in
+  List.iter
+    (fun spec ->
+      let small = mre ~n:200 ds spec in
+      let large = mre ~n:5000 ds spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.3f (n=200) > %.3f (n=5000)" (Est.spec_name spec) small large)
+        true (large < small))
+    [ Est.Sampling; Est.Equi_width Est.Normal_scale_bins; kernel_ns Kde.Estimator.No_treatment ]
+
+(* --- Figure 6's ordering: kernel < histogram < sampling on smooth data --- *)
+
+let test_method_ordering_on_normal_data () =
+  let ds = Lazy.force n20 in
+  let m_sampling = mre ds Est.Sampling in
+  let m_ewh = mre ds (Est.Equi_width Est.Normal_scale_bins) in
+  let m_kernel = mre ds (kernel_ns Kde.Estimator.Boundary_kernels) in
+  Alcotest.(check bool)
+    (Printf.sprintf "kernel %.3f < histogram %.3f" m_kernel m_ewh)
+    true (m_kernel < m_ewh);
+  Alcotest.(check bool)
+    (Printf.sprintf "histogram %.3f < sampling %.3f" m_ewh m_sampling)
+    true (m_ewh < m_sampling)
+
+(* --- Figure 4: U-shaped error versus the number of bins --- *)
+
+let test_u_shape_in_bin_count () =
+  let ds = Lazy.force n20 in
+  let at k = mre ds (Est.Equi_width (Est.Fixed_bins k)) in
+  let too_few = at 2 in
+  let near_opt = at 40 in
+  let too_many = at 4000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2 bins %.3f worse than 40 bins %.3f" too_few near_opt)
+    true
+    (too_few > (2.0 *. near_opt));
+  Alcotest.(check bool)
+    (Printf.sprintf "4000 bins %.3f worse than 40 bins %.3f" too_many near_opt)
+    true
+    (too_many > (1.5 *. near_opt))
+
+(* --- Figure 7: error decreases with query size --- *)
+
+let test_error_decreases_with_query_size () =
+  let ds = Lazy.force n20 in
+  let spec = Est.Equi_width Est.Normal_scale_bins in
+  let small = mre ~fraction:0.01 ds spec in
+  let large = mre ~fraction:0.10 ds spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "10%% queries %.3f easier than 1%% %.3f" large small)
+    true (large < small)
+
+(* --- Figure 5: larger domains are harder --- *)
+
+let test_larger_domain_higher_error () =
+  (* Section 5.2.1 compares the files at favourable bin counts; the
+     high-duplicate small-domain file achieves a lower error there because
+     its truncated density is flatter and each value is supported by many
+     records. *)
+  let best ds =
+    List.fold_left
+      (fun acc k -> Float.min acc (mre ds (Est.Equi_width (Est.Fixed_bins k))))
+      Float.infinity [ 5; 10; 20; 40; 100 ]
+  in
+  let m_coarse = best (Lazy.force n10) in
+  let m_fine = best (Lazy.force n20) in
+  Alcotest.(check bool)
+    (Printf.sprintf "p=20 best %.3f > p=10 best %.3f" m_fine m_coarse)
+    true (m_fine > m_coarse)
+
+(* --- Figures 3/10: boundary treatment --- *)
+
+let test_boundary_treatment_reduces_edge_error () =
+  let ds = Lazy.force u20 in
+  let sample = E.sample_of ds ~seed:7L ~n:2000 in
+  let queries = G.positional_sweep ds ~fraction:0.01 ~count:200 in
+  let edge_error spec =
+    let est = Est.build spec ~domain:(E.domain_of ds) sample in
+    let errs = M.error_by_position ds (fun ~a ~b -> Est.selectivity est ~a ~b) queries in
+    (* Mean relative error over the outermost 5% of positions on each side. *)
+    let k = Array.length errs / 20 in
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      acc := !acc +. errs.(i).M.relative_error;
+      acc := !acc +. errs.(Array.length errs - 1 - i).M.relative_error
+    done;
+    !acc /. float_of_int (2 * k)
+  in
+  let untreated = edge_error (kernel_ns Kde.Estimator.No_treatment) in
+  let reflected = edge_error (kernel_ns Kde.Estimator.Reflection) in
+  let bk = edge_error (kernel_ns Kde.Estimator.Boundary_kernels) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reflection %.4f < untreated %.4f" reflected untreated)
+    true (reflected < untreated);
+  Alcotest.(check bool)
+    (Printf.sprintf "boundary kernels %.4f < untreated %.4f" bk untreated)
+    true (bk < untreated)
+
+(* --- Figure 11: normal scale fails on real data, plug-in recovers --- *)
+
+let test_plug_in_rescues_real_data () =
+  let ds = Lazy.force arap1 in
+  let m_ns = mre ds (kernel_ns Kde.Estimator.Boundary_kernels) in
+  let m_dpi = mre ds Est.kernel_defaults in
+  Alcotest.(check bool)
+    (Printf.sprintf "DPI2 %.3f much better than NS %.3f" m_dpi m_ns)
+    true
+    (m_dpi < (0.6 *. m_ns))
+
+(* --- Figure 12: hybrid wins on real-like data --- *)
+
+let test_hybrid_wins_on_real_data () =
+  let ds = Lazy.force arap1 in
+  let m_kernel = mre ds Est.kernel_defaults in
+  let m_hybrid = mre ds Est.hybrid_defaults in
+  let m_ewh = mre ds (Est.Equi_width Est.Normal_scale_bins) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid %.3f <= kernel %.3f" m_hybrid m_kernel)
+    true
+    (m_hybrid <= m_kernel *. 1.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid %.3f < EWH %.3f" m_hybrid m_ewh)
+    true (m_hybrid < m_ewh)
+
+(* --- Figure 12 on synthetic data: kernel estimators win --- *)
+
+let test_kernel_wins_on_synthetic_data () =
+  List.iter
+    (fun lazy_ds ->
+      let ds = Lazy.force lazy_ds in
+      let m_kernel = mre ds (kernel_ns Kde.Estimator.Boundary_kernels) in
+      let m_ewh = mre ds (Est.Equi_width Est.Normal_scale_bins) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: kernel %.3f < EWH %.3f" (Data.Dataset.name ds) m_kernel m_ewh)
+        true (m_kernel < m_ewh))
+    [ u20; n20; e20 ]
+
+(* --- Figure 8: the uniform estimator loses on skewed data --- *)
+
+let test_uniform_estimator_loses_on_skewed_data () =
+  let ds = Lazy.force e20 in
+  let m_uniform = mre ds Est.Uniform_assumption in
+  let m_ewh = mre ds (Est.Equi_width Est.Normal_scale_bins) in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform %.2f at least 5x worse than EWH %.2f" m_uniform m_ewh)
+    true
+    (m_uniform > (5.0 *. m_ewh))
+
+(* --- Figure 8: EWH beats EDH and MDH on large metric domains --- *)
+
+let test_ewh_beats_edh_and_mdh () =
+  let ds = Lazy.force n20 in
+  let m_ewh = mre ds (Est.Equi_width (Est.Fixed_bins 40)) in
+  let m_edh = mre ds (Est.Equi_depth { bins = 40 }) in
+  let m_mdh = mre ds (Est.Max_diff { bins = 40 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "EWH %.3f <= EDH %.3f" m_ewh m_edh)
+    true (m_ewh <= m_edh +. 0.01);
+  Alcotest.(check bool)
+    (Printf.sprintf "EWH %.3f considerably better than MDH %.3f" m_ewh m_mdh)
+    true
+    (m_ewh < (0.75 *. m_mdh))
+
+(* --- Figure 9: the normal-scale rule lands near the oracle --- *)
+
+let test_normal_scale_near_oracle_on_normal_data () =
+  let ds = Lazy.force n20 in
+  let sample = E.sample_of ds ~seed:7L ~n:2000 in
+  let queries = G.size_separated ds ~seed:9L ~fraction:0.01 ~count:200 in
+  let _, best = E.oracle_bin_count ~max_bins:400 ds ~sample ~queries in
+  let ns = E.mre_of_spec ds ~sample ~queries (Est.Equi_width Est.Normal_scale_bins) in
+  (* The paper reports the NS rule within ~3 points of the optimum. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "NS %.3f within 0.05 of oracle %.3f" ns best)
+    true
+    (ns -. best < 0.05)
+
+(* --- ASH close to kernel on smooth data (Figure 12) --- *)
+
+let test_ash_close_to_kernel_on_synthetic () =
+  let ds = Lazy.force n20 in
+  let m_kernel = mre ds (kernel_ns Kde.Estimator.Boundary_kernels) in
+  let m_ash = mre ds (Est.Ash { bins = Est.Normal_scale_bins; shifts = 10 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ASH %.3f within 2x of kernel %.3f" m_ash m_kernel)
+    true
+    (m_ash < (2.0 *. m_kernel))
+
+(* --- extension shapes --- *)
+
+let test_frequency_polygon_beats_histogram_on_smooth_data () =
+  (* The O(n^-4/5) vs O(n^-2/3) rate: at the same bins the polygon must be
+     at least as accurate on smooth data. *)
+  let ds = Lazy.force n20 in
+  let m_ewh = mre ds (Est.Equi_width (Est.Fixed_bins 40)) in
+  let m_fp = mre ds (Est.Frequency_polygon (Est.Fixed_bins 40)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "FP %.3f <= EWH %.3f" m_fp m_ewh)
+    true
+    (m_fp <= m_ewh +. 0.005)
+
+let test_v_optimal_adapts_to_clusters () =
+  (* On the clustered real-like file the variance-minimizing boundaries
+     must beat the practical equi-width configuration (normal-scale bins)
+     decisively, and also at least match equal-width at the same bin
+     count. *)
+  let ds = Lazy.force arap1 in
+  let m_ewh_ns = mre ds (Est.Equi_width Est.Normal_scale_bins) in
+  let m_ewh_40 = mre ds (Est.Equi_width (Est.Fixed_bins 40)) in
+  let m_voh = mre ds (Est.V_optimal { bins = 40 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "VOH %.3f < 0.7 x EWH(NS) %.3f" m_voh m_ewh_ns)
+    true
+    (m_voh < 0.7 *. m_ewh_ns);
+  Alcotest.(check bool)
+    (Printf.sprintf "VOH %.3f <= EWH(40) %.3f" m_voh m_ewh_40)
+    true (m_voh <= m_ewh_40)
+
+let test_wavelet_competitive_with_ewh () =
+  (* At an equal coefficient budget the wavelet synopsis should stay within
+     2.5x of the equi-width histogram on smooth data and beat it on the
+     clustered file. *)
+  let smooth = Lazy.force n20 in
+  let m_ewh = mre smooth (Est.Equi_width (Est.Fixed_bins 40)) in
+  let m_wave = mre smooth (Est.Wavelet_spec { coefficients = 40 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "wavelet %.3f within 2.5x of EWH %.3f" m_wave m_ewh)
+    true
+    (m_wave < 2.5 *. m_ewh);
+  let clustered = Lazy.force arap1 in
+  let m_ewh_c = mre clustered (Est.Equi_width (Est.Fixed_bins 40)) in
+  let m_wave_c = mre clustered (Est.Wavelet_spec { coefficients = 40 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "wavelet %.3f < EWH %.3f on clusters" m_wave_c m_ewh_c)
+    true
+    (m_wave_c < m_ewh_c)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paper shapes",
+        [
+          Alcotest.test_case "fig 6: consistency in n" `Slow test_error_decreases_with_sample_size;
+          Alcotest.test_case "fig 6: method ordering" `Slow test_method_ordering_on_normal_data;
+          Alcotest.test_case "fig 4: U-shape in bins" `Slow test_u_shape_in_bin_count;
+          Alcotest.test_case "fig 7: query size" `Slow test_error_decreases_with_query_size;
+          Alcotest.test_case "fig 5: domain cardinality" `Slow test_larger_domain_higher_error;
+          Alcotest.test_case "figs 3/10: boundary treatment" `Slow
+            test_boundary_treatment_reduces_edge_error;
+          Alcotest.test_case "fig 11: plug-in rescues real data" `Slow
+            test_plug_in_rescues_real_data;
+          Alcotest.test_case "fig 12: hybrid wins on real data" `Slow
+            test_hybrid_wins_on_real_data;
+          Alcotest.test_case "fig 12: kernel wins on synthetic" `Slow
+            test_kernel_wins_on_synthetic_data;
+          Alcotest.test_case "fig 8: uniform loses" `Slow
+            test_uniform_estimator_loses_on_skewed_data;
+          Alcotest.test_case "fig 8: EWH beats EDH and MDH" `Slow test_ewh_beats_edh_and_mdh;
+          Alcotest.test_case "fig 9: NS near oracle" `Slow
+            test_normal_scale_near_oracle_on_normal_data;
+          Alcotest.test_case "fig 12: ASH close to kernel" `Slow
+            test_ash_close_to_kernel_on_synthetic;
+        ] );
+      ( "extension shapes",
+        [
+          Alcotest.test_case "FP beats EWH on smooth data" `Slow
+            test_frequency_polygon_beats_histogram_on_smooth_data;
+          Alcotest.test_case "VOH adapts to clusters" `Slow test_v_optimal_adapts_to_clusters;
+          Alcotest.test_case "wavelet competitive" `Slow test_wavelet_competitive_with_ewh;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Tests for the join library: exact equi-join oracle, the density-product
+   estimator and the sample-join estimator. *)
+
+module J = Join.Equijoin
+module Est = Selest.Estimator
+module Ds = Data.Dataset
+
+let checkf tol = Alcotest.(check (float tol))
+
+let mk name values = Ds.create ~name ~bits:10 values
+
+(* --- exact oracle --- *)
+
+let test_exact_hand_computed () =
+  (* R: {1,1,2,5}; S: {1,2,2,7}: matches 1 -> 2*1, 2 -> 1*2 => 4. *)
+  let r = mk "r" [| 1; 1; 2; 5 |] and s = mk "s" [| 1; 2; 2; 7 |] in
+  Alcotest.(check int) "size" 4 (J.exact_size r s)
+
+let test_exact_no_overlap () =
+  let r = mk "r" [| 1; 2; 3 |] and s = mk "s" [| 10; 11 |] in
+  Alcotest.(check int) "empty join" 0 (J.exact_size r s)
+
+let test_exact_symmetric () =
+  let r = mk "r" [| 1; 1; 4; 9; 9; 9 |] and s = mk "s" [| 1; 4; 4; 9 |] in
+  Alcotest.(check int) "symmetric" (J.exact_size r s) (J.exact_size s r)
+
+let test_exact_self_join () =
+  (* Self-join size = sum of squared frequencies: 2^2 + 1 + 3^2 = 14. *)
+  let r = mk "r" [| 1; 1; 4; 9; 9; 9 |] in
+  Alcotest.(check int) "self join" 14 (J.exact_size r r)
+
+let prop_exact_matches_brute_force =
+  QCheck.Test.make ~name:"exact join matches nested loop" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 30) (int_range 0 15))
+        (list_of_size (Gen.int_range 1 30) (int_range 0 15)))
+    (fun (lr, ls) ->
+      let r = mk "r" (Array.of_list lr) and s = mk "s" (Array.of_list ls) in
+      let brute =
+        List.fold_left
+          (fun acc a -> acc + List.length (List.filter (fun b -> b = a) ls))
+          0 lr
+      in
+      J.exact_size r s = brute)
+
+(* --- density-product estimator --- *)
+
+let test_from_densities_uniform_exact () =
+  (* Two uniform densities over [0, d]: integral of product = 1/d, so the
+     estimate is N_R N_S / d — the textbook uniform join formula. *)
+  let d = 1024.0 in
+  let f x = if x >= 0.0 && x <= d then 1.0 /. d else 0.0 in
+  let est = J.from_densities ~domain:(0.0, d) f f ~n_r:1000 ~n_s:2000 in
+  checkf 1.0 "uniform formula" (1000.0 *. 2000.0 /. d) est
+
+let test_from_densities_disjoint_supports () =
+  let f x = if x >= 0.0 && x < 100.0 then 0.01 else 0.0 in
+  let g x = if x >= 200.0 && x < 300.0 then 0.01 else 0.0 in
+  let est = J.from_densities ~domain:(0.0, 400.0) f g ~n_r:1000 ~n_s:1000 in
+  checkf 1e-9 "no overlap" 0.0 est
+
+let test_estimator_join_accuracy () =
+  (* End to end: two overlapping normal-ish relations; the kernel-density
+     join estimate must land within ~20% of the exact join size, while the
+     sample join on this large sparse domain collapses. *)
+  let r = Data.Generate.generate Data.Generate.Normal_family ~bits:16 ~count:50_000 ~seed:41L in
+  let s = Data.Generate.generate Data.Generate.Uniform_family ~bits:16 ~count:50_000 ~seed:42L in
+  let exact = float_of_int (J.exact_size r s) in
+  let domain = Workload.Experiment.domain_of r in
+  let sample ds seed = Workload.Experiment.sample_of ds ~seed ~n:2000 in
+  let sr = sample r 1L and ss = sample s 2L in
+  let er = Est.build (Est.Equi_width Est.Normal_scale_bins) ~domain sr in
+  let es = Est.build (Est.Equi_width Est.Normal_scale_bins) ~domain ss in
+  (match J.estimate ~domain er es ~n_r:(Ds.size r) ~n_s:(Ds.size s) with
+  | None -> Alcotest.fail "expected a density-based estimate"
+  | Some est ->
+    Alcotest.(check bool)
+      (Printf.sprintf "histogram join %.0f vs exact %.0f" est exact)
+      true
+      (Float.abs (est -. exact) /. exact < 0.2));
+  let ek = Est.build Est.kernel_defaults ~domain sr in
+  let el = Est.build Est.kernel_defaults ~domain ss in
+  match J.estimate ~domain ek el ~n_r:(Ds.size r) ~n_s:(Ds.size s) with
+  | None -> Alcotest.fail "expected a kernel estimate"
+  | Some est ->
+    Alcotest.(check bool)
+      (Printf.sprintf "kernel join %.0f vs exact %.0f" est exact)
+      true
+      (Float.abs (est -. exact) /. exact < 0.2)
+
+let test_estimate_none_for_sampling () =
+  let domain = (0.0, 100.0) in
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  let sampling = Est.build Est.Sampling ~domain xs in
+  let ewh = Est.build (Est.Equi_width (Est.Fixed_bins 4)) ~domain xs in
+  Alcotest.(check bool) "sampling has no density" true
+    (J.estimate ~domain sampling ewh ~n_r:10 ~n_s:10 = None)
+
+(* --- range-restricted joins --- *)
+
+let test_exact_range_restricted_hand_computed () =
+  (* R: {1,1,2,5}; S: {1,2,2,5}: restricting R to [2,5] keeps matches
+     2 -> 1*2 and 5 -> 1*1 => 3. *)
+  let r = mk "r" [| 1; 1; 2; 5 |] and s = mk "s" [| 1; 2; 2; 5 |] in
+  Alcotest.(check int) "restricted" 3 (J.exact_range_restricted_size r s ~lo:2.0 ~hi:5.0);
+  Alcotest.(check int) "full range equals join" (J.exact_size r s)
+    (J.exact_range_restricted_size r s ~lo:0.0 ~hi:1023.0);
+  Alcotest.(check int) "empty range" 0 (J.exact_range_restricted_size r s ~lo:6.0 ~hi:9.0)
+
+let prop_range_restricted_matches_filtered_join =
+  QCheck.Test.make ~name:"range-restricted equals filter-then-join" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 30) (int_range 0 15))
+        (list_of_size (Gen.int_range 1 30) (int_range 0 15))
+        (pair (int_range 0 15) (int_range 0 15)))
+    (fun (lr, ls, (x, y)) ->
+      let lo = min x y and hi = max x y in
+      let r = mk "r" (Array.of_list lr) and s = mk "s" (Array.of_list ls) in
+      let filtered = List.filter (fun v -> v >= lo && v <= hi) lr in
+      let expected =
+        match filtered with
+        | [] -> 0
+        | _ ->
+          J.exact_size (mk "rf" (Array.of_list filtered)) s
+      in
+      J.exact_range_restricted_size r s ~lo:(float_of_int lo) ~hi:(float_of_int hi) = expected)
+
+let test_range_restricted_estimate_accuracy () =
+  let r = Data.Generate.generate Data.Generate.Normal_family ~bits:16 ~count:50_000 ~seed:45L in
+  let s = Data.Generate.generate Data.Generate.Uniform_family ~bits:16 ~count:50_000 ~seed:46L in
+  let domain = Workload.Experiment.domain_of r in
+  let sr = Workload.Experiment.sample_of r ~seed:5L ~n:2000 in
+  let ss = Workload.Experiment.sample_of s ~seed:6L ~n:2000 in
+  let er = Est.build Est.kernel_defaults ~domain sr in
+  let es = Est.build Est.kernel_defaults ~domain ss in
+  (* Restrict to the central half of the domain. *)
+  let lo = 16384.0 and hi = 49152.0 in
+  let exact = float_of_int (J.exact_range_restricted_size r s ~lo ~hi) in
+  match
+    J.range_restricted ~domain er es ~n_r:(Ds.size r) ~n_s:(Ds.size s) ~lo ~hi
+  with
+  | None -> Alcotest.fail "expected an estimate"
+  | Some est ->
+    Alcotest.(check bool)
+      (Printf.sprintf "restricted join %.0f vs exact %.0f" est exact)
+      true
+      (Float.abs (est -. exact) /. exact < 0.2)
+
+let test_range_restricted_empty_range () =
+  let domain = (0.0, 100.0) in
+  let xs = [| 10.0; 20.0 |] in
+  let e = Est.build (Est.Equi_width (Est.Fixed_bins 4)) ~domain xs in
+  Alcotest.(check (option (float 1e-12))) "inverted range" (Some 0.0)
+    (J.range_restricted ~domain e e ~n_r:10 ~n_s:10 ~lo:50.0 ~hi:40.0)
+
+(* --- sample join --- *)
+
+let test_sample_join_hand_computed () =
+  (* Samples {1,1,2} and {1,2,2}: matches 2*1 + 1*2 = 4; scale by
+     (100*100)/(3*3). *)
+  let est = J.sample_join [| 1.0; 1.0; 2.0 |] [| 1.0; 2.0; 2.0 |] ~n_r:100 ~n_s:100 in
+  checkf 1e-9 "scaled matches" (4.0 *. 10000.0 /. 9.0) est
+
+let test_sample_join_no_collisions () =
+  let est = J.sample_join [| 1.0; 2.0 |] [| 3.0; 4.0 |] ~n_r:100 ~n_s:100 in
+  checkf 1e-12 "zero" 0.0 est
+
+let test_sample_join_collapses_on_sparse_domain () =
+  (* The taxonomy point: on a large domain with few duplicates the sample
+     join finds (almost) no collisions and wildly underestimates, while the
+     density product stays accurate — why optimizers don't join samples. *)
+  let r = Data.Generate.generate Data.Generate.Normal_family ~bits:20 ~count:100_000 ~seed:43L in
+  let s = Data.Generate.generate Data.Generate.Uniform_family ~bits:20 ~count:100_000 ~seed:44L in
+  let exact = float_of_int (J.exact_size r s) in
+  let sr = Workload.Experiment.sample_of r ~seed:3L ~n:2000 in
+  let ss = Workload.Experiment.sample_of s ~seed:4L ~n:2000 in
+  let est = J.sample_join sr ss ~n_r:(Ds.size r) ~n_s:(Ds.size s) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sample join %.0f way below exact %.0f" est exact)
+    true
+    (est < 0.5 *. exact)
+
+let () =
+  Alcotest.run "join"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "hand computed" `Quick test_exact_hand_computed;
+          Alcotest.test_case "no overlap" `Quick test_exact_no_overlap;
+          Alcotest.test_case "symmetric" `Quick test_exact_symmetric;
+          Alcotest.test_case "self join" `Quick test_exact_self_join;
+          QCheck_alcotest.to_alcotest prop_exact_matches_brute_force;
+        ] );
+      ( "density product",
+        [
+          Alcotest.test_case "uniform formula" `Quick test_from_densities_uniform_exact;
+          Alcotest.test_case "disjoint supports" `Quick test_from_densities_disjoint_supports;
+          Alcotest.test_case "end-to-end accuracy" `Slow test_estimator_join_accuracy;
+          Alcotest.test_case "sampling yields none" `Quick test_estimate_none_for_sampling;
+        ] );
+      ( "range restricted",
+        [
+          Alcotest.test_case "hand computed" `Quick test_exact_range_restricted_hand_computed;
+          QCheck_alcotest.to_alcotest prop_range_restricted_matches_filtered_join;
+          Alcotest.test_case "estimate accuracy" `Slow test_range_restricted_estimate_accuracy;
+          Alcotest.test_case "empty range" `Quick test_range_restricted_empty_range;
+        ] );
+      ( "sample join",
+        [
+          Alcotest.test_case "hand computed" `Quick test_sample_join_hand_computed;
+          Alcotest.test_case "no collisions" `Quick test_sample_join_no_collisions;
+          Alcotest.test_case "collapses on sparse domain" `Slow
+            test_sample_join_collapses_on_sparse_domain;
+        ] );
+    ]

@@ -1,0 +1,317 @@
+(* Tests for the kde library: Algorithm 1, indexed vs scan agreement,
+   boundary policies and the Gaussian pilot. *)
+
+module E = Kde.Estimator
+module P = Kde.Pilot
+module K = Kernels.Kernel
+module Xo = Prng.Xoshiro256pp
+
+let checkf tol = Alcotest.(check (float tol))
+
+let uniform_sample seed n =
+  let rng = Xo.create seed in
+  Array.init n (fun _ -> Xo.float_range rng 0.0 100.0)
+
+let central_sample seed n =
+  (* Data well away from the boundaries of [0, 100]. *)
+  let rng = Xo.create seed in
+  Array.init n (fun _ -> Xo.float_range rng 40.0 60.0)
+
+(* --- creation --- *)
+
+let test_create_validation () =
+  Alcotest.check_raises "bad h"
+    (Invalid_argument "Kde.Estimator.create: bandwidth must be positive and finite") (fun () ->
+      ignore (E.create ~domain:(0.0, 1.0) ~h:0.0 [| 0.5 |]));
+  Alcotest.check_raises "empty domain" (Invalid_argument "Kde.Estimator.create: empty domain")
+    (fun () -> ignore (E.create ~domain:(1.0, 1.0) ~h:0.1 [| 0.5 |]));
+  Alcotest.check_raises "empty sample" (Invalid_argument "Kde.Estimator.create: empty sample")
+    (fun () -> ignore (E.create ~domain:(0.0, 1.0) ~h:0.1 [||]));
+  Alcotest.check_raises "boundary kernels need compact kernel"
+    (Invalid_argument
+       "Kde.Estimator.create: boundary kernels require a unit-support kernel (Epanechnikov \
+        family)") (fun () ->
+      ignore
+        (E.create ~kernel:K.Gaussian ~boundary:E.Boundary_kernels ~domain:(0.0, 1.0) ~h:0.01
+           [| 0.5 |]));
+  Alcotest.check_raises "boundary kernels need 2h <= width"
+    (Invalid_argument "Kde.Estimator.create: boundary kernels require 2h <= domain width")
+    (fun () ->
+      ignore (E.create ~boundary:E.Boundary_kernels ~domain:(0.0, 1.0) ~h:0.6 [| 0.5 |]))
+
+let test_accessors () =
+  let est = E.create ~kernel:K.Biweight ~boundary:E.Reflection ~domain:(0.0, 10.0) ~h:1.0 [| 5.0; 2.0 |] in
+  Alcotest.(check string) "kernel" "biweight" (K.name (E.kernel est));
+  Alcotest.(check string) "boundary" "reflection" (E.boundary_policy_name (E.boundary est));
+  checkf 1e-12 "bandwidth" 1.0 (E.bandwidth est);
+  Alcotest.(check int) "n" 2 (E.sample_size est);
+  Alcotest.(check (array (float 1e-12))) "samples sorted" [| 2.0; 5.0 |] (E.samples est)
+
+let test_samples_clamped_to_domain () =
+  let est = E.create ~domain:(0.0, 10.0) ~h:1.0 [| -5.0; 15.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-12))) "clamped" [| 0.0; 3.0; 10.0 |] (E.samples est)
+
+(* --- single-sample closed form --- *)
+
+let test_single_sample_epanechnikov () =
+  (* One sample at 50, h = 10: selectivity of [40, 60] is the full kernel
+     mass, of [50, 60] exactly half, of [45, 50] = F(0) - F(-0.5). *)
+  let est = E.create ~domain:(0.0, 100.0) ~h:10.0 [| 50.0 |] in
+  checkf 1e-12 "full mass" 1.0 (E.selectivity est ~a:40.0 ~b:60.0);
+  checkf 1e-12 "half mass" 0.5 (E.selectivity est ~a:50.0 ~b:60.0);
+  checkf 1e-12 "partial"
+    (K.cdf K.Epanechnikov 0.0 -. K.cdf K.Epanechnikov (-0.5))
+    (E.selectivity est ~a:45.0 ~b:50.0)
+
+let test_density_single_sample () =
+  let est = E.create ~domain:(0.0, 100.0) ~h:10.0 [| 50.0 |] in
+  checkf 1e-12 "peak" (0.75 /. 10.0) (E.density est 50.0);
+  checkf 1e-12 "at support edge" 0.0 (E.density est 60.0);
+  checkf 1e-12 "outside domain" 0.0 (E.density est 101.0)
+
+(* --- indexed vs scan agreement (Algorithm 1 equivalence) --- *)
+
+let test_indexed_matches_scan () =
+  let xs = uniform_sample 1L 500 in
+  List.iter
+    (fun boundary ->
+      let est = E.create ~boundary ~domain:(0.0, 100.0) ~h:3.0 xs in
+      List.iter
+        (fun (a, b) ->
+          checkf 1e-10
+            (Printf.sprintf "%s [%g,%g]" (E.boundary_policy_name boundary) a b)
+            (E.selectivity_scan est ~a ~b) (E.selectivity est ~a ~b))
+        [ (0.0, 1.0); (0.0, 100.0); (47.0, 53.0); (99.0, 100.0); (10.0, 90.0); (50.0, 50.5) ])
+    [ E.No_treatment; E.Reflection; E.Boundary_kernels ]
+
+let prop_indexed_matches_scan_random =
+  QCheck.Test.make ~name:"indexed equals scan on random queries" ~count:100
+    QCheck.(pair (float_range 0. 100.) (float_range 0. 100.))
+    (fun (x, y) ->
+      let xs = uniform_sample 2L 300 in
+      let est = E.create ~domain:(0.0, 100.0) ~h:2.0 xs in
+      let a = Float.min x y and b = Float.max x y in
+      Float.abs (E.selectivity est ~a ~b -. E.selectivity_scan est ~a ~b) < 1e-10)
+
+(* --- selectivity properties --- *)
+
+let prop_selectivity_bounds =
+  QCheck.Test.make ~name:"kernel selectivity in [0,1]" ~count:200
+    QCheck.(pair (float_range 0. 100.) (float_range 0. 100.))
+    (fun (x, y) ->
+      let xs = uniform_sample 3L 200 in
+      let est = E.create ~boundary:E.Boundary_kernels ~domain:(0.0, 100.0) ~h:4.0 xs in
+      let s = E.selectivity est ~a:(Float.min x y) ~b:(Float.max x y) in
+      s >= 0.0 && s <= 1.0)
+
+let prop_selectivity_monotone =
+  QCheck.Test.make ~name:"kernel selectivity monotone in b" ~count:200
+    QCheck.(triple (float_range 0. 100.) (float_range 0. 100.) (float_range 0. 100.))
+    (fun (a, b1, b2) ->
+      let xs = uniform_sample 4L 200 in
+      let est = E.create ~domain:(0.0, 100.0) ~h:4.0 xs in
+      let lo = Float.min b1 b2 and hi = Float.max b1 b2 in
+      E.selectivity est ~a ~b:lo <= E.selectivity est ~a ~b:hi +. 1e-9)
+
+let test_selectivity_inverted () =
+  let est = E.create ~domain:(0.0, 100.0) ~h:5.0 (uniform_sample 5L 100) in
+  checkf 1e-12 "inverted" 0.0 (E.selectivity est ~a:60.0 ~b:40.0)
+
+let test_selectivity_matches_density_integral () =
+  let xs = uniform_sample 6L 200 in
+  List.iter
+    (fun boundary ->
+      let est = E.create ~boundary ~domain:(0.0, 100.0) ~h:5.0 xs in
+      let integral =
+        Stats.Integrate.simpson (E.density est) ~a:20.0 ~b:45.0 ~n:4000
+      in
+      checkf 1e-4
+        (E.boundary_policy_name boundary)
+        integral
+        (E.selectivity est ~a:20.0 ~b:45.0))
+    [ E.No_treatment; E.Reflection; E.Boundary_kernels ]
+
+let test_boundary_strip_quadrature_accuracy () =
+  (* The Gauss-Legendre strip integration must agree with high-resolution
+     adaptive integration of the boundary-corrected density up to the
+     documented ~1e-3 kink error — far below the statistical estimation
+     error. *)
+  let xs = uniform_sample 20L 400 in
+  let est = E.create ~boundary:E.Boundary_kernels ~domain:(0.0, 100.0) ~h:6.0 xs in
+  List.iter
+    (fun (a, b) ->
+      let direct = E.selectivity est ~a ~b in
+      let numeric = Stats.Integrate.adaptive_simpson (E.density est) ~a ~b in
+      checkf 1e-3 (Printf.sprintf "strip [%g,%g]" a b) numeric direct)
+    [ (0.0, 2.0); (0.0, 6.0); (1.5, 4.5); (95.0, 100.0); (97.3, 99.9) ]
+
+(* --- mass / boundary behaviour --- *)
+
+let test_mass_central_data_is_one () =
+  (* When the data sits far from the boundaries no mass is lost. *)
+  let est = E.create ~domain:(0.0, 100.0) ~h:5.0 (central_sample 7L 300) in
+  checkf 1e-9 "no boundary loss" 1.0 (E.mass est)
+
+let test_mass_lost_without_treatment () =
+  (* Uniform data loses about h/(2*width) of mass at each boundary. *)
+  let est = E.create ~domain:(0.0, 100.0) ~h:8.0 (uniform_sample 8L 2000) in
+  let m = E.mass est in
+  Alcotest.(check bool) "visible loss" true (m < 0.99);
+  Alcotest.(check bool) "but bounded" true (m > 0.9)
+
+let test_mass_restored_by_reflection () =
+  let xs = uniform_sample 8L 2000 in
+  let est = E.create ~boundary:E.Reflection ~domain:(0.0, 100.0) ~h:8.0 xs in
+  checkf 1e-9 "reflection restores mass" 1.0 (E.mass est)
+
+let test_boundary_kernels_reduce_boundary_error () =
+  (* The punchline of Section 3.2.1: on uniform data, the estimate of a
+     boundary-flush query must be far better with treatment than without. *)
+  let xs = uniform_sample 9L 2000 in
+  let h = 5.0 in
+  let truth = 0.03 in
+  let q_a = 0.0 and q_b = 3.0 in
+  let err boundary =
+    let est = E.create ~boundary ~domain:(0.0, 100.0) ~h xs in
+    Float.abs (E.selectivity est ~a:q_a ~b:q_b -. truth)
+  in
+  let e_none = err E.No_treatment in
+  let e_refl = err E.Reflection in
+  let e_bk = err E.Boundary_kernels in
+  Alcotest.(check bool)
+    (Printf.sprintf "reflection better (%.4f vs %.4f)" e_refl e_none)
+    true (e_refl < e_none);
+  Alcotest.(check bool)
+    (Printf.sprintf "boundary kernels better (%.4f vs %.4f)" e_bk e_none)
+    true (e_bk < e_none)
+
+let test_interior_unaffected_by_policy () =
+  (* Away from the boundaries all three policies agree exactly. *)
+  let xs = uniform_sample 10L 500 in
+  let h = 3.0 in
+  let s boundary =
+    let est = E.create ~boundary ~domain:(0.0, 100.0) ~h xs in
+    E.selectivity est ~a:40.0 ~b:60.0
+  in
+  let s0 = s E.No_treatment in
+  checkf 1e-10 "reflection same" s0 (s E.Reflection);
+  checkf 1e-10 "boundary kernels same" s0 (s E.Boundary_kernels)
+
+let test_gaussian_kernel_estimator () =
+  (* The machinery must work for the infinite-support kernel too. *)
+  let xs = central_sample 11L 500 in
+  let est = E.create ~kernel:K.Gaussian ~domain:(0.0, 100.0) ~h:2.0 xs in
+  let s = E.selectivity est ~a:40.0 ~b:60.0 in
+  (* Gaussian tails spread a few percent of the mass outside the data
+     range. *)
+  Alcotest.(check bool) "covers the data" true (s > 0.88 && s <= 1.0)
+
+(* --- pilot --- *)
+
+let test_pilot_validation () =
+  Alcotest.check_raises "bad h"
+    (Invalid_argument "Kde.Pilot.create: bandwidth must be positive and finite") (fun () ->
+      ignore (P.create ~h:(-1.0) [| 1.0 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Kde.Pilot.create: empty sample") (fun () ->
+      ignore (P.create ~h:1.0 [||]))
+
+let test_pilot_density_integrates_to_one () =
+  let xs = central_sample 12L 300 in
+  let p = P.create ~h:2.0 xs in
+  let mass = Stats.Integrate.simpson (P.density p) ~a:0.0 ~b:100.0 ~n:2000 in
+  checkf 1e-6 "mass" 1.0 mass
+
+let test_pilot_derivatives_match_finite_differences () =
+  let xs = central_sample 13L 200 in
+  let p = P.create ~h:3.0 xs in
+  let eps = 1e-4 in
+  List.iter
+    (fun x ->
+      let d1_fd = (P.density p (x +. eps) -. P.density p (x -. eps)) /. (2.0 *. eps) in
+      checkf 1e-5 "first derivative" d1_fd (P.deriv1 p x);
+      let d2_fd =
+        (P.density p (x +. eps) -. (2.0 *. P.density p x) +. P.density p (x -. eps))
+        /. (eps *. eps)
+      in
+      checkf 1e-3 "second derivative" d2_fd (P.deriv2 p x))
+    [ 45.0; 50.0; 55.0 ]
+
+let test_pilot_roughness_matches_numeric () =
+  let xs = central_sample 14L 200 in
+  let p = P.create ~h:3.0 xs in
+  let num_d1 =
+    Stats.Integrate.simpson (fun x -> P.deriv1 p x ** 2.0) ~a:0.0 ~b:100.0 ~n:4000
+  in
+  let num_d2 =
+    Stats.Integrate.simpson (fun x -> P.deriv2 p x ** 2.0) ~a:0.0 ~b:100.0 ~n:4000
+  in
+  let v1 = P.roughness_deriv1 p and v2 = P.roughness_deriv2 p in
+  Alcotest.(check bool) "int f'^2 matches" true (Float.abs (v1 -. num_d1) /. v1 < 1e-3);
+  Alcotest.(check bool) "int f''^2 matches" true (Float.abs (v2 -. num_d2) /. v2 < 1e-3)
+
+let test_pilot_roughness_normal_reference () =
+  (* On a large normal sample with a small pilot bandwidth, int f''^2 should
+     approach the closed form 3 / (8 sqrt pi sigma^5). *)
+  let rng = Xo.create 15L in
+  let xs =
+    Array.init 4000 (fun _ ->
+        let u1 = 1.0 -. Xo.float rng and u2 = Xo.float rng in
+        sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  in
+  let p = P.create ~h:0.25 xs in
+  let expected = 3.0 /. (8.0 *. 1.7724538509055159) in
+  let v = P.roughness_deriv2 p in
+  Alcotest.(check bool)
+    (Printf.sprintf "close to closed form (%.4f vs %.4f)" v expected)
+    true
+    (Float.abs (v -. expected) /. expected < 0.25)
+
+let () =
+  Alcotest.run "kde"
+    [
+      ( "creation",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "clamping" `Quick test_samples_clamped_to_domain;
+        ] );
+      ( "closed form",
+        [
+          Alcotest.test_case "single sample selectivity" `Quick test_single_sample_epanechnikov;
+          Alcotest.test_case "single sample density" `Quick test_density_single_sample;
+        ] );
+      ( "algorithm 1",
+        [
+          Alcotest.test_case "indexed matches scan" `Quick test_indexed_matches_scan;
+          QCheck_alcotest.to_alcotest prop_indexed_matches_scan_random;
+        ] );
+      ( "selectivity",
+        [
+          QCheck_alcotest.to_alcotest prop_selectivity_bounds;
+          QCheck_alcotest.to_alcotest prop_selectivity_monotone;
+          Alcotest.test_case "inverted" `Quick test_selectivity_inverted;
+          Alcotest.test_case "matches density integral" `Quick
+            test_selectivity_matches_density_integral;
+          Alcotest.test_case "boundary strip quadrature" `Quick
+            test_boundary_strip_quadrature_accuracy;
+        ] );
+      ( "boundary",
+        [
+          Alcotest.test_case "central data mass one" `Quick test_mass_central_data_is_one;
+          Alcotest.test_case "mass lost untreated" `Quick test_mass_lost_without_treatment;
+          Alcotest.test_case "reflection restores mass" `Quick test_mass_restored_by_reflection;
+          Alcotest.test_case "treatments reduce boundary error" `Quick
+            test_boundary_kernels_reduce_boundary_error;
+          Alcotest.test_case "interior unaffected" `Quick test_interior_unaffected_by_policy;
+          Alcotest.test_case "gaussian kernel" `Quick test_gaussian_kernel_estimator;
+        ] );
+      ( "pilot",
+        [
+          Alcotest.test_case "validation" `Quick test_pilot_validation;
+          Alcotest.test_case "density mass" `Quick test_pilot_density_integrates_to_one;
+          Alcotest.test_case "derivatives" `Quick test_pilot_derivatives_match_finite_differences;
+          Alcotest.test_case "roughness vs numeric" `Quick test_pilot_roughness_matches_numeric;
+          Alcotest.test_case "roughness normal reference" `Slow
+            test_pilot_roughness_normal_reference;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Tests for the kernels library: normalization, moments, primitives and
+   boundary kernels. *)
+
+module K = Kernels.Kernel
+module B = Kernels.Boundary
+module I = Stats.Integrate
+
+let checkf tol = Alcotest.(check (float tol))
+
+let integration_range k =
+  match K.support_radius k with Some r -> (-.r, r) | None -> (-10.0, 10.0)
+
+(* --- normalization and moments --- *)
+
+let test_kernels_integrate_to_one () =
+  List.iter
+    (fun k ->
+      let lo, hi = integration_range k in
+      let mass = I.adaptive_simpson (K.eval k) ~a:lo ~b:hi in
+      checkf 1e-8 (K.name k) 1.0 mass)
+    K.all
+
+let test_kernels_nonnegative () =
+  List.iter
+    (fun k ->
+      let lo, hi = integration_range k in
+      for i = 0 to 200 do
+        let t = lo +. (float_of_int i /. 200.0 *. (hi -. lo)) in
+        if K.eval k t < 0.0 then Alcotest.failf "%s negative at %f" (K.name k) t
+      done)
+    K.all
+
+let test_kernels_symmetric () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun t -> checkf 1e-12 (K.name k) (K.eval k t) (K.eval k (-.t)))
+        [ 0.1; 0.3; 0.7; 0.95 ])
+    K.all
+
+let test_second_moment_matches_numeric () =
+  List.iter
+    (fun k ->
+      let lo, hi = integration_range k in
+      let num = I.adaptive_simpson (fun t -> t *. t *. K.eval k t) ~a:lo ~b:hi in
+      checkf 1e-6 (K.name k) num (K.second_moment k))
+    K.all
+
+let test_roughness_matches_numeric () =
+  List.iter
+    (fun k ->
+      let lo, hi = integration_range k in
+      let num = I.adaptive_simpson (fun t -> K.eval k t ** 2.0) ~a:lo ~b:hi in
+      checkf 1e-6 (K.name k) num (K.roughness k))
+    K.all
+
+let test_epanechnikov_constants () =
+  (* The paper's values: k2 = 1/5, and the primitive F_K(t) = (3t - t^3)/4
+     relative to the center. *)
+  checkf 1e-12 "k2" 0.2 (K.second_moment K.Epanechnikov);
+  checkf 1e-12 "R(K)" 0.6 (K.roughness K.Epanechnikov);
+  checkf 1e-12 "K(0)" 0.75 (K.eval K.Epanechnikov 0.0);
+  checkf 1e-12 "primitive at 0.5" (0.5 +. (((3.0 *. 0.5) -. 0.125) /. 4.0))
+    (K.cdf K.Epanechnikov 0.5)
+
+(* --- primitives --- *)
+
+let test_cdf_matches_numeric_integral () =
+  List.iter
+    (fun k ->
+      let lo, _ = integration_range k in
+      List.iter
+        (fun t ->
+          let num = I.adaptive_simpson (K.eval k) ~a:lo ~b:t in
+          checkf 1e-7 (Printf.sprintf "%s cdf(%g)" (K.name k) t) num (K.cdf k t))
+        [ -0.9; -0.4; 0.0; 0.3; 0.8 ])
+    K.all
+
+let test_cdf_limits () =
+  List.iter
+    (fun k ->
+      checkf 1e-9 (K.name k ^ " left") 0.0 (K.cdf k (-20.0));
+      checkf 1e-9 (K.name k ^ " right") 1.0 (K.cdf k 20.0);
+      checkf 1e-9 (K.name k ^ " center") 0.5 (K.cdf k 0.0))
+    K.all
+
+let prop_cdf_monotone =
+  let kernel_gen = QCheck.Gen.oneofl K.all in
+  QCheck.Test.make ~name:"kernel cdf monotone" ~count:500
+    (QCheck.make
+       QCheck.Gen.(triple kernel_gen (float_range (-2.) 2.) (float_range (-2.) 2.)))
+    (fun (k, x, y) ->
+      let lo = Float.min x y and hi = Float.max x y in
+      K.cdf k lo <= K.cdf k hi +. 1e-12)
+
+(* --- names and helpers --- *)
+
+let test_names_roundtrip () =
+  List.iter
+    (fun k ->
+      match K.of_name (K.name k) with
+      | Some k' -> Alcotest.(check string) "roundtrip" (K.name k) (K.name k')
+      | None -> Alcotest.failf "of_name failed for %s" (K.name k))
+    K.all;
+  Alcotest.(check bool) "unknown" true (K.of_name "nope" = None);
+  Alcotest.(check bool) "case-insensitive" true (K.of_name "GAUSSIAN" = Some K.Gaussian)
+
+let test_effective_radius () =
+  checkf 1e-12 "epanechnikov" 1.0 (K.effective_radius K.Epanechnikov);
+  checkf 1e-12 "gaussian" 8.0 (K.effective_radius K.Gaussian)
+
+let test_canonical_factor_epanechnikov () =
+  (* delta0 = (R/k2^2)^(1/5) = (0.6 * 25)^(1/5) = 15^(1/5). *)
+  checkf 1e-9 "delta0" (15.0 ** 0.2) (K.canonical_bandwidth_factor K.Epanechnikov)
+
+let test_epanechnikov_is_amise_best () =
+  (* The Epanechnikov kernel minimizes the AMISE constant among all kernels
+     (its classical optimality). *)
+  let c = K.amise_constant K.Epanechnikov in
+  List.iter
+    (fun k ->
+      if K.amise_constant k < c -. 1e-9 then
+        Alcotest.failf "%s has smaller AMISE constant" (K.name k))
+    K.all
+
+(* --- boundary kernels --- *)
+
+let test_boundary_integrates_to_one () =
+  List.iter
+    (fun q ->
+      let mass = I.adaptive_simpson (fun u -> B.left ~u ~q) ~a:(-1.0) ~b:q in
+      checkf 1e-8 (Printf.sprintf "q=%g" q) 1.0 mass)
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+
+let test_boundary_zero_first_moment () =
+  List.iter
+    (fun q ->
+      let m1 = I.adaptive_simpson (fun u -> u *. B.left ~u ~q) ~a:(-1.0) ~b:q in
+      checkf 1e-8 (Printf.sprintf "q=%g" q) 0.0 m1)
+    [ 0.0; 0.3; 0.6; 1.0 ]
+
+let test_boundary_q1_is_epanechnikov () =
+  List.iter
+    (fun u -> checkf 1e-9 "q=1 reduces to Epanechnikov" (K.eval K.Epanechnikov u) (B.left ~u ~q:1.0))
+    [ -0.9; -0.2; 0.0; 0.5; 0.99 ]
+
+let test_boundary_support () =
+  checkf 1e-12 "outside right" 0.0 (B.left ~u:0.6 ~q:0.5);
+  checkf 1e-12 "outside left" 0.0 (B.left ~u:(-1.1) ~q:0.5);
+  Alcotest.(check bool) "inside nonzero" true (B.left ~u:0.0 ~q:0.5 > 0.0)
+
+let test_boundary_cdf_matches_numeric () =
+  List.iter
+    (fun (q, u) ->
+      let num = I.adaptive_simpson (fun v -> B.left ~u:v ~q) ~a:(-1.0) ~b:u in
+      checkf 1e-7 (Printf.sprintf "q=%g u=%g" q u) num (B.left_cdf ~u ~q))
+    [ (0.2, -0.5); (0.2, 0.1); (0.7, 0.0); (1.0, 0.5) ]
+
+let test_boundary_cdf_limits () =
+  List.iter
+    (fun q ->
+      checkf 1e-12 "left limit" 0.0 (B.left_cdf ~u:(-1.0) ~q);
+      checkf 1e-9 "right limit" 1.0 (B.left_cdf ~u:q ~q))
+    [ 0.0; 0.4; 1.0 ]
+
+let test_boundary_right_mirror () =
+  List.iter
+    (fun (q, u) ->
+      checkf 1e-12 "mirror" (B.left ~u:(-.u) ~q) (B.right ~u ~q);
+      checkf 1e-9 "cdf complement" (1.0 -. B.left_cdf ~u:(-.u) ~q) (B.right_cdf ~u ~q))
+    [ (0.3, 0.2); (0.8, -0.1); (1.0, 0.6) ]
+
+let test_boundary_invalid_q () =
+  Alcotest.check_raises "q > 1" (Invalid_argument "Boundary: q must be in [0, 1]") (fun () ->
+      ignore (B.left ~u:0.0 ~q:1.5))
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "normalization",
+        [
+          Alcotest.test_case "integrate to one" `Quick test_kernels_integrate_to_one;
+          Alcotest.test_case "non-negative" `Quick test_kernels_nonnegative;
+          Alcotest.test_case "symmetric" `Quick test_kernels_symmetric;
+          Alcotest.test_case "second moments" `Quick test_second_moment_matches_numeric;
+          Alcotest.test_case "roughness" `Quick test_roughness_matches_numeric;
+          Alcotest.test_case "epanechnikov constants" `Quick test_epanechnikov_constants;
+        ] );
+      ( "primitive",
+        [
+          Alcotest.test_case "matches numeric" `Quick test_cdf_matches_numeric_integral;
+          Alcotest.test_case "limits" `Quick test_cdf_limits;
+          QCheck_alcotest.to_alcotest prop_cdf_monotone;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "names" `Quick test_names_roundtrip;
+          Alcotest.test_case "effective radius" `Quick test_effective_radius;
+          Alcotest.test_case "canonical factor" `Quick test_canonical_factor_epanechnikov;
+          Alcotest.test_case "epanechnikov optimality" `Quick test_epanechnikov_is_amise_best;
+        ] );
+      ( "boundary",
+        [
+          Alcotest.test_case "integrates to one" `Quick test_boundary_integrates_to_one;
+          Alcotest.test_case "zero first moment" `Quick test_boundary_zero_first_moment;
+          Alcotest.test_case "q=1 is Epanechnikov" `Quick test_boundary_q1_is_epanechnikov;
+          Alcotest.test_case "support" `Quick test_boundary_support;
+          Alcotest.test_case "cdf matches numeric" `Quick test_boundary_cdf_matches_numeric;
+          Alcotest.test_case "cdf limits" `Quick test_boundary_cdf_limits;
+          Alcotest.test_case "right mirror" `Quick test_boundary_right_mirror;
+          Alcotest.test_case "invalid q" `Quick test_boundary_invalid_q;
+        ] );
+    ]

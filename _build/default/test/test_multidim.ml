@@ -1,0 +1,441 @@
+(* Tests for the multidim library: 2-D datasets, the rectangle oracle, the
+   product-kernel estimator and the grid histogram. *)
+
+module D2 = Multidim.Dataset2d
+module G2 = Multidim.Generate2d
+module K2 = Multidim.Kde2d
+module H2 = Multidim.Hist2d
+module W2 = Multidim.Workload2d
+module Xo = Prng.Xoshiro256pp
+
+let checkf tol = Alcotest.(check (float tol))
+
+let small =
+  D2.create ~name:"small" ~bits_x:4 ~bits_y:4
+    [| (0, 0); (1, 2); (3, 3); (7, 1); (7, 7); (15, 15) |]
+
+let uniform_square seed count =
+  let rng = Xo.create seed in
+  Array.init count (fun _ ->
+      (Xo.float_range rng 0.0 100.0, Xo.float_range rng 0.0 100.0))
+
+(* --- dataset --- *)
+
+let test_create_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dataset2d.create: empty point array")
+    (fun () -> ignore (D2.create ~name:"x" ~bits_x:4 ~bits_y:4 [||]));
+  Alcotest.check_raises "out of domain"
+    (Invalid_argument "Dataset2d.create(x): point (16, 0) outside domain") (fun () ->
+      ignore (D2.create ~name:"x" ~bits_x:4 ~bits_y:4 [| (16, 0) |]))
+
+let test_accessors () =
+  Alcotest.(check int) "size" 6 (D2.size small);
+  Alcotest.(check int) "bits_x" 4 (D2.bits_x small);
+  Alcotest.(check (array int)) "xs" [| 0; 1; 3; 7; 7; 15 |] (D2.xs small);
+  Alcotest.(check (array int)) "ys" [| 0; 2; 3; 1; 7; 15 |] (D2.ys small)
+
+let test_exact_count_basic () =
+  Alcotest.(check int) "whole domain" 6
+    (D2.exact_count small ~x_lo:0.0 ~x_hi:15.0 ~y_lo:0.0 ~y_hi:15.0);
+  Alcotest.(check int) "corner" 1
+    (D2.exact_count small ~x_lo:0.0 ~x_hi:0.0 ~y_lo:0.0 ~y_hi:0.0);
+  Alcotest.(check int) "x band" 2
+    (D2.exact_count small ~x_lo:7.0 ~x_hi:7.0 ~y_lo:0.0 ~y_hi:15.0);
+  Alcotest.(check int) "inverted" 0
+    (D2.exact_count small ~x_lo:5.0 ~x_hi:3.0 ~y_lo:0.0 ~y_hi:15.0);
+  Alcotest.(check int) "empty region" 0
+    (D2.exact_count small ~x_lo:8.0 ~x_hi:14.0 ~y_lo:8.0 ~y_hi:14.0)
+
+let prop_exact_count_matches_scan =
+  QCheck.Test.make ~name:"2-D oracle matches linear scan" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 80) (pair (int_range 0 31) (int_range 0 31)))
+        (quad (int_range 0 31) (int_range 0 31) (int_range 0 31) (int_range 0 31)))
+    (fun (pts, (a, b, c, d)) ->
+      let ds = D2.create ~name:"p" ~bits_x:5 ~bits_y:5 (Array.of_list pts) in
+      let x_lo = float_of_int (min a b) and x_hi = float_of_int (max a b) in
+      let y_lo = float_of_int (min c d) and y_hi = float_of_int (max c d) in
+      let expected =
+        List.length
+          (List.filter
+             (fun (x, y) ->
+               float_of_int x >= x_lo && float_of_int x <= x_hi && float_of_int y >= y_lo
+               && float_of_int y <= y_hi)
+             pts)
+      in
+      D2.exact_count ds ~x_lo ~x_hi ~y_lo ~y_hi = expected)
+
+let test_oracle_on_large_blocked_dataset () =
+  (* More points than one block, so the interior-block path is exercised. *)
+  let rng = Xo.create 1L in
+  let pts = Array.init 5000 (fun _ -> (Xo.int_below rng 1024, Xo.int_below rng 1024)) in
+  let ds = D2.create ~name:"big" ~bits_x:10 ~bits_y:10 pts in
+  let x_lo = 100.0 and x_hi = 800.0 and y_lo = 50.0 and y_hi = 500.0 in
+  let expected =
+    Array.fold_left
+      (fun acc (x, y) ->
+        if float_of_int x >= x_lo && float_of_int x <= x_hi && float_of_int y >= y_lo
+           && float_of_int y <= y_hi
+        then acc + 1
+        else acc)
+      0 pts
+  in
+  Alcotest.(check int) "blocked oracle" expected
+    (D2.exact_count ds ~x_lo ~x_hi ~y_lo ~y_hi)
+
+let test_sampling () =
+  let rng = Xo.create 2L in
+  let s = D2.sample_without_replacement small rng ~n:6 in
+  Alcotest.(check int) "full sample" 6 (Array.length s);
+  Alcotest.check_raises "n too large"
+    (Invalid_argument "Dataset2d.sample_without_replacement: n outside [1, size]") (fun () ->
+      ignore (D2.sample_without_replacement small rng ~n:7))
+
+(* --- generators --- *)
+
+let test_product_generator () =
+  let m = Dists.Model.uniform ~lo:0.0 ~hi:256.0 in
+  let ds = G2.product ~name:"uu" ~bits_x:8 ~bits_y:8 ~count:2000 ~seed:3L m m in
+  Alcotest.(check int) "count" 2000 (D2.size ds);
+  Array.iter
+    (fun (x, y) ->
+      if x < 0 || x > 255 || y < 0 || y > 255 then Alcotest.failf "out of domain (%d,%d)" x y)
+    (D2.points ds)
+
+let test_correlated_normal_correlation () =
+  let ds = G2.correlated_normal ~name:"corr" ~bits:12 ~count:20_000 ~rho:0.8 ~seed:4L in
+  let xs = Array.map float_of_int (D2.xs ds) in
+  let ys = Array.map float_of_int (D2.ys ds) in
+  let mx = Stats.Descriptive.mean xs and my = Stats.Descriptive.mean ys in
+  let sx = Stats.Descriptive.stddev ~mean:mx xs and sy = Stats.Descriptive.stddev ~mean:my ys in
+  let cov = ref 0.0 in
+  Array.iteri (fun i x -> cov := !cov +. ((x -. mx) *. (ys.(i) -. my))) xs;
+  let rho = !cov /. float_of_int (Array.length xs - 1) /. (sx *. sy) in
+  Alcotest.(check bool) (Printf.sprintf "rho %.3f near 0.8" rho) true (Float.abs (rho -. 0.8) < 0.03)
+
+let test_correlated_normal_invalid_rho () =
+  Alcotest.check_raises "rho out of range"
+    (Invalid_argument "Generate2d.correlated_normal: rho must be in (-1, 1)") (fun () ->
+      ignore (G2.correlated_normal ~name:"x" ~bits:8 ~count:10 ~rho:1.0 ~seed:1L))
+
+let test_spatial_generators_deterministic () =
+  let a = G2.street_grid ~name:"sg" ~bits:12 ~count:5000 ~seed:5L in
+  let b = G2.street_grid ~name:"sg" ~bits:12 ~count:5000 ~seed:5L in
+  Alcotest.(check bool) "same seed same points" true (D2.points a = D2.points b);
+  let c = G2.rail_network ~name:"rn" ~bits:12 ~count:5000 ~seed:5L in
+  Alcotest.(check int) "rail count" 5000 (D2.size c)
+
+let test_street_grid_is_clustered () =
+  let ds = G2.street_grid ~name:"sg" ~bits:12 ~count:20_000 ~seed:6L in
+  (* Clustered data: the densest 1/16 of the area holds far more than 1/16
+     of the points.  Check via a coarse 16x16 grid. *)
+  let grid = Array.make 256 0 in
+  Array.iter
+    (fun (x, y) ->
+      let i = (x * 16 / 4096 * 16) + (y * 16 / 4096) in
+      grid.(Int.min 255 i) <- grid.(Int.min 255 i) + 1)
+    (D2.points ds);
+  Array.sort compare grid;
+  let top16 = ref 0 in
+  for i = 240 to 255 do
+    top16 := !top16 + grid.(i)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "top cells hold %d of 20000" !top16)
+    true
+    (!top16 > 20_000 / 4)
+
+(* --- kde2d --- *)
+
+let test_kde2d_validation () =
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Kde2d.create: bandwidths must be positive and finite") (fun () ->
+      ignore
+        (K2.create ~domain_x:(0.0, 1.0) ~domain_y:(0.0, 1.0) ~hx:0.0 ~hy:1.0 [| (0.5, 0.5) |]))
+
+let test_kde2d_single_point_factorizes () =
+  (* One sample at the center: the rectangle mass is the product of the two
+     1-D kernel masses. *)
+  let est =
+    K2.create ~reflect:false ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~hx:10.0 ~hy:20.0
+      [| (50.0, 50.0) |]
+  in
+  let k = Kernels.Kernel.Epanechnikov in
+  let f = Kernels.Kernel.cdf k in
+  let expected u_lo u_hi v_lo v_hi =
+    (f u_hi -. f u_lo) *. (f v_hi -. f v_lo)
+  in
+  checkf 1e-12 "full mass" 1.0 (K2.selectivity est ~x_lo:40.0 ~x_hi:60.0 ~y_lo:30.0 ~y_hi:70.0);
+  checkf 1e-12 "quarter"
+    (expected 0.0 1.0 0.0 1.0)
+    (K2.selectivity est ~x_lo:50.0 ~x_hi:60.0 ~y_lo:50.0 ~y_hi:70.0);
+  checkf 1e-12 "partial"
+    (expected (-0.5) 0.5 (-0.25) 0.25)
+    (K2.selectivity est ~x_lo:45.0 ~x_hi:55.0 ~y_lo:45.0 ~y_hi:55.0)
+
+let test_kde2d_mass_with_reflection () =
+  let pts = uniform_square 7L 1000 in
+  let est = K2.create ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~hx:8.0 ~hy:8.0 pts in
+  checkf 1e-9 "reflection preserves mass" 1.0
+    (K2.selectivity est ~x_lo:0.0 ~x_hi:100.0 ~y_lo:0.0 ~y_hi:100.0)
+
+let test_kde2d_mass_lost_without_reflection () =
+  let pts = uniform_square 7L 1000 in
+  let est =
+    K2.create ~reflect:false ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~hx:8.0 ~hy:8.0 pts
+  in
+  let m = K2.selectivity est ~x_lo:0.0 ~x_hi:100.0 ~y_lo:0.0 ~y_hi:100.0 in
+  Alcotest.(check bool) (Printf.sprintf "mass %.3f < 1" m) true (m < 0.99 && m > 0.85)
+
+let test_kde2d_density_integrates_to_selectivity () =
+  let pts = uniform_square 8L 300 in
+  let est = K2.create ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~hx:10.0 ~hy:10.0 pts in
+  (* 2-D numeric integration over a small rectangle. *)
+  let x_lo = 30.0 and x_hi = 50.0 and y_lo = 40.0 and y_hi = 55.0 in
+  let inner y =
+    Stats.Integrate.simpson (fun x -> K2.density est x y) ~a:x_lo ~b:x_hi ~n:60
+  in
+  let integral = Stats.Integrate.simpson inner ~a:y_lo ~b:y_hi ~n:60 in
+  checkf 1e-3 "density integral" (K2.selectivity est ~x_lo ~x_hi ~y_lo ~y_hi) integral
+
+let prop_kde2d_bounds_and_monotone =
+  QCheck.Test.make ~name:"kde2d selectivity bounded and monotone" ~count:100
+    QCheck.(quad (float_range 0. 100.) (float_range 0. 100.) (float_range 0. 100.) (float_range 0. 100.))
+    (fun (x1, x2, y1, y2) ->
+      let pts = uniform_square 9L 200 in
+      let est = K2.create ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~hx:5.0 ~hy:5.0 pts in
+      let x_lo = Float.min x1 x2 and x_hi = Float.max x1 x2 in
+      let y_lo = Float.min y1 y2 and y_hi = Float.max y1 y2 in
+      let s = K2.selectivity est ~x_lo ~x_hi ~y_lo ~y_hi in
+      let s_bigger = K2.selectivity est ~x_lo ~x_hi:(x_hi +. 10.0) ~y_lo ~y_hi in
+      s >= 0.0 && s <= 1.0 && s <= s_bigger +. 1e-9)
+
+let test_kde2d_plug_in_adapts_to_clusters () =
+  (* On clustered data the plug-in bandwidths must come out much smaller
+     than the normal-reference ones (the 1-D Figure-11 story in 2-D). *)
+  let ds = G2.street_grid ~name:"sg" ~bits:16 ~count:20_000 ~seed:20L in
+  let rng = Xo.create 21L in
+  let sample = D2.sample_without_replacement ds rng ~n:1000 in
+  let hx_ns, _ = K2.normal_scale_bandwidths ~kernel:Kernels.Kernel.Epanechnikov sample in
+  let hx_pi, hy_pi = K2.plug_in_bandwidths ~kernel:Kernels.Kernel.Epanechnikov sample in
+  Alcotest.(check bool)
+    (Printf.sprintf "plug-in %.0f much smaller than NS %.0f" hx_pi hx_ns)
+    true
+    (hx_pi < 0.4 *. hx_ns);
+  Alcotest.(check bool) "both axes positive" true (hx_pi > 0.0 && hy_pi > 0.0)
+
+let test_kde2d_plug_in_close_to_ns_on_normal () =
+  (* On a bivariate normal the two rules should roughly agree. *)
+  let ds = G2.correlated_normal ~name:"bn" ~bits:14 ~count:20_000 ~rho:0.0 ~seed:22L in
+  let rng = Xo.create 23L in
+  let sample = D2.sample_without_replacement ds rng ~n:1500 in
+  let hx_ns, _ = K2.normal_scale_bandwidths ~kernel:Kernels.Kernel.Epanechnikov sample in
+  let hx_pi, _ = K2.plug_in_bandwidths ~kernel:Kernels.Kernel.Epanechnikov sample in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 2.5x (%.0f vs %.0f)" hx_pi hx_ns)
+    true
+    (hx_pi > hx_ns /. 2.5 && hx_pi < hx_ns *. 2.5)
+
+let test_kde2d_ns_bandwidths () =
+  let pts = uniform_square 10L 2000 in
+  let hx, hy = K2.normal_scale_bandwidths ~kernel:Kernels.Kernel.Epanechnikov pts in
+  (* Uniform on [0,100]: robust scale ~ 26; h ~ 2.214 * 26 * 2000^(-1/6) ~ 16.3. *)
+  Alcotest.(check bool) (Printf.sprintf "hx %.1f plausible" hx) true (hx > 8.0 && hx < 30.0);
+  Alcotest.(check bool) "symmetric" true (Float.abs (hx -. hy) /. hx < 0.2)
+
+(* --- hist2d --- *)
+
+let test_hist2d_counts () =
+  let pts = [| (10.0, 10.0); (10.0, 90.0); (90.0, 10.0); (90.0, 90.0) |] in
+  let h = H2.build ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~bins_x:2 ~bins_y:2 pts in
+  Alcotest.(check (pair int int)) "bins" (2, 2) (H2.bins h);
+  checkf 1e-12 "one quadrant" 0.25
+    (H2.selectivity h ~x_lo:0.0 ~x_hi:50.0 ~y_lo:0.0 ~y_hi:50.0);
+  checkf 1e-12 "full" 1.0 (H2.selectivity h ~x_lo:0.0 ~x_hi:100.0 ~y_lo:0.0 ~y_hi:100.0)
+
+let test_hist2d_partial_overlap () =
+  (* One cell over [0,100]^2 with 4 points: a quarter-area rectangle gets
+     selectivity 0.25 under the uniform assumption. *)
+  let pts = [| (10.0, 10.0); (20.0, 90.0); (90.0, 15.0); (90.0, 90.0) |] in
+  let h = H2.build ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~bins_x:1 ~bins_y:1 pts in
+  checkf 1e-12 "area fraction" 0.25
+    (H2.selectivity h ~x_lo:0.0 ~x_hi:50.0 ~y_lo:0.0 ~y_hi:50.0)
+
+let test_hist2d_density () =
+  let pts = [| (10.0, 10.0); (20.0, 15.0) |] in
+  let h = H2.build ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~bins_x:4 ~bins_y:4 pts in
+  (* Both points in cell (0,0): density 2 / (2 * 25 * 25). *)
+  checkf 1e-12 "cell density" (1.0 /. 625.0) (H2.density h 5.0 5.0);
+  checkf 1e-12 "empty cell" 0.0 (H2.density h 80.0 80.0);
+  checkf 1e-12 "outside" 0.0 (H2.density h 101.0 5.0)
+
+let test_sampling_selectivity () =
+  let pts = uniform_square 11L 1000 in
+  let s = H2.sampling_selectivity pts ~x_lo:0.0 ~x_hi:50.0 ~y_lo:0.0 ~y_hi:100.0 in
+  Alcotest.(check bool) "half the square" true (Float.abs (s -. 0.5) < 0.05)
+
+(* --- independence assumption --- *)
+
+module I2 = Multidim.Independence
+
+let test_independence_product () =
+  let mx ~a:_ ~b:_ = 0.4 and my ~a:_ ~b:_ = 0.5 in
+  checkf 1e-12 "product" 0.2 (I2.selectivity mx my ~x_lo:0.0 ~x_hi:1.0 ~y_lo:0.0 ~y_hi:1.0)
+
+let test_independence_clamped () =
+  let m ~a:_ ~b:_ = 1.5 in
+  checkf 1e-12 "clamped" 1.0 (I2.selectivity m m ~x_lo:0.0 ~x_hi:1.0 ~y_lo:0.0 ~y_hi:1.0)
+
+let independence_mre ds rects sample =
+  let domain = (-0.5, float_of_int (1 lsl D2.bits_x ds) -. 0.5) in
+  let ex =
+    Selest.Estimator.build Selest.Estimator.kernel_defaults ~domain (Array.map fst sample)
+  in
+  let ey =
+    Selest.Estimator.build Selest.Estimator.kernel_defaults ~domain (Array.map snd sample)
+  in
+  (W2.evaluate ds
+     (fun (r : W2.rect) ->
+       I2.selectivity
+         (fun ~a ~b -> Selest.Estimator.selectivity ex ~a ~b)
+         (fun ~a ~b -> Selest.Estimator.selectivity ey ~a ~b)
+         ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+     rects)
+    .W2.mre
+
+let test_independence_fails_on_correlated_data () =
+  (* rho = 0.9: the marginals are blind to the correlation; the product
+     estimate must be far worse than on the independent version of the
+     same data. *)
+  let sample_of ds seed = D2.sample_without_replacement ds (Xo.create seed) ~n:1500 in
+  let correlated = G2.correlated_normal ~name:"c" ~bits:14 ~count:30_000 ~rho:0.9 ~seed:30L in
+  let independent = G2.correlated_normal ~name:"i" ~bits:14 ~count:30_000 ~rho:0.0 ~seed:30L in
+  let rects ds = W2.size_separated ds ~seed:31L ~fraction:0.1 ~count:200 in
+  let m_corr = independence_mre correlated (rects correlated) (sample_of correlated 32L) in
+  let m_ind = independence_mre independent (rects independent) (sample_of independent 33L) in
+  Alcotest.(check bool)
+    (Printf.sprintf "correlated %.3f much worse than independent %.3f" m_corr m_ind)
+    true
+    (m_corr > 2.0 *. m_ind)
+
+(* --- workload2d + end-to-end accuracy --- *)
+
+let test_workload_rects_in_domain () =
+  let ds = G2.street_grid ~name:"sg" ~bits:12 ~count:10_000 ~seed:12L in
+  let rects = W2.size_separated ds ~seed:13L ~fraction:0.05 ~count:100 in
+  Alcotest.(check int) "count" 100 (Array.length rects);
+  Array.iter
+    (fun (r : W2.rect) ->
+      if r.x_lo < -0.5 || r.x_hi > 4095.5 || r.y_lo < -0.5 || r.y_hi > 4095.5 then
+        Alcotest.fail "rectangle clips the domain";
+      checkf 1e-9 "square width" (r.x_hi -. r.x_lo) (r.y_hi -. r.y_lo))
+    rects
+
+let test_2d_kernel_beats_sampling_on_clusters () =
+  (* The headline 2-D result: on clustered spatial data the product-kernel
+     estimator beats pure sampling and the coarse grid histogram. *)
+  let ds = G2.street_grid ~name:"sg" ~bits:16 ~count:50_000 ~seed:14L in
+  let rng = Xo.create 15L in
+  let sample = D2.sample_without_replacement ds rng ~n:2000 in
+  let rects = W2.size_separated ds ~seed:16L ~fraction:0.05 ~count:200 in
+  let domain = (-0.5, 65535.5) in
+  let eval f = (W2.evaluate ds f rects).W2.mre in
+  (* The normal-scale bandwidth oversmooths clustered data in 2-D exactly
+     as it does in 1-D; follow the paper's h-opt protocol and search a
+     small bandwidth grid on a separate training workload. *)
+  let hx_ns, hy_ns = K2.normal_scale_bandwidths ~kernel:Kernels.Kernel.Epanechnikov sample in
+  let train = W2.size_separated ds ~seed:17L ~fraction:0.05 ~count:100 in
+  let kde_mre_at queries scale =
+    let kde =
+      K2.create ~domain_x:domain ~domain_y:domain ~hx:(hx_ns *. scale) ~hy:(hy_ns *. scale)
+        sample
+    in
+    (W2.evaluate ds
+       (fun (r : W2.rect) ->
+         K2.selectivity kde ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+       queries)
+      .W2.mre
+  in
+  let best_scale =
+    List.fold_left
+      (fun (bs, bm) s ->
+        let m = kde_mre_at train s in
+        if m < bm then (s, m) else (bs, bm))
+      (1.0, kde_mre_at train 1.0)
+      [ 0.5; 0.25; 0.125; 0.0625; 0.03125 ]
+    |> fst
+  in
+  let hist = H2.build ~domain_x:domain ~domain_y:domain ~bins_x:16 ~bins_y:16 sample in
+  let m_kde = kde_mre_at rects best_scale in
+  let m_hist =
+    eval (fun (r : W2.rect) ->
+        H2.selectivity hist ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+  in
+  let m_sampling =
+    eval (fun (r : W2.rect) ->
+        H2.sampling_selectivity sample ~x_lo:r.x_lo ~x_hi:r.x_hi ~y_lo:r.y_lo ~y_hi:r.y_hi)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "kernel %.3f < sampling %.3f" m_kde m_sampling)
+    true (m_kde < m_sampling);
+  Alcotest.(check bool)
+    (Printf.sprintf "kernel %.3f < 16x16 histogram %.3f" m_kde m_hist)
+    true (m_kde < m_hist)
+
+let () =
+  Alcotest.run "multidim"
+    [
+      ( "dataset2d",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "exact count" `Quick test_exact_count_basic;
+          QCheck_alcotest.to_alcotest prop_exact_count_matches_scan;
+          Alcotest.test_case "blocked oracle" `Quick test_oracle_on_large_blocked_dataset;
+          Alcotest.test_case "sampling" `Quick test_sampling;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "product" `Quick test_product_generator;
+          Alcotest.test_case "correlated normal" `Slow test_correlated_normal_correlation;
+          Alcotest.test_case "invalid rho" `Quick test_correlated_normal_invalid_rho;
+          Alcotest.test_case "deterministic" `Quick test_spatial_generators_deterministic;
+          Alcotest.test_case "street grid clustered" `Quick test_street_grid_is_clustered;
+        ] );
+      ( "kde2d",
+        [
+          Alcotest.test_case "validation" `Quick test_kde2d_validation;
+          Alcotest.test_case "single point factorizes" `Quick test_kde2d_single_point_factorizes;
+          Alcotest.test_case "mass with reflection" `Quick test_kde2d_mass_with_reflection;
+          Alcotest.test_case "mass lost without" `Quick test_kde2d_mass_lost_without_reflection;
+          Alcotest.test_case "density integrates" `Quick
+            test_kde2d_density_integrates_to_selectivity;
+          QCheck_alcotest.to_alcotest prop_kde2d_bounds_and_monotone;
+          Alcotest.test_case "NS bandwidths" `Quick test_kde2d_ns_bandwidths;
+          Alcotest.test_case "plug-in adapts to clusters" `Quick
+            test_kde2d_plug_in_adapts_to_clusters;
+          Alcotest.test_case "plug-in close to NS on normal" `Quick
+            test_kde2d_plug_in_close_to_ns_on_normal;
+        ] );
+      ( "hist2d",
+        [
+          Alcotest.test_case "counts" `Quick test_hist2d_counts;
+          Alcotest.test_case "partial overlap" `Quick test_hist2d_partial_overlap;
+          Alcotest.test_case "density" `Quick test_hist2d_density;
+          Alcotest.test_case "sampling selectivity" `Quick test_sampling_selectivity;
+        ] );
+      ( "independence",
+        [
+          Alcotest.test_case "product" `Quick test_independence_product;
+          Alcotest.test_case "clamped" `Quick test_independence_clamped;
+          Alcotest.test_case "fails on correlated data" `Slow
+            test_independence_fails_on_correlated_data;
+        ] );
+      ( "workload2d",
+        [
+          Alcotest.test_case "rects in domain" `Quick test_workload_rects_in_domain;
+          Alcotest.test_case "kernel beats sampling on clusters" `Slow
+            test_2d_kernel_beats_sampling_on_clusters;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for the online library (progressive approximate aggregation) and
+   for Data.Io (dataset load/save). *)
+
+module A = Online.Aggregator
+module Xo = Prng.Xoshiro256pp
+
+let checkf tol = Alcotest.(check (float tol))
+
+let batch seed n lo hi =
+  let rng = Xo.create seed in
+  Array.init n (fun _ -> Xo.float_range rng lo hi)
+
+(* --- aggregator --- *)
+
+let test_create_validation () =
+  Alcotest.check_raises "domain" (Invalid_argument "Aggregator.create: empty domain") (fun () ->
+      ignore (A.create ~domain:(1.0, 1.0) ()))
+
+let test_estimate_before_samples () =
+  let t = A.create ~domain:(0.0, 100.0) () in
+  Alcotest.check_raises "no samples" (Invalid_argument "Aggregator.estimate: no samples yet")
+    (fun () -> ignore (A.estimate t ~a:0.0 ~b:10.0))
+
+let test_sample_size_accumulates () =
+  let t = A.create ~domain:(0.0, 100.0) () in
+  A.add t (batch 1L 100 0.0 100.0);
+  Alcotest.(check int) "first batch" 100 (A.sample_size t);
+  A.add t (batch 2L 150 0.0 100.0);
+  Alcotest.(check int) "second batch" 250 (A.sample_size t)
+
+let test_estimates_reasonable_on_uniform () =
+  let t = A.create ~domain:(0.0, 100.0) () in
+  A.add t (batch 3L 2000 0.0 100.0);
+  let e = A.estimate t ~a:20.0 ~b:40.0 in
+  Alcotest.(check bool) "kernel near 0.2" true (Float.abs (e.A.kernel_selectivity -. 0.2) < 0.03);
+  Alcotest.(check bool) "sampling near 0.2" true
+    (Float.abs (e.A.sampling_selectivity -. 0.2) < 0.03);
+  Alcotest.(check int) "n" 2000 e.A.n
+
+let test_ci_shrinks_with_samples () =
+  let t = A.create ~domain:(0.0, 100.0) () in
+  A.add t (batch 4L 100 0.0 100.0);
+  let e1 = A.estimate t ~a:20.0 ~b:40.0 in
+  A.add t (batch 5L 10_000 0.0 100.0);
+  let e2 = A.estimate t ~a:20.0 ~b:40.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ci %.4f < %.4f" e2.A.ci_halfwidth e1.A.ci_halfwidth)
+    true
+    (e2.A.ci_halfwidth < e1.A.ci_halfwidth /. 3.0)
+
+let test_ci_covers_truth_on_uniform () =
+  (* The 95% interval should cover the true probability in the vast
+     majority of seeded replications. *)
+  let covered = ref 0 in
+  for seed = 1 to 40 do
+    let t = A.create ~domain:(0.0, 100.0) () in
+    A.add t (batch (Int64.of_int seed) 500 0.0 100.0);
+    let e = A.estimate t ~a:30.0 ~b:60.0 in
+    if Float.abs (e.A.sampling_selectivity -. 0.3) <= e.A.ci_halfwidth then incr covered
+  done;
+  Alcotest.(check bool) (Printf.sprintf "%d/40 covered" !covered) true (!covered >= 34)
+
+let test_refit_happens_per_batch () =
+  (* The kernel estimate must reflect newly added samples. *)
+  let t = A.create ~domain:(0.0, 100.0) () in
+  A.add t (batch 6L 500 0.0 50.0);
+  let e1 = A.estimate t ~a:50.0 ~b:100.0 in
+  A.add t (batch 7L 5000 50.0 100.0);
+  let e2 = A.estimate t ~a:50.0 ~b:100.0 in
+  Alcotest.(check bool) "estimate moved" true
+    (e2.A.kernel_selectivity > e1.A.kernel_selectivity +. 0.3)
+
+let test_single_sample_degenerate_start () =
+  let t = A.create ~domain:(0.0, 100.0) () in
+  A.add t [| 42.0 |];
+  let e = A.estimate t ~a:0.0 ~b:100.0 in
+  Alcotest.(check bool) "answers without crashing" true
+    (e.A.kernel_selectivity >= 0.0 && e.A.kernel_selectivity <= 1.0)
+
+let test_estimated_count_scaling () =
+  let t = A.create ~domain:(0.0, 100.0) () in
+  A.add t (batch 8L 1000 0.0 100.0);
+  let e = A.estimate t ~a:0.0 ~b:50.0 in
+  let k, low, high = A.estimated_count e ~n_records:1_000_000 in
+  checkf 1e-6 "kernel count" (e.A.kernel_selectivity *. 1e6) k;
+  Alcotest.(check bool) "bounds ordered" true (low <= high);
+  Alcotest.(check bool) "low nonneg" true (low >= 0.0);
+  Alcotest.(check bool) "high bounded" true (high <= 1e6)
+
+(* --- Data.Io --- *)
+
+let temp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_io_roundtrip () =
+  let ds = Data.Generate.generate Data.Generate.Uniform_family ~bits:10 ~count:500 ~seed:9L in
+  let path = temp_path "selest_io_roundtrip.txt" in
+  Data.Io.save ds ~path;
+  let back = Data.Io.load ~path () in
+  Alcotest.(check string) "name from header" (Data.Dataset.name ds) (Data.Dataset.name back);
+  Alcotest.(check int) "bits from header" (Data.Dataset.bits ds) (Data.Dataset.bits back);
+  Alcotest.(check (array int)) "values" (Data.Dataset.values ds) (Data.Dataset.values back);
+  Sys.remove path
+
+let test_io_load_plain_file () =
+  (* No header: bits inferred from the maximum value. *)
+  let path = temp_path "selest_io_plain.txt" in
+  let oc = open_out path in
+  output_string oc "5\n100\n7\n\n42\n";
+  close_out oc;
+  let ds = Data.Io.load ~path () in
+  Alcotest.(check int) "records" 4 (Data.Dataset.size ds);
+  Alcotest.(check int) "inferred bits" 7 (Data.Dataset.bits ds);
+  Alcotest.(check string) "name from basename" "selest_io_plain" (Data.Dataset.name ds);
+  Sys.remove path
+
+let test_io_load_rejects_garbage () =
+  let path = temp_path "selest_io_bad.txt" in
+  let oc = open_out path in
+  output_string oc "12\nnot-a-number\n";
+  close_out oc;
+  (try
+     ignore (Data.Io.load ~path ());
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  Sys.remove path
+
+let test_io_load_overrides () =
+  let path = temp_path "selest_io_override.txt" in
+  let oc = open_out path in
+  output_string oc "1\n2\n3\n";
+  close_out oc;
+  let ds = Data.Io.load ~name:"custom" ~bits:12 ~path () in
+  Alcotest.(check string) "name" "custom" (Data.Dataset.name ds);
+  Alcotest.(check int) "bits" 12 (Data.Dataset.bits ds);
+  Sys.remove path
+
+let () =
+  Alcotest.run "online"
+    [
+      ( "aggregator",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "estimate before samples" `Quick test_estimate_before_samples;
+          Alcotest.test_case "sample size" `Quick test_sample_size_accumulates;
+          Alcotest.test_case "uniform estimates" `Quick test_estimates_reasonable_on_uniform;
+          Alcotest.test_case "ci shrinks" `Quick test_ci_shrinks_with_samples;
+          Alcotest.test_case "ci coverage" `Slow test_ci_covers_truth_on_uniform;
+          Alcotest.test_case "refit per batch" `Quick test_refit_happens_per_batch;
+          Alcotest.test_case "degenerate start" `Quick test_single_sample_degenerate_start;
+          Alcotest.test_case "count scaling" `Quick test_estimated_count_scaling;
+        ] );
+      ( "data io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "plain file" `Quick test_io_load_plain_file;
+          Alcotest.test_case "rejects garbage" `Quick test_io_load_rejects_garbage;
+          Alcotest.test_case "overrides" `Quick test_io_load_overrides;
+        ] );
+    ]

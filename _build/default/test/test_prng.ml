@@ -1,0 +1,268 @@
+(* Tests for the prng library: determinism, ranges, stream independence. *)
+
+module Sm = Prng.Splitmix64
+module Xo = Prng.Xoshiro256pp
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* --- SplitMix64 --- *)
+
+let test_sm_deterministic () =
+  let a = Sm.create 1234L and b = Sm.create 1234L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sm.next a) (Sm.next b)
+  done
+
+let test_sm_seed_sensitivity () =
+  let a = Sm.create 1L and b = Sm.create 2L in
+  Alcotest.(check bool) "different seeds differ" true (Sm.next a <> Sm.next b)
+
+let test_sm_known_reference () =
+  (* Reference values for seed 0 from the public-domain C implementation. *)
+  let g = Sm.create 0L in
+  Alcotest.(check int64) "first output" 0xE220A8397B1DCDAFL (Sm.next g);
+  Alcotest.(check int64) "second output" 0x6E789E6AA1B965F4L (Sm.next g)
+
+let test_sm_copy () =
+  let a = Sm.create 99L in
+  ignore (Sm.next a);
+  let b = Sm.copy a in
+  Alcotest.(check int64) "copy replays" (Sm.next a) (Sm.next b)
+
+let test_sm_float_range () =
+  let g = Sm.create 5L in
+  for _ = 1 to 10_000 do
+    let f = Sm.next_float g in
+    if not (f >= 0.0 && f < 1.0) then Alcotest.failf "float out of [0,1): %f" f
+  done
+
+let test_sm_below_range () =
+  let g = Sm.create 6L in
+  for _ = 1 to 10_000 do
+    let v = Sm.next_below g 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "below out of range: %d" v
+  done
+
+let test_sm_below_invalid () =
+  let g = Sm.create 7L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix64.next_below: bound must be positive")
+    (fun () -> ignore (Sm.next_below g 0))
+
+let test_sm_below_covers_all () =
+  let g = Sm.create 8L in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Sm.next_below g 5) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+(* --- Xoshiro256++ --- *)
+
+let test_xo_deterministic () =
+  let a = Xo.create 42L and b = Xo.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xo.next a) (Xo.next b)
+  done
+
+let test_xo_copy_independent () =
+  let a = Xo.create 42L in
+  let b = Xo.copy a in
+  let va = Xo.next a in
+  (* advancing [a] must not affect [b] *)
+  let vb = Xo.next b in
+  Alcotest.(check int64) "copy replays the same value" va vb
+
+let test_xo_float_bounds () =
+  let g = Xo.create 9L in
+  for _ = 1 to 10_000 do
+    let f = Xo.float g in
+    if not (f >= 0.0 && f < 1.0) then Alcotest.failf "float out of [0,1): %f" f
+  done
+
+let test_xo_float_mean () =
+  let g = Xo.create 10L in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Xo.float g
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_xo_float_range () =
+  let g = Xo.create 11L in
+  for _ = 1 to 1000 do
+    let f = Xo.float_range g (-3.0) 7.5 in
+    if not (f >= -3.0 && f < 7.5) then Alcotest.failf "float_range out of bounds: %f" f
+  done
+
+let test_xo_float_range_invalid () =
+  let g = Xo.create 11L in
+  Alcotest.check_raises "inverted bounds"
+    (Invalid_argument "Xoshiro256pp.float_range: requires finite lo < hi") (fun () ->
+      ignore (Xo.float_range g 1.0 1.0))
+
+let test_xo_int_below_uniformity () =
+  let g = Xo.create 12L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Xo.int_below g 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    buckets
+
+let test_xo_int_range_inclusive () =
+  let g = Xo.create 13L in
+  let lo_seen = ref false and hi_seen = ref false in
+  for _ = 1 to 10_000 do
+    let v = Xo.int_range g 3 5 in
+    if v < 3 || v > 5 then Alcotest.failf "int_range out of [3,5]: %d" v;
+    if v = 3 then lo_seen := true;
+    if v = 5 then hi_seen := true
+  done;
+  Alcotest.(check bool) "lo attained" true !lo_seen;
+  Alcotest.(check bool) "hi attained" true !hi_seen
+
+let test_xo_int_range_single () =
+  let g = Xo.create 14L in
+  Alcotest.(check int) "degenerate range" 7 (Xo.int_range g 7 7)
+
+let test_xo_bool_balanced () =
+  let g = Xo.create 15L in
+  let t = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Xo.bool g then incr t
+  done;
+  Alcotest.(check bool) "roughly balanced" true (abs (!t - (n / 2)) < n / 20)
+
+let test_xo_jump_changes_stream () =
+  let a = Xo.create 16L in
+  let b = Xo.copy a in
+  Xo.jump b;
+  Alcotest.(check bool) "jumped stream differs" true (Xo.next a <> Xo.next b)
+
+let test_xo_substream_disjoint_prefixes () =
+  let root = Xo.create 17L in
+  let s0 = Xo.substream root 0 and s1 = Xo.substream root 1 in
+  (* Substreams are 2^128 steps apart: prefixes cannot collide. *)
+  let p0 = List.init 50 (fun _ -> Xo.next s0) in
+  let p1 = List.init 50 (fun _ -> Xo.next s1) in
+  Alcotest.(check bool) "prefixes differ" true (p0 <> p1)
+
+let test_xo_substream_preserves_root () =
+  let root = Xo.create 18L in
+  let before = Xo.copy root in
+  ignore (Xo.substream root 3);
+  Alcotest.(check int64) "root untouched" (Xo.next before) (Xo.next root)
+
+let test_xo_substream_invalid () =
+  let root = Xo.create 19L in
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Xoshiro256pp.substream: index must be non-negative") (fun () ->
+      ignore (Xo.substream root (-1)))
+
+let test_shuffle_prefix_permutation () =
+  let g = Xo.create 20L in
+  let a = Array.init 100 Fun.id in
+  Xo.shuffle_prefix g a 100;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "full shuffle is a permutation" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_prefix_distinct () =
+  let g = Xo.create 21L in
+  let a = Array.init 1000 Fun.id in
+  Xo.shuffle_prefix g a 50;
+  let prefix = Array.sub a 0 50 in
+  let module IS = Set.Make (Int) in
+  let set = IS.of_list (Array.to_list prefix) in
+  Alcotest.(check int) "prefix has no repeats" 50 (IS.cardinal set)
+
+let test_shuffle_prefix_out_of_range () =
+  let g = Xo.create 22L in
+  let a = Array.init 10 Fun.id in
+  Alcotest.check_raises "k too large"
+    (Invalid_argument "Xoshiro256pp.shuffle_prefix: k out of range") (fun () ->
+      Xo.shuffle_prefix g a 11)
+
+(* qcheck properties *)
+
+let prop_float_in_unit =
+  QCheck.Test.make ~name:"xoshiro float always in [0,1)" ~count:200
+    QCheck.(int64)
+    (fun seed ->
+      let g = Xo.create seed in
+      let f = Xo.float g in
+      f >= 0.0 && f < 1.0)
+
+let prop_int_below_in_range =
+  QCheck.Test.make ~name:"int_below always in [0,bound)" ~count:500
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Xo.create seed in
+      let v = Xo.int_below g bound in
+      v >= 0 && v < bound)
+
+let prop_same_seed_same_tenth =
+  QCheck.Test.make ~name:"same seed gives identical 10th draw" ~count:100
+    QCheck.(int64)
+    (fun seed ->
+      let a = Xo.create seed and b = Xo.create seed in
+      let tenth g =
+        let v = ref 0L in
+        for _ = 1 to 10 do
+          v := Xo.next g
+        done;
+        !v
+      in
+      tenth a = tenth b)
+
+let () =
+  ignore check_float;
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sm_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_sm_seed_sensitivity;
+          Alcotest.test_case "reference values" `Quick test_sm_known_reference;
+          Alcotest.test_case "copy" `Quick test_sm_copy;
+          Alcotest.test_case "float range" `Quick test_sm_float_range;
+          Alcotest.test_case "next_below range" `Quick test_sm_below_range;
+          Alcotest.test_case "next_below invalid" `Quick test_sm_below_invalid;
+          Alcotest.test_case "next_below covers residues" `Quick test_sm_below_covers_all;
+        ] );
+      ( "xoshiro256++",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xo_deterministic;
+          Alcotest.test_case "copy independent" `Quick test_xo_copy_independent;
+          Alcotest.test_case "float bounds" `Quick test_xo_float_bounds;
+          Alcotest.test_case "float mean" `Quick test_xo_float_mean;
+          Alcotest.test_case "float_range bounds" `Quick test_xo_float_range;
+          Alcotest.test_case "float_range invalid" `Quick test_xo_float_range_invalid;
+          Alcotest.test_case "int_below uniformity" `Quick test_xo_int_below_uniformity;
+          Alcotest.test_case "int_range inclusive" `Quick test_xo_int_range_inclusive;
+          Alcotest.test_case "int_range single" `Quick test_xo_int_range_single;
+          Alcotest.test_case "bool balanced" `Quick test_xo_bool_balanced;
+          Alcotest.test_case "jump changes stream" `Quick test_xo_jump_changes_stream;
+          Alcotest.test_case "substreams disjoint" `Quick test_xo_substream_disjoint_prefixes;
+          Alcotest.test_case "substream preserves root" `Quick test_xo_substream_preserves_root;
+          Alcotest.test_case "substream invalid" `Quick test_xo_substream_invalid;
+        ] );
+      ( "shuffle",
+        [
+          Alcotest.test_case "full shuffle permutation" `Quick test_shuffle_prefix_permutation;
+          Alcotest.test_case "prefix distinct" `Quick test_shuffle_prefix_distinct;
+          Alcotest.test_case "k out of range" `Quick test_shuffle_prefix_out_of_range;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_float_in_unit; prop_int_below_in_range; prop_same_seed_same_tenth ] );
+    ]

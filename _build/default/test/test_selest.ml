@@ -1,0 +1,417 @@
+(* Tests for the public estimator API (lib/core): spec construction, naming,
+   building and querying. *)
+
+module Est = Selest.Estimator
+module Xo = Prng.Xoshiro256pp
+
+let checkf tol = Alcotest.(check (float tol))
+
+let domain = (0.0, 1000.0)
+
+let sample seed n =
+  let rng = Xo.create seed in
+  Array.init n (fun _ -> Xo.float_range rng 0.0 1000.0)
+
+let all_specs =
+  Est.
+    [
+      Sampling;
+      Uniform_assumption;
+      Equi_width (Fixed_bins 25);
+      Equi_width Normal_scale_bins;
+      Equi_width (Plug_in_bins 1);
+      Equi_depth { bins = 25 };
+      Max_diff { bins = 25 };
+      Ash { bins = Fixed_bins 25; shifts = 10 };
+      Kernel
+        {
+          kernel = Kernels.Kernel.Epanechnikov;
+          boundary = Kde.Estimator.No_treatment;
+          bandwidth = Normal_scale_bandwidth;
+        };
+      Kernel
+        {
+          kernel = Kernels.Kernel.Epanechnikov;
+          boundary = Kde.Estimator.Reflection;
+          bandwidth = Fixed_bandwidth 20.0;
+        };
+      Kernel
+        {
+          kernel = Kernels.Kernel.Gaussian;
+          boundary = Kde.Estimator.No_treatment;
+          bandwidth = Lscv_bandwidth;
+        };
+      kernel_defaults;
+      hybrid_defaults;
+      Frequency_polygon (Fixed_bins 25);
+      V_optimal { bins = 25 };
+      Wavelet_spec { coefficients = 25 };
+    ]
+
+let test_all_specs_build_and_answer () =
+  let xs = sample 1L 500 in
+  List.iter
+    (fun spec ->
+      let est = Est.build spec ~domain xs in
+      let s = Est.selectivity est ~a:100.0 ~b:300.0 in
+      if not (s >= 0.0 && s <= 1.0) then
+        Alcotest.failf "%s: selectivity %f out of bounds" (Est.spec_name spec) s;
+      (* Uniform data: [100,300] holds about 20% of the mass. *)
+      if s < 0.10 || s > 0.35 then
+        Alcotest.failf "%s: implausible selectivity %f for a 20%% range" (Est.spec_name spec) s)
+    all_specs
+
+let test_spec_names_distinct () =
+  let names = List.map Est.spec_name all_specs in
+  let module SS = Set.Make (String) in
+  Alcotest.(check int) "all names distinct" (List.length names) (SS.cardinal (SS.of_list names))
+
+let test_spec_names_format () =
+  Alcotest.(check string) "sampling" "Sampling" (Est.spec_name Est.Sampling);
+  Alcotest.(check string) "ewh ns" "EWH(NS)" (Est.spec_name (Est.Equi_width Est.Normal_scale_bins));
+  Alcotest.(check string) "ewh fixed" "EWH(40)" (Est.spec_name (Est.Equi_width (Est.Fixed_bins 40)));
+  Alcotest.(check string) "kernel" "Kernel(epanechnikov,boundary-kernels,DPI2)"
+    (Est.spec_name Est.kernel_defaults);
+  Alcotest.(check string) "hybrid" "Hybrid(DPI1)" (Est.spec_name Est.hybrid_defaults)
+
+let test_name_and_spec_accessors () =
+  let est = Est.build Est.Sampling ~domain (sample 2L 100) in
+  Alcotest.(check string) "name" "Sampling" (Est.name est);
+  Alcotest.(check bool) "spec roundtrip" true (Est.spec est = Est.Sampling)
+
+let test_estimate_count_scaling () =
+  let est = Est.build Est.Sampling ~domain (sample 3L 100) in
+  let s = Est.selectivity est ~a:0.0 ~b:500.0 in
+  checkf 1e-9 "count = N * selectivity" (1.0e6 *. s)
+    (Est.estimate_count est ~n_records:1_000_000 ~a:0.0 ~b:500.0)
+
+let test_density_presence () =
+  let xs = sample 4L 200 in
+  let sampling = Est.build Est.Sampling ~domain xs in
+  Alcotest.(check bool) "sampling has no density" true (Est.density sampling 500.0 = None);
+  List.iter
+    (fun spec ->
+      let est = Est.build spec ~domain xs in
+      match Est.density est 500.0 with
+      | Some d -> Alcotest.(check bool) (Est.spec_name spec ^ " density >= 0") true (d >= 0.0)
+      | None -> Alcotest.failf "%s: expected a density" (Est.spec_name spec))
+    Est.[ Uniform_assumption; Equi_width (Fixed_bins 10); kernel_defaults; hybrid_defaults ]
+
+let test_build_validation () =
+  Alcotest.check_raises "empty sample" (Invalid_argument "Estimator.build: empty sample")
+    (fun () -> ignore (Est.build Est.Sampling ~domain [||]));
+  Alcotest.check_raises "empty domain" (Invalid_argument "Estimator.build: empty domain")
+    (fun () -> ignore (Est.build Est.Sampling ~domain:(1.0, 1.0) [| 0.5 |]));
+  Alcotest.check_raises "bad bins" (Invalid_argument "Estimator.build: bins must be >= 1")
+    (fun () -> ignore (Est.build (Est.Equi_width (Est.Fixed_bins 0)) ~domain [| 0.5 |]));
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Estimator.build: bandwidth must be positive and finite") (fun () ->
+      ignore
+        (Est.build
+           (Est.Kernel
+              {
+                kernel = Kernels.Kernel.Epanechnikov;
+                boundary = Kde.Estimator.No_treatment;
+                bandwidth = Est.Fixed_bandwidth 0.0;
+              })
+           ~domain [| 0.5 |]))
+
+let test_sampling_matches_exact_fraction () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  let est = Est.build Est.Sampling ~domain xs in
+  checkf 1e-12 "4 of 5 in range" 0.8 (Est.selectivity est ~a:15.0 ~b:55.0);
+  checkf 1e-12 "inclusive ends" 0.2 (Est.selectivity est ~a:30.0 ~b:30.0)
+
+let test_boundary_kernel_bandwidth_clamped () =
+  (* A fixed bandwidth wider than half the domain must be clamped, not
+     rejected, under the boundary-kernel policy. *)
+  let xs = sample 5L 50 in
+  let est =
+    Est.build
+      (Est.Kernel
+         {
+           kernel = Kernels.Kernel.Epanechnikov;
+           boundary = Kde.Estimator.Boundary_kernels;
+           bandwidth = Est.Fixed_bandwidth 900.0;
+         })
+      ~domain xs
+  in
+  let s = Est.selectivity est ~a:0.0 ~b:1000.0 in
+  Alcotest.(check bool) "still answers" true (s >= 0.0 && s <= 1.0)
+
+let test_default_suite_contents () =
+  Alcotest.(check int) "four contenders" 4 (List.length Est.default_suite);
+  let names = List.map Est.spec_name Est.default_suite in
+  Alcotest.(check bool) "has EWH" true (List.mem "EWH(NS)" names);
+  Alcotest.(check bool) "has hybrid" true (List.exists (fun n -> String.length n >= 6 && String.sub n 0 6 = "Hybrid") names)
+
+(* --- spec parser --- *)
+
+let test_spec_of_string_roundtrips () =
+  List.iter
+    (fun (input, expected) ->
+      match Est.spec_of_string input with
+      | Ok spec ->
+        Alcotest.(check string) input (Est.spec_name expected) (Est.spec_name spec)
+      | Error msg -> Alcotest.failf "%s: %s" input msg)
+    [
+      ("sampling", Est.Sampling);
+      ("uniform", Est.Uniform_assumption);
+      ("ewh", Est.Equi_width Est.Normal_scale_bins);
+      ("ewh:40", Est.Equi_width (Est.Fixed_bins 40));
+      ("ewh:dpi2", Est.Equi_width (Est.Plug_in_bins 2));
+      ("edh:30", Est.Equi_depth { bins = 30 });
+      ("mdh", Est.Max_diff { bins = 40 });
+      ("ash:80,5", Est.Ash { bins = Est.Fixed_bins 80; shifts = 5 });
+      ("kernel", Est.kernel_defaults);
+      ( "kernel:ns,reflection,gaussian",
+        Est.Kernel
+          {
+            kernel = Kernels.Kernel.Gaussian;
+            boundary = Kde.Estimator.Reflection;
+            bandwidth = Est.Normal_scale_bandwidth;
+          } );
+      ( "kernel:h=12.5",
+        Est.Kernel
+          {
+            kernel = Kernels.Kernel.Epanechnikov;
+            boundary = Kde.Estimator.Boundary_kernels;
+            bandwidth = Est.Fixed_bandwidth 12.5;
+          } );
+      ("hybrid", Est.hybrid_defaults);
+      ("fp:20", Est.Frequency_polygon (Est.Fixed_bins 20));
+      ("voh:30", Est.V_optimal { bins = 30 });
+      ("wave", Est.Wavelet_spec { coefficients = 40 });
+      ("wavelet:64", Est.Wavelet_spec { coefficients = 64 });
+      ("KERNEL:LSCV", Est.Kernel
+          {
+            kernel = Kernels.Kernel.Epanechnikov;
+            boundary = Kde.Estimator.Boundary_kernels;
+            bandwidth = Est.Lscv_bandwidth;
+          });
+    ]
+
+let test_spec_of_string_rejects_garbage () =
+  List.iter
+    (fun input ->
+      match Est.spec_of_string input with
+      | Ok spec -> Alcotest.failf "%s unexpectedly parsed as %s" input (Est.spec_name spec)
+      | Error _ -> ())
+    [ "nope"; "ewh:zero"; "edh:-1"; "kernel:warp"; "ash:ns,0"; "voh:x"; "hybrid:maybe" ]
+
+let test_parsed_specs_build () =
+  let xs = sample 7L 300 in
+  List.iter
+    (fun input ->
+      match Est.spec_of_string input with
+      | Ok spec ->
+        let est = Est.build spec ~domain xs in
+        let s = Est.selectivity est ~a:100.0 ~b:900.0 in
+        if not (s >= 0.0 && s <= 1.0) then Alcotest.failf "%s: bad selectivity" input
+      | Error msg -> Alcotest.failf "%s: %s" input msg)
+    [ "sampling"; "ewh"; "fp"; "voh"; "wave"; "ash"; "kernel:ns"; "hybrid:ns"; "mdh:10" ]
+
+let prop_selectivity_bounds_all_specs =
+  QCheck.Test.make ~name:"every estimator stays in [0,1]" ~count:60
+    QCheck.(triple (int_range 0 12) (float_range 0. 1000.) (float_range 0. 1000.))
+    (fun (i, x, y) ->
+      let spec = List.nth all_specs (i mod List.length all_specs) in
+      let est = Est.build spec ~domain (sample 6L 300) in
+      let s = Est.selectivity est ~a:(Float.min x y) ~b:(Float.max x y) in
+      s >= 0.0 && s <= 1.0)
+
+(* --- stored summaries --- *)
+
+module St = Selest.Stored
+
+let test_stored_roundtrip () =
+  let xs = sample 8L 500 in
+  let st = St.of_sample ~cells:64 ~domain xs in
+  match St.of_string (St.to_string st) with
+  | Error msg -> Alcotest.fail msg
+  | Ok back ->
+    Alcotest.(check int) "cells" (St.cells st) (St.cells back);
+    List.iter
+      (fun (a, b) -> checkf 1e-12 "same answers" (St.selectivity st ~a ~b) (St.selectivity back ~a ~b))
+      [ (0.0, 1000.0); (123.0, 456.0); (999.0, 999.5) ]
+
+let test_stored_tracks_source_estimator () =
+  let xs = sample 9L 1000 in
+  let est = Est.build Est.kernel_defaults ~domain xs in
+  let st = St.of_estimator ~cells:256 ~domain est in
+  List.iter
+    (fun (a, b) ->
+      let direct = Est.selectivity est ~a ~b in
+      let stored = St.selectivity st ~a ~b in
+      if Float.abs (direct -. stored) > 0.01 then
+        Alcotest.failf "[%g,%g]: stored %f vs direct %f" a b stored direct)
+    [ (0.0, 1000.0); (100.0, 300.0); (450.0, 550.0); (0.0, 50.0) ]
+
+let test_stored_full_domain_mass () =
+  let xs = sample 10L 500 in
+  let st = St.of_sample ~cells:32 ~domain xs in
+  let m = St.selectivity st ~a:0.0 ~b:1000.0 in
+  Alcotest.(check bool) "mass near 1" true (m > 0.97 && m <= 1.0)
+
+let test_stored_of_string_errors () =
+  List.iter
+    (fun s ->
+      match St.of_string s with
+      | Ok _ -> Alcotest.failf "unexpectedly parsed %S" s
+      | Error _ -> ())
+    [
+      "";
+      "wrong header\ndomain 0 1\ncells 1\n0.5\n";
+      "selest-stored v1\ndomain 1 0\ncells 1\n0.5\n";
+      "selest-stored v1\ndomain 0 1\ncells 2\n0.5\n";
+      "selest-stored v1\ndomain 0 1\ncells 1\nnot-a-number\n";
+      "selest-stored v1\ndomain 0 1\ncells 1\n-0.5\n";
+    ]
+
+let test_stored_validation () =
+  Alcotest.check_raises "cells" (Invalid_argument "Stored.of_estimator: cells must be positive")
+    (fun () ->
+      let est = Est.build Est.Sampling ~domain (sample 11L 10) in
+      ignore (St.of_estimator ~cells:0 ~domain est))
+
+(* --- maintenance --- *)
+
+module Mn = Selest.Maintenance
+
+let mk_maintenance ?(n = 300) () =
+  Mn.create ~spec:(Est.Equi_width (Est.Fixed_bins 20)) ~domain ~sample:(sample 12L n)
+    ~n_records:10_000 ()
+
+let test_maintenance_create_validation () =
+  Alcotest.check_raises "threshold"
+    (Invalid_argument "Maintenance.create: refresh_after_change must be positive") (fun () ->
+      ignore
+        (Mn.create ~refresh_after_change:0.0 ~spec:Est.Sampling ~domain ~sample:(sample 1L 10)
+           ~n_records:10 ()))
+
+let test_maintenance_fresh_needs_nothing () =
+  let m = mk_maintenance () in
+  Alcotest.(check bool) "fresh" true (Mn.needs_refresh m = None);
+  Alcotest.(check int) "records" 10_000 (Mn.n_records m);
+  Alcotest.(check int) "no refreshes" 0 (Mn.refresh_count m)
+
+let test_maintenance_volume_trigger () =
+  let m = mk_maintenance () in
+  Mn.record_inserts m 1500;
+  Alcotest.(check bool) "below threshold" true (Mn.needs_refresh m = None);
+  Mn.record_inserts m 600;
+  Alcotest.(check bool) "volume trigger" true (Mn.needs_refresh m = Some Mn.Insert_volume);
+  Alcotest.(check int) "count tracks inserts" 12_100 (Mn.n_records m)
+
+let test_maintenance_deletes_count_as_churn () =
+  let m = mk_maintenance () in
+  Mn.record_inserts m (-2100);
+  Alcotest.(check bool) "churn trigger" true (Mn.needs_refresh m = Some Mn.Insert_volume)
+
+let test_maintenance_feedback_trigger () =
+  let m = mk_maintenance () in
+  (* Report truths wildly different from the estimates. *)
+  for _ = 1 to 30 do
+    Mn.record_feedback m ~a:100.0 ~b:200.0 ~actual_count:9_000
+  done;
+  Alcotest.(check bool) "feedback trigger" true (Mn.needs_refresh m = Some Mn.Feedback_error)
+
+let test_maintenance_accurate_feedback_no_trigger () =
+  let m = mk_maintenance ~n:1000 () in
+  for _ = 1 to 30 do
+    let truth = int_of_float (Mn.estimate_count m ~a:100.0 ~b:300.0) in
+    Mn.record_feedback m ~a:100.0 ~b:300.0 ~actual_count:truth
+  done;
+  Alcotest.(check bool) "no trigger" true (Mn.needs_refresh m = None)
+
+let test_maintenance_refresh_resets () =
+  let m = mk_maintenance () in
+  Mn.record_inserts m 5000;
+  for _ = 1 to 30 do
+    Mn.record_feedback m ~a:100.0 ~b:200.0 ~actual_count:9_000
+  done;
+  Alcotest.(check bool) "triggered" true (Mn.needs_refresh m <> None);
+  Mn.refresh m ~sample:(sample 13L 300) ~n_records:15_000;
+  Alcotest.(check bool) "reset" true (Mn.needs_refresh m = None);
+  Alcotest.(check int) "new base" 15_000 (Mn.n_records m);
+  Alcotest.(check int) "counted" 1 (Mn.refresh_count m)
+
+let test_maintenance_refresh_improves_after_drift () =
+  (* The full story: the relation's distribution shifts; feedback trips the
+     trigger; refreshing with a fresh sample restores accuracy. *)
+  let shifted = Array.map (fun x -> Float.min 999.0 (x /. 4.0)) (sample 14L 2000) in
+  let m =
+    Mn.create ~spec:(Est.Equi_width (Est.Fixed_bins 20)) ~domain ~sample:(sample 15L 2000)
+      ~n_records:10_000 ()
+  in
+  (* True distribution is now [shifted]; use its empirical counts as truth. *)
+  let truth a b =
+    let c = Array.fold_left (fun acc x -> if x >= a && x <= b then acc + 1 else acc) 0 shifted in
+    c * 10_000 / 2000
+  in
+  let err () =
+    let t = float_of_int (truth 0.0 250.0) in
+    Float.abs (Mn.estimate_count m ~a:0.0 ~b:250.0 -. t) /. t
+  in
+  let before = err () in
+  for _ = 1 to 30 do
+    Mn.record_feedback m ~a:0.0 ~b:250.0 ~actual_count:(truth 0.0 250.0)
+  done;
+  Alcotest.(check bool) "drift detected" true (Mn.needs_refresh m = Some Mn.Feedback_error);
+  Mn.refresh m ~sample:shifted ~n_records:10_000;
+  let after = err () in
+  Alcotest.(check bool)
+    (Printf.sprintf "refresh improves (%.3f -> %.3f)" before after)
+    true (after < 0.3 *. before)
+
+let () =
+  Alcotest.run "selest"
+    [
+      ( "build",
+        [
+          Alcotest.test_case "all specs build" `Quick test_all_specs_build_and_answer;
+          Alcotest.test_case "validation" `Quick test_build_validation;
+          Alcotest.test_case "bandwidth clamping" `Quick test_boundary_kernel_bandwidth_clamped;
+        ] );
+      ( "naming",
+        [
+          Alcotest.test_case "distinct" `Quick test_spec_names_distinct;
+          Alcotest.test_case "format" `Quick test_spec_names_format;
+          Alcotest.test_case "accessors" `Quick test_name_and_spec_accessors;
+        ] );
+      ( "querying",
+        [
+          Alcotest.test_case "estimate_count" `Quick test_estimate_count_scaling;
+          Alcotest.test_case "density presence" `Quick test_density_presence;
+          Alcotest.test_case "sampling exact" `Quick test_sampling_matches_exact_fraction;
+          Alcotest.test_case "default suite" `Quick test_default_suite_contents;
+          QCheck_alcotest.to_alcotest prop_selectivity_bounds_all_specs;
+        ] );
+      ( "spec parser",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_spec_of_string_roundtrips;
+          Alcotest.test_case "rejects garbage" `Quick test_spec_of_string_rejects_garbage;
+          Alcotest.test_case "parsed specs build" `Quick test_parsed_specs_build;
+        ] );
+      ( "stored summaries",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_stored_roundtrip;
+          Alcotest.test_case "tracks source" `Quick test_stored_tracks_source_estimator;
+          Alcotest.test_case "full-domain mass" `Quick test_stored_full_domain_mass;
+          Alcotest.test_case "of_string errors" `Quick test_stored_of_string_errors;
+          Alcotest.test_case "validation" `Quick test_stored_validation;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "create validation" `Quick test_maintenance_create_validation;
+          Alcotest.test_case "fresh state" `Quick test_maintenance_fresh_needs_nothing;
+          Alcotest.test_case "volume trigger" `Quick test_maintenance_volume_trigger;
+          Alcotest.test_case "deletes are churn" `Quick test_maintenance_deletes_count_as_churn;
+          Alcotest.test_case "feedback trigger" `Quick test_maintenance_feedback_trigger;
+          Alcotest.test_case "accurate feedback quiet" `Quick
+            test_maintenance_accurate_feedback_no_trigger;
+          Alcotest.test_case "refresh resets" `Quick test_maintenance_refresh_resets;
+          Alcotest.test_case "refresh after drift" `Quick
+            test_maintenance_refresh_improves_after_drift;
+        ] );
+    ]

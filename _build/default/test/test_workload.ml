@@ -1,0 +1,242 @@
+(* Tests for the workload library: query generation, metrics and the
+   experiment harness. *)
+
+module Q = Workload.Query
+module G = Workload.Generate
+module M = Workload.Metrics
+module E = Workload.Experiment
+module Ds = Data.Dataset
+
+let checkf tol = Alcotest.(check (float tol))
+
+let dataset =
+  (* Deterministic small-domain dataset for metric arithmetic. *)
+  Data.Generate.generate Data.Generate.Normal_family ~bits:12 ~count:20_000 ~seed:5L
+
+(* --- Query --- *)
+
+let test_query_make_validation () =
+  Alcotest.check_raises "inverted" (Invalid_argument "Query.make: requires finite lo <= hi")
+    (fun () -> ignore (Q.make ~lo:2.0 ~hi:1.0));
+  Alcotest.check_raises "nan" (Invalid_argument "Query.make: requires finite lo <= hi")
+    (fun () -> ignore (Q.make ~lo:Float.nan ~hi:1.0))
+
+let test_query_accessors () =
+  let q = Q.make ~lo:10.0 ~hi:30.0 in
+  checkf 1e-12 "width" 20.0 (Q.width q);
+  checkf 1e-12 "center" 20.0 (Q.center q);
+  Alcotest.(check bool) "contains lo" true (Q.contains q 10.0);
+  Alcotest.(check bool) "contains hi" true (Q.contains q 30.0);
+  Alcotest.(check bool) "outside" false (Q.contains q 31.0)
+
+(* --- Generate --- *)
+
+let test_size_separated_widths () =
+  let qs = G.size_separated dataset ~seed:1L ~fraction:0.01 ~count:100 in
+  Alcotest.(check int) "count" 100 (Array.length qs);
+  (* Integer query width: round(0.01 * 4096) = 41 values. *)
+  Array.iter (fun q -> checkf 1e-9 "width" 41.0 (Q.width q)) qs
+
+let test_size_separated_half_integer_bounds () =
+  let qs = G.size_separated dataset ~seed:1L ~fraction:0.01 ~count:50 in
+  Array.iter
+    (fun (q : Q.t) ->
+      if not (Float.is_integer (q.lo +. 0.5) && Float.is_integer (q.hi -. 0.5)) then
+        Alcotest.failf "bounds not half-integer: [%f, %f]" q.lo q.hi)
+    qs
+
+let test_size_separated_in_domain () =
+  let qs = G.size_separated dataset ~seed:2L ~fraction:0.10 ~count:200 in
+  let hi = float_of_int (Ds.domain_size dataset) -. 0.5 in
+  Array.iter
+    (fun (q : Q.t) ->
+      if q.lo < -0.5 || q.hi > hi then Alcotest.failf "query [%f, %f] clips the domain" q.lo q.hi)
+    qs
+
+let test_size_separated_follows_data () =
+  (* Query centers follow the (normal) data distribution: most centers land
+     in the middle half of the domain.  Uses the reference-width p = 20
+     file, where the normal shape is not truncated away. *)
+  let dataset = Data.Generate.generate Data.Generate.Normal_family ~bits:20 ~count:50_000 ~seed:6L in
+  let qs = G.size_separated dataset ~seed:3L ~fraction:0.01 ~count:500 in
+  let domain = float_of_int (Ds.domain_size dataset) in
+  let central =
+    Array.fold_left
+      (fun acc q ->
+        let c = Q.center q in
+        if c > 0.25 *. domain && c < 0.75 *. domain then acc + 1 else acc)
+      0 qs
+  in
+  Alcotest.(check bool) "centers concentrated" true (central > 450)
+
+let test_size_separated_deterministic () =
+  let a = G.size_separated dataset ~seed:4L ~fraction:0.02 ~count:50 in
+  let b = G.size_separated dataset ~seed:4L ~fraction:0.02 ~count:50 in
+  Alcotest.(check bool) "same seed same queries" true (a = b)
+
+let test_size_separated_validation () =
+  Alcotest.check_raises "fraction" (Invalid_argument "Generate.size_separated: fraction must be in (0, 1]")
+    (fun () -> ignore (G.size_separated dataset ~seed:1L ~fraction:0.0 ~count:10));
+  Alcotest.check_raises "count" (Invalid_argument "Generate.size_separated: count must be positive")
+    (fun () -> ignore (G.size_separated dataset ~seed:1L ~fraction:0.01 ~count:0))
+
+let test_positional_sweep_coverage () =
+  let qs = G.positional_sweep dataset ~fraction:0.01 ~count:101 in
+  Alcotest.(check int) "count" 101 (Array.length qs);
+  checkf 1e-9 "first flush left" (-0.5) qs.(0).Q.lo;
+  let hi = float_of_int (Ds.domain_size dataset) -. 0.5 in
+  checkf 1e-6 "last flush right" hi qs.(100).Q.hi;
+  (* Positions increase monotonically. *)
+  for i = 1 to 100 do
+    if qs.(i).Q.lo <= qs.(i - 1).Q.lo then Alcotest.fail "not increasing"
+  done
+
+let test_paper_constants () =
+  Alcotest.(check (list (float 1e-12))) "fractions" [ 0.01; 0.02; 0.05; 0.10 ] G.paper_fractions;
+  Alcotest.(check int) "count" 1000 G.paper_count
+
+(* --- Metrics --- *)
+
+let tiny_ds = Ds.create ~name:"tiny" ~bits:4 [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |]
+
+let test_metrics_hand_computed () =
+  (* Estimator always answers 0.5, i.e. 5 records.  Query [1,10] truth 10:
+     relative error 0.5; query [1,5] truth 5: error 0. *)
+  let est ~a:_ ~b:_ = 0.5 in
+  let queries = [| Q.make ~lo:1.0 ~hi:10.0; Q.make ~lo:1.0 ~hi:5.0 |] in
+  let s = M.evaluate tiny_ds est queries in
+  checkf 1e-12 "mre" 0.25 s.M.mre;
+  checkf 1e-12 "mae" 2.5 s.M.mae;
+  checkf 1e-12 "mean signed" (-2.5) s.M.mean_signed;
+  checkf 1e-12 "max relative" 0.5 s.M.max_relative;
+  Alcotest.(check int) "evaluated" 2 s.M.evaluated;
+  Alcotest.(check int) "skipped" 0 s.M.skipped_empty
+
+let test_metrics_skips_empty_truth () =
+  let est ~a:_ ~b:_ = 0.1 in
+  (* [11, 14] holds no records (values are 1..10 in a 16-wide domain). *)
+  let queries = [| Q.make ~lo:11.0 ~hi:14.0; Q.make ~lo:1.0 ~hi:10.0 |] in
+  let s = M.evaluate tiny_ds est queries in
+  Alcotest.(check int) "skipped" 1 s.M.skipped_empty;
+  Alcotest.(check int) "evaluated" 1 s.M.evaluated;
+  (* MAE over both queries: |1 - 0| for the empty one, |1 - 10| for the
+     full one. *)
+  checkf 1e-12 "mae includes empty" 5.0 s.M.mae
+
+let test_metrics_perfect_estimator () =
+  let est ~a ~b = Ds.exact_selectivity tiny_ds ~lo:a ~hi:b in
+  let queries = [| Q.make ~lo:2.0 ~hi:7.0; Q.make ~lo:0.0 ~hi:15.0 |] in
+  let s = M.evaluate tiny_ds est queries in
+  checkf 1e-12 "zero error" 0.0 s.M.mre;
+  checkf 1e-12 "zero mae" 0.0 s.M.mae
+
+let test_metrics_empty_queries () =
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.evaluate: empty query array")
+    (fun () -> ignore (M.evaluate tiny_ds (fun ~a:_ ~b:_ -> 0.0) [||]))
+
+let test_error_by_position () =
+  let est ~a:_ ~b:_ = 0.0 in
+  let queries = [| Q.make ~lo:1.0 ~hi:3.0 |] in
+  let errs = M.error_by_position tiny_ds est queries in
+  Alcotest.(check int) "one entry" 1 (Array.length errs);
+  checkf 1e-12 "position" 2.0 errs.(0).M.position;
+  checkf 1e-12 "signed" (-3.0) errs.(0).M.signed_error;
+  checkf 1e-12 "relative" 1.0 errs.(0).M.relative_error
+
+(* --- Experiment --- *)
+
+let test_domain_of () =
+  let lo, hi = E.domain_of dataset in
+  checkf 1e-12 "lo" (-0.5) lo;
+  checkf 1e-12 "hi" 4095.5 hi
+
+let test_sample_of_deterministic () =
+  let a = E.sample_of dataset ~seed:1L ~n:100 in
+  let b = E.sample_of dataset ~seed:1L ~n:100 in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Alcotest.(check int) "size" 100 (Array.length a)
+
+let test_mre_of_spec_runs () =
+  let sample = E.sample_of dataset ~seed:2L ~n:500 in
+  let queries = G.size_separated dataset ~seed:3L ~fraction:0.05 ~count:100 in
+  let mre = E.mre_of_spec dataset ~sample ~queries (Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins 20)) in
+  Alcotest.(check bool) (Printf.sprintf "sane MRE %.3f" mre) true (mre >= 0.0 && mre < 1.0)
+
+let test_compare_specs_shape () =
+  let sample = E.sample_of dataset ~seed:4L ~n:500 in
+  let queries = G.size_separated dataset ~seed:5L ~fraction:0.05 ~count:50 in
+  let results =
+    E.compare_specs dataset ~sample ~queries
+      Selest.Estimator.[ Sampling; Uniform_assumption ]
+  in
+  Alcotest.(check int) "two rows" 2 (List.length results);
+  Alcotest.(check string) "first name" "Sampling" (fst (List.hd results))
+
+let test_oracle_bin_count_beats_extremes () =
+  let sample = E.sample_of dataset ~seed:6L ~n:1000 in
+  let queries = G.size_separated dataset ~seed:7L ~fraction:0.02 ~count:100 in
+  let bins, best = E.oracle_bin_count ~max_bins:500 dataset ~sample ~queries in
+  let at k =
+    E.mre_of_spec dataset ~sample ~queries
+      (Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins k))
+  in
+  Alcotest.(check bool) "beats 1 bin" true (best <= at 1 +. 1e-12);
+  Alcotest.(check bool) "beats 500 bins" true (best <= at 500 +. 1e-12);
+  Alcotest.(check bool) "bins in range" true (bins >= 1 && bins <= 500)
+
+let test_oracle_bandwidth_beats_ns () =
+  let sample = E.sample_of dataset ~seed:8L ~n:1000 in
+  let queries = G.size_separated dataset ~seed:9L ~fraction:0.02 ~count:100 in
+  let _, best =
+    E.oracle_bandwidth ~points:15 ~boundary:Kde.Estimator.Boundary_kernels dataset ~sample
+      ~queries
+  in
+  let ns_mre =
+    E.mre_of_spec dataset ~sample ~queries
+      (Selest.Estimator.Kernel
+         {
+           kernel = Kernels.Kernel.Epanechnikov;
+           boundary = Kde.Estimator.Boundary_kernels;
+           bandwidth = Selest.Estimator.Normal_scale_bandwidth;
+         })
+  in
+  Alcotest.(check bool) "oracle at least as good as NS" true (best <= ns_mre +. 1e-9)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "query",
+        [
+          Alcotest.test_case "validation" `Quick test_query_make_validation;
+          Alcotest.test_case "accessors" `Quick test_query_accessors;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "widths" `Quick test_size_separated_widths;
+          Alcotest.test_case "half-integer bounds" `Quick
+            test_size_separated_half_integer_bounds;
+          Alcotest.test_case "in domain" `Quick test_size_separated_in_domain;
+          Alcotest.test_case "follows data" `Quick test_size_separated_follows_data;
+          Alcotest.test_case "deterministic" `Quick test_size_separated_deterministic;
+          Alcotest.test_case "validation" `Quick test_size_separated_validation;
+          Alcotest.test_case "positional sweep" `Quick test_positional_sweep_coverage;
+          Alcotest.test_case "paper constants" `Quick test_paper_constants;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "hand computed" `Quick test_metrics_hand_computed;
+          Alcotest.test_case "skips empty truth" `Quick test_metrics_skips_empty_truth;
+          Alcotest.test_case "perfect estimator" `Quick test_metrics_perfect_estimator;
+          Alcotest.test_case "empty queries" `Quick test_metrics_empty_queries;
+          Alcotest.test_case "error by position" `Quick test_error_by_position;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "domain_of" `Quick test_domain_of;
+          Alcotest.test_case "sample deterministic" `Quick test_sample_of_deterministic;
+          Alcotest.test_case "mre_of_spec" `Quick test_mre_of_spec_runs;
+          Alcotest.test_case "compare_specs" `Quick test_compare_specs_shape;
+          Alcotest.test_case "oracle bins beat extremes" `Slow test_oracle_bin_count_beats_extremes;
+          Alcotest.test_case "oracle bandwidth beats NS" `Slow test_oracle_bandwidth_beats_ns;
+        ] );
+    ]
