@@ -5,9 +5,15 @@
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe -- list    lists targets
      dune exec bench/main.exe -- fig4 fig12   runs a subset
+     dune exec bench/main.exe -- --jobs 4 fig8   parallel evaluation
 
-   Seeds are fixed so every run reproduces the same numbers; EXPERIMENTS.md
-   records the measured values against the paper's. *)
+   Seeds are fixed so every run reproduces the same numbers — for every
+   --jobs value: queries are evaluated in parallel but reduced in query
+   order.  EXPERIMENTS.md records the measured values against the paper's.
+
+   Besides stdout, every run serializes its measured MREs and timings to
+   BENCH_results.json (schema: target -> { wall_s, build_s, queries_per_s,
+   mre_by_spec }) so perf and accuracy can be diffed across commits. *)
 
 module Est = Selest.Estimator
 module E = Workload.Experiment
@@ -18,6 +24,104 @@ module K = Kernels.Kernel
 let data_seed = 42L
 let sample_seed = 7L
 let query_seed = 9L
+
+(* Parallelism degree for query evaluation, set from --jobs in main. *)
+let jobs = ref (Parallel.Map.default_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_results.json                        *)
+(* ------------------------------------------------------------------ *)
+
+module Record = struct
+  type entry = {
+    mutable wall_s : float;
+    mutable build_s : float;  (* summed estimator-construction time *)
+    mutable queries : int;  (* queries evaluated through mre_of *)
+    mutable query_s : float;  (* summed query-evaluation time *)
+    mutable mres : (string * float) list;  (* "<file>/<spec>" -> MRE, reversed *)
+  }
+
+  let table : (string, entry) Hashtbl.t = Hashtbl.create 32
+  let order : string list ref = ref []
+  let current : entry option ref = ref None
+
+  let start target =
+    let e = { wall_s = 0.0; build_s = 0.0; queries = 0; query_s = 0.0; mres = [] } in
+    Hashtbl.replace table target e;
+    order := target :: !order;
+    current := Some e
+
+  let finish wall_s =
+    match !current with
+    | Some e ->
+      e.wall_s <- wall_s;
+      current := None
+    | None -> ()
+
+  (* Accumulate one estimator evaluation.  Re-evaluations of the same
+     file/spec key (oracle searches revisit bin counts) keep the latest
+     MRE; search order is deterministic, so so is the file. *)
+  let note ~key ~mre ~build_s ~queries ~query_s =
+    match !current with
+    | None -> ()
+    | Some e ->
+      e.build_s <- e.build_s +. build_s;
+      e.queries <- e.queries + queries;
+      e.query_s <- e.query_s +. query_s;
+      e.mres <- (key, mre) :: List.remove_assoc key e.mres
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* MREs print with full precision so that a diff of two BENCH_results.json
+     files shows bit-level accuracy drift; timings are noise past ms. *)
+  let json_num (fmt : (float -> string, unit, string) format) x =
+    if Float.is_nan x || Float.abs x = Float.infinity then "null" else Printf.sprintf fmt x
+
+  let write path =
+    let targets = List.rev !order in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"schema_version\": 1,\n";
+    Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
+    Buffer.add_string buf "  \"targets\": {\n";
+    List.iteri
+      (fun i target ->
+        let e = Hashtbl.find table target in
+        let qps = if e.query_s > 0.0 then float_of_int e.queries /. e.query_s else 0.0 in
+        Buffer.add_string buf (Printf.sprintf "    \"%s\": {\n" (json_escape target));
+        Buffer.add_string buf
+          (Printf.sprintf "      \"wall_s\": %s,\n" (json_num "%.3f" e.wall_s));
+        Buffer.add_string buf
+          (Printf.sprintf "      \"build_s\": %s,\n" (json_num "%.3f" e.build_s));
+        Buffer.add_string buf
+          (Printf.sprintf "      \"queries_per_s\": %s,\n" (json_num "%.1f" qps));
+        Buffer.add_string buf "      \"mre_by_spec\": {";
+        List.iteri
+          (fun j (key, mre) ->
+            if j > 0 then Buffer.add_string buf ",";
+            Buffer.add_string buf
+              (Printf.sprintf "\n        \"%s\": %s" (json_escape key) (json_num "%.17g" mre)))
+          (List.rev e.mres);
+        if e.mres <> [] then Buffer.add_string buf "\n      ";
+        Buffer.add_string buf "}\n";
+        Buffer.add_string buf (if i = List.length targets - 1 then "    }\n" else "    },\n"))
+      targets;
+    Buffer.add_string buf "  }\n}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc
+end
 
 let dataset_cache : (string, Data.Dataset.t) Hashtbl.t = Hashtbl.create 16
 
@@ -38,7 +142,19 @@ let queries ?(fraction = 0.01) ?(count = G.paper_count) ds =
 
 let pct x = 100.0 *. x
 
-let mre_of ds ~sample:s ~queries:qs spec = E.mre_of_spec ds ~sample:s ~queries:qs spec
+(* The single choke point of every MRE the harness prints: builds the
+   estimator (timed), evaluates the query file with --jobs domains (timed),
+   and records the result for BENCH_results.json. *)
+let mre_of ds ~sample:s ~queries:qs spec =
+  let t0 = Unix.gettimeofday () in
+  let estimate = E.estimate_fn_of_spec ds ~sample:s spec in
+  let t1 = Unix.gettimeofday () in
+  let summary = E.summary_of_fn ~jobs:!jobs ds ~queries:qs estimate in
+  let t2 = Unix.gettimeofday () in
+  Record.note
+    ~key:(Data.Dataset.name ds ^ "/" ^ Est.spec_name spec)
+    ~mre:summary.M.mre ~build_s:(t1 -. t0) ~queries:(Array.length qs) ~query_s:(t2 -. t1);
+  summary.M.mre
 
 let kernel_spec ?(kernel = K.Epanechnikov) ?(boundary = Kde.Estimator.Boundary_kernels) bandwidth
     =
@@ -208,7 +324,7 @@ let fig9 () =
       let ds = dataset name in
       let s = sample ds in
       let qs = queries ds in
-      let bins_opt, m_opt = E.oracle_bin_count ~max_bins:1500 ds ~sample:s ~queries:qs in
+      let bins_opt, m_opt = E.oracle_bin_count ~max_bins:1500 ~jobs:!jobs ds ~sample:s ~queries:qs in
       let ns_bins = Bandwidth.Normal_scale.bin_count_of_samples ~domain:(E.domain_of ds) s in
       let m_ns = mre_of ds ~sample:s ~queries:qs (Est.Equi_width Est.Normal_scale_bins) in
       Printf.printf "%-8s %-10d %-10.2f %-10d %-10.2f\n" name bins_opt (pct m_opt) ns_bins
@@ -260,8 +376,8 @@ let fig11 () =
       let s = sample ds in
       let qs = queries ds in
       let _, m_opt =
-        E.oracle_bandwidth ~points:25 ~boundary:Kde.Estimator.Boundary_kernels ds ~sample:s
-          ~queries:qs
+        E.oracle_bandwidth ~points:25 ~jobs:!jobs ~boundary:Kde.Estimator.Boundary_kernels ds
+          ~sample:s ~queries:qs
       in
       let m_ns = mre_of ds ~sample:s ~queries:qs (kernel_spec Est.Normal_scale_bandwidth) in
       let m_dpi = mre_of ds ~sample:s ~queries:qs (kernel_spec (Est.Plug_in_bandwidth 2)) in
@@ -682,25 +798,63 @@ let targets =
     ("timing", timing);
   ]
 
+let results_path = "BENCH_results.json"
+
+let run_target (name, run) =
+  Record.start name;
+  let t = Unix.gettimeofday () in
+  run ();
+  let wall = Unix.gettimeofday () -. t in
+  Record.finish wall;
+  Printf.printf "(%.1fs)\n%!" wall
+
+let usage () =
+  prerr_endline "usage: dune exec bench/main.exe -- [--jobs N] [list | <target>...]";
+  prerr_endline "       (targets: dune exec bench/main.exe -- list)";
+  exit 1
+
+(* Strip --jobs N / --jobs=N / -j N out of argv; everything else is a
+   target name. *)
+let parse_args argv =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        go acc rest
+      | _ -> usage ())
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+      match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+      | Some j when j >= 1 ->
+        jobs := j;
+        go acc rest
+      | _ -> usage ())
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: rest -> go (arg :: acc) rest
+  in
+  go [] (List.tl (Array.to_list argv))
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  match parse_args Sys.argv with
   | [ "list" ] -> List.iter (fun (name, _) -> print_endline name) targets
   | [] ->
     let t0 = Unix.gettimeofday () in
-    List.iter
-      (fun (_, run) ->
-        let t = Unix.gettimeofday () in
-        run ();
-        Printf.printf "(%.1fs)\n%!" (Unix.gettimeofday () -. t))
-      targets;
-    Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+    List.iter run_target targets;
+    Printf.printf "\ntotal: %.1fs (jobs: %d)\n" (Unix.gettimeofday () -. t0) !jobs;
+    Record.write results_path;
+    Printf.printf "results: %s\n" results_path
   | names ->
-    List.iter
-      (fun name ->
-        match List.assoc_opt name targets with
-        | Some run -> run ()
-        | None ->
-          Printf.eprintf "unknown target %s (try: dune exec bench/main.exe -- list)\n" name;
-          exit 1)
-      names
+    let selected =
+      List.map
+        (fun name ->
+          match List.assoc_opt name targets with
+          | Some run -> (name, run)
+          | None ->
+            Printf.eprintf "unknown target %s (try: dune exec bench/main.exe -- list)\n" name;
+            exit 1)
+        names
+    in
+    List.iter run_target selected;
+    Record.write results_path;
+    Printf.printf "results: %s\n" results_path

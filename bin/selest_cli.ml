@@ -139,25 +139,32 @@ let compare_cmd =
          & info [ "estimator"; "e" ] ~docv:"SPEC"
              ~doc:"Estimator to include (repeatable); defaults to the paper's Figure 12 suite.")
   in
-  let run seed sample_seed n name fraction count specs =
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Evaluate estimators on $(docv) parallel domains (1 = sequential). The \
+                   reported numbers are bit-identical for every value.")
+  in
+  let run seed sample_seed n name fraction count jobs specs =
+    if jobs < 1 then or_die (Error "compare: --jobs must be >= 1");
     let ds = or_die (load_dataset seed name) in
     let sample = E.sample_of ds ~seed:sample_seed ~n in
     let queries = G.size_separated ds ~seed:9L ~fraction ~count in
     let specs = if specs = [] then Est.default_suite else specs in
-    Printf.printf "file: %s   queries: %d x %.1f%%   sample: %d\n\n"
-      (Data.Dataset.name ds) count (100.0 *. fraction) n;
+    Printf.printf "file: %s   queries: %d x %.1f%%   sample: %d   jobs: %d\n\n"
+      (Data.Dataset.name ds) count (100.0 *. fraction) n jobs;
     Printf.printf "%-36s %-8s %-10s %-10s\n" "estimator" "mre%" "mae" "worst_rel";
     List.iter
       (fun (label, summary) ->
         Printf.printf "%-36s %-8.2f %-10.1f %-10.2f\n" label
           (100.0 *. summary.Workload.Metrics.mre)
           summary.Workload.Metrics.mae summary.Workload.Metrics.max_relative)
-      (E.compare_specs ds ~sample ~queries specs)
+      (E.compare_specs ~jobs ds ~sample ~queries specs)
   in
   let doc = "Compare estimators' mean relative error on a size-separated query file." in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ fraction_arg
-          $ count_arg $ estimators_arg)
+          $ count_arg $ jobs_arg $ estimators_arg)
 
 (* --- sweep --- *)
 

@@ -1,0 +1,23 @@
+let ranges ~chunks ~length =
+  if chunks < 1 then invalid_arg "Chunk.ranges: chunks must be >= 1";
+  if length < 0 then invalid_arg "Chunk.ranges: length must be >= 0";
+  if length = 0 then [||]
+  else begin
+    let chunks = min chunks length in
+    let base = length / chunks and extra = length mod chunks in
+    (* The first [extra] ranges carry one additional index. *)
+    let start = ref 0 in
+    Array.init chunks (fun c ->
+        let size = base + if c < extra then 1 else 0 in
+        let s = !start in
+        start := s + size;
+        (s, s + size))
+  end
+
+let ranges_of_size ~chunk_size ~length =
+  if chunk_size < 1 then invalid_arg "Chunk.ranges_of_size: chunk_size must be >= 1";
+  if length < 0 then invalid_arg "Chunk.ranges_of_size: length must be >= 0";
+  let chunks = (length + chunk_size - 1) / chunk_size in
+  Array.init chunks (fun c ->
+      let s = c * chunk_size in
+      (s, min length (s + chunk_size)))

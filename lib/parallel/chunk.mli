@@ -1,0 +1,26 @@
+(** Deterministic partitioning of index ranges into contiguous chunks.
+
+    Chunk boundaries are a pure function of the requested chunk count (or
+    chunk size) and the array length — never of the number of workers or of
+    scheduling order.  This is the keystone of the library's reproducibility
+    guarantee: work distributed over any number of domains is grouped, and
+    later re-combined, along identical boundaries, so floating-point
+    reductions associate identically on every run. *)
+
+val ranges : chunks:int -> length:int -> (int * int) array
+(** [ranges ~chunks ~length] splits the index interval [[0, length)] into at
+    most [chunks] contiguous half-open ranges [(start, stop)], returned in
+    ascending order.  The split is balanced: range sizes differ by at most
+    one, with the larger ranges first.  [chunks] is clamped to
+    [[1, length]]; an empty interval yields [[||]].
+
+    @raise Invalid_argument if [chunks < 1] or [length < 0]. *)
+
+val ranges_of_size : chunk_size:int -> length:int -> (int * int) array
+(** [ranges_of_size ~chunk_size ~length] splits [[0, length)] into
+    consecutive ranges of exactly [chunk_size] indices (the final range may
+    be shorter).  Because the boundaries depend only on [chunk_size] and
+    [length], a reduction folded along them is bit-identical regardless of
+    how many workers execute the chunks.
+
+    @raise Invalid_argument if [chunk_size < 1] or [length < 0]. *)

@@ -1,0 +1,106 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some _ -> invalid_arg "Parallel.Map: jobs must be >= 1"
+
+let unsome = function Some v -> v | None -> assert false
+
+(* Spawning a domain costs orders of magnitude more than dispatching a
+   task, so one pool is cached for the whole process and reused across
+   calls.  The pool is single-owner: a nested or concurrent map (the cache
+   is busy) falls back to a transient pool rather than sharing it. *)
+let cache_mutex = Mutex.create ()
+let cached : (int * Pool.t) option ref = ref None
+let cache_busy = ref false
+let cleanup_registered = ref false
+
+let release_cache () =
+  Mutex.lock cache_mutex;
+  cache_busy := false;
+  Mutex.unlock cache_mutex
+
+let with_cached_pool ~jobs f =
+  let acquired =
+    Mutex.lock cache_mutex;
+    let pool =
+      if !cache_busy then None
+      else begin
+        cache_busy := true;
+        if not !cleanup_registered then begin
+          cleanup_registered := true;
+          (* Shut idle workers down on exit so the process never leaves
+             domains blocked on the pool's condition variable. *)
+          at_exit (fun () ->
+              match !cached with
+              | Some (_, pool) when not !cache_busy ->
+                cached := None;
+                Pool.shutdown pool
+              | Some _ | None -> ())
+        end;
+        match !cached with
+        | Some (j, pool) when j = jobs -> Some pool
+        | (Some _ | None) as stale ->
+          (match stale with
+          | Some (_, old) -> Pool.shutdown old
+          | None -> ());
+          let pool = Pool.create ~jobs in
+          cached := Some (jobs, pool);
+          Some pool
+      end
+    in
+    Mutex.unlock cache_mutex;
+    pool
+  in
+  match acquired with
+  | Some pool -> Fun.protect ~finally:release_cache (fun () -> f pool)
+  | None -> Pool.with_pool ~jobs f
+
+(* Tasks are contiguous index ranges, a few per worker for load balance.
+   Each element writes its own slot, so the chunking affects only
+   scheduling, never the result. *)
+let pooled_mapi ~jobs f a =
+  let n = Array.length a in
+  let out = Array.make n None in
+  let ranges = Chunk.ranges ~chunks:(jobs * 4) ~length:n in
+  with_cached_pool ~jobs (fun pool ->
+      Pool.run pool ~total:(Array.length ranges) (fun c ->
+          let start, stop = ranges.(c) in
+          for i = start to stop - 1 do
+            out.(i) <- Some (f i a.(i))
+          done));
+  Array.map unsome out
+
+let mapi ?jobs f a =
+  let jobs = min (resolve_jobs jobs) (Array.length a) in
+  if jobs <= 1 then Array.mapi f a else pooled_mapi ~jobs f a
+
+let map ?jobs f a = mapi ?jobs (fun _ x -> f x) a
+
+let map_reduce ?jobs ?(chunk_size = 1024) ~map:f ~combine ~init a =
+  if chunk_size < 1 then invalid_arg "Parallel.Map.map_reduce: chunk_size must be >= 1";
+  let n = Array.length a in
+  (* Chunk boundaries are fixed by [chunk_size] alone so that the fold
+     below associates identically for every [jobs] value. *)
+  let ranges = Chunk.ranges_of_size ~chunk_size ~length:n in
+  let chunks = Array.length ranges in
+  let fold_chunk c =
+    let start, stop = ranges.(c) in
+    let acc = ref (f a.(start)) in
+    for i = start + 1 to stop - 1 do
+      acc := combine !acc (f a.(i))
+    done;
+    !acc
+  in
+  let jobs = min (resolve_jobs jobs) chunks in
+  let partials =
+    if jobs <= 1 then Array.init chunks fold_chunk
+    else begin
+      let out = Array.make chunks None in
+      with_cached_pool ~jobs (fun pool ->
+          Pool.run pool ~total:chunks (fun c -> out.(c) <- Some (fold_chunk c)));
+      Array.map unsome out
+    end
+  in
+  Array.fold_left combine init partials

@@ -1,0 +1,56 @@
+(** Deterministic data-parallel array combinators on top of {!Pool}.
+
+    Every function takes a [?jobs] knob: [1] means run sequentially in the
+    calling domain (no domains are spawned), [k > 1] distributes the work
+    over a pool of [k] domains.  The default is {!default_jobs}, one worker
+    per recommended domain short of saturating the machine.
+
+    Domains are expensive to spawn, so one pool is cached per process and
+    reused by subsequent calls with the same [jobs]; changing [jobs]
+    replaces it, and nested or concurrent calls fall back to a transient
+    pool (the cached one is single-owner).  The cached pool's workers sleep
+    between calls and are shut down via [at_exit].
+
+    Determinism contract: for a pure [f], every function returns the same
+    value — bit-for-bit, floating point included — for every value of
+    [jobs] and every scheduling of the workers.  {!map} achieves this by
+    keying each element to its output slot; {!map_reduce} by folding chunk
+    results in ascending chunk order along boundaries that depend only on
+    [chunk_size] (never on [jobs]). *)
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core for
+    the rest of the process, degrade to sequential on a single-core host. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f a] is [Array.map f a], evaluated by [jobs] domains.
+    Results are written to their sequential positions, so the output is
+    identical to [Array.map f a] for pure [f] regardless of [jobs].  If any
+    application of [f] raises, all scheduled applications still run and the
+    first recorded exception is re-raised ([jobs = 1] instead raises
+    eagerly, like [Array.map]).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map] with the element index, mirroring [Array.mapi]. *)
+
+val map_reduce :
+  ?jobs:int ->
+  ?chunk_size:int ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a array ->
+  'b
+(** [map_reduce ~jobs ~chunk_size ~map ~combine ~init a] computes
+
+    {v combine (... (combine init c_0) ...) c_{k-1} v}
+
+    where [c_i] is the left-to-right [combine]-fold of [map x] over the
+    [i]-th chunk of [a], chunks being the consecutive [chunk_size]-element
+    slices of [a] (default [1024]; the last chunk may be shorter).  Chunk
+    boundaries depend only on [chunk_size] and [Array.length a], so the
+    association order — hence the exact floating-point result — is the same
+    for every [jobs].  [combine] must be associative up to that fixed
+    grouping for the result to be meaningful; it runs in the calling domain.
+    @raise Invalid_argument if [jobs < 1] or [chunk_size < 1]. *)

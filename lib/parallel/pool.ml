@@ -1,0 +1,122 @@
+type job = {
+  f : int -> unit;
+  next : int Atomic.t;  (* next task index to claim *)
+  completed : int Atomic.t;
+  total : int;
+}
+
+type t = {
+  size : int;  (* worker domains; capacity is size + 1 *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable epoch : int;  (* bumped once per submitted job *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let jobs t = t.size + 1
+
+(* Claim and execute tasks until the job's counter is exhausted.  A task
+   that raises still counts as completed: [run] must not return while any
+   [f i] is in flight, and the exception is surfaced there instead. *)
+let drain t job =
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.total then continue_ := false
+    else begin
+      (try job.f i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if t.failure = None then t.failure <- Some (e, bt);
+         Mutex.unlock t.mutex);
+      if 1 + Atomic.fetch_and_add job.completed 1 = job.total then begin
+        (* Last task overall: wake the caller waiting in [run].  Taking the
+           mutex orders this broadcast against the caller's wait. *)
+        Mutex.lock t.mutex;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex
+      end
+    end
+  done
+
+let rec worker t last_epoch =
+  Mutex.lock t.mutex;
+  (* Wait for a job this worker has not seen yet.  [t.job = None] covers the
+     worker that slept through an entire job: the epoch moved on, but there
+     is nothing to drain until the next submission. *)
+  while (not t.stopped) && (t.epoch = last_epoch || t.job = None) do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    let epoch = t.epoch in
+    let job = Option.get t.job in
+    Mutex.unlock t.mutex;
+    drain t job;
+    worker t epoch
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      size = jobs - 1;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      failure = None;
+      stopped = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init t.size (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let run t ~total f =
+  if total < 0 then invalid_arg "Pool.run: total must be >= 0";
+  if total > 0 then begin
+    let job = { f; next = Atomic.make 0; completed = Atomic.make 0; total } in
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    t.failure <- None;
+    t.job <- Some job;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (* The caller is a worker too; with [size = 0] it does all the work. *)
+    drain t job;
+    Mutex.lock t.mutex;
+    while Atomic.get job.completed < total do
+      Condition.wait t.work_done t.mutex
+    done;
+    let failure = t.failure in
+    t.job <- None;
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_stopped = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  if not was_stopped then Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,43 @@
+(** A fixed-size pool of worker domains (OCaml 5 [Domain]s).
+
+    A pool of capacity [jobs] owns [jobs - 1] long-lived worker domains; the
+    caller of {!run} acts as the [jobs]-th worker, so a pool of capacity 1
+    spawns no domains at all and degenerates to plain sequential execution.
+    Worker domains block on a condition variable between jobs — an idle pool
+    consumes no CPU.
+
+    Tasks inside one {!run} call are distributed by work stealing over an
+    atomic counter, so scheduling is non-deterministic; determinism of
+    results is recovered one level up (see {!Map}) by keying every task to a
+    fixed output slot.  The pool is single-owner: calls to {!run} must not
+    overlap.  Exceptions raised by tasks are caught in the worker, and the
+    first one recorded is re-raised (with its backtrace) in the caller after
+    every task has finished. *)
+
+type t
+(** A pool handle.  Obtain with {!create}, release with {!shutdown}. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The pool's capacity: worker domains plus the calling domain. *)
+
+val run : t -> total:int -> (int -> unit) -> unit
+(** [run pool ~total f] executes [f 0], [f 1], ..., [f (total - 1)], spread
+    across the pool's domains and the calling domain, and returns once all
+    [total] tasks have completed.  Tasks are claimed dynamically in index
+    order but may finish in any order; [f] must therefore tolerate running
+    on any domain, and concurrent invocations of [f] must not race on shared
+    state.  If one or more tasks raise, the remaining tasks still execute,
+    and the first recorded exception is re-raised in the caller.
+    @raise Invalid_argument if [total < 0]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Using {!run} after
+    [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down on
+    exit, whether [f] returns or raises. *)

@@ -13,23 +13,46 @@ let estimate_fn_of_spec ds ~sample spec =
   let est = Selest.Estimator.build spec ~domain:(domain_of ds) sample in
   fun ~a ~b -> Selest.Estimator.selectivity est ~a ~b
 
-let summary_of_spec ds ~sample ~queries spec =
-  Metrics.evaluate ds (estimate_fn_of_spec ds ~sample spec) queries
+(* The parallel evaluation path: per-query (truth, estimate) pairs are
+   computed by [jobs] domains — each query writes its own slot, so the pair
+   array is identical for every [jobs] — and reduced sequentially in query
+   order.  The estimator is built once and probed concurrently; probes are
+   pure reads, estimators carry no mutable state. *)
+let summary_of_fn ?(jobs = 1) ds ~queries estimate =
+  if Array.length queries = 0 then invalid_arg "Experiment.summary_of_fn: empty query array";
+  let n_records = float_of_int (Data.Dataset.size ds) in
+  let pairs =
+    Parallel.Map.map ~jobs
+      (fun (q : Query.t) ->
+        ( float_of_int (Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi),
+          estimate ~a:q.lo ~b:q.hi *. n_records ))
+      queries
+  in
+  Metrics.summarize pairs
 
-let mre_of_spec ds ~sample ~queries spec = (summary_of_spec ds ~sample ~queries spec).mre
+let summary_of_spec ?jobs ds ~sample ~queries spec =
+  summary_of_fn ?jobs ds ~queries (estimate_fn_of_spec ds ~sample spec)
 
-let compare_specs ds ~sample ~queries specs =
-  List.map
-    (fun spec -> (Selest.Estimator.spec_name spec, summary_of_spec ds ~sample ~queries spec))
-    specs
+let mre_of_spec ?jobs ds ~sample ~queries spec =
+  (summary_of_spec ?jobs ds ~sample ~queries spec).Metrics.mre
 
-let oracle_bin_count ?(max_bins = 2000) ds ~sample ~queries =
+let compare_specs ?(jobs = 1) ds ~sample ~queries specs =
+  (* Parallel across specs: each task builds its own estimator and
+     evaluates its queries sequentially, so domains never nest. *)
+  Parallel.Map.map ~jobs
+    (fun spec ->
+      (Selest.Estimator.spec_name spec, summary_of_spec ds ~sample ~queries spec))
+    (Array.of_list specs)
+  |> Array.to_list
+
+let oracle_bin_count ?(max_bins = 2000) ?jobs ds ~sample ~queries =
   let objective bins =
-    mre_of_spec ds ~sample ~queries (Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins bins))
+    mre_of_spec ?jobs ds ~sample ~queries
+      (Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins bins))
   in
   Bandwidth.Oracle.best_bin_count ~max_bins ~objective ()
 
-let oracle_bandwidth ?(points = 30) ~boundary ds ~sample ~queries =
+let oracle_bandwidth ?(points = 30) ?jobs ~boundary ds ~sample ~queries =
   let ns =
     Bandwidth.Normal_scale.bandwidth_of_samples ~kernel:Kernels.Kernel.Epanechnikov sample
   in
@@ -38,7 +61,7 @@ let oracle_bandwidth ?(points = 30) ~boundary ds ~sample ~queries =
      clamp; searching them only wastes oracle evaluations. *)
   let upper = Float.min (30.0 *. ns) (0.45 *. (hi -. lo)) in
   let objective h =
-    mre_of_spec ds ~sample ~queries
+    mre_of_spec ?jobs ds ~sample ~queries
       (Selest.Estimator.Kernel
          {
            kernel = Kernels.Kernel.Epanechnikov;

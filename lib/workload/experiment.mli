@@ -1,6 +1,12 @@
 (** Experiment harness tying datasets, samples, query files and estimator
     specs together — the machinery behind every figure reproduction and the
-    CLI's [experiment] command. *)
+    CLI's [experiment] command.
+
+    Evaluation entry points take a [?jobs] knob (default [1], sequential)
+    and distribute the per-query work over that many domains via
+    {!Parallel.Map}.  Results are bit-identical for every [jobs] value:
+    each query's (truth, estimate) pair is computed independently and the
+    reduction to a summary always runs sequentially in query order. *)
 
 val domain_of : Data.Dataset.t -> float * float
 (** The continuous estimation domain [[-0.5, 2^p - 0.5]] of a dataset:
@@ -14,7 +20,24 @@ val sample_of : Data.Dataset.t -> seed:int64 -> n:int -> float array
 val paper_sample_size : int
 (** 2,000 — the sample size of the paper's experiments. *)
 
+val estimate_fn_of_spec :
+  Data.Dataset.t -> sample:float array -> Selest.Estimator.spec -> Metrics.estimate_fn
+(** Build the spec on the sample once and return its probe function.
+    Probes are pure reads and safe to call from several domains. *)
+
+val summary_of_fn :
+  ?jobs:int ->
+  Data.Dataset.t ->
+  queries:Query.t array ->
+  Metrics.estimate_fn ->
+  Metrics.summary
+(** Evaluate an already-built estimator on the query file, computing the
+    per-query pairs with [jobs] domains ({!Parallel.Map.map}) and reducing
+    them in query order.
+    @raise Invalid_argument on an empty query array or [jobs < 1]. *)
+
 val mre_of_spec :
+  ?jobs:int ->
   Data.Dataset.t ->
   sample:float array ->
   queries:Query.t array ->
@@ -23,6 +46,7 @@ val mre_of_spec :
 (** Build the spec on the sample and return its MRE on the query file. *)
 
 val summary_of_spec :
+  ?jobs:int ->
   Data.Dataset.t ->
   sample:float array ->
   queries:Query.t array ->
@@ -31,24 +55,31 @@ val summary_of_spec :
 (** Like {!mre_of_spec} but returning the full error summary. *)
 
 val compare_specs :
+  ?jobs:int ->
   Data.Dataset.t ->
   sample:float array ->
   queries:Query.t array ->
   Selest.Estimator.spec list ->
   (string * Metrics.summary) list
-(** Evaluate several specs on the same sample and query file. *)
+(** Evaluate several specs on the same sample and query file.  [jobs]
+    parallelizes {e across specs} (each task builds and probes one
+    estimator sequentially, so domains never nest); the result list order
+    follows the spec list regardless of [jobs]. *)
 
 val oracle_bin_count :
   ?max_bins:int ->
+  ?jobs:int ->
   Data.Dataset.t ->
   sample:float array ->
   queries:Query.t array ->
   int * float
 (** The [h-opt] reference for equi-width histograms: the bin count
-    minimizing the observed MRE, with that MRE. *)
+    minimizing the observed MRE, with that MRE.  [jobs] parallelizes each
+    objective evaluation across queries; the search itself is sequential. *)
 
 val oracle_bandwidth :
   ?points:int ->
+  ?jobs:int ->
   boundary:Kde.Estimator.boundary_policy ->
   Data.Dataset.t ->
   sample:float array ->
@@ -56,4 +87,5 @@ val oracle_bandwidth :
   float * float
 (** The [h-opt] reference for kernel estimators: the Epanechnikov bandwidth
     minimizing the observed MRE over a logarithmic grid spanning
-    [[ns/30, 30 ns]] around the normal-scale bandwidth. *)
+    [[ns/30, 30 ns]] around the normal-scale bandwidth.  [jobs] as in
+    {!oracle_bin_count}. *)

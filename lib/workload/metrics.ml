@@ -9,9 +9,8 @@ type summary = {
   skipped_empty : int;
 }
 
-let evaluate ds estimate queries =
-  if Array.length queries = 0 then invalid_arg "Metrics.evaluate: empty query array";
-  let n_records = Data.Dataset.size ds in
+let summarize pairs =
+  if Array.length pairs = 0 then invalid_arg "Metrics.summarize: empty pair array";
   let rel_sum = ref 0.0
   and abs_sum = ref 0.0
   and signed_sum = ref 0.0
@@ -19,9 +18,7 @@ let evaluate ds estimate queries =
   and evaluated = ref 0
   and skipped = ref 0 in
   Array.iter
-    (fun (q : Query.t) ->
-      let truth = float_of_int (Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi) in
-      let est = estimate ~a:q.lo ~b:q.hi *. float_of_int n_records in
+    (fun (truth, est) ->
       let signed = est -. truth in
       abs_sum := !abs_sum +. Float.abs signed;
       signed_sum := !signed_sum +. signed;
@@ -32,8 +29,8 @@ let evaluate ds estimate queries =
         incr evaluated
       end
       else incr skipped)
-    queries;
-  let count = float_of_int (Array.length queries) in
+    pairs;
+  let count = float_of_int (Array.length pairs) in
   {
     mre = (if !evaluated = 0 then Float.nan else !rel_sum /. float_of_int !evaluated);
     mae = !abs_sum /. count;
@@ -42,6 +39,18 @@ let evaluate ds estimate queries =
     evaluated = !evaluated;
     skipped_empty = !skipped;
   }
+
+let result_pairs ds estimate queries =
+  let n_records = float_of_int (Data.Dataset.size ds) in
+  Array.map
+    (fun (q : Query.t) ->
+      ( float_of_int (Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi),
+        estimate ~a:q.lo ~b:q.hi *. n_records ))
+    queries
+
+let evaluate ds estimate queries =
+  if Array.length queries = 0 then invalid_arg "Metrics.evaluate: empty query array";
+  summarize (result_pairs ds estimate queries)
 
 let mre ds estimate queries = (evaluate ds estimate queries).mre
 

@@ -26,6 +26,17 @@ val evaluate : Data.Dataset.t -> estimate_fn -> Query.t array -> summary
     against the dataset's exact counts.
     @raise Invalid_argument on an empty query array. *)
 
+val result_pairs : Data.Dataset.t -> estimate_fn -> Query.t array -> (float * float) array
+(** The per-query [(true_size, estimated_size)] pairs behind {!evaluate},
+    in query order.  Each pair depends on its query alone, which is what
+    lets {!Experiment} compute them in parallel and still reduce them
+    deterministically with {!summarize}. *)
+
+val summarize : (float * float) array -> summary
+(** Reduce [(true_size, estimated_size)] pairs to a {!summary}, in array
+    order: [evaluate ds f qs = summarize (result_pairs ds f qs)] exactly.
+    @raise Invalid_argument on an empty pair array. *)
+
 val mre : Data.Dataset.t -> estimate_fn -> Query.t array -> float
 (** Shorthand for [(evaluate ...).mre]. *)
 

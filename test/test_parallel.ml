@@ -1,0 +1,243 @@
+(* Tests for the parallel library: deterministic chunking, the domain pool,
+   the map / map_reduce combinators, and the end-to-end guarantee that the
+   experiment harness produces bit-identical numbers for every jobs value. *)
+
+module C = Parallel.Chunk
+module P = Parallel.Pool
+module PM = Parallel.Map
+
+let bits_equal what a b =
+  Alcotest.(check int64) what (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* --- Chunk --- *)
+
+let prop_ranges_cover =
+  QCheck.Test.make ~name:"ranges partition [0, length) in order, balanced" ~count:500
+    QCheck.(pair (int_range 1 64) (int_range 0 500))
+    (fun (chunks, length) ->
+      let ranges = C.ranges ~chunks ~length in
+      let sizes = Array.map (fun (s, e) -> e - s) ranges in
+      (* Contiguous cover in ascending order. *)
+      let pos = ref 0 in
+      Array.iter
+        (fun (s, e) ->
+          assert (s = !pos && e > s);
+          pos := e)
+        ranges;
+      !pos = length
+      && Array.length ranges = min chunks length
+      && (length = 0
+         || Array.for_all (fun sz -> abs (sz - sizes.(0)) <= 1) sizes))
+
+let prop_ranges_of_size_fixed =
+  QCheck.Test.make ~name:"ranges_of_size boundaries depend only on chunk_size" ~count:500
+    QCheck.(pair (int_range 1 64) (int_range 0 500))
+    (fun (chunk_size, length) ->
+      let ranges = C.ranges_of_size ~chunk_size ~length in
+      let pos = ref 0 in
+      Array.iteri
+        (fun i (s, e) ->
+          assert (s = !pos && e > s);
+          (* Every chunk but the last is exactly chunk_size wide. *)
+          assert (e - s = chunk_size || i = Array.length ranges - 1);
+          pos := e)
+        ranges;
+      !pos = length)
+
+let test_chunk_validation () =
+  Alcotest.check_raises "chunks = 0" (Invalid_argument "Chunk.ranges: chunks must be >= 1")
+    (fun () -> ignore (C.ranges ~chunks:0 ~length:5));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Chunk.ranges_of_size: length must be >= 0") (fun () ->
+      ignore (C.ranges_of_size ~chunk_size:4 ~length:(-1)))
+
+(* --- Pool --- *)
+
+let test_pool_runs_every_task_once () =
+  P.with_pool ~jobs:4 (fun pool ->
+      (* Reuse the pool across many submissions: workers must pick up each
+         new job exactly once. *)
+      for _ = 1 to 25 do
+        let hits = Array.make 97 0 in
+        P.run pool ~total:97 (fun i -> hits.(i) <- hits.(i) + 1);
+        Alcotest.(check bool) "each task ran once" true (Array.for_all (( = ) 1) hits)
+      done)
+
+let test_pool_sequential_capacity () =
+  P.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "capacity" 1 (P.jobs pool);
+      let sum = ref 0 in
+      (* jobs = 1 spawns no domains; the caller drains alone, so unguarded
+         mutation is safe here. *)
+      P.run pool ~total:100 (fun i -> sum := !sum + i);
+      Alcotest.(check int) "sum" 4950 !sum)
+
+let test_pool_exception_propagates () =
+  P.with_pool ~jobs:4 (fun pool ->
+      let ran = Atomic.make 0 in
+      Alcotest.check_raises "worker exception reaches caller" (Failure "task 13")
+        (fun () ->
+          P.run pool ~total:64 (fun i ->
+              ignore (Atomic.fetch_and_add ran 1);
+              if i = 13 then failwith "task 13"));
+      (* A failing task does not cancel the rest of the job. *)
+      Alcotest.(check int) "all tasks still ran" 64 (Atomic.get ran);
+      (* The pool survives a failed job. *)
+      P.run pool ~total:8 (fun _ -> ());
+      ())
+
+let test_pool_shutdown () =
+  let pool = P.create ~jobs:3 in
+  P.run pool ~total:10 (fun _ -> ());
+  P.shutdown pool;
+  P.shutdown pool;
+  Alcotest.check_raises "run after shutdown" (Invalid_argument "Pool.run: pool is shut down")
+    (fun () -> P.run pool ~total:1 (fun _ -> ()))
+
+let test_pool_validation () =
+  Alcotest.check_raises "jobs = 0" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (P.create ~jobs:0))
+
+(* --- Map --- *)
+
+let prop_map_matches_array_map =
+  QCheck.Test.make ~name:"parallel map equals Array.map for arbitrary jobs" ~count:100
+    QCheck.(pair (int_range 1 8) (list int))
+    (fun (jobs, xs) ->
+      let a = Array.of_list xs in
+      let f x = (x * 31) + 7 in
+      PM.map ~jobs f a = Array.map f a)
+
+let prop_mapi_matches_array_mapi =
+  QCheck.Test.make ~name:"parallel mapi equals Array.mapi for arbitrary jobs" ~count:100
+    QCheck.(pair (int_range 1 8) (list small_int))
+    (fun (jobs, xs) ->
+      let a = Array.of_list xs in
+      let f i x = (i * 1009) lxor x in
+      PM.mapi ~jobs f a = Array.mapi f a)
+
+let prop_map_reduce_bit_identical_across_jobs =
+  QCheck.Test.make ~name:"float map_reduce is bit-identical for every jobs" ~count:50
+    QCheck.(pair (int_range 2 8) (list_of_size (Gen.int_range 0 400) (float_range (-1e6) 1e6)))
+    (fun (jobs, xs) ->
+      let a = Array.of_list xs in
+      let reduce j =
+        PM.map_reduce ~jobs:j ~chunk_size:64 ~map:sqrt ~combine:( +. ) ~init:0.0
+          (Array.map Float.abs a)
+      in
+      Int64.bits_of_float (reduce 1) = Int64.bits_of_float (reduce jobs))
+
+let test_map_empty () =
+  Alcotest.(check int) "empty in, empty out" 0 (Array.length (PM.map ~jobs:4 succ [||]))
+
+let test_map_exception_propagates () =
+  Alcotest.check_raises "map surfaces worker exception" (Failure "boom") (fun () ->
+      ignore (PM.map ~jobs:4 (fun x -> if x = 512 then failwith "boom" else x)
+                (Array.init 1024 Fun.id)))
+
+let test_map_reduce_empty_is_init () =
+  bits_equal "init" 42.5 (PM.map_reduce ~jobs:4 ~map:Fun.id ~combine:( +. ) ~init:42.5 [||])
+
+let test_map_reduce_int_sum () =
+  let a = Array.init 10_000 Fun.id in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check int)
+        (Printf.sprintf "sum at jobs=%d" jobs)
+        (10_000 * 9_999 / 2)
+        (PM.map_reduce ~jobs ~map:Fun.id ~combine:( + ) ~init:0 a))
+    [ 1; 2; 4; 7 ]
+
+let test_jobs_validation () =
+  Alcotest.check_raises "jobs = 0" (Invalid_argument "Parallel.Map: jobs must be >= 1")
+    (fun () -> ignore (PM.map ~jobs:0 succ [| 1; 2; 3 |]))
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (PM.default_jobs () >= 1)
+
+(* --- Experiment integration: the reproducibility guarantee --- *)
+
+let dataset =
+  Data.Generate.generate Data.Generate.Normal_family ~bits:12 ~count:20_000 ~seed:5L
+
+let sample = Workload.Experiment.sample_of dataset ~seed:7L ~n:500
+let queries = Workload.Generate.size_separated dataset ~seed:9L ~fraction:0.02 ~count:200
+
+let test_mre_bit_identical_across_jobs () =
+  List.iter
+    (fun spec ->
+      let mre jobs = Workload.Experiment.mre_of_spec ~jobs dataset ~sample ~queries spec in
+      let m1 = mre 1 in
+      bits_equal (Selest.Estimator.spec_name spec ^ " jobs 1 = 4") m1 (mre 4);
+      bits_equal (Selest.Estimator.spec_name spec ^ " jobs 1 = 3") m1 (mre 3))
+    [
+      Selest.Estimator.Sampling;
+      Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins 40);
+      Selest.Estimator.kernel_defaults;
+      Selest.Estimator.hybrid_defaults;
+    ]
+
+let test_summary_matches_sequential_evaluate () =
+  (* The parallel path must reproduce Metrics.evaluate exactly, field by
+     field, because it reduces the same per-query pairs in the same order. *)
+  let spec = Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins 20) in
+  let seq =
+    Workload.Metrics.evaluate dataset
+      (Workload.Experiment.estimate_fn_of_spec dataset ~sample spec)
+      queries
+  in
+  let par = Workload.Experiment.summary_of_spec ~jobs:4 dataset ~sample ~queries spec in
+  bits_equal "mre" seq.Workload.Metrics.mre par.Workload.Metrics.mre;
+  bits_equal "mae" seq.Workload.Metrics.mae par.Workload.Metrics.mae;
+  bits_equal "mean_signed" seq.Workload.Metrics.mean_signed par.Workload.Metrics.mean_signed;
+  bits_equal "max_relative" seq.Workload.Metrics.max_relative par.Workload.Metrics.max_relative;
+  Alcotest.(check int) "evaluated" seq.Workload.Metrics.evaluated par.Workload.Metrics.evaluated
+
+let test_compare_specs_parallel_matches () =
+  let specs = Selest.Estimator.default_suite in
+  let seq = Workload.Experiment.compare_specs ~jobs:1 dataset ~sample ~queries specs in
+  let par = Workload.Experiment.compare_specs ~jobs:4 dataset ~sample ~queries specs in
+  Alcotest.(check (list string)) "labels in spec order" (List.map fst seq) (List.map fst par);
+  List.iter2
+    (fun (label, (s : Workload.Metrics.summary)) (_, (p : Workload.Metrics.summary)) ->
+      bits_equal label s.Workload.Metrics.mre p.Workload.Metrics.mre)
+    seq par
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "chunk",
+        [
+          QCheck_alcotest.to_alcotest prop_ranges_cover;
+          QCheck_alcotest.to_alcotest prop_ranges_of_size_fixed;
+          Alcotest.test_case "validation" `Quick test_chunk_validation;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "every task runs once" `Quick test_pool_runs_every_task_once;
+          Alcotest.test_case "sequential capacity" `Quick test_pool_sequential_capacity;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "validation" `Quick test_pool_validation;
+        ] );
+      ( "map",
+        [
+          QCheck_alcotest.to_alcotest prop_map_matches_array_map;
+          QCheck_alcotest.to_alcotest prop_mapi_matches_array_mapi;
+          QCheck_alcotest.to_alcotest prop_map_reduce_bit_identical_across_jobs;
+          Alcotest.test_case "empty array" `Quick test_map_empty;
+          Alcotest.test_case "exception propagation" `Quick test_map_exception_propagates;
+          Alcotest.test_case "map_reduce empty = init" `Quick test_map_reduce_empty_is_init;
+          Alcotest.test_case "map_reduce int sum" `Quick test_map_reduce_int_sum;
+          Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+          Alcotest.test_case "default_jobs" `Quick test_default_jobs_positive;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "mre bit-identical across jobs" `Quick
+            test_mre_bit_identical_across_jobs;
+          Alcotest.test_case "parallel summary = sequential evaluate" `Quick
+            test_summary_matches_sequential_evaluate;
+          Alcotest.test_case "compare_specs parallel" `Quick test_compare_specs_parallel_matches;
+        ] );
+    ]
