@@ -6,14 +6,19 @@
      dune exec bench/main.exe -- list    lists targets
      dune exec bench/main.exe -- fig4 fig12   runs a subset
      dune exec bench/main.exe -- --jobs 4 fig8   parallel evaluation
+     dune exec bench/main.exe -- --telemetry BENCH_telemetry.json fig12
 
    Seeds are fixed so every run reproduces the same numbers — for every
    --jobs value: queries are evaluated in parallel but reduced in query
-   order.  EXPERIMENTS.md records the measured values against the paper's.
+   order, and with or without --telemetry.  EXPERIMENTS.md records the
+   measured values against the paper's.
 
    Besides stdout, every run serializes its measured MREs and timings to
    BENCH_results.json (schema: target -> { wall_s, build_s, queries_per_s,
-   mre_by_spec }) so perf and accuracy can be diffed across commits. *)
+   mre_by_spec }) so perf and accuracy can be diffed across commits.
+   --telemetry FILE additionally enables the telemetry subsystem and dumps
+   build-phase timings, query-latency histograms, pool counters, and the
+   span trace as JSON (schema: docs/TELEMETRY.md). *)
 
 module Est = Selest.Estimator
 module E = Workload.Experiment
@@ -27,6 +32,11 @@ let query_seed = 9L
 
 (* Parallelism degree for query evaluation, set from --jobs in main. *)
 let jobs = ref (Parallel.Map.default_jobs ())
+
+(* Telemetry output file, set from --telemetry in main.  Enabling
+   telemetry times build phases, query latencies, and pool activity; MREs
+   are unaffected (guarded by test_telemetry).  Schema: docs/TELEMETRY.md. *)
+let telemetry_path : string option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results: BENCH_results.json                        *)
@@ -809,13 +819,18 @@ let run_target (name, run) =
   Printf.printf "(%.1fs)\n%!" wall
 
 let usage () =
-  prerr_endline "usage: dune exec bench/main.exe -- [--jobs N] [list | <target>...]";
+  prerr_endline
+    "usage: dune exec bench/main.exe -- [--jobs N] [--telemetry FILE] [list | <target>...]";
   prerr_endline "       (targets: dune exec bench/main.exe -- list)";
+  prerr_endline "       --telemetry FILE  record build/query/pool telemetry to FILE (JSON)";
   exit 1
 
-(* Strip --jobs N / --jobs=N / -j N out of argv; everything else is a
-   target name. *)
+(* Strip --jobs N / --jobs=N / -j N / --telemetry FILE / --telemetry=FILE
+   out of argv; everything else is a target name. *)
 let parse_args argv =
+  let starts_with prefix s =
+    String.length s > String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  in
   let rec go acc = function
     | [] -> List.rev acc
     | ("--jobs" | "-j") :: n :: rest -> (
@@ -824,26 +839,42 @@ let parse_args argv =
         jobs := j;
         go acc rest
       | _ -> usage ())
-    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+    | arg :: rest when starts_with "--jobs=" arg -> (
       match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
       | Some j when j >= 1 ->
         jobs := j;
         go acc rest
       | _ -> usage ())
+    | "--telemetry" :: path :: rest when path <> "" ->
+      telemetry_path := Some path;
+      go acc rest
+    | arg :: rest when starts_with "--telemetry=" arg ->
+      telemetry_path := Some (String.sub arg 12 (String.length arg - 12));
+      go acc rest
     | ("--help" | "-h") :: _ -> usage ()
     | arg :: rest -> go (arg :: acc) rest
   in
   go [] (List.tl (Array.to_list argv))
 
+let write_telemetry () =
+  match !telemetry_path with
+  | None -> ()
+  | Some path ->
+    Telemetry.Export.write_file ~path Telemetry.Export.Json;
+    Printf.printf "telemetry: %s\n" path
+
 let () =
-  match parse_args Sys.argv with
+  let args = parse_args Sys.argv in
+  if !telemetry_path <> None then Telemetry.Control.enable ();
+  match args with
   | [ "list" ] -> List.iter (fun (name, _) -> print_endline name) targets
   | [] ->
     let t0 = Unix.gettimeofday () in
     List.iter run_target targets;
     Printf.printf "\ntotal: %.1fs (jobs: %d)\n" (Unix.gettimeofday () -. t0) !jobs;
     Record.write results_path;
-    Printf.printf "results: %s\n" results_path
+    Printf.printf "results: %s\n" results_path;
+    write_telemetry ()
   | names ->
     let selected =
       List.map
@@ -857,4 +888,5 @@ let () =
     in
     List.iter run_target selected;
     Record.write results_path;
-    Printf.printf "results: %s\n" results_path
+    Printf.printf "results: %s\n" results_path;
+    write_telemetry ()

@@ -6,7 +6,13 @@
      estimate    answer one range query with a chosen estimator vs the truth
      compare     MRE of several estimators on a size-separated query file
      sweep       MRE of the equi-width histogram across bin counts
-     bandwidths  show the smoothing parameters the rules pick for a sample *)
+     bandwidths  show the smoothing parameters the rules pick for a sample
+     analyze     per-position error profile of an estimator (Figures 3/10)
+     lookup      query-latency micro-benchmark for one estimator
+     join        equi-join size estimate from per-relation samples
+
+   The global --stats flag (any subcommand) enables telemetry and prints
+   the recorded counters, histograms, and spans when the command exits. *)
 
 module Est = Selest.Estimator
 module E = Workload.Experiment
@@ -317,12 +323,40 @@ let join_cmd =
 
 (* --- main --- *)
 
+(* --stats is a global flag, usable with any subcommand: enable telemetry
+   before the subcommand runs, print the text report after it finishes.
+   It is handled by a pre-scan of argv rather than a cmdliner term because
+   telemetry must be switched on before any estimator work starts, and
+   cmdliner only hands us parsed arguments once it invokes the subcommand
+   body. *)
+let strip_stats argv =
+  let with_stats = Array.exists (String.equal "--stats") argv in
+  if not with_stats then (false, argv)
+  else (true, Array.of_list (List.filter (fun a -> a <> "--stats") (Array.to_list argv)))
+
 let () =
+  let stats, argv = strip_stats Sys.argv in
+  if stats then Telemetry.Control.enable ();
   let doc = "Selectivity estimators for range queries on metric attributes." in
-  let info = Cmd.info "selest" ~version:"1.0.0" ~doc in
+  let man =
+    [
+      `S Manpage.s_common_options;
+      `P
+        "$(b,--stats) (any subcommand): enable the telemetry subsystem for \
+         the duration of the command and print a report of build-phase \
+         timings, query latencies, and recorded spans to stderr when it \
+         finishes.  Estimates are unaffected.  Metric names are documented \
+         in docs/TELEMETRY.md.";
+    ]
+  in
+  let info = Cmd.info "selest" ~version:"1.0.0" ~doc ~man in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
-  exit
-    (Cmd.eval
+  let finish code =
+    if stats then prerr_string (Telemetry.Export.to_text ());
+    exit code
+  in
+  finish
+    (Cmd.eval ~argv
        (Cmd.group ~default info
           [
             datasets_cmd;

@@ -72,6 +72,35 @@ let spec_name = function
   | V_optimal { bins } -> Printf.sprintf "VOH(%d)" bins
   | Wavelet_spec { coefficients } -> Printf.sprintf "Wave(%d)" coefficients
 
+(* --- telemetry (metric names documented in docs/TELEMETRY.md) --- *)
+
+let m_builds =
+  Telemetry.Metrics.counter "selest_build_total" ~help:"Estimator.build invocations"
+
+let m_selectivity =
+  Telemetry.Metrics.histogram "selest_selectivity_seconds"
+    ~help:"Latency of Estimator.selectivity calls"
+
+let build_hist spec_v =
+  Telemetry.Metrics.histogram "selest_build_seconds"
+    ~labels:[ ("spec", spec_name spec_v) ]
+    ~help:"End-to-end Estimator.build latency per spec"
+
+(* One phase of a build: a span (nested under "build") plus a per-spec,
+   per-phase latency histogram.  The phases wrapped in [build] partition
+   each build branch, so for every spec the phase sums add up to the total
+   recorded in selest_build_seconds (and to the harness's build_s) up to
+   closure-setup noise. *)
+let phase spec_v name f =
+  if not (Telemetry.Control.is_enabled ()) then f ()
+  else
+    Telemetry.Span.with_span
+      ~hist:
+        (Telemetry.Metrics.histogram "selest_build_phase_seconds"
+           ~labels:[ ("phase", name); ("spec", spec_name spec_v) ]
+           ~help:"Estimator.build time per build phase and spec")
+      ("build." ^ name) f
+
 (* --- compact spec syntax (CLI) --- *)
 
 let split_options s =
@@ -195,7 +224,17 @@ type t = {
 
 let name t = spec_name t.spec
 let spec t = t.spec
-let selectivity t ~a ~b = t.selectivity ~a ~b
+
+(* The per-call flag check keeps the disabled path allocation-free: one
+   atomic load, then straight into the fitted closure. *)
+let selectivity t ~a ~b =
+  if not (Telemetry.Control.is_enabled ()) then t.selectivity ~a ~b
+  else begin
+    let t0 = Telemetry.Control.now_ns () in
+    let s = t.selectivity ~a ~b in
+    Telemetry.Metrics.observe_ns m_selectivity (Telemetry.Control.now_ns () - t0);
+    s
+  end
 let density t x = Option.map (fun f -> f x) t.density
 
 let estimate_count t ~n_records ~a ~b = float_of_int n_records *. t.selectivity ~a ~b
@@ -231,52 +270,65 @@ let sampling_estimator samples =
       float_of_int c /. n
     end
 
-let build spec_v ~domain samples =
-  if Array.length samples = 0 then invalid_arg "Estimator.build: empty sample";
+(* Build phases (telemetry): "bandwidth" covers smoothing-parameter
+   selection (bandwidth and bin-count rules alike), "sort" the
+   sorted-sample index construction, "bins" the bin/coefficient structure
+   construction.  The hybrid estimator's internal sub-phases (including
+   bin merging) are recorded separately by Hybrid.Partitioned under
+   selest_hybrid_phase_seconds. *)
+let build_estimator spec_v ~domain samples =
   let lo, hi = domain in
-  if lo >= hi then invalid_arg "Estimator.build: empty domain";
   match spec_v with
   | Sampling ->
-    { spec = spec_v; selectivity = sampling_estimator samples; density = None }
+    let sel = phase spec_v "sort" (fun () -> sampling_estimator samples) in
+    { spec = spec_v; selectivity = sel; density = None }
   | Uniform_assumption ->
-    let h = Histograms.Builders.uniform ~domain samples in
+    let h = phase spec_v "bins" (fun () -> Histograms.Builders.uniform ~domain samples) in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
     }
   | Equi_width rule ->
-    let bins = resolve_bins rule ~domain samples in
-    let h = Histograms.Builders.equi_width ~domain ~bins samples in
+    let bins = phase spec_v "bandwidth" (fun () -> resolve_bins rule ~domain samples) in
+    let h =
+      phase spec_v "bins" (fun () -> Histograms.Builders.equi_width ~domain ~bins samples)
+    in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
     }
   | Equi_depth { bins } ->
-    let h = Histograms.Builders.equi_depth ~domain ~bins samples in
+    let h =
+      phase spec_v "bins" (fun () -> Histograms.Builders.equi_depth ~domain ~bins samples)
+    in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
     }
   | Max_diff { bins } ->
-    let h = Histograms.Builders.max_diff ~domain ~bins samples in
+    let h =
+      phase spec_v "bins" (fun () -> Histograms.Builders.max_diff ~domain ~bins samples)
+    in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
     }
   | Ash { bins; shifts } ->
-    let bins = resolve_bins bins ~domain samples in
-    let ash = Histograms.Ash.build ~domain ~bins ~shifts samples in
+    let bins = phase spec_v "bandwidth" (fun () -> resolve_bins bins ~domain samples) in
+    let ash =
+      phase spec_v "bins" (fun () -> Histograms.Ash.build ~domain ~bins ~shifts samples)
+    in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Ash.selectivity ash ~a ~b);
       density = Some (Histograms.Ash.density ash);
     }
   | Kernel { kernel; boundary; bandwidth } ->
-    let h = resolve_bandwidth bandwidth ~kernel samples in
+    let h = phase spec_v "bandwidth" (fun () -> resolve_bandwidth bandwidth ~kernel samples) in
     (* Boundary kernels require 2h <= domain width; oversmoothed bandwidths
        on tiny domains are clamped rather than rejected. *)
     let h =
@@ -284,7 +336,9 @@ let build spec_v ~domain samples =
       | Kde.Estimator.Boundary_kernels -> Float.min h (0.499 *. (hi -. lo))
       | Kde.Estimator.No_treatment | Kde.Estimator.Reflection -> h
     in
-    let est = Kde.Estimator.create ~kernel ~boundary ~domain ~h samples in
+    let est =
+      phase spec_v "sort" (fun () -> Kde.Estimator.create ~kernel ~boundary ~domain ~h samples)
+    in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Kde.Estimator.selectivity est ~a ~b);
@@ -306,22 +360,24 @@ let build spec_v ~domain samples =
           { Hybrid.Change_point.default_config with max_change_points };
       }
     in
-    let est = Hybrid.Partitioned.build ~config ~domain samples in
+    let est = phase spec_v "bins" (fun () -> Hybrid.Partitioned.build ~config ~domain samples) in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Hybrid.Partitioned.selectivity est ~a ~b);
       density = Some (Hybrid.Partitioned.density est);
     }
   | Frequency_polygon rule ->
-    let bins = resolve_bins rule ~domain samples in
-    let fp = Histograms.Frequency_polygon.build ~domain ~bins samples in
+    let bins = phase spec_v "bandwidth" (fun () -> resolve_bins rule ~domain samples) in
+    let fp =
+      phase spec_v "bins" (fun () -> Histograms.Frequency_polygon.build ~domain ~bins samples)
+    in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Frequency_polygon.selectivity fp ~a ~b);
       density = Some (Histograms.Frequency_polygon.density fp);
     }
   | V_optimal { bins } ->
-    let h = Histograms.V_optimal.build ~domain ~bins samples in
+    let h = phase spec_v "bins" (fun () -> Histograms.V_optimal.build ~domain ~bins samples) in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
@@ -329,12 +385,25 @@ let build spec_v ~domain samples =
     }
   | Wavelet_spec { coefficients } ->
     if coefficients < 1 then invalid_arg "Estimator.build: coefficients must be >= 1";
-    let h = Histograms.Wavelet.build ~domain ~coefficients samples in
+    let h =
+      phase spec_v "bins" (fun () -> Histograms.Wavelet.build ~domain ~coefficients samples)
+    in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
     }
+
+let build spec_v ~domain samples =
+  if Array.length samples = 0 then invalid_arg "Estimator.build: empty sample";
+  let lo, hi = domain in
+  if lo >= hi then invalid_arg "Estimator.build: empty domain";
+  if not (Telemetry.Control.is_enabled ()) then build_estimator spec_v ~domain samples
+  else begin
+    Telemetry.Metrics.incr m_builds;
+    Telemetry.Span.with_span ~hist:(build_hist spec_v) "build" (fun () ->
+        build_estimator spec_v ~domain samples)
+  end
 
 let default_suite =
   [

@@ -84,15 +84,22 @@ type t
 
 val build : spec -> domain:float * float -> float array -> t
 (** [build spec ~domain samples] constructs the estimator from a sample of
-    the relation.  @raise Invalid_argument on an empty sample, an empty
-    domain, or spec parameters out of range (bins or shifts < 1, bandwidth
-    <= 0). *)
+    the relation.  When telemetry is enabled the build records a ["build"]
+    span with per-phase timings ([selest_build_phase_seconds]; see
+    [docs/TELEMETRY.md]); the constructed estimator is identical either
+    way.  @raise Invalid_argument on an empty sample, an empty domain, or
+    spec parameters out of range (bins or shifts < 1, bandwidth <= 0). *)
 
 val name : t -> string
+(** {!spec_name} of the spec this estimator was built from. *)
+
 val spec : t -> spec
+(** The spec this estimator was built from. *)
 
 val selectivity : t -> a:float -> b:float -> float
-(** Estimated distribution selectivity of [Q(a,b)], in [[0, 1]]. *)
+(** Estimated distribution selectivity of [Q(a,b)], in [[0, 1]].  Feeds
+    the [selest_selectivity_seconds] latency histogram when telemetry is
+    enabled; the returned value is unaffected. *)
 
 val estimate_count : t -> n_records:int -> a:float -> b:float -> float
 (** [selectivity] scaled by the relation size: the estimated query result

@@ -26,7 +26,10 @@ val of_sample :
     {!Estimator.kernel_defaults}) and reduce it. *)
 
 val cells : t -> int
+(** Grid resolution of this summary. *)
+
 val domain : t -> float * float
+(** Estimation domain the cells partition. *)
 
 val selectivity : t -> a:float -> b:float -> float
 (** Piecewise-constant range selectivity, clamped to [[0, 1]]. *)

@@ -100,14 +100,31 @@ let build_bin ~config ~lo ~hi ~weight bin_samples =
     end
   end
 
+(* Internal build sub-phases.  Recorded under the dedicated metric
+   selest_hybrid_phase_seconds rather than selest_build_phase_seconds so
+   that the core build phases remain a partition of build time (the whole
+   hybrid build is already one "bins" phase there). *)
+let hybrid_phase name f =
+  if not (Telemetry.Control.is_enabled ()) then f ()
+  else
+    Telemetry.Span.with_span
+      ~hist:
+        (Telemetry.Metrics.histogram "selest_hybrid_phase_seconds"
+           ~labels:[ ("phase", name) ]
+           ~help:"Hybrid.Partitioned.build time per internal phase")
+      ("hybrid." ^ name) f
+
 let build ?(config = default_config) ~domain:(lo, hi) samples =
   if lo >= hi then invalid_arg "Hybrid.build: empty domain";
   let n = Array.length samples in
   if n = 0 then invalid_arg "Hybrid.build: empty sample";
-  let points = Change_point.detect ~config:config.change_points ~domain:(lo, hi) samples in
+  let points =
+    hybrid_phase "change_points" (fun () ->
+        Change_point.detect ~config:config.change_points ~domain:(lo, hi) samples)
+  in
   let edges = Array.of_list (lo :: points @ [ hi ]) in
   let sorted = Array.copy samples in
-  Array.sort Float.compare sorted;
+  hybrid_phase "sort" (fun () -> Array.sort Float.compare sorted);
   let count_between a b =
     Stats.Array_util.float_upper_bound sorted b - Stats.Array_util.float_lower_bound sorted a
   in
@@ -121,20 +138,25 @@ let build ?(config = default_config) ~domain:(lo, hi) samples =
           Stats.Array_util.float_upper_bound sorted b
           - Stats.Array_util.float_upper_bound sorted a)
   in
-  let edges, _counts = merge_small_bins ~min_count:config.min_bin_count edges counts in
+  let edges, _counts =
+    hybrid_phase "merge" (fun () ->
+        merge_small_bins ~min_count:config.min_bin_count edges counts)
+  in
   let k = Array.length edges - 1 in
   let bins =
-    Array.init k (fun i ->
-        let a = edges.(i) and b = edges.(i + 1) in
-        let i0 =
-          if i = 0 then Stats.Array_util.float_lower_bound sorted a
-          else Stats.Array_util.float_upper_bound sorted a
-        in
-        let i1 = Stats.Array_util.float_upper_bound sorted b in
-        let bin_samples = Array.sub sorted i0 (Int.max 0 (i1 - i0)) in
-        let weight = float_of_int (Array.length bin_samples) /. float_of_int n in
-        if Array.length bin_samples = 0 then { lo = a; hi = b; weight; est = Uniform_bin }
-        else build_bin ~config ~lo:a ~hi:b ~weight bin_samples)
+    hybrid_phase "bandwidth" (fun () ->
+        Array.init k (fun i ->
+            let a = edges.(i) and b = edges.(i + 1) in
+            let i0 =
+              if i = 0 then Stats.Array_util.float_lower_bound sorted a
+              else Stats.Array_util.float_upper_bound sorted a
+            in
+            let i1 = Stats.Array_util.float_upper_bound sorted b in
+            let bin_samples = Array.sub sorted i0 (Int.max 0 (i1 - i0)) in
+            let weight = float_of_int (Array.length bin_samples) /. float_of_int n in
+            if Array.length bin_samples = 0 then
+              { lo = a; hi = b; weight; est = Uniform_bin }
+            else build_bin ~config ~lo:a ~hi:b ~weight bin_samples))
   in
   { bins; edges }
 

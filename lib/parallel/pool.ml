@@ -1,3 +1,31 @@
+(* Telemetry (names in docs/TELEMETRY.md): every task claim counts toward
+   the claiming worker slot, tasks landing on a spawned worker domain count
+   as steals (the caller submitted them, another domain ran them), and
+   workers accumulate the nanoseconds they spend parked between jobs.  All
+   of it is atomic-increment-only and gated on the global telemetry flag,
+   so the disabled-path cost per task is one atomic load. *)
+let m_runs =
+  Telemetry.Metrics.counter "parallel_pool_runs_total" ~help:"Pool.run invocations"
+
+let m_tasks =
+  Telemetry.Metrics.counter "parallel_pool_tasks_total"
+    ~help:"Tasks executed, across all pools and domains"
+
+let m_steals =
+  Telemetry.Metrics.counter "parallel_pool_steals_total"
+    ~help:"Tasks executed by a spawned worker domain rather than the submitting caller"
+
+let m_idle_ns =
+  Telemetry.Metrics.counter "parallel_pool_idle_ns_total"
+    ~help:"Nanoseconds worker domains spent parked waiting for a job"
+
+let m_jobs = Telemetry.Metrics.gauge "parallel_pool_jobs" ~help:"Capacity of the last pool created"
+
+let slot_counter slot =
+  Telemetry.Metrics.counter "parallel_pool_worker_tasks_total"
+    ~labels:[ ("worker", string_of_int slot) ]
+    ~help:"Tasks executed by each worker slot (0 = the submitting caller)"
+
 type job = {
   f : int -> unit;
   next : int Atomic.t;  (* next task index to claim *)
@@ -15,19 +43,26 @@ type t = {
   mutable failure : (exn * Printexc.raw_backtrace) option;
   mutable stopped : bool;
   mutable domains : unit Domain.t array;
+  task_counters : Telemetry.Metrics.counter array;  (* per slot; slot 0 = caller *)
 }
 
 let jobs t = t.size + 1
 
 (* Claim and execute tasks until the job's counter is exhausted.  A task
    that raises still counts as completed: [run] must not return while any
-   [f i] is in flight, and the exception is surfaced there instead. *)
-let drain t job =
+   [f i] is in flight, and the exception is surfaced there instead.
+   [slot] is the executing worker's index (0 = the caller of [run]). *)
+let drain t ~slot job =
   let continue_ = ref true in
   while !continue_ do
     let i = Atomic.fetch_and_add job.next 1 in
     if i >= job.total then continue_ := false
     else begin
+      if Telemetry.Control.is_enabled () then begin
+        Telemetry.Metrics.incr m_tasks;
+        Telemetry.Metrics.incr t.task_counters.(slot);
+        if slot > 0 then Telemetry.Metrics.incr m_steals
+      end;
       (try job.f i
        with e ->
          let bt = Printexc.get_raw_backtrace () in
@@ -44,7 +79,8 @@ let drain t job =
     end
   done
 
-let rec worker t last_epoch =
+let rec worker t ~slot last_epoch =
+  let idle_from = if Telemetry.Control.is_enabled () then Telemetry.Control.now_ns () else 0 in
   Mutex.lock t.mutex;
   (* Wait for a job this worker has not seen yet.  [t.job = None] covers the
      worker that slept through an entire job: the epoch moved on, but there
@@ -52,13 +88,15 @@ let rec worker t last_epoch =
   while (not t.stopped) && (t.epoch = last_epoch || t.job = None) do
     Condition.wait t.work_ready t.mutex
   done;
+  if idle_from > 0 then
+    Telemetry.Metrics.add m_idle_ns (Telemetry.Control.now_ns () - idle_from);
   if t.stopped then Mutex.unlock t.mutex
   else begin
     let epoch = t.epoch in
     let job = Option.get t.job in
     Mutex.unlock t.mutex;
-    drain t job;
-    worker t epoch
+    drain t ~slot job;
+    worker t ~slot epoch
   end
 
 let create ~jobs =
@@ -74,14 +112,19 @@ let create ~jobs =
       failure = None;
       stopped = false;
       domains = [||];
+      task_counters = Array.init jobs slot_counter;
     }
   in
-  t.domains <- Array.init t.size (fun _ -> Domain.spawn (fun () -> worker t 0));
+  Telemetry.Metrics.set m_jobs (float_of_int jobs);
+  t.domains <-
+    Array.init t.size (fun i -> Domain.spawn (fun () -> worker t ~slot:(i + 1) 0));
   t
 
 let run t ~total f =
   if total < 0 then invalid_arg "Pool.run: total must be >= 0";
   if total > 0 then begin
+    let span_from = Telemetry.Span.start_ns () in
+    Telemetry.Metrics.incr m_runs;
     let job = { f; next = Atomic.make 0; completed = Atomic.make 0; total } in
     Mutex.lock t.mutex;
     if t.stopped then begin
@@ -94,7 +137,7 @@ let run t ~total f =
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
     (* The caller is a worker too; with [size = 0] it does all the work. *)
-    drain t job;
+    drain t ~slot:0 job;
     Mutex.lock t.mutex;
     while Atomic.get job.completed < total do
       Condition.wait t.work_done t.mutex
@@ -103,6 +146,7 @@ let run t ~total f =
     t.job <- None;
     t.failure <- None;
     Mutex.unlock t.mutex;
+    Telemetry.Span.record ~start_ns:span_from "pool.run";
     match failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

@@ -12,7 +12,14 @@
     fixed output slot.  The pool is single-owner: calls to {!run} must not
     overlap.  Exceptions raised by tasks are caught in the worker, and the
     first one recorded is re-raised (with its backtrace) in the caller after
-    every task has finished. *)
+    every task has finished.
+
+    {b Telemetry.}  When {!Telemetry.Control.is_enabled}, the pool counts
+    submissions ([parallel_pool_runs_total]), executed tasks (total and per
+    worker slot), steals (tasks run by a spawned domain rather than the
+    caller), and worker idle nanoseconds, and records a ["pool.run"] span
+    per submission — all lock-free, without perturbing scheduling or
+    results.  Names and units: [docs/TELEMETRY.md]. *)
 
 type t
 (** A pool handle.  Obtain with {!create}, release with {!shutdown}. *)

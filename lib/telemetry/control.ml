@@ -1,0 +1,20 @@
+(* The whole subsystem hangs off this one flag: every record operation in
+   Metrics and Span loads it first and returns immediately when it is off,
+   so an uninstrumented-feeling zero-cost default is a single atomic read.
+   [Atomic] (not a plain ref) so that Parallel.Pool workers observe an
+   enable/disable from the main domain without a data race. *)
+let enabled = Atomic.make false
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+(* Wall clock in integer nanoseconds.  [Unix.gettimeofday] has microsecond
+   resolution, which is plenty for build phases and query batches; the
+   int64-nanosecond value fits a 63-bit OCaml int until the year 2262, and
+   being an immediate it never allocates — the property the disabled-path
+   guarantee relies on. *)
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+(* Process start, the zero point of every exported span timestamp. *)
+let epoch_ns = now_ns ()

@@ -1,0 +1,29 @@
+(** Global switch and clock for the telemetry subsystem.
+
+    Telemetry is off by default.  Every record operation ({!Metrics.incr},
+    {!Span.with_span}, ...) checks {!is_enabled} first and is a no-op —
+    one atomic load, zero allocation — while the subsystem is disabled, so
+    instrumented hot paths cost nothing measurable and produce bit-identical
+    results whether or not the flag has ever been flipped.
+
+    The flag is process-wide and safe to toggle from any domain; workers of
+    {!Parallel.Pool} observe it through an [Atomic]. *)
+
+val enable : unit -> unit
+(** Turn recording on, process-wide. *)
+
+val disable : unit -> unit
+(** Turn recording off.  Already-recorded data is kept (see
+    {!Metrics.reset} and {!Span.clear} to drop it). *)
+
+val is_enabled : unit -> bool
+(** Current state of the switch (one atomic load). *)
+
+val now_ns : unit -> int
+(** Wall-clock time in integer nanoseconds (microsecond resolution —
+    [Unix.gettimeofday] underneath).  An immediate value: calling this
+    never allocates. *)
+
+val epoch_ns : int
+(** [now_ns] captured at module initialization.  Span timestamps are
+    exported relative to this zero point. *)

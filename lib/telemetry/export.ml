@@ -1,0 +1,315 @@
+(* Renderers over Metrics.snapshot and Span.entries.  No JSON library is
+   available in the container, so the JSON writer is hand-rolled the same
+   way bench/main.ml writes BENCH_results.json; the schema is documented
+   in docs/TELEMETRY.md. *)
+
+type format = Json | Text | Prometheus
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_nan x || Float.abs x = Float.infinity then "null" else Printf.sprintf "%.9g" x
+
+let label_suffix labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+(* --- JSON --- *)
+
+let buf_json_labels b labels =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)))
+    labels;
+  Buffer.add_string b "}"
+
+let buf_json_sample_head b (s : Metrics.sample) =
+  Buffer.add_string b (Printf.sprintf "      \"name\": \"%s\",\n" (json_escape s.sample_name));
+  Buffer.add_string b "      \"labels\": ";
+  buf_json_labels b s.sample_labels;
+  Buffer.add_string b ",\n"
+
+let buf_json_list b ~indent items render =
+  if items = [] then Buffer.add_string b "[]"
+  else begin
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b indent;
+        render x)
+      items;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (String.sub indent 0 (String.length indent - 2));
+    Buffer.add_char b ']'
+  end
+
+let render_json () =
+  let samples = Metrics.snapshot () in
+  let spans = Span.entries () in
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (cs, gs, hs) (s : Metrics.sample) ->
+        match s.sample_value with
+        | Metrics.Counter_value _ -> (s :: cs, gs, hs)
+        | Metrics.Gauge_value _ -> (cs, s :: gs, hs)
+        | Metrics.Histogram_value _ -> (cs, gs, s :: hs))
+      ([], [], []) (List.rev samples)
+  in
+  let counters = List.rev counters and gauges = List.rev gauges and histograms = List.rev histograms in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"enabled\": %b,\n" (Control.is_enabled ()));
+  Buffer.add_string b "  \"counters\": ";
+  buf_json_list b ~indent:"    " counters (fun s ->
+      Buffer.add_string b "{\n";
+      buf_json_sample_head b s;
+      (match s.sample_value with
+      | Metrics.Counter_value v -> Buffer.add_string b (Printf.sprintf "      \"value\": %d\n" v)
+      | _ -> assert false);
+      Buffer.add_string b "    }");
+  Buffer.add_string b ",\n";
+  Buffer.add_string b "  \"gauges\": ";
+  buf_json_list b ~indent:"    " gauges (fun s ->
+      Buffer.add_string b "{\n";
+      buf_json_sample_head b s;
+      (match s.sample_value with
+      | Metrics.Gauge_value v ->
+        Buffer.add_string b (Printf.sprintf "      \"value\": %s\n" (json_float v))
+      | _ -> assert false);
+      Buffer.add_string b "    }");
+  Buffer.add_string b ",\n";
+  Buffer.add_string b "  \"histograms\": ";
+  buf_json_list b ~indent:"    " histograms (fun s ->
+      Buffer.add_string b "{\n";
+      buf_json_sample_head b s;
+      (match s.sample_value with
+      | Metrics.Histogram_value h ->
+        Buffer.add_string b (Printf.sprintf "      \"count\": %d,\n" h.Metrics.observations);
+        Buffer.add_string b
+          (Printf.sprintf "      \"sum_s\": %s,\n" (json_float h.Metrics.sum_s));
+        Buffer.add_string b
+          (Printf.sprintf "      \"mean_s\": %s,\n" (json_float (Metrics.mean_s h)));
+        Buffer.add_string b "      \"buckets\": [";
+        Array.iteri
+          (fun i (le, count) ->
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b
+              (Printf.sprintf "{\"le_s\": %s, \"count\": %d}" (json_float le) count))
+          h.Metrics.buckets;
+        Buffer.add_string b "]\n"
+      | _ -> assert false);
+      Buffer.add_string b "    }");
+  Buffer.add_string b ",\n";
+  Buffer.add_string b "  \"spans\": {\n";
+  Buffer.add_string b (Printf.sprintf "    \"dropped\": %d,\n" (Span.dropped ()));
+  Buffer.add_string b "    \"entries\": ";
+  buf_json_list b ~indent:"      " spans (fun (e : Span.entry) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"domain\": %d, \"depth\": %d, \"start_s\": %s, \"duration_s\": %s}"
+           (json_escape e.Span.name) e.Span.domain e.Span.depth
+           (json_float (float_of_int e.Span.start_ns *. 1e-9))
+           (json_float (float_of_int e.Span.duration_ns *. 1e-9))));
+  Buffer.add_string b "\n  }\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* The CLI's --stats and repeated bench exports want "what did the last
+   export see" without recomputing; to_json refreshes this cache. *)
+let last : string option ref = ref None
+
+let to_json () =
+  let s = render_json () in
+  last := Some s;
+  s
+
+let last_json () = !last
+
+(* --- text --- *)
+
+let si_time s =
+  if s >= 1.0 then Printf.sprintf "%.2fs" s
+  else if s >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else if s >= 1e-6 then Printf.sprintf "%.2fus" (s *. 1e6)
+  else Printf.sprintf "%.0fns" (s *. 1e9)
+
+let to_text () =
+  let samples = Metrics.snapshot () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "telemetry report (recording %s)\n"
+       (if Control.is_enabled () then "on" else "off"));
+  let section title = Buffer.add_string b (Printf.sprintf "\n%s:\n" title) in
+  let nonempty = function
+    | { Metrics.sample_value = Metrics.Counter_value 0; _ } -> false
+    | { Metrics.sample_value = Metrics.Histogram_value h; _ } -> h.Metrics.observations > 0
+    | _ -> true
+  in
+  let samples = List.filter nonempty samples in
+  let counters =
+    List.filter (fun s -> match s.Metrics.sample_value with Metrics.Counter_value _ -> true | _ -> false) samples
+  and gauges =
+    List.filter (fun s -> match s.Metrics.sample_value with Metrics.Gauge_value _ -> true | _ -> false) samples
+  and histograms =
+    List.filter
+      (fun s -> match s.Metrics.sample_value with Metrics.Histogram_value _ -> true | _ -> false)
+      samples
+  in
+  if counters <> [] then begin
+    section "counters";
+    List.iter
+      (fun (s : Metrics.sample) ->
+        match s.sample_value with
+        | Metrics.Counter_value v ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-56s %d\n" (s.sample_name ^ label_suffix s.sample_labels) v)
+        | _ -> ())
+      counters
+  end;
+  if gauges <> [] then begin
+    section "gauges";
+    List.iter
+      (fun (s : Metrics.sample) ->
+        match s.sample_value with
+        | Metrics.Gauge_value v ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-56s %g\n" (s.sample_name ^ label_suffix s.sample_labels) v)
+        | _ -> ())
+      gauges
+  end;
+  if histograms <> [] then begin
+    section "histograms (count / total / mean / ~p50 / ~p99)";
+    List.iter
+      (fun (s : Metrics.sample) ->
+        match s.sample_value with
+        | Metrics.Histogram_value h ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-56s %8d  %10s  %10s  %10s  %10s\n"
+               (s.sample_name ^ label_suffix s.sample_labels)
+               h.Metrics.observations (si_time h.Metrics.sum_s)
+               (si_time (Metrics.mean_s h))
+               (si_time (Metrics.quantile_s h 0.5))
+               (si_time (Metrics.quantile_s h 0.99)))
+        | _ -> ())
+      histograms
+  end;
+  let spans = Span.entries () in
+  if spans <> [] then begin
+    (* The trace can hold thousands of per-query spans; the text report is
+       for a human, so show the slowest few plus the drop count. *)
+    let top = 40 in
+    section (Printf.sprintf "slowest spans (top %d of %d, %d dropped)" top (List.length spans)
+               (Span.dropped ()));
+    let by_duration =
+      List.sort (fun (a : Span.entry) b -> compare b.duration_ns a.duration_ns) spans
+    in
+    List.iteri
+      (fun i (e : Span.entry) ->
+        if i < top then
+          Buffer.add_string b
+            (Printf.sprintf "  %-40s d%-3d depth%-2d start+%-10s %10s\n" e.Span.name
+               e.Span.domain e.Span.depth
+               (si_time (float_of_int e.Span.start_ns *. 1e-9))
+               (si_time (float_of_int e.Span.duration_ns *. 1e-9))))
+      by_duration
+  end;
+  Buffer.contents b
+
+(* --- Prometheus text format --- *)
+
+let prom_escape_label v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let prom_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape_label v)) labels)
+    ^ "}"
+
+(* Metric names may contain characters Prometheus forbids (none of ours
+   do, but user-registered ones might); normalize conservatively. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let to_prometheus () =
+  let samples = Metrics.snapshot () in
+  let b = Buffer.create 8192 in
+  let seen_header : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let header name kind help =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.replace seen_header name ();
+      if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = prom_name s.sample_name in
+      match s.sample_value with
+      | Metrics.Counter_value v ->
+        header name "counter" s.sample_help;
+        Buffer.add_string b (Printf.sprintf "%s%s %d\n" name (prom_labels s.sample_labels) v)
+      | Metrics.Gauge_value v ->
+        header name "gauge" s.sample_help;
+        Buffer.add_string b (Printf.sprintf "%s%s %g\n" name (prom_labels s.sample_labels) v)
+      | Metrics.Histogram_value h ->
+        header name "histogram" s.sample_help;
+        let cumulative = ref 0 in
+        Array.iter
+          (fun (le, count) ->
+            cumulative := !cumulative + count;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (prom_labels (s.sample_labels @ [ ("le", Printf.sprintf "%g" le) ]))
+                 !cumulative))
+          h.Metrics.buckets;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" name
+             (prom_labels (s.sample_labels @ [ ("le", "+Inf") ]))
+             h.Metrics.observations);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %.9g\n" name (prom_labels s.sample_labels) h.Metrics.sum_s);
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" name (prom_labels s.sample_labels)
+             h.Metrics.observations))
+    samples;
+  Buffer.contents b
+
+let render = function Json -> to_json () | Text -> to_text () | Prometheus -> to_prometheus ()
+
+let write_file ~path fmt =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render fmt))

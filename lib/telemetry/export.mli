@@ -1,0 +1,40 @@
+(** Renderers for the recorded telemetry: JSON, human-readable text, and
+    the Prometheus text exposition format.
+
+    All three render the same data — {!Metrics.snapshot} plus
+    {!Span.entries} (spans appear in the JSON and text forms only;
+    Prometheus has no span notion).  Rendering performs no locking beyond
+    the snapshot itself and can be called at any quiescent point, any
+    number of times.  The JSON schema ([schema_version 1]) is documented
+    field-by-field in [docs/TELEMETRY.md]; [BENCH_telemetry.json] written
+    by [bench/main.exe --telemetry] is exactly {!to_json} output. *)
+
+type format = Json | Text | Prometheus
+
+val to_json : unit -> string
+(** Full snapshot — counters, gauges, histograms (sparse log-scale
+    buckets), and the merged span trace — as one JSON document.  Also
+    refreshes the {!last_json} cache. *)
+
+val last_json : unit -> string option
+(** The most recent {!to_json} result, without re-rendering — the cheap
+    way to re-read what the last export saw (e.g. after a bench run has
+    already written its telemetry file). *)
+
+val to_text : unit -> string
+(** Human-readable report: non-zero counters, gauges, histogram summaries
+    (count, total, mean, approximate p50/p99), and the slowest recorded
+    spans.  This is what [selest_cli --stats] prints. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format: counters and gauges as single
+    samples, histograms as cumulative [_bucket{le="..."}] series plus
+    [_sum] / [_count].  Metric names are normalized to the Prometheus
+    charset. *)
+
+val render : format -> string
+(** Dispatch on {!format}. *)
+
+val write_file : path:string -> format -> unit
+(** Render and write to [path] (truncating).  @raise Sys_error as
+    [open_out] does. *)

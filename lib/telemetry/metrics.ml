@@ -1,0 +1,259 @@
+(* Process-wide named metrics with lock-free recording.
+
+   Every counter and histogram is split into [shard_count] shards; a record
+   operation picks the shard [domain_id mod shard_count] and does a plain
+   [Atomic.fetch_and_add] there.  Domains therefore never contend on a
+   cache line unless their ids collide modulo the shard count (pools are
+   far smaller than 16 workers in practice), and no mutex is ever taken on
+   the record path — the property that makes it safe to count from inside
+   Parallel.Pool workers.  Reads ([value], [snapshot]) merge the shards;
+   they are linearizable per shard, so a concurrent read sees some valid
+   intermediate total (reads are intended for quiescent points: after a
+   bench target, at CLI exit).
+
+   All hot-path state is integer atomics — float histogram sums are kept
+   in integer nanoseconds — so recording never allocates. *)
+
+let shard_count = 16
+
+type meta = {
+  name : string;
+  labels : (string * string) list;  (* sorted by key *)
+  help : string;
+}
+
+type counter = { c_meta : meta; c_shards : int Atomic.t array }
+type gauge = { g_meta : meta; g_value : float Atomic.t }
+
+(* Log-scale latency buckets: bucket [i] holds durations d with
+   [2^i <= d < 2^(i+1)] nanoseconds (bucket 0 also catches d < 2).
+   48 buckets reach 2^48 ns ~ 3.3 days, far beyond any build or query. *)
+let bucket_count = 48
+
+type histogram_shard = {
+  counts : int Atomic.t array;  (* bucket_count *)
+  sum_ns : int Atomic.t;
+  observations : int Atomic.t;
+}
+
+type histogram = { h_meta : meta; h_shards : histogram_shard array }
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+(* --- registry --- *)
+
+(* Creation is rare (module initialization, estimator builds); a single
+   mutex around the table is fine there.  Handles are idempotent: asking
+   for an existing (name, labels) returns the already-registered metric, so
+   instrumentation sites can re-derive handles freely. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let key name labels =
+  let b = Buffer.create 48 in
+  Buffer.add_string b name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b v)
+    labels;
+  Buffer.contents b
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_histogram _ -> "histogram"
+
+let register ~name ~labels ~help make match_existing =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let k = key name labels in
+  Mutex.lock registry_mutex;
+  let metric =
+    match Hashtbl.find_opt registry k with
+    | Some m -> m
+    | None ->
+      let m = make { name; labels; help } in
+      Hashtbl.replace registry k m;
+      m
+  in
+  Mutex.unlock registry_mutex;
+  match match_existing metric with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Telemetry.Metrics: %S is already registered as a %s" name
+         (kind_name metric))
+
+let counter ?(help = "") ?(labels = []) name =
+  register ~name ~labels ~help
+    (fun m -> M_counter { c_meta = m; c_shards = Array.init shard_count (fun _ -> Atomic.make 0) })
+    (function M_counter c -> Some c | _ -> None)
+
+let gauge ?(help = "") ?(labels = []) name =
+  register ~name ~labels ~help
+    (fun m -> M_gauge { g_meta = m; g_value = Atomic.make 0.0 })
+    (function M_gauge g -> Some g | _ -> None)
+
+let histogram ?(help = "") ?(labels = []) name =
+  register ~name ~labels ~help
+    (fun m ->
+      M_histogram
+        {
+          h_meta = m;
+          h_shards =
+            Array.init shard_count (fun _ ->
+                {
+                  counts = Array.init bucket_count (fun _ -> Atomic.make 0);
+                  sum_ns = Atomic.make 0;
+                  observations = Atomic.make 0;
+                });
+        })
+    (function M_histogram h -> Some h | _ -> None)
+
+(* --- recording --- *)
+
+let shard_index () = (Domain.self () :> int) land (shard_count - 1)
+
+let add c n =
+  if Control.is_enabled () then
+    ignore (Atomic.fetch_and_add c.c_shards.(shard_index ()) n)
+
+let incr c = add c 1
+
+let set g v = if Control.is_enabled () then Atomic.set g.g_value v
+
+(* floor(log2 ns) by bit scan; allocation-free. *)
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let i = ref (-1) in
+    let x = ref ns in
+    while !x > 0 do
+      i := !i + 1;
+      x := !x lsr 1
+    done;
+    if !i >= bucket_count then bucket_count - 1 else !i
+  end
+
+let observe_ns h ns =
+  if Control.is_enabled () then begin
+    let ns = if ns < 0 then 0 else ns in
+    let s = h.h_shards.(shard_index ()) in
+    ignore (Atomic.fetch_and_add s.counts.(bucket_of_ns ns) 1);
+    ignore (Atomic.fetch_and_add s.sum_ns ns);
+    ignore (Atomic.fetch_and_add s.observations 1)
+  end
+
+let observe_s h seconds = observe_ns h (int_of_float (seconds *. 1e9))
+
+(* --- reading --- *)
+
+let value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_shards
+let gauge_value g = Atomic.get g.g_value
+
+type histogram_summary = {
+  observations : int;
+  sum_s : float;
+  buckets : (float * int) array;
+}
+
+let bucket_upper_s i = Float.ldexp 1e-9 (i + 1)
+
+let histogram_summary h =
+  let merged = Array.make bucket_count 0 in
+  let sum_ns = ref 0 and obs = ref 0 in
+  Array.iter
+    (fun s ->
+      Array.iteri (fun i a -> merged.(i) <- merged.(i) + Atomic.get a) s.counts;
+      sum_ns := !sum_ns + Atomic.get s.sum_ns;
+      obs := !obs + Atomic.get s.observations)
+    h.h_shards;
+  let buckets = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if merged.(i) > 0 then buckets := (bucket_upper_s i, merged.(i)) :: !buckets
+  done;
+  { observations = !obs; sum_s = float_of_int !sum_ns *. 1e-9; buckets = Array.of_list !buckets }
+
+let mean_s s = if s.observations = 0 then 0.0 else s.sum_s /. float_of_int s.observations
+
+let quantile_s s q =
+  if s.observations = 0 then 0.0
+  else begin
+    let target = Float.of_int s.observations *. q in
+    let acc = ref 0 and result = ref 0.0 and found = ref false in
+    Array.iter
+      (fun (upper, count) ->
+        if not !found then begin
+          acc := !acc + count;
+          if float_of_int !acc >= target then begin
+            result := upper;
+            found := true
+          end
+        end)
+      s.buckets;
+    !result
+  end
+
+type metric_value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_summary
+
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;
+  sample_help : string;
+  sample_value : metric_value;
+}
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let metrics = Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  metrics
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (_, m) ->
+         match m with
+         | M_counter c ->
+           {
+             sample_name = c.c_meta.name;
+             sample_labels = c.c_meta.labels;
+             sample_help = c.c_meta.help;
+             sample_value = Counter_value (value c);
+           }
+         | M_gauge g ->
+           {
+             sample_name = g.g_meta.name;
+             sample_labels = g.g_meta.labels;
+             sample_help = g.g_meta.help;
+             sample_value = Gauge_value (gauge_value g);
+           }
+         | M_histogram h ->
+           {
+             sample_name = h.h_meta.name;
+             sample_labels = h.h_meta.labels;
+             sample_help = h.h_meta.help;
+             sample_value = Histogram_value (histogram_summary h);
+           })
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c -> Array.iter (fun a -> Atomic.set a 0) c.c_shards
+      | M_gauge g -> Atomic.set g.g_value 0.0
+      | M_histogram h ->
+        Array.iter
+          (fun s ->
+            Array.iter (fun a -> Atomic.set a 0) s.counts;
+            Atomic.set s.sum_ns 0;
+            Atomic.set s.observations 0)
+          h.h_shards)
+    registry;
+  Mutex.unlock registry_mutex

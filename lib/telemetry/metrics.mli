@@ -1,0 +1,102 @@
+(** Process-wide named counters, gauges, and log-scale latency histograms.
+
+    Metrics are identified by a name plus an optional label set (e.g.
+    [selest_build_phase_seconds{spec="EWH(NS)", phase="bins"}]); the full
+    inventory of names this repository records is documented in
+    [docs/TELEMETRY.md].  Registration is idempotent — asking for an
+    existing (name, labels) pair returns the same underlying metric — so
+    instrumentation sites may re-derive handles at will.
+
+    {b Concurrency.}  Every counter and histogram is split into 16 shards;
+    a record operation touches only the shard indexed by the calling
+    domain's id, with a single [Atomic.fetch_and_add] and no lock, which
+    makes recording safe (and contention-free) from inside
+    [Parallel.Pool] workers.  Reads merge the shards and are meant for
+    quiescent points (end of a bench target, CLI exit).
+
+    {b Cost.}  While {!Control.is_enabled} is false every record operation
+    is one atomic load and returns; nothing is written and nothing is
+    allocated.  Enabled, a record is a handful of integer atomics —
+    histogram sums are kept in integer nanoseconds precisely so that no
+    float ever needs to be boxed on the hot path. *)
+
+type counter
+(** A monotonically increasing integer (e.g. tasks executed). *)
+
+type gauge
+(** A last-writer-wins float (e.g. current pool capacity). *)
+
+type histogram
+(** A latency histogram over log-scale buckets: bucket [i] counts
+    durations in [[2{^i}, 2{^i+1})] nanoseconds, 48 buckets. *)
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+(** [counter name] registers (or retrieves) the counter [name] with the
+    given label set.  @raise Invalid_argument if [name] with these labels
+    is already registered as a different metric kind. *)
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+(** Like {!counter}, for gauges. *)
+
+val histogram : ?help:string -> ?labels:(string * string) list -> string -> histogram
+(** Like {!counter}, for histograms. *)
+
+val incr : counter -> unit
+(** Add one.  No-op while telemetry is disabled. *)
+
+val add : counter -> int -> unit
+(** Add an arbitrary increment.  No-op while telemetry is disabled. *)
+
+val set : gauge -> float -> unit
+(** Record the gauge's current value.  No-op while telemetry is disabled. *)
+
+val observe_ns : histogram -> int -> unit
+(** Record one duration in nanoseconds (negative values clamp to 0).
+    No-op while telemetry is disabled. *)
+
+val observe_s : histogram -> float -> unit
+(** {!observe_ns} taking seconds. *)
+
+val value : counter -> int
+(** Current total, merged across shards. *)
+
+val gauge_value : gauge -> float
+(** Last value {!set}, or [0.] if never set. *)
+
+type histogram_summary = {
+  observations : int;  (** number of recorded durations *)
+  sum_s : float;  (** total recorded time in seconds *)
+  buckets : (float * int) array;
+      (** non-empty buckets as [(upper_bound_seconds, count)], ascending *)
+}
+
+val histogram_summary : histogram -> histogram_summary
+(** Merge the histogram's shards into a summary. *)
+
+val mean_s : histogram_summary -> float
+(** [sum_s / observations] ([0.] when empty). *)
+
+val quantile_s : histogram_summary -> float -> float
+(** [quantile_s s q] approximates the [q]-quantile (e.g. [0.99]) by the
+    upper bound of the bucket where the cumulative count crosses it —
+    accurate to the bucket resolution (a factor of 2). *)
+
+type metric_value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_summary
+
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;  (** sorted by label key *)
+  sample_help : string;
+  sample_value : metric_value;
+}
+
+val snapshot : unit -> sample list
+(** Every registered metric with its merged current value, sorted by name
+    then labels — the input to {!Export}. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept).  Meant for
+    tests and for isolating successive runs inside one process. *)

@@ -1,0 +1,129 @@
+(* Timed spans with a per-domain trace ring.
+
+   Each domain owns one buffer (reached through Domain.DLS, so the record
+   path takes no lock and sees no other domain's state); buffers register
+   themselves in a global list on first use so that [entries] can merge
+   them later.  Buffers outlive their domain — a trace recorded by a
+   Parallel.Pool worker is still readable after the pool shuts down. *)
+
+type entry = {
+  name : string;
+  domain : int;
+  depth : int;
+  start_ns : int;  (* relative to Control.epoch_ns *)
+  duration_ns : int;
+}
+
+type buffer = {
+  owner : int;  (* numeric domain id *)
+  ring : entry array;
+  mutable pushed : int;  (* total entries ever pushed *)
+  mutable depth : int;  (* current nesting depth of open spans *)
+}
+
+let default_capacity = 4096
+let capacity = ref default_capacity
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Telemetry.Span.set_capacity: capacity must be >= 1";
+  capacity := n
+
+(* All buffers ever created, for merging.  The mutex guards only the list;
+   ring contents are written by the owning domain alone. *)
+let buffers : buffer list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+let dummy_entry = { name = ""; domain = 0; depth = 0; start_ns = 0; duration_ns = 0 }
+
+let new_buffer () =
+  let b =
+    {
+      owner = (Domain.self () :> int);
+      ring = Array.make !capacity dummy_entry;
+      pushed = 0;
+      depth = 0;
+    }
+  in
+  Mutex.lock buffers_mutex;
+  buffers := b :: !buffers;
+  Mutex.unlock buffers_mutex;
+  b
+
+let dls_key = Domain.DLS.new_key new_buffer
+let buffer () = Domain.DLS.get dls_key
+
+let push b e =
+  b.ring.(b.pushed mod Array.length b.ring) <- e;
+  b.pushed <- b.pushed + 1
+
+let record ?hist ~start_ns name =
+  if start_ns > 0 && Control.is_enabled () then begin
+    let now = Control.now_ns () in
+    let b = buffer () in
+    push b
+      {
+        name;
+        domain = b.owner;
+        depth = b.depth;
+        start_ns = start_ns - Control.epoch_ns;
+        duration_ns = now - start_ns;
+      };
+    match hist with Some h -> Metrics.observe_ns h (now - start_ns) | None -> ()
+  end
+
+let start_ns () = if Control.is_enabled () then Control.now_ns () else 0
+
+let with_span ?hist name f =
+  if not (Control.is_enabled ()) then f ()
+  else begin
+    let b = buffer () in
+    let depth = b.depth in
+    b.depth <- depth + 1;
+    let t0 = Control.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let now = Control.now_ns () in
+        (* Re-fetch: [f] may run Parallel code, but [finally] executes in
+           the starting domain; restoring through the starting buffer keeps
+           depth balanced even if an exception unwinds several spans. *)
+        let b = buffer () in
+        b.depth <- depth;
+        push b
+          {
+            name;
+            domain = b.owner;
+            depth;
+            start_ns = t0 - Control.epoch_ns;
+            duration_ns = now - t0;
+          };
+        match hist with Some h -> Metrics.observe_ns h (now - t0) | None -> ())
+      f
+  end
+
+let entries () =
+  Mutex.lock buffers_mutex;
+  let bufs = !buffers in
+  Mutex.unlock buffers_mutex;
+  let collect b =
+    let cap = Array.length b.ring in
+    let n = if b.pushed < cap then b.pushed else cap in
+    List.init n (fun i -> b.ring.((b.pushed - n + i) mod cap))
+  in
+  List.concat_map collect bufs
+  |> List.sort (fun a b ->
+         match compare a.start_ns b.start_ns with 0 -> compare a.depth b.depth | c -> c)
+
+let dropped () =
+  Mutex.lock buffers_mutex;
+  let bufs = !buffers in
+  Mutex.unlock buffers_mutex;
+  List.fold_left (fun acc b -> acc + max 0 (b.pushed - Array.length b.ring)) 0 bufs
+
+let clear () =
+  Mutex.lock buffers_mutex;
+  List.iter
+    (fun b ->
+      b.pushed <- 0;
+      Array.fill b.ring 0 (Array.length b.ring) dummy_entry)
+    !buffers;
+  Mutex.unlock buffers_mutex

@@ -1,0 +1,59 @@
+(** Nestable timed spans with a per-domain trace buffer.
+
+    A span is one timed region of execution ("build.bandwidth",
+    "pool.run", "experiment.query").  Completed spans land in a
+    fixed-capacity ring buffer owned by the recording domain — the record
+    path touches domain-local state only (via [Domain.DLS]), takes no lock,
+    and is therefore safe under [Parallel.Pool] workers; [entries] merges
+    all buffers afterwards.  Rings keep the most recent [capacity] spans
+    per domain and silently overwrite older ones ({!dropped} counts the
+    overwritten entries).
+
+    Like all of telemetry, spans cost one flag check while
+    {!Control.is_enabled} is false; {!with_span} then simply calls its
+    thunk.  The span hierarchy recorded by this repository is documented in
+    [docs/TELEMETRY.md]. *)
+
+type entry = {
+  name : string;
+  domain : int;  (** numeric id of the recording domain *)
+  depth : int;  (** nesting depth within that domain, 0 = outermost *)
+  start_ns : int;  (** start time relative to {!Control.epoch_ns} *)
+  duration_ns : int;
+}
+
+val with_span : ?hist:Metrics.histogram -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] and records how long it took; nested
+    calls record increasing depths.  The entry is pushed (and [hist], when
+    given, observed) even if [f] raises.  Disabled, this is exactly
+    [f ()]. *)
+
+val start_ns : unit -> int
+(** Allocation-free manual timing, for per-record paths where the closure
+    of {!with_span} would be too costly: returns {!Control.now_ns} when
+    enabled, [0] when disabled. *)
+
+val record : ?hist:Metrics.histogram -> start_ns:int -> string -> unit
+(** [record ~start_ns name] completes a manual span opened by {!start_ns}:
+    pushes an entry at the current depth (manual spans do not nest) and
+    observes [hist] when given.  No-op when [start_ns = 0] or telemetry is
+    disabled, so the [start_ns]/[record] pair degrades to two flag
+    checks. *)
+
+val entries : unit -> entry list
+(** Completed spans merged across every domain that ever recorded one,
+    sorted by start time (outer spans before the inner spans they
+    contain).  Buffers survive domain shutdown, so traces from finished
+    pool workers remain readable.  Call at a quiescent point: entries being
+    pushed concurrently with the merge may be missed or torn. *)
+
+val dropped : unit -> int
+(** Spans overwritten because a ring was full. *)
+
+val clear : unit -> unit
+(** Drop every recorded span (buffers and their capacity are kept). *)
+
+val set_capacity : int -> unit
+(** Ring capacity for buffers created {e afterwards} (default 4096);
+    existing buffers keep their size.  Call before enabling telemetry.
+    @raise Invalid_argument if the capacity is [< 1]. *)

@@ -20,15 +20,12 @@ let estimate_fn_of_spec ds ~sample spec =
    pure reads, estimators carry no mutable state. *)
 let summary_of_fn ?(jobs = 1) ds ~queries estimate =
   if Array.length queries = 0 then invalid_arg "Experiment.summary_of_fn: empty query array";
-  let n_records = float_of_int (Data.Dataset.size ds) in
-  let pairs =
-    Parallel.Map.map ~jobs
-      (fun (q : Query.t) ->
-        ( float_of_int (Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi),
-          estimate ~a:q.lo ~b:q.hi *. n_records ))
-      queries
-  in
-  Metrics.summarize pairs
+  Telemetry.Span.with_span "experiment.summary" (fun () ->
+      let n_records = float_of_int (Data.Dataset.size ds) in
+      let pairs =
+        Parallel.Map.map ~jobs (Metrics.result_pair ds ~n_records estimate) queries
+      in
+      Metrics.summarize pairs)
 
 let summary_of_spec ?jobs ds ~sample ~queries spec =
   summary_of_fn ?jobs ds ~queries (estimate_fn_of_spec ds ~sample spec)
@@ -39,11 +36,12 @@ let mre_of_spec ?jobs ds ~sample ~queries spec =
 let compare_specs ?(jobs = 1) ds ~sample ~queries specs =
   (* Parallel across specs: each task builds its own estimator and
      evaluates its queries sequentially, so domains never nest. *)
-  Parallel.Map.map ~jobs
-    (fun spec ->
-      (Selest.Estimator.spec_name spec, summary_of_spec ds ~sample ~queries spec))
-    (Array.of_list specs)
-  |> Array.to_list
+  Telemetry.Span.with_span "experiment.compare_specs" (fun () ->
+      Parallel.Map.map ~jobs
+        (fun spec ->
+          (Selest.Estimator.spec_name spec, summary_of_spec ds ~sample ~queries spec))
+        (Array.of_list specs)
+      |> Array.to_list)
 
 let oracle_bin_count ?(max_bins = 2000) ?jobs ds ~sample ~queries =
   let objective bins =

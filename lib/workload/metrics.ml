@@ -1,5 +1,17 @@
 type estimate_fn = a:float -> b:float -> float
 
+(* Per-query telemetry (names in docs/TELEMETRY.md).  The timing wraps the
+   whole unit of work per query: the exact-truth count plus the estimator
+   probe.  Gated so the disabled path costs one atomic load per query and
+   allocates nothing beyond the result pair itself. *)
+let m_queries =
+  Telemetry.Metrics.counter "workload_queries_total"
+    ~help:"Range queries evaluated against an estimator"
+
+let m_query_hist =
+  Telemetry.Metrics.histogram "workload_query_seconds"
+    ~help:"Per-query evaluation latency (exact truth count plus estimator probe)"
+
 type summary = {
   mre : float;
   mae : float;
@@ -40,13 +52,21 @@ let summarize pairs =
     skipped_empty = !skipped;
   }
 
+let result_pair ds ~n_records estimate (q : Query.t) =
+  let t0 = Telemetry.Span.start_ns () in
+  let pair =
+    ( float_of_int (Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi),
+      estimate ~a:q.lo ~b:q.hi *. n_records )
+  in
+  if t0 > 0 then begin
+    Telemetry.Metrics.incr m_queries;
+    Telemetry.Span.record ~hist:m_query_hist ~start_ns:t0 "workload.query"
+  end;
+  pair
+
 let result_pairs ds estimate queries =
   let n_records = float_of_int (Data.Dataset.size ds) in
-  Array.map
-    (fun (q : Query.t) ->
-      ( float_of_int (Data.Dataset.exact_count ds ~lo:q.lo ~hi:q.hi),
-        estimate ~a:q.lo ~b:q.hi *. n_records ))
-    queries
+  Array.map (result_pair ds ~n_records estimate) queries
 
 let evaluate ds estimate queries =
   if Array.length queries = 0 then invalid_arg "Metrics.evaluate: empty query array";

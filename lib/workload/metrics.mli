@@ -26,6 +26,15 @@ val evaluate : Data.Dataset.t -> estimate_fn -> Query.t array -> summary
     against the dataset's exact counts.
     @raise Invalid_argument on an empty query array. *)
 
+val result_pair :
+  Data.Dataset.t -> n_records:float -> estimate_fn -> Query.t -> float * float
+(** One [(true_size, estimated_size)] pair: the exact count scaled against
+    [n_records] and the estimator probe.  When telemetry is enabled the
+    call records a ["workload.query"] span and feeds the
+    [workload_query_seconds] histogram; the computed pair is identical
+    either way.  {!Experiment.summary_of_fn} maps this over its query
+    array from parallel workers. *)
+
 val result_pairs : Data.Dataset.t -> estimate_fn -> Query.t array -> (float * float) array
 (** The per-query [(true_size, estimated_size)] pairs behind {!evaluate},
     in query order.  Each pair depends on its query alone, which is what

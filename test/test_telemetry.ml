@@ -1,0 +1,402 @@
+(* Tests for the telemetry subsystem: sharded metric merging under
+   parallel recording, span nesting, the JSON export (validated with a
+   small JSON parser), the renderer smoke paths, and the guard that
+   enabling telemetry changes no estimate digit. *)
+
+module T = Telemetry.Control
+module M = Telemetry.Metrics
+module S = Telemetry.Span
+module X = Telemetry.Export
+
+(* Every test leaves the global switch off and the stores empty, so tests
+   cannot leak recorded state into each other. *)
+let with_telemetry f =
+  M.reset ();
+  S.clear ();
+  T.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      T.disable ();
+      M.reset ();
+      S.clear ())
+    f
+
+let bits_equal what a b =
+  Alcotest.(check int64) what (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* --- Metrics: sharded recording --- *)
+
+let prop_counter_merges_across_domains =
+  QCheck.Test.make ~name:"counter total is exact for any jobs" ~count:25
+    QCheck.(pair (int_range 1 4) (int_range 0 2000))
+    (fun (jobs, total) ->
+      with_telemetry (fun () ->
+          let c = M.counter "test_counter_merge" in
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              Parallel.Pool.run pool ~total (fun _ -> M.incr c));
+          M.value c = total))
+
+let prop_histogram_merges_across_domains =
+  QCheck.Test.make ~name:"histogram count and sum are exact for any jobs" ~count:25
+    QCheck.(pair (int_range 1 4) (list_of_size (Gen.int_range 0 300) (int_range 0 1_000_000)))
+    (fun (jobs, durations) ->
+      with_telemetry (fun () ->
+          let h = M.histogram "test_histogram_merge" in
+          let a = Array.of_list durations in
+          ignore (Parallel.Map.map ~jobs (fun ns -> M.observe_ns h ns) a);
+          let s = M.histogram_summary h in
+          let expected_sum =
+            float_of_int (Array.fold_left ( + ) 0 a) *. 1e-9
+          in
+          s.M.observations = Array.length a
+          && Int64.bits_of_float s.M.sum_s = Int64.bits_of_float expected_sum
+          && Array.fold_left (fun acc (_, n) -> acc + n) 0 s.M.buckets = Array.length a))
+
+let test_counter_add_and_gauge () =
+  with_telemetry (fun () ->
+      let c = M.counter "test_add" in
+      M.add c 41;
+      M.incr c;
+      Alcotest.(check int) "add + incr" 42 (M.value c);
+      let g = M.gauge "test_gauge" in
+      M.set g 2.5;
+      M.set g 7.25;
+      Alcotest.(check (float 0.0)) "last write wins" 7.25 (M.gauge_value g))
+
+let test_disabled_records_nothing () =
+  M.reset ();
+  T.disable ();
+  let c = M.counter "test_disabled" in
+  let h = M.histogram "test_disabled_hist" in
+  M.incr c;
+  M.add c 10;
+  M.observe_ns h 1_000;
+  Alcotest.(check int) "counter untouched" 0 (M.value c);
+  Alcotest.(check int) "histogram untouched" 0 (M.histogram_summary h).M.observations;
+  Alcotest.(check int) "manual span start is 0" 0 (S.start_ns ())
+
+let test_registration_idempotent () =
+  with_telemetry (fun () ->
+      let a = M.counter "test_same" ~labels:[ ("k", "v") ] in
+      let b = M.counter "test_same" ~labels:[ ("k", "v") ] in
+      M.incr a;
+      M.incr b;
+      Alcotest.(check int) "one underlying counter" 2 (M.value a);
+      Alcotest.check_raises "kind mismatch rejected"
+        (Invalid_argument "Telemetry.Metrics: \"test_same\" is already registered as a counter")
+        (fun () -> ignore (M.gauge "test_same" ~labels:[ ("k", "v") ])))
+
+let test_quantile_bucket_resolution () =
+  with_telemetry (fun () ->
+      let h = M.histogram "test_quantile" in
+      (* 99 fast observations, one slow: p50 lands in the fast bucket, p99
+         within a factor of two of the slow one. *)
+      for _ = 1 to 99 do
+        M.observe_ns h 1_000
+      done;
+      M.observe_ns h 1_000_000;
+      let s = M.histogram_summary h in
+      let p50 = M.quantile_s s 0.5 and p99 = M.quantile_s s 0.995 in
+      Alcotest.(check bool) "p50 in fast bucket" true (p50 <= 4.0e-6);
+      Alcotest.(check bool) "p99 covers slow outlier" true
+        (p99 >= 1.0e-3 *. 0.5 && p99 <= 4.0e-3))
+
+(* --- Spans --- *)
+
+let test_span_nesting_order () =
+  with_telemetry (fun () ->
+      let result =
+        S.with_span "outer" (fun () ->
+            S.with_span "first" (fun () -> ());
+            S.with_span "second" (fun () -> S.with_span "leaf" (fun () -> ()));
+            17)
+      in
+      Alcotest.(check int) "with_span returns the thunk's value" 17 result;
+      let es = S.entries () in
+      Alcotest.(check (list string))
+        "sorted by start, outer before contained"
+        [ "outer"; "first"; "second"; "leaf" ]
+        (List.map (fun (e : S.entry) -> e.S.name) es);
+      Alcotest.(check (list int)) "depths" [ 0; 1; 1; 2 ]
+        (List.map (fun (e : S.entry) -> e.S.depth) es);
+      List.iter
+        (fun (e : S.entry) ->
+          Alcotest.(check bool) (e.S.name ^ " duration >= 0") true (e.S.duration_ns >= 0))
+        es)
+
+let test_span_depth_restored_on_raise () =
+  with_telemetry (fun () ->
+      (try S.with_span "failing" (fun () -> failwith "boom") with Failure _ -> ());
+      S.with_span "after" (fun () -> ());
+      match S.entries () with
+      | [ failing; after ] ->
+        Alcotest.(check string) "failing recorded" "failing" failing.S.name;
+        Alcotest.(check int) "after back at depth 0" 0 after.S.depth
+      | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es))
+
+let test_span_ring_overwrites_and_counts () =
+  with_telemetry (fun () ->
+      (* The default ring holds 4096; push past it and the excess must be
+         counted as dropped while the newest entries survive. *)
+      for i = 1 to 5000 do
+        ignore i;
+        S.with_span "tick" (fun () -> ())
+      done;
+      Alcotest.(check int) "dropped" (5000 - 4096) (S.dropped ());
+      Alcotest.(check int) "ring keeps capacity entries" 4096 (List.length (S.entries ())))
+
+let test_manual_span_records () =
+  with_telemetry (fun () ->
+      let h = M.histogram "test_manual_span" in
+      let t0 = S.start_ns () in
+      Alcotest.(check bool) "start_ns positive when enabled" true (t0 > 0);
+      S.record ~hist:h ~start_ns:t0 "manual";
+      Alcotest.(check int) "histogram fed" 1 (M.histogram_summary h).M.observations;
+      match S.entries () with
+      | [ e ] -> Alcotest.(check string) "span name" "manual" e.S.name
+      | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es))
+
+(* --- JSON export: validate with a tiny parser --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+(* Just enough JSON to check the exporter's output: no unicode escapes
+   beyond skipping them, numbers via [float_of_string]. *)
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with ' ' | '\n' | '\t' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else raise (Bad_json (Printf.sprintf "expected %c at offset %d" c !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'n' -> Buffer.add_char buf '\n'; advance ()
+        | 't' -> Buffer.add_char buf '\t'; advance ()
+        | 'r' -> Buffer.add_char buf '\r'; advance ()
+        | 'u' ->
+          advance ();
+          for _ = 1 to 4 do advance () done;
+          Buffer.add_char buf '?'
+        | c -> Buffer.add_char buf c; advance ());
+        go ()
+      | '\255' -> raise (Bad_json "eof inside string")
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((k, v) :: acc)
+          | '}' -> advance (); List.rev ((k, v) :: acc)
+          | c -> raise (Bad_json (Printf.sprintf "object: unexpected %c" c))
+        in
+        Obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin advance (); Arr [] end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); items (v :: acc)
+          | ']' -> advance (); List.rev (v :: acc)
+          | c -> raise (Bad_json (Printf.sprintf "array: unexpected %c" c))
+        in
+        Arr (items [])
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> pos := !pos + 4; Bool true
+    | 'f' -> pos := !pos + 5; Bool false
+    | 'n' -> pos := !pos + 4; Null
+    | _ ->
+      let start = !pos in
+      let is_num c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while is_num (peek ()) do advance () done;
+      if !pos = start then raise (Bad_json (Printf.sprintf "value at offset %d" start));
+      Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing garbage");
+  v
+
+let member key = function
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> raise (Bad_json ("missing key " ^ key)))
+  | _ -> raise (Bad_json ("not an object at " ^ key))
+
+let as_arr = function Arr xs -> xs | _ -> raise (Bad_json "not an array")
+let as_num = function Num f -> f | _ -> raise (Bad_json "not a number")
+let as_str = function Str s -> s | _ -> raise (Bad_json "not a string")
+
+let test_json_export_roundtrip () =
+  with_telemetry (fun () ->
+      let c = M.counter "test_json_counter" ~labels:[ ("side", "left") ] in
+      M.add c 7;
+      let h = M.histogram "test_json_hist" in
+      M.observe_ns h 1_500;
+      M.observe_ns h 3_000_000;
+      S.with_span "json.span" (fun () -> ());
+      let doc = parse_json (X.to_json ()) in
+      Alcotest.(check (float 0.0)) "schema_version" 1.0 (as_num (member "schema_version" doc));
+      let counters = as_arr (member "counters" doc) in
+      let mine =
+        List.find
+          (fun j -> as_str (member "name" j) = "test_json_counter")
+          counters
+      in
+      Alcotest.(check (float 0.0)) "counter value" 7.0 (as_num (member "value" mine));
+      Alcotest.(check string) "counter label" "left"
+        (as_str (member "side" (member "labels" mine)));
+      let hist =
+        List.find
+          (fun j -> as_str (member "name" j) = "test_json_hist")
+          (as_arr (member "histograms" doc))
+      in
+      Alcotest.(check (float 0.0)) "histogram count" 2.0 (as_num (member "count" hist));
+      let bucket_total =
+        List.fold_left
+          (fun acc b -> acc +. as_num (member "count" b))
+          0.0
+          (as_arr (member "buckets" hist))
+      in
+      Alcotest.(check (float 0.0)) "bucket counts sum to count" 2.0 bucket_total;
+      let spans = member "spans" doc in
+      let entries = as_arr (member "entries" spans) in
+      Alcotest.(check bool) "span exported" true
+        (List.exists (fun e -> as_str (member "name" e) = "json.span") entries);
+      (* The cache returns exactly the last rendering. *)
+      match X.last_json () with
+      | Some cached -> Alcotest.(check bool) "last_json parses too" true (parse_json cached = doc)
+      | None -> Alcotest.fail "last_json empty after to_json")
+
+let test_text_and_prometheus_render () =
+  with_telemetry (fun () ->
+      let c = M.counter "test_render_total" in
+      M.add c 3;
+      let h = M.histogram "test_render_seconds" in
+      M.observe_s h 0.002;
+      S.with_span "render.span" (fun () -> ());
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      let text = X.render X.Text in
+      Alcotest.(check bool) "text lists counter and span" true
+        (contains text "test_render_total" && contains text "render.span");
+      let prom = X.render X.Prometheus in
+      Alcotest.(check bool) "prometheus exposition shape" true
+        (contains prom "# TYPE test_render_total counter"
+        && contains prom "test_render_seconds_bucket"
+        && contains prom "le=\"+Inf\""
+        && contains prom "test_render_seconds_count"))
+
+(* --- The estimates-are-unaffected guard --- *)
+
+let dataset =
+  Data.Generate.generate Data.Generate.Normal_family ~bits:12 ~count:20_000 ~seed:5L
+
+let sample = Workload.Experiment.sample_of dataset ~seed:7L ~n:500
+let queries = Workload.Generate.size_separated dataset ~seed:9L ~fraction:0.02 ~count:200
+
+let test_mre_bit_identical_with_telemetry () =
+  List.iter
+    (fun spec ->
+      let mre () = Workload.Experiment.mre_of_spec ~jobs:2 dataset ~sample ~queries spec in
+      T.disable ();
+      let off = mre () in
+      let on_ =
+        with_telemetry (fun () ->
+            let m = mre () in
+            (* Recording did happen — the guard is only meaningful if the
+               instrumented paths actually ran with the flag on. *)
+            Alcotest.(check bool)
+              (Selest.Estimator.spec_name spec ^ " recorded builds")
+              true
+              (M.value (M.counter "selest_build_total") > 0);
+            m)
+      in
+      bits_equal (Selest.Estimator.spec_name spec ^ ": telemetry off = on") off on_)
+    [
+      Selest.Estimator.Sampling;
+      Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins 40);
+      Selest.Estimator.kernel_defaults;
+      Selest.Estimator.hybrid_defaults;
+    ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          QCheck_alcotest.to_alcotest prop_counter_merges_across_domains;
+          QCheck_alcotest.to_alcotest prop_histogram_merges_across_domains;
+          Alcotest.test_case "add and gauge" `Quick test_counter_add_and_gauge;
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+          Alcotest.test_case "registration idempotent" `Quick test_registration_idempotent;
+          Alcotest.test_case "quantiles at bucket resolution" `Quick
+            test_quantile_bucket_resolution;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting order" `Quick test_span_nesting_order;
+          Alcotest.test_case "depth restored on raise" `Quick test_span_depth_restored_on_raise;
+          Alcotest.test_case "ring overwrite accounting" `Quick
+            test_span_ring_overwrites_and_counts;
+          Alcotest.test_case "manual start/record" `Quick test_manual_span_records;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_export_roundtrip;
+          Alcotest.test_case "text and prometheus" `Quick test_text_and_prometheus_render;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "mre bit-identical with telemetry on" `Quick
+            test_mre_bit_identical_with_telemetry;
+        ] );
+    ]
