@@ -49,6 +49,7 @@ module Record = struct
     mutable queries : int;  (* queries evaluated through mre_of *)
     mutable query_s : float;  (* summed query-evaluation time *)
     mutable mres : (string * float) list;  (* "<file>/<spec>" -> MRE, reversed *)
+    mutable extras : (string * float) list;  (* extra numeric fields, reversed *)
   }
 
   let table : (string, entry) Hashtbl.t = Hashtbl.create 32
@@ -56,7 +57,9 @@ module Record = struct
   let current : entry option ref = ref None
 
   let start target =
-    let e = { wall_s = 0.0; build_s = 0.0; queries = 0; query_s = 0.0; mres = [] } in
+    let e =
+      { wall_s = 0.0; build_s = 0.0; queries = 0; query_s = 0.0; mres = []; extras = [] }
+    in
     Hashtbl.replace table target e;
     order := target :: !order;
     current := Some e
@@ -79,6 +82,22 @@ module Record = struct
       e.queries <- e.queries + queries;
       e.query_s <- e.query_s +. query_s;
       e.mres <- (key, mre) :: List.remove_assoc key e.mres
+
+  (* Attribute query volume and time measured outside mre_of (the catalog
+     target times whole batches, not per-estimator probes). *)
+  let note_queries ~queries ~query_s =
+    match !current with
+    | None -> ()
+    | Some e ->
+      e.queries <- e.queries + queries;
+      e.query_s <- e.query_s +. query_s
+
+  (* Target-specific numeric fields, serialized next to queries_per_s
+     (e.g. the catalog target's "cache_hit_rate"). *)
+  let note_extra ~key value =
+    match !current with
+    | None -> ()
+    | Some e -> e.extras <- (key, value) :: List.remove_assoc key e.extras
 
   let json_escape s =
     let b = Buffer.create (String.length s + 8) in
@@ -116,6 +135,11 @@ module Record = struct
           (Printf.sprintf "      \"build_s\": %s,\n" (json_num "%.3f" e.build_s));
         Buffer.add_string buf
           (Printf.sprintf "      \"queries_per_s\": %s,\n" (json_num "%.1f" qps));
+        List.iter
+          (fun (key, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "      \"%s\": %s,\n" (json_escape key) (json_num "%.6g" v)))
+          (List.rev e.extras);
         Buffer.add_string buf "      \"mre_by_spec\": {";
         List.iteri
           (fun j (key, mre) ->
@@ -716,6 +740,112 @@ let ext_feedback () =
     [ "e(20)"; "arap1" ]
 
 (* ------------------------------------------------------------------ *)
+(* Catalog: serving throughput of the persisted-summary service        *)
+(* ------------------------------------------------------------------ *)
+
+module Cat = Catalog.Service
+
+(* Exercises the serving path end to end: ANALYZE all headline files into
+   snapshot files through an undersized cache (evictions), reopen the
+   directory cold (load-on-open recovery), serve 40 rounds of hot batches
+   with --jobs domains, then score every entry's answers against exact
+   selectivities.  BENCH_results.json gets the serving queries_per_s, the
+   cache_hit_rate, and each entry's MRE under mre_by_spec. *)
+let bench_catalog () =
+  header "catalog: summary serving (build, reopen cold, hot batches; --jobs domains)";
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "selest_bench_catalog" in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let config = { Cat.default_config with Cat.capacity = 12 } in
+  let entries =
+    List.concat_map
+      (fun file -> List.map (fun spec -> (file, spec)) [ "ewh"; "kernel" ])
+      headline_names
+  in
+  (* Build phase: 16 entries through a 12-slot cache. *)
+  let svc0, _ = Cat.open_dir ~config dir in
+  let build_times =
+    List.map
+      (fun (file, spec) ->
+        let ds = dataset file in
+        let s = sample ds in
+        let t0 = Unix.gettimeofday () in
+        (match Cat.build svc0 ~name:(file ^ "/" ^ spec) ~spec ~domain:(E.domain_of ds)
+                 ~sample:s
+         with
+        | Ok _ -> ()
+        | Error msg -> failwith (Printf.sprintf "catalog build %s/%s: %s" file spec msg));
+        (file ^ "/" ^ spec, Unix.gettimeofday () -. t0))
+      entries
+  in
+  let build_stats = Cat.cache_stats svc0 in
+  (* Reopen cold: index every snapshot from disk, cache empty. *)
+  let svc, skipped = Cat.open_dir ~config dir in
+  List.iter
+    (fun (file, err) -> Printf.printf "skipped corrupt snapshot %s: %s\n" file err)
+    skipped;
+  (* Serving phase: 40 rounds over a 6-entry hot set, 50 queries each. *)
+  let hot = List.filteri (fun i _ -> i < 6) entries in
+  let query_cache = Hashtbl.create 8 in
+  let queries_of file =
+    match Hashtbl.find_opt query_cache file with
+    | Some qs -> qs
+    | None ->
+      let qs = queries (dataset file) in
+      Hashtbl.replace query_cache file qs;
+      qs
+  in
+  let rounds = 40 and per_entry = 50 in
+  let total = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for round = 0 to rounds - 1 do
+    let batch =
+      Array.concat
+        (List.map
+           (fun (file, spec) ->
+             let qs = queries_of file in
+             Array.init per_entry (fun i ->
+                 let q = qs.(((round * per_entry) + i) mod Array.length qs) in
+                 (file ^ "/" ^ spec, q.Workload.Query.lo, q.Workload.Query.hi)))
+           hot)
+    in
+    total := !total + Array.length batch;
+    ignore (Cat.answer ~jobs:!jobs svc batch)
+  done;
+  let serve_s = Unix.gettimeofday () -. t0 in
+  Record.note_queries ~queries:!total ~query_s:serve_s;
+  (* Accuracy: every entry's catalog answers vs exact selectivities. *)
+  Printf.printf "%-16s %-10s %-10s\n" "entry" "mre%" "build_s";
+  List.iter
+    (fun ((file, spec), (key, build_s)) ->
+      let ds = dataset file in
+      let name = file ^ "/" ^ spec in
+      let estimate ~a ~b =
+        match Cat.answer_one svc ~name ~a ~b with
+        | Ok v -> v
+        | Error msg -> failwith (Printf.sprintf "catalog answer %s: %s" name msg)
+      in
+      let mre = (M.evaluate ds estimate (queries_of file)).M.mre in
+      Record.note ~key ~mre ~build_s ~queries:0 ~query_s:0.0;
+      Printf.printf "%-16s %-10.2f %-10.3f\n" name (pct mre) build_s)
+    (List.combine entries build_times);
+  let s = Cat.cache_stats svc in
+  let accesses = s.Catalog.Lru.hits + s.Catalog.Lru.misses in
+  let hit_rate =
+    if accesses = 0 then 0.0 else float_of_int s.Catalog.Lru.hits /. float_of_int accesses
+  in
+  Record.note_extra ~key:"cache_hit_rate" hit_rate;
+  Record.note_extra ~key:"cache_evictions"
+    (float_of_int (s.Catalog.Lru.evictions + build_stats.Catalog.Lru.evictions));
+  Printf.printf
+    "serving: %d requests in %.2fs (%.0f queries/s, jobs %d)\n\
+     cache: hit rate %.3f (%d hits, %d misses), evictions %d (+%d during build)\n"
+    !total serve_s
+    (float_of_int !total /. serve_s)
+    !jobs hit_rate s.Catalog.Lru.hits s.Catalog.Lru.misses s.Catalog.Lru.evictions
+    build_stats.Catalog.Lru.evictions
+
+(* ------------------------------------------------------------------ *)
 (* Timing: bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -805,6 +935,7 @@ let targets =
     ("ext_feedback", ext_feedback);
     ("ext_join", ext_join);
     ("ext_mise", ext_mise);
+    ("catalog", bench_catalog);
     ("timing", timing);
   ]
 
@@ -845,6 +976,9 @@ let parse_args argv =
         jobs := j;
         go acc rest
       | _ -> usage ())
+    | "--catalog" :: rest ->
+      (* Alias for the catalog serving target. *)
+      go ("catalog" :: acc) rest
     | "--telemetry" :: path :: rest when path <> "" ->
       telemetry_path := Some path;
       go acc rest

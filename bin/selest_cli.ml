@@ -10,6 +10,7 @@
      analyze     per-position error profile of an estimator (Figures 3/10)
      lookup      query-latency micro-benchmark for one estimator
      join        equi-join size estimate from per-relation samples
+     catalog     persisted summary catalog: build / ls / query / invalidate
 
    The global --stats flag (any subcommand) enables telemetry and prints
    the recorded counters, histograms, and spans when the command exits. *)
@@ -321,6 +322,171 @@ let join_cmd =
     Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ other_arg
           $ estimator_arg)
 
+(* --- catalog: the serving layer over persisted summaries --- *)
+
+module Cat = Catalog.Service
+
+let catalog_dir_arg =
+  Arg.(required & opt (some string) None & info [ "dir"; "d" ] ~docv:"DIR"
+       ~doc:"Catalog snapshot directory (created if missing; see docs/CATALOG.md).")
+
+let open_catalog ?config dir =
+  match Cat.open_dir ?config dir with
+  | svc, skipped ->
+    List.iter
+      (fun (file, err) ->
+        Printf.eprintf "selest: catalog: skipping corrupt snapshot %s: %s\n%!" file err)
+      skipped;
+    svc
+  | exception (Invalid_argument msg | Sys_error msg) -> or_die (Error msg)
+
+let catalog_build_cmd =
+  let spec_arg =
+    Arg.(value & opt string "kernel" & info [ "estimator"; "e" ] ~docv:"SPEC"
+         ~doc:"Estimator spec to fit, in the compact syntax (e.g. ewh:40, kernel, hybrid).")
+  in
+  let name_arg =
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
+         ~doc:"Catalog entry name; defaults to \"<file>/<spec>\".")
+  in
+  let cells_arg =
+    Arg.(value & opt int 256 & info [ "cells" ] ~docv:"N" ~doc:"Summary grid resolution.")
+  in
+  let run seed sample_seed n file spec name dir cells =
+    let ds = or_die (load_dataset seed file) in
+    let sample = E.sample_of ds ~seed:sample_seed ~n in
+    let svc = open_catalog ~config:{ Cat.default_config with Cat.cells } dir in
+    let name = Option.value name ~default:(file ^ "/" ^ spec) in
+    match Cat.build svc ~name ~spec ~domain:(E.domain_of ds) ~sample with
+    | Error msg -> or_die (Error msg)
+    | Ok info ->
+      Printf.printf "built %S: %s over %s, %d cells, sample of %d -> %s\n" info.Cat.name
+        info.Cat.spec (Data.Dataset.name ds) info.Cat.cells n
+        (Catalog.Snapshot.path ~dir name)
+  in
+  let doc = "ANALYZE a data file into a named catalog entry (build or rebuild)." in
+  Cmd.v (Cmd.info "build" ~doc)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ spec_arg
+          $ name_arg $ catalog_dir_arg $ cells_arg)
+
+let catalog_ls_cmd =
+  let run dir =
+    let svc = open_catalog dir in
+    Printf.printf "%-28s %-18s %-6s %-22s %-9s %-6s %-6s\n" "name" "spec" "cells" "domain"
+      "inserts" "stale" "cached";
+    List.iter
+      (fun (i : Cat.info) ->
+        let lo, hi = i.Cat.domain in
+        Printf.printf "%-28s %-18s %-6d [%-8g, %8g] %-9d %-6s %-6s\n" i.Cat.name i.Cat.spec
+          i.Cat.cells lo hi i.Cat.inserts
+          (if i.Cat.stale then "yes" else "no")
+          (if i.Cat.cached then "yes" else "no"))
+      (Cat.infos svc)
+  in
+  let doc = "List the catalog's entries with their staleness state." in
+  Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ catalog_dir_arg)
+
+(* A batch line is "name a b"; the bounds are the last two whitespace
+   tokens so names may contain spaces.  Blank lines and #-comments skip. *)
+let parse_request line =
+  match List.filter (( <> ) "") (String.split_on_char ' ' (String.trim line)) with
+  | [] -> None
+  | toks -> (
+    match List.rev toks with
+    | b :: a :: (_ :: _ as rev_name) -> (
+      match (float_of_string_opt a, float_of_string_opt b) with
+      | Some a, Some b -> Some (Ok (String.concat " " (List.rev rev_name), a, b))
+      | _ -> Some (Error (Printf.sprintf "catalog query: malformed bounds in %S" line)))
+    | _ -> Some (Error (Printf.sprintf "catalog query: expected \"name a b\", got %S" line)))
+
+let catalog_query_cmd =
+  let name_arg =
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
+         ~doc:"Entry to query (single-query mode; requires $(b,-a) and $(b,-b)).")
+  in
+  let a_arg =
+    Arg.(value & opt (some float) None & info [ "a" ] ~docv:"A" ~doc:"Range lower bound.")
+  in
+  let b_arg =
+    Arg.(value & opt (some float) None & info [ "b" ] ~docv:"B" ~doc:"Range upper bound.")
+  in
+  let batch_arg =
+    Arg.(value & opt (some string) None & info [ "batch" ] ~docv:"FILE"
+         ~doc:"Batch file: one \"name a b\" request per line ('#' comments allowed).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Evaluate the batch on $(docv) parallel domains; answers are bit-identical \
+               for every value.")
+  in
+  let run dir name a b batch jobs =
+    if jobs < 1 then or_die (Error "catalog query: --jobs must be >= 1");
+    let svc = open_catalog dir in
+    let requests =
+      match (batch, name, a, b) with
+      | Some path, None, None, None ->
+        let ic = try open_in path with Sys_error msg -> or_die (Error msg) in
+        let rec read acc =
+          match input_line ic with
+          | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+          | line when String.length (String.trim line) > 0 && (String.trim line).[0] = '#' ->
+            read acc
+          | line -> (
+            match parse_request line with
+            | None -> read acc
+            | Some (Ok r) -> read (r :: acc)
+            | Some (Error msg) -> or_die (Error msg))
+        in
+        Array.of_list (read [])
+      | None, Some name, Some a, Some b -> [| (name, a, b) |]
+      | _ ->
+        or_die
+          (Error "catalog query: pass either --batch FILE or --name with -a and -b")
+    in
+    let answers =
+      try Cat.answer ~jobs svc requests with Invalid_argument msg -> or_die (Error msg)
+    in
+    Array.iteri
+      (fun i (name, a, b) ->
+        Printf.printf "%-28s [%g, %g] -> %.6f\n" name a b answers.(i))
+      requests;
+    let s = Cat.cache_stats svc in
+    Printf.printf "# %d request(s), %d entries: cache hits %d, misses %d, evictions %d\n"
+      (Array.length requests)
+      (List.length (Cat.names svc))
+      s.Catalog.Lru.hits s.Catalog.Lru.misses s.Catalog.Lru.evictions
+  in
+  let doc = "Answer range queries from the catalog (no data access at query time)." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ catalog_dir_arg $ name_arg $ a_arg $ b_arg $ batch_arg $ jobs_arg)
+
+let catalog_invalidate_cmd =
+  let names_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME" ~doc:"Entries to invalidate.")
+  in
+  let run dir names =
+    let svc = open_catalog dir in
+    List.iter
+      (fun name ->
+        match Cat.invalidate svc name with
+        | Ok () -> Printf.printf "invalidated %S (stale until rebuilt)\n" name
+        | Error msg -> or_die (Error msg))
+      names
+  in
+  let doc = "Mark entries stale so the next `catalog build` refreshes them." in
+  Cmd.v (Cmd.info "invalidate" ~doc) Term.(const run $ catalog_dir_arg $ names_arg)
+
+let catalog_cmd =
+  let doc =
+    "Persisted estimator-summary catalog: build, list, batch-query and invalidate \
+     named summaries served from an LRU cache over a snapshot directory \
+     (docs/CATALOG.md)."
+  in
+  Cmd.group (Cmd.info "catalog" ~doc)
+    [ catalog_build_cmd; catalog_ls_cmd; catalog_query_cmd; catalog_invalidate_cmd ]
+
 (* --- main --- *)
 
 (* --stats is a global flag, usable with any subcommand: enable telemetry
@@ -368,4 +534,5 @@ let () =
             analyze_cmd;
             lookup_cmd;
             join_cmd;
+            catalog_cmd;
           ]))

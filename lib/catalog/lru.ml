@@ -1,0 +1,119 @@
+(* Hashtbl + doubly-linked list: O(1) find/add/remove, list order is
+   recency (head = MRU, tail = LRU). *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option; (* towards MRU *)
+  mutable next : 'a node option; (* towards LRU *)
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  m_hits : Telemetry.Metrics.counter;
+  m_misses : Telemetry.Metrics.counter;
+  m_evictions : Telemetry.Metrics.counter;
+}
+
+let create ?(cache_name = "default") ~capacity () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  let labels = [ ("cache", cache_name) ] in
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    m_hits =
+      Telemetry.Metrics.counter "catalog_cache_hits_total" ~labels
+        ~help:"Cache lookups answered from a resident entry";
+    m_misses =
+      Telemetry.Metrics.counter "catalog_cache_misses_total" ~labels
+        ~help:"Cache lookups that found no resident entry";
+    m_evictions =
+      Telemetry.Metrics.counter "catalog_cache_evictions_total" ~labels
+        ~help:"Entries dropped to stay within capacity";
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let mem t key = Hashtbl.mem t.table key
+
+(* Detach [n] from the recency list (leaves n.prev/n.next dangling). *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev
+
+let is_head t n = match t.head with Some h -> h == n | None -> false
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    Telemetry.Metrics.incr t.m_hits;
+    if not (is_head t n) then begin
+      unlink t n;
+      push_front t n
+    end;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    Telemetry.Metrics.incr t.m_misses;
+    None
+
+let peek t key = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table key)
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key;
+    t.evictions <- t.evictions + 1;
+    Telemetry.Metrics.incr t.m_evictions
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    n.value <- value;
+    if not (is_head t n) then begin
+      unlink t n;
+      push_front t n
+    end
+  | None ->
+    if Hashtbl.length t.table >= t.cap then evict_lru t;
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key n;
+    push_front t n
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table key
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }

@@ -1,0 +1,56 @@
+(** Bounded least-recently-used cache of named values.
+
+    The catalog keeps only the hottest statistics summaries resident; the
+    rest stay on disk and reload on demand.  This module is the residency
+    policy: a string-keyed map bounded by [capacity], evicting the entry
+    least recently touched by {!find} or {!add}.
+
+    Hits, misses and evictions are counted twice: into plain integers
+    (always, readable via {!stats} — the bench hit rate works with
+    telemetry off) and into [Telemetry.Metrics] counters
+    ([catalog_cache_{hits,misses,evictions}_total], labelled
+    [cache=<cache_name>]) so a telemetry dump shows cache behaviour next
+    to build and query timings.
+
+    Not thread-safe: the cache mutates on every {!find}.  Single-owner by
+    design, like [Catalog.Service] above it. *)
+
+type 'a t
+
+val create : ?cache_name:string -> capacity:int -> unit -> 'a t
+(** [create ~capacity ()] makes an empty cache holding at most [capacity]
+    entries.  [cache_name] (default ["default"]) labels the telemetry
+    counters.  @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** The bound given to {!create}. *)
+
+val length : 'a t -> int
+(** Number of entries currently resident. *)
+
+val mem : 'a t -> string -> bool
+(** Pure containment test: no promotion, no counter updates. *)
+
+val find : 'a t -> string -> 'a option
+(** [find t key] returns the cached value and promotes it to
+    most-recently-used; counts a hit, or a miss on [None]. *)
+
+val peek : 'a t -> string -> 'a option
+(** {!find} without promotion or counter updates — for bookkeeping reads
+    that should not perturb the recency order or the hit rate. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** [add t key v] inserts (or replaces) [key] as most-recently-used,
+    evicting the least-recently-used entry if the cache is over capacity;
+    replacements never evict. *)
+
+val remove : 'a t -> string -> unit
+(** Drop [key] if resident (not counted as an eviction); no-op otherwise. *)
+
+val keys : 'a t -> string list
+(** Resident keys, most-recently-used first. *)
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : 'a t -> stats
+(** Lifetime counts for this cache instance (independent of telemetry). *)

@@ -1,0 +1,266 @@
+type config = {
+  capacity : int;
+  rebuild_after_inserts : int;
+  cells : int;
+}
+
+let default_config = { capacity = 32; rebuild_after_inserts = 10_000; cells = 256 }
+
+(* Per-entry metadata stays resident even when the summary itself is
+   evicted: staleness must be trackable without touching the disk. *)
+type meta = {
+  spec : string;
+  cells : int;
+  domain : float * float;
+  mutable inserts : int;
+  mutable stale : bool;
+}
+
+type t = {
+  dir : string;
+  config : config;
+  index : (string, meta) Hashtbl.t;
+  cache : Selest.Stored.t Lru.t;
+  m_entries : Telemetry.Metrics.gauge;
+  m_builds : Telemetry.Metrics.counter;
+  m_rebuilds : Telemetry.Metrics.counter;
+  m_stale : Telemetry.Metrics.counter;
+  m_snapshot_writes : Telemetry.Metrics.counter;
+  m_snapshot_load_errors : Telemetry.Metrics.counter;
+  m_batch_requests : Telemetry.Metrics.counter;
+  m_answer_seconds : Telemetry.Metrics.histogram;
+}
+
+type info = {
+  name : string;
+  spec : string;
+  cells : int;
+  domain : float * float;
+  inserts : int;
+  stale : bool;
+  cached : bool;
+}
+
+let open_dir ?(config = default_config) dir =
+  if config.capacity < 1 then invalid_arg "Catalog.Service.open_dir: capacity must be >= 1";
+  if config.rebuild_after_inserts < 1 then
+    invalid_arg "Catalog.Service.open_dir: rebuild_after_inserts must be >= 1";
+  if config.cells < 1 then invalid_arg "Catalog.Service.open_dir: cells must be >= 1";
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "%s: not a directory" dir));
+  let labels = [ ("dir", Filename.basename dir) ] in
+  let t =
+    {
+      dir;
+      config;
+      index = Hashtbl.create 64;
+      cache = Lru.create ~cache_name:(Filename.basename dir) ~capacity:config.capacity ();
+      m_entries =
+        Telemetry.Metrics.gauge "catalog_entries" ~labels ~help:"Indexed catalog entries";
+      m_builds =
+        Telemetry.Metrics.counter "catalog_builds_total" ~labels
+          ~help:"Summaries built from a sample (including rebuilds)";
+      m_rebuilds =
+        Telemetry.Metrics.counter "catalog_rebuilds_total" ~labels
+          ~help:"Builds that replaced an existing entry";
+      m_stale =
+        Telemetry.Metrics.counter "catalog_stale_transitions_total" ~labels
+          ~help:"Entries that turned stale (insert budget or invalidate)";
+      m_snapshot_writes =
+        Telemetry.Metrics.counter "catalog_snapshot_writes_total" ~labels
+          ~help:"Atomic snapshot files written";
+      m_snapshot_load_errors =
+        Telemetry.Metrics.counter "catalog_snapshot_load_errors_total" ~labels
+          ~help:"Snapshot files skipped as corrupt during recovery";
+      m_batch_requests =
+        Telemetry.Metrics.counter "catalog_batch_requests_total" ~labels
+          ~help:"Range queries answered through Service.answer";
+      m_answer_seconds =
+        Telemetry.Metrics.histogram "catalog_answer_seconds" ~labels
+          ~help:"Latency of Service.answer batches";
+    }
+  in
+  let entries, skipped = Snapshot.load_dir ~dir in
+  List.iter
+    (fun (e : Snapshot.entry) ->
+      Hashtbl.replace t.index e.name
+        {
+          spec = e.spec;
+          cells = Selest.Stored.cells e.summary;
+          domain = Selest.Stored.domain e.summary;
+          inserts = e.inserts;
+          stale = e.stale;
+        })
+    entries;
+  Telemetry.Metrics.add t.m_snapshot_load_errors (List.length skipped);
+  Telemetry.Metrics.set t.m_entries (float_of_int (Hashtbl.length t.index));
+  (t, skipped)
+
+let dir t = t.dir
+let config t = t.config
+let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.index [] |> List.sort String.compare
+let mem t name = Hashtbl.mem t.index name
+
+let info_of t name (m : meta) =
+  {
+    name;
+    spec = m.spec;
+    cells = m.cells;
+    domain = m.domain;
+    inserts = m.inserts;
+    stale = m.stale;
+    cached = Lru.mem t.cache name;
+  }
+
+let info t name = Option.map (info_of t name) (Hashtbl.find_opt t.index name)
+
+let infos t =
+  List.filter_map (fun name -> info t name) (names t)
+
+(* Rewrite the entry's snapshot from current metadata.  The summary is
+   read without touching recency or hit/miss accounting; if it was
+   evicted, it is reloaded from the existing snapshot first. *)
+let persist t name (m : meta) =
+  let summary =
+    match Lru.peek t.cache name with
+    | Some s -> s
+    | None -> (
+      match Snapshot.load ~path:(Snapshot.path ~dir:t.dir name) with
+      | Ok e -> e.Snapshot.summary
+      | Error msg ->
+        raise
+          (Sys_error (Printf.sprintf "catalog: snapshot of %S unreadable: %s" name msg)))
+  in
+  Snapshot.save ~dir:t.dir
+    { Snapshot.name; spec = m.spec; inserts = m.inserts; stale = m.stale; summary };
+  Telemetry.Metrics.incr t.m_snapshot_writes
+
+let build t ~name ~spec ~domain ~sample =
+  if name = "" then Error "Catalog.Service.build: entry name must not be empty"
+  else if String.contains name '\n' then
+    Error "Catalog.Service.build: entry name must not contain newlines"
+  else
+    match Selest.Estimator.spec_of_string spec with
+    | Error e -> Error e
+    | Ok parsed -> (
+      match
+        Telemetry.Span.with_span "catalog.build" (fun () ->
+            let est = Selest.Estimator.build parsed ~domain sample in
+            Selest.Stored.of_estimator ~cells:t.config.cells ~domain est)
+      with
+      | exception Invalid_argument msg -> Error msg
+      | summary ->
+        let existed = Hashtbl.mem t.index name in
+        let m =
+          { spec; cells = t.config.cells; domain; inserts = 0; stale = false }
+        in
+        Hashtbl.replace t.index name m;
+        Lru.add t.cache name summary;
+        Snapshot.save ~dir:t.dir
+          { Snapshot.name; spec; inserts = 0; stale = false; summary };
+        Telemetry.Metrics.incr t.m_snapshot_writes;
+        Telemetry.Metrics.incr t.m_builds;
+        if existed then Telemetry.Metrics.incr t.m_rebuilds;
+        Telemetry.Metrics.set t.m_entries (float_of_int (Hashtbl.length t.index));
+        Ok (info_of t name m))
+
+let unknown name = Error (Printf.sprintf "unknown catalog entry %S" name)
+
+let rebuild t ~name ~sample =
+  match Hashtbl.find_opt t.index name with
+  | None -> unknown name
+  | Some m -> build t ~name ~spec:m.spec ~domain:m.domain ~sample
+
+(* Raise the stale flag if the insert budget is spent; returns whether the
+   entry transitioned. *)
+let refresh_staleness t (m : meta) =
+  let was = m.stale in
+  if m.inserts >= t.config.rebuild_after_inserts then m.stale <- true;
+  if m.stale && not was then Telemetry.Metrics.incr t.m_stale;
+  m.stale && not was
+
+let record_inserts t ~name count =
+  match Hashtbl.find_opt t.index name with
+  | None -> unknown name
+  | Some m ->
+    m.inserts <- m.inserts + abs count;
+    ignore (refresh_staleness t m);
+    persist t name m;
+    Ok ()
+
+let sync_maintenance t ~name maintenance =
+  match Hashtbl.find_opt t.index name with
+  | None -> unknown name
+  | Some m ->
+    m.inserts <- Selest.Maintenance.changed_count maintenance;
+    ignore (refresh_staleness t m);
+    persist t name m;
+    Ok ()
+
+let invalidate t name =
+  match Hashtbl.find_opt t.index name with
+  | None -> unknown name
+  | Some m ->
+    if not m.stale then begin
+      m.stale <- true;
+      Telemetry.Metrics.incr t.m_stale
+    end;
+    (* Persist first: the summary may only be resident in the cache copy
+       we are about to drop. *)
+    persist t name m;
+    Lru.remove t.cache name;
+    Ok ()
+
+let drop t name =
+  match Hashtbl.find_opt t.index name with
+  | None -> unknown name
+  | Some _ ->
+    Hashtbl.remove t.index name;
+    Lru.remove t.cache name;
+    Snapshot.delete ~dir:t.dir name;
+    Telemetry.Metrics.set t.m_entries (float_of_int (Hashtbl.length t.index));
+    Ok ()
+
+(* One cache access per call: a hit, or a miss that loads the snapshot
+   into the cache.  Raises on unknown names and unreadable snapshots. *)
+let resolve_exn t name =
+  if not (Hashtbl.mem t.index name) then
+    invalid_arg (Printf.sprintf "Catalog.Service: unknown entry %S" name);
+  match Lru.find t.cache name with
+  | Some summary -> summary
+  | None -> (
+    match Snapshot.load ~path:(Snapshot.path ~dir:t.dir name) with
+    | Ok e ->
+      Lru.add t.cache name e.Snapshot.summary;
+      e.Snapshot.summary
+    | Error msg ->
+      invalid_arg (Printf.sprintf "Catalog.Service: snapshot of %S unreadable: %s" name msg))
+
+let answer ?(jobs = 1) t requests =
+  if jobs < 1 then invalid_arg "Catalog.Service.answer: jobs must be >= 1";
+  Telemetry.Metrics.add t.m_batch_requests (Array.length requests);
+  Telemetry.Span.with_span ~hist:t.m_answer_seconds "catalog.answer" (fun () ->
+      (* Group per entry: each distinct name costs one cache access per
+         batch, however many requests mention it.  Resolution runs in the
+         calling domain (cache and disk are single-owner); only the pure
+         summary probes fan out. *)
+      let resolved = Hashtbl.create 8 in
+      Array.iter
+        (fun (name, _, _) ->
+          if not (Hashtbl.mem resolved name) then
+            Hashtbl.replace resolved name (resolve_exn t name))
+        requests;
+      Parallel.Map.map ~jobs
+        (fun (name, a, b) ->
+          Selest.Stored.selectivity (Hashtbl.find resolved name) ~a ~b)
+        requests)
+
+let answer_one t ~name ~a ~b =
+  if not (mem t name) then unknown name
+  else
+    match resolve_exn t name with
+    | exception Invalid_argument msg -> Error msg
+    | summary -> Ok (Selest.Stored.selectivity summary ~a ~b)
+
+let cache_stats t = Lru.stats t.cache

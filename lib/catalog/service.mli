@@ -1,0 +1,127 @@
+(** The estimator catalog: named statistics summaries served from a
+    bounded cache over a snapshot directory.
+
+    This is the layer a plan-time consumer talks to.  Each entry is a
+    compact [Selest.Stored] summary built once from a sample (ANALYZE),
+    persisted as an atomic snapshot file ({!Snapshot}), kept hot in an LRU
+    cache ({!Lru}) while queried, tracked for staleness as the underlying
+    relation changes, and rebuilt from a fresh sample when its insert
+    budget runs out.  Batch queries fan out over [Parallel.Map], so
+    serving throughput scales with the [jobs] knob while answers stay
+    bit-identical for every value of it.
+
+    The full entry lifecycle (build → snapshot → serve → stale → rebuild),
+    the on-disk format and cache-tuning guidance are documented in
+    [docs/CATALOG.md].
+
+    A service is single-owner (the cache mutates on reads); concurrency
+    lives {e inside} {!answer}, which only reads immutable summaries from
+    its worker domains. *)
+
+type config = {
+  capacity : int;  (** max summaries resident in the cache (default 32) *)
+  rebuild_after_inserts : int;
+      (** an entry turns stale once this many records changed since its
+          summary was built (default 10_000) *)
+  cells : int;  (** grid resolution of newly built summaries (default 256) *)
+}
+
+val default_config : config
+(** [{ capacity = 32; rebuild_after_inserts = 10_000; cells = 256 }]. *)
+
+type t
+
+val open_dir : ?config:config -> string -> t * (string * string) list
+(** [open_dir dir] opens (creating [dir] if missing) the catalog persisted
+    there and indexes every readable snapshot.  Corrupt snapshot files are
+    skipped and returned as [(file, error)] pairs — recovery never fails
+    the catalog, and the survivors keep serving.  The cache starts cold;
+    summaries load on first access.
+    @raise Invalid_argument on a non-positive [config] field.
+    @raise Sys_error if [dir] cannot be created or read. *)
+
+val dir : t -> string
+(** The snapshot directory this service persists to. *)
+
+val config : t -> config
+(** The configuration the service was opened with. *)
+
+val names : t -> string list
+(** Names of every indexed entry, sorted. *)
+
+val mem : t -> string -> bool
+(** Whether an entry of that name is indexed (resident or on disk only). *)
+
+type info = {
+  name : string;
+  spec : string;  (** compact spec syntax the entry was built with *)
+  cells : int;  (** summary grid resolution *)
+  domain : float * float;  (** estimation domain of the summary *)
+  inserts : int;  (** records changed since the summary was built *)
+  stale : bool;  (** past the insert budget, or explicitly invalidated *)
+  cached : bool;  (** currently resident in the LRU cache *)
+}
+
+val info : t -> string -> info option
+(** Metadata of one entry ([None] if unknown); no cache activity. *)
+
+val infos : t -> info list
+(** {!info} for every entry, sorted by name. *)
+
+val build :
+  t ->
+  name:string ->
+  spec:string ->
+  domain:float * float ->
+  sample:float array ->
+  (info, string) result
+(** [build t ~name ~spec ~domain ~sample] fits [spec] (compact
+    [Selest.Estimator.spec_of_string] syntax) on the sample, reduces it to
+    a [config.cells]-cell summary, snapshots it atomically and caches it.
+    An existing entry of the same name is replaced and its staleness
+    reset.  [Error] on an empty or newline-containing name, an unparseable
+    spec, or estimator-construction failure (empty sample, empty domain). *)
+
+val rebuild : t -> name:string -> sample:float array -> (info, string) result
+(** Re-ANALYZE: {!build} with the entry's recorded spec and domain on a
+    fresh sample, clearing its staleness.  [Error] on an unknown name. *)
+
+val record_inserts : t -> name:string -> int -> (unit, string) result
+(** Tell the catalog the entry's relation changed by that many records
+    (negative for deletes; magnitudes accumulate, mirroring
+    [Selest.Maintenance]).  Once the total reaches
+    [config.rebuild_after_inserts] the entry turns stale — it keeps
+    answering, flagged, until {!rebuild}.  The count is persisted, so
+    staleness survives restarts.  [Error] on an unknown name. *)
+
+val sync_maintenance : t -> name:string -> Selest.Maintenance.t -> (unit, string) result
+(** Mirror a live [Selest.Maintenance] wrapper's
+    [Selest.Maintenance.changed_count] into the entry's staleness tracker:
+    the wrapper owns the fitted estimator and sees the traffic; the
+    catalog serves the summary and needs its update counts.  Overwrites
+    the recorded insert count with the wrapper's.  [Error] on an unknown
+    name. *)
+
+val invalidate : t -> string -> (unit, string) result
+(** Force-stale an entry: marks it (persisted) and drops its cached copy,
+    so the next access reloads the snapshot and reports stale until
+    {!rebuild}.  [Error] on an unknown name. *)
+
+val drop : t -> string -> (unit, string) result
+(** Remove an entry entirely: index, cache and snapshot file.  [Error] on
+    an unknown name. *)
+
+val answer : ?jobs:int -> t -> (string * float * float) array -> float array
+(** [answer t requests] evaluates a batch of [(name, a, b)] range queries
+    and returns their selectivities in request order.  Each distinct name
+    is resolved once per batch — a cache hit, or a miss that loads the
+    snapshot and caches it — then the per-request evaluation runs on
+    [jobs] domains via [Parallel.Map.map]; results are bit-identical for
+    every [jobs] value.  @raise Invalid_argument on an unknown name, an
+    unreadable snapshot, or [jobs < 1]. *)
+
+val answer_one : t -> name:string -> a:float -> b:float -> (float, string) result
+(** Single-query {!answer} with an [Error] instead of an exception. *)
+
+val cache_stats : t -> Lru.stats
+(** Lifetime hit/miss/eviction counts of the summary cache. *)

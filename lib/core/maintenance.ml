@@ -63,6 +63,8 @@ let record_feedback t ~a ~b ~actual_count =
     t.errors <- take t.feedback_window (rel :: t.errors)
   end
 
+let changed_count t = t.changed
+
 let needs_refresh t =
   if float_of_int t.changed >= t.refresh_after_change *. float_of_int t.base_records then
     Some Insert_volume

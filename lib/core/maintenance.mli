@@ -56,6 +56,12 @@ val record_feedback : t -> a:float -> b:float -> actual_count:int -> unit
 (** Report a completed query's true result size.
     @raise Invalid_argument if [actual_count < 0]. *)
 
+val changed_count : t -> int
+(** Records changed (inserted plus deleted) since the last refresh — the
+    raw update count behind the volume trigger.  Serving layers (the
+    catalog) read it to mirror this wrapper's staleness into their own
+    rebuild policy; see [Catalog.Service.sync_maintenance]. *)
+
 val needs_refresh : t -> reason option
 (** Whether a trigger has fired (volume checked first). *)
 

@@ -17,6 +17,7 @@ val create : name:string -> bits:int -> int array -> t
     out-of-domain values. *)
 
 val name : t -> string
+(** The dataset's display name (Table 2 file name, or user-supplied). *)
 
 val bits : t -> int
 (** The domain parameter [p]. *)

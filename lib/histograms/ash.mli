@@ -17,7 +17,11 @@ val build : domain:float * float -> bins:int -> shifts:int -> float array -> t
     empty or the sample is empty. *)
 
 val shifts : t -> int
+(** Number of component histograms [m] averaged by this ASH. *)
+
 val bin_width : t -> float
+(** Common bin width [h] of the component histograms; successive origins
+    differ by [h / shifts]. *)
 
 val selectivity : t -> a:float -> b:float -> float
 (** Mean of the component histograms' formula-(4) estimates. *)

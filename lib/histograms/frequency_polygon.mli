@@ -24,6 +24,8 @@ val of_histogram : Histogram.t -> t
     differ in width by more than 1e-9 relatively. *)
 
 val bins : t -> int
+(** Bin count of the underlying equi-width histogram (the polygon has
+    [bins + 2] knots, one half-bin outside each border). *)
 
 val density : t -> float -> float
 (** Piecewise-linear density; 0 beyond half a bin outside the domain. *)

@@ -23,6 +23,8 @@ val of_samples : edges:float array -> float array -> t
     @raise Invalid_argument on empty [samples] or invalid [edges]. *)
 
 val bins : t -> int
+(** Number of bins [k] (one less than the number of edges). *)
+
 val edges : t -> float array
 (** Shared storage: do not mutate. *)
 
@@ -30,6 +32,8 @@ val counts : t -> float array
 (** Shared storage: do not mutate. *)
 
 val total_count : t -> float
+(** Sum of all bin counts — the [n] of formula (4); fractional for
+    averaged histograms (ASH). *)
 
 val selectivity : t -> a:float -> b:float -> float
 (** Formula (4): [1/n * sum_i n_i / h_i * psi_i(a, b)] where [psi_i] is the

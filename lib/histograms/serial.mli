@@ -23,6 +23,8 @@ val build : bins:int -> float array -> t
     @raise Invalid_argument if [bins <= 0] or the sample is empty. *)
 
 val bucket_count : t -> int
+(** Number of frequency-contiguous buckets actually formed — at most the
+    requested [bins], fewer when the sample has fewer distinct values. *)
 
 val storage_entries : t -> int
 (** Number of stored values — the serial histogram's storage cost, equal to

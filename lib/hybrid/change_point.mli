@@ -23,6 +23,9 @@ type config = {
 }
 
 val default_config : config
+(** The defaults noted per field above: at most 8 change points, 2%
+    minimum separation, 50 samples per segment, a 512-point grid, 5%
+    relative threshold. *)
 
 val detect : ?config:config -> domain:float * float -> float array -> float list
 (** [detect ~domain samples] returns the detected change points in

@@ -22,6 +22,10 @@ type config = {
 }
 
 val default_config : config
+(** [Change_point.default_config] detection, 100-sample merge threshold,
+    normal-scale per-bin bandwidths, Epanechnikov kernel.  (The
+    paper-tuned serving defaults — 16 change points, per-bin DPI1 — live
+    in [Selest.Estimator.hybrid_defaults], which overrides this record.) *)
 
 type t
 

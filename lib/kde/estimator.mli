@@ -22,6 +22,8 @@ type boundary_policy =
   | Boundary_kernels
 
 val boundary_policy_name : boundary_policy -> string
+(** Stable lower-case name (["none"], ["reflection"],
+    ["boundary-kernels"]) used by spec strings and reports. *)
 
 type t
 
@@ -41,10 +43,19 @@ val create :
     kernel). *)
 
 val kernel : t -> Kernels.Kernel.t
+(** The kernel function the estimator was created with. *)
+
 val boundary : t -> boundary_policy
+(** The boundary policy in effect. *)
+
 val bandwidth : t -> float
+(** The smoothing bandwidth [h]. *)
+
 val domain : t -> float * float
+(** The estimation domain [(lo, hi)] samples were clamped to. *)
+
 val sample_size : t -> int
+(** Number of samples [n] held by the estimator. *)
 
 val samples : t -> float array
 (** The sorted sample (shared storage: do not mutate). *)

@@ -16,6 +16,7 @@ val create : h:float -> float array -> t
     @raise Invalid_argument if [h <= 0] or the sample is empty. *)
 
 val bandwidth : t -> float
+(** The pilot's Gaussian bandwidth [h]. *)
 
 val density : t -> float -> float
 (** Gaussian KDE [f_hat(x)]. *)

@@ -22,6 +22,8 @@ val all : t list
 (** Every kernel, Epanechnikov first. *)
 
 val name : t -> string
+(** Stable lower-case name (["epanechnikov"], ["biweight"], ...) used by
+    spec strings and reports. *)
 
 val of_name : string -> t option
 (** Case-insensitive inverse of {!name}. *)

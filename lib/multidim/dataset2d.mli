@@ -16,9 +16,16 @@ val create : name:string -> bits_x:int -> bits_y:int -> (int * int) array -> t
     out-of-domain coordinates. *)
 
 val name : t -> string
+(** The dataset's display name. *)
+
 val bits_x : t -> int
+(** Domain parameter [p] of the first coordinate ([0 .. 2^p - 1]). *)
+
 val bits_y : t -> int
+(** Domain parameter [p] of the second coordinate. *)
+
 val size : t -> int
+(** Number of points. *)
 
 val points : t -> (int * int) array
 (** Shared storage: do not mutate. *)
@@ -36,6 +43,7 @@ val exact_count :
 
 val exact_selectivity :
   t -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float
+(** {!exact_count} divided by {!size}. *)
 
 val sample_without_replacement :
   t -> Prng.Xoshiro256pp.t -> n:int -> (float * float) array
@@ -43,3 +51,4 @@ val sample_without_replacement :
     @raise Invalid_argument if [n <= 0 || n > size t]. *)
 
 val describe : t -> string
+(** One-line human-readable summary (name, domain bits, point count). *)

@@ -16,6 +16,7 @@ val build :
     bin counts. *)
 
 val bins : t -> int * int
+(** The grid resolution [(bins_x, bins_y)]. *)
 
 val selectivity :
   t -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float

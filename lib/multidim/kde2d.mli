@@ -29,7 +29,10 @@ val create :
     bandwidths. *)
 
 val bandwidths : t -> float * float
+(** The per-axis bandwidths [(hx, hy)]. *)
+
 val sample_size : t -> int
+(** Number of sample points held by the estimator. *)
 
 val selectivity :
   t -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float

@@ -24,6 +24,7 @@ val add : t -> float array -> unit
 (** [add t batch] appends a batch of sampled attribute values. *)
 
 val sample_size : t -> int
+(** Total number of sampled values received so far across all batches. *)
 
 type estimate = {
   kernel_selectivity : float;  (** the kernel estimate, in [[0, 1]] *)

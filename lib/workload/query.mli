@@ -6,8 +6,10 @@ val make : lo:float -> hi:float -> t
 (** @raise Invalid_argument if [lo > hi] or a bound is not finite. *)
 
 val width : t -> float
+(** [hi - lo]. *)
 
 val center : t -> float
+(** The range midpoint [(lo + hi) / 2]. *)
 
 val contains : t -> float -> bool
 (** Inclusive on both ends, matching [a <= r.A <= b]. *)

@@ -1,0 +1,291 @@
+(* The catalog serving layer: LRU residency policy, atomic snapshot
+   persistence with skip-and-report recovery, staleness tracking, and the
+   batch query front end's jobs-independence. *)
+
+module Lru = Catalog.Lru
+module Snapshot = Catalog.Snapshot
+module Service = Catalog.Service
+
+let check = Alcotest.check
+
+let fresh_dir () =
+  let base = Filename.temp_file "selest_catalog_test" "" in
+  Sys.remove base;
+  Sys.mkdir base 0o755;
+  base
+
+(* A deterministic skewed sample on the integer domain [0, 96]. *)
+let sample_a = Array.init 500 (fun i -> float_of_int (i * i mod 97))
+let sample_b = Array.init 400 (fun i -> float_of_int (i mod 61))
+let domain_a = (-0.5, 96.5)
+let domain_b = (-0.5, 60.5)
+
+let or_fail = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* ---------------- Lru ---------------- *)
+
+let test_lru_eviction () =
+  let c = Lru.create ~cache_name:"t-evict" ~capacity:2 () in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check (Alcotest.option Alcotest.int) "promote a" (Some 1) (Lru.find c "a");
+  Lru.add c "c" 3;
+  check (Alcotest.list Alcotest.string) "b evicted, a survived" [ "c"; "a" ] (Lru.keys c);
+  check (Alcotest.option Alcotest.int) "b gone" None (Lru.find c "b");
+  let s = Lru.stats c in
+  check Alcotest.int "hits" 1 s.Lru.hits;
+  check Alcotest.int "misses" 1 s.Lru.misses;
+  check Alcotest.int "evictions" 1 s.Lru.evictions
+
+let test_lru_replace () =
+  let c = Lru.create ~cache_name:"t-replace" ~capacity:2 () in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "a" 10;
+  check Alcotest.int "still two entries" 2 (Lru.length c);
+  check Alcotest.int "no eviction on replace" 0 (Lru.stats c).Lru.evictions;
+  check (Alcotest.option Alcotest.int) "replaced value" (Some 10) (Lru.find c "a");
+  Lru.remove c "a";
+  check Alcotest.int "removed" 1 (Lru.length c);
+  check Alcotest.int "remove is not an eviction" 0 (Lru.stats c).Lru.evictions;
+  check (Alcotest.list Alcotest.string) "peek does not promote" [ "b" ]
+    (ignore (Lru.peek c "b");
+     Lru.keys c)
+
+(* ---------------- Snapshot ---------------- *)
+
+let stored_of sample domain =
+  Selest.Stored.of_sample ~cells:32 ~spec:Selest.Estimator.Sampling ~domain sample
+
+let test_snapshot_round_trip () =
+  let dir = fresh_dir () in
+  let entry =
+    {
+      Snapshot.name = "orders/amount n(20)";
+      spec = "ewh:16";
+      inserts = 123;
+      stale = true;
+      summary = stored_of sample_a domain_a;
+    }
+  in
+  Snapshot.save ~dir entry;
+  let p = Snapshot.path ~dir entry.Snapshot.name in
+  check Alcotest.bool "snapshot file exists" true (Sys.file_exists p);
+  check Alcotest.bool "file name is sanitized" true
+    (String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '%' -> true
+         | _ -> false)
+       (Snapshot.file_name entry.Snapshot.name));
+  check Alcotest.bool "no tmp file left behind" false (Sys.file_exists (p ^ ".tmp"));
+  let loaded = or_fail (Snapshot.load ~path:p) in
+  check Alcotest.string "name" entry.Snapshot.name loaded.Snapshot.name;
+  check Alcotest.string "spec" "ewh:16" loaded.Snapshot.spec;
+  check Alcotest.int "inserts" 123 loaded.Snapshot.inserts;
+  check Alcotest.bool "stale" true loaded.Snapshot.stale;
+  check Alcotest.string "summary bit-identical"
+    (Selest.Stored.to_string entry.Snapshot.summary)
+    (Selest.Stored.to_string loaded.Snapshot.summary)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let test_snapshot_corrupt_skip () =
+  let dir = fresh_dir () in
+  Snapshot.save ~dir
+    { Snapshot.name = "good1"; spec = "ewh:8"; inserts = 0; stale = false;
+      summary = stored_of sample_a domain_a };
+  Snapshot.save ~dir
+    { Snapshot.name = "good2"; spec = "sampling"; inserts = 0; stale = false;
+      summary = stored_of sample_b domain_b };
+  write_file (Filename.concat dir "corrupt.summary") "selest-catalog v1\nname broken\n";
+  write_file (Filename.concat dir "badspec.summary")
+    "selest-catalog v1\nname x\nspec nosuchspec\ninserts 0\nstale 0\nselest-stored v1\ndomain 0 1\ncells 1\n1\n";
+  write_file (Filename.concat dir "notes.txt") "not a snapshot; ignored by extension";
+  let entries, skipped = Snapshot.load_dir ~dir in
+  check (Alcotest.list Alcotest.string) "survivors load" [ "good1"; "good2" ]
+    (List.map (fun (e : Snapshot.entry) -> e.Snapshot.name) entries);
+  check (Alcotest.list Alcotest.string) "corrupt files reported"
+    [ "badspec.summary"; "corrupt.summary" ]
+    (List.sort String.compare (List.map fst skipped))
+
+(* ---------------- Service ---------------- *)
+
+let build_two svc =
+  ignore
+    (or_fail
+       (Service.build svc ~name:"orders/amount" ~spec:"ewh:16" ~domain:domain_a
+          ~sample:sample_a));
+  ignore
+    (or_fail
+       (Service.build svc ~name:"users/age" ~spec:"sampling" ~domain:domain_b
+          ~sample:sample_b))
+
+let requests =
+  [|
+    ("orders/amount", 3.0, 40.0);
+    ("users/age", 0.0, 30.5);
+    ("orders/amount", -10.0, 200.0);
+    ("users/age", 59.0, 60.0);
+    ("orders/amount", 50.0, 50.0);
+  |]
+
+let test_service_reopen () =
+  let dir = fresh_dir () in
+  let svc, warnings = Service.open_dir dir in
+  check Alcotest.int "fresh dir has no warnings" 0 (List.length warnings);
+  build_two svc;
+  let before = Service.answer svc requests in
+  (* "Kill": drop the handle, reopen from disk alone. *)
+  let svc2, warnings2 = Service.open_dir dir in
+  check Alcotest.int "clean reopen has no warnings" 0 (List.length warnings2);
+  check (Alcotest.list Alcotest.string) "entries survive"
+    [ "orders/amount"; "users/age" ] (Service.names svc2);
+  let after = Service.answer svc2 requests in
+  check Alcotest.bool "answers bit-identical across reopen" true (before = after);
+  (* Inject a corrupt snapshot: reopen skips it, reports it, survivors serve. *)
+  write_file (Filename.concat dir "zzz-corrupt.summary") "garbage";
+  let svc3, warnings3 = Service.open_dir dir in
+  check Alcotest.int "corrupt entry reported" 1 (List.length warnings3);
+  check Alcotest.string "reported file" "zzz-corrupt.summary" (fst (List.hd warnings3));
+  check (Alcotest.list Alcotest.string) "survivors keep serving"
+    [ "orders/amount"; "users/age" ] (Service.names svc3);
+  check Alcotest.bool "survivor answers intact" true (Service.answer svc3 requests = before)
+
+let test_answer_jobs_identical () =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  build_two svc;
+  let seq = Service.answer ~jobs:1 svc requests in
+  let par = Service.answer ~jobs:4 svc requests in
+  check Alcotest.bool "jobs=1 vs jobs=4 bit-identical" true (seq = par);
+  Alcotest.check_raises "unknown name raises"
+    (Invalid_argument "Catalog.Service: unknown entry \"nope\"") (fun () ->
+      ignore (Service.answer svc [| ("nope", 0.0, 1.0) |]));
+  (match Service.answer_one svc ~name:"nope" ~a:0.0 ~b:1.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "answer_one accepted an unknown name");
+  let one = or_fail (Service.answer_one svc ~name:"users/age" ~a:0.0 ~b:30.5) in
+  check Alcotest.bool "answer_one matches batch" true (Float.equal one seq.(1))
+
+let test_staleness () =
+  let dir = fresh_dir () in
+  let config = { Service.default_config with rebuild_after_inserts = 100 } in
+  let svc, _ = Service.open_dir ~config dir in
+  build_two svc;
+  or_fail (Service.record_inserts svc ~name:"orders/amount" 60);
+  let i = Option.get (Service.info svc "orders/amount") in
+  check Alcotest.bool "under budget: fresh" false i.Service.stale;
+  or_fail (Service.record_inserts svc ~name:"orders/amount" (-40));
+  let i = Option.get (Service.info svc "orders/amount") in
+  check Alcotest.bool "deletes count as change; budget spent" true i.Service.stale;
+  check Alcotest.int "inserts accumulated" 100 i.Service.inserts;
+  (* Staleness survives a restart. *)
+  let svc2, _ = Service.open_dir ~config dir in
+  let i2 = Option.get (Service.info svc2 "orders/amount") in
+  check Alcotest.bool "stale after reopen" true i2.Service.stale;
+  check Alcotest.int "insert count after reopen" 100 i2.Service.inserts;
+  (* Rebuild clears it. *)
+  let i3 = or_fail (Service.rebuild svc2 ~name:"orders/amount" ~sample:sample_a) in
+  check Alcotest.bool "rebuild clears staleness" false i3.Service.stale;
+  check Alcotest.int "rebuild resets inserts" 0 i3.Service.inserts;
+  check Alcotest.string "rebuild keeps the spec" "ewh:16" i3.Service.spec
+
+let test_invalidate_and_sync () =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  build_two svc;
+  ignore (Service.answer svc [| ("users/age", 0.0, 10.0) |]);
+  check Alcotest.bool "cached after a query" true
+    (Option.get (Service.info svc "users/age")).Service.cached;
+  or_fail (Service.invalidate svc "users/age");
+  let i = Option.get (Service.info svc "users/age") in
+  check Alcotest.bool "invalidate marks stale" true i.Service.stale;
+  check Alcotest.bool "invalidate drops the hot copy" false i.Service.cached;
+  let svc2, _ = Service.open_dir dir in
+  check Alcotest.bool "invalidation persists" true
+    (Option.get (Service.info svc2 "users/age")).Service.stale;
+  (* Maintenance wrapper feeding the catalog's update counts. *)
+  let m =
+    Selest.Maintenance.create ~spec:(Selest.Estimator.Equi_width (Selest.Estimator.Fixed_bins 16))
+      ~domain:domain_a ~sample:sample_a ~n_records:100_000 ()
+  in
+  Selest.Maintenance.record_inserts m 42;
+  or_fail (Service.sync_maintenance svc ~name:"orders/amount" m);
+  check Alcotest.int "maintenance changed_count mirrored" 42
+    (Option.get (Service.info svc "orders/amount")).Service.inserts;
+  (* Drop removes everything. *)
+  or_fail (Service.drop svc "orders/amount");
+  check Alcotest.bool "dropped from index" false (Service.mem svc "orders/amount");
+  check Alcotest.bool "snapshot file removed" false
+    (Sys.file_exists (Snapshot.path ~dir "orders/amount"))
+
+let test_cache_pressure () =
+  let dir = fresh_dir () in
+  let config = { Service.default_config with capacity = 1 } in
+  let svc, _ = Service.open_dir ~config dir in
+  build_two svc;
+  (* build leaves the most recent entry resident; capacity 1 means the
+     earlier one was evicted at build time. *)
+  ignore (Service.answer svc [| ("users/age", 0.0, 10.0); ("users/age", 1.0, 2.0) |]);
+  let s1 = Service.cache_stats svc in
+  check Alcotest.int "one resolution for two same-name requests: hit" 1 s1.Lru.hits;
+  ignore (Service.answer svc [| ("orders/amount", 0.0, 10.0) |]);
+  let s2 = Service.cache_stats svc in
+  check Alcotest.int "evicted entry misses" 1 (s2.Lru.misses - s1.Lru.misses);
+  check Alcotest.bool "eviction happened" true (s2.Lru.evictions > 0);
+  (* The reloaded answer still matches a fresh service's. *)
+  let v = Service.answer svc [| ("users/age", 0.0, 30.5) |] in
+  let svc2, _ = Service.open_dir dir in
+  check Alcotest.bool "reloaded summary bit-identical" true
+    (v = Service.answer svc2 [| ("users/age", 0.0, 30.5) |])
+
+let test_build_errors () =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  (match Service.build svc ~name:"" ~spec:"ewh" ~domain:domain_a ~sample:sample_a with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty name accepted");
+  (match Service.build svc ~name:"x" ~spec:"nosuchspec" ~domain:domain_a ~sample:sample_a with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unparseable spec accepted");
+  (match Service.build svc ~name:"x" ~spec:"ewh" ~domain:domain_a ~sample:[||] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty sample accepted");
+  (match Service.rebuild svc ~name:"ghost" ~sample:sample_a with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rebuild of unknown entry accepted");
+  check Alcotest.int "failed builds left no entries" 0 (List.length (Service.names svc))
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order and stats" `Quick test_lru_eviction;
+          Alcotest.test_case "replace, remove, peek" `Quick test_lru_replace;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "atomic save / load round trip" `Quick test_snapshot_round_trip;
+          Alcotest.test_case "corrupt entries skipped and reported" `Quick
+            test_snapshot_corrupt_skip;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "kill-and-reopen round trip" `Quick test_service_reopen;
+          Alcotest.test_case "batch answers independent of jobs" `Quick
+            test_answer_jobs_identical;
+          Alcotest.test_case "insert budget staleness" `Quick test_staleness;
+          Alcotest.test_case "invalidate, maintenance sync, drop" `Quick
+            test_invalidate_and_sync;
+          Alcotest.test_case "cache pressure: hits, misses, evictions" `Quick
+            test_cache_pressure;
+          Alcotest.test_case "build errors are Errors" `Quick test_build_errors;
+        ] );
+    ]

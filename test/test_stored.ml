@@ -1,0 +1,137 @@
+(* Core.Stored serialization: property-based round-trip guarantees and
+   totality on malformed input.
+
+   The catalog persists summaries through to_string/of_string, so the
+   round trip must reproduce selectivities bit-identically (weights print
+   with 17 significant digits — exact for doubles) and of_string must
+   return Error, never raise, on any corrupt file content. *)
+
+module Stored = Selest.Stored
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 0.0)
+
+(* Build a Stored.t with chosen weights by crafting its textual form —
+   the type is abstract, and of_string is the only weight-level door. *)
+let stored_text ~lo ~hi weights =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "selest-stored v1\n";
+  Buffer.add_string buf (Printf.sprintf "domain %.17g %.17g\n" lo hi);
+  Buffer.add_string buf (Printf.sprintf "cells %d\n" (List.length weights));
+  List.iter (fun w -> Buffer.add_string buf (Printf.sprintf "%.17g\n" w)) weights;
+  Buffer.contents buf
+
+let stored_of_weights ~lo ~hi weights =
+  match Stored.of_string (stored_text ~lo ~hi weights) with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "stored_of_weights rejected valid input: %s" msg
+
+(* Arbitrary domain, weights, and query endpoints (as domain fractions,
+   possibly outside [0,1] to exercise clamping). *)
+let gen_case =
+  QCheck.Gen.(
+    let* lo = float_bound_inclusive 1000.0 in
+    let* width = map (fun w -> 0.5 +. (w *. 1000.0)) (float_bound_inclusive 1.0) in
+    let* weights =
+      list_size (int_range 1 64) (map Float.abs (float_bound_inclusive 0.25))
+    in
+    let* queries =
+      list_size (int_range 1 20)
+        (pair (float_range (-0.3) 1.3) (float_range (-0.3) 1.3))
+    in
+    return (lo -. 500.0, lo -. 500.0 +. width, weights, queries))
+
+let arb_case = QCheck.make gen_case
+
+(* Bit-identical selectivities after one (and two) serialization round
+   trips, on queries anywhere relative to the domain. *)
+let prop_round_trip =
+  QCheck.Test.make ~count:300 ~name:"of_string (to_string t) bit-identical" arb_case
+    (fun (lo, hi, weights, queries) ->
+      let t = stored_of_weights ~lo ~hi weights in
+      match Stored.of_string (Stored.to_string t) with
+      | Error msg -> QCheck.Test.fail_reportf "round trip rejected: %s" msg
+      | Ok t' ->
+        Stored.cells t' = Stored.cells t
+        && Stored.domain t' = Stored.domain t
+        && Stored.to_string t' = Stored.to_string t
+        && List.for_all
+             (fun (fa, fb) ->
+               let a = lo +. (fa *. (hi -. lo)) and b = lo +. (fb *. (hi -. lo)) in
+               Float.equal (Stored.selectivity t ~a ~b) (Stored.selectivity t' ~a ~b))
+             queries)
+
+(* The same guarantee for summaries reduced from a real fitted estimator
+   (the ANALYZE path the catalog actually exercises). *)
+let prop_round_trip_of_sample =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 2 200 in
+        let* sample = array_size (return n) (float_bound_inclusive 1024.0) in
+        let* cells = int_range 1 64 in
+        return (sample, cells))
+  in
+  QCheck.Test.make ~count:60 ~name:"of_sample summaries round-trip" arb
+    (fun (sample, cells) ->
+      let domain = (-0.5, 1024.5) in
+      let t = Stored.of_sample ~cells ~spec:Selest.Estimator.Sampling ~domain sample in
+      match Stored.of_string (Stored.to_string t) with
+      | Error msg -> QCheck.Test.fail_reportf "round trip rejected: %s" msg
+      | Ok t' ->
+        List.for_all
+          (fun (a, b) -> Float.equal (Stored.selectivity t ~a ~b) (Stored.selectivity t' ~a ~b))
+          [ (0.0, 1024.0); (-0.5, 1024.5); (100.0, 101.0); (512.0, 300.0); (1000.0, 2000.0) ])
+
+(* of_string never raises: every malformed input maps to Error. *)
+let malformed_cases =
+  [
+    ("empty", "");
+    ("garbage", "not a summary at all");
+    ("wrong magic", "selest-stored v9\ndomain 0 1\ncells 1\n0.5\n");
+    ("missing domain", "selest-stored v1\ncells 1\n0.5\n");
+    ("empty domain", "selest-stored v1\ndomain 5 5\ncells 1\n0.5\n");
+    ("inverted domain", "selest-stored v1\ndomain 9 3\ncells 1\n0.5\n");
+    ("non-float domain", "selest-stored v1\ndomain a b\ncells 1\n0.5\n");
+    ("missing cells", "selest-stored v1\ndomain 0 1\n0.5\n");
+    ("zero cells", "selest-stored v1\ndomain 0 1\ncells 0\n");
+    ("negative cells", "selest-stored v1\ndomain 0 1\ncells -4\n0.5\n");
+    ("cells mismatch", "selest-stored v1\ndomain 0 1\ncells 3\n0.5\n0.5\n");
+    ("extra weight", "selest-stored v1\ndomain 0 1\ncells 1\n0.5\n0.5\n");
+    ("garbage weight", "selest-stored v1\ndomain 0 1\ncells 2\n0.5\nhello\n");
+    ("negative weight", "selest-stored v1\ndomain 0 1\ncells 2\n0.5\n-0.1\n");
+    ("nan weight", "selest-stored v1\ndomain 0 1\ncells 2\n0.5\nnan\n");
+    ("infinite weight", "selest-stored v1\ndomain 0 1\ncells 2\n0.5\ninf\n");
+  ]
+
+let test_malformed () =
+  List.iter
+    (fun (label, input) ->
+      match Stored.of_string input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: malformed input accepted" label
+      | exception e ->
+        Alcotest.failf "%s: of_string raised %s" label (Printexc.to_string e))
+    malformed_cases
+
+(* to_string survives weights that only differ past float precision. *)
+let test_tiny_weights () =
+  let t = stored_of_weights ~lo:0.0 ~hi:1.0 [ 1e-300; 4.9e-324; 0.0; 0.25 ] in
+  (match Stored.of_string (Stored.to_string t) with
+  | Ok t' -> check Alcotest.string "text identical" (Stored.to_string t) (Stored.to_string t')
+  | Error msg -> Alcotest.failf "denormal weights rejected: %s" msg);
+  checkf "mass of last cell intact"
+    (Stored.selectivity t ~a:0.75 ~b:1.0)
+    0.25
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_round_trip; prop_round_trip_of_sample ] in
+  Alcotest.run "stored"
+    [
+      ("round-trip", qsuite);
+      ( "malformed",
+        [
+          Alcotest.test_case "errors, never raises" `Quick test_malformed;
+          Alcotest.test_case "denormal weights" `Quick test_tiny_weights;
+        ] );
+    ]
