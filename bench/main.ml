@@ -121,7 +121,7 @@ module Record = struct
     let targets = List.rev !order in
     let buf = Buffer.create 4096 in
     Buffer.add_string buf "{\n";
-    Buffer.add_string buf "  \"schema_version\": 1,\n";
+    Buffer.add_string buf "  \"schema_version\": 2,\n";
     Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
     Buffer.add_string buf "  \"targets\": {\n";
     List.iteri
@@ -846,6 +846,101 @@ let bench_catalog () =
     build_stats.Catalog.Lru.evictions
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the network serving layer under closed-loop load             *)
+(* ------------------------------------------------------------------ *)
+
+(* Exercises the full network path: ANALYZE three headline files into a
+   temp catalog, serve it on a Unix-domain socket with --jobs worker
+   domains, drive a 32-connection closed-loop load generator (single
+   estimates, then batched frames), then drain.  Every served answer is
+   checked bit-identical to a direct Catalog.Service.answer call on the
+   same snapshot directory.  BENCH_results.json gets throughput,
+   p50/p95/p99 latency, and error-class counts. *)
+let bench_serve () =
+  header "serve: network serving layer (wire protocol, batching, 32-connection loadgen)";
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "selest_bench_serve" in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let svc, _ = Cat.open_dir dir in
+  List.iter
+    (fun (file, spec) ->
+      let ds = dataset file in
+      match
+        Cat.build svc ~name:(file ^ "/" ^ spec) ~spec ~domain:(E.domain_of ds)
+          ~sample:(sample ds)
+      with
+      | Ok _ -> ()
+      | Error msg -> failwith (Printf.sprintf "serve build %s/%s: %s" file spec msg))
+    (List.concat_map
+       (fun file -> List.map (fun spec -> (file, spec)) [ "ewh"; "kernel" ])
+       [ "u(20)"; "n(20)"; "e(20)" ]);
+  let address =
+    Server.Wire.Unix_socket (Filename.concat (Filename.get_temp_dir_name ()) "selest_bench_serve.sock")
+  in
+  let config = { Server.Engine.default_config with Server.Engine.jobs = !jobs } in
+  let engine = Server.Engine.create ~config ~service:svc address in
+  let server_thread = Thread.create Server.Engine.serve engine in
+  let entries =
+    match Server.Client.connect address with
+    | Error e -> failwith ("serve: connect: " ^ Server.Client.error_to_string e)
+    | Ok client ->
+      let entries =
+        match Server.Client.ls client with
+        | Ok entries -> entries
+        | Error e -> failwith ("serve: ls: " ^ Server.Client.error_to_string e)
+      in
+      Server.Client.close client;
+      entries
+  in
+  let connections = 32 in
+  let requests = Server.Loadgen.synthetic_requests ~entries ~count:6400 ~seed:2024L in
+  let report = Server.Loadgen.run ~connections ~address requests in
+  let batched = Server.Loadgen.run ~batch:16 ~connections ~address requests in
+  Server.Engine.initiate_drain engine;
+  Thread.join server_thread;
+  (* Bit-identity gate: the network path must not perturb a single bit. *)
+  let direct, _ = Cat.open_dir dir in
+  let expected = Cat.answer direct requests in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (r : Server.Loadgen.report) ->
+      Array.iteri
+        (fun i served ->
+          if Float.is_nan served then incr mismatches
+          else if Int64.bits_of_float served <> Int64.bits_of_float expected.(i) then
+            incr mismatches)
+        r.Server.Loadgen.answers)
+    [ report; batched ];
+  if !mismatches > 0 then
+    failwith (Printf.sprintf "serve: %d served answers diverge from direct calls" !mismatches);
+  Record.note_queries ~queries:report.Server.Loadgen.queries
+    ~query_s:report.Server.Loadgen.wall_s;
+  Record.note_extra ~key:"connections" (float_of_int connections);
+  Record.note_extra ~key:"p50_ms" report.Server.Loadgen.p50_ms;
+  Record.note_extra ~key:"p95_ms" report.Server.Loadgen.p95_ms;
+  Record.note_extra ~key:"p99_ms" report.Server.Loadgen.p99_ms;
+  Record.note_extra ~key:"batched_throughput_qps" batched.Server.Loadgen.throughput_qps;
+  Record.note_extra ~key:"errors_total"
+    (float_of_int
+       (List.fold_left
+          (fun n (_, c) -> n + c)
+          0
+          (report.Server.Loadgen.errors @ batched.Server.Loadgen.errors)));
+  List.iter
+    (fun (cls, n) -> Record.note_extra ~key:("errors_" ^ cls) (float_of_int n))
+    report.Server.Loadgen.errors;
+  let s = Server.Engine.stats engine in
+  Record.note_extra ~key:"batches" (float_of_int s.Server.Engine.batches);
+  Record.note_extra ~key:"batched_queries" (float_of_int s.Server.Engine.batched_queries);
+  Printf.printf "single estimates:\n%s\n" (Server.Loadgen.report_to_string report);
+  Printf.printf "batch=16 frames:\n%s\n" (Server.Loadgen.report_to_string batched);
+  Printf.printf
+    "server: %d connections, %d requests, %d answered, %d batches (%d queries merged), \
+     bit-identical to direct answers (jobs %d)\n"
+    s.Server.Engine.connections s.Server.Engine.requests s.Server.Engine.answered
+    s.Server.Engine.batches s.Server.Engine.batched_queries !jobs
+
+(* ------------------------------------------------------------------ *)
 (* Timing: bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -936,6 +1031,7 @@ let targets =
     ("ext_join", ext_join);
     ("ext_mise", ext_mise);
     ("catalog", bench_catalog);
+    ("serve", bench_serve);
     ("timing", timing);
   ]
 
@@ -979,6 +1075,9 @@ let parse_args argv =
     | "--catalog" :: rest ->
       (* Alias for the catalog serving target. *)
       go ("catalog" :: acc) rest
+    | "--serve" :: rest ->
+      (* Alias for the network serving target. *)
+      go ("serve" :: acc) rest
     | "--telemetry" :: path :: rest when path <> "" ->
       telemetry_path := Some path;
       go acc rest

@@ -11,6 +11,8 @@
      lookup      query-latency micro-benchmark for one estimator
      join        equi-join size estimate from per-relation samples
      catalog     persisted summary catalog: build / ls / query / invalidate
+     serve       network estimate server over a catalog directory
+     loadgen     closed-loop load generator against a running server
 
    The global --stats flag (any subcommand) enables telemetry and prints
    the recorded counters, histograms, and spans when the command exits. *)
@@ -333,9 +335,17 @@ let catalog_dir_arg =
 let open_catalog ?config dir =
   match Cat.open_dir ?config dir with
   | svc, skipped ->
+    (* Recovery events must be visible to --stats, not only to whoever
+       happens to watch stderr. *)
+    let skipped_counter =
+      Telemetry.Metrics.counter "catalog_snapshot_skipped_total"
+        ~labels:[ ("dir", Filename.basename dir) ]
+        ~help:"Snapshot files skipped on open: corrupt, or orphaned temp files swept"
+    in
     List.iter
       (fun (file, err) ->
-        Printf.eprintf "selest: catalog: skipping corrupt snapshot %s: %s\n%!" file err)
+        Telemetry.Metrics.incr skipped_counter;
+        Printf.eprintf "selest: catalog: skipping snapshot %s: %s\n%!" file err)
       skipped;
     svc
   | exception (Invalid_argument msg | Sys_error msg) -> or_die (Error msg)
@@ -487,6 +497,153 @@ let catalog_cmd =
   Cmd.group (Cmd.info "catalog" ~doc)
     [ catalog_build_cmd; catalog_ls_cmd; catalog_query_cmd; catalog_invalidate_cmd ]
 
+(* --- serve / loadgen: the network front end over the catalog --- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+       ~doc:"Serve on (or connect to) a Unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT"
+       ~doc:"Serve on (or connect to) TCP port $(docv) instead of a Unix socket.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+       ~doc:"TCP address to bind or connect to (with $(b,--port)).")
+
+let address_of ~host ~socket ~port =
+  match (socket, port) with
+  | Some path, None -> Server.Wire.Unix_socket path
+  | None, Some port -> Server.Wire.Tcp { host; port }
+  | None, None -> or_die (Error "pass --socket PATH or --port PORT")
+  | Some _, Some _ -> or_die (Error "pass either --socket or --port, not both")
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for merged catalog batches; answers are bit-identical \
+               for every value.")
+  in
+  let max_inflight_arg =
+    Arg.(value & opt int Server.Engine.default_config.Server.Engine.max_inflight
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"Admission-control limit: at $(docv) requests in flight, new ones get \
+                   an immediate typed `overloaded' reply.")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int Server.Engine.default_config.Server.Engine.max_batch
+         & info [ "max-batch" ] ~docv:"N"
+             ~doc:"Ceiling on range queries merged into one catalog batch.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float Server.Engine.default_config.Server.Engine.deadline_s
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Requests queued longer than $(docv) get a typed `timeout' reply \
+                   (0 disables deadlines).")
+  in
+  let run dir socket port host jobs max_inflight max_batch deadline_s =
+    if jobs < 1 then or_die (Error "serve: --jobs must be >= 1");
+    if max_inflight < 0 then or_die (Error "serve: --max-inflight must be >= 0");
+    if max_batch < 1 then or_die (Error "serve: --max-batch must be >= 1");
+    let address = address_of ~host ~socket ~port in
+    let svc = open_catalog dir in
+    let config =
+      { Server.Engine.default_config with Server.Engine.jobs; max_inflight; max_batch; deadline_s }
+    in
+    let engine =
+      try Server.Engine.create ~config ~service:svc address
+      with Unix.Unix_error (e, fn, _) ->
+        or_die (Error (Printf.sprintf "serve: %s: %s" fn (Unix.error_message e)))
+    in
+    Server.Engine.install_sigterm engine;
+    Printf.printf "serving %d entries from %s on %s (SIGTERM drains)\n%!"
+      (List.length (Cat.names svc))
+      dir
+      (Server.Wire.address_to_string (Server.Engine.address engine));
+    Server.Engine.serve engine;
+    let s = Server.Engine.stats engine in
+    Printf.printf
+      "drained: %d connections, %d requests, %d answered, %d overloaded, %d timeouts, \
+       %d refused draining, %d protocol errors, %d batches (%d queries merged)\n"
+      s.Server.Engine.connections s.Server.Engine.requests s.Server.Engine.answered
+      s.Server.Engine.overloaded s.Server.Engine.timeouts s.Server.Engine.refused_draining
+      s.Server.Engine.protocol_errors s.Server.Engine.batches s.Server.Engine.batched_queries
+  in
+  let doc =
+    "Serve the catalog over a Unix-domain or TCP socket: concurrent estimate server with \
+     request batching, deadlines, backpressure, and SIGTERM graceful drain \
+     (docs/SERVING.md)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ catalog_dir_arg $ socket_arg $ port_arg $ host_arg $ jobs_arg
+          $ max_inflight_arg $ max_batch_arg $ deadline_arg)
+
+let loadgen_cmd =
+  let connections_arg =
+    Arg.(value & opt int 32 & info [ "connections"; "c" ] ~docv:"N"
+         ~doc:"Concurrent connections (closed loop: one outstanding request each).")
+  in
+  let queries_arg =
+    Arg.(value & opt int 1000 & info [ "queries"; "q" ] ~docv:"N"
+         ~doc:"Total synthetic range queries to issue across all connections.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N"
+         ~doc:"Queries grouped into one batch_estimate frame (1 = one estimate per frame).")
+  in
+  let verify_dir_arg =
+    Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"DIR"
+         ~doc:"After the run, recompute every answered query directly against the \
+               snapshot directory $(docv) and fail unless the served estimates are \
+               bit-identical.")
+  in
+  let run socket port host connections queries batch seed verify =
+    if connections < 1 then or_die (Error "loadgen: --connections must be >= 1");
+    if queries < 0 then or_die (Error "loadgen: --queries must be >= 0");
+    if batch < 1 then or_die (Error "loadgen: --batch must be >= 1");
+    let address = address_of ~host ~socket ~port in
+    let client =
+      match Server.Client.connect address with
+      | Ok c -> c
+      | Error e -> or_die (Error ("loadgen: " ^ Server.Client.error_to_string e))
+    in
+    let entries =
+      match Server.Client.ls client with
+      | Ok [] -> or_die (Error "loadgen: the server has no catalog entries to query")
+      | Ok entries -> entries
+      | Error e -> or_die (Error ("loadgen: ls: " ^ Server.Client.error_to_string e))
+    in
+    Server.Client.close client;
+    let requests = Server.Loadgen.synthetic_requests ~entries ~count:queries ~seed in
+    let report = Server.Loadgen.run ~batch ~connections ~address requests in
+    print_endline (Server.Loadgen.report_to_string report);
+    (match verify with
+    | None -> ()
+    | Some dir ->
+      let svc = open_catalog dir in
+      let expected = try Cat.answer svc requests with Invalid_argument msg -> or_die (Error msg) in
+      let mismatches = ref 0 and checked = ref 0 in
+      Array.iteri
+        (fun i served ->
+          if not (Float.is_nan served) then begin
+            incr checked;
+            if Int64.bits_of_float served <> Int64.bits_of_float expected.(i) then
+              incr mismatches
+          end)
+        report.Server.Loadgen.answers;
+      Printf.printf "verify: %d/%d served answers bit-identical to direct Catalog.Service.answer\n"
+        (!checked - !mismatches) !checked;
+      if !mismatches > 0 then or_die (Error "loadgen: served answers diverge from direct calls"))
+  in
+  let doc =
+    "Closed-loop load generator against a running `selest serve': synthetic range queries \
+     over the served entries, exact p50/p95/p99 latency, throughput, and error classes \
+     (docs/SERVING.md)."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ connections_arg
+          $ queries_arg $ batch_arg $ seed_arg $ verify_dir_arg)
+
 (* --- main --- *)
 
 (* --stats is a global flag, usable with any subcommand: enable telemetry
@@ -535,4 +692,6 @@ let () =
             lookup_cmd;
             join_cmd;
             catalog_cmd;
+            serve_cmd;
+            loadgen_cmd;
           ]))

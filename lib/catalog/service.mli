@@ -35,7 +35,9 @@ val open_dir : ?config:config -> string -> t * (string * string) list
 (** [open_dir dir] opens (creating [dir] if missing) the catalog persisted
     there and indexes every readable snapshot.  Corrupt snapshot files are
     skipped and returned as [(file, error)] pairs — recovery never fails
-    the catalog, and the survivors keep serving.  The cache starts cold;
+    the catalog, and the survivors keep serving.  Orphaned
+    [{!Snapshot.tmp_extension}] files from writes that died mid-rename are
+    swept and reported the same way.  The cache starts cold;
     summaries load on first access.
     @raise Invalid_argument on a non-positive [config] field.
     @raise Sys_error if [dir] cannot be created or read. *)

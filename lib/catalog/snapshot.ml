@@ -98,18 +98,27 @@ let load ~path =
   | exception End_of_file -> Error "truncated file"
   | contents -> parse contents
 
+let tmp_extension = extension ^ ".tmp"
+
 let load_dir ~dir =
-  let files =
-    Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f extension)
-    |> List.sort String.compare
+  let listing = Sys.readdir dir |> Array.to_list |> List.sort String.compare in
+  (* A *.summary.tmp file is a write that died between temp-write and
+     rename; its final file (if any) is intact, so the orphan is pure
+     garbage — sweep it, and report the sweep like a corrupt-file skip. *)
+  let orphans =
+    List.filter (fun f -> Filename.check_suffix f tmp_extension) listing
+    |> List.filter_map (fun f ->
+           match Sys.remove (Filename.concat dir f) with
+           | () -> Some (f, "orphaned temp file from an interrupted write; deleted")
+           | exception Sys_error msg -> Some (f, "orphaned temp file; could not delete: " ^ msg))
   in
+  let files = List.filter (fun f -> Filename.check_suffix f extension) listing in
   List.fold_left
     (fun (ok, skipped) file ->
       match load ~path:(Filename.concat dir file) with
       | Ok e -> (e :: ok, skipped)
       | Error msg -> (ok, (file, msg) :: skipped))
-    ([], []) files
+    ([], List.rev orphans) files
   |> fun (ok, skipped) -> (List.rev ok, List.rev skipped)
 
 let delete ~dir name =

@@ -43,10 +43,16 @@ val load : path:string -> (entry, string) result
     (unreadable file, wrong magic, bad header, unparseable spec, corrupt
     [Stored] payload) and never raises on malformed content. *)
 
+val tmp_extension : string
+(** [".summary.tmp"] — the suffix of in-flight {!save} temp files; one
+    left on disk marks a write that died before its rename. *)
+
 val load_dir : dir:string -> entry list * (string * string) list
 (** Scan [dir] for [*{!extension}] files (sorted by file name) and load
     each: returns the entries that parsed alongside [(file, error)] pairs
     for the ones that did not — the skip-and-report recovery contract.
+    Orphaned [*{!tmp_extension}] files from writes that died before their
+    rename are swept (deleted) first and reported in the same skip list.
     @raise Sys_error if [dir] itself cannot be read. *)
 
 val delete : dir:string -> string -> unit

@@ -1,0 +1,547 @@
+(* The concurrent estimate server.
+
+   Thread architecture: the thread calling [serve] runs the accept loop
+   (a [select] tick so the drain flag is noticed promptly); each accepted
+   connection gets a reader thread; one dispatcher thread owns the
+   [Catalog.Service] — the service is single-owner by contract (its LRU
+   cache mutates on reads), so every catalog operation funnels through
+   that thread.  Connection threads park service-bound requests on a
+   shared queue and block until the dispatcher fulfills them, which is
+   also what batches concurrent clients into single [Service.answer]
+   calls: whatever accumulated while the previous batch ran is merged
+   into one call, amortizing the [Parallel.Map] fan-out across clients.
+
+   Backpressure is admission control at enqueue time: once [max_inflight]
+   requests are in flight the connection thread answers [Overloaded]
+   immediately instead of queueing.  Requests that sat in the queue past
+   [deadline_s] are answered [Timeout] without evaluation.  A drain
+   (SIGTERM or [initiate_drain]) stops the accept loop, answers new
+   requests [Draining], lets every in-flight request finish and its reply
+   be written, then closes all sockets and returns from [serve]. *)
+
+module Service = Catalog.Service
+
+type config = {
+  jobs : int;
+  max_inflight : int;
+  max_batch : int;
+  deadline_s : float;
+  accept_backlog : int;
+  tick_s : float;
+  dispatch_delay_s : float;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    max_inflight = 64;
+    max_batch = 64;
+    deadline_s = 5.0;
+    accept_backlog = 64;
+    tick_s = 0.02;
+    dispatch_delay_s = 0.0;
+  }
+
+type stats = {
+  connections : int;
+  requests : int;
+  answered : int;
+  overloaded : int;
+  timeouts : int;
+  refused_draining : int;
+  protocol_errors : int;
+  batches : int;
+  batched_queries : int;
+}
+
+(* A service-bound request parked by its connection thread. *)
+type job_kind =
+  | Query of { triples : (string * float * float) array; single : bool; spec : string }
+  | Ls_job
+  | Invalidate_job of string
+
+type job = {
+  kind : job_kind;
+  enqueued_at : float;
+  job_m : Mutex.t;
+  job_c : Condition.t;
+  mutable reply : Wire.response option;
+}
+
+type t = {
+  service : Service.t;
+  config : config;
+  address : Wire.address;
+  listen_fd : Unix.file_descr;
+  queue : job Queue.t;
+  q_m : Mutex.t;
+  q_c : Condition.t;
+  draining : bool Atomic.t;
+  dispatcher_stop : bool Atomic.t;
+  inflight : int Atomic.t;
+  conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  conns_m : Mutex.t;
+  conn_seq : int Atomic.t;
+  s_connections : int Atomic.t;
+  s_requests : int Atomic.t;
+  s_answered : int Atomic.t;
+  s_overloaded : int Atomic.t;
+  s_timeouts : int Atomic.t;
+  s_refused_draining : int Atomic.t;
+  s_protocol_errors : int Atomic.t;
+  s_batches : int Atomic.t;
+  s_batched_queries : int Atomic.t;
+  m_connections : Telemetry.Metrics.counter;
+  m_requests : Telemetry.Metrics.counter;
+  m_overloaded : Telemetry.Metrics.counter;
+  m_timeouts : Telemetry.Metrics.counter;
+  m_batches : Telemetry.Metrics.counter;
+  m_batched_queries : Telemetry.Metrics.counter;
+  m_request_seconds : Telemetry.Metrics.histogram;
+}
+
+let create ?(config = default_config) ~service address =
+  Wire.ignore_sigpipe ();
+  if config.jobs < 1 then invalid_arg "Server.Engine.create: jobs must be >= 1";
+  if config.max_inflight < 0 then
+    invalid_arg "Server.Engine.create: max_inflight must be >= 0";
+  if config.max_batch < 1 then invalid_arg "Server.Engine.create: max_batch must be >= 1";
+  if config.accept_backlog < 1 then
+    invalid_arg "Server.Engine.create: accept_backlog must be >= 1";
+  if config.tick_s <= 0.0 then invalid_arg "Server.Engine.create: tick_s must be > 0";
+  let listen_fd =
+    match address with
+    | Wire.Unix_socket path ->
+      (* A path left behind by a dead server would make bind fail; a live
+         server on the same path is indistinguishable, so serving twice
+         from one path is the caller's responsibility. *)
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      fd
+    | Wire.Tcp _ as a ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Wire.sockaddr_of_address a);
+      fd
+  in
+  Unix.listen listen_fd config.accept_backlog;
+  let labels = [ ("addr", Wire.address_to_string address) ] in
+  {
+    service;
+    config;
+    address;
+    listen_fd;
+    queue = Queue.create ();
+    q_m = Mutex.create ();
+    q_c = Condition.create ();
+    draining = Atomic.make false;
+    dispatcher_stop = Atomic.make false;
+    inflight = Atomic.make 0;
+    conns = Hashtbl.create 64;
+    conns_m = Mutex.create ();
+    conn_seq = Atomic.make 0;
+    s_connections = Atomic.make 0;
+    s_requests = Atomic.make 0;
+    s_answered = Atomic.make 0;
+    s_overloaded = Atomic.make 0;
+    s_timeouts = Atomic.make 0;
+    s_refused_draining = Atomic.make 0;
+    s_protocol_errors = Atomic.make 0;
+    s_batches = Atomic.make 0;
+    s_batched_queries = Atomic.make 0;
+    m_connections =
+      Telemetry.Metrics.counter "server_connections_total" ~labels
+        ~help:"Connections accepted by the estimate server";
+    m_requests =
+      Telemetry.Metrics.counter "server_requests_total" ~labels
+        ~help:"Frames decoded into requests";
+    m_overloaded =
+      Telemetry.Metrics.counter "server_overloaded_total" ~labels
+        ~help:"Requests refused by admission control";
+    m_timeouts =
+      Telemetry.Metrics.counter "server_timeouts_total" ~labels
+        ~help:"Requests expired past their deadline before evaluation";
+    m_batches =
+      Telemetry.Metrics.counter "server_batches_total" ~labels
+        ~help:"Service.answer calls issued by the dispatcher";
+    m_batched_queries =
+      Telemetry.Metrics.counter "server_batched_queries_total" ~labels
+        ~help:"Range queries folded into dispatcher batches";
+    m_request_seconds =
+      Telemetry.Metrics.histogram "server_request_seconds" ~labels
+        ~help:"Latency from frame decode to reply written";
+  }
+
+let address t = t.address
+
+let bound_port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | Unix.ADDR_UNIX _ -> None
+
+let stats t =
+  {
+    connections = Atomic.get t.s_connections;
+    requests = Atomic.get t.s_requests;
+    answered = Atomic.get t.s_answered;
+    overloaded = Atomic.get t.s_overloaded;
+    timeouts = Atomic.get t.s_timeouts;
+    refused_draining = Atomic.get t.s_refused_draining;
+    protocol_errors = Atomic.get t.s_protocol_errors;
+    batches = Atomic.get t.s_batches;
+    batched_queries = Atomic.get t.s_batched_queries;
+  }
+
+let draining t = Atomic.get t.draining
+
+(* Only an atomic store, so it is safe inside a signal handler; the
+   accept loop and connection threads poll the flag. *)
+let initiate_drain t = Atomic.set t.draining true
+
+let install_sigterm t =
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> initiate_drain t))
+
+(* ---------------- dispatcher ---------------- *)
+
+let complete job resp =
+  Mutex.lock job.job_m;
+  job.reply <- Some resp;
+  Condition.broadcast job.job_c;
+  Mutex.unlock job.job_m
+
+(* Pop the next batch: blocks until a job arrives or the stop flag is
+   raised, then takes queued jobs up to [max_batch] merged queries (the
+   first job is always taken whole, so an oversized client batch still
+   dispatches).  Returns [] only when stopping on an empty queue. *)
+let next_jobs t =
+  Mutex.lock t.q_m;
+  while Queue.is_empty t.queue && not (Atomic.get t.dispatcher_stop) do
+    Condition.wait t.q_c t.q_m
+  done;
+  let jobs = ref [] in
+  let merged = ref 0 in
+  let full = ref false in
+  while (not !full) && not (Queue.is_empty t.queue) do
+    let j = Queue.peek t.queue in
+    let cost =
+      match j.kind with
+      | Query { triples; _ } -> max 1 (Array.length triples)
+      | Ls_job | Invalidate_job _ -> 1
+    in
+    if !jobs <> [] && !merged + cost > t.config.max_batch then full := true
+    else begin
+      ignore (Queue.pop t.queue);
+      jobs := j :: !jobs;
+      merged := !merged + cost
+    end
+  done;
+  Mutex.unlock t.q_m;
+  List.rev !jobs
+
+let ls_reply t =
+  Wire.Ls_reply
+    (List.map
+       (fun (i : Service.info) ->
+         {
+           Wire.name = i.Service.name;
+           spec = i.Service.spec;
+           cells = i.Service.cells;
+           stale = i.Service.stale;
+           domain = i.Service.domain;
+         })
+       (Service.infos t.service))
+
+(* Answer every query job of the batch with one [Service.answer] call.
+   Each job's slice of the merged array is independent of what else the
+   batch contains — [Parallel.Map.map] is element-wise — so served
+   answers stay bit-identical to a direct call whatever the interleaving
+   of clients. *)
+let run_queries t query_jobs =
+  let total = List.fold_left (fun n (_, len) -> n + len) 0 query_jobs in
+  if total > 0 then begin
+    Atomic.incr t.s_batches;
+    ignore (Atomic.fetch_and_add t.s_batched_queries total);
+    Telemetry.Metrics.incr t.m_batches;
+    Telemetry.Metrics.add t.m_batched_queries total;
+    let merged = Array.make total ("", 0.0, 0.0) in
+    let off = ref 0 in
+    List.iter
+      (fun (job, len) ->
+        (match job.kind with
+        | Query { triples; _ } -> Array.blit triples 0 merged !off len
+        | Ls_job | Invalidate_job _ -> assert false);
+        off := !off + len)
+      query_jobs;
+    match Service.answer ~jobs:t.config.jobs t.service merged with
+    | answers ->
+      let off = ref 0 in
+      List.iter
+        (fun (job, len) ->
+          let reply =
+            match job.kind with
+            | Query { single = true; _ } -> Wire.Estimate_reply answers.(!off)
+            | Query { single = false; _ } -> Wire.Batch_reply (Array.sub answers !off len)
+            | Ls_job | Invalidate_job _ -> assert false
+          in
+          off := !off + len;
+          ignore (Atomic.fetch_and_add t.s_answered len);
+          complete job reply)
+        query_jobs
+    | exception e ->
+      (* Unreadable snapshot mid-flight, or a worker-domain failure: the
+         whole merged call is lost, so every member gets the typed
+         internal error rather than a hung connection. *)
+      let message = Printexc.to_string e in
+      List.iter
+        (fun (job, _) -> complete job (Wire.Error_reply { code = Wire.Internal; message }))
+        query_jobs
+  end
+
+let process_batch t jobs =
+  if t.config.dispatch_delay_s > 0.0 then Thread.delay t.config.dispatch_delay_s;
+  let now = Unix.gettimeofday () in
+  let live =
+    List.filter
+      (fun job ->
+        if t.config.deadline_s > 0.0 && now -. job.enqueued_at > t.config.deadline_s then begin
+          Atomic.incr t.s_timeouts;
+          Telemetry.Metrics.incr t.m_timeouts;
+          complete job
+            (Wire.Error_reply
+               {
+                 code = Wire.Timeout;
+                 message =
+                   Printf.sprintf "request queued %.3fs, past the %.3fs deadline"
+                     (now -. job.enqueued_at) t.config.deadline_s;
+               });
+          false
+        end
+        else true)
+      jobs
+  in
+  (* Catalog metadata operations run inline; queries are validated, then
+     merged into one Service.answer call. *)
+  let query_jobs =
+    List.filter_map
+      (fun job ->
+        match job.kind with
+        | Ls_job ->
+          complete job (ls_reply t);
+          None
+        | Invalidate_job name ->
+          (match Service.invalidate t.service name with
+          | Ok () -> complete job Wire.Invalidated
+          | Error message ->
+            complete job (Wire.Error_reply { code = Wire.Unknown_entry; message }));
+          None
+        | Query { triples; single; spec } -> (
+          match
+            Array.find_opt (fun (name, _, _) -> not (Service.mem t.service name)) triples
+          with
+          | Some (name, _, _) ->
+            complete job
+              (Wire.Error_reply
+                 {
+                   code = Wire.Unknown_entry;
+                   message = Printf.sprintf "unknown catalog entry %S" name;
+                 });
+            None
+          | None ->
+            let spec_conflict =
+              single && spec <> ""
+              &&
+              match triples with
+              | [| (name, _, _) |] -> (
+                match Service.info t.service name with
+                | Some i -> i.Service.spec <> spec
+                | None -> false)
+              | _ -> false
+            in
+            if spec_conflict then begin
+              complete job
+                (Wire.Error_reply
+                   {
+                     code = Wire.Spec_mismatch;
+                     message = Printf.sprintf "entry was not built with spec %S" spec;
+                   });
+              None
+            end
+            else Some (job, Array.length triples)))
+      live
+  in
+  run_queries t query_jobs
+
+let dispatcher_loop t =
+  let rec loop () =
+    match next_jobs t with
+    | [] -> ()  (* stop flag with an empty queue: serve is tearing down *)
+    | jobs ->
+      (try process_batch t jobs
+       with e ->
+         let message = Printexc.to_string e in
+         List.iter
+           (fun job ->
+             if job.reply = None then
+               complete job (Wire.Error_reply { code = Wire.Internal; message }))
+           jobs);
+      loop ()
+  in
+  loop ()
+
+(* ---------------- connection threads ---------------- *)
+
+let send fd response = Wire.write_frame fd (Wire.encode_response response)
+
+let await_reply job =
+  Mutex.lock job.job_m;
+  while job.reply = None do
+    Condition.wait job.job_c job.job_m
+  done;
+  let r = Option.get job.reply in
+  Mutex.unlock job.job_m;
+  r
+
+let handle_request t fd req =
+  match req with
+  | Wire.Ping -> send fd Wire.Pong
+  | _ when Atomic.get t.draining ->
+    Atomic.incr t.s_refused_draining;
+    send fd (Wire.Error_reply { code = Wire.Draining; message = "server is draining" })
+  | req ->
+    if Atomic.get t.inflight >= t.config.max_inflight then begin
+      Atomic.incr t.s_overloaded;
+      Telemetry.Metrics.incr t.m_overloaded;
+      send fd
+        (Wire.Error_reply
+           {
+             code = Wire.Overloaded;
+             message =
+               Printf.sprintf "%d requests in flight (limit %d)" (Atomic.get t.inflight)
+                 t.config.max_inflight;
+           })
+    end
+    else begin
+      Atomic.incr t.inflight;
+      (* The decrement runs after the reply is written (or the write
+         fails), which is what lets the drain sequence equate
+         "inflight = 0" with "every accepted request was answered". *)
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr t.inflight)
+        (fun () ->
+          let kind =
+            match req with
+            | Wire.Ls -> Ls_job
+            | Wire.Invalidate name -> Invalidate_job name
+            | Wire.Estimate { entry; a; b; spec } ->
+              Query { triples = [| (entry, a, b) |]; single = true; spec }
+            | Wire.Batch_estimate triples -> Query { triples; single = false; spec = "" }
+            | Wire.Ping -> assert false
+          in
+          let job =
+            {
+              kind;
+              enqueued_at = Unix.gettimeofday ();
+              job_m = Mutex.create ();
+              job_c = Condition.create ();
+              reply = None;
+            }
+          in
+          Mutex.lock t.q_m;
+          Queue.push job t.queue;
+          Condition.broadcast t.q_c;
+          Mutex.unlock t.q_m;
+          send fd (await_reply job))
+    end
+
+let conn_loop t fd =
+  let rec loop () =
+    match Wire.read_frame fd with
+    | Ok None -> ()
+    | Error message ->
+      (* The stream is no longer frame-aligned: reply if possible, then
+         hang up. *)
+      Atomic.incr t.s_protocol_errors;
+      (try send fd (Wire.Error_reply { code = Wire.Bad_request; message }) with _ -> ())
+    | Ok (Some payload) -> (
+      match Wire.decode_request payload with
+      | Error message ->
+        (* Frame boundaries are intact, so the connection survives a
+           malformed payload. *)
+        Atomic.incr t.s_protocol_errors;
+        send fd (Wire.Error_reply { code = Wire.Bad_request; message });
+        loop ()
+      | Ok req ->
+        Atomic.incr t.s_requests;
+        Telemetry.Metrics.incr t.m_requests;
+        let t0 = Unix.gettimeofday () in
+        handle_request t fd req;
+        Telemetry.Metrics.observe_s t.m_request_seconds (Unix.gettimeofday () -. t0);
+        loop ())
+  in
+  try loop () with
+  | Unix.Unix_error _ | Sys_error _ -> ()
+
+let conn_thread t id fd () =
+  conn_loop t fd;
+  Mutex.lock t.conns_m;
+  Hashtbl.remove t.conns id;
+  (* Closed under the registry lock so the drain sequence can never
+     shut down a descriptor that was already closed and reused. *)
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.unlock t.conns_m
+
+(* ---------------- serve ---------------- *)
+
+let accept_loop t =
+  while not (Atomic.get t.draining) do
+    match Unix.select [ t.listen_fd ] [] [] t.config.tick_s with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Atomic.incr t.s_connections;
+        Telemetry.Metrics.incr t.m_connections;
+        let id = Atomic.fetch_and_add t.conn_seq 1 in
+        Mutex.lock t.conns_m;
+        let th = Thread.create (conn_thread t id fd) () in
+        Hashtbl.replace t.conns id (fd, th);
+        Mutex.unlock t.conns_m
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let quiesced t =
+  Mutex.lock t.q_m;
+  let queued = not (Queue.is_empty t.queue) in
+  Mutex.unlock t.q_m;
+  (not queued) && Atomic.get t.inflight = 0
+
+let serve t =
+  let dispatcher = Thread.create dispatcher_loop t in
+  accept_loop t;
+  (* Drain, phase 1: stop admitting connections.  New connects are
+     refused at the socket layer from here on. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.address with
+  | Wire.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Wire.Tcp _ -> ());
+  (* Phase 2: every accepted request finishes and its reply is written
+     (connection threads decrement [inflight] after the write; requests
+     arriving during this window get the typed Draining reply). *)
+  while not (quiesced t) do
+    Thread.delay 0.005
+  done;
+  (* Phase 3: retire the dispatcher, then unblock idle readers. *)
+  Atomic.set t.dispatcher_stop true;
+  Mutex.lock t.q_m;
+  Condition.broadcast t.q_c;
+  Mutex.unlock t.q_m;
+  Thread.join dispatcher;
+  Mutex.lock t.conns_m;
+  let remaining = Hashtbl.fold (fun _ conn acc -> conn :: acc) t.conns [] in
+  List.iter
+    (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    remaining;
+  Mutex.unlock t.conns_m;
+  List.iter (fun (_, th) -> Thread.join th) remaining

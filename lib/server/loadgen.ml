@@ -1,0 +1,162 @@
+type report = {
+  connections : int;
+  queries : int;
+  ok : int;
+  wall_s : float;
+  throughput_qps : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  errors : (string * int) list;
+  answers : float array;
+}
+
+let error_class = function
+  | Client.Transport _ -> "transport"
+  | Client.Protocol _ -> "protocol"
+  | Client.Server (code, _) -> Wire.error_code_to_string code
+
+let synthetic_requests ~entries ~count ~seed =
+  if entries = [] then invalid_arg "Server.Loadgen.synthetic_requests: no entries";
+  if count < 0 then invalid_arg "Server.Loadgen.synthetic_requests: count < 0";
+  let pool = Array.of_list entries in
+  let rng = Prng.Splitmix64.create seed in
+  Array.init count (fun _ ->
+      let e = pool.(Prng.Splitmix64.next_below rng (Array.length pool)) in
+      let lo, hi = e.Wire.domain in
+      let width = hi -. lo in
+      let x = lo +. (width *. Prng.Splitmix64.next_float rng) in
+      let y = lo +. (width *. Prng.Splitmix64.next_float rng) in
+      (e.Wire.name, Float.min x y, Float.max x y))
+
+(* Exact q-quantile of a sorted array: the smallest element with at
+   least [ceil (q*n)] observations at or below it. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+
+(* The per-worker slice [i] of [total] items: contiguous, so workers can
+   write their answers into disjoint ranges of one shared array. *)
+let slice_bounds total workers i =
+  let base = total / workers and rem = total mod workers in
+  let start = (i * base) + min i rem in
+  let len = base + if i < rem then 1 else 0 in
+  (start, len)
+
+type worker_out = {
+  mutable w_latencies : float list;  (** per-exchange round-trip seconds *)
+  mutable w_ok : int;
+  mutable w_errors : (string * int) list;
+}
+
+let record_error out cls =
+  out.w_errors <-
+    (match List.assoc_opt cls out.w_errors with
+    | Some n -> (cls, n + 1) :: List.remove_assoc cls out.w_errors
+    | None -> (cls, 1) :: out.w_errors)
+
+let run ?(client_config = Client.default_config) ?(batch = 1) ~connections ~address requests =
+  if connections < 1 then invalid_arg "Server.Loadgen.run: connections < 1";
+  if batch < 1 then invalid_arg "Server.Loadgen.run: batch < 1";
+  let total = Array.length requests in
+  let answers = Array.make total Float.nan in
+  let m_queries =
+    Telemetry.Metrics.counter "loadgen_queries_total" ~help:"Queries issued by the load generator"
+  in
+  let m_latency =
+    Telemetry.Metrics.histogram "loadgen_latency_seconds"
+      ~help:"Round-trip latency of load-generator exchanges"
+  in
+  let outs =
+    Array.init connections (fun _ -> { w_latencies = []; w_ok = 0; w_errors = [] })
+  in
+  let worker i () =
+    let out = outs.(i) in
+    let start, len = slice_bounds total connections i in
+    (* Distinct seed per worker so retry jitter decorrelates. *)
+    let client =
+      Client.create ~config:{ client_config with seed = Int64.add client_config.seed (Int64.of_int i) } address
+    in
+    let pos = ref start in
+    let stop = start + len in
+    while !pos < stop do
+      let n = min batch (stop - !pos) in
+      let t0 = Unix.gettimeofday () in
+      (if n = 1 then begin
+         let entry, a, b = requests.(!pos) in
+         match Client.estimate client ~entry ~a ~b with
+         | Ok x ->
+           answers.(!pos) <- x;
+           out.w_ok <- out.w_ok + 1
+         | Error e -> record_error out (error_class e)
+       end
+       else
+         match Client.batch_estimate client (Array.sub requests !pos n) with
+         | Ok xs ->
+           Array.blit xs 0 answers !pos n;
+           out.w_ok <- out.w_ok + n
+         | Error e -> record_error out (error_class e));
+      let dt = Unix.gettimeofday () -. t0 in
+      out.w_latencies <- dt :: out.w_latencies;
+      Telemetry.Metrics.add m_queries n;
+      Telemetry.Metrics.observe_s m_latency dt;
+      pos := !pos + n
+    done;
+    Client.close client
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = Array.init connections (fun i -> Thread.create (worker i) ()) in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc o -> List.rev_append o.w_latencies acc) [] outs)
+  in
+  Array.sort compare latencies;
+  let ok = Array.fold_left (fun n o -> n + o.w_ok) 0 outs in
+  let errors =
+    Array.fold_left
+      (fun acc o ->
+        List.fold_left
+          (fun acc (cls, n) ->
+            match List.assoc_opt cls acc with
+            | Some m -> (cls, m + n) :: List.remove_assoc cls acc
+            | None -> (cls, n) :: acc)
+          acc o.w_errors)
+      [] outs
+    |> List.sort compare
+  in
+  let ms x = 1000.0 *. x in
+  let sum = Array.fold_left ( +. ) 0.0 latencies in
+  let exchanges = Array.length latencies in
+  {
+    connections;
+    queries = total;
+    ok;
+    wall_s;
+    throughput_qps = (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
+    mean_ms = (if exchanges > 0 then ms (sum /. float_of_int exchanges) else Float.nan);
+    p50_ms = ms (percentile latencies 0.50);
+    p95_ms = ms (percentile latencies 0.95);
+    p99_ms = ms (percentile latencies 0.99);
+    max_ms = (if exchanges > 0 then ms latencies.(exchanges - 1) else Float.nan);
+    errors;
+    answers;
+  }
+
+let report_to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%d queries over %d connections in %.3fs (%.0f q/s)\n" r.queries
+       r.connections r.wall_s r.throughput_qps);
+  Buffer.add_string b
+    (Printf.sprintf "latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n"
+       r.mean_ms r.p50_ms r.p95_ms r.p99_ms r.max_ms);
+  Buffer.add_string b (Printf.sprintf "ok %d / %d" r.ok r.queries);
+  if r.errors <> [] then begin
+    Buffer.add_string b "  errors:";
+    List.iter (fun (cls, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" cls n)) r.errors
+  end;
+  Buffer.contents b

@@ -1,0 +1,58 @@
+(** Closed-loop load generator for the estimate server.
+
+    [connections] worker threads each own a {!Client} and drive their
+    contiguous slice of the request array as fast as replies come back
+    (closed loop: at most one outstanding exchange per connection, so
+    offered load adapts to server latency instead of overrunning it).
+    Latency is measured per exchange — per query with [batch = 1], per
+    frame otherwise — and summarized with exact percentiles over the
+    merged samples.  Methodology and interpretation guidance live in
+    [docs/SERVING.md]. *)
+
+type report = {
+  connections : int;  (** worker threads = concurrent connections *)
+  queries : int;  (** range queries attempted *)
+  ok : int;  (** queries answered with an estimate *)
+  wall_s : float;  (** wall-clock of the whole run *)
+  throughput_qps : float;  (** [queries / wall_s] *)
+  mean_ms : float;  (** mean exchange latency, milliseconds *)
+  p50_ms : float;  (** exact median exchange latency *)
+  p95_ms : float;  (** exact 95th-percentile exchange latency *)
+  p99_ms : float;  (** exact 99th-percentile exchange latency *)
+  max_ms : float;  (** slowest exchange *)
+  errors : (string * int) list;
+      (** failures by class, sorted: typed server codes
+          (["overloaded"], ["timeout"], ...), ["transport"],
+          ["protocol"] *)
+  answers : float array;
+      (** per-request estimates, aligned with the request array; [nan]
+          where the query failed — lets callers verify bit-identity
+          against a direct [Catalog.Service.answer] call *)
+}
+
+val synthetic_requests :
+  entries:Wire.entry_info list -> count:int -> seed:int64 -> (string * float * float) array
+(** [count] random range queries over the given entries (uniform entry
+    choice; endpoints uniform in the entry's domain, ordered), fully
+    deterministic from [seed].  Feed it the {!Client.ls} reply.
+    @raise Invalid_argument on an empty entry list or negative count. *)
+
+val run :
+  ?client_config:Client.config ->
+  ?batch:int ->
+  connections:int ->
+  address:Wire.address ->
+  (string * float * float) array ->
+  report
+(** Drive the request array against the server and block until every
+    worker finishes.  [batch] groups consecutive queries of a worker's
+    slice into one [batch_estimate] frame (default [1]: one [estimate]
+    per exchange).  Each worker's retry jitter is seeded from
+    [client_config.seed] plus its index, so runs are reproducible.
+    Counts also flow into the [Telemetry] registry as [loadgen_*]
+    metrics when telemetry is enabled.
+    @raise Invalid_argument if [connections < 1] or [batch < 1]. *)
+
+val report_to_string : report -> string
+(** Multi-line human-readable summary (throughput, latency percentiles,
+    error classes). *)

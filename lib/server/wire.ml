@@ -1,0 +1,396 @@
+(* The selest wire protocol, version 1.
+
+   Frame = 4-byte big-endian payload length, then the payload.
+   Payload = version byte, opcode byte, opcode-specific body.  All
+   multi-byte integers are big-endian; floats travel as the 8 bytes of
+   their IEEE-754 representation, so selectivities survive the wire
+   bit-for-bit.  Strings carry a 16-bit length prefix; arrays a 32-bit
+   count.
+
+   Decoding is total: every malformed input — wrong version, unknown
+   opcode, truncated body, trailing bytes, oversized counts — comes back
+   as [Error], never as an exception. *)
+
+type address = Unix_socket of string | Tcp of { host : string; port : int }
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+
+let sockaddr_of_address = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let version = 1
+let max_frame_bytes = 1 lsl 24
+
+type request =
+  | Ping
+  | Ls
+  | Estimate of { entry : string; a : float; b : float; spec : string }
+  | Batch_estimate of (string * float * float) array
+  | Invalidate of string
+
+type error_code =
+  | Bad_request
+  | Unknown_entry
+  | Spec_mismatch
+  | Overloaded
+  | Timeout
+  | Draining
+  | Internal
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_entry -> "unknown_entry"
+  | Spec_mismatch -> "spec_mismatch"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Draining -> "draining"
+  | Internal -> "internal"
+
+type entry_info = {
+  name : string;
+  spec : string;
+  cells : int;
+  stale : bool;
+  domain : float * float;
+}
+
+type response =
+  | Pong
+  | Ls_reply of entry_info list
+  | Estimate_reply of float
+  | Batch_reply of float array
+  | Invalidated
+  | Error_reply of { code : error_code; message : string }
+
+(* ---------------- encoding ---------------- *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u16 buf v =
+  add_u8 buf (v lsr 8);
+  add_u8 buf v
+
+let add_u32 buf v =
+  add_u8 buf (v lsr 24);
+  add_u8 buf (v lsr 16);
+  add_u8 buf (v lsr 8);
+  add_u8 buf v
+
+let add_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    add_u8 buf (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+let add_string16 buf s =
+  if String.length s > 0xffff then
+    invalid_arg "Server.Wire: string field longer than 65535 bytes";
+  add_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_triple buf (entry, a, b) =
+  add_string16 buf entry;
+  add_f64 buf a;
+  add_f64 buf b
+
+let code_of_error = function
+  | Bad_request -> 0
+  | Unknown_entry -> 1
+  | Spec_mismatch -> 2
+  | Overloaded -> 3
+  | Timeout -> 4
+  | Draining -> 5
+  | Internal -> 6
+
+let with_header opcode fill =
+  let buf = Buffer.create 64 in
+  add_u8 buf version;
+  add_u8 buf opcode;
+  fill buf;
+  Buffer.contents buf
+
+let encode_request = function
+  | Ping -> with_header 0x01 ignore
+  | Ls -> with_header 0x02 ignore
+  | Estimate { entry; a; b; spec } ->
+    with_header 0x03 (fun buf ->
+        add_string16 buf entry;
+        add_f64 buf a;
+        add_f64 buf b;
+        add_string16 buf spec)
+  | Batch_estimate triples ->
+    with_header 0x04 (fun buf ->
+        add_u32 buf (Array.length triples);
+        Array.iter (add_triple buf) triples)
+  | Invalidate name -> with_header 0x05 (fun buf -> add_string16 buf name)
+
+let encode_response = function
+  | Pong -> with_header 0x81 ignore
+  | Ls_reply entries ->
+    with_header 0x82 (fun buf ->
+        add_u32 buf (List.length entries);
+        List.iter
+          (fun e ->
+            add_string16 buf e.name;
+            add_string16 buf e.spec;
+            add_u32 buf e.cells;
+            add_u8 buf (if e.stale then 1 else 0);
+            add_f64 buf (fst e.domain);
+            add_f64 buf (snd e.domain))
+          entries)
+  | Estimate_reply v -> with_header 0x83 (fun buf -> add_f64 buf v)
+  | Batch_reply vs ->
+    with_header 0x84 (fun buf ->
+        add_u32 buf (Array.length vs);
+        Array.iter (add_f64 buf) vs)
+  | Invalidated -> with_header 0x85 ignore
+  | Error_reply { code; message } ->
+    with_header 0x8f (fun buf ->
+        add_u8 buf (code_of_error code);
+        add_string16 buf message)
+
+(* ---------------- decoding ---------------- *)
+
+(* A cursor over the payload.  Readers raise [Malformed] internally; the
+   public decoders catch it, which keeps the total-decode contract in one
+   place. *)
+exception Malformed of string
+
+type cursor = { data : string; mutable pos : int }
+
+let need cur n what =
+  if cur.pos + n > String.length cur.data then
+    raise (Malformed (Printf.sprintf "truncated %s at byte %d" what cur.pos))
+
+let get_u8 cur what =
+  need cur 1 what;
+  let v = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  v
+
+let get_u16 cur what =
+  let hi = get_u8 cur what in
+  let lo = get_u8 cur what in
+  (hi lsl 8) lor lo
+
+let get_u32 cur what =
+  let a = get_u16 cur what in
+  let b = get_u16 cur what in
+  (a lsl 16) lor b
+
+let get_f64 cur what =
+  need cur 8 what;
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (get_u8 cur what))
+  done;
+  Int64.float_of_bits !bits
+
+let get_string16 cur what =
+  let len = get_u16 cur what in
+  need cur len what;
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+(* Counts are bounded by what could physically fit in a maximal frame, so
+   a corrupt length cannot make the decoder allocate gigabytes. *)
+let get_count cur ~item_bytes what =
+  let n = get_u32 cur what in
+  if n * item_bytes > max_frame_bytes then
+    raise (Malformed (Printf.sprintf "implausible %s count %d" what n));
+  n
+
+let get_triple cur =
+  let entry = get_string16 cur "batch entry" in
+  let a = get_f64 cur "batch bound a" in
+  let b = get_f64 cur "batch bound b" in
+  (entry, a, b)
+
+let error_of_code = function
+  | 0 -> Bad_request
+  | 1 -> Unknown_entry
+  | 2 -> Spec_mismatch
+  | 3 -> Overloaded
+  | 4 -> Timeout
+  | 5 -> Draining
+  | 6 -> Internal
+  | c -> raise (Malformed (Printf.sprintf "unknown error code %d" c))
+
+let decode kind payload parse_op =
+  let cur = { data = payload; pos = 0 } in
+  match
+    let v = get_u8 cur "version byte" in
+    if v <> version then
+      raise (Malformed (Printf.sprintf "unsupported protocol version %d (want %d)" v version));
+    let op = get_u8 cur "opcode" in
+    let msg = parse_op cur op in
+    if cur.pos <> String.length payload then
+      raise
+        (Malformed
+           (Printf.sprintf "%d trailing bytes after %s" (String.length payload - cur.pos) kind));
+    msg
+  with
+  | msg -> Ok msg
+  | exception Malformed why -> Error why
+
+let decode_request payload =
+  decode "request" payload (fun cur -> function
+    | 0x01 -> Ping
+    | 0x02 -> Ls
+    | 0x03 ->
+      let entry = get_string16 cur "entry name" in
+      let a = get_f64 cur "bound a" in
+      let b = get_f64 cur "bound b" in
+      let spec = get_string16 cur "spec" in
+      Estimate { entry; a; b; spec }
+    | 0x04 ->
+      let n = get_count cur ~item_bytes:18 "batch" in
+      Batch_estimate (Array.init n (fun _ -> get_triple cur))
+    | 0x05 -> Invalidate (get_string16 cur "entry name")
+    | op -> raise (Malformed (Printf.sprintf "unknown request opcode 0x%02x" op)))
+
+let decode_response payload =
+  decode "response" payload (fun cur -> function
+    | 0x81 -> Pong
+    | 0x82 ->
+      let n = get_count cur ~item_bytes:25 "ls" in
+      Ls_reply
+        (List.init n (fun _ ->
+             let name = get_string16 cur "ls name" in
+             let spec = get_string16 cur "ls spec" in
+             let cells = get_u32 cur "ls cells" in
+             let stale =
+               match get_u8 cur "ls stale flag" with
+               | 0 -> false
+               | 1 -> true
+               | v -> raise (Malformed (Printf.sprintf "malformed stale flag %d" v))
+             in
+             let lo = get_f64 cur "ls domain lo" in
+             let hi = get_f64 cur "ls domain hi" in
+             { name; spec; cells; stale; domain = (lo, hi) }))
+    | 0x83 -> Estimate_reply (get_f64 cur "estimate reply")
+    | 0x84 ->
+      let n = get_count cur ~item_bytes:8 "batch reply" in
+      Batch_reply (Array.init n (fun _ -> get_f64 cur "batch reply value"))
+    | 0x85 -> Invalidated
+    | 0x8f ->
+      let code = error_of_code (get_u8 cur "error code") in
+      let message = get_string16 cur "error message" in
+      Error_reply { code; message }
+    | op -> raise (Malformed (Printf.sprintf "unknown response opcode 0x%02x" op)))
+
+(* ---------------- frame I/O ---------------- *)
+
+let really_write fd bytes =
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    let n = Unix.write fd bytes !written (len - !written) in
+    if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    written := !written + n
+  done
+
+(* A peer that hangs up mid-write must surface as EPIPE on that write —
+   the caller's per-connection error path — not as a process-killing
+   SIGPIPE.  Process-global, so done once; both endpoints call this
+   before their first socket I/O. *)
+let ignore_sigpipe =
+  let done_ = lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore) in
+  fun () -> Lazy.force done_
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame_bytes then invalid_arg "Server.Wire.write_frame: payload too large";
+  let frame = Bytes.create (4 + len) in
+  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set frame 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 frame 4 len;
+  really_write fd frame
+
+(* Reads exactly [n] bytes; [`Eof k] reports how many arrived before the
+   peer closed. *)
+let really_read fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> `Eof off
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_frame fd =
+  match really_read fd 4 with
+  | `Eof 0 -> Ok None
+  | `Eof _ -> Error "connection closed inside a frame header"
+  | `Ok header ->
+    let len =
+      (Char.code header.[0] lsl 24)
+      lor (Char.code header.[1] lsl 16)
+      lor (Char.code header.[2] lsl 8)
+      lor Char.code header.[3]
+    in
+    if len > max_frame_bytes then Error (Printf.sprintf "frame of %d bytes exceeds limit" len)
+    else if len < 2 then Error (Printf.sprintf "frame of %d bytes is below the 2-byte header" len)
+    else (
+      match really_read fd len with
+      | `Eof _ -> Error "connection closed inside a frame body"
+      | `Ok payload -> Ok (Some payload))
+
+(* ---------------- equality and printing ---------------- *)
+
+let float_eq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let triple_eq (n1, a1, b1) (n2, a2, b2) = String.equal n1 n2 && float_eq a1 a2 && float_eq b1 b2
+
+let equal_request r1 r2 =
+  match (r1, r2) with
+  | Ping, Ping | Ls, Ls -> true
+  | Estimate e1, Estimate e2 ->
+    String.equal e1.entry e2.entry && float_eq e1.a e2.a && float_eq e1.b e2.b
+    && String.equal e1.spec e2.spec
+  | Batch_estimate t1, Batch_estimate t2 ->
+    Array.length t1 = Array.length t2 && Array.for_all2 triple_eq t1 t2
+  | Invalidate n1, Invalidate n2 -> String.equal n1 n2
+  | (Ping | Ls | Estimate _ | Batch_estimate _ | Invalidate _), _ -> false
+
+let entry_info_eq e1 e2 =
+  String.equal e1.name e2.name && String.equal e1.spec e2.spec && e1.cells = e2.cells
+  && Bool.equal e1.stale e2.stale
+  && float_eq (fst e1.domain) (fst e2.domain)
+  && float_eq (snd e1.domain) (snd e2.domain)
+
+let equal_response r1 r2 =
+  match (r1, r2) with
+  | Pong, Pong | Invalidated, Invalidated -> true
+  | Ls_reply l1, Ls_reply l2 -> List.length l1 = List.length l2 && List.for_all2 entry_info_eq l1 l2
+  | Estimate_reply v1, Estimate_reply v2 -> float_eq v1 v2
+  | Batch_reply v1, Batch_reply v2 ->
+    Array.length v1 = Array.length v2 && Array.for_all2 float_eq v1 v2
+  | Error_reply e1, Error_reply e2 -> e1.code = e2.code && String.equal e1.message e2.message
+  | (Pong | Ls_reply _ | Estimate_reply _ | Batch_reply _ | Invalidated | Error_reply _), _ ->
+    false
+
+let request_to_string = function
+  | Ping -> "ping"
+  | Ls -> "ls"
+  | Estimate { entry; a; b; spec } ->
+    Printf.sprintf "estimate %S [%h, %h] spec=%S" entry a b spec
+  | Batch_estimate triples -> Printf.sprintf "batch_estimate(%d)" (Array.length triples)
+  | Invalidate name -> Printf.sprintf "invalidate %S" name
+
+let response_to_string = function
+  | Pong -> "pong"
+  | Ls_reply entries -> Printf.sprintf "ls_reply(%d)" (List.length entries)
+  | Estimate_reply v -> Printf.sprintf "estimate_reply %h" v
+  | Batch_reply vs -> Printf.sprintf "batch_reply(%d)" (Array.length vs)
+  | Invalidated -> "invalidated"
+  | Error_reply { code; message } ->
+    Printf.sprintf "error %s: %s" (error_code_to_string code) message

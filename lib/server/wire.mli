@@ -1,0 +1,126 @@
+(** The versioned, length-prefixed binary protocol of the estimate server.
+
+    A conversation is a sequence of frames in each direction: a 4-byte
+    big-endian payload length followed by the payload, whose first two
+    bytes are the protocol {!version} and an opcode.  Integers are
+    big-endian, floats are the 8 bytes of their IEEE-754 representation
+    (selectivities cross the wire bit-for-bit), strings carry a 16-bit
+    length prefix and arrays a 32-bit count.  The full frame layout, with
+    a worked hex example, is documented in [docs/SERVING.md].
+
+    Decoding is {e total}: a malformed payload — wrong version, unknown
+    opcode, truncated field, implausible count, trailing bytes — always
+    yields [Error], never an exception, so a hostile or buggy peer cannot
+    crash the server.  [test/test_server.ml] holds the qcheck round-trip
+    and totality properties. *)
+
+type address = Unix_socket of string | Tcp of { host : string; port : int }
+(** A serving endpoint: a Unix-domain socket path, or a TCP host/port
+    (the host must be a literal address, e.g. ["127.0.0.1"]). *)
+
+val address_to_string : address -> string
+(** Human-readable endpoint, e.g. ["unix:/tmp/selest.sock"] or
+    ["127.0.0.1:7979"]. *)
+
+val sockaddr_of_address : address -> Unix.sockaddr
+(** The [Unix.sockaddr] to bind or connect to.
+    @raise Failure on a [Tcp] host that is not a literal IP address. *)
+
+val version : int
+(** Protocol version spoken by this build ([1]); both decoders reject
+    payloads carrying any other version byte. *)
+
+val max_frame_bytes : int
+(** Upper bound on a frame payload (16 MiB).  {!write_frame} refuses
+    larger payloads; {!read_frame} rejects larger headers without
+    allocating. *)
+
+type request =
+  | Ping  (** liveness probe; answered without touching the catalog *)
+  | Ls  (** list the served entries with spec, staleness and domain *)
+  | Estimate of { entry : string; a : float; b : float; spec : string }
+      (** one range-selectivity query [Q(a,b)] against a named entry;
+          [spec] may pin the estimator spec the entry must have been
+          built with ([""] = any) *)
+  | Batch_estimate of (string * float * float) array
+      (** many [(entry, a, b)] queries answered in one frame, in order *)
+  | Invalidate of string  (** force-stale an entry, as [Service.invalidate] *)
+
+type error_code =
+  | Bad_request  (** malformed frame or unparseable payload *)
+  | Unknown_entry  (** no catalog entry of that name *)
+  | Spec_mismatch  (** the entry exists but was built with another spec *)
+  | Overloaded  (** admission control: too many requests in flight *)
+  | Timeout  (** the request sat past its deadline before evaluation *)
+  | Draining  (** the server is shutting down and refuses new work *)
+  | Internal  (** unexpected server-side failure *)
+
+val error_code_to_string : error_code -> string
+(** Stable lower-case label (["overloaded"], ["timeout"], ...), used as
+    the error-class key in load-generator reports and telemetry labels. *)
+
+type entry_info = {
+  name : string;  (** catalog entry name *)
+  spec : string;  (** compact estimator spec the entry was built with *)
+  cells : int;  (** summary grid resolution *)
+  stale : bool;  (** past its insert budget or explicitly invalidated *)
+  domain : float * float;  (** estimation domain, for query generation *)
+}
+(** One row of an {!response.Ls_reply} — the metadata a client needs to
+    address (and generate load against) an entry. *)
+
+type response =
+  | Pong  (** answer to {!request.Ping} *)
+  | Ls_reply of entry_info list  (** answer to {!request.Ls}, sorted by name *)
+  | Estimate_reply of float  (** the selectivity, bit-identical to a direct call *)
+  | Batch_reply of float array  (** per-query selectivities in request order *)
+  | Invalidated  (** acknowledgement of {!request.Invalidate} *)
+  | Error_reply of { code : error_code; message : string }
+      (** typed failure; [message] is human-readable detail *)
+
+val encode_request : request -> string
+(** Serialize a request payload (version and opcode included, frame
+    header excluded).  @raise Invalid_argument on a string field longer
+    than 65535 bytes. *)
+
+val decode_request : string -> (request, string) result
+(** Total inverse of {!encode_request}: [Error] describes the first
+    malformed field and trailing bytes are rejected.  Never raises. *)
+
+val encode_response : response -> string
+(** Serialize a response payload.  @raise Invalid_argument on a string
+    field longer than 65535 bytes. *)
+
+val decode_response : string -> (response, string) result
+(** Total inverse of {!encode_response}; same contract as
+    {!decode_request}. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set the process-wide SIGPIPE disposition to ignore (idempotent), so
+    a peer hanging up mid-write surfaces as [EPIPE] on that write — a
+    per-connection error — instead of killing the process.  {!Engine}
+    and {!Client} call it before their first socket I/O. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one length-prefixed frame, looping until every byte is out.
+    @raise Invalid_argument if the payload exceeds {!max_frame_bytes}.
+    @raise Unix.Unix_error on I/O failure (e.g. [EPIPE]). *)
+
+val read_frame : Unix.file_descr -> (string option, string) result
+(** Read one frame: [Ok (Some payload)], or [Ok None] on a clean EOF at a
+    frame boundary, or [Error] on a truncated or oversized frame.
+    @raise Unix.Unix_error on I/O failure, including [EAGAIN] when the
+    descriptor carries a receive timeout that expires. *)
+
+val equal_request : request -> request -> bool
+(** Structural equality with floats compared by their IEEE-754 bits, so
+    NaN payloads and negative zeros round-trip honestly in tests. *)
+
+val equal_response : response -> response -> bool
+(** Like {!equal_request}, for responses. *)
+
+val request_to_string : request -> string
+(** One-line rendering for logs and test failure messages. *)
+
+val response_to_string : response -> string
+(** One-line rendering for logs and test failure messages. *)

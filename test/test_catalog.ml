@@ -114,6 +114,28 @@ let test_snapshot_corrupt_skip () =
     [ "badspec.summary"; "corrupt.summary" ]
     (List.sort String.compare (List.map fst skipped))
 
+let test_snapshot_orphan_tmp_sweep () =
+  let dir = fresh_dir () in
+  Snapshot.save ~dir
+    { Snapshot.name = "good"; spec = "ewh:8"; inserts = 0; stale = false;
+      summary = stored_of sample_a domain_a };
+  (* A crash between temp-write and rename leaves the temp file behind. *)
+  let orphan = Filename.concat dir ("dead" ^ Snapshot.tmp_extension) in
+  write_file orphan "selest-catalog v1\nname dead\ntruncated mid-write";
+  let entries, skipped = Snapshot.load_dir ~dir in
+  check (Alcotest.list Alcotest.string) "survivor loads" [ "good" ]
+    (List.map (fun (e : Snapshot.entry) -> e.Snapshot.name) entries);
+  check (Alcotest.list Alcotest.string) "orphan reported in the skip list"
+    [ "dead" ^ Snapshot.tmp_extension ]
+    (List.map fst skipped);
+  check Alcotest.bool "orphan deleted from disk" false (Sys.file_exists orphan);
+  (* The sweep reaches Service.open_dir's warning channel too. *)
+  write_file orphan "again";
+  let svc, warnings = Service.open_dir dir in
+  check Alcotest.int "open_dir reports the sweep" 1 (List.length warnings);
+  check Alcotest.bool "swept before serving" false (Sys.file_exists orphan);
+  check (Alcotest.list Alcotest.string) "catalog unaffected" [ "good" ] (Service.names svc)
+
 (* ---------------- Service ---------------- *)
 
 let build_two svc =
@@ -275,6 +297,8 @@ let () =
           Alcotest.test_case "atomic save / load round trip" `Quick test_snapshot_round_trip;
           Alcotest.test_case "corrupt entries skipped and reported" `Quick
             test_snapshot_corrupt_skip;
+          Alcotest.test_case "orphaned tmp files swept and reported" `Quick
+            test_snapshot_orphan_tmp_sweep;
         ] );
       ( "service",
         [

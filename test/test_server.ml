@@ -1,0 +1,482 @@
+(* The network serving layer: wire-protocol round trips and totality,
+   engine request/reply semantics over real sockets, backpressure and
+   deadline error channels, 32-connection load-generator bit-identity,
+   and the SIGTERM kill-and-reconnect drain contract. *)
+
+module Wire = Server.Wire
+module Engine = Server.Engine
+module Client = Server.Client
+module Loadgen = Server.Loadgen
+module Service = Catalog.Service
+
+let check = Alcotest.check
+
+let fresh_dir () =
+  let base = Filename.temp_file "selest_server_test" "" in
+  Sys.remove base;
+  Sys.mkdir base 0o755;
+  base
+
+let sock_path () =
+  let p = Filename.temp_file "selest_srv" ".sock" in
+  Sys.remove p;
+  p
+
+let or_fail = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let or_fail_client = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected client error: %s" (Client.error_to_string e)
+
+let sample_a = Array.init 500 (fun i -> float_of_int (i * i mod 97))
+let sample_b = Array.init 400 (fun i -> float_of_int (i mod 61))
+let domain_a = (-0.5, 96.5)
+let domain_b = (-0.5, 60.5)
+
+let build_two svc =
+  ignore
+    (or_fail
+       (Service.build svc ~name:"orders/amount" ~spec:"ewh:16" ~domain:domain_a
+          ~sample:sample_a));
+  ignore
+    (or_fail
+       (Service.build svc ~name:"users/age" ~spec:"sampling" ~domain:domain_b
+          ~sample:sample_b))
+
+(* Run [f client address] against a freshly built two-entry catalog served
+   on a Unix socket; always drains the server afterwards. *)
+let with_server ?config f =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  build_two svc;
+  let address = Wire.Unix_socket (sock_path ()) in
+  let engine = Engine.create ?config ~service:svc address in
+  let server = Thread.create Engine.serve engine in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.initiate_drain engine;
+      Thread.join server)
+    (fun () ->
+      let client = or_fail_client (Client.connect address) in
+      Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client address dir))
+
+(* ---------------- Wire: generators ---------------- *)
+
+(* Floats are drawn from raw bit patterns so NaNs, infinities and negative
+   zero must survive the trip; equality is bit-level throughout. *)
+let gen_float = QCheck.Gen.(map Int64.float_of_bits int64)
+let gen_str = QCheck.Gen.(string_size (int_bound 30))
+
+let gen_request =
+  let open QCheck.Gen in
+  frequency
+    [
+      (1, return Wire.Ping);
+      (1, return Wire.Ls);
+      ( 3,
+        gen_str >>= fun entry ->
+        gen_float >>= fun a ->
+        gen_float >>= fun b ->
+        gen_str >>= fun spec -> return (Wire.Estimate { entry; a; b; spec }) );
+      ( 3,
+        list_size (int_bound 16) (triple gen_str gen_float gen_float) >>= fun l ->
+        return (Wire.Batch_estimate (Array.of_list l)) );
+      (1, gen_str >>= fun s -> return (Wire.Invalidate s));
+    ]
+
+let gen_entry_info =
+  let open QCheck.Gen in
+  gen_str >>= fun name ->
+  gen_str >>= fun spec ->
+  int_bound 100000 >>= fun cells ->
+  bool >>= fun stale ->
+  gen_float >>= fun lo ->
+  gen_float >>= fun hi -> return { Wire.name; spec; cells; stale; domain = (lo, hi) }
+
+let gen_error_code =
+  QCheck.Gen.oneofl
+    [
+      Wire.Bad_request; Wire.Unknown_entry; Wire.Spec_mismatch; Wire.Overloaded;
+      Wire.Timeout; Wire.Draining; Wire.Internal;
+    ]
+
+let gen_response =
+  let open QCheck.Gen in
+  frequency
+    [
+      (1, return Wire.Pong);
+      (2, list_size (int_bound 8) gen_entry_info >>= fun l -> return (Wire.Ls_reply l));
+      (3, gen_float >>= fun x -> return (Wire.Estimate_reply x));
+      ( 3,
+        list_size (int_bound 16) gen_float >>= fun l ->
+        return (Wire.Batch_reply (Array.of_list l)) );
+      (1, return Wire.Invalidated);
+      ( 2,
+        gen_error_code >>= fun code ->
+        gen_str >>= fun message -> return (Wire.Error_reply { code; message }) );
+    ]
+
+let request_arb = QCheck.make gen_request ~print:Wire.request_to_string
+let response_arb = QCheck.make gen_response ~print:Wire.response_to_string
+
+let qcheck_request_round_trip =
+  QCheck.Test.make ~count:500 ~name:"request encode/decode round trip (bit-level)"
+    request_arb (fun req ->
+      match Wire.decode_request (Wire.encode_request req) with
+      | Ok req' -> Wire.equal_request req req'
+      | Error _ -> false)
+
+let qcheck_response_round_trip =
+  QCheck.Test.make ~count:500 ~name:"response encode/decode round trip (bit-level)"
+    response_arb (fun resp ->
+      match Wire.decode_response (Wire.encode_response resp) with
+      | Ok resp' -> Wire.equal_response resp resp'
+      | Error _ -> false)
+
+let qcheck_decode_total =
+  QCheck.Test.make ~count:1000 ~name:"decode is total on arbitrary bytes"
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun s ->
+      (* Any outcome is fine; raising is the only failure. *)
+      ignore (Wire.decode_request s);
+      ignore (Wire.decode_response s);
+      true)
+
+let qcheck_truncation_is_error =
+  QCheck.Test.make ~count:200 ~name:"every strict prefix of an encoding is an Error"
+    request_arb (fun req ->
+      let payload = Wire.encode_request req in
+      let ok = ref true in
+      for len = 0 to String.length payload - 1 do
+        match Wire.decode_request (String.sub payload 0 len) with
+        | Error _ -> ()
+        | Ok _ -> ok := false
+      done;
+      !ok)
+
+let test_wire_malformed_cases () =
+  let expect_error label s =
+    match Wire.decode_request s with
+    | Error _ -> ()
+    | Ok req -> Alcotest.failf "%s decoded to %s" label (Wire.request_to_string req)
+  in
+  expect_error "empty payload" "";
+  expect_error "version only" "\x01";
+  (* Valid ping is version 1, opcode 0x01. *)
+  (match Wire.decode_request "\x01\x01" with
+  | Ok Wire.Ping -> ()
+  | other ->
+    Alcotest.failf "ping payload rejected: %s"
+      (match other with
+      | Ok r -> Wire.request_to_string r
+      | Error m -> m));
+  expect_error "wrong version" "\x02\x01";
+  expect_error "unknown opcode" "\x01\x7f";
+  expect_error "trailing bytes" "\x01\x01\x00";
+  (* Batch count far beyond what the frame could carry. *)
+  expect_error "implausible array count" "\x01\x04\xff\xff\xff\xff";
+  (* String length past the end of the payload. *)
+  expect_error "truncated string" "\x01\x05\x00\x10ab"
+
+(* ---------------- Engine + Client ---------------- *)
+
+let test_basic_requests () =
+  with_server (fun client _address dir ->
+      or_fail_client (Client.ping client);
+      let entries = or_fail_client (Client.ls client) in
+      check (Alcotest.list Alcotest.string) "ls names" [ "orders/amount"; "users/age" ]
+        (List.map (fun (e : Wire.entry_info) -> e.Wire.name) entries);
+      check (Alcotest.list Alcotest.string) "ls specs" [ "ewh:16"; "sampling" ]
+        (List.map (fun (e : Wire.entry_info) -> e.Wire.spec) entries);
+      (* Served estimates are bit-identical to direct Service.answer. *)
+      let direct_svc, _ = Service.open_dir dir in
+      let requests =
+        [| ("orders/amount", 3.0, 40.0); ("users/age", 0.0, 30.5); ("users/age", 59.0, 60.0) |]
+      in
+      let direct = Service.answer direct_svc requests in
+      Array.iteri
+        (fun i (entry, a, b) ->
+          let served = or_fail_client (Client.estimate client ~entry ~a ~b) in
+          check Alcotest.bool
+            (Printf.sprintf "estimate %d bit-identical" i)
+            true
+            (Int64.bits_of_float served = Int64.bits_of_float direct.(i)))
+        requests;
+      let batch = or_fail_client (Client.batch_estimate client requests) in
+      check Alcotest.bool "batch bit-identical" true
+        (Array.for_all2 (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y) batch direct);
+      (* Typed errors for bad addressing. *)
+      (match Client.estimate client ~entry:"nope" ~a:0.0 ~b:1.0 with
+      | Error (Client.Server (Wire.Unknown_entry, _)) -> ()
+      | other ->
+        Alcotest.failf "unknown entry: %s"
+          (match other with
+          | Ok v -> Printf.sprintf "Ok %g" v
+          | Error e -> Client.error_to_string e));
+      (match Client.estimate ~spec:"sampling" client ~entry:"orders/amount" ~a:0.0 ~b:1.0 with
+      | Error (Client.Server (Wire.Spec_mismatch, _)) -> ()
+      | _ -> Alcotest.fail "spec pin did not trip");
+      let pinned =
+        or_fail_client (Client.estimate ~spec:"ewh:16" client ~entry:"orders/amount" ~a:0.0 ~b:1.0)
+      in
+      check Alcotest.bool "matching spec pin answers" true (Float.is_finite pinned);
+      (* Invalidate round-trips and shows in ls. *)
+      or_fail_client (Client.invalidate client "users/age");
+      let entries = or_fail_client (Client.ls client) in
+      check Alcotest.bool "invalidate marks stale" true
+        (List.exists (fun (e : Wire.entry_info) -> e.Wire.name = "users/age" && e.Wire.stale) entries);
+      match Client.invalidate client "ghost" with
+      | Error (Client.Server (Wire.Unknown_entry, _)) -> ()
+      | _ -> Alcotest.fail "invalidate of unknown entry not typed")
+
+let test_tcp_round_trip () =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  build_two svc;
+  let engine = Engine.create ~service:svc (Wire.Tcp { host = "127.0.0.1"; port = 0 }) in
+  let port = Option.get (Engine.bound_port engine) in
+  let server = Thread.create Engine.serve engine in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.initiate_drain engine;
+      Thread.join server)
+    (fun () ->
+      let client =
+        or_fail_client (Client.connect (Wire.Tcp { host = "127.0.0.1"; port }))
+      in
+      let x = or_fail_client (Client.estimate client ~entry:"users/age" ~a:0.0 ~b:30.5) in
+      let direct_svc, _ = Service.open_dir dir in
+      let direct = Service.answer direct_svc [| ("users/age", 0.0, 30.5) |] in
+      check Alcotest.bool "tcp estimate bit-identical" true
+        (Int64.bits_of_float x = Int64.bits_of_float direct.(0));
+      Client.close client)
+
+let test_malformed_payload_keeps_connection () =
+  with_server (fun client address _dir ->
+      ignore client;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Wire.sockaddr_of_address address);
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* A well-framed but malformed payload: typed bad_request, and the
+             connection keeps serving. *)
+          Wire.write_frame fd "\x01\x7f";
+          (match Wire.read_frame fd with
+          | Ok (Some payload) -> (
+            match Wire.decode_response payload with
+            | Ok (Wire.Error_reply { code = Wire.Bad_request; _ }) -> ()
+            | other ->
+              Alcotest.failf "expected bad_request, got %s"
+                (match other with
+                | Ok r -> Wire.response_to_string r
+                | Error m -> m))
+          | _ -> Alcotest.fail "no reply to malformed payload");
+          Wire.write_frame fd (Wire.encode_request Wire.Ping);
+          match Wire.read_frame fd with
+          | Ok (Some payload) -> (
+            match Wire.decode_response payload with
+            | Ok Wire.Pong -> ()
+            | _ -> Alcotest.fail "connection did not survive a malformed payload")
+          | _ -> Alcotest.fail "connection did not survive a malformed payload"))
+
+let test_overload_backpressure () =
+  (* max_inflight = 0: admission control refuses every catalog-bound
+     request with the typed reply, while ping still answers. *)
+  with_server
+    ~config:{ Engine.default_config with Engine.max_inflight = 0 }
+    (fun client _address _dir ->
+      or_fail_client (Client.ping client);
+      match Client.estimate client ~entry:"users/age" ~a:0.0 ~b:1.0 with
+      | Error (Client.Server (Wire.Overloaded, _)) -> ()
+      | Ok _ -> Alcotest.fail "estimate admitted past max_inflight=0"
+      | Error e -> Alcotest.failf "expected overloaded, got %s" (Client.error_to_string e))
+
+let test_deadline_timeout () =
+  (* The dispatcher pauses longer than the deadline, so the request is
+     expired (typed) instead of evaluated. *)
+  with_server
+    ~config:
+      { Engine.default_config with Engine.deadline_s = 0.05; dispatch_delay_s = 0.2 }
+    (fun client _address _dir ->
+      match Client.estimate client ~entry:"users/age" ~a:0.0 ~b:1.0 with
+      | Error (Client.Server (Wire.Timeout, _)) -> ()
+      | Ok _ -> Alcotest.fail "request evaluated past its deadline"
+      | Error e -> Alcotest.failf "expected timeout, got %s" (Client.error_to_string e))
+
+let test_loadgen_32_connections () =
+  with_server (fun client address dir ->
+      let entries = or_fail_client (Client.ls client) in
+      let requests = Loadgen.synthetic_requests ~entries ~count:640 ~seed:11L in
+      let report = Loadgen.run ~connections:32 ~address requests in
+      check Alcotest.int "32 connections" 32 report.Loadgen.connections;
+      check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "zero errors" []
+        report.Loadgen.errors;
+      check Alcotest.int "every query answered" 640 report.Loadgen.ok;
+      check Alcotest.bool "percentiles ordered" true
+        (report.Loadgen.p50_ms <= report.Loadgen.p95_ms
+        && report.Loadgen.p95_ms <= report.Loadgen.p99_ms
+        && report.Loadgen.p99_ms <= report.Loadgen.max_ms);
+      check Alcotest.bool "throughput positive" true (report.Loadgen.throughput_qps > 0.0);
+      (* Acceptance gate: every served answer bit-identical to a direct
+         Catalog.Service.answer on the same snapshot dir, whatever the
+         interleaving and batching across 32 connections. *)
+      let direct_svc, _ = Service.open_dir dir in
+      let direct = Service.answer direct_svc requests in
+      Array.iteri
+        (fun i served ->
+          if Int64.bits_of_float served <> Int64.bits_of_float direct.(i) then
+            Alcotest.failf "request %d: served %h, direct %h" i served direct.(i))
+        report.Loadgen.answers;
+      (* Batched frames hit the same answers. *)
+      let batched = Loadgen.run ~batch:8 ~connections:32 ~address requests in
+      check Alcotest.int "batched all answered" 640 batched.Loadgen.ok;
+      Array.iteri
+        (fun i served ->
+          if Int64.bits_of_float served <> Int64.bits_of_float direct.(i) then
+            Alcotest.failf "batched request %d: served %h, direct %h" i served direct.(i))
+        batched.Loadgen.answers)
+
+(* Satellite: kill-and-reconnect.  Loadgen traffic is in flight when
+   SIGTERM lands; the drain must answer everything already admitted,
+   refuse later requests with the typed draining reply, refuse new
+   connects once the listener closes, and a restarted server over the
+   same snapshot dir must serve bit-identical answers. *)
+let test_sigterm_drain_and_reconnect () =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  build_two svc;
+  let path = sock_path () in
+  let address = Wire.Unix_socket path in
+  let config =
+    (* Slow dispatch so requests are verifiably mid-flight at SIGTERM. *)
+    { Engine.default_config with Engine.dispatch_delay_s = 0.15; tick_s = 0.005 }
+  in
+  let engine = Engine.create ~config ~service:svc address in
+  Engine.install_sigterm engine;
+  let server = Thread.create Engine.serve engine in
+  let probe = ("users/age", 0.0, 30.5) in
+  let in_flight = ref (Error (Client.Protocol "never ran")) in
+  let client_a = or_fail_client (Client.connect address) in
+  let client_b = or_fail_client (Client.connect address) in
+  (* Background loadgen traffic during the kill. *)
+  let traffic_requests =
+    Array.init 64 (fun i -> ("orders/amount", 1.0 +. float_of_int (i mod 13), 50.0))
+  in
+  let traffic = ref None in
+  let traffic_thread =
+    Thread.create
+      (fun () -> traffic := Some (Loadgen.run ~connections:4 ~address traffic_requests))
+      ()
+  in
+  let flight_thread =
+    Thread.create
+      (fun () ->
+        let entry, a, b = probe in
+        in_flight := Client.estimate client_a ~entry ~a ~b)
+      ()
+  in
+  Thread.delay 0.05;
+  (* SIGTERM mid-flight, through the real signal path. *)
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Thread.delay 0.05;
+  check Alcotest.bool "drain initiated by SIGTERM" true (Engine.draining engine);
+  (* Requests arriving during the drain get the typed refusal. *)
+  (match Client.estimate client_b ~entry:"users/age" ~a:0.0 ~b:1.0 with
+  | Error (Client.Server (Wire.Draining, _)) -> ()
+  | Ok _ -> Alcotest.fail "request admitted during drain"
+  | Error e -> Alcotest.failf "expected draining, got %s" (Client.error_to_string e));
+  Thread.join flight_thread;
+  Thread.join traffic_thread;
+  Thread.join server;
+  (* The in-flight request drained to a real answer, not an error. *)
+  let direct_svc, _ = Service.open_dir dir in
+  let expected = Service.answer direct_svc [| probe |] in
+  (match !in_flight with
+  | Ok x ->
+    check Alcotest.bool "in-flight answer bit-identical" true
+      (Int64.bits_of_float x = Int64.bits_of_float expected.(0))
+  | Error e -> Alcotest.failf "in-flight request not drained: %s" (Client.error_to_string e));
+  (* Traffic answered before the drain is bit-identical; later queries
+     failed with the typed draining class only. *)
+  let traffic_expected = Service.answer direct_svc traffic_requests in
+  (match !traffic with
+  | None -> Alcotest.fail "loadgen traffic never finished"
+  | Some r ->
+    Array.iteri
+      (fun i served ->
+        if not (Float.is_nan served) then
+          check Alcotest.bool
+            (Printf.sprintf "traffic answer %d bit-identical" i)
+            true
+            (Int64.bits_of_float served = Int64.bits_of_float traffic_expected.(i)))
+      r.Loadgen.answers;
+    List.iter
+      (fun (cls, _) ->
+        if cls <> "draining" then Alcotest.failf "unexpected traffic error class %s" cls)
+      r.Loadgen.errors);
+  check Alcotest.int "drained with no protocol errors" 0
+    (Engine.stats engine).Engine.protocol_errors;
+  (* The socket is gone: new connects are refused. *)
+  check Alcotest.bool "socket removed" false (Sys.file_exists path);
+  (match
+     Client.connect
+       ~config:{ Client.default_config with Client.retries = 0; connect_timeout_s = 0.2 }
+       address
+   with
+  | Error (Client.Transport _) -> ()
+  | Error e -> Alcotest.failf "expected transport failure, got %s" (Client.error_to_string e)
+  | Ok _ -> Alcotest.fail "connected to a drained server");
+  Client.close client_a;
+  Client.close client_b;
+  (* Restart over the same snapshot dir: identical answers. *)
+  let svc2, _ = Service.open_dir dir in
+  let engine2 = Engine.create ~service:svc2 address in
+  let server2 = Thread.create Engine.serve engine2 in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.initiate_drain engine2;
+      Thread.join server2)
+    (fun () ->
+      let client = or_fail_client (Client.connect address) in
+      let entry, a, b = probe in
+      let x = or_fail_client (Client.estimate client ~entry ~a ~b) in
+      check Alcotest.bool "restarted server serves identical answers" true
+        (Int64.bits_of_float x = Int64.bits_of_float expected.(0));
+      Client.close client)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          QCheck_alcotest.to_alcotest qcheck_request_round_trip;
+          QCheck_alcotest.to_alcotest qcheck_response_round_trip;
+          QCheck_alcotest.to_alcotest qcheck_decode_total;
+          QCheck_alcotest.to_alcotest qcheck_truncation_is_error;
+          Alcotest.test_case "malformed payload cases" `Quick test_wire_malformed_cases;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "requests, typed errors, bit-identity" `Quick
+            test_basic_requests;
+          Alcotest.test_case "tcp round trip on an ephemeral port" `Quick
+            test_tcp_round_trip;
+          Alcotest.test_case "malformed payload keeps the connection" `Quick
+            test_malformed_payload_keeps_connection;
+          Alcotest.test_case "admission control backpressure" `Quick
+            test_overload_backpressure;
+          Alcotest.test_case "deadline expiry is typed" `Quick test_deadline_timeout;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "32 connections, zero errors, bit-identical" `Quick
+            test_loadgen_32_connections;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "SIGTERM kill-and-reconnect" `Quick
+            test_sigterm_drain_and_reconnect;
+        ] );
+    ]
