@@ -35,6 +35,12 @@ val find : 'a t -> string -> 'a option
 (** [find t key] returns the cached value and promotes it to
     most-recently-used; counts a hit, or a miss on [None]. *)
 
+val find_exn : 'a t -> string -> 'a
+(** {!find} without the option: returns the cached value directly, or
+    raises [Not_found] on a miss.  Same promotion and hit/miss accounting
+    as {!find}; a hit allocates nothing, which is why the served estimate
+    fast path ([Service.answer_into]) resolves through this. *)
+
 val peek : 'a t -> string -> 'a option
 (** {!find} without promotion or counter updates — for bookkeeping reads
     that should not perturb the recency order or the hit rate. *)

@@ -122,6 +122,28 @@ val answer : ?jobs:int -> t -> (string * float * float) array -> float array
     every [jobs] value.  @raise Invalid_argument on an unknown name, an
     unreadable snapshot, or [jobs < 1]. *)
 
+val answer_into :
+  t ->
+  n:int ->
+  names:string array ->
+  a:float array ->
+  b:float array ->
+  out:float array ->
+  unit
+(** [answer_into t ~n ~names ~a ~b ~out] answers queries
+    [Q(a.(i), b.(i))] against entry [names.(i)] into [out.(i)] for
+    [0 <= i < n] — the structure-of-arrays twin of {!answer}, and the
+    serving engine's fast path.  Results are bit-identical to {!answer}
+    (both reduce to the same per-cell probe; see
+    [Selest.Stored.selectivity_into]).  Each maximal run of equal
+    adjacent names is resolved once, so callers should keep same-entry
+    queries contiguous; at steady state (summaries resident, buffers
+    caller-owned) the call allocates nothing.  Evaluation is sequential
+    in the calling thread — the batch kernel is cheap enough that the
+    fan-out of {!answer} only pays off for cold mixes.
+    @raise Invalid_argument on an unknown name, an unreadable snapshot,
+    [n < 0], or arrays shorter than [n]. *)
+
 val answer_one : t -> name:string -> a:float -> b:float -> (float, string) result
 (** Single-query {!answer} with an [Error] instead of an exception. *)
 

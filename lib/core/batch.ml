@@ -1,0 +1,459 @@
+(* Batch (structure-of-arrays) evaluation of fitted estimators.
+
+   A plan flattens the fitted structure into plain [float array]s plus
+   unboxed scalars, and each family evaluates a whole query batch inside
+   one function body.  Everything the per-query loops touch is either an
+   array element or an [@inline always] helper, so no float is boxed and
+   nothing is allocated per query — this toolchain has no flambda, and a
+   single non-inlined call taking or returning a float would reintroduce
+   one minor-heap box per evaluation (the very cost the scalar closure
+   path pays; see docs/PERFORMANCE.md).
+
+   Bit-identity discipline: every evaluator below replays the scalar
+   arithmetic of its estimator in the same operation order over the same
+   (shared or copied) float values, and shares the scalar path's own
+   primitives (Kernel.cdf, Boundary.left, Integrate.gl10_nodes, ...) by
+   forced inlining rather than by duplication.  The single documented
+   exception is the Gaussian kernel, whose transcendental primitive is
+   replaced by a Kernels.Lut table (tolerance documented there and in
+   docs/PERFORMANCE.md, enforced by test/test_batch.ml). *)
+
+module A = Stats.Array_util
+module K = Kernels.Kernel
+module B = Kernels.Boundary
+
+(* A fitted kernel estimator, flattened.  [policy] mirrors
+   Kde.Estimator.boundary_policy (0 none / 1 reflection / 2 boundary
+   kernels); LUT fields are live only when [use_lut]. *)
+type kde_plan = {
+  kp_kernel : K.t;
+  kp_policy : int;
+  kp_h : float;
+  kp_lo : float;
+  kp_hi : float;
+  kp_rh : float; (* effective_radius * h, the kernel overlap radius *)
+  kp_n : float; (* float_of_int (Array.length kp_xs) *)
+  kp_xs : float array; (* sorted samples (shared with the estimator) *)
+  kp_rl : float array; (* left reflection array (Reflection policy) *)
+  kp_rr : float array; (* right reflection array *)
+  kp_use_lut : bool;
+  kp_lut : float array; (* Gaussian cdf table *)
+  kp_lut_lo : float;
+  kp_lut_inv_step : float;
+  kp_lut_last : int;
+}
+
+type hybrid_plan = {
+  hp_lo : float array; (* per-bin left edges *)
+  hp_hi : float array;
+  hp_weight : float array;
+  hp_kernel : bool array; (* true: kernel bin, false: uniform fallback *)
+  hp_kde : kde_plan array; (* aligned with bins; dummy plan for uniform bins *)
+}
+
+type plan =
+  | P_sampling of { xs : float array; n_f : float (* sample count as float *) }
+  | P_hist of { edges : float array; counts : float array; total : float; k : int }
+  | P_ash of {
+      edges : float array; (* all shifts' edge arrays, concatenated *)
+      counts : float array; (* all shifts' count arrays, concatenated *)
+      eoff : int array; (* m + 1 prefix offsets into [edges] *)
+      coff : int array; (* m + 1 prefix offsets into [counts] *)
+      totals : float array; (* per-shift total counts *)
+      m : int;
+      m_f : float;
+    }
+  | P_fp of { kx : float array; ky : float array }
+  | P_kde of kde_plan
+  | P_hybrid of hybrid_plan
+
+type t = { plan_spec : Estimator.spec; plan : plan }
+
+let spec t = t.plan_spec
+
+(* --- plan compilation --- *)
+
+let dummy_kde =
+  {
+    kp_kernel = K.Epanechnikov;
+    kp_policy = 0;
+    kp_h = 1.0;
+    kp_lo = 0.0;
+    kp_hi = 1.0;
+    kp_rh = 1.0;
+    kp_n = 1.0;
+    kp_xs = [| 0.5 |];
+    kp_rl = [||];
+    kp_rr = [||];
+    kp_use_lut = false;
+    kp_lut = [||];
+    kp_lut_lo = 0.0;
+    kp_lut_inv_step = 0.0;
+    kp_lut_last = 0;
+  }
+
+(* One shared Gaussian table: plans are compiled per estimator but the
+   Gaussian primitive is the same for all of them. *)
+let gaussian_lut = lazy (Kernels.Lut.create K.Gaussian)
+
+let kde_plan_of est =
+  let kernel = Kde.Estimator.kernel est in
+  let policy =
+    match Kde.Estimator.boundary est with
+    | Kde.Estimator.No_treatment -> 0
+    | Kde.Estimator.Reflection -> 1
+    | Kde.Estimator.Boundary_kernels -> 2
+  in
+  let h = Kde.Estimator.bandwidth est in
+  let lo, hi = Kde.Estimator.domain est in
+  let xs = Kde.Estimator.samples est in
+  let rl, rr = Kde.Estimator.reflections est in
+  let use_lut = kernel = K.Gaussian in
+  let lut_table, lut_lo, lut_inv_step, lut_last =
+    if use_lut then begin
+      let lut = Lazy.force gaussian_lut in
+      ( Kernels.Lut.table lut,
+        Kernels.Lut.lo lut,
+        Kernels.Lut.inv_step lut,
+        Kernels.Lut.size lut - 2 )
+    end
+    else ([||], 0.0, 0.0, 0)
+  in
+  {
+    kp_kernel = kernel;
+    kp_policy = policy;
+    kp_h = h;
+    kp_lo = lo;
+    kp_hi = hi;
+    (* Same expression the scalar base_sum evaluates per call. *)
+    kp_rh = K.effective_radius kernel *. h;
+    kp_n = float_of_int (Array.length xs);
+    kp_xs = xs;
+    kp_rl = rl;
+    kp_rr = rr;
+    kp_use_lut = use_lut;
+    kp_lut = lut_table;
+    kp_lut_lo = lut_lo;
+    kp_lut_inv_step = lut_inv_step;
+    kp_lut_last = lut_last;
+  }
+
+let hist_plan_of h =
+  P_hist
+    {
+      edges = Histograms.Histogram.edges h;
+      counts = Histograms.Histogram.counts h;
+      total = Histograms.Histogram.total_count h;
+      k = Histograms.Histogram.bins h;
+    }
+
+let ash_plan_of ash =
+  let hs = Histograms.Ash.components ash in
+  let m = Array.length hs in
+  let eoff = Array.make (m + 1) 0 in
+  let coff = Array.make (m + 1) 0 in
+  for j = 0 to m - 1 do
+    eoff.(j + 1) <- eoff.(j) + Array.length (Histograms.Histogram.edges hs.(j));
+    coff.(j + 1) <- coff.(j) + Histograms.Histogram.bins hs.(j)
+  done;
+  let edges = Array.make (Int.max 1 eoff.(m)) 0.0 in
+  let counts = Array.make (Int.max 1 coff.(m)) 0.0 in
+  let totals = Array.make m 0.0 in
+  for j = 0 to m - 1 do
+    let e = Histograms.Histogram.edges hs.(j) in
+    let c = Histograms.Histogram.counts hs.(j) in
+    Array.blit e 0 edges eoff.(j) (Array.length e);
+    Array.blit c 0 counts coff.(j) (Array.length c);
+    totals.(j) <- Histograms.Histogram.total_count hs.(j)
+  done;
+  P_ash { edges; counts; eoff; coff; totals; m; m_f = float_of_int m }
+
+let hybrid_plan_of hy =
+  let views = Hybrid.Partitioned.bin_views hy in
+  let nb = Array.length views in
+  let hp_lo = Array.make (Int.max 1 nb) 0.0 in
+  let hp_hi = Array.make (Int.max 1 nb) 0.0 in
+  let hp_weight = Array.make (Int.max 1 nb) 0.0 in
+  let hp_kernel = Array.make (Int.max 1 nb) false in
+  let hp_kde = Array.make (Int.max 1 nb) dummy_kde in
+  Array.iteri
+    (fun i (v : Hybrid.Partitioned.bin_view) ->
+      hp_lo.(i) <- v.Hybrid.Partitioned.bv_lo;
+      hp_hi.(i) <- v.Hybrid.Partitioned.bv_hi;
+      hp_weight.(i) <- v.Hybrid.Partitioned.bv_weight;
+      match v.Hybrid.Partitioned.bv_kde with
+      | Some est ->
+        hp_kernel.(i) <- true;
+        hp_kde.(i) <- kde_plan_of est
+      | None -> ())
+    views;
+  P_hybrid { hp_lo; hp_hi; hp_weight; hp_kernel; hp_kde }
+
+let compile est =
+  let plan =
+    match Estimator.repr est with
+    | Estimator.Sampling_repr xs ->
+      P_sampling { xs; n_f = float_of_int (Array.length xs) }
+    | Estimator.Histogram_repr h -> hist_plan_of h
+    | Estimator.Ash_repr ash -> ash_plan_of ash
+    | Estimator.Kde_repr k -> P_kde (kde_plan_of k)
+    | Estimator.Hybrid_repr hy -> hybrid_plan_of hy
+    | Estimator.Frequency_polygon_repr fp ->
+      let kx, ky = Histograms.Frequency_polygon.knots fp in
+      P_fp { kx; ky }
+  in
+  { plan_spec = Estimator.spec est; plan }
+
+(* --- inlined primitives --- *)
+
+(* Kernel primitive dispatch: exact closed form for the compact kernels
+   (Kernel.cdf inlined), table interpolation for the Gaussian. *)
+let[@inline always] plan_cdf p t =
+  if p.kp_use_lut then begin
+    if t <= p.kp_lut_lo then 0.0
+    else begin
+      let u = (t -. p.kp_lut_lo) *. p.kp_lut_inv_step in
+      let i = int_of_float u in
+      if i > p.kp_lut_last then 1.0
+      else begin
+        let y0 = Array.unsafe_get p.kp_lut i in
+        y0 +. ((u -. float_of_int i) *. (Array.unsafe_get p.kp_lut (i + 1) -. y0))
+      end
+    end
+  end
+  else K.cdf p.kp_kernel t
+
+(* Replay of Kde.Estimator.base_sum over one sorted array: a partial loop
+   over the samples whose kernel straddles an endpoint, plus a counted
+   middle block whose kernels cover [a, b] entirely. *)
+let[@inline always] kde_partial_sum p xs a b acc i0 i1 =
+  let h = p.kp_h in
+  let s = ref acc in
+  for i = i0 to i1 - 1 do
+    let x = Array.unsafe_get xs i in
+    s := !s +. (plan_cdf p ((b -. x) /. h) -. plan_cdf p ((a -. x) /. h))
+  done;
+  !s
+
+let[@inline always] kde_base_sum p xs a b =
+  let rh = p.kp_rh in
+  let i0 = A.branchless_lower_bound xs (a -. rh) in
+  let i1 = A.branchless_upper_bound xs (b +. rh) in
+  if a +. rh <= b -. rh then begin
+    let j0 = A.branchless_lower_bound xs (a +. rh) in
+    let j1 = A.branchless_upper_bound xs (b -. rh) in
+    let full = float_of_int (Int.max 0 (j1 - j0)) in
+    kde_partial_sum p xs a b (kde_partial_sum p xs a b full i0 j0) j1 i1
+  end
+  else kde_partial_sum p xs a b 0.0 i0 i1
+
+(* Replay of Kde.Estimator.boundary_kernel_density (Simonoff-Dong kernels
+   within h of a boundary, the plain kernel elsewhere). *)
+let[@inline always] kde_bk_density p x =
+  let h = p.kp_h in
+  let xs = p.kp_xs in
+  let n = p.kp_n in
+  if x < p.kp_lo +. h then begin
+    let q = (x -. p.kp_lo) /. h in
+    let i0 = A.branchless_lower_bound xs (x -. (q *. h)) in
+    let i1 = A.branchless_upper_bound xs (x +. h) in
+    let s = ref 0.0 in
+    for i = i0 to i1 - 1 do
+      s := !s +. B.left ~u:((x -. Array.unsafe_get xs i) /. h) ~q
+    done;
+    !s /. (n *. h)
+  end
+  else if x > p.kp_hi -. h then begin
+    let q = (p.kp_hi -. x) /. h in
+    let i0 = A.branchless_lower_bound xs (x -. h) in
+    let i1 = A.branchless_upper_bound xs (x +. (q *. h)) in
+    let s = ref 0.0 in
+    for i = i0 to i1 - 1 do
+      s := !s +. B.right ~u:((x -. Array.unsafe_get xs i) /. h) ~q
+    done;
+    !s /. (n *. h)
+  end
+  else begin
+    let rh = p.kp_rh in
+    let i0 = A.branchless_lower_bound xs (x -. rh) in
+    let i1 = A.branchless_upper_bound xs (x +. rh) in
+    let s = ref 0.0 in
+    for i = i0 to i1 - 1 do
+      s := !s +. K.eval p.kp_kernel ((x -. Array.unsafe_get xs i) /. h)
+    done;
+    !s /. (n *. h)
+  end
+
+(* Replay of boundary_kernel_selectivity's piece_numeric: one 10-point
+   Gauss-Legendre panel per boundary strip, same nodes, same summation
+   order as Integrate.gauss_legendre_10. *)
+let[@inline always] kde_bk_strip p lo hi =
+  if hi -. lo <= 0.0 then 0.0
+  else begin
+    let nodes = Stats.Integrate.gl10_nodes and weights = Stats.Integrate.gl10_weights in
+    let mid = 0.5 *. (lo +. hi) and half = 0.5 *. (hi -. lo) in
+    let acc = ref 0.0 in
+    for i = 0 to 4 do
+      let dx = half *. Array.unsafe_get nodes i in
+      acc :=
+        !acc
+        +. (Array.unsafe_get weights i
+            *. (kde_bk_density p (mid -. dx) +. kde_bk_density p (mid +. dx)))
+    done;
+    !acc *. half
+  end
+
+let[@inline always] kde_bk_selectivity p a b =
+  let h = p.kp_h in
+  let left_edge = p.kp_lo +. h and right_edge = p.kp_hi -. h in
+  let mid_lo = Float.max a left_edge and mid_hi = Float.min b right_edge in
+  let mid = if mid_lo < mid_hi then kde_base_sum p p.kp_xs mid_lo mid_hi /. p.kp_n else 0.0 in
+  let left = if a < left_edge then kde_bk_strip p a (Float.min b left_edge) else 0.0 in
+  let right = if b > right_edge then kde_bk_strip p (Float.max a right_edge) b else 0.0 in
+  left +. mid +. right
+
+(* Replay of Kde.Estimator.selectivity (clamp to domain, policy dispatch,
+   clamp to [0, 1]). *)
+let[@inline always] kde_selectivity p a b =
+  if a > b then 0.0
+  else begin
+    let a = Float.max p.kp_lo a and b = Float.min p.kp_hi b in
+    if a > b then 0.0
+    else begin
+      let v =
+        if p.kp_policy = 0 then kde_base_sum p p.kp_xs a b /. p.kp_n
+        else if p.kp_policy = 1 then
+          (kde_base_sum p p.kp_xs a b +. kde_base_sum p p.kp_rl a b
+          +. kde_base_sum p p.kp_rr a b)
+          /. p.kp_n
+        else kde_bk_selectivity p a b
+      in
+      Float.max 0.0 (Float.min 1.0 v)
+    end
+  end
+
+(* Replay of Histogram.selectivity over a slice of the concatenated SoA
+   layout ([epos]: first edge, [cpos]: first count, [k]: bins). *)
+let[@inline always] hist_selectivity_slice edges counts epos cpos k total a b =
+  if a > b then 0.0
+  else begin
+    let first =
+      Int.max 0 (A.branchless_upper_bound_from edges ~pos:epos ~len:(k + 1) a - epos - 1)
+    in
+    let s = ref 0.0 in
+    let i = ref first in
+    while !i < k && Array.unsafe_get edges (epos + !i) <= b do
+      let lo = Array.unsafe_get edges (epos + !i)
+      and hi = Array.unsafe_get edges (epos + !i + 1) in
+      let overlap = Float.min b hi -. Float.max a lo in
+      if overlap > 0.0 then
+        s := !s +. (Array.unsafe_get counts (cpos + !i) /. (hi -. lo) *. overlap);
+      incr i
+    done;
+    Float.max 0.0 (Float.min 1.0 (!s /. total))
+  end
+
+(* --- batch evaluation --- *)
+
+let estimate_into t ~n ~a ~b ~out =
+  if n < 0 then invalid_arg "Batch.estimate_into: negative batch size";
+  if Array.length a < n || Array.length b < n then
+    invalid_arg "Batch.estimate_into: query arrays shorter than n";
+  if Array.length out < n then invalid_arg "Batch.estimate_into: out shorter than n";
+  match t.plan with
+  | P_sampling { xs; n_f = nf } ->
+    for qi = 0 to n - 1 do
+      let qa = Array.unsafe_get a qi and qb = Array.unsafe_get b qi in
+      let v =
+        if qa > qb then 0.0
+        else begin
+          let c = A.branchless_upper_bound xs qb - A.branchless_lower_bound xs qa in
+          float_of_int c /. nf
+        end
+      in
+      Array.unsafe_set out qi v
+    done
+  | P_hist { edges; counts; total; k } ->
+    for qi = 0 to n - 1 do
+      let qa = Array.unsafe_get a qi and qb = Array.unsafe_get b qi in
+      Array.unsafe_set out qi (hist_selectivity_slice edges counts 0 0 k total qa qb)
+    done
+  | P_ash { edges; counts; eoff; coff; totals; m; m_f } ->
+    for qi = 0 to n - 1 do
+      let qa = Array.unsafe_get a qi and qb = Array.unsafe_get b qi in
+      let s = ref 0.0 in
+      for j = 0 to m - 1 do
+        let epos = Array.unsafe_get eoff j and cpos = Array.unsafe_get coff j in
+        let k = Array.unsafe_get coff (j + 1) - cpos in
+        s :=
+          !s
+          +. hist_selectivity_slice edges counts epos cpos k (Array.unsafe_get totals j) qa
+               qb
+      done;
+      Array.unsafe_set out qi (!s /. m_f)
+    done
+  | P_fp { kx; ky } ->
+    let m = Array.length kx in
+    for qi = 0 to n - 1 do
+      let qa = Array.unsafe_get a qi and qb = Array.unsafe_get b qi in
+      let v =
+        if qa > qb then 0.0
+        else begin
+          let first = Int.max 0 (A.branchless_upper_bound kx qa - 1) in
+          let acc = ref 0.0 in
+          let j = ref first in
+          while !j < m - 1 && Array.unsafe_get kx !j < qb do
+            (* segment_integral: trapezoid of the linear segment clipped to
+               [qa, qb], same expressions as the scalar path. *)
+            let x0 = Array.unsafe_get kx !j and x1 = Array.unsafe_get kx (!j + 1) in
+            let lo = Float.max qa x0 and hi = Float.min qb x1 in
+            if lo < hi then begin
+              let y0 = Array.unsafe_get ky !j and y1 = Array.unsafe_get ky (!j + 1) in
+              let y_lo = y0 +. ((y1 -. y0) *. (lo -. x0) /. (x1 -. x0)) in
+              let y_hi = y0 +. ((y1 -. y0) *. (hi -. x0) /. (x1 -. x0)) in
+              acc := !acc +. (0.5 *. (y_lo +. y_hi) *. (hi -. lo))
+            end;
+            incr j
+          done;
+          Float.max 0.0 (Float.min 1.0 !acc)
+        end
+      in
+      Array.unsafe_set out qi v
+    done
+  | P_kde p ->
+    for qi = 0 to n - 1 do
+      let qa = Array.unsafe_get a qi and qb = Array.unsafe_get b qi in
+      Array.unsafe_set out qi (kde_selectivity p qa qb)
+    done
+  | P_hybrid { hp_lo; hp_hi; hp_weight; hp_kernel; hp_kde } ->
+    let nb = Array.length hp_lo in
+    for qi = 0 to n - 1 do
+      let qa = Array.unsafe_get a qi and qb = Array.unsafe_get b qi in
+      let v =
+        if qa > qb then 0.0
+        else begin
+          let s = ref 0.0 in
+          for bi = 0 to nb - 1 do
+            (* bin_selectivity: clamp the query to the bin, then the bin's
+               kernel estimator or the uniform-within-bin rule. *)
+            let blo = Array.unsafe_get hp_lo bi and bhi = Array.unsafe_get hp_hi bi in
+            let ba = Float.max qa blo and bb = Float.min qb bhi in
+            if ba < bb then begin
+              let w = Array.unsafe_get hp_weight bi in
+              if Array.unsafe_get hp_kernel bi then
+                s := !s +. (w *. kde_selectivity (Array.unsafe_get hp_kde bi) ba bb)
+              else s := !s +. (w *. ((bb -. ba) /. (bhi -. blo)))
+            end
+          done;
+          Float.max 0.0 (Float.min 1.0 !s)
+        end
+      in
+      Array.unsafe_set out qi v
+    done
+
+let estimate t ~a ~b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Batch.estimate: query arrays differ in length";
+  let out = Array.make (Int.max 1 n) 0.0 in
+  estimate_into t ~n ~a ~b ~out;
+  if n = Array.length out then out else Array.sub out 0 n

@@ -215,15 +215,29 @@ let spec_of_string s =
     | Some _, _ -> assert false)
   | _, _ -> Error (Printf.sprintf "unknown estimator %S" s)
 
+(* The fitted structure behind the closures, exposed so the batch-plan
+   compiler (Batch.compile) can lay it out flat without rebuilding.  Specs
+   that lower to a plain histogram (Uniform, V-optimal, wavelet) share the
+   Histogram_repr constructor. *)
+type repr =
+  | Sampling_repr of float array
+  | Histogram_repr of Histograms.Histogram.t
+  | Ash_repr of Histograms.Ash.t
+  | Kde_repr of Kde.Estimator.t
+  | Hybrid_repr of Hybrid.Partitioned.t
+  | Frequency_polygon_repr of Histograms.Frequency_polygon.t
+
 (* The queryable estimator: name + closures over the fitted structure. *)
 type t = {
   spec : spec;
   selectivity : a:float -> b:float -> float;
   density : (float -> float) option;
+  repr : repr;
 }
 
 let name t = spec_name t.spec
 let spec t = t.spec
+let repr t = t.repr
 
 (* The per-call flag check keeps the disabled path allocation-free: one
    atomic load, then straight into the fitted closure. *)
@@ -260,6 +274,9 @@ let resolve_bandwidth rule ~kernel samples =
 let sampling_estimator samples =
   let xs = Array.copy samples in
   Array.sort Float.compare xs;
+  xs
+
+let sampling_selectivity xs =
   let n = float_of_int (Array.length xs) in
   fun ~a ~b ->
     if a > b then 0.0
@@ -280,14 +297,16 @@ let build_estimator spec_v ~domain samples =
   let lo, hi = domain in
   match spec_v with
   | Sampling ->
-    let sel = phase spec_v "sort" (fun () -> sampling_estimator samples) in
-    { spec = spec_v; selectivity = sel; density = None }
+    let xs = phase spec_v "sort" (fun () -> sampling_estimator samples) in
+    { spec = spec_v; selectivity = sampling_selectivity xs; density = None;
+      repr = Sampling_repr xs }
   | Uniform_assumption ->
     let h = phase spec_v "bins" (fun () -> Histograms.Builders.uniform ~domain samples) in
     {
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
+      repr = Histogram_repr h;
     }
   | Equi_width rule ->
     let bins = phase spec_v "bandwidth" (fun () -> resolve_bins rule ~domain samples) in
@@ -298,6 +317,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
+      repr = Histogram_repr h;
     }
   | Equi_depth { bins } ->
     let h =
@@ -307,6 +327,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
+      repr = Histogram_repr h;
     }
   | Max_diff { bins } ->
     let h =
@@ -316,6 +337,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
+      repr = Histogram_repr h;
     }
   | Ash { bins; shifts } ->
     let bins = phase spec_v "bandwidth" (fun () -> resolve_bins bins ~domain samples) in
@@ -326,6 +348,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Ash.selectivity ash ~a ~b);
       density = Some (Histograms.Ash.density ash);
+      repr = Ash_repr ash;
     }
   | Kernel { kernel; boundary; bandwidth } ->
     let h = phase spec_v "bandwidth" (fun () -> resolve_bandwidth bandwidth ~kernel samples) in
@@ -343,6 +366,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Kde.Estimator.selectivity est ~a ~b);
       density = Some (Kde.Estimator.density est);
+      repr = Kde_repr est;
     }
   | Hybrid_spec { bandwidth; min_bin_count; max_change_points } ->
     let rule =
@@ -365,6 +389,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Hybrid.Partitioned.selectivity est ~a ~b);
       density = Some (Hybrid.Partitioned.density est);
+      repr = Hybrid_repr est;
     }
   | Frequency_polygon rule ->
     let bins = phase spec_v "bandwidth" (fun () -> resolve_bins rule ~domain samples) in
@@ -375,6 +400,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Frequency_polygon.selectivity fp ~a ~b);
       density = Some (Histograms.Frequency_polygon.density fp);
+      repr = Frequency_polygon_repr fp;
     }
   | V_optimal { bins } ->
     let h = phase spec_v "bins" (fun () -> Histograms.V_optimal.build ~domain ~bins samples) in
@@ -382,6 +408,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
+      repr = Histogram_repr h;
     }
   | Wavelet_spec { coefficients } ->
     if coefficients < 1 then invalid_arg "Estimator.build: coefficients must be >= 1";
@@ -392,6 +419,7 @@ let build_estimator spec_v ~domain samples =
       spec = spec_v;
       selectivity = (fun ~a ~b -> Histograms.Histogram.selectivity h ~a ~b);
       density = Some (Histograms.Histogram.density h);
+      repr = Histogram_repr h;
     }
 
 let build spec_v ~domain samples =

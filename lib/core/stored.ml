@@ -38,6 +38,37 @@ let selectivity t ~a ~b =
     Float.max 0.0 (Float.min 1.0 !acc)
   end
 
+(* Batch variant of [selectivity]: same per-cell arithmetic in the same
+   order, one query per output slot, nothing allocated ([@inline always]
+   on nothing needed — the whole loop is one function body). *)
+let selectivity_into t ~pos ~len ~a ~b ~out =
+  if pos < 0 || len < 0 then invalid_arg "Stored.selectivity_into: negative range";
+  if pos + len > Array.length a || pos + len > Array.length b || pos + len > Array.length out
+  then invalid_arg "Stored.selectivity_into: query arrays shorter than pos + len";
+  let k = Array.length t.weights in
+  let w = (t.hi -. t.lo) /. float_of_int k in
+  let weights = t.weights in
+  let t_lo = t.lo in
+  for qi = pos to pos + len - 1 do
+    let qa = Array.unsafe_get a qi and qb = Array.unsafe_get b qi in
+    let v =
+      if qa > qb then 0.0
+      else begin
+        let first = Int.max 0 (int_of_float (Float.floor ((qa -. t_lo) /. w))) in
+        let last = Int.min (k - 1) (int_of_float (Float.floor ((qb -. t_lo) /. w))) in
+        let acc = ref 0.0 in
+        for i = first to last do
+          let c_lo = t_lo +. (float_of_int i *. w) in
+          let c_hi = c_lo +. w in
+          let overlap = Float.min qb c_hi -. Float.max qa c_lo in
+          if overlap > 0.0 then acc := !acc +. (Array.unsafe_get weights i *. overlap /. w)
+        done;
+        Float.max 0.0 (Float.min 1.0 !acc)
+      end
+    in
+    Array.unsafe_set out qi v
+  done
+
 let to_string t =
   let buf = Buffer.create (16 * Array.length t.weights) in
   Buffer.add_string buf "selest-stored v1\n";

@@ -34,6 +34,16 @@ val domain : t -> float * float
 val selectivity : t -> a:float -> b:float -> float
 (** Piecewise-constant range selectivity, clamped to [[0, 1]]. *)
 
+val selectivity_into :
+  t -> pos:int -> len:int -> a:float array -> b:float array -> out:float array -> unit
+(** [selectivity_into t ~pos ~len ~a ~b ~out] writes {!selectivity} of
+    [Q(a.(i), b.(i))] to [out.(i)] for [pos <= i < pos + len],
+    bit-identically to the scalar probe and without allocating — the
+    serving engine evaluates each same-summary run of a merged batch
+    through this in place.  [len = 0] touches nothing.
+    @raise Invalid_argument on a negative range or arrays shorter than
+    [pos + len]. *)
+
 val to_string : t -> string
 (** One-line-per-field textual form, safe to store in a catalog column. *)
 

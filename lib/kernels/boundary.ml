@@ -1,27 +1,34 @@
-let check_q q =
+let[@inline always] check_q q =
   if not (q >= 0.0 && q <= 1.0) then invalid_arg "Boundary: q must be in [0, 1]"
 
-let left ~u ~q =
+(* Forced inline for the same reason as {!Kernel.eval}: the boundary-strip
+   integration evaluates these once per sample per quadrature node, and a
+   non-inlined call would box [u] and [q] each time.  Powers are expanded
+   into multiplications ([( ** )] would go through libm [pow]). *)
+
+let[@inline always] left ~u ~q =
   check_q q;
   if u < -1.0 || u > q then 0.0
   else begin
-    let denom = (1.0 +. q) ** 3.0 in
+    let c = 1.0 +. q in
+    let denom = c *. c *. c in
     (3.0 +. (3.0 *. q *. q) -. (6.0 *. u *. u)) /. denom
   end
 
-let right ~u ~q = left ~u:(-.u) ~q
+let[@inline always] right ~u ~q = left ~u:(-.u) ~q
 
-let left_cdf ~u ~q =
+let[@inline always] left_cdf ~u ~q =
   check_q q;
   if u <= -1.0 then 0.0
   else if u >= q then 1.0
   else begin
-    let denom = (1.0 +. q) ** 3.0 in
+    let c = 1.0 +. q in
+    let denom = c *. c *. c in
     (* The kernel is signed near u = -1 (second-order boundary kernels are
        not densities), so the primitive may legitimately leave [0, 1] in the
        interior; do not clamp there. *)
-    let v = ((3.0 +. (3.0 *. q *. q)) *. (u +. 1.0)) -. (2.0 *. ((u ** 3.0) +. 1.0)) in
+    let v = ((3.0 +. (3.0 *. q *. q)) *. (u +. 1.0)) -. (2.0 *. ((u *. u *. u) +. 1.0)) in
     v /. denom
   end
 
-let right_cdf ~u ~q = 1.0 -. left_cdf ~u:(-.u) ~q
+let[@inline always] right_cdf ~u ~q = 1.0 -. left_cdf ~u:(-.u) ~q

@@ -1,0 +1,50 @@
+type t = {
+  lo : float; (* -radius *)
+  hi : float;
+  inv_step : float; (* (size - 1) / (hi - lo) *)
+  last : int; (* size - 2: highest valid left node of an interpolation cell *)
+  table : float array; (* cdf samples at lo + i / inv_step *)
+}
+
+let default_size = 8193
+
+let create ?(size = default_size) kernel =
+  if size < 2 then invalid_arg "Lut.create: size must be at least 2";
+  let r = Kernel.effective_radius kernel in
+  let lo = -.r and hi = r in
+  let step = (hi -. lo) /. float_of_int (size - 1) in
+  let table = Array.init size (fun i -> Kernel.cdf kernel (lo +. (float_of_int i *. step))) in
+  (* Pin the endpoints so clamping outside the table agrees exactly with the
+     exact primitive at and beyond the support edge. *)
+  table.(0) <- 0.0;
+  table.(size - 1) <- 1.0;
+  { lo; hi; inv_step = 1.0 /. step; last = size - 2; table }
+
+let size t = t.last + 2
+let lo t = t.lo
+let inv_step t = t.inv_step
+let table t = t.table
+
+let[@inline always] cdf t x =
+  if x <= t.lo then 0.0
+  else begin
+    let u = (x -. t.lo) *. t.inv_step in
+    let i = int_of_float u in
+    if i > t.last then 1.0
+    else begin
+      let y0 = Array.unsafe_get t.table i in
+      y0 +. ((u -. float_of_int i) *. (Array.unsafe_get t.table (i + 1) -. y0))
+    end
+  end
+
+let max_abs_error ?(probes_per_cell = 7) t kernel =
+  let worst = ref 0.0 in
+  let step = (t.hi -. t.lo) /. float_of_int (t.last + 1) in
+  for i = 0 to t.last do
+    for j = 0 to probes_per_cell - 1 do
+      let x = t.lo +. ((float_of_int i +. (float_of_int j /. float_of_int probes_per_cell)) *. step) in
+      let e = Float.abs (cdf t x -. Kernel.cdf kernel x) in
+      if e > !worst then worst := e
+    done
+  done;
+  !worst

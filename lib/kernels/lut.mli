@@ -1,0 +1,53 @@
+(** Precomputed kernel-CDF lookup tables.
+
+    The Gaussian kernel is the one kernel whose primitive goes through a
+    transcendental ([erf]); in the batch estimate path that cost dominates
+    per-sample work.  A table of CDF samples over the kernel's effective
+    support with linear interpolation between nodes replaces the
+    transcendental at a documented, tested accuracy (the compactly
+    supported kernels keep their exact closed-form primitives and never use
+    a table).
+
+    With the default 8193-node table over [[-8, 8]] the interpolation error
+    is bounded by [step^2 / 8 * max |K'|] — below [2e-7] for the Gaussian —
+    and the resulting selectivity, a mean of per-sample CDF differences,
+    inherits a bound twice that.  [docs/PERFORMANCE.md] documents the
+    tolerance; the qcheck equivalence suite enforces it. *)
+
+type t
+
+val default_size : int
+(** Number of table nodes used by {!create} when [size] is omitted
+    (8193). *)
+
+val create : ?size:int -> Kernel.t -> t
+(** [create kernel] samples [Kernel.cdf kernel] at [size] equally spaced
+    nodes across [[-r, r]] where [r] is the kernel's
+    {!Kernel.effective_radius}.  The endpoint nodes are pinned to exactly
+    [0] and [1] so the clamped regions agree with the exact primitive.
+    @raise Invalid_argument when [size < 2]. *)
+
+val cdf : t -> float -> float
+(** [cdf t x] is the linear interpolation of the tabulated primitive at
+    [x], clamped to [0] below the table and [1] above it.  Forced inline so
+    batch loops keep [x] unboxed; allocation-free. *)
+
+val size : t -> int
+(** Number of nodes in the table. *)
+
+val lo : t -> float
+(** Position of the first table node ([-r]). *)
+
+val inv_step : t -> float
+(** Nodes per unit of [x]: [(size - 1) / (2 r)]. *)
+
+val table : t -> float array
+(** The raw CDF samples (shared storage: do not mutate).  Exposed so the
+    batch evaluator can hoist the array into a register before a loop. *)
+
+val max_abs_error : ?probes_per_cell:int -> t -> Kernel.t -> float
+(** [max_abs_error t kernel] measures [max |cdf t x - Kernel.cdf kernel x|]
+    over a grid of [probes_per_cell] points (default 7) inside every
+    interpolation cell — the empirical version of the [step^2 / 8 * max
+    |K'|] bound quoted above.  Used by tests to keep the documented
+    tolerance honest. *)

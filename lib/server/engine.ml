@@ -7,9 +7,14 @@
    cache mutates on reads), so every catalog operation funnels through
    that thread.  Connection threads park service-bound requests on a
    shared queue and block until the dispatcher fulfills them, which is
-   also what batches concurrent clients into single [Service.answer]
-   calls: whatever accumulated while the previous batch ran is merged
-   into one call, amortizing the [Parallel.Map] fan-out across clients.
+   also what batches concurrent clients into single
+   [Service.answer_into] calls: whatever accumulated while the previous
+   batch ran is merged (into reused structure-of-arrays staging buffers)
+   and evaluated in one pass over the batch kernel.  Each connection
+   reuses one job record and one [Wire.writer], so a steady-state served
+   request costs no fresh buffers on the reply path — the remaining
+   per-request allocations (decoded request, reply value) are small and
+   bounded; docs/PERFORMANCE.md quantifies them.
 
    Backpressure is admission control at enqueue time: once [max_inflight]
    requests are in flight the connection thread answers [Overloaded]
@@ -54,18 +59,33 @@ type stats = {
   batched_queries : int;
 }
 
-(* A service-bound request parked by its connection thread. *)
+(* A service-bound request parked by its connection thread.  One job
+   record lives per connection, not per request: the connection thread
+   blocks on [await_reply] before reading its next frame, so the record
+   (and its mutex/condition) is free for reuse the moment a reply
+   lands — [kind], [enqueued_at] and [reply] are reset in place. *)
 type job_kind =
   | Query of { triples : (string * float * float) array; single : bool; spec : string }
   | Ls_job
   | Invalidate_job of string
 
 type job = {
-  kind : job_kind;
-  enqueued_at : float;
+  mutable kind : job_kind;
+  mutable enqueued_at : float;
   job_m : Mutex.t;
   job_c : Condition.t;
   mutable reply : Wire.response option;
+}
+
+(* Structure-of-arrays staging for merged batches, owned by the
+   dispatcher thread and reused (grown geometrically, never shrunk)
+   across batches: at steady state a dispatch allocates no fresh
+   arrays before handing the batch to [Service.answer_into]. *)
+type merge_buffers = {
+  mutable mb_names : string array;
+  mutable mb_a : float array;
+  mutable mb_b : float array;
+  mutable mb_out : float array;
 }
 
 type t = {
@@ -76,6 +96,7 @@ type t = {
   queue : job Queue.t;
   q_m : Mutex.t;
   q_c : Condition.t;
+  mb : merge_buffers;
   draining : bool Atomic.t;
   dispatcher_stop : bool Atomic.t;
   inflight : int Atomic.t;
@@ -135,6 +156,7 @@ let create ?(config = default_config) ~service address =
     queue = Queue.create ();
     q_m = Mutex.create ();
     q_c = Condition.create ();
+    mb = { mb_names = [||]; mb_a = [||]; mb_b = [||]; mb_out = [||] };
     draining = Atomic.make false;
     dispatcher_stop = Atomic.make false;
     inflight = Atomic.make 0;
@@ -252,11 +274,24 @@ let ls_reply t =
          })
        (Service.infos t.service))
 
-(* Answer every query job of the batch with one [Service.answer] call.
-   Each job's slice of the merged array is independent of what else the
-   batch contains — [Parallel.Map.map] is element-wise — so served
-   answers stay bit-identical to a direct call whatever the interleaving
-   of clients. *)
+let ensure_merge_capacity mb total =
+  if Array.length mb.mb_names < total then begin
+    let cap = ref (Int.max 16 (Array.length mb.mb_names)) in
+    while !cap < total do
+      cap := 2 * !cap
+    done;
+    mb.mb_names <- Array.make !cap "";
+    mb.mb_a <- Array.make !cap 0.0;
+    mb.mb_b <- Array.make !cap 0.0;
+    mb.mb_out <- Array.make !cap 0.0
+  end
+
+(* Answer every query job of the batch with one [Service.answer_into]
+   call over the reused staging arrays.  Each job's slice of the merged
+   batch is evaluated independently of what else the batch contains, so
+   served answers stay bit-identical to a direct call whatever the
+   interleaving of clients; queries of one job stay contiguous, so a
+   same-entry client batch is one summary resolution. *)
 let run_queries t query_jobs =
   let total = List.fold_left (fun n (_, len) -> n + len) 0 query_jobs in
   if total > 0 then begin
@@ -264,24 +299,34 @@ let run_queries t query_jobs =
     ignore (Atomic.fetch_and_add t.s_batched_queries total);
     Telemetry.Metrics.incr t.m_batches;
     Telemetry.Metrics.add t.m_batched_queries total;
-    let merged = Array.make total ("", 0.0, 0.0) in
+    let mb = t.mb in
+    ensure_merge_capacity mb total;
     let off = ref 0 in
     List.iter
       (fun (job, len) ->
         (match job.kind with
-        | Query { triples; _ } -> Array.blit triples 0 merged !off len
+        | Query { triples; _ } ->
+          for i = 0 to len - 1 do
+            let name, qa, qb = Array.unsafe_get triples i in
+            Array.unsafe_set mb.mb_names (!off + i) name;
+            Array.unsafe_set mb.mb_a (!off + i) qa;
+            Array.unsafe_set mb.mb_b (!off + i) qb
+          done
         | Ls_job | Invalidate_job _ -> assert false);
         off := !off + len)
       query_jobs;
-    match Service.answer ~jobs:t.config.jobs t.service merged with
-    | answers ->
+    match
+      Service.answer_into t.service ~n:total ~names:mb.mb_names ~a:mb.mb_a ~b:mb.mb_b
+        ~out:mb.mb_out
+    with
+    | () ->
       let off = ref 0 in
       List.iter
         (fun (job, len) ->
           let reply =
             match job.kind with
-            | Query { single = true; _ } -> Wire.Estimate_reply answers.(!off)
-            | Query { single = false; _ } -> Wire.Batch_reply (Array.sub answers !off len)
+            | Query { single = true; _ } -> Wire.Estimate_reply mb.mb_out.(!off)
+            | Query { single = false; _ } -> Wire.Batch_reply (Array.sub mb.mb_out !off len)
             | Ls_job | Invalidate_job _ -> assert false
           in
           off := !off + len;
@@ -289,9 +334,9 @@ let run_queries t query_jobs =
           complete job reply)
         query_jobs
     | exception e ->
-      (* Unreadable snapshot mid-flight, or a worker-domain failure: the
-         whole merged call is lost, so every member gets the typed
-         internal error rather than a hung connection. *)
+      (* Unreadable snapshot mid-flight: the whole merged call is lost,
+         so every member gets the typed internal error rather than a
+         hung connection. *)
       let message = Printexc.to_string e in
       List.iter
         (fun (job, _) -> complete job (Wire.Error_reply { code = Wire.Internal; message }))
@@ -391,7 +436,7 @@ let dispatcher_loop t =
 
 (* ---------------- connection threads ---------------- *)
 
-let send fd response = Wire.write_frame fd (Wire.encode_response response)
+let send w fd response = Wire.write_response w fd response
 
 let await_reply job =
   Mutex.lock job.job_m;
@@ -402,17 +447,17 @@ let await_reply job =
   Mutex.unlock job.job_m;
   r
 
-let handle_request t fd req =
+let handle_request t w fd job req =
   match req with
-  | Wire.Ping -> send fd Wire.Pong
+  | Wire.Ping -> send w fd Wire.Pong
   | _ when Atomic.get t.draining ->
     Atomic.incr t.s_refused_draining;
-    send fd (Wire.Error_reply { code = Wire.Draining; message = "server is draining" })
+    send w fd (Wire.Error_reply { code = Wire.Draining; message = "server is draining" })
   | req ->
     if Atomic.get t.inflight >= t.config.max_inflight then begin
       Atomic.incr t.s_overloaded;
       Telemetry.Metrics.incr t.m_overloaded;
-      send fd
+      send w fd
         (Wire.Error_reply
            {
              code = Wire.Overloaded;
@@ -429,32 +474,30 @@ let handle_request t fd req =
       Fun.protect
         ~finally:(fun () -> Atomic.decr t.inflight)
         (fun () ->
-          let kind =
-            match req with
+          (* Reset the connection's job in place: the dispatcher finished
+             with it before the previous [await_reply] returned. *)
+          job.kind <-
+            (match req with
             | Wire.Ls -> Ls_job
             | Wire.Invalidate name -> Invalidate_job name
             | Wire.Estimate { entry; a; b; spec } ->
               Query { triples = [| (entry, a, b) |]; single = true; spec }
             | Wire.Batch_estimate triples -> Query { triples; single = false; spec = "" }
-            | Wire.Ping -> assert false
-          in
-          let job =
-            {
-              kind;
-              enqueued_at = Unix.gettimeofday ();
-              job_m = Mutex.create ();
-              job_c = Condition.create ();
-              reply = None;
-            }
-          in
+            | Wire.Ping -> assert false);
+          job.enqueued_at <- Unix.gettimeofday ();
+          job.reply <- None;
           Mutex.lock t.q_m;
           Queue.push job t.queue;
           Condition.broadcast t.q_c;
           Mutex.unlock t.q_m;
-          send fd (await_reply job))
+          send w fd (await_reply job))
     end
 
 let conn_loop t fd =
+  let w = Wire.create_writer () in
+  let job =
+    { kind = Ls_job; enqueued_at = 0.0; job_m = Mutex.create (); job_c = Condition.create (); reply = None }
+  in
   let rec loop () =
     match Wire.read_frame fd with
     | Ok None -> ()
@@ -462,20 +505,20 @@ let conn_loop t fd =
       (* The stream is no longer frame-aligned: reply if possible, then
          hang up. *)
       Atomic.incr t.s_protocol_errors;
-      (try send fd (Wire.Error_reply { code = Wire.Bad_request; message }) with _ -> ())
+      (try send w fd (Wire.Error_reply { code = Wire.Bad_request; message }) with _ -> ())
     | Ok (Some payload) -> (
       match Wire.decode_request payload with
       | Error message ->
         (* Frame boundaries are intact, so the connection survives a
            malformed payload. *)
         Atomic.incr t.s_protocol_errors;
-        send fd (Wire.Error_reply { code = Wire.Bad_request; message });
+        send w fd (Wire.Error_reply { code = Wire.Bad_request; message });
         loop ()
       | Ok req ->
         Atomic.incr t.s_requests;
         Telemetry.Metrics.incr t.m_requests;
         let t0 = Unix.gettimeofday () in
-        handle_request t fd req;
+        handle_request t w fd job req;
         Telemetry.Metrics.observe_s t.m_request_seconds (Unix.gettimeofday () -. t0);
         loop ())
   in

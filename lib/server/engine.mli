@@ -5,10 +5,13 @@
     gets a reader thread; a single dispatcher thread owns the catalog
     service (which is single-owner by contract) and folds the requests
     that pile up while a batch is evaluating into the next
-    [Catalog.Service.answer] call, amortizing the [Parallel.Map] fan-out
-    across clients.  Because that map is element-wise, a served estimate
-    is bit-identical to a direct [answer] call on the same snapshot
-    directory, whatever the batching or the [jobs] value.
+    [Catalog.Service.answer_into] call over reused structure-of-arrays
+    staging buffers.  Because each query's slot is evaluated
+    independently, a served estimate is bit-identical to a direct
+    [answer] call on the same snapshot directory, whatever the batching.
+    Connections reuse their job record and [Wire.writer], so the
+    steady-state reply path allocates no fresh buffers (see
+    [docs/PERFORMANCE.md] for the allocation budget).
 
     Overload and shutdown are typed protocol replies, not dropped
     connections: admission control answers [Overloaded] the moment
@@ -20,7 +23,11 @@
     [docs/SERVING.md]. *)
 
 type config = {
-  jobs : int;  (** worker domains for merged [Catalog.Service.answer] calls *)
+  jobs : int;
+      (** retained for compatibility: merged batches now run through the
+          sequential [Catalog.Service.answer_into] fast path, which
+          outruns the former [Parallel.Map] fan-out at serving batch
+          sizes; must still be [>= 1] *)
   max_inflight : int;
       (** admission-control limit: requests being evaluated or queued;
           at the limit new requests get an immediate [Overloaded] reply.

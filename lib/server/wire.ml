@@ -105,52 +105,67 @@ let code_of_error = function
   | Draining -> 5
   | Internal -> 6
 
-let with_header opcode fill =
-  let buf = Buffer.create 64 in
+(* [_into] encoders append to a caller-owned buffer, so a connection can
+   reuse one buffer for every frame it writes (see [writer] below); the
+   string-returning forms below them keep the original API. *)
+
+let encode_request_into buf req =
   add_u8 buf version;
-  add_u8 buf opcode;
-  fill buf;
+  match req with
+  | Ping -> add_u8 buf 0x01
+  | Ls -> add_u8 buf 0x02
+  | Estimate { entry; a; b; spec } ->
+    add_u8 buf 0x03;
+    add_string16 buf entry;
+    add_f64 buf a;
+    add_f64 buf b;
+    add_string16 buf spec
+  | Batch_estimate triples ->
+    add_u8 buf 0x04;
+    add_u32 buf (Array.length triples);
+    Array.iter (add_triple buf) triples
+  | Invalidate name ->
+    add_u8 buf 0x05;
+    add_string16 buf name
+
+let encode_response_into buf resp =
+  add_u8 buf version;
+  match resp with
+  | Pong -> add_u8 buf 0x81
+  | Ls_reply entries ->
+    add_u8 buf 0x82;
+    add_u32 buf (List.length entries);
+    List.iter
+      (fun e ->
+        add_string16 buf e.name;
+        add_string16 buf e.spec;
+        add_u32 buf e.cells;
+        add_u8 buf (if e.stale then 1 else 0);
+        add_f64 buf (fst e.domain);
+        add_f64 buf (snd e.domain))
+      entries
+  | Estimate_reply v ->
+    add_u8 buf 0x83;
+    add_f64 buf v
+  | Batch_reply vs ->
+    add_u8 buf 0x84;
+    add_u32 buf (Array.length vs);
+    Array.iter (add_f64 buf) vs
+  | Invalidated -> add_u8 buf 0x85
+  | Error_reply { code; message } ->
+    add_u8 buf 0x8f;
+    add_u8 buf (code_of_error code);
+    add_string16 buf message
+
+let encode_request req =
+  let buf = Buffer.create 64 in
+  encode_request_into buf req;
   Buffer.contents buf
 
-let encode_request = function
-  | Ping -> with_header 0x01 ignore
-  | Ls -> with_header 0x02 ignore
-  | Estimate { entry; a; b; spec } ->
-    with_header 0x03 (fun buf ->
-        add_string16 buf entry;
-        add_f64 buf a;
-        add_f64 buf b;
-        add_string16 buf spec)
-  | Batch_estimate triples ->
-    with_header 0x04 (fun buf ->
-        add_u32 buf (Array.length triples);
-        Array.iter (add_triple buf) triples)
-  | Invalidate name -> with_header 0x05 (fun buf -> add_string16 buf name)
-
-let encode_response = function
-  | Pong -> with_header 0x81 ignore
-  | Ls_reply entries ->
-    with_header 0x82 (fun buf ->
-        add_u32 buf (List.length entries);
-        List.iter
-          (fun e ->
-            add_string16 buf e.name;
-            add_string16 buf e.spec;
-            add_u32 buf e.cells;
-            add_u8 buf (if e.stale then 1 else 0);
-            add_f64 buf (fst e.domain);
-            add_f64 buf (snd e.domain))
-          entries)
-  | Estimate_reply v -> with_header 0x83 (fun buf -> add_f64 buf v)
-  | Batch_reply vs ->
-    with_header 0x84 (fun buf ->
-        add_u32 buf (Array.length vs);
-        Array.iter (add_f64 buf) vs)
-  | Invalidated -> with_header 0x85 ignore
-  | Error_reply { code; message } ->
-    with_header 0x8f (fun buf ->
-        add_u8 buf (code_of_error code);
-        add_string16 buf message)
+let encode_response resp =
+  let buf = Buffer.create 64 in
+  encode_response_into buf resp;
+  Buffer.contents buf
 
 (* ---------------- decoding ---------------- *)
 
@@ -302,16 +317,60 @@ let ignore_sigpipe =
   let done_ = lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore) in
   fun () -> Lazy.force done_
 
+let set_frame_header frame len =
+  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set frame 3 (Char.chr (len land 0xff))
+
 let write_frame fd payload =
   let len = String.length payload in
   if len > max_frame_bytes then invalid_arg "Server.Wire.write_frame: payload too large";
   let frame = Bytes.create (4 + len) in
-  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xff));
-  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xff));
-  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xff));
-  Bytes.set frame 3 (Char.chr (len land 0xff));
+  set_frame_header frame len;
   Bytes.blit_string payload 0 frame 4 len;
   really_write fd frame
+
+(* A per-connection frame writer: one Buffer for encoding, one byte
+   buffer for the framed bytes, both reused (and grown geometrically)
+   across frames, so a steady-state reply costs zero fresh buffers —
+   only the encoded bytes move.  Single-owner like the connection it
+   belongs to. *)
+type writer = { wbuf : Buffer.t; mutable frame : Bytes.t }
+
+let create_writer () = { wbuf = Buffer.create 256; frame = Bytes.create 256 }
+
+let really_write_sub fd bytes len =
+  let written = ref 0 in
+  while !written < len do
+    let n = Unix.write fd bytes !written (len - !written) in
+    if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    written := !written + n
+  done
+
+let write_encoded w fd =
+  let len = Buffer.length w.wbuf in
+  if len > max_frame_bytes then invalid_arg "Server.Wire: payload too large";
+  if Bytes.length w.frame < 4 + len then begin
+    let cap = ref (2 * Bytes.length w.frame) in
+    while !cap < 4 + len do
+      cap := 2 * !cap
+    done;
+    w.frame <- Bytes.create !cap
+  end;
+  set_frame_header w.frame len;
+  Buffer.blit w.wbuf 0 w.frame 4 len;
+  really_write_sub fd w.frame (4 + len)
+
+let write_response w fd resp =
+  Buffer.clear w.wbuf;
+  encode_response_into w.wbuf resp;
+  write_encoded w fd
+
+let write_request w fd req =
+  Buffer.clear w.wbuf;
+  encode_request_into w.wbuf req;
+  write_encoded w fd
 
 (* Reads exactly [n] bytes; [`Eof k] reports how many arrived before the
    peer closed. *)

@@ -95,6 +95,33 @@ val decode_response : string -> (response, string) result
 (** Total inverse of {!encode_response}; same contract as
     {!decode_request}. *)
 
+val encode_request_into : Buffer.t -> request -> unit
+(** Append the serialized request payload to a caller-owned buffer —
+    {!encode_request} without the fresh string, for callers that reuse
+    one buffer across frames.  Same contract otherwise. *)
+
+val encode_response_into : Buffer.t -> response -> unit
+(** Like {!encode_request_into}, for responses. *)
+
+type writer
+(** A per-connection frame writer: one encode buffer and one framed-bytes
+    buffer, both reused (and grown geometrically, never shrunk) across
+    frames, so steady-state replies allocate no fresh buffers.
+    Single-owner, like the connection it serves. *)
+
+val create_writer : unit -> writer
+(** A fresh writer with small initial buffers. *)
+
+val write_response : writer -> Unix.file_descr -> response -> unit
+(** Encode into the writer's buffers and write one framed response,
+    looping until every byte is out.  Equivalent on the wire to
+    [write_frame fd (encode_response resp)].
+    @raise Invalid_argument if the payload exceeds {!max_frame_bytes}.
+    @raise Unix.Unix_error on I/O failure (e.g. [EPIPE]). *)
+
+val write_request : writer -> Unix.file_descr -> request -> unit
+(** Like {!write_response}, for the client side of the conversation. *)
+
 val ignore_sigpipe : unit -> unit
 (** Set the process-wide SIGPIPE disposition to ignore (idempotent), so
     a peer hanging up mid-write surfaces as [EPIPE] on that write — a

@@ -1,0 +1,300 @@
+(* Tests for the batch (structure-of-arrays) estimate path: bit-identity
+   with the scalar closures per estimator spec, the documented Gaussian
+   LUT tolerance, batch edge cases, branchless binary searches, and the
+   zero-allocation guarantee the serving engine and bench gate rely on. *)
+
+module Est = Selest.Estimator
+module Batch = Selest.Batch
+module Stored = Selest.Stored
+module A = Stats.Array_util
+module Xo = Prng.Xoshiro256pp
+
+let domain = (0.0, 1000.0)
+
+(* Step-density mixture: dense [0,300], sparse (300,600], medium
+   (600,1000].  Gives the hybrid estimator real change points and the
+   boundary policies non-trivial strips. *)
+let sample seed n =
+  let rng = Xo.create seed in
+  Array.init n (fun _ ->
+      let u = Xo.float_range rng 0.0 1.0 in
+      if u < 0.6 then Xo.float_range rng 0.0 300.0
+      else if u < 0.7 then Xo.float_range rng 300.0 600.0
+      else Xo.float_range rng 600.0 1000.0)
+
+(* Specs whose batch plan must be bit-identical to the scalar path. *)
+let exact_specs =
+  Est.
+    [
+      Sampling;
+      Uniform_assumption;
+      Equi_width (Fixed_bins 25);
+      Equi_width Normal_scale_bins;
+      Equi_depth { bins = 25 };
+      Max_diff { bins = 25 };
+      Ash { bins = Fixed_bins 25; shifts = 10 };
+      Ash { bins = Normal_scale_bins; shifts = 10 };
+      Kernel
+        {
+          kernel = Kernels.Kernel.Epanechnikov;
+          boundary = Kde.Estimator.No_treatment;
+          bandwidth = Normal_scale_bandwidth;
+        };
+      Kernel
+        {
+          kernel = Kernels.Kernel.Epanechnikov;
+          boundary = Kde.Estimator.Reflection;
+          bandwidth = Fixed_bandwidth 20.0;
+        };
+      Kernel
+        {
+          kernel = Kernels.Kernel.Biweight;
+          boundary = Kde.Estimator.Boundary_kernels;
+          bandwidth = Fixed_bandwidth 15.0;
+        };
+      kernel_defaults;
+      hybrid_defaults;
+      Hybrid_spec { bandwidth = Normal_scale_bandwidth; min_bin_count = 50; max_change_points = 8 };
+      Frequency_polygon (Fixed_bins 25);
+      V_optimal { bins = 25 };
+      Wavelet_spec { coefficients = 25 };
+    ]
+
+(* Gaussian plans route the primitive through the CDF lookup table:
+   equality holds only up to the documented tolerance. *)
+let lut_specs =
+  Est.
+    [
+      Kernel
+        {
+          kernel = Kernels.Kernel.Gaussian;
+          boundary = Kde.Estimator.No_treatment;
+          bandwidth = Normal_scale_bandwidth;
+        };
+      Kernel
+        {
+          kernel = Kernels.Kernel.Gaussian;
+          boundary = Kde.Estimator.Reflection;
+          bandwidth = Fixed_bandwidth 25.0;
+        };
+    ]
+
+let lut_tolerance = 1e-6
+
+let query_gen =
+  (* Ranges inside, straddling and outside the domain, plus inverted ones
+     (a > b must yield 0 on both paths). *)
+  QCheck.(pair (float_range (-100.0) 1100.0) (float_range (-100.0) 1100.0))
+
+let prop_bit_identity spec =
+  let est = Est.build spec ~domain (sample 7L 800) in
+  let plan = Batch.compile est in
+  let a1 = Array.make 1 0.0 and b1 = Array.make 1 0.0 and out1 = Array.make 1 0.0 in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "batch bit-identical: %s" (Est.spec_name spec))
+    ~count:200 query_gen (fun (a, b) ->
+      let scalar = Est.selectivity est ~a ~b in
+      a1.(0) <- a;
+      b1.(0) <- b;
+      Batch.estimate_into plan ~n:1 ~a:a1 ~b:b1 ~out:out1;
+      let batch = out1.(0) in
+      if Int64.bits_of_float scalar <> Int64.bits_of_float batch then
+        QCheck.Test.fail_reportf "%s: scalar %.17g <> batch %.17g on [%g, %g]"
+          (Est.spec_name spec) scalar batch a b
+      else true)
+
+let prop_lut_tolerance spec =
+  let est = Est.build spec ~domain (sample 11L 800) in
+  let plan = Batch.compile est in
+  let a1 = Array.make 1 0.0 and b1 = Array.make 1 0.0 and out1 = Array.make 1 0.0 in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "batch within LUT tolerance: %s" (Est.spec_name spec))
+    ~count:200 query_gen (fun (a, b) ->
+      let scalar = Est.selectivity est ~a ~b in
+      a1.(0) <- a;
+      b1.(0) <- b;
+      Batch.estimate_into plan ~n:1 ~a:a1 ~b:b1 ~out:out1;
+      let batch = out1.(0) in
+      if Float.abs (scalar -. batch) > lut_tolerance then
+        QCheck.Test.fail_reportf "%s: |%.17g - %.17g| > %g on [%g, %g]"
+          (Est.spec_name spec) scalar batch lut_tolerance a b
+      else true)
+
+let test_whole_batch_identity () =
+  (* A full batch through one estimate_into call agrees with per-query
+     scalar answers, element by element. *)
+  let xs = sample 3L 600 in
+  let rng = Xo.create 5L in
+  let n = 256 in
+  let qa = Array.make n 0.0 and qb = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let x = Xo.float_range rng (-50.0) 1050.0 and y = Xo.float_range rng (-50.0) 1050.0 in
+    qa.(i) <- Float.min x y;
+    qb.(i) <- Float.max x y
+  done;
+  List.iter
+    (fun spec ->
+      let est = Est.build spec ~domain xs in
+      let plan = Batch.compile est in
+      let out = Batch.estimate plan ~a:qa ~b:qb in
+      Alcotest.(check int) "batch length" n (Array.length out);
+      for i = 0 to n - 1 do
+        let scalar = Est.selectivity est ~a:qa.(i) ~b:qb.(i) in
+        if Int64.bits_of_float scalar <> Int64.bits_of_float out.(i) then
+          Alcotest.failf "%s: query %d: scalar %.17g <> batch %.17g" (Est.spec_name spec) i
+            scalar out.(i)
+      done)
+    exact_specs
+
+let test_empty_and_short_batches () =
+  let est = Est.build Est.kernel_defaults ~domain (sample 13L 300) in
+  let plan = Batch.compile est in
+  (* Empty batch: touches nothing, including the out array. *)
+  let out = [| 42.0 |] in
+  Batch.estimate_into plan ~n:0 ~a:[||] ~b:[||] ~out;
+  Alcotest.(check (float 0.0)) "empty batch leaves out untouched" 42.0 out.(0);
+  Alcotest.(check int) "estimate on empty arrays" 0 (Array.length (Batch.estimate plan ~a:[||] ~b:[||]));
+  (* Single-query batch equals the scalar answer. *)
+  let s = Est.selectivity est ~a:100.0 ~b:400.0 in
+  let got = (Batch.estimate plan ~a:[| 100.0 |] ~b:[| 400.0 |]).(0) in
+  Alcotest.(check (float 0.0)) "single-query batch" s got
+
+let test_estimate_into_validation () =
+  let est = Est.build Est.Sampling ~domain (sample 17L 100) in
+  let plan = Batch.compile est in
+  let check_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  check_invalid "negative n" (fun () ->
+      Batch.estimate_into plan ~n:(-1) ~a:[||] ~b:[||] ~out:[||]);
+  check_invalid "short a" (fun () ->
+      Batch.estimate_into plan ~n:2 ~a:[| 0.0 |] ~b:[| 0.0; 1.0 |] ~out:[| 0.0; 0.0 |]);
+  check_invalid "short out" (fun () ->
+      Batch.estimate_into plan ~n:2 ~a:[| 0.0; 1.0 |] ~b:[| 0.0; 1.0 |] ~out:[| 0.0 |]);
+  check_invalid "length mismatch" (fun () ->
+      ignore (Batch.estimate plan ~a:[| 0.0 |] ~b:[||]))
+
+(* The batch loops must not touch the minor heap: this is the property
+   the serving fast path and the bench gate are built on.  Measured over
+   enough iterations that a single box per query would show up as tens of
+   thousands of words. *)
+let test_zero_allocation () =
+  let xs = sample 23L 800 in
+  let n = 64 in
+  let rng = Xo.create 29L in
+  let qa = Array.make n 0.0 and qb = Array.make n 0.0 and out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let x = Xo.float_range rng 0.0 1000.0 and y = Xo.float_range rng 0.0 1000.0 in
+    qa.(i) <- Float.min x y;
+    qb.(i) <- Float.max x y
+  done;
+  let specs =
+    Est.default_suite
+    @ Est.
+        [
+          Sampling;
+          Frequency_polygon (Fixed_bins 25);
+          Kernel
+            {
+              kernel = Kernels.Kernel.Gaussian;
+              boundary = Kde.Estimator.Reflection;
+              bandwidth = Normal_scale_bandwidth;
+            };
+        ]
+  in
+  List.iter
+    (fun spec ->
+      let plan = Batch.compile (Est.build spec ~domain xs) in
+      (* Warm up: faults in the lazy LUT and any one-time setup. *)
+      Batch.estimate_into plan ~n ~a:qa ~b:qb ~out;
+      let w0 = Gc.minor_words () in
+      for _ = 1 to 50 do
+        Batch.estimate_into plan ~n ~a:qa ~b:qb ~out
+      done;
+      let dw = Gc.minor_words () -. w0 in
+      if dw > 0.0 then
+        Alcotest.failf "%s: %d batched queries allocated %.0f minor words" (Est.spec_name spec)
+          (50 * n) dw)
+    specs
+
+let test_stored_batch_identity_and_allocation () =
+  let est = Est.build Est.kernel_defaults ~domain (sample 31L 500) in
+  let stored = Stored.of_estimator ~domain est in
+  let n = 128 in
+  let rng = Xo.create 37L in
+  let qa = Array.make n 0.0 and qb = Array.make n 0.0 and out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let x = Xo.float_range rng (-20.0) 1020.0 and y = Xo.float_range rng (-20.0) 1020.0 in
+    qa.(i) <- Float.min x y;
+    qb.(i) <- Float.max x y
+  done;
+  Stored.selectivity_into stored ~pos:0 ~len:n ~a:qa ~b:qb ~out;
+  for i = 0 to n - 1 do
+    let scalar = Stored.selectivity stored ~a:qa.(i) ~b:qb.(i) in
+    if Int64.bits_of_float scalar <> Int64.bits_of_float out.(i) then
+      Alcotest.failf "stored query %d: scalar %.17g <> batch %.17g" i scalar out.(i)
+  done;
+  (* Sub-range evaluation only touches its slots. *)
+  Array.fill out 0 n (-1.0);
+  Stored.selectivity_into stored ~pos:8 ~len:4 ~a:qa ~b:qb ~out;
+  Alcotest.(check (float 0.0)) "slot before range untouched" (-1.0) out.(7);
+  Alcotest.(check (float 0.0)) "slot after range untouched" (-1.0) out.(12);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 100 do
+    Stored.selectivity_into stored ~pos:0 ~len:n ~a:qa ~b:qb ~out
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  if dw > 0.0 then Alcotest.failf "stored batch allocated %.0f minor words" dw
+
+let prop_branchless_bounds_agree =
+  QCheck.Test.make ~name:"branchless searches agree with classic binary search" ~count:500
+    QCheck.(pair (list_of_size Gen.(0 -- 40) (float_range 0.0 100.0)) (float_range (-10.0) 110.0))
+    (fun (l, x) ->
+      let a = Array.of_list (List.sort Float.compare l) in
+      A.branchless_lower_bound a x = A.float_lower_bound a x
+      && A.branchless_upper_bound a x = A.float_upper_bound a x)
+
+let test_branchless_slice_bounds () =
+  let a = [| 0.0; 1.0; 2.0; 0.0; 2.0; 4.0; 6.0; 9.0 |] in
+  (* Slice [3, 8) is sorted; searches must stay inside it. *)
+  Alcotest.(check int) "slice lower" 4 (A.branchless_lower_bound_from a ~pos:3 ~len:5 1.0);
+  Alcotest.(check int) "slice lower at end" 8 (A.branchless_lower_bound_from a ~pos:3 ~len:5 10.0);
+  Alcotest.(check int) "slice upper" 5 (A.branchless_upper_bound_from a ~pos:3 ~len:5 2.0);
+  Alcotest.(check int) "slice on empty" 3 (A.branchless_lower_bound_from a ~pos:3 ~len:0 1.0)
+
+let test_lut_error_bound () =
+  let lut = Kernels.Lut.create Kernels.Kernel.Gaussian in
+  let err = Kernels.Lut.max_abs_error lut Kernels.Kernel.Gaussian in
+  if err > 2e-7 then Alcotest.failf "Gaussian LUT error %.3g above documented bound" err;
+  (* Clamped regions agree with the exact primitive's limits. *)
+  Alcotest.(check (float 0.0)) "left clamp" 0.0 (Kernels.Lut.cdf lut (-9.0));
+  Alcotest.(check (float 0.0)) "right clamp" 1.0 (Kernels.Lut.cdf lut 9.0)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "batch"
+    [
+      ( "identity",
+        List.map (fun s -> qt (prop_bit_identity s)) exact_specs
+        @ List.map (fun s -> qt (prop_lut_tolerance s)) lut_specs
+        @ [ Alcotest.test_case "whole batch identity" `Quick test_whole_batch_identity ] );
+      ( "edges",
+        [
+          Alcotest.test_case "empty and short batches" `Quick test_empty_and_short_batches;
+          Alcotest.test_case "argument validation" `Quick test_estimate_into_validation;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "batch loops touch no minor heap" `Quick test_zero_allocation;
+          Alcotest.test_case "stored summaries: identity and allocation" `Quick
+            test_stored_batch_identity_and_allocation;
+        ] );
+      ( "primitives",
+        [
+          qt prop_branchless_bounds_agree;
+          Alcotest.test_case "slice searches" `Quick test_branchless_slice_bounds;
+          Alcotest.test_case "Gaussian LUT error bound" `Quick test_lut_error_bound;
+        ] );
+    ]

@@ -195,6 +195,42 @@ let test_answer_jobs_identical () =
   let one = or_fail (Service.answer_one svc ~name:"users/age" ~a:0.0 ~b:30.5) in
   check Alcotest.bool "answer_one matches batch" true (Float.equal one seq.(1))
 
+(* The serving fast path: structure-of-arrays answers must be
+   bit-identical to [answer], and once the summaries are resident a
+   batch over caller-owned buffers must not touch the minor heap. *)
+let test_answer_into () =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  build_two svc;
+  let n = Array.length requests in
+  let names = Array.map (fun (name, _, _) -> name) requests in
+  let qa = Array.map (fun (_, a, _) -> a) requests in
+  let qb = Array.map (fun (_, _, b) -> b) requests in
+  let out = Array.make n 0.0 in
+  let reference = Service.answer svc requests in
+  Service.answer_into svc ~n ~names ~a:qa ~b:qb ~out;
+  check Alcotest.bool "answer_into bit-identical to answer" true (reference = out);
+  (* Partial batch: only the first n slots are touched. *)
+  let out2 = Array.make (n + 2) (-1.0) in
+  Service.answer_into svc ~n:2 ~names ~a:qa ~b:qb ~out:out2;
+  check Alcotest.bool "slots past n untouched" true (out2.(2) = -1.0 && out2.(n + 1) = -1.0);
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Catalog.Service.answer_into: negative batch size") (fun () ->
+      Service.answer_into svc ~n:(-1) ~names ~a:qa ~b:qb ~out);
+  Alcotest.check_raises "short out"
+    (Invalid_argument "Catalog.Service.answer_into: arrays shorter than n") (fun () ->
+      Service.answer_into svc ~n ~names ~a:qa ~b:qb ~out:(Array.make 1 0.0));
+  (* Steady state: summaries resident, buffers owned by us — repeated
+     batches must allocate nothing. *)
+  Service.answer_into svc ~n ~names ~a:qa ~b:qb ~out;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 200 do
+    Service.answer_into svc ~n ~names ~a:qa ~b:qb ~out
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  if dw > 0.0 then
+    Alcotest.failf "answer_into allocated %.0f minor words over %d queries" dw (200 * n)
+
 let test_staleness () =
   let dir = fresh_dir () in
   let config = { Service.default_config with rebuild_after_inserts = 100 } in
@@ -305,6 +341,8 @@ let () =
           Alcotest.test_case "kill-and-reopen round trip" `Quick test_service_reopen;
           Alcotest.test_case "batch answers independent of jobs" `Quick
             test_answer_jobs_identical;
+          Alcotest.test_case "answer_into: identity and zero allocation" `Quick
+            test_answer_into;
           Alcotest.test_case "insert budget staleness" `Quick test_staleness;
           Alcotest.test_case "invalidate, maintenance sync, drop" `Quick
             test_invalidate_and_sync;
