@@ -213,9 +213,12 @@ let[@inline always] plan_cdf p t =
     if t <= p.kp_lut_lo then 0.0
     else begin
       let u = (t -. p.kp_lut_lo) *. p.kp_lut_inv_step in
-      let i = int_of_float u in
-      if i > p.kp_lut_last then 1.0
+      (* Clamped in float space before converting, as in Lut.cdf: for
+         u >= 2^62 the int conversion is unspecified and can go negative,
+         turning the unsafe table read out of bounds. *)
+      if u >= float_of_int (p.kp_lut_last + 1) then 1.0
       else begin
+        let i = int_of_float u in
         let y0 = Array.unsafe_get p.kp_lut i in
         y0 +. ((u -. float_of_int i) *. (Array.unsafe_get p.kp_lut (i + 1) -. y0))
       end

@@ -29,9 +29,12 @@ let[@inline always] cdf t x =
   if x <= t.lo then 0.0
   else begin
     let u = (x -. t.lo) *. t.inv_step in
-    let i = int_of_float u in
-    if i > t.last then 1.0
+    (* Clamp in float space before converting: for u >= 2^62 the int
+       conversion is unspecified and can go negative, turning the unsafe
+       table read out of bounds. *)
+    if u >= float_of_int (t.last + 1) then 1.0
     else begin
+      let i = int_of_float u in
       let y0 = Array.unsafe_get t.table i in
       y0 +. ((u -. float_of_int i) *. (Array.unsafe_get t.table (i + 1) -. y0))
     end

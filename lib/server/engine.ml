@@ -291,8 +291,9 @@ let ensure_merge_capacity mb total =
    batch is evaluated independently of what else the batch contains, so
    served answers stay bit-identical to a direct call whatever the
    interleaving of clients; queries of one job stay contiguous, so a
-   same-entry client batch is one summary resolution. *)
-let run_queries t query_jobs =
+   same-entry client batch is one summary resolution.  [complete] is the
+   batch's recording completion function (see [process_batch]). *)
+let run_queries t ~complete query_jobs =
   let total = List.fold_left (fun n (_, len) -> n + len) 0 query_jobs in
   if total > 0 then begin
     Atomic.incr t.s_batches;
@@ -342,8 +343,14 @@ let run_queries t query_jobs =
         (fun (job, _) -> complete job (Wire.Error_reply { code = Wire.Internal; message }))
         query_jobs
   end
+  else
+    (* Zero-length query jobs are answered before they enqueue, but a
+       batch of them reaching here must still complete (the [total > 0]
+       work above never touches them) or their connections would park in
+       [await_reply] forever. *)
+    List.iter (fun (job, _) -> complete job (Wire.Batch_reply [||])) query_jobs
 
-let process_batch t jobs =
+let process_batch_exn t ~complete jobs =
   if t.config.dispatch_delay_s > 0.0 then Thread.delay t.config.dispatch_delay_s;
   let now = Unix.gettimeofday () in
   let live =
@@ -375,10 +382,16 @@ let process_batch t jobs =
           complete job (ls_reply t);
           None
         | Invalidate_job name ->
+          (* Caught per job: a persist failure (unreadable snapshot dir,
+             full disk) answers this request Internal and leaves the rest
+             of the batch to run. *)
           (match Service.invalidate t.service name with
           | Ok () -> complete job Wire.Invalidated
           | Error message ->
-            complete job (Wire.Error_reply { code = Wire.Unknown_entry; message }));
+            complete job (Wire.Error_reply { code = Wire.Unknown_entry; message })
+          | exception e ->
+            complete job
+              (Wire.Error_reply { code = Wire.Internal; message = Printexc.to_string e }));
           None
         | Query { triples; single; spec } -> (
           match
@@ -415,21 +428,35 @@ let process_batch t jobs =
             else Some (job, Array.length triples)))
       live
   in
-  run_queries t query_jobs
+  run_queries t ~complete query_jobs
+
+(* Every completion of the batch goes through a recording wrapper so the
+   error backstop knows which jobs were already answered without reading
+   [job.reply] — by the time [process_batch_exn] raises, a completed job
+   may have been reset and re-enqueued by its connection thread, and an
+   unlocked [reply = None] check would answer the *next* request with
+   this batch's error while the queued copy double-completes it later. *)
+let process_batch t jobs =
+  let completed = ref [] in
+  let complete_job job resp =
+    completed := job :: !completed;
+    complete job resp
+  in
+  try process_batch_exn t ~complete:complete_job jobs
+  with e ->
+    let message = Printexc.to_string e in
+    List.iter
+      (fun job ->
+        if not (List.memq job !completed) then
+          complete job (Wire.Error_reply { code = Wire.Internal; message }))
+      jobs
 
 let dispatcher_loop t =
   let rec loop () =
     match next_jobs t with
     | [] -> ()  (* stop flag with an empty queue: serve is tearing down *)
     | jobs ->
-      (try process_batch t jobs
-       with e ->
-         let message = Printexc.to_string e in
-         List.iter
-           (fun job ->
-             if job.reply = None then
-               complete job (Wire.Error_reply { code = Wire.Internal; message }))
-           jobs);
+      process_batch t jobs;
       loop ()
   in
   loop ()
@@ -453,8 +480,17 @@ let handle_request t w fd job req =
   | _ when Atomic.get t.draining ->
     Atomic.incr t.s_refused_draining;
     send w fd (Wire.Error_reply { code = Wire.Draining; message = "server is draining" })
+  | Wire.Batch_estimate [||] ->
+    (* A legal frame with nothing to evaluate.  Answered inline: enqueued,
+       its zero-length job would contribute nothing to the dispatcher's
+       merged call and could otherwise park forever. *)
+    send w fd (Wire.Batch_reply [||])
   | req ->
-    if Atomic.get t.inflight >= t.config.max_inflight then begin
+    (* Admission is the increment itself: check-then-increment would let
+       two threads race past the limit together. *)
+    let prev = Atomic.fetch_and_add t.inflight 1 in
+    if prev >= t.config.max_inflight then begin
+      Atomic.decr t.inflight;
       Atomic.incr t.s_overloaded;
       Telemetry.Metrics.incr t.m_overloaded;
       send w fd
@@ -462,12 +498,11 @@ let handle_request t w fd job req =
            {
              code = Wire.Overloaded;
              message =
-               Printf.sprintf "%d requests in flight (limit %d)" (Atomic.get t.inflight)
+               Printf.sprintf "%d requests in flight (limit %d)" prev
                  t.config.max_inflight;
            })
     end
     else begin
-      Atomic.incr t.inflight;
       (* The decrement runs after the reply is written (or the write
          fails), which is what lets the drain sequence equate
          "inflight = 0" with "every accepted request was answered". *)

@@ -270,7 +270,14 @@ let test_lut_error_bound () =
   if err > 2e-7 then Alcotest.failf "Gaussian LUT error %.3g above documented bound" err;
   (* Clamped regions agree with the exact primitive's limits. *)
   Alcotest.(check (float 0.0)) "left clamp" 0.0 (Kernels.Lut.cdf lut (-9.0));
-  Alcotest.(check (float 0.0)) "right clamp" 1.0 (Kernels.Lut.cdf lut 9.0)
+  Alcotest.(check (float 0.0)) "right clamp" 1.0 (Kernels.Lut.cdf lut 9.0);
+  (* Arguments so far past the table that the scaled offset exceeds
+     2^62: the clamp must fire in float space, where the int conversion
+     is unspecified and once produced a negative unsafe index. *)
+  Alcotest.(check (float 0.0)) "huge argument clamps" 1.0 (Kernels.Lut.cdf lut 1e300);
+  Alcotest.(check (float 0.0)) "huge negative clamps" 0.0 (Kernels.Lut.cdf lut (-1e300));
+  Alcotest.(check (float 0.0)) "max_float clamps" 1.0 (Kernels.Lut.cdf lut max_float);
+  Alcotest.(check (float 0.0)) "infinity clamps" 1.0 (Kernels.Lut.cdf lut infinity)
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in

@@ -281,6 +281,24 @@ let test_malformed_payload_keeps_connection () =
             | _ -> Alcotest.fail "connection did not survive a malformed payload")
           | _ -> Alcotest.fail "connection did not survive a malformed payload"))
 
+(* Regression: an empty batch is a legal frame; it must answer an empty
+   reply immediately (it once enqueued a zero-length job the dispatcher
+   never completed, parking the connection forever and leaking its
+   admission slot) and leave the connection serving. *)
+let test_empty_batch () =
+  with_server
+    ~config:{ Engine.default_config with Engine.max_inflight = 1 }
+    (fun client _address dir ->
+      let answers = or_fail_client (Client.batch_estimate client [||]) in
+      check Alcotest.int "empty batch answers empty" 0 (Array.length answers);
+      (* No admission slot leaked: with max_inflight = 1 a real query
+         still runs, and it answers bit-identically. *)
+      let direct_svc, _ = Service.open_dir dir in
+      let direct = Service.answer direct_svc [| ("users/age", 0.0, 30.5) |] in
+      let x = or_fail_client (Client.estimate client ~entry:"users/age" ~a:0.0 ~b:30.5) in
+      check Alcotest.bool "connection still serves, bit-identical" true
+        (Int64.bits_of_float x = Int64.bits_of_float direct.(0)))
+
 let test_overload_backpressure () =
   (* max_inflight = 0: admission control refuses every catalog-bound
      request with the typed reply, while ping still answers. *)
@@ -465,6 +483,7 @@ let () =
             test_tcp_round_trip;
           Alcotest.test_case "malformed payload keeps the connection" `Quick
             test_malformed_payload_keeps_connection;
+          Alcotest.test_case "empty batch answers immediately" `Quick test_empty_batch;
           Alcotest.test_case "admission control backpressure" `Quick
             test_overload_backpressure;
           Alcotest.test_case "deadline expiry is typed" `Quick test_deadline_timeout;
