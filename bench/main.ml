@@ -62,6 +62,10 @@ module Record = struct
     mutable mres : (string * float) list;  (* "<file>/<spec>" -> MRE, reversed *)
     mutable extras : (string * float) list;  (* extra numeric fields, reversed *)
     mutable micro : (string * micro_row) list;  (* op -> micro_row, reversed *)
+    mutable groups : (string * (string * (string * float) list) list) list;
+        (* nested numeric sections, reversed at both levels:
+           section -> group -> fields, e.g.
+           "per_shard" -> "0" -> [("p99_ms", ...)] (schema v4) *)
   }
 
   let table : (string, entry) Hashtbl.t = Hashtbl.create 32
@@ -78,6 +82,7 @@ module Record = struct
         mres = [];
         extras = [];
         micro = [];
+        groups = [];
       }
     in
     Hashtbl.replace table target e;
@@ -125,6 +130,17 @@ module Record = struct
     | None -> ()
     | Some e -> e.micro <- (op, row) :: List.remove_assoc op e.micro
 
+  (* One group of a nested section, e.g. the serve target's per-shard
+     latencies ("per_shard" -> shard id -> fields) or its open-loop rate
+     sweep ("open_loop_by_rate" -> offered rate -> fields). *)
+  let note_group ~section ~group fields =
+    match !current with
+    | None -> ()
+    | Some e ->
+      let groups = match List.assoc_opt section e.groups with Some g -> g | None -> [] in
+      let groups = (group, fields) :: List.remove_assoc group groups in
+      e.groups <- (section, groups) :: List.remove_assoc section e.groups
+
   let json_escape s =
     let b = Buffer.create (String.length s + 8) in
     String.iter
@@ -147,7 +163,7 @@ module Record = struct
     let targets = List.rev !order in
     let buf = Buffer.create 4096 in
     Buffer.add_string buf "{\n";
-    Buffer.add_string buf "  \"schema_version\": 3,\n";
+    Buffer.add_string buf "  \"schema_version\": 4,\n";
     Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
     Buffer.add_string buf "  \"targets\": {\n";
     List.iteri
@@ -185,6 +201,24 @@ module Record = struct
             (List.rev e.micro);
           Buffer.add_string buf "\n      },\n"
         end;
+        List.iter
+          (fun (section, groups) ->
+            Buffer.add_string buf (Printf.sprintf "      \"%s\": {" (json_escape section));
+            List.iteri
+              (fun j (group, fields) ->
+                if j > 0 then Buffer.add_string buf ",";
+                Buffer.add_string buf
+                  (Printf.sprintf "\n        \"%s\": { " (json_escape group));
+                List.iteri
+                  (fun k (key, v) ->
+                    if k > 0 then Buffer.add_string buf ", ";
+                    Buffer.add_string buf
+                      (Printf.sprintf "\"%s\": %s" (json_escape key) (json_num "%.6g" v)))
+                  fields;
+                Buffer.add_string buf " }")
+              (List.rev groups);
+            Buffer.add_string buf "\n      },\n")
+          (List.rev e.groups);
         Buffer.add_string buf "      \"mre_by_spec\": {";
         List.iteri
           (fun j (key, mre) ->
@@ -894,18 +928,37 @@ let bench_catalog () =
 (* Serve: the network serving layer under closed-loop load             *)
 (* ------------------------------------------------------------------ *)
 
-(* Exercises the full network path: ANALYZE three headline files into a
-   temp catalog, serve it on a Unix-domain socket with --jobs worker
-   domains, drive a 32-connection closed-loop load generator (single
-   estimates, then batched frames), then drain.  Every served answer is
-   checked bit-identical to a direct Catalog.Service.answer call on the
-   same snapshot directory.  BENCH_results.json gets throughput,
-   p50/p95/p99 latency, and error-class counts. *)
+(* Exercises the full network path, single-shard and sharded: ANALYZE
+   three headline files into a temp catalog, then for shards = 1 and
+   shards = 4 serve it on a Unix-domain socket, drive a 32-connection
+   closed-loop load generator (single estimates, then batched frames),
+   and drain.  The sharded pass adds per-shard p99 (classifying each
+   request by its owner shard client-side) and an open-loop arrival-rate
+   sweep with drop/late accounting.  Every served answer — both shard
+   counts, both loop disciplines aside — is checked bit-identical to a
+   direct Catalog.Service.answer call computed from the flat snapshot
+   directory BEFORE the sharded pass migrates its layout.
+   BENCH_results.json (schema v4) gets per-shard-count throughput and
+   percentiles, a "per_shard" section, and an "open_loop_by_rate"
+   section. *)
 let bench_serve () =
-  header "serve: network serving layer (wire protocol, batching, 32-connection loadgen)";
+  header "serve: network serving layer (wire protocol, shards, closed- and open-loop load)";
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "selest_bench_serve" in
-  if Sys.file_exists dir then
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  (* A previous run may have left either layout behind. *)
+  let rec clean d =
+    if Sys.file_exists d then begin
+      Array.iter
+        (fun f ->
+          let p = Filename.concat d f in
+          if Sys.is_directory p then begin
+            clean p;
+            Sys.rmdir p
+          end
+          else Sys.remove p)
+        (Sys.readdir d)
+    end
+  in
+  clean dir;
   let svc, _ = Cat.open_dir dir in
   List.iter
     (fun (file, spec) ->
@@ -923,67 +976,165 @@ let bench_serve () =
     Server.Wire.Unix_socket (Filename.concat (Filename.get_temp_dir_name ()) "selest_bench_serve.sock")
   in
   let config = { Server.Engine.default_config with Server.Engine.jobs = !jobs } in
-  let engine = Server.Engine.create ~config ~service:svc address in
-  let server_thread = Thread.create Server.Engine.serve engine in
-  let entries =
-    match Server.Client.connect address with
-    | Error e -> failwith ("serve: connect: " ^ Server.Client.error_to_string e)
-    | Ok client ->
-      let entries =
-        match Server.Client.ls client with
-        | Ok entries -> entries
-        | Error e -> failwith ("serve: ls: " ^ Server.Client.error_to_string e)
-      in
-      Server.Client.close client;
-      entries
-  in
   let connections = 32 in
-  let requests = Server.Loadgen.synthetic_requests ~entries ~count:6400 ~seed:2024L in
-  let report = Server.Loadgen.run ~connections ~address requests in
-  let batched = Server.Loadgen.run ~batch:16 ~connections ~address requests in
-  Server.Engine.initiate_drain engine;
-  Thread.join server_thread;
-  (* Bit-identity gate: the network path must not perturb a single bit. *)
+  (* One serving pass at a given shard count: closed-loop singles,
+     closed-loop batch=16 frames, optionally classified per shard,
+     optionally an open-loop rate sweep.  Returns the reports. *)
+  let serve_pass ~shards ~classify ~open_rates requests_of_entries =
+    let services, skipped = Cat.open_sharded ~shards dir in
+    if skipped <> [] then
+      failwith (Printf.sprintf "serve: %d snapshots skipped on open" (List.length skipped));
+    let engine = Server.Engine.create ~config ~services address in
+    let server_thread = Thread.create Server.Engine.serve engine in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.Engine.initiate_drain engine;
+        Thread.join server_thread)
+      (fun () ->
+        let entries =
+          match Server.Client.connect address with
+          | Error e -> failwith ("serve: connect: " ^ Server.Client.error_to_string e)
+          | Ok client ->
+            let entries =
+              match Server.Client.ls client with
+              | Ok entries -> entries
+              | Error e -> failwith ("serve: ls: " ^ Server.Client.error_to_string e)
+            in
+            Server.Client.close client;
+            entries
+        in
+        let requests = requests_of_entries entries in
+        let report = Server.Loadgen.run ?classify ~connections ~address requests in
+        let batched = Server.Loadgen.run ~batch:16 ~connections ~address requests in
+        let open_reports =
+          List.map
+            (fun rate ->
+              (rate, Server.Loadgen.run_open_loop ~max_clients:64 ~rate ~duration_s:0.5
+                       ~address requests))
+            open_rates
+        in
+        (requests, report, batched, open_reports, Server.Engine.stats engine))
+  in
+  let requests_memo = ref None in
+  let requests_of_entries entries =
+    match !requests_memo with
+    | Some reqs -> reqs
+    | None ->
+      let reqs = Server.Loadgen.synthetic_requests ~entries ~count:6400 ~seed:2024L in
+      requests_memo := Some reqs;
+      reqs
+  in
+  (* Pass 1: shards = 1, the pre-sharding engine path, on the flat v1
+     layout. *)
+  let requests, report1, batched1, _, stats1 =
+    serve_pass ~shards:1 ~classify:None ~open_rates:[] requests_of_entries
+  in
+  (* The reference answers MUST come from the flat layout, before the
+     sharded pass migrates the directory. *)
   let direct, _ = Cat.open_dir dir in
   let expected = Cat.answer direct requests in
-  let mismatches = ref 0 in
-  List.iter
-    (fun (r : Server.Loadgen.report) ->
-      Array.iteri
-        (fun i served ->
-          if Float.is_nan served then incr mismatches
-          else if Int64.bits_of_float served <> Int64.bits_of_float expected.(i) then
-            incr mismatches)
-        r.Server.Loadgen.answers)
-    [ report; batched ];
-  if !mismatches > 0 then
-    failwith (Printf.sprintf "serve: %d served answers diverge from direct calls" !mismatches);
-  Record.note_queries ~queries:report.Server.Loadgen.queries
-    ~query_s:report.Server.Loadgen.wall_s;
+  let check_identity label (r : Server.Loadgen.report) =
+    let mismatches = ref 0 in
+    Array.iteri
+      (fun i served ->
+        if Float.is_nan served then incr mismatches
+        else if Int64.bits_of_float served <> Int64.bits_of_float expected.(i) then
+          incr mismatches)
+      r.Server.Loadgen.answers;
+    if !mismatches > 0 then
+      failwith
+        (Printf.sprintf "serve (%s): %d served answers diverge from direct calls" label
+           !mismatches)
+  in
+  check_identity "shards=1 singles" report1;
+  check_identity "shards=1 batch=16" batched1;
+  (* Pass 2: shards = 4 — layout migrates in place; requests classified
+     by owner shard for per-shard percentiles; open-loop rate sweep. *)
+  let shards = 4 in
+  let classify i =
+    let name, _, _ = requests.(i) in
+    Printf.sprintf "shard-%d" (Cat.shard_of_name ~shards name)
+  in
+  let open_rates = [ 1000.0; 4000.0; 16000.0 ] in
+  let _, report4, batched4, open_reports, stats4 =
+    serve_pass ~shards ~classify:(Some classify) ~open_rates requests_of_entries
+  in
+  check_identity "shards=4 singles" report4;
+  check_identity "shards=4 batch=16" batched4;
+  (* Record: closed-loop throughput and percentiles at both shard
+     counts, per-shard latency groups, the open-loop sweep. *)
+  Record.note_queries ~queries:report1.Server.Loadgen.queries
+    ~query_s:report1.Server.Loadgen.wall_s;
   Record.note_extra ~key:"connections" (float_of_int connections);
-  Record.note_extra ~key:"p50_ms" report.Server.Loadgen.p50_ms;
-  Record.note_extra ~key:"p95_ms" report.Server.Loadgen.p95_ms;
-  Record.note_extra ~key:"p99_ms" report.Server.Loadgen.p99_ms;
-  Record.note_extra ~key:"batched_throughput_qps" batched.Server.Loadgen.throughput_qps;
+  Record.note_extra ~key:"shards" (float_of_int shards);
+  Record.note_extra ~key:"p50_ms" report1.Server.Loadgen.p50_ms;
+  Record.note_extra ~key:"p95_ms" report1.Server.Loadgen.p95_ms;
+  Record.note_extra ~key:"p99_ms" report1.Server.Loadgen.p99_ms;
+  Record.note_extra ~key:"batched_throughput_qps" batched1.Server.Loadgen.throughput_qps;
+  Record.note_extra ~key:"sharded_throughput_qps" report4.Server.Loadgen.throughput_qps;
+  Record.note_extra ~key:"sharded_p99_ms" report4.Server.Loadgen.p99_ms;
+  Record.note_extra ~key:"sharded_batched_throughput_qps"
+    batched4.Server.Loadgen.throughput_qps;
   Record.note_extra ~key:"errors_total"
     (float_of_int
        (List.fold_left
           (fun n (_, c) -> n + c)
           0
-          (report.Server.Loadgen.errors @ batched.Server.Loadgen.errors)));
+          (report1.Server.Loadgen.errors @ batched1.Server.Loadgen.errors
+          @ report4.Server.Loadgen.errors @ batched4.Server.Loadgen.errors)));
   List.iter
     (fun (cls, n) -> Record.note_extra ~key:("errors_" ^ cls) (float_of_int n))
-    report.Server.Loadgen.errors;
-  let s = Server.Engine.stats engine in
-  Record.note_extra ~key:"batches" (float_of_int s.Server.Engine.batches);
-  Record.note_extra ~key:"batched_queries" (float_of_int s.Server.Engine.batched_queries);
-  Printf.printf "single estimates:\n%s\n" (Server.Loadgen.report_to_string report);
-  Printf.printf "batch=16 frames:\n%s\n" (Server.Loadgen.report_to_string batched);
+    report1.Server.Loadgen.errors;
+  Record.note_extra ~key:"batches" (float_of_int stats1.Server.Engine.batches);
+  Record.note_extra ~key:"batched_queries"
+    (float_of_int stats1.Server.Engine.batched_queries);
+  List.iter
+    (fun (cls, g) ->
+      (* "shard-2" -> group "2" *)
+      let id = String.sub cls 6 (String.length cls - 6) in
+      let answered =
+        match int_of_string_opt id with
+        | Some i when i < Array.length stats4.Server.Engine.per_shard ->
+          float_of_int stats4.Server.Engine.per_shard.(i).Server.Engine.shard_answered
+        | _ -> Float.nan
+      in
+      Record.note_group ~section:"per_shard" ~group:id
+        [
+          ("queries", float_of_int g.Server.Loadgen.g_n);
+          ("answered", answered);
+          ("p50_ms", g.Server.Loadgen.g_p50_ms);
+          ("p99_ms", g.Server.Loadgen.g_p99_ms);
+        ])
+    report4.Server.Loadgen.groups;
+  List.iter
+    (fun (rate, (r : Server.Loadgen.open_report)) ->
+      Record.note_group ~section:"open_loop_by_rate" ~group:(Printf.sprintf "%.0f" rate)
+        [
+          ("offered", float_of_int r.Server.Loadgen.offered);
+          ("sent", float_of_int r.Server.Loadgen.sent);
+          ("dropped", float_of_int r.Server.Loadgen.dropped);
+          ("late", float_of_int r.Server.Loadgen.late);
+          ("achieved_qps", r.Server.Loadgen.achieved_qps);
+          ("p50_ms", r.Server.Loadgen.o_p50_ms);
+          ("p99_ms", r.Server.Loadgen.o_p99_ms);
+        ])
+    open_reports;
+  Printf.printf "shards=1 single estimates:\n%s\n" (Server.Loadgen.report_to_string report1);
+  Printf.printf "shards=1 batch=16 frames:\n%s\n" (Server.Loadgen.report_to_string batched1);
+  Printf.printf "shards=%d single estimates (per-shard classes):\n%s\n" shards
+    (Server.Loadgen.report_to_string report4);
+  Printf.printf "shards=%d batch=16 frames:\n%s\n" shards
+    (Server.Loadgen.report_to_string batched4);
+  List.iter
+    (fun (rate, r) ->
+      Printf.printf "shards=%d open loop @ %.0f/s:\n%s\n" shards rate
+        (Server.Loadgen.open_report_to_string r))
+    open_reports;
   Printf.printf
-    "server: %d connections, %d requests, %d answered, %d batches (%d queries merged), \
-     bit-identical to direct answers (jobs %d)\n"
-    s.Server.Engine.connections s.Server.Engine.requests s.Server.Engine.answered
-    s.Server.Engine.batches s.Server.Engine.batched_queries !jobs
+    "server: shards=1 %d requests, shards=%d %d requests (%d batches, %d queries merged), \
+     all bit-identical to direct answers (jobs %d)\n"
+    stats1.Server.Engine.requests shards stats4.Server.Engine.requests
+    stats4.Server.Engine.batches stats4.Server.Engine.batched_queries !jobs
 
 (* ------------------------------------------------------------------ *)
 (* Timing: bechamel micro-benchmarks                                   *)

@@ -350,6 +350,42 @@ let open_catalog ?config dir =
     svc
   | exception (Invalid_argument msg | Sys_error msg) -> or_die (Error msg)
 
+let open_sharded_catalog ~shards dir =
+  match Cat.open_sharded ~shards dir with
+  | services, skipped ->
+    let skipped_counter =
+      Telemetry.Metrics.counter "catalog_snapshot_skipped_total"
+        ~labels:[ ("dir", Filename.basename dir) ]
+        ~help:"Snapshot files skipped on open: corrupt, or orphaned temp files swept"
+    in
+    List.iter
+      (fun (file, err) ->
+        Telemetry.Metrics.incr skipped_counter;
+        Printf.eprintf "selest: catalog: skipping snapshot %s: %s\n%!" file err)
+      skipped;
+    services
+  | exception (Invalid_argument msg | Sys_error msg) -> or_die (Error msg)
+
+(* A directory last served with --shards N holds shard-<i>/ subdirectories
+   (docs/SHARDING.md); read-side tooling must follow whichever layout is on
+   disk rather than assume flat. *)
+let detect_shards dir =
+  match Sys.readdir dir with
+  | names ->
+    Array.fold_left
+      (fun acc name ->
+        if
+          String.length name > 6
+          && String.sub name 0 6 = "shard-"
+          && Sys.is_directory (Filename.concat dir name)
+        then
+          match int_of_string_opt (String.sub name 6 (String.length name - 6)) with
+          | Some i when i >= 0 && name = Cat.shard_dir_name i -> max acc (i + 1)
+          | _ -> acc
+        else acc)
+      1 names
+  | exception Sys_error msg -> or_die (Error msg)
+
 let catalog_build_cmd =
   let spec_arg =
     Arg.(value & opt string "kernel" & info [ "estimator"; "e" ] ~docv:"SPEC"
@@ -524,6 +560,13 @@ let serve_cmd =
          ~doc:"Worker domains for merged catalog batches; answers are bit-identical \
                for every value.")
   in
+  let shards_arg =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+         ~doc:"Hash-partition the catalog into $(docv) shards, each with its own \
+               dispatcher domain, LRU, and snapshot subdirectory (the layout is \
+               migrated in place; answers are bit-identical for every value; \
+               docs/SHARDING.md).")
+  in
   let max_inflight_arg =
     Arg.(value & opt int Server.Engine.default_config.Server.Engine.max_inflight
          & info [ "max-inflight" ] ~docv:"N"
@@ -541,25 +584,30 @@ let serve_cmd =
              ~doc:"Requests queued longer than $(docv) get a typed `timeout' reply \
                    (0 disables deadlines).")
   in
-  let run dir socket port host jobs max_inflight max_batch deadline_s =
+  let run dir socket port host jobs shards max_inflight max_batch deadline_s =
     if jobs < 1 then or_die (Error "serve: --jobs must be >= 1");
+    if shards < 1 then or_die (Error "serve: --shards must be >= 1");
     if max_inflight < 0 then or_die (Error "serve: --max-inflight must be >= 0");
     if max_batch < 1 then or_die (Error "serve: --max-batch must be >= 1");
     let address = address_of ~host ~socket ~port in
-    let svc = open_catalog dir in
+    let services = open_sharded_catalog ~shards dir in
     let config =
       { Server.Engine.default_config with Server.Engine.jobs; max_inflight; max_batch; deadline_s }
     in
     let engine =
-      try Server.Engine.create ~config ~service:svc address
+      try Server.Engine.create ~config ~services address
       with Unix.Unix_error (e, fn, _) ->
         or_die (Error (Printf.sprintf "serve: %s: %s" fn (Unix.error_message e)))
     in
     Server.Engine.install_sigterm engine;
-    Printf.printf "serving %d entries from %s on %s (SIGTERM drains)\n%!"
-      (List.length (Cat.names svc))
-      dir
-      (Server.Wire.address_to_string (Server.Engine.address engine));
+    let entry_count =
+      Array.fold_left (fun n svc -> n + List.length (Cat.names svc)) 0 services
+    in
+    Printf.printf "serving %d entries from %s on %s across %d shard%s (SIGTERM drains)\n%!"
+      entry_count dir
+      (Server.Wire.address_to_string (Server.Engine.address engine))
+      shards
+      (if shards = 1 then "" else "s");
     Server.Engine.serve engine;
     let s = Server.Engine.stats engine in
     Printf.printf
@@ -567,16 +615,23 @@ let serve_cmd =
        %d refused draining, %d protocol errors, %d batches (%d queries merged)\n"
       s.Server.Engine.connections s.Server.Engine.requests s.Server.Engine.answered
       s.Server.Engine.overloaded s.Server.Engine.timeouts s.Server.Engine.refused_draining
-      s.Server.Engine.protocol_errors s.Server.Engine.batches s.Server.Engine.batched_queries
+      s.Server.Engine.protocol_errors s.Server.Engine.batches s.Server.Engine.batched_queries;
+    if s.Server.Engine.shards > 1 then
+      Array.iteri
+        (fun i ps ->
+          Printf.printf "  shard %d: %d answered, %d batches (%d queries merged)\n" i
+            ps.Server.Engine.shard_answered ps.Server.Engine.shard_batches
+            ps.Server.Engine.shard_batched_queries)
+        s.Server.Engine.per_shard
   in
   let doc =
     "Serve the catalog over a Unix-domain or TCP socket: concurrent estimate server with \
-     request batching, deadlines, backpressure, and SIGTERM graceful drain \
-     (docs/SERVING.md)."
+     hash-partitioned shards, request batching, deadlines, backpressure, and SIGTERM \
+     graceful drain (docs/SERVING.md, docs/SHARDING.md)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ catalog_dir_arg $ socket_arg $ port_arg $ host_arg $ jobs_arg
-          $ max_inflight_arg $ max_batch_arg $ deadline_arg)
+          $ shards_arg $ max_inflight_arg $ max_batch_arg $ deadline_arg)
 
 let loadgen_cmd =
   let connections_arg =
@@ -595,12 +650,36 @@ let loadgen_cmd =
     Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"DIR"
          ~doc:"After the run, recompute every answered query directly against the \
                snapshot directory $(docv) and fail unless the served estimates are \
-               bit-identical.")
+               bit-identical (closed loop only).")
   in
-  let run socket port host connections queries batch seed verify =
+  let rate_arg =
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"QPS"
+         ~doc:"Open-loop mode: offer $(docv) arrivals per second on a fixed schedule \
+               instead of closing the loop over $(b,--connections); arrivals that find \
+               every virtual client busy are dropped and counted, and latency is \
+               measured from the scheduled arrival (docs/SERVING.md).")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"SECONDS"
+         ~doc:"Open-loop scheduling horizon (with $(b,--rate)).")
+  in
+  let max_clients_arg =
+    Arg.(value & opt int 64 & info [ "max-clients" ] ~docv:"N"
+         ~doc:"Open-loop virtual-client pool standing in for unbounded clients (with \
+               $(b,--rate)); an arrival that finds all $(docv) busy is dropped.")
+  in
+  let run socket port host connections queries batch seed verify rate duration_s max_clients =
     if connections < 1 then or_die (Error "loadgen: --connections must be >= 1");
     if queries < 0 then or_die (Error "loadgen: --queries must be >= 0");
     if batch < 1 then or_die (Error "loadgen: --batch must be >= 1");
+    (match rate with
+    | Some r when r <= 0.0 -> or_die (Error "loadgen: --rate must be > 0")
+    | Some _ when verify <> None ->
+      or_die (Error "loadgen: --verify needs the closed loop's aligned answers; drop --rate")
+    | Some _ when batch <> 1 -> or_die (Error "loadgen: --batch only applies to the closed loop")
+    | _ -> ());
+    if duration_s <= 0.0 then or_die (Error "loadgen: --duration must be > 0");
+    if max_clients < 1 then or_die (Error "loadgen: --max-clients must be >= 1");
     let address = address_of ~host ~socket ~port in
     let client =
       match Server.Client.connect address with
@@ -615,34 +694,54 @@ let loadgen_cmd =
     in
     Server.Client.close client;
     let requests = Server.Loadgen.synthetic_requests ~entries ~count:queries ~seed in
-    let report = Server.Loadgen.run ~batch ~connections ~address requests in
-    print_endline (Server.Loadgen.report_to_string report);
-    (match verify with
-    | None -> ()
-    | Some dir ->
-      let svc = open_catalog dir in
-      let expected = try Cat.answer svc requests with Invalid_argument msg -> or_die (Error msg) in
-      let mismatches = ref 0 and checked = ref 0 in
-      Array.iteri
-        (fun i served ->
-          if not (Float.is_nan served) then begin
-            incr checked;
-            if Int64.bits_of_float served <> Int64.bits_of_float expected.(i) then
-              incr mismatches
-          end)
-        report.Server.Loadgen.answers;
-      Printf.printf "verify: %d/%d served answers bit-identical to direct Catalog.Service.answer\n"
-        (!checked - !mismatches) !checked;
-      if !mismatches > 0 then or_die (Error "loadgen: served answers diverge from direct calls"))
+    match rate with
+    | Some rate ->
+      let report = Server.Loadgen.run_open_loop ~max_clients ~rate ~duration_s ~address requests in
+      print_endline (Server.Loadgen.open_report_to_string report)
+    | None ->
+      let report = Server.Loadgen.run ~batch ~connections ~address requests in
+      print_endline (Server.Loadgen.report_to_string report);
+      (match verify with
+      | None -> ()
+      | Some dir ->
+        (* The server may have migrated the directory to the partitioned
+           layout; answer through the owner shard of each entry so --verify
+           works at any --shards value. *)
+        let expected =
+          try
+            match detect_shards dir with
+            | 1 -> Cat.answer (open_catalog dir) requests
+            | shards ->
+              let services = open_sharded_catalog ~shards dir in
+              Array.map
+                (fun ((name, _, _) as req) ->
+                  (Cat.answer services.(Cat.shard_of_name ~shards name) [| req |]).(0))
+                requests
+          with Invalid_argument msg -> or_die (Error msg)
+        in
+        let mismatches = ref 0 and checked = ref 0 in
+        Array.iteri
+          (fun i served ->
+            if not (Float.is_nan served) then begin
+              incr checked;
+              if Int64.bits_of_float served <> Int64.bits_of_float expected.(i) then
+                incr mismatches
+            end)
+          report.Server.Loadgen.answers;
+        Printf.printf "verify: %d/%d served answers bit-identical to direct Catalog.Service.answer\n"
+          (!checked - !mismatches) !checked;
+        if !mismatches > 0 then or_die (Error "loadgen: served answers diverge from direct calls"))
   in
   let doc =
-    "Closed-loop load generator against a running `selest serve': synthetic range queries \
-     over the served entries, exact p50/p95/p99 latency, throughput, and error classes \
-     (docs/SERVING.md)."
+    "Load generator against a running `selest serve': closed loop by default \
+     (--connections workers, peak capacity), open loop with --rate (fixed arrival \
+     schedule, drop/late accounting, latency from scheduled arrival); synthetic range \
+     queries, exact p50/p95/p99, error classes (docs/SERVING.md)."
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const run $ socket_arg $ port_arg $ host_arg $ connections_arg
-          $ queries_arg $ batch_arg $ seed_arg $ verify_dir_arg)
+          $ queries_arg $ batch_arg $ seed_arg $ verify_dir_arg $ rate_arg
+          $ duration_arg $ max_clients_arg)
 
 (* --- main --- *)
 

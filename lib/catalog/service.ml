@@ -41,7 +41,7 @@ type info = {
   cached : bool;
 }
 
-let open_dir ?(config = default_config) dir =
+let open_dir ?(config = default_config) ?shard dir =
   if config.capacity < 1 then invalid_arg "Catalog.Service.open_dir: capacity must be >= 1";
   if config.rebuild_after_inserts < 1 then
     invalid_arg "Catalog.Service.open_dir: rebuild_after_inserts must be >= 1";
@@ -49,7 +49,10 @@ let open_dir ?(config = default_config) dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   if not (Sys.is_directory dir) then
     raise (Sys_error (Printf.sprintf "%s: not a directory" dir));
-  let labels = [ ("dir", Filename.basename dir) ] in
+  let labels =
+    ("dir", Filename.basename dir)
+    :: (match shard with None -> [] | Some i -> [ ("shard", string_of_int i) ])
+  in
   let t =
     {
       dir;
@@ -81,7 +84,7 @@ let open_dir ?(config = default_config) dir =
           ~help:"Latency of Service.answer batches";
     }
   in
-  let entries, skipped = Snapshot.load_dir ~dir in
+  let entries, skipped = Snapshot.load_dir ?shard ~dir () in
   List.iter
     (fun (e : Snapshot.entry) ->
       Hashtbl.replace t.index e.name
@@ -293,3 +296,116 @@ let answer_one t ~name ~a ~b =
     | summary -> Ok (Selest.Stored.selectivity summary ~a ~b)
 
 let cache_stats t = Lru.stats t.cache
+
+(* ---------------- sharding ---------------- *)
+
+(* FNV-1a over the entry name, folded modulo the shard count.  The hash
+   must be stable across processes and OCaml versions — it names the
+   directory an entry persists in, so a different hash after an upgrade
+   would strand every snapshot in the wrong shard.  (Hashtbl.hash is
+   explicitly not that: its value is version-dependent.) *)
+let shard_of_name ~shards name =
+  if shards < 1 then invalid_arg "Catalog.Service.shard_of_name: shards must be >= 1";
+  if shards = 1 then 0
+  else begin
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+      name;
+    Int64.to_int (Int64.unsigned_rem !h (Int64.of_int shards))
+  end
+
+let shard_dir_name i = Printf.sprintf "shard-%d" i
+
+(* Move every snapshot file found under [dir] — in the flat v1 layout or
+   in any shard-*/ subdirectory — to where the target layout wants it:
+   the flat directory itself for [shards = 1], shard-<hash>/ otherwise.
+   Re-running is a no-op, so opening with a different shard count
+   migrates, and opening with the same count touches nothing.  Orphaned
+   .tmp files in a directory being vacated are swept here (per-shard
+   [load_dir] never scans it); failures go on the skip list instead of
+   aborting the open. *)
+let migrate_layout ~shards dir =
+  let skipped = ref [] in
+  let skip file msg = skipped := (file, msg) :: !skipped in
+  let snapshot_files d =
+    if Sys.file_exists d && Sys.is_directory d then
+      Sys.readdir d |> Array.to_list |> List.sort String.compare
+      |> List.map (fun f -> (d, f))
+    else []
+  in
+  let shard_subdirs =
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "shard-"
+           && Sys.is_directory (Filename.concat dir f))
+    |> List.map (Filename.concat dir)
+  in
+  let sources = List.concat_map snapshot_files (dir :: shard_subdirs) in
+  let in_target_layout d =
+    if shards = 1 then d = dir
+    else
+      d <> dir
+      && (let base = Filename.basename d in
+          match int_of_string_opt (String.sub base 6 (String.length base - 6)) with
+          | Some i -> base = shard_dir_name i && i >= 0 && i < shards
+          | None -> false)
+  in
+  List.iter
+    (fun (src_dir, file) ->
+      let src = Filename.concat src_dir file in
+      if Filename.check_suffix file Snapshot.tmp_extension then begin
+        (* Only vacated directories are swept here; the target layout's
+           own directories get the reported sweep in [Snapshot.load_dir]. *)
+        if not (in_target_layout src_dir) then
+          match Sys.remove src with
+          | () -> skip file "orphaned temp file from an interrupted write; deleted"
+          | exception Sys_error msg -> skip file ("orphaned temp file; could not delete: " ^ msg)
+      end
+      else if Filename.check_suffix file Snapshot.extension then
+        match Snapshot.decode_file_name file with
+        | None -> skip file "not a percent-encoded snapshot file name; left in place"
+        | Some name ->
+          let target_dir =
+            if shards = 1 then dir
+            else Filename.concat dir (shard_dir_name (shard_of_name ~shards name))
+          in
+          if target_dir <> src_dir then begin
+            if not (Sys.file_exists target_dir) then Sys.mkdir target_dir 0o755;
+            match Sys.rename src (Filename.concat target_dir file) with
+            | () -> ()
+            | exception Sys_error msg -> skip file ("could not migrate to shard layout: " ^ msg)
+          end)
+    sources;
+  (* Directories the migration emptied are noise for the next scan. *)
+  List.iter
+    (fun d ->
+      if Sys.file_exists d && Sys.readdir d = [||] then
+        try Sys.rmdir d with Sys_error _ -> ())
+    shard_subdirs;
+  List.rev !skipped
+
+let open_sharded ?(config = default_config) ~shards dir =
+  if shards < 1 then invalid_arg "Catalog.Service.open_sharded: shards must be >= 1";
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "%s: not a directory" dir));
+  let migration_skips = migrate_layout ~shards dir in
+  if shards = 1 then begin
+    (* Degenerate case is byte-for-byte the v1 flat layout: same
+       directory, same metric labels, same [open_dir] result. *)
+    let t, skipped = open_dir ~config dir in
+    ([| t |], migration_skips @ skipped)
+  end
+  else begin
+    let opened =
+      Array.init shards (fun i ->
+          open_dir ~config ~shard:i (Filename.concat dir (shard_dir_name i)))
+    in
+    let skipped =
+      Array.to_list opened |> List.concat_map (fun (_, skips) -> skips)
+    in
+    (Array.map fst opened, migration_skips @ skipped)
+  end

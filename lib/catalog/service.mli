@@ -31,15 +31,52 @@ val default_config : config
 
 type t
 
-val open_dir : ?config:config -> string -> t * (string * string) list
+val open_dir : ?config:config -> ?shard:int -> string -> t * (string * string) list
 (** [open_dir dir] opens (creating [dir] if missing) the catalog persisted
     there and indexes every readable snapshot.  Corrupt snapshot files are
     skipped and returned as [(file, error)] pairs — recovery never fails
     the catalog, and the survivors keep serving.  Orphaned
     [{!Snapshot.tmp_extension}] files from writes that died mid-rename are
     swept and reported the same way.  The cache starts cold;
-    summaries load on first access.
+    summaries load on first access.  [shard] tags the service as one
+    shard of a partitioned catalog: skip messages carry a ["shard N: "]
+    prefix and its telemetry gains a [shard] label (callers normally get
+    this via {!open_sharded} rather than passing it themselves).
     @raise Invalid_argument on a non-positive [config] field.
+    @raise Sys_error if [dir] cannot be created or read. *)
+
+val shard_of_name : shards:int -> string -> int
+(** The shard (in [0 .. shards-1]) that owns an entry name: a stable
+    FNV-1a hash folded modulo [shards].  Stable across processes and
+    OCaml versions — it determines the directory an entry persists in —
+    and [shards = 1] always maps to [0].  Both the on-disk layout of
+    {!open_sharded} and the request router in [Server.Engine] use this
+    function, which is what makes them agree.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val shard_dir_name : int -> string
+(** [shard_dir_name i] is ["shard-<i>"] — the subdirectory of a sharded
+    catalog root that holds shard [i]'s snapshots ([docs/SHARDING.md]
+    documents the layout). *)
+
+val open_sharded :
+  ?config:config -> shards:int -> string -> t array * (string * string) list
+(** [open_sharded ~shards dir] opens [dir] as a hash-partitioned catalog
+    of [shards] independent services — element [i] of the returned array
+    owns the entries with [{!shard_of_name} ~shards name = i], persisted
+    under [dir/shard-<i>/], with its own LRU cache (so total cache
+    capacity is [config.capacity] per shard).  Before opening, the
+    on-disk layout is migrated in place: snapshot files found in the flat
+    v1 layout (or in the shard directories of a different previous shard
+    count) are renamed into the directory the requested partitioning
+    assigns them, so the same [dir] can be served at any shard count and
+    re-opened at another.  [shards = 1] is exactly {!open_dir} on the
+    flat directory — same layout, same service, bit-identical serving —
+    with any shard-*/ files migrated back flat first.  The skip list
+    aggregates migration failures and every shard's load skips, each
+    tagged with its shard.
+    @raise Invalid_argument if [shards < 1] or on a non-positive
+    [config] field.
     @raise Sys_error if [dir] cannot be created or read. *)
 
 val dir : t -> string

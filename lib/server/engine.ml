@@ -1,28 +1,51 @@
-(* The concurrent estimate server.
+(* The concurrent estimate server, sharded across OCaml 5 domains.
 
    Thread architecture: the thread calling [serve] runs the accept loop
    (a [select] tick so the drain flag is noticed promptly); each accepted
-   connection gets a reader thread; one dispatcher thread owns the
-   [Catalog.Service] — the service is single-owner by contract (its LRU
-   cache mutates on reads), so every catalog operation funnels through
-   that thread.  Connection threads park service-bound requests on a
-   shared queue and block until the dispatcher fulfills them, which is
-   also what batches concurrent clients into single
-   [Service.answer_into] calls: whatever accumulated while the previous
-   batch ran is merged (into reused structure-of-arrays staging buffers)
-   and evaluated in one pass over the batch kernel.  Each connection
-   reuses one job record and one [Wire.writer], so a steady-state served
-   request costs no fresh buffers on the reply path — the remaining
-   per-request allocations (decoded request, reply value) are small and
-   bounded; docs/PERFORMANCE.md quantifies them.
+   connection gets a reader thread; and each shard runs one dispatcher
+   *domain* that owns that shard's [Catalog.Service] — the service is
+   single-owner by contract (its LRU cache mutates on reads), so every
+   catalog operation funnels through its shard's dispatcher.  Domains
+   rather than threads because OCaml systhreads of one domain share a
+   runtime lock: with [shards = N], N merged batches evaluate in true
+   parallel on N cores.
 
-   Backpressure is admission control at enqueue time: once [max_inflight]
-   requests are in flight the connection thread answers [Overloaded]
-   immediately instead of queueing.  Requests that sat in the queue past
-   [deadline_s] are answered [Timeout] without evaluation.  A drain
-   (SIGTERM or [initiate_drain]) stops the accept loop, answers new
-   requests [Draining], lets every in-flight request finish and its reply
-   be written, then closes all sockets and returns from [serve]. *)
+   Requests are routed by entry name: [Catalog.Service.shard_of_name]
+   (the same stable hash that lays out the snapshot directories) sends
+   each query to the shard that owns its entry.  A [batch_estimate]
+   frame whose queries span shards is split by the connection thread
+   into per-shard sub-jobs (each preserving its queries' relative
+   order), evaluated concurrently, and reassembled into one reply in
+   the original request order — so served bits are identical to the
+   single-shard path, which in turn is bit-identical to direct
+   [Catalog.Service.answer] calls.  With [shards = 1] the router
+   degenerates to exactly the pre-sharding engine: one dispatcher, one
+   queue, whole frames, zero-allocation steady state.
+
+   Per-shard batching works exactly as the single dispatcher did:
+   connection threads park service-bound sub-jobs on the shard's queue
+   and block until its dispatcher fulfills them; whatever accumulated
+   while the previous batch ran is merged (into the shard's reused
+   structure-of-arrays staging buffers) and evaluated in one
+   [Service.answer_into] pass.  Each connection reuses one job record
+   per shard and one [Wire.writer]; a steady-state single-shard request
+   costs no fresh buffers on the reply path, while a cross-shard batch
+   pays small per-request split/reassembly arrays (quantified in
+   docs/PERFORMANCE.md).
+
+   Backpressure is admission control at enqueue time: once
+   [max_inflight] requests are in flight the connection thread answers
+   [Overloaded] immediately instead of queueing — one admission slot
+   per request, however many shards it fans out to.  Requests that sat
+   in a queue past [deadline_s] are answered [Timeout] without
+   evaluation.  A drain (SIGTERM or [initiate_drain]) stops the accept
+   loop, answers new requests [Draining], lets every in-flight request
+   finish and its reply be written, then retires the dispatchers and
+   closes all sockets.  A dispatcher that dies (or is killed by the
+   [kill_shard_dispatcher] fault hook) marks its shard down: queued
+   jobs are failed with the typed [Internal] error and later requests
+   routed there are refused the same way, while the other shards keep
+   serving — a shard failure degrades, it does not hang. *)
 
 module Service = Catalog.Service
 
@@ -47,6 +70,12 @@ let default_config =
     dispatch_delay_s = 0.0;
   }
 
+type shard_stats = {
+  shard_batches : int;
+  shard_batched_queries : int;
+  shard_answered : int;
+}
+
 type stats = {
   connections : int;
   requests : int;
@@ -57,13 +86,16 @@ type stats = {
   protocol_errors : int;
   batches : int;
   batched_queries : int;
+  shards : int;
+  per_shard : shard_stats array;
 }
 
 (* A service-bound request parked by its connection thread.  One job
-   record lives per connection, not per request: the connection thread
-   blocks on [await_reply] before reading its next frame, so the record
-   (and its mutex/condition) is free for reuse the moment a reply
-   lands — [kind], [enqueued_at] and [reply] are reset in place. *)
+   record lives per connection *per shard*, not per request: the
+   connection thread blocks awaiting every sub-job of a request before
+   reading its next frame, so the records (and their mutex/condition)
+   are free for reuse the moment the replies land — [kind],
+   [enqueued_at] and [reply] are reset in place. *)
 type job_kind =
   | Query of { triples : (string * float * float) array; single : bool; spec : string }
   | Ls_job
@@ -77,8 +109,8 @@ type job = {
   mutable reply : Wire.response option;
 }
 
-(* Structure-of-arrays staging for merged batches, owned by the
-   dispatcher thread and reused (grown geometrically, never shrunk)
+(* Structure-of-arrays staging for merged batches, owned by the shard's
+   dispatcher domain and reused (grown geometrically, never shrunk)
    across batches: at steady state a dispatch allocates no fresh
    arrays before handing the batch to [Service.answer_into]. *)
 type merge_buffers = {
@@ -88,41 +120,56 @@ type merge_buffers = {
   mutable mb_out : float array;
 }
 
+type shard = {
+  sh_id : int;
+  sh_service : Service.t;
+  sh_queue : job Queue.t;
+  sh_m : Mutex.t;
+  sh_c : Condition.t;
+  sh_mb : merge_buffers;
+  (* [sh_stop] asks the dispatcher to exit once its queue drains;
+     [sh_down] means it is gone — set by the dispatcher domain itself on
+     the way out, checked at enqueue so no job can park on a queue
+     nobody will ever pop. *)
+  sh_stop : bool Atomic.t;
+  sh_down : bool Atomic.t;
+  mutable sh_domain : unit Domain.t option;
+  sh_batches : int Atomic.t;
+  sh_batched_queries : int Atomic.t;
+  sh_answered : int Atomic.t;
+  sh_m_batches : Telemetry.Metrics.counter;
+  sh_m_batched_queries : Telemetry.Metrics.counter;
+}
+
 type t = {
-  service : Service.t;
+  shards : shard array;
   config : config;
   address : Wire.address;
   listen_fd : Unix.file_descr;
-  queue : job Queue.t;
-  q_m : Mutex.t;
-  q_c : Condition.t;
-  mb : merge_buffers;
   draining : bool Atomic.t;
-  dispatcher_stop : bool Atomic.t;
   inflight : int Atomic.t;
   conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
   conns_m : Mutex.t;
   conn_seq : int Atomic.t;
   s_connections : int Atomic.t;
   s_requests : int Atomic.t;
-  s_answered : int Atomic.t;
   s_overloaded : int Atomic.t;
   s_timeouts : int Atomic.t;
   s_refused_draining : int Atomic.t;
   s_protocol_errors : int Atomic.t;
-  s_batches : int Atomic.t;
-  s_batched_queries : int Atomic.t;
   m_connections : Telemetry.Metrics.counter;
   m_requests : Telemetry.Metrics.counter;
   m_overloaded : Telemetry.Metrics.counter;
   m_timeouts : Telemetry.Metrics.counter;
-  m_batches : Telemetry.Metrics.counter;
-  m_batched_queries : Telemetry.Metrics.counter;
   m_request_seconds : Telemetry.Metrics.histogram;
 }
 
-let create ?(config = default_config) ~service address =
+let shard_count t = Array.length t.shards
+
+let create ?(config = default_config) ~services address =
   Wire.ignore_sigpipe ();
+  if Array.length services < 1 then
+    invalid_arg "Server.Engine.create: services must not be empty";
   if config.jobs < 1 then invalid_arg "Server.Engine.create: jobs must be >= 1";
   if config.max_inflight < 0 then
     invalid_arg "Server.Engine.create: max_inflight must be >= 0";
@@ -148,30 +195,54 @@ let create ?(config = default_config) ~service address =
   in
   Unix.listen listen_fd config.accept_backlog;
   let labels = [ ("addr", Wire.address_to_string address) ] in
+  let nshards = Array.length services in
+  let shards =
+    Array.mapi
+      (fun i service ->
+        (* The single-shard configuration keeps today's label set so its
+           telemetry stream is unchanged; sharded servers label per
+           shard, which is what makes per-shard batching observable. *)
+        let sh_labels =
+          if nshards = 1 then labels else labels @ [ ("shard", string_of_int i) ]
+        in
+        {
+          sh_id = i;
+          sh_service = service;
+          sh_queue = Queue.create ();
+          sh_m = Mutex.create ();
+          sh_c = Condition.create ();
+          sh_mb = { mb_names = [||]; mb_a = [||]; mb_b = [||]; mb_out = [||] };
+          sh_stop = Atomic.make false;
+          sh_down = Atomic.make false;
+          sh_domain = None;
+          sh_batches = Atomic.make 0;
+          sh_batched_queries = Atomic.make 0;
+          sh_answered = Atomic.make 0;
+          sh_m_batches =
+            Telemetry.Metrics.counter "server_batches_total" ~labels:sh_labels
+              ~help:"Service.answer calls issued by the dispatchers";
+          sh_m_batched_queries =
+            Telemetry.Metrics.counter "server_batched_queries_total" ~labels:sh_labels
+              ~help:"Range queries folded into dispatcher batches";
+        })
+      services
+  in
   {
-    service;
+    shards;
     config;
     address;
     listen_fd;
-    queue = Queue.create ();
-    q_m = Mutex.create ();
-    q_c = Condition.create ();
-    mb = { mb_names = [||]; mb_a = [||]; mb_b = [||]; mb_out = [||] };
     draining = Atomic.make false;
-    dispatcher_stop = Atomic.make false;
     inflight = Atomic.make 0;
     conns = Hashtbl.create 64;
     conns_m = Mutex.create ();
     conn_seq = Atomic.make 0;
     s_connections = Atomic.make 0;
     s_requests = Atomic.make 0;
-    s_answered = Atomic.make 0;
     s_overloaded = Atomic.make 0;
     s_timeouts = Atomic.make 0;
     s_refused_draining = Atomic.make 0;
     s_protocol_errors = Atomic.make 0;
-    s_batches = Atomic.make 0;
-    s_batched_queries = Atomic.make 0;
     m_connections =
       Telemetry.Metrics.counter "server_connections_total" ~labels
         ~help:"Connections accepted by the estimate server";
@@ -184,12 +255,6 @@ let create ?(config = default_config) ~service address =
     m_timeouts =
       Telemetry.Metrics.counter "server_timeouts_total" ~labels
         ~help:"Requests expired past their deadline before evaluation";
-    m_batches =
-      Telemetry.Metrics.counter "server_batches_total" ~labels
-        ~help:"Service.answer calls issued by the dispatcher";
-    m_batched_queries =
-      Telemetry.Metrics.counter "server_batched_queries_total" ~labels
-        ~help:"Range queries folded into dispatcher batches";
     m_request_seconds =
       Telemetry.Metrics.histogram "server_request_seconds" ~labels
         ~help:"Latency from frame decode to reply written";
@@ -203,16 +268,28 @@ let bound_port t =
   | Unix.ADDR_UNIX _ -> None
 
 let stats t =
+  let per_shard =
+    Array.map
+      (fun sh ->
+        {
+          shard_batches = Atomic.get sh.sh_batches;
+          shard_batched_queries = Atomic.get sh.sh_batched_queries;
+          shard_answered = Atomic.get sh.sh_answered;
+        })
+      t.shards
+  in
   {
     connections = Atomic.get t.s_connections;
     requests = Atomic.get t.s_requests;
-    answered = Atomic.get t.s_answered;
+    answered = Array.fold_left (fun n s -> n + s.shard_answered) 0 per_shard;
     overloaded = Atomic.get t.s_overloaded;
     timeouts = Atomic.get t.s_timeouts;
     refused_draining = Atomic.get t.s_refused_draining;
     protocol_errors = Atomic.get t.s_protocol_errors;
-    batches = Atomic.get t.s_batches;
-    batched_queries = Atomic.get t.s_batched_queries;
+    batches = Array.fold_left (fun n s -> n + s.shard_batches) 0 per_shard;
+    batched_queries = Array.fold_left (fun n s -> n + s.shard_batched_queries) 0 per_shard;
+    shards = Array.length t.shards;
+    per_shard;
   }
 
 let draining t = Atomic.get t.draining
@@ -224,7 +301,7 @@ let initiate_drain t = Atomic.set t.draining true
 let install_sigterm t =
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> initiate_drain t))
 
-(* ---------------- dispatcher ---------------- *)
+(* ---------------- dispatchers (one domain per shard) ---------------- *)
 
 let complete job resp =
   Mutex.lock job.job_m;
@@ -232,20 +309,21 @@ let complete job resp =
   Condition.broadcast job.job_c;
   Mutex.unlock job.job_m
 
-(* Pop the next batch: blocks until a job arrives or the stop flag is
-   raised, then takes queued jobs up to [max_batch] merged queries (the
-   first job is always taken whole, so an oversized client batch still
-   dispatches).  Returns [] only when stopping on an empty queue. *)
-let next_jobs t =
-  Mutex.lock t.q_m;
-  while Queue.is_empty t.queue && not (Atomic.get t.dispatcher_stop) do
-    Condition.wait t.q_c t.q_m
+(* Pop the shard's next batch: blocks until a job arrives or the stop
+   flag is raised, then takes queued jobs up to [max_batch] merged
+   queries (the first job is always taken whole, so an oversized client
+   batch still dispatches).  Returns [] only when stopping on an empty
+   queue. *)
+let next_jobs t sh =
+  Mutex.lock sh.sh_m;
+  while Queue.is_empty sh.sh_queue && not (Atomic.get sh.sh_stop) do
+    Condition.wait sh.sh_c sh.sh_m
   done;
   let jobs = ref [] in
   let merged = ref 0 in
   let full = ref false in
-  while (not !full) && not (Queue.is_empty t.queue) do
-    let j = Queue.peek t.queue in
+  while (not !full) && not (Queue.is_empty sh.sh_queue) do
+    let j = Queue.peek sh.sh_queue in
     let cost =
       match j.kind with
       | Query { triples; _ } -> max 1 (Array.length triples)
@@ -253,15 +331,15 @@ let next_jobs t =
     in
     if !jobs <> [] && !merged + cost > t.config.max_batch then full := true
     else begin
-      ignore (Queue.pop t.queue);
+      ignore (Queue.pop sh.sh_queue);
       jobs := j :: !jobs;
       merged := !merged + cost
     end
   done;
-  Mutex.unlock t.q_m;
+  Mutex.unlock sh.sh_m;
   List.rev !jobs
 
-let ls_reply t =
+let ls_reply sh =
   Wire.Ls_reply
     (List.map
        (fun (i : Service.info) ->
@@ -272,7 +350,7 @@ let ls_reply t =
            stale = i.Service.stale;
            domain = i.Service.domain;
          })
-       (Service.infos t.service))
+       (Service.infos sh.sh_service))
 
 let ensure_merge_capacity mb total =
   if Array.length mb.mb_names < total then begin
@@ -286,21 +364,22 @@ let ensure_merge_capacity mb total =
     mb.mb_out <- Array.make !cap 0.0
   end
 
-(* Answer every query job of the batch with one [Service.answer_into]
-   call over the reused staging arrays.  Each job's slice of the merged
-   batch is evaluated independently of what else the batch contains, so
-   served answers stay bit-identical to a direct call whatever the
-   interleaving of clients; queries of one job stay contiguous, so a
-   same-entry client batch is one summary resolution.  [complete] is the
-   batch's recording completion function (see [process_batch]). *)
-let run_queries t ~complete query_jobs =
+(* Answer every query job of the shard's batch with one
+   [Service.answer_into] call over the reused staging arrays.  Each
+   job's slice of the merged batch is evaluated independently of what
+   else the batch contains, so served answers stay bit-identical to a
+   direct call whatever the interleaving of clients; queries of one job
+   stay contiguous, so a same-entry client batch is one summary
+   resolution.  [complete] is the batch's recording completion function
+   (see [process_batch]). *)
+let run_queries sh ~complete query_jobs =
   let total = List.fold_left (fun n (_, len) -> n + len) 0 query_jobs in
   if total > 0 then begin
-    Atomic.incr t.s_batches;
-    ignore (Atomic.fetch_and_add t.s_batched_queries total);
-    Telemetry.Metrics.incr t.m_batches;
-    Telemetry.Metrics.add t.m_batched_queries total;
-    let mb = t.mb in
+    Atomic.incr sh.sh_batches;
+    ignore (Atomic.fetch_and_add sh.sh_batched_queries total);
+    Telemetry.Metrics.incr sh.sh_m_batches;
+    Telemetry.Metrics.add sh.sh_m_batched_queries total;
+    let mb = sh.sh_mb in
     ensure_merge_capacity mb total;
     let off = ref 0 in
     List.iter
@@ -317,8 +396,8 @@ let run_queries t ~complete query_jobs =
         off := !off + len)
       query_jobs;
     match
-      Service.answer_into t.service ~n:total ~names:mb.mb_names ~a:mb.mb_a ~b:mb.mb_b
-        ~out:mb.mb_out
+      Service.answer_into sh.sh_service ~n:total ~names:mb.mb_names ~a:mb.mb_a
+        ~b:mb.mb_b ~out:mb.mb_out
     with
     | () ->
       let off = ref 0 in
@@ -331,7 +410,7 @@ let run_queries t ~complete query_jobs =
             | Ls_job | Invalidate_job _ -> assert false
           in
           off := !off + len;
-          ignore (Atomic.fetch_and_add t.s_answered len);
+          ignore (Atomic.fetch_and_add sh.sh_answered len);
           complete job reply)
         query_jobs
     | exception e ->
@@ -350,8 +429,8 @@ let run_queries t ~complete query_jobs =
        [await_reply] forever. *)
     List.iter (fun (job, _) -> complete job (Wire.Batch_reply [||])) query_jobs
 
-let process_batch_exn t ~complete jobs =
-  if t.config.dispatch_delay_s > 0.0 then Thread.delay t.config.dispatch_delay_s;
+let process_batch_exn t sh ~complete jobs =
+  if t.config.dispatch_delay_s > 0.0 then Unix.sleepf t.config.dispatch_delay_s;
   let now = Unix.gettimeofday () in
   let live =
     List.filter
@@ -379,13 +458,13 @@ let process_batch_exn t ~complete jobs =
       (fun job ->
         match job.kind with
         | Ls_job ->
-          complete job (ls_reply t);
+          complete job (ls_reply sh);
           None
         | Invalidate_job name ->
           (* Caught per job: a persist failure (unreadable snapshot dir,
              full disk) answers this request Internal and leaves the rest
              of the batch to run. *)
-          (match Service.invalidate t.service name with
+          (match Service.invalidate sh.sh_service name with
           | Ok () -> complete job Wire.Invalidated
           | Error message ->
             complete job (Wire.Error_reply { code = Wire.Unknown_entry; message })
@@ -395,7 +474,9 @@ let process_batch_exn t ~complete jobs =
           None
         | Query { triples; single; spec } -> (
           match
-            Array.find_opt (fun (name, _, _) -> not (Service.mem t.service name)) triples
+            Array.find_opt
+              (fun (name, _, _) -> not (Service.mem sh.sh_service name))
+              triples
           with
           | Some (name, _, _) ->
             complete job
@@ -411,7 +492,7 @@ let process_batch_exn t ~complete jobs =
               &&
               match triples with
               | [| (name, _, _) |] -> (
-                match Service.info t.service name with
+                match Service.info sh.sh_service name with
                 | Some i -> i.Service.spec <> spec
                 | None -> false)
               | _ -> false
@@ -428,7 +509,7 @@ let process_batch_exn t ~complete jobs =
             else Some (job, Array.length triples)))
       live
   in
-  run_queries t ~complete query_jobs
+  run_queries sh ~complete query_jobs
 
 (* Every completion of the batch goes through a recording wrapper so the
    error backstop knows which jobs were already answered without reading
@@ -436,13 +517,13 @@ let process_batch_exn t ~complete jobs =
    may have been reset and re-enqueued by its connection thread, and an
    unlocked [reply = None] check would answer the *next* request with
    this batch's error while the queued copy double-completes it later. *)
-let process_batch t jobs =
+let process_batch t sh jobs =
   let completed = ref [] in
   let complete_job job resp =
     completed := job :: !completed;
     complete job resp
   in
-  try process_batch_exn t ~complete:complete_job jobs
+  try process_batch_exn t sh ~complete:complete_job jobs
   with e ->
     let message = Printexc.to_string e in
     List.iter
@@ -451,17 +532,77 @@ let process_batch t jobs =
           complete job (Wire.Error_reply { code = Wire.Internal; message }))
       jobs
 
-let dispatcher_loop t =
-  let rec loop () =
-    match next_jobs t with
-    | [] -> ()  (* stop flag with an empty queue: serve is tearing down *)
-    | jobs ->
-      process_batch t jobs;
-      loop ()
-  in
-  loop ()
+let shard_down_reply sh =
+  Wire.Error_reply
+    {
+      code = Wire.Internal;
+      message = Printf.sprintf "shard %d dispatcher is down" sh.sh_id;
+    }
 
-(* ---------------- connection threads ---------------- *)
+(* The body of a shard's dispatcher domain.  On the way out — a normal
+   stop, or an escaped exception (the per-batch backstop makes that
+   nearly impossible) — the shard is marked down and anything still
+   queued is failed: enqueue checks [sh_down] under [sh_m] before
+   pushing, so every job either reaches this sweep or is refused at
+   enqueue, and no connection can park forever on a dead shard. *)
+let dispatcher_domain t sh () =
+  (try
+     let rec loop () =
+       match next_jobs t sh with
+       | [] -> () (* stop flag with an empty queue: orderly retirement *)
+       | jobs ->
+         process_batch t sh jobs;
+         loop ()
+     in
+     loop ()
+   with _ -> ());
+  Mutex.lock sh.sh_m;
+  Atomic.set sh.sh_down true;
+  let stranded = ref [] in
+  while not (Queue.is_empty sh.sh_queue) do
+    stranded := Queue.pop sh.sh_queue :: !stranded
+  done;
+  Mutex.unlock sh.sh_m;
+  List.iter (fun job -> complete job (shard_down_reply sh)) (List.rev !stranded)
+
+(* Fault-injection hook (tests; see the kill-one-shard drain test):
+   stop shard [i]'s dispatcher as if it had died.  Queued jobs drain
+   first ([next_jobs] keeps handing out work while the queue is
+   non-empty), then the shard goes down: stranded stragglers and all
+   later requests routed to it get the typed [Internal] refusal while
+   every other shard keeps serving. *)
+let kill_shard_dispatcher t i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Server.Engine.kill_shard_dispatcher: no such shard";
+  let sh = t.shards.(i) in
+  Mutex.lock sh.sh_m;
+  Atomic.set sh.sh_stop true;
+  Condition.broadcast sh.sh_c;
+  Mutex.unlock sh.sh_m;
+  match sh.sh_domain with
+  | Some d ->
+    Domain.join d;
+    sh.sh_domain <- None
+  | None ->
+    (* [serve] not running: nothing to join, but mark the shard down so
+       routing refuses it. *)
+    Atomic.set sh.sh_down true
+
+(* ---------------- routing ---------------- *)
+
+(* Per-connection routing state: one reusable job record per shard, so
+   a request that fans out across shards needs no fresh synchronization
+   objects — only its split arrays. *)
+type conn_state = { jobs : job array }
+
+let fresh_job () =
+  {
+    kind = Ls_job;
+    enqueued_at = 0.0;
+    job_m = Mutex.create ();
+    job_c = Condition.create ();
+    reply = None;
+  }
 
 let send w fd response = Wire.write_response w fd response
 
@@ -474,7 +615,139 @@ let await_reply job =
   Mutex.unlock job.job_m;
   r
 
-let handle_request t w fd job req =
+(* Reset the connection's shard-[i] job in place (the dispatcher
+   finished with it before the previous [await_reply] returned) and park
+   it on the shard's queue — unless the shard is down, in which case the
+   job completes immediately with the typed refusal. *)
+let enqueue t cs shard_idx kind =
+  let sh = t.shards.(shard_idx) in
+  let job = cs.jobs.(shard_idx) in
+  job.kind <- kind;
+  job.enqueued_at <- Unix.gettimeofday ();
+  job.reply <- None;
+  Mutex.lock sh.sh_m;
+  if Atomic.get sh.sh_down then begin
+    Mutex.unlock sh.sh_m;
+    complete job (shard_down_reply sh)
+  end
+  else begin
+    Queue.push job sh.sh_queue;
+    Condition.broadcast sh.sh_c;
+    Mutex.unlock sh.sh_m
+  end;
+  job
+
+let shard_of t name = Service.shard_of_name ~shards:(Array.length t.shards) name
+
+(* Split a multi-entry batch across the shards that own its entries,
+   await every sub-reply, and reassemble in request order.  Each
+   sub-job's queries keep their relative order, and query [i]'s answer
+   is taken from its shard's reply at that shard's next unconsumed
+   position — scatter by construction, so the merged reply is
+   bit-identical to what a single dispatcher would have produced.  If
+   any shard answered an error, the lowest-numbered shard's error
+   stands for the whole frame (deterministic, though the reported entry
+   may differ from the single-shard path, which scans in request
+   order). *)
+let route_batch t cs triples =
+  let nshards = Array.length t.shards in
+  let n = Array.length triples in
+  let shard_of_query = Array.map (fun (name, _, _) -> shard_of t name) triples in
+  let counts = Array.make nshards 0 in
+  Array.iter (fun s -> counts.(s) <- counts.(s) + 1) shard_of_query;
+  let involved = ref [] in
+  for s = nshards - 1 downto 0 do
+    if counts.(s) > 0 then involved := s :: !involved
+  done;
+  match !involved with
+  | [ s ] ->
+    (* Single-shard frame (the common case, and every frame when
+       [shards = 1]): no splitting, no scatter — the job carries the
+       client's array as-is. *)
+    await_reply (enqueue t cs s (Query { triples; single = false; spec = "" }))
+  | involved ->
+    let subs = Array.make nshards [||] in
+    List.iter
+      (fun s -> subs.(s) <- Array.make counts.(s) ("", 0.0, 0.0))
+      involved;
+    let cursors = Array.make nshards 0 in
+    for i = 0 to n - 1 do
+      let s = shard_of_query.(i) in
+      subs.(s).(cursors.(s)) <- triples.(i);
+      cursors.(s) <- cursors.(s) + 1
+    done;
+    (* Enqueue every sub-job before awaiting any: the shards evaluate
+       their slices concurrently. *)
+    List.iter
+      (fun s ->
+        ignore (enqueue t cs s (Query { triples = subs.(s); single = false; spec = "" })))
+      involved;
+    let replies = List.map (fun s -> (s, await_reply cs.jobs.(s))) involved in
+    let error =
+      List.find_map
+        (fun (_, r) -> match r with Wire.Error_reply _ -> Some r | _ -> None)
+        replies
+    in
+    (match error with
+    | Some e -> e
+    | None ->
+      let out = Array.make n 0.0 in
+      Array.fill cursors 0 nshards 0;
+      List.iter
+        (fun (s, r) ->
+          match r with
+          | Wire.Batch_reply xs ->
+            (* Scatter: walk the request in order, consuming this
+               shard's answers at the positions it owns. *)
+            let k = ref 0 in
+            for i = 0 to n - 1 do
+              if shard_of_query.(i) = s then begin
+                out.(i) <- xs.(!k);
+                incr k
+              end
+            done
+          | _ -> ())
+        replies;
+      Wire.Batch_reply out)
+
+(* [ls] must describe the whole catalog, so it fans out to every shard
+   and merges the per-shard listings (each sorted; entry names are
+   disjoint across shards, so a plain sort of the concatenation is the
+   global sorted listing). *)
+let route_ls t cs =
+  let nshards = Array.length t.shards in
+  for s = 0 to nshards - 1 do
+    ignore (enqueue t cs s Ls_job)
+  done;
+  let replies = List.init nshards (fun s -> await_reply cs.jobs.(s)) in
+  let error =
+    List.find_map
+      (fun r -> match r with Wire.Error_reply _ -> Some r | _ -> None)
+      replies
+  in
+  match error with
+  | Some e -> e
+  | None ->
+    Wire.Ls_reply
+      (List.concat_map
+         (fun r -> match r with Wire.Ls_reply es -> es | _ -> [])
+         replies
+      |> List.sort (fun (a : Wire.entry_info) b -> String.compare a.name b.name))
+
+let route t cs req =
+  match req with
+  | Wire.Ls -> if Array.length t.shards = 1 then await_reply (enqueue t cs 0 Ls_job) else route_ls t cs
+  | Wire.Invalidate name -> await_reply (enqueue t cs (shard_of t name) (Invalidate_job name))
+  | Wire.Estimate { entry; a; b; spec } ->
+    await_reply
+      (enqueue t cs (shard_of t entry)
+         (Query { triples = [| (entry, a, b) |]; single = true; spec }))
+  | Wire.Batch_estimate triples -> route_batch t cs triples
+  | Wire.Ping -> assert false
+
+(* ---------------- connection threads ---------------- *)
+
+let handle_request t w fd cs req =
   match req with
   | Wire.Ping -> send w fd Wire.Pong
   | _ when Atomic.get t.draining ->
@@ -482,12 +755,13 @@ let handle_request t w fd job req =
     send w fd (Wire.Error_reply { code = Wire.Draining; message = "server is draining" })
   | Wire.Batch_estimate [||] ->
     (* A legal frame with nothing to evaluate.  Answered inline: enqueued,
-       its zero-length job would contribute nothing to the dispatcher's
+       its zero-length job would contribute nothing to a dispatcher's
        merged call and could otherwise park forever. *)
     send w fd (Wire.Batch_reply [||])
   | req ->
     (* Admission is the increment itself: check-then-increment would let
-       two threads race past the limit together. *)
+       two threads race past the limit together.  One slot per request,
+       however many shards its queries fan out to. *)
     let prev = Atomic.fetch_and_add t.inflight 1 in
     if prev >= t.config.max_inflight then begin
       Atomic.decr t.inflight;
@@ -502,37 +776,17 @@ let handle_request t w fd job req =
                  t.config.max_inflight;
            })
     end
-    else begin
+    else
       (* The decrement runs after the reply is written (or the write
          fails), which is what lets the drain sequence equate
          "inflight = 0" with "every accepted request was answered". *)
       Fun.protect
         ~finally:(fun () -> Atomic.decr t.inflight)
-        (fun () ->
-          (* Reset the connection's job in place: the dispatcher finished
-             with it before the previous [await_reply] returned. *)
-          job.kind <-
-            (match req with
-            | Wire.Ls -> Ls_job
-            | Wire.Invalidate name -> Invalidate_job name
-            | Wire.Estimate { entry; a; b; spec } ->
-              Query { triples = [| (entry, a, b) |]; single = true; spec }
-            | Wire.Batch_estimate triples -> Query { triples; single = false; spec = "" }
-            | Wire.Ping -> assert false);
-          job.enqueued_at <- Unix.gettimeofday ();
-          job.reply <- None;
-          Mutex.lock t.q_m;
-          Queue.push job t.queue;
-          Condition.broadcast t.q_c;
-          Mutex.unlock t.q_m;
-          send w fd (await_reply job))
-    end
+        (fun () -> send w fd (route t cs req))
 
 let conn_loop t fd =
   let w = Wire.create_writer () in
-  let job =
-    { kind = Ls_job; enqueued_at = 0.0; job_m = Mutex.create (); job_c = Condition.create (); reply = None }
-  in
+  let cs = { jobs = Array.init (Array.length t.shards) (fun _ -> fresh_job ()) } in
   let rec loop () =
     match Wire.read_frame fd with
     | Ok None -> ()
@@ -553,7 +807,7 @@ let conn_loop t fd =
         Atomic.incr t.s_requests;
         Telemetry.Metrics.incr t.m_requests;
         let t0 = Unix.gettimeofday () in
-        handle_request t w fd job req;
+        handle_request t w fd cs req;
         Telemetry.Metrics.observe_s t.m_request_seconds (Unix.gettimeofday () -. t0);
         loop ())
   in
@@ -590,13 +844,19 @@ let accept_loop t =
   done
 
 let quiesced t =
-  Mutex.lock t.q_m;
-  let queued = not (Queue.is_empty t.queue) in
-  Mutex.unlock t.q_m;
+  let queued =
+    Array.exists
+      (fun sh ->
+        Mutex.lock sh.sh_m;
+        let q = not (Queue.is_empty sh.sh_queue) in
+        Mutex.unlock sh.sh_m;
+        q)
+      t.shards
+  in
   (not queued) && Atomic.get t.inflight = 0
 
 let serve t =
-  let dispatcher = Thread.create dispatcher_loop t in
+  Array.iter (fun sh -> sh.sh_domain <- Some (Domain.spawn (dispatcher_domain t sh))) t.shards;
   accept_loop t;
   (* Drain, phase 1: stop admitting connections.  New connects are
      refused at the socket layer from here on. *)
@@ -610,12 +870,22 @@ let serve t =
   while not (quiesced t) do
     Thread.delay 0.005
   done;
-  (* Phase 3: retire the dispatcher, then unblock idle readers. *)
-  Atomic.set t.dispatcher_stop true;
-  Mutex.lock t.q_m;
-  Condition.broadcast t.q_c;
-  Mutex.unlock t.q_m;
-  Thread.join dispatcher;
+  (* Phase 3: retire the shard dispatchers, then unblock idle readers. *)
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.sh_m;
+      Atomic.set sh.sh_stop true;
+      Condition.broadcast sh.sh_c;
+      Mutex.unlock sh.sh_m)
+    t.shards;
+  Array.iter
+    (fun sh ->
+      match sh.sh_domain with
+      | Some d ->
+        Domain.join d;
+        sh.sh_domain <- None
+      | None -> ())
+    t.shards;
   Mutex.lock t.conns_m;
   let remaining = Hashtbl.fold (fun _ conn acc -> conn :: acc) t.conns [] in
   List.iter

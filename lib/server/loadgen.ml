@@ -1,3 +1,9 @@
+type group = {
+  g_n : int;
+  g_p50_ms : float;
+  g_p99_ms : float;
+}
+
 type report = {
   connections : int;
   queries : int;
@@ -11,6 +17,7 @@ type report = {
   max_ms : float;
   errors : (string * int) list;
   answers : float array;
+  groups : (string * group) list;
 }
 
 let error_class = function
@@ -50,6 +57,8 @@ type worker_out = {
   mutable w_latencies : float list;  (** per-exchange round-trip seconds *)
   mutable w_ok : int;
   mutable w_errors : (string * int) list;
+  mutable w_classed : (string * float) list;
+      (** per-exchange (class, latency) when the caller classifies *)
 }
 
 let record_error out cls =
@@ -58,7 +67,28 @@ let record_error out cls =
     | Some n -> (cls, n + 1) :: List.remove_assoc cls out.w_errors
     | None -> (cls, 1) :: out.w_errors)
 
-let run ?(client_config = Client.default_config) ?(batch = 1) ~connections ~address requests =
+(* Summarize one class's latency samples with exact percentiles. *)
+let group_of samples =
+  let arr = Array.of_list samples in
+  Array.sort compare arr;
+  let ms x = 1000.0 *. x in
+  { g_n = Array.length arr; g_p50_ms = ms (percentile arr 0.50); g_p99_ms = ms (percentile arr 0.99) }
+
+let merge_groups outs =
+  let by_class = Hashtbl.create 8 in
+  Array.iter
+    (fun o ->
+      List.iter
+        (fun (cls, dt) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_class cls) in
+          Hashtbl.replace by_class cls (dt :: cur))
+        o.w_classed)
+    outs;
+  Hashtbl.fold (fun cls samples acc -> (cls, group_of samples) :: acc) by_class []
+  |> List.sort compare
+
+let run ?(client_config = Client.default_config) ?(batch = 1) ?classify ~connections ~address
+    requests =
   if connections < 1 then invalid_arg "Server.Loadgen.run: connections < 1";
   if batch < 1 then invalid_arg "Server.Loadgen.run: batch < 1";
   let total = Array.length requests in
@@ -71,7 +101,8 @@ let run ?(client_config = Client.default_config) ?(batch = 1) ~connections ~addr
       ~help:"Round-trip latency of load-generator exchanges"
   in
   let outs =
-    Array.init connections (fun _ -> { w_latencies = []; w_ok = 0; w_errors = [] })
+    Array.init connections (fun _ ->
+        { w_latencies = []; w_ok = 0; w_errors = []; w_classed = [] })
   in
   let worker i () =
     let out = outs.(i) in
@@ -101,6 +132,9 @@ let run ?(client_config = Client.default_config) ?(batch = 1) ~connections ~addr
          | Error e -> record_error out (error_class e));
       let dt = Unix.gettimeofday () -. t0 in
       out.w_latencies <- dt :: out.w_latencies;
+      (match classify with
+      | None -> ()
+      | Some f -> out.w_classed <- (f !pos, dt) :: out.w_classed);
       Telemetry.Metrics.add m_queries n;
       Telemetry.Metrics.observe_s m_latency dt;
       pos := !pos + n
@@ -144,6 +178,7 @@ let run ?(client_config = Client.default_config) ?(batch = 1) ~connections ~addr
     max_ms = (if exchanges > 0 then ms latencies.(exchanges - 1) else Float.nan);
     errors;
     answers;
+    groups = (match classify with None -> [] | Some _ -> merge_groups outs);
   }
 
 let report_to_string r =
@@ -158,5 +193,233 @@ let report_to_string r =
   if r.errors <> [] then begin
     Buffer.add_string b "  errors:";
     List.iter (fun (cls, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" cls n)) r.errors
+  end;
+  List.iter
+    (fun (cls, g) ->
+      Buffer.add_string b
+        (Printf.sprintf "\n%s: n %d  p50 %.3f  p99 %.3f" cls g.g_n g.g_p50_ms g.g_p99_ms))
+    r.groups;
+  Buffer.contents b
+
+(* ---------------- open loop ---------------- *)
+
+type open_report = {
+  rate_qps : float;
+  duration_s : float;
+  offered : int;
+  sent : int;
+  o_ok : int;
+  dropped : int;
+  late : int;
+  achieved_qps : float;
+  o_mean_ms : float;
+  o_p50_ms : float;
+  o_p95_ms : float;
+  o_p99_ms : float;
+  o_max_ms : float;
+  o_errors : (string * int) list;
+}
+
+(* One virtual-client slot: a worker thread parked on its own condition
+   until the scheduler hands it an arrival, plus its measurement
+   accumulator. *)
+type slot = {
+  s_m : Mutex.t;
+  s_c : Condition.t;
+  mutable s_task : (int * float) option;  (* request index, scheduled arrival *)
+  mutable s_stop : bool;
+  s_out : worker_out;
+  mutable s_late : int;
+  mutable s_sent : int;
+}
+
+let run_open_loop ?(client_config = Client.default_config) ?(max_clients = 64)
+    ?(late_factor = 1.0) ~rate ~duration_s ~address requests =
+  if rate <= 0.0 then invalid_arg "Server.Loadgen.run_open_loop: rate must be > 0";
+  if duration_s <= 0.0 then invalid_arg "Server.Loadgen.run_open_loop: duration_s must be > 0";
+  if max_clients < 1 then invalid_arg "Server.Loadgen.run_open_loop: max_clients must be >= 1";
+  if Array.length requests = 0 then
+    invalid_arg "Server.Loadgen.run_open_loop: no requests";
+  let m_queries =
+    Telemetry.Metrics.counter "loadgen_queries_total" ~help:"Queries issued by the load generator"
+  in
+  let m_latency =
+    Telemetry.Metrics.histogram "loadgen_latency_seconds"
+      ~help:"Round-trip latency of load-generator exchanges"
+  in
+  let m_dropped =
+    Telemetry.Metrics.counter "loadgen_dropped_total"
+      ~help:"Open-loop arrivals dropped: every virtual client was busy"
+  in
+  let m_late =
+    Telemetry.Metrics.counter "loadgen_late_total"
+      ~help:"Open-loop exchanges that started more than one inter-arrival late"
+  in
+  (* An exchange that could not start within this lag of its scheduled
+     arrival counts as late: the generator (or the server's accept path)
+     is slipping behind the arrival process. *)
+  let late_threshold = late_factor /. rate in
+  let slots =
+    Array.init max_clients (fun _ ->
+        {
+          s_m = Mutex.create ();
+          s_c = Condition.create ();
+          s_task = None;
+          s_stop = false;
+          s_out = { w_latencies = []; w_ok = 0; w_errors = []; w_classed = [] };
+          s_late = 0;
+          s_sent = 0;
+        })
+  in
+  let free = Stack.create () in
+  let free_m = Mutex.create () in
+  for i = max_clients - 1 downto 0 do
+    Stack.push i free
+  done;
+  let worker i () =
+    let s = slots.(i) in
+    let client =
+      Client.create
+        ~config:{ client_config with seed = Int64.add client_config.seed (Int64.of_int i) }
+        address
+    in
+    let rec loop () =
+      Mutex.lock s.s_m;
+      while s.s_task = None && not s.s_stop do
+        Condition.wait s.s_c s.s_m
+      done;
+      match s.s_task with
+      | None -> Mutex.unlock s.s_m (* stop with no work assigned *)
+      | Some (idx, sched) ->
+        s.s_task <- None;
+        Mutex.unlock s.s_m;
+        let start = Unix.gettimeofday () in
+        if start -. sched > late_threshold then begin
+          s.s_late <- s.s_late + 1;
+          Telemetry.Metrics.incr m_late
+        end;
+        s.s_sent <- s.s_sent + 1;
+        let entry, a, b = requests.(idx) in
+        (match Client.estimate client ~entry ~a ~b with
+        | Ok _ -> s.s_out.w_ok <- s.s_out.w_ok + 1
+        | Error e -> record_error s.s_out (error_class e));
+        (* Open-loop latency runs from the *scheduled* arrival, not the
+           send: queueing delay born of the server falling behind the
+           arrival process is the signal, and measuring from the send
+           would hide exactly the collapse this mode exists to expose. *)
+        let dt = Unix.gettimeofday () -. sched in
+        s.s_out.w_latencies <- dt :: s.s_out.w_latencies;
+        Telemetry.Metrics.incr m_queries;
+        Telemetry.Metrics.observe_s m_latency dt;
+        Mutex.lock free_m;
+        Stack.push i free;
+        Mutex.unlock free_m;
+        loop ()
+    in
+    loop ();
+    Client.close client
+  in
+  let threads = Array.init max_clients (fun i -> Thread.create (worker i) ()) in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. duration_s in
+  let offered = ref 0 in
+  let dropped = ref 0 in
+  let i = ref 0 in
+  (let continue = ref true in
+   while !continue do
+     let sched = t0 +. (float_of_int !i /. rate) in
+     if sched >= deadline then continue := false
+     else begin
+       let now = Unix.gettimeofday () in
+       (* When behind schedule, dispatch immediately: arrivals never wait
+          for the generator — that would close the loop. *)
+       if sched > now then Thread.delay (sched -. now);
+       incr offered;
+       let slot =
+         Mutex.lock free_m;
+         let s = if Stack.is_empty free then None else Some (Stack.pop free) in
+         Mutex.unlock free_m;
+         s
+       in
+       (match slot with
+       | None ->
+         (* Every virtual client is mid-exchange: the arrival is dropped
+            (and counted), not queued — queueing it would turn the fixed
+            arrival process into a closed loop. *)
+         incr dropped;
+         Telemetry.Metrics.incr m_dropped
+       | Some w ->
+         let s = slots.(w) in
+         Mutex.lock s.s_m;
+         s.s_task <- Some (!i mod Array.length requests, sched);
+         Condition.signal s.s_c;
+         Mutex.unlock s.s_m);
+       incr i
+     end
+   done);
+  Array.iter
+    (fun s ->
+      Mutex.lock s.s_m;
+      s.s_stop <- true;
+      Condition.signal s.s_c;
+      Mutex.unlock s.s_m)
+    slots;
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let outs = Array.map (fun s -> s.s_out) slots in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc o -> List.rev_append o.w_latencies acc) [] outs)
+  in
+  Array.sort compare latencies;
+  let ok = Array.fold_left (fun n o -> n + o.w_ok) 0 outs in
+  let sent = Array.fold_left (fun n s -> n + s.s_sent) 0 slots in
+  let late = Array.fold_left (fun n s -> n + s.s_late) 0 slots in
+  let errors =
+    Array.fold_left
+      (fun acc o ->
+        List.fold_left
+          (fun acc (cls, n) ->
+            match List.assoc_opt cls acc with
+            | Some m -> (cls, m + n) :: List.remove_assoc cls acc
+            | None -> (cls, n) :: acc)
+          acc o.w_errors)
+      [] outs
+    |> List.sort compare
+  in
+  let ms x = 1000.0 *. x in
+  let sum = Array.fold_left ( +. ) 0.0 latencies in
+  let exchanges = Array.length latencies in
+  {
+    rate_qps = rate;
+    duration_s;
+    offered = !offered;
+    sent;
+    o_ok = ok;
+    dropped = !dropped;
+    late;
+    achieved_qps = (if wall_s > 0.0 then float_of_int sent /. wall_s else 0.0);
+    o_mean_ms = (if exchanges > 0 then ms (sum /. float_of_int exchanges) else Float.nan);
+    o_p50_ms = ms (percentile latencies 0.50);
+    o_p95_ms = ms (percentile latencies 0.95);
+    o_p99_ms = ms (percentile latencies 0.99);
+    o_max_ms = (if exchanges > 0 then ms latencies.(exchanges - 1) else Float.nan);
+    o_errors = errors;
+  }
+
+let open_report_to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "open loop: offered %d arrivals at %.0f/s over %.2fs — sent %d (%.0f/s achieved), \
+        dropped %d, late %d\n"
+       r.offered r.rate_qps r.duration_s r.sent r.achieved_qps r.dropped r.late);
+  Buffer.add_string b
+    (Printf.sprintf
+       "latency from scheduled arrival, ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n"
+       r.o_mean_ms r.o_p50_ms r.o_p95_ms r.o_p99_ms r.o_max_ms);
+  Buffer.add_string b (Printf.sprintf "ok %d / %d" r.o_ok r.sent);
+  if r.o_errors <> [] then begin
+    Buffer.add_string b "  errors:";
+    List.iter (fun (cls, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" cls n)) r.o_errors
   end;
   Buffer.contents b

@@ -1,13 +1,36 @@
-(** Closed-loop load generator for the estimate server.
+(** Load generators for the estimate server: closed-loop and open-loop.
 
-    [connections] worker threads each own a {!Client} and drive their
-    contiguous slice of the request array as fast as replies come back
-    (closed loop: at most one outstanding exchange per connection, so
-    offered load adapts to server latency instead of overrunning it).
+    {b Closed loop} ({!run}): [connections] worker threads each own a
+    {!Client} and drive their contiguous slice of the request array as
+    fast as replies come back (at most one outstanding exchange per
+    connection, so offered load adapts to server latency instead of
+    overrunning it).  Good for peak-capacity measurement; incapable of
+    showing what happens past saturation, because a slow server slows
+    the generator down with it.
+
+    {b Open loop} ({!run_open_loop}): arrivals fire on a fixed schedule
+    [t0 + i/rate] whether or not earlier exchanges have finished, the
+    way independent clients would.  Latency is measured from the
+    {e scheduled} arrival, so server queueing delay — the signature of
+    operating past the collapse point — shows up in the percentiles
+    instead of being absorbed by a waiting generator.  An arrival that
+    finds every virtual client busy is {e dropped} (counted, never
+    queued); an exchange that starts more than one inter-arrival time
+    after its schedule is counted {e late}.
+
     Latency is measured per exchange — per query with [batch = 1], per
     frame otherwise — and summarized with exact percentiles over the
     merged samples.  Methodology and interpretation guidance live in
-    [docs/SERVING.md]. *)
+    [docs/SERVING.md]; the sharded-serving walkthrough that uses both
+    modes is [docs/SHARDING.md]. *)
+
+type group = {
+  g_n : int;  (** exchanges in this class *)
+  g_p50_ms : float;  (** exact median latency of the class *)
+  g_p99_ms : float;  (** exact 99th-percentile latency of the class *)
+}
+(** Latency summary of one request class (see the [classify] argument
+    of {!run}). *)
 
 type report = {
   connections : int;  (** worker threads = concurrent connections *)
@@ -28,6 +51,10 @@ type report = {
       (** per-request estimates, aligned with the request array; [nan]
           where the query failed — lets callers verify bit-identity
           against a direct [Catalog.Service.answer] call *)
+  groups : (string * group) list;
+      (** per-class latency summaries, sorted by class name; empty
+          unless [classify] was passed to {!run}.  The sharded bench
+          classifies by owning shard to report per-shard p99. *)
 }
 
 val synthetic_requests :
@@ -40,6 +67,7 @@ val synthetic_requests :
 val run :
   ?client_config:Client.config ->
   ?batch:int ->
+  ?classify:(int -> string) ->
   connections:int ->
   address:Wire.address ->
   (string * float * float) array ->
@@ -47,12 +75,65 @@ val run :
 (** Drive the request array against the server and block until every
     worker finishes.  [batch] groups consecutive queries of a worker's
     slice into one [batch_estimate] frame (default [1]: one [estimate]
-    per exchange).  Each worker's retry jitter is seeded from
-    [client_config.seed] plus its index, so runs are reproducible.
-    Counts also flow into the [Telemetry] registry as [loadgen_*]
-    metrics when telemetry is enabled.
+    per exchange).  [classify], given the index of an exchange's first
+    request, names its class; per-class percentiles are then reported
+    in [groups] (e.g. classify by
+    [Catalog.Service.shard_of_name ~shards] of the request's entry to
+    get per-shard latency without server cooperation).  Each worker's
+    retry jitter is seeded from [client_config.seed] plus its index, so
+    runs are reproducible.  Counts also flow into the [Telemetry]
+    registry as [loadgen_*] metrics when telemetry is enabled.
     @raise Invalid_argument if [connections < 1] or [batch < 1]. *)
 
 val report_to_string : report -> string
 (** Multi-line human-readable summary (throughput, latency percentiles,
-    error classes). *)
+    error classes, per-class groups when present). *)
+
+type open_report = {
+  rate_qps : float;  (** the arrival rate the run was asked to offer *)
+  duration_s : float;  (** the scheduling horizon the run was asked for *)
+  offered : int;  (** arrivals scheduled: [floor (rate * duration)] or so *)
+  sent : int;  (** arrivals that found a virtual client and were sent *)
+  o_ok : int;  (** exchanges answered with an estimate *)
+  dropped : int;  (** arrivals dropped: every virtual client was busy *)
+  late : int;
+      (** exchanges that started more than [late_factor / rate] after
+          their scheduled arrival — the generator or accept path was
+          slipping *)
+  achieved_qps : float;  (** [sent / wall]: what actually reached the server *)
+  o_mean_ms : float;  (** mean latency {e from scheduled arrival}, ms *)
+  o_p50_ms : float;  (** exact median latency from scheduled arrival *)
+  o_p95_ms : float;  (** exact 95th percentile from scheduled arrival *)
+  o_p99_ms : float;  (** exact 99th percentile from scheduled arrival *)
+  o_max_ms : float;  (** slowest exchange, from scheduled arrival *)
+  o_errors : (string * int) list;  (** failures by class, as in {!report} *)
+}
+(** Result of one open-loop run.  A healthy operating point has
+    [dropped = 0], [late ≈ 0], and [achieved_qps ≈ rate_qps]; past the
+    collapse point, drops and the arrival-to-reply percentiles grow
+    without bound while closed-loop numbers would still look flat. *)
+
+val run_open_loop :
+  ?client_config:Client.config ->
+  ?max_clients:int ->
+  ?late_factor:float ->
+  rate:float ->
+  duration_s:float ->
+  address:Wire.address ->
+  (string * float * float) array ->
+  open_report
+(** Offer [rate] arrivals per second for [duration_s] seconds, cycling
+    through the request array (request [i mod length]), one [estimate]
+    exchange per arrival.  [max_clients] (default [64]) bounds the pool
+    of virtual clients standing in for "unbounded" ones: when all are
+    busy the arrival is dropped and counted rather than queued, which
+    keeps the arrival process open instead of silently closing the
+    loop.  [late_factor] (default [1.0]) sets the late threshold to
+    [late_factor / rate] seconds of start lag.  Blocks until the
+    horizon passes and every in-flight exchange finishes.
+    @raise Invalid_argument if [rate <= 0.], [duration_s <= 0.],
+    [max_clients < 1], or the request array is empty. *)
+
+val open_report_to_string : open_report -> string
+(** Multi-line human-readable summary (offered/achieved rate, drop and
+    late counts, latency-from-arrival percentiles). *)

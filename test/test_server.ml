@@ -52,7 +52,7 @@ let with_server ?config f =
   let svc, _ = Service.open_dir dir in
   build_two svc;
   let address = Wire.Unix_socket (sock_path ()) in
-  let engine = Engine.create ?config ~service:svc address in
+  let engine = Engine.create ?config ~services:[| svc |] address in
   let server = Thread.create Engine.serve engine in
   Fun.protect
     ~finally:(fun () ->
@@ -235,7 +235,7 @@ let test_tcp_round_trip () =
   let dir = fresh_dir () in
   let svc, _ = Service.open_dir dir in
   build_two svc;
-  let engine = Engine.create ~service:svc (Wire.Tcp { host = "127.0.0.1"; port = 0 }) in
+  let engine = Engine.create ~services:[| svc |] (Wire.Tcp { host = "127.0.0.1"; port = 0 }) in
   let port = Option.get (Engine.bound_port engine) in
   let server = Thread.create Engine.serve engine in
   Fun.protect
@@ -371,7 +371,7 @@ let test_sigterm_drain_and_reconnect () =
     (* Slow dispatch so requests are verifiably mid-flight at SIGTERM. *)
     { Engine.default_config with Engine.dispatch_delay_s = 0.15; tick_s = 0.005 }
   in
-  let engine = Engine.create ~config ~service:svc address in
+  let engine = Engine.create ~config ~services:[| svc |] address in
   Engine.install_sigterm engine;
   let server = Thread.create Engine.serve engine in
   let probe = ("users/age", 0.0, 30.5) in
@@ -450,7 +450,7 @@ let test_sigterm_drain_and_reconnect () =
   Client.close client_b;
   (* Restart over the same snapshot dir: identical answers. *)
   let svc2, _ = Service.open_dir dir in
-  let engine2 = Engine.create ~service:svc2 address in
+  let engine2 = Engine.create ~services:[| svc2 |] address in
   let server2 = Thread.create Engine.serve engine2 in
   Fun.protect
     ~finally:(fun () ->
@@ -463,6 +463,211 @@ let test_sigterm_drain_and_reconnect () =
       check Alcotest.bool "restarted server serves identical answers" true
         (Int64.bits_of_float x = Int64.bits_of_float expected.(0));
       Client.close client)
+
+(* ---------------- sharded engine ---------------- *)
+
+let entry_names =
+  [ "orders/amount"; "users/age"; "events/ts"; "fleet/fuel"; "sensors/temp" ]
+
+let build_many svc =
+  List.iter
+    (fun name ->
+      ignore
+        (or_fail (Service.build svc ~name ~spec:"ewh:16" ~domain:domain_a ~sample:sample_a)))
+    entry_names
+
+let copy_flat_dir src dst =
+  Array.iter
+    (fun f ->
+      let ic = open_in_bin (Filename.concat src f) in
+      let n = in_channel_length ic in
+      let data = really_input_string ic n in
+      close_in ic;
+      let oc = open_out_bin (Filename.concat dst f) in
+      output_string oc data;
+      close_out oc)
+    (Sys.readdir src)
+
+(* Tentpole acceptance: for arbitrary batch shapes, the sharded router's
+   split-and-reassemble serves exactly the bytes the single-shard engine
+   serves — same entries, same snapshots (byte-copied), [shards = 1] vs
+   [shards = 3].  Order preservation falls out of bit-identity: a
+   reassembly that permuted replies would mismatch slot-for-slot. *)
+let test_sharded_split_reassemble () =
+  let dir1 = fresh_dir () in
+  let svc1, _ = Service.open_dir dir1 in
+  build_many svc1;
+  let dir3 = fresh_dir () in
+  copy_flat_dir dir1 dir3;
+  let services, skipped = Service.open_sharded ~shards:3 dir3 in
+  check Alcotest.int "sharded open skips nothing" 0 (List.length skipped);
+  check Alcotest.int "three shards" 3 (Array.length services);
+  let addr1 = Wire.Unix_socket (sock_path ()) in
+  let addr3 = Wire.Unix_socket (sock_path ()) in
+  let engine1 = Engine.create ~services:[| svc1 |] addr1 in
+  let engine3 = Engine.create ~services addr3 in
+  let server1 = Thread.create Engine.serve engine1 in
+  let server3 = Thread.create Engine.serve engine3 in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.initiate_drain engine1;
+      Engine.initiate_drain engine3;
+      Thread.join server1;
+      Thread.join server3)
+    (fun () ->
+      let client1 = or_fail_client (Client.connect addr1) in
+      let client3 = or_fail_client (Client.connect addr3) in
+      Fun.protect
+        ~finally:(fun () ->
+          Client.close client1;
+          Client.close client3)
+        (fun () ->
+          (* The five entries must actually span more than one shard, or
+             the router's multi-shard path goes untested. *)
+          let owners =
+            List.sort_uniq compare
+              (List.map (Service.shard_of_name ~shards:3) entry_names)
+          in
+          check Alcotest.bool "entries span multiple shards" true (List.length owners > 1);
+          let gen_batch =
+            QCheck.Gen.(
+              list_size (int_bound 40)
+                (triple (oneofl entry_names)
+                   (float_bound_inclusive 96.5)
+                   (float_bound_inclusive 96.5))
+              >>= fun l ->
+              return
+                (Array.of_list
+                   (List.map (fun (n, x, y) -> if x <= y then (n, x, y) else (n, y, x)) l)))
+          in
+          let print_batch b =
+            String.concat ";"
+              (Array.to_list (Array.map (fun (n, a, b) -> Printf.sprintf "%s[%h,%h]" n a b) b))
+          in
+          let prop batch =
+            let r1 = Client.batch_estimate client1 batch in
+            let r3 = Client.batch_estimate client3 batch in
+            match (r1, r3) with
+            | Ok a1, Ok a3 ->
+              Array.length a1 = Array.length a3
+              && Array.for_all2
+                   (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+                   a1 a3
+            | Error e, _ | _, Error e ->
+              QCheck.Test.fail_reportf "batch errored: %s" (Client.error_to_string e)
+          in
+          QCheck.Test.check_exn
+            (QCheck.Test.make ~count:60
+               ~name:"sharded batch replies bit-identical to shards=1"
+               (QCheck.make gen_batch ~print:print_batch)
+               prop);
+          (* Single estimates agree too, and the sharded stats show the
+             work spread across shards. *)
+          List.iter
+            (fun entry ->
+              let x1 = or_fail_client (Client.estimate client1 ~entry ~a:3.0 ~b:40.0) in
+              let x3 = or_fail_client (Client.estimate client3 ~entry ~a:3.0 ~b:40.0) in
+              check Alcotest.bool (entry ^ " single estimate bit-identical") true
+                (Int64.bits_of_float x1 = Int64.bits_of_float x3))
+            entry_names;
+          let s = Engine.stats engine3 in
+          check Alcotest.int "stats report 3 shards" 3 s.Engine.shards;
+          let per_shard_sum =
+            Array.fold_left (fun n ps -> n + ps.Engine.shard_answered) 0 s.Engine.per_shard
+          in
+          check Alcotest.int "per-shard answered sums to total" s.Engine.answered per_shard_sum;
+          check Alcotest.bool "more than one shard answered queries" true
+            (Array.length
+               (Array.of_seq
+                  (Seq.filter
+                     (fun ps -> ps.Engine.shard_answered > 0)
+                     (Array.to_seq s.Engine.per_shard)))
+            > 1)))
+
+(* Satellite: killing one shard's dispatcher degrades that shard to the
+   typed [Internal] refusal while the others keep serving bit-identical
+   answers, and a drain still completes. *)
+let test_kill_shard_dispatcher () =
+  let dir = fresh_dir () in
+  let build_svc, _ = Service.open_dir dir in
+  build_many build_svc;
+  let services, _ = Service.open_sharded ~shards:3 dir in
+  let address = Wire.Unix_socket (sock_path ()) in
+  let engine = Engine.create ~services address in
+  let server = Thread.create Engine.serve engine in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.initiate_drain engine;
+      Thread.join server)
+    (fun () ->
+      let client = or_fail_client (Client.connect address) in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let victim_entry = List.hd entry_names in
+          let victim = Service.shard_of_name ~shards:3 victim_entry in
+          let healthy_entry =
+            List.find
+              (fun n -> Service.shard_of_name ~shards:3 n <> victim)
+              entry_names
+          in
+          (* Answers before the kill, for the bit-identity check after. *)
+          let before =
+            or_fail_client (Client.estimate client ~entry:healthy_entry ~a:3.0 ~b:40.0)
+          in
+          Engine.kill_shard_dispatcher engine victim;
+          (* The victim's entries get the typed internal refusal... *)
+          (match Client.estimate client ~entry:victim_entry ~a:3.0 ~b:40.0 with
+          | Error (Client.Server (Wire.Internal, msg)) ->
+            check Alcotest.bool "refusal names the shard" true
+              (let needle = Printf.sprintf "shard %d" victim in
+               let len = String.length needle in
+               let found = ref false in
+               for i = 0 to String.length msg - len do
+                 if String.sub msg i len = needle then found := true
+               done;
+               !found)
+          | Ok _ -> Alcotest.fail "dead shard answered an estimate"
+          | Error e -> Alcotest.failf "expected internal, got %s" (Client.error_to_string e));
+          (* ...a batch touching the dead shard errors as a whole... *)
+          (match
+             Client.batch_estimate client
+               [| (healthy_entry, 3.0, 40.0); (victim_entry, 3.0, 40.0) |]
+           with
+          | Error (Client.Server (Wire.Internal, _)) -> ()
+          | Ok _ -> Alcotest.fail "batch touching the dead shard answered"
+          | Error e -> Alcotest.failf "expected internal, got %s" (Client.error_to_string e));
+          (* ...and the surviving shards keep serving the same bits. *)
+          let after =
+            or_fail_client (Client.estimate client ~entry:healthy_entry ~a:3.0 ~b:40.0)
+          in
+          check Alcotest.bool "healthy shard bit-identical after the kill" true
+            (Int64.bits_of_float before = Int64.bits_of_float after);
+          or_fail_client (Client.ping client)));
+  (* Fun.protect's drain above returning at all is the drain-completes
+     assertion; killing it twice must be harmless. *)
+  Engine.kill_shard_dispatcher engine 0
+
+(* Open-loop generator sanity: the arrival schedule is honored (offered
+   ~= rate * duration), accounting is consistent, and at a tame rate
+   everything is answered. *)
+let test_open_loop_smoke () =
+  with_server (fun client address _dir ->
+      let entries = or_fail_client (Client.ls client) in
+      let requests = Loadgen.synthetic_requests ~entries ~count:64 ~seed:5L in
+      let r = Loadgen.run_open_loop ~max_clients:8 ~rate:200.0 ~duration_s:0.5 ~address requests in
+      check Alcotest.bool "offered matches the schedule" true
+        (r.Loadgen.offered >= 90 && r.Loadgen.offered <= 110);
+      check Alcotest.int "sent + dropped = offered" r.Loadgen.offered
+        (r.Loadgen.sent + r.Loadgen.dropped);
+      check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "zero errors" []
+        r.Loadgen.o_errors;
+      check Alcotest.int "every sent arrival answered" r.Loadgen.sent r.Loadgen.o_ok;
+      check Alcotest.bool "achieved rate positive" true (r.Loadgen.achieved_qps > 0.0);
+      check Alcotest.bool "percentiles ordered" true
+        (r.Loadgen.o_p50_ms <= r.Loadgen.o_p95_ms
+        && r.Loadgen.o_p95_ms <= r.Loadgen.o_p99_ms
+        && r.Loadgen.o_p99_ms <= r.Loadgen.o_max_ms))
 
 let () =
   Alcotest.run "server"
@@ -497,5 +702,14 @@ let () =
         [
           Alcotest.test_case "SIGTERM kill-and-reconnect" `Quick
             test_sigterm_drain_and_reconnect;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "split/reassemble bit-identical to shards=1" `Quick
+            test_sharded_split_reassemble;
+          Alcotest.test_case "kill one shard dispatcher, others serve, drain completes"
+            `Quick test_kill_shard_dispatcher;
+          Alcotest.test_case "open-loop schedule and accounting" `Quick
+            test_open_loop_smoke;
         ] );
     ]
