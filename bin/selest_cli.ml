@@ -350,8 +350,8 @@ let open_catalog ?config dir =
     svc
   | exception (Invalid_argument msg | Sys_error msg) -> or_die (Error msg)
 
-let open_sharded_catalog ~shards dir =
-  match Cat.open_sharded ~shards dir with
+let open_sharded_catalog ?config ~shards dir =
+  match Cat.open_sharded ?config ~shards dir with
   | services, skipped ->
     let skipped_counter =
       Telemetry.Metrics.counter "catalog_snapshot_skipped_total"
@@ -584,13 +584,32 @@ let serve_cmd =
              ~doc:"Requests queued longer than $(docv) get a typed `timeout' reply \
                    (0 disables deadlines).")
   in
-  let run dir socket port host jobs shards max_inflight max_batch deadline_s =
+  let adaptive_arg =
+    Arg.(value & flag & info [ "adaptive" ]
+         ~doc:"Accept streaming inserts and query feedback: entries grow per-shard \
+               reservoir samples and ST-histograms, and stale summaries are rebuilt \
+               in the background and swapped atomically (docs/ADAPTIVITY.md).")
+  in
+  let rebuild_after_arg =
+    Arg.(value & opt int Cat.default_config.Cat.rebuild_after_inserts
+         & info [ "rebuild-after" ] ~docv:"N"
+             ~doc:"Insert budget before an entry goes stale — with $(b,--adaptive), the \
+                   background-rebuild trigger (docs/ADAPTIVITY.md).")
+  in
+  let run dir socket port host jobs shards max_inflight max_batch deadline_s adaptive
+      rebuild_after =
     if jobs < 1 then or_die (Error "serve: --jobs must be >= 1");
     if shards < 1 then or_die (Error "serve: --shards must be >= 1");
     if max_inflight < 0 then or_die (Error "serve: --max-inflight must be >= 0");
     if max_batch < 1 then or_die (Error "serve: --max-batch must be >= 1");
+    if rebuild_after < 1 then or_die (Error "serve: --rebuild-after must be >= 1");
     let address = address_of ~host ~socket ~port in
-    let services = open_sharded_catalog ~shards dir in
+    let services =
+      open_sharded_catalog
+        ~config:{ Cat.default_config with Cat.rebuild_after_inserts = rebuild_after }
+        ~shards dir
+    in
+    if adaptive then Array.iter Cat.enable_adaptive services;
     let config =
       { Server.Engine.default_config with Server.Engine.jobs; max_inflight; max_batch; deadline_s }
     in
@@ -603,11 +622,12 @@ let serve_cmd =
     let entry_count =
       Array.fold_left (fun n svc -> n + List.length (Cat.names svc)) 0 services
     in
-    Printf.printf "serving %d entries from %s on %s across %d shard%s (SIGTERM drains)\n%!"
+    Printf.printf "serving %d entries from %s on %s across %d shard%s%s (SIGTERM drains)\n%!"
       entry_count dir
       (Server.Wire.address_to_string (Server.Engine.address engine))
       shards
-      (if shards = 1 then "" else "s");
+      (if shards = 1 then "" else "s")
+      (if adaptive then ", adaptive" else "");
     Server.Engine.serve engine;
     let s = Server.Engine.stats engine in
     Printf.printf
@@ -616,22 +636,27 @@ let serve_cmd =
       s.Server.Engine.connections s.Server.Engine.requests s.Server.Engine.answered
       s.Server.Engine.overloaded s.Server.Engine.timeouts s.Server.Engine.refused_draining
       s.Server.Engine.protocol_errors s.Server.Engine.batches s.Server.Engine.batched_queries;
+    if adaptive then Printf.printf "adaptive: %d summary swaps\n" s.Server.Engine.swaps;
     if s.Server.Engine.shards > 1 then
       Array.iteri
         (fun i ps ->
-          Printf.printf "  shard %d: %d answered, %d batches (%d queries merged)\n" i
+          Printf.printf "  shard %d: %d answered, %d batches (%d queries merged%s)\n" i
             ps.Server.Engine.shard_answered ps.Server.Engine.shard_batches
-            ps.Server.Engine.shard_batched_queries)
+            ps.Server.Engine.shard_batched_queries
+            (if adaptive then Printf.sprintf ", %d swaps" ps.Server.Engine.shard_swaps
+             else ""))
         s.Server.Engine.per_shard
   in
   let doc =
     "Serve the catalog over a Unix-domain or TCP socket: concurrent estimate server with \
-     hash-partitioned shards, request batching, deadlines, backpressure, and SIGTERM \
-     graceful drain (docs/SERVING.md, docs/SHARDING.md)."
+     hash-partitioned shards, request batching, deadlines, backpressure, optional \
+     adaptivity (--adaptive: streaming inserts, query feedback, background rebuilds), \
+     and SIGTERM graceful drain (docs/SERVING.md, docs/SHARDING.md, docs/ADAPTIVITY.md)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ catalog_dir_arg $ socket_arg $ port_arg $ host_arg $ jobs_arg
-          $ shards_arg $ max_inflight_arg $ max_batch_arg $ deadline_arg)
+          $ shards_arg $ max_inflight_arg $ max_batch_arg $ deadline_arg $ adaptive_arg
+          $ rebuild_after_arg)
 
 let loadgen_cmd =
   let connections_arg =
@@ -647,10 +672,13 @@ let loadgen_cmd =
          ~doc:"Queries grouped into one batch_estimate frame (1 = one estimate per frame).")
   in
   let verify_dir_arg =
-    Arg.(value & opt (some string) None & info [ "verify" ] ~docv:"DIR"
-         ~doc:"After the run, recompute every answered query directly against the \
-               snapshot directory $(docv) and fail unless the served estimates are \
-               bit-identical (closed loop only).")
+    Arg.(value & opt ~vopt:(Some "") (some string) None & info [ "verify" ] ~docv:"DIR"
+         ~doc:"After a closed-loop run, recompute every answered query directly against \
+               the snapshot directory $(docv) and fail unless the served estimates are \
+               bit-identical.  With $(b,--drift), $(docv) is not needed (bare \
+               $(b,--verify)): the check asserts the drift stream's invariants — every \
+               answered estimate finite in [0,1], no protocol errors, and every \
+               operation class acknowledged.")
   in
   let rate_arg =
     Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"QPS"
@@ -668,13 +696,28 @@ let loadgen_cmd =
          ~doc:"Open-loop virtual-client pool standing in for unbounded clients (with \
                $(b,--rate)); an arrival that finds all $(docv) busy is dropped.")
   in
-  let run socket port host connections queries batch seed verify rate duration_s max_clients =
+  let drift_arg =
+    Arg.(value & flag & info [ "drift" ]
+         ~doc:"Shifting-workload mode against an adaptive server (needs $(b,--rate)): \
+               a sliding-window value distribution drives interleaved inserts, \
+               true-selectivity observations and estimates at one entry, and accuracy \
+               is reported against the generator's analytic truth \
+               (docs/ADAPTIVITY.md).")
+  in
+  let entry_arg =
+    Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"NAME"
+         ~doc:"The served entry $(b,--drift) targets (default: the first listed).")
+  in
+  let run socket port host connections queries batch seed verify rate duration_s max_clients
+      drift entry =
     if connections < 1 then or_die (Error "loadgen: --connections must be >= 1");
     if queries < 0 then or_die (Error "loadgen: --queries must be >= 0");
     if batch < 1 then or_die (Error "loadgen: --batch must be >= 1");
+    if drift && rate = None then or_die (Error "loadgen: --drift needs --rate");
+    if entry <> None && not drift then or_die (Error "loadgen: --entry only applies to --drift");
     (match rate with
     | Some r when r <= 0.0 -> or_die (Error "loadgen: --rate must be > 0")
-    | Some _ when verify <> None ->
+    | Some _ when verify <> None && not drift ->
       or_die (Error "loadgen: --verify needs the closed loop's aligned answers; drop --rate")
     | Some _ when batch <> 1 -> or_die (Error "loadgen: --batch only applies to the closed loop")
     | _ -> ());
@@ -695,6 +738,43 @@ let loadgen_cmd =
     Server.Client.close client;
     let requests = Server.Loadgen.synthetic_requests ~entries ~count:queries ~seed in
     match rate with
+    | Some rate when drift ->
+      let target =
+        match entry with
+        | None -> List.hd entries
+        | Some name -> (
+          match
+            List.find_opt (fun (e : Server.Wire.entry_info) -> e.Server.Wire.name = name) entries
+          with
+          | Some e -> e
+          | None -> or_die (Error (Printf.sprintf "loadgen: no served entry named %S" name)))
+      in
+      let report =
+        Server.Loadgen.run_drift ~max_clients ~seed ~rate ~duration_s ~entry:target
+          ~address ()
+      in
+      print_endline (Server.Loadgen.drift_report_to_string report);
+      if verify <> None then begin
+        let protocolish =
+          List.exists
+            (fun (cls, _) -> cls = "protocol" || cls = "transport")
+            report.Server.Loadgen.d_open.Server.Loadgen.o_errors
+        in
+        let failures = ref [] in
+        if report.Server.Loadgen.d_est_invalid > 0 then
+          failures := "estimates outside [0,1]" :: !failures;
+        if protocolish then failures := "protocol/transport errors" :: !failures;
+        if report.Server.Loadgen.d_est_ok = 0 then failures := "no estimate answered" :: !failures;
+        if report.Server.Loadgen.d_insert_ok = 0 then failures := "no insert acknowledged" :: !failures;
+        if report.Server.Loadgen.d_observe_ok = 0 then failures := "no observe acknowledged" :: !failures;
+        match !failures with
+        | [] ->
+          Printf.printf
+            "verify: drift ok — %d estimates in [0,1], %d inserts and %d observes acknowledged\n"
+            report.Server.Loadgen.d_est_ok report.Server.Loadgen.d_insert_ok
+            report.Server.Loadgen.d_observe_ok
+        | fs -> or_die (Error ("loadgen: drift verify failed: " ^ String.concat "; " fs))
+      end
     | Some rate ->
       let report = Server.Loadgen.run_open_loop ~max_clients ~rate ~duration_s ~address requests in
       print_endline (Server.Loadgen.open_report_to_string report)
@@ -735,13 +815,15 @@ let loadgen_cmd =
   let doc =
     "Load generator against a running `selest serve': closed loop by default \
      (--connections workers, peak capacity), open loop with --rate (fixed arrival \
-     schedule, drop/late accounting, latency from scheduled arrival); synthetic range \
-     queries, exact p50/p95/p99, error classes (docs/SERVING.md)."
+     schedule, drop/late accounting, latency from scheduled arrival), shifting-workload \
+     drift mode with --drift (inserts + feedback against an adaptive server); synthetic \
+     range queries, exact p50/p95/p99, error classes (docs/SERVING.md, \
+     docs/ADAPTIVITY.md)."
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const run $ socket_arg $ port_arg $ host_arg $ connections_arg
           $ queries_arg $ batch_arg $ seed_arg $ verify_dir_arg $ rate_arg
-          $ duration_arg $ max_clients_arg)
+          $ duration_arg $ max_clients_arg $ drift_arg $ entry_arg)
 
 (* --- main --- *)
 

@@ -10,10 +10,55 @@ let default_config = { capacity = 32; rebuild_after_inserts = 10_000; cells = 25
    evicted: staleness must be trackable without touching the disk. *)
 type meta = {
   spec : string;
-  cells : int;
+  mutable cells : int;
   domain : float * float;
   mutable inserts : int;
   mutable stale : bool;
+}
+
+type adaptive_config = {
+  reservoir_capacity : int;
+  min_rebuild_sample : int;
+  refresh_after_observes : int;
+  learning_rate : float;
+  adaptive_seed : int64;
+}
+
+let default_adaptive_config =
+  {
+    reservoir_capacity = 1024;
+    min_rebuild_sample = 64;
+    refresh_after_observes = 256;
+    learning_rate = 0.5;
+    adaptive_seed = 0xada9_71fe_55aaL;
+  }
+
+(* Per-entry adaptive state, created lazily on the first insert/observe.
+   Confined to the service owner (the shard dispatcher); only the rebuild
+   worker below runs off-thread, and it never touches this record. *)
+type astate = {
+  reservoir : Online.Reservoir.t;
+  mutable feedback : Feedback.Adaptive.t;
+  mutable observes_since_refresh : int;
+  mutable rebuild_failed : string option;
+      (* last background rebuild error; cleared by fresh inserts so the
+         tick does not hot-loop on a sample the estimator rejects *)
+}
+
+(* An in-flight background rebuild.  The worker thread fills [p_result]
+   under [p_m] and fires the wake callback; the owner joins and installs
+   the summary from [adaptive_tick]. *)
+type pending = {
+  p_name : string;
+  p_m : Mutex.t;
+  mutable p_result : (Selest.Stored.t, string) result option;
+  mutable p_thread : Thread.t option;
+}
+
+type adaptive_rt = {
+  acfg : adaptive_config;
+  states : (string, astate) Hashtbl.t;
+  mutable pending : pending option;
 }
 
 type t = {
@@ -21,6 +66,7 @@ type t = {
   config : config;
   index : (string, meta) Hashtbl.t;
   cache : Selest.Stored.t Lru.t;
+  mutable adaptive : adaptive_rt option;
   m_entries : Telemetry.Metrics.gauge;
   m_builds : Telemetry.Metrics.counter;
   m_rebuilds : Telemetry.Metrics.counter;
@@ -29,6 +75,9 @@ type t = {
   m_snapshot_load_errors : Telemetry.Metrics.counter;
   m_batch_requests : Telemetry.Metrics.counter;
   m_answer_seconds : Telemetry.Metrics.histogram;
+  m_adaptive_inserts : Telemetry.Metrics.counter;
+  m_observations : Telemetry.Metrics.counter;
+  m_swaps : Telemetry.Metrics.counter;
 }
 
 type info = {
@@ -59,6 +108,7 @@ let open_dir ?(config = default_config) ?shard dir =
       config;
       index = Hashtbl.create 64;
       cache = Lru.create ~cache_name:(Filename.basename dir) ~capacity:config.capacity ();
+      adaptive = None;
       m_entries =
         Telemetry.Metrics.gauge "catalog_entries" ~labels ~help:"Indexed catalog entries";
       m_builds =
@@ -82,6 +132,15 @@ let open_dir ?(config = default_config) ?shard dir =
       m_answer_seconds =
         Telemetry.Metrics.histogram "catalog_answer_seconds" ~labels
           ~help:"Latency of Service.answer batches";
+      m_adaptive_inserts =
+        Telemetry.Metrics.counter "catalog_adaptive_inserts_total" ~labels
+          ~help:"Values offered to per-entry reservoirs via Service.insert";
+      m_observations =
+        Telemetry.Metrics.counter "catalog_observations_total" ~labels
+          ~help:"True selectivities absorbed via Service.observe";
+      m_swaps =
+        Telemetry.Metrics.counter "catalog_adaptive_swaps_total" ~labels
+          ~help:"Summaries atomically swapped by the adaptive tick";
     }
   in
   let entries, skipped = Snapshot.load_dir ?shard ~dir () in
@@ -297,24 +356,286 @@ let answer_one t ~name ~a ~b =
 
 let cache_stats t = Lru.stats t.cache
 
+(* FNV-1a over the entry name.  Stable across processes and OCaml
+   versions; used both to place entries in shard directories and to
+   derive per-entry reservoir seeds.  (Hashtbl.hash is explicitly not
+   that: its value is version-dependent.) *)
+let fnv1a name =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    name;
+  !h
+
+(* ---------------- adaptivity ---------------- *)
+
+let enable_adaptive ?(config = default_adaptive_config) t =
+  if config.reservoir_capacity < 1 then
+    invalid_arg "Catalog.Service.enable_adaptive: reservoir_capacity must be >= 1";
+  if config.min_rebuild_sample < 1 then
+    invalid_arg "Catalog.Service.enable_adaptive: min_rebuild_sample must be >= 1";
+  if config.refresh_after_observes < 1 then
+    invalid_arg "Catalog.Service.enable_adaptive: refresh_after_observes must be >= 1";
+  if not (config.learning_rate > 0.0 && config.learning_rate <= 1.0) then
+    invalid_arg "Catalog.Service.enable_adaptive: learning_rate must be in (0, 1]";
+  match t.adaptive with
+  | Some _ -> invalid_arg "Catalog.Service.enable_adaptive: already enabled"
+  | None ->
+    t.adaptive <- Some { acfg = config; states = Hashtbl.create 16; pending = None }
+
+let adaptive_enabled t = Option.is_some t.adaptive
+
+let adaptive_disabled =
+  Error "adaptive serving is disabled (start the server with --adaptive)"
+
+(* Seed the per-entry feedback histogram from the entry's current summary,
+   at the summary's own grid resolution so a later refresh loses nothing. *)
+let seed_feedback rt (m : meta) summary =
+  Feedback.Adaptive.create ~buckets:m.cells ~learning_rate:rt.acfg.learning_rate
+    ~domain:m.domain
+    ~base:(fun ~a ~b -> Selest.Stored.selectivity summary ~a ~b)
+    ()
+
+let adaptive_state t rt name (m : meta) =
+  match Hashtbl.find_opt rt.states name with
+  | Some st -> Ok st
+  | None -> (
+    match resolve_exn t name with
+    | exception Invalid_argument msg -> Error msg
+    | summary ->
+      let seed = Int64.logxor rt.acfg.adaptive_seed (fnv1a name) in
+      let st =
+        {
+          reservoir =
+            Online.Reservoir.create ~seed ~capacity:rt.acfg.reservoir_capacity ();
+          feedback = seed_feedback rt m summary;
+          observes_since_refresh = 0;
+          rebuild_failed = None;
+        }
+      in
+      Hashtbl.replace rt.states name st;
+      Ok st)
+
+let insert t ~name values =
+  match t.adaptive with
+  | None -> adaptive_disabled
+  | Some rt -> (
+    match Hashtbl.find_opt t.index name with
+    | None -> unknown name
+    | Some m ->
+      if Array.exists (fun v -> not (Float.is_finite v)) values then
+        Error "insert: values must be finite"
+      else (
+        match adaptive_state t rt name m with
+        | Error _ as e -> e
+        | Ok st ->
+          Online.Reservoir.add_array st.reservoir values;
+          st.rebuild_failed <- None;
+          m.inserts <- m.inserts + Array.length values;
+          (* Persist only on the stale transition: one snapshot write per
+             budget cycle instead of one per insert frame.  Staleness
+             still survives restarts once tripped; sub-budget counts are
+             the acceptable loss on kill. *)
+          if refresh_staleness t m then persist t name m;
+          Telemetry.Metrics.add t.m_adaptive_inserts (Array.length values);
+          Ok (Online.Reservoir.size st.reservoir, Online.Reservoir.seen st.reservoir)))
+
+let observe t ~name ~a ~b ~actual =
+  match t.adaptive with
+  | None -> adaptive_disabled
+  | Some rt -> (
+    match Hashtbl.find_opt t.index name with
+    | None -> unknown name
+    | Some m ->
+      if not (Float.is_finite actual && actual >= 0.0 && actual <= 1.0) then
+        Error "observe: actual selectivity must be in [0, 1]"
+      else if not (Float.is_finite a && Float.is_finite b) then
+        Error "observe: range bounds must be finite"
+      else (
+        match adaptive_state t rt name m with
+        | Error _ as e -> e
+        | Ok st ->
+          Feedback.Adaptive.observe st.feedback ~a ~b ~actual;
+          st.observes_since_refresh <- st.observes_since_refresh + 1;
+          Telemetry.Metrics.incr t.m_observations;
+          Ok (Feedback.Adaptive.selectivity st.feedback ~a ~b)))
+
+(* Install [summary] as the entry's served version: cache, metadata and
+   snapshot move together, and the feedback histogram is reseeded from the
+   new summary so refinement continues against what is actually served.
+   The swap happens entirely in the owner between [answer_into] calls —
+   a read sees the old bits or the new bits, never a torn mix. *)
+let install_summary t rt name (m : meta) (st : astate) summary ~reset_staleness =
+  Lru.add t.cache name summary;
+  m.cells <- Selest.Stored.cells summary;
+  if reset_staleness then begin
+    m.inserts <- 0;
+    m.stale <- false
+  end;
+  persist t name m;
+  st.feedback <- seed_feedback rt m summary;
+  st.observes_since_refresh <- 0;
+  Telemetry.Metrics.incr t.m_swaps
+
+(* The worker closes over its own copy of the reservoir sample and the
+   entry's immutable build inputs — it never touches service state.  The
+   (cheap) snapshot copy happens here in the owner. *)
+let launch_rebuild rt name (m : meta) (st : astate) wake =
+  let sample = Online.Reservoir.sample st.reservoir in
+  let spec = m.spec and domain = m.domain and cells = m.cells in
+  let p =
+    { p_name = name; p_m = Mutex.create (); p_result = None; p_thread = None }
+  in
+  rt.pending <- Some p;
+  let worker () =
+    let result =
+      match Selest.Estimator.spec_of_string spec with
+      | Error e -> Error e
+      | Ok parsed -> (
+        match
+          Selest.Stored.of_estimator ~cells ~domain
+            (Selest.Estimator.build parsed ~domain sample)
+        with
+        | summary -> Ok summary
+        | exception Invalid_argument msg -> Error msg)
+    in
+    Mutex.lock p.p_m;
+    p.p_result <- Some result;
+    Mutex.unlock p.p_m;
+    wake ()
+  in
+  p.p_thread <- Some (Thread.create worker ())
+
+let adaptive_tick ?(wake = fun () -> ()) t =
+  match t.adaptive with
+  | None -> 0
+  | Some rt ->
+    let swaps = ref 0 in
+    (* 1. Reap a finished background rebuild and swap it in. *)
+    (match rt.pending with
+    | Some p ->
+      let result =
+        Mutex.lock p.p_m;
+        let r = p.p_result in
+        Mutex.unlock p.p_m;
+        r
+      in
+      (match result with
+      | None -> () (* still running *)
+      | Some r ->
+        Option.iter Thread.join p.p_thread;
+        rt.pending <- None;
+        (match (r, Hashtbl.find_opt t.index p.p_name) with
+        | _, None -> () (* entry dropped while rebuilding; discard *)
+        | Ok summary, Some m ->
+          (match Hashtbl.find_opt rt.states p.p_name with
+          | None -> ()
+          | Some st ->
+            install_summary t rt p.p_name m st summary ~reset_staleness:true;
+            Telemetry.Metrics.incr t.m_builds;
+            Telemetry.Metrics.incr t.m_rebuilds;
+            incr swaps)
+        | Error msg, Some _ ->
+          Option.iter
+            (fun st -> st.rebuild_failed <- Some msg)
+            (Hashtbl.find_opt rt.states p.p_name)))
+    | None -> ());
+    (* 2. Apply every due feedback refresh synchronously (probing the
+       ST-histogram over the grid is microseconds; no worker needed). *)
+    Hashtbl.iter
+      (fun name st ->
+        if st.observes_since_refresh >= rt.acfg.refresh_after_observes then
+          match Hashtbl.find_opt t.index name with
+          | None -> ()
+          | Some m ->
+            let fb = st.feedback in
+            let summary =
+              Selest.Stored.of_fn ~cells:m.cells ~domain:m.domain (fun ~a ~b ->
+                  Feedback.Adaptive.selectivity fb ~a ~b)
+            in
+            install_summary t rt name m st summary ~reset_staleness:false;
+            incr swaps)
+      rt.states;
+    (* 3. Launch at most one background resample rebuild for the first
+       stale entry with enough reservoir (sorted order for determinism). *)
+    if rt.pending = None then begin
+      let due name =
+        match (Hashtbl.find_opt t.index name, Hashtbl.find_opt rt.states name) with
+        | Some m, Some st
+          when m.stale
+               && st.rebuild_failed = None
+               && Online.Reservoir.size st.reservoir >= rt.acfg.min_rebuild_sample ->
+          Some (m, st)
+        | _ -> None
+      in
+      let rec first = function
+        | [] -> ()
+        | name :: rest -> (
+          match due name with
+          | Some (m, st) -> launch_rebuild rt name m st wake
+          | None -> first rest)
+      in
+      first (names t)
+    end;
+    !swaps
+
+(* Joining first guarantees [p_result] is set (the worker stores it
+   before exiting), so the final tick always reaps — no rebuild is ever
+   abandoned mid-flight by an orderly shutdown. *)
+let adaptive_drain t =
+  match t.adaptive with
+  | None -> ()
+  | Some rt ->
+    (match rt.pending with
+    | Some p -> Option.iter Thread.join p.p_thread
+    | None -> ());
+    ignore (adaptive_tick t)
+
+type adaptive_stats = {
+  tracked_entries : int;
+  sampled_values : int;
+  observations : int;
+  rebuild_in_flight : bool;
+  last_rebuild_error : string option;
+}
+
+let adaptive_stats t =
+  match t.adaptive with
+  | None ->
+    {
+      tracked_entries = 0;
+      sampled_values = 0;
+      observations = 0;
+      rebuild_in_flight = false;
+      last_rebuild_error = None;
+    }
+  | Some rt ->
+    let sampled = ref 0 and obs = ref 0 and err = ref None in
+    Hashtbl.iter
+      (fun _ st ->
+        sampled := !sampled + Online.Reservoir.seen st.reservoir;
+        obs := !obs + Feedback.Adaptive.feedback_count st.feedback;
+        if !err = None then err := st.rebuild_failed)
+      rt.states;
+    {
+      tracked_entries = Hashtbl.length rt.states;
+      sampled_values = !sampled;
+      observations = !obs;
+      rebuild_in_flight = rt.pending <> None;
+      last_rebuild_error = !err;
+    }
+
 (* ---------------- sharding ---------------- *)
 
-(* FNV-1a over the entry name, folded modulo the shard count.  The hash
-   must be stable across processes and OCaml versions — it names the
-   directory an entry persists in, so a different hash after an upgrade
-   would strand every snapshot in the wrong shard.  (Hashtbl.hash is
-   explicitly not that: its value is version-dependent.) *)
+(* The FNV-1a hash above, folded modulo the shard count.  The hash must
+   be stable — it names the directory an entry persists in, so a
+   different hash after an upgrade would strand every snapshot in the
+   wrong shard. *)
 let shard_of_name ~shards name =
   if shards < 1 then invalid_arg "Catalog.Service.shard_of_name: shards must be >= 1";
   if shards = 1 then 0
-  else begin
-    let h = ref 0xcbf29ce484222325L in
-    String.iter
-      (fun c ->
-        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
-      name;
-    Int64.to_int (Int64.unsigned_rem !h (Int64.of_int shards))
-  end
+  else Int64.to_int (Int64.unsigned_rem (fnv1a name) (Int64.of_int shards))
 
 let shard_dir_name i = Printf.sprintf "shard-%d" i
 

@@ -186,3 +186,109 @@ val answer_one : t -> name:string -> a:float -> b:float -> (float, string) resul
 
 val cache_stats : t -> Lru.stats
 (** Lifetime hit/miss/eviction counts of the summary cache. *)
+
+(** {1 Adaptivity}
+
+    The streaming half of the catalog: once {!enable_adaptive} is called,
+    the service accepts {!insert}ed attribute values into a per-entry
+    reservoir sample ({!Online.Reservoir}) and {!observe}d true
+    selectivities into a per-entry ST-histogram
+    ({!Feedback.Adaptive}), and {!adaptive_tick} turns both into
+    atomically swapped summary versions — a background resample rebuild
+    when the insert budget trips, a synchronous feedback refresh every
+    [refresh_after_observes] observations.  Reads stay allocation-free
+    and bit-identical between swaps; the full policy is documented in
+    [docs/ADAPTIVITY.md].
+
+    Like the rest of the service these functions are single-owner: the
+    serving engine confines them to the entry's shard dispatcher.  Only
+    the rebuild worker launched by {!adaptive_tick} runs on its own
+    thread, and it touches nothing but its private sample copy. *)
+
+type adaptive_config = {
+  reservoir_capacity : int;
+      (** values retained per entry for resample rebuilds (default 1024) *)
+  min_rebuild_sample : int;
+      (** don't launch a resample rebuild below this reservoir size
+          (default 64) *)
+  refresh_after_observes : int;
+      (** bake the feedback histogram into a served summary every this
+          many observations (default 256) *)
+  learning_rate : float;
+      (** ST-histogram error absorption per observation, in (0, 1]
+          (default 0.5) *)
+  adaptive_seed : int64;
+      (** reservoir PRNG seed; each entry derives its own by xoring in a
+          stable hash of its name (default 0xada971fe55aa) *)
+}
+
+val default_adaptive_config : adaptive_config
+(** The defaults above; sizing guidance in [docs/ADAPTIVITY.md]. *)
+
+val enable_adaptive : ?config:adaptive_config -> t -> unit
+(** Switch the service into adaptive mode.  Off by default — a
+    non-adaptive service serves byte-for-byte what a pre-adaptivity
+    server did, and {!insert}/{!observe} return [Error].
+    @raise Invalid_argument on a non-positive [config] field, a
+    [learning_rate] outside (0, 1], or if already enabled. *)
+
+val adaptive_enabled : t -> bool
+(** Whether {!enable_adaptive} has been called. *)
+
+val insert : t -> name:string -> float array -> (int * int, string) result
+(** [insert t ~name values] streams freshly inserted attribute values of
+    the entry's relation into its reservoir and advances its staleness
+    count by [Array.length values] (the same budget {!record_inserts}
+    spends).  Returns [(retained, seen)] — current reservoir occupancy
+    and lifetime offered count.  The stale flag is persisted when it
+    trips; sub-budget counts live in memory only, so a kill loses at
+    most one budget of progress.  [Error] on an unknown entry, a
+    non-finite value, or when adaptivity is disabled. *)
+
+val observe :
+  t -> name:string -> a:float -> b:float -> actual:float -> (float, string) result
+(** [observe t ~name ~a ~b ~actual] feeds back the true selectivity of
+    range [[a, b]] as measured by the caller's executed query, refining
+    the entry's ST-histogram where the workload actually queries.
+    Returns the refined in-memory estimate for the same range — it
+    converges toward [actual] over repeated observations, while the
+    {e served} summary only changes at the next refresh swap.  [Error]
+    on an unknown entry, [actual] outside [0, 1], non-finite bounds, or
+    when adaptivity is disabled. *)
+
+val adaptive_tick : ?wake:(unit -> unit) -> t -> int
+(** One step of the maintenance loop; the serving engine calls this
+    between batches.  In order: (1) if a background rebuild has
+    finished, join it and atomically swap its summary in (cache,
+    metadata and snapshot move together; the entry's staleness resets
+    and its feedback histogram reseeds from the new version); (2) bake
+    every feedback histogram with [refresh_after_observes] pending
+    observations into a swapped summary, synchronously; (3) if no
+    rebuild is in flight, launch one worker thread for the first stale
+    entry (sorted order) whose reservoir holds at least
+    [min_rebuild_sample] values.  [wake] is handed to that worker and
+    fired (from the worker thread) when its result is ready, so an idle
+    caller can re-tick promptly; the default does nothing — callers may
+    simply tick periodically.  Returns the number of summaries swapped
+    by this call.  A rebuild whose estimator rejects the sample parks
+    the entry ([Error] recorded, visible in {!adaptive_stats}) until
+    fresh inserts arrive, rather than hot-looping.  Never raises. *)
+
+val adaptive_drain : t -> unit
+(** Retire the adaptive runtime on the owner's way out: join any
+    in-flight rebuild worker, then run a final {!adaptive_tick} so its
+    result is swapped in (and persisted) rather than discarded.  A
+    no-op when adaptivity is disabled or nothing is pending. *)
+
+type adaptive_stats = {
+  tracked_entries : int;  (** entries with live adaptive state *)
+  sampled_values : int;  (** lifetime values offered across reservoirs *)
+  observations : int;  (** feedback observations absorbed *)
+  rebuild_in_flight : bool;  (** a background rebuild worker is running *)
+  last_rebuild_error : string option;
+      (** first parked rebuild failure, if any *)
+}
+
+val adaptive_stats : t -> adaptive_stats
+(** Snapshot of the adaptive runtime (all zeros when disabled).  Swap
+    counts are on the telemetry side: [catalog_adaptive_swaps_total]. *)

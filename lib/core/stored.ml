@@ -4,16 +4,24 @@ type t = {
   weights : float array; (* per-cell selectivity mass *)
 }
 
-let of_estimator ?(cells = 256) ~domain:(lo, hi) est =
-  if cells <= 0 then invalid_arg "Stored.of_estimator: cells must be positive";
-  if lo >= hi then invalid_arg "Stored.of_estimator: empty domain";
+(* [who] keeps validation messages named after the entry point the
+   caller actually used. *)
+let of_fn_named who ?(cells = 256) ~domain:(lo, hi) f =
+  if cells <= 0 then invalid_arg (who ^ ": cells must be positive");
+  if lo >= hi then invalid_arg (who ^ ": empty domain");
   let w = (hi -. lo) /. float_of_int cells in
   let weights =
     Array.init cells (fun i ->
         let a = lo +. (float_of_int i *. w) in
-        Float.max 0.0 (Estimator.selectivity est ~a ~b:(a +. w)))
+        Float.max 0.0 (f ~a ~b:(a +. w)))
   in
   { lo; hi; weights }
+
+let of_fn ?cells ~domain f = of_fn_named "Stored.of_fn" ?cells ~domain f
+
+let of_estimator ?cells ~domain est =
+  of_fn_named "Stored.of_estimator" ?cells ~domain (fun ~a ~b ->
+      Estimator.selectivity est ~a ~b)
 
 let of_sample ?cells ?(spec = Estimator.kernel_defaults) ~domain sample =
   of_estimator ?cells ~domain (Estimator.build spec ~domain sample)

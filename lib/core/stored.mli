@@ -20,6 +20,14 @@ val of_estimator : ?cells:int -> domain:float * float -> Estimator.t -> t
     cells.  @raise Invalid_argument if [cells <= 0] or the domain is
     empty. *)
 
+val of_fn :
+  ?cells:int -> domain:float * float -> (a:float -> b:float -> float) -> t
+(** [of_fn ~domain f] is {!of_estimator} generalized to any range
+    selectivity function: cell [i] stores [max 0 (f ~a:cell_lo ~b:cell_hi)].
+    The adaptive serving path uses this to bake an ST-histogram refinement
+    ([Feedback.Adaptive.selectivity]) into a swappable summary.
+    @raise Invalid_argument if [cells <= 0] or the domain is empty. *)
+
 val of_sample :
   ?cells:int -> ?spec:Estimator.spec -> domain:float * float -> float array -> t
 (** Build the estimator from the sample (spec defaults to

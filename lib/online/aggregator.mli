@@ -6,7 +6,14 @@
     both the pure-sampling estimate (with its CLT confidence interval) and
     the kernel estimate built from the samples seen so far.  The kernel
     estimator is refitted lazily — at most once per batch — with the
-    normal-scale bandwidth of the current sample. *)
+    normal-scale bandwidth of the current sample.
+
+    Scope note: this module keeps {e every} value it is handed, which is
+    the right trade for a progress-bar aggregation over one query's
+    lifetime.  Its bounded-memory sibling {!Online.Reservoir} retains a
+    fixed-size uniform sample of an unbounded stream, and is what the
+    adaptive serving loop builds rebuilds from ([docs/ADAPTIVITY.md]);
+    the two compose — an executor can feed the same batches to both. *)
 
 type t
 

@@ -1,0 +1,34 @@
+type t = {
+  rng : Prng.Splitmix64.t;
+  buf : float array;
+  mutable filled : int;
+  mutable seen : int;
+}
+
+let create ?(seed = 0x5eedbeef1234L) ~capacity () =
+  if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+  { rng = Prng.Splitmix64.create seed; buf = Array.make capacity 0.0; filled = 0; seen = 0 }
+
+let capacity t = Array.length t.buf
+let size t = t.filled
+let seen t = t.seen
+
+(* Algorithm R (Vitter 1985): the first [capacity] values fill the buffer;
+   the i-th value thereafter replaces a uniformly chosen slot with
+   probability capacity/i.  One [next_below] call per offered value keeps
+   the stream position a pure function of [seen], so two reservoirs with
+   the same seed fed the same values are identical. *)
+let add t v =
+  t.seen <- t.seen + 1;
+  let cap = Array.length t.buf in
+  if t.filled < cap then begin
+    t.buf.(t.filled) <- v;
+    t.filled <- t.filled + 1
+  end
+  else begin
+    let j = Prng.Splitmix64.next_below t.rng t.seen in
+    if j < cap then t.buf.(j) <- v
+  end
+
+let add_array t vs = Array.iter (add t) vs
+let sample t = Array.sub t.buf 0 t.filled

@@ -90,8 +90,10 @@ let ensure_fd t =
     fd
 
 (* One request/response exchange, with bounded reconnect-and-resend on
-   transient transport failures.  Safe because every protocol operation
-   is idempotent (estimates are reads; invalidate re-marks). *)
+   transient transport failures.  Safe for estimates (reads), invalidate
+   (re-marks) and observe (converging refinement); insert is the one
+   at-least-once operation — a resent frame offers its values to the
+   reservoir again (see wire.mli). *)
 let rpc t req =
   let payload = Wire.encode_request req in
   let rec attempt n =
@@ -168,6 +170,20 @@ let batch_estimate t triples =
         (Protocol
            (Printf.sprintf "batch reply carries %d answers for %d queries"
               (Array.length xs) (Array.length triples)))
+  | Ok (Wire.Error_reply { code; message }) -> Error (Server (code, message))
+  | Ok other -> unexpected other
+  | Error e -> Error e
+
+let insert t ~entry values =
+  match rpc t (Wire.Insert { entry; values }) with
+  | Ok (Wire.Inserted { sampled; seen }) -> Ok (sampled, seen)
+  | Ok (Wire.Error_reply { code; message }) -> Error (Server (code, message))
+  | Ok other -> unexpected other
+  | Error e -> Error e
+
+let observe t ~entry ~a ~b ~actual =
+  match rpc t (Wire.Observe { entry; a; b; actual }) with
+  | Ok (Wire.Observed refined) -> Ok refined
   | Ok (Wire.Error_reply { code; message }) -> Error (Server (code, message))
   | Ok other -> unexpected other
   | Error e -> Error e

@@ -7,8 +7,12 @@
     exponentially-capped full jitter (deterministic from [config.seed]);
     typed server errors ([overloaded], [draining], ...) are returned as
     {!error.Server} and never retried, so backpressure reaches the
-    caller intact.  A client is single-threaded: give each load-generator
-    worker its own. *)
+    caller intact.  Retries make every call at-least-once: that is exact
+    for the idempotent operations (estimates are reads, invalidate
+    re-marks, observe is a converging refinement) but {!insert} may
+    offer its values twice if a reply is lost — acceptable for sampling,
+    noted in {!Wire.request.Insert}.  A client is single-threaded: give
+    each load-generator worker its own. *)
 
 type config = {
   connect_timeout_s : float;  (** non-blocking connect + select window *)
@@ -68,6 +72,18 @@ val batch_estimate : t -> (string * float * float) array -> (float array, error)
 
 val invalidate : t -> string -> (unit, error) result
 (** Force-stale a served entry, as [Catalog.Service.invalidate]. *)
+
+val insert : t -> entry:string -> float array -> (int * int, error) result
+(** Stream freshly inserted attribute values into the entry's reservoir
+    sample on an adaptive server; returns [(sampled, seen)] — current
+    reservoir occupancy and lifetime offered count.  At-least-once under
+    retries (see the module preamble); [Server Bad_request] when the
+    server is not adaptive. *)
+
+val observe : t -> entry:string -> a:float -> b:float -> actual:float -> (float, error) result
+(** Feed back the true selectivity [actual] of an executed query
+    [Q(a,b)], refining the entry's ST-histogram on an adaptive server;
+    returns the refined in-memory estimate for the same range. *)
 
 val request : t -> Wire.request -> (Wire.response, error) result
 (** Escape hatch: send any request and return the raw decoded reply

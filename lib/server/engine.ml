@@ -74,6 +74,7 @@ type shard_stats = {
   shard_batches : int;
   shard_batched_queries : int;
   shard_answered : int;
+  shard_swaps : int;
 }
 
 type stats = {
@@ -86,6 +87,7 @@ type stats = {
   protocol_errors : int;
   batches : int;
   batched_queries : int;
+  swaps : int;
   shards : int;
   per_shard : shard_stats array;
 }
@@ -97,9 +99,15 @@ type stats = {
    are free for reuse the moment the replies land — [kind],
    [enqueued_at] and [reply] are reset in place. *)
 type job_kind =
-  | Query of { triples : (string * float * float) array; single : bool; spec : string }
+  | Query of { triples : (string * float * float) array }
+  | Query1
+      (* a single estimate whose fields live in the job record itself
+         ([q1_entry], [q1_spec], [q1]) — the hot path carries no fresh
+         request value, so enqueueing one allocates nothing *)
   | Ls_job
   | Invalidate_job of string
+  | Insert_job of { entry : string; values : float array }
+  | Observe_job of { entry : string; oa : float; ob : float; actual : float }
 
 type job = {
   mutable kind : job_kind;
@@ -107,6 +115,9 @@ type job = {
   job_m : Mutex.t;
   job_c : Condition.t;
   mutable reply : Wire.response option;
+  mutable q1_entry : string;
+  mutable q1_spec : string;
+  q1 : Wire.qnums; (* all-float record: setting the bounds never boxes *)
 }
 
 (* Structure-of-arrays staging for merged batches, owned by the shard's
@@ -137,6 +148,7 @@ type shard = {
   sh_batches : int Atomic.t;
   sh_batched_queries : int Atomic.t;
   sh_answered : int Atomic.t;
+  sh_swaps : int Atomic.t;
   sh_m_batches : Telemetry.Metrics.counter;
   sh_m_batched_queries : Telemetry.Metrics.counter;
 }
@@ -218,6 +230,7 @@ let create ?(config = default_config) ~services address =
           sh_batches = Atomic.make 0;
           sh_batched_queries = Atomic.make 0;
           sh_answered = Atomic.make 0;
+          sh_swaps = Atomic.make 0;
           sh_m_batches =
             Telemetry.Metrics.counter "server_batches_total" ~labels:sh_labels
               ~help:"Service.answer calls issued by the dispatchers";
@@ -275,6 +288,7 @@ let stats t =
           shard_batches = Atomic.get sh.sh_batches;
           shard_batched_queries = Atomic.get sh.sh_batched_queries;
           shard_answered = Atomic.get sh.sh_answered;
+          shard_swaps = Atomic.get sh.sh_swaps;
         })
       t.shards
   in
@@ -288,6 +302,7 @@ let stats t =
     protocol_errors = Atomic.get t.s_protocol_errors;
     batches = Array.fold_left (fun n s -> n + s.shard_batches) 0 per_shard;
     batched_queries = Array.fold_left (fun n s -> n + s.shard_batched_queries) 0 per_shard;
+    swaps = Array.fold_left (fun n s -> n + s.shard_swaps) 0 per_shard;
     shards = Array.length t.shards;
     per_shard;
   }
@@ -309,16 +324,18 @@ let complete job resp =
   Condition.broadcast job.job_c;
   Mutex.unlock job.job_m
 
-(* Pop the shard's next batch: blocks until a job arrives or the stop
-   flag is raised, then takes queued jobs up to [max_batch] merged
+(* Pop the shard's next batch: blocks until a job arrives, the stop flag
+   is raised, or the shard's condition is poked (an adaptive rebuild
+   worker finishing), then takes queued jobs up to [max_batch] merged
    queries (the first job is always taken whole, so an oversized client
-   batch still dispatches).  Returns [] only when stopping on an empty
-   queue. *)
+   batch still dispatches).  A single [Condition.wait] rather than a
+   wait loop: returning [] on a wake with an empty queue is exactly what
+   lets the dispatcher run its adaptive maintenance promptly instead of
+   sleeping on the swap until the next request. *)
 let next_jobs t sh =
   Mutex.lock sh.sh_m;
-  while Queue.is_empty sh.sh_queue && not (Atomic.get sh.sh_stop) do
-    Condition.wait sh.sh_c sh.sh_m
-  done;
+  if Queue.is_empty sh.sh_queue && not (Atomic.get sh.sh_stop) then
+    Condition.wait sh.sh_c sh.sh_m;
   let jobs = ref [] in
   let merged = ref 0 in
   let full = ref false in
@@ -326,8 +343,8 @@ let next_jobs t sh =
     let j = Queue.peek sh.sh_queue in
     let cost =
       match j.kind with
-      | Query { triples; _ } -> max 1 (Array.length triples)
-      | Ls_job | Invalidate_job _ -> 1
+      | Query { triples } -> max 1 (Array.length triples)
+      | Query1 | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ -> 1
     in
     if !jobs <> [] && !merged + cost > t.config.max_batch then full := true
     else begin
@@ -385,14 +402,18 @@ let run_queries sh ~complete query_jobs =
     List.iter
       (fun (job, len) ->
         (match job.kind with
-        | Query { triples; _ } ->
+        | Query { triples } ->
           for i = 0 to len - 1 do
             let name, qa, qb = Array.unsafe_get triples i in
             Array.unsafe_set mb.mb_names (!off + i) name;
             Array.unsafe_set mb.mb_a (!off + i) qa;
             Array.unsafe_set mb.mb_b (!off + i) qb
           done
-        | Ls_job | Invalidate_job _ -> assert false);
+        | Query1 ->
+          Array.unsafe_set mb.mb_names !off job.q1_entry;
+          Array.unsafe_set mb.mb_a !off job.q1.Wire.sa;
+          Array.unsafe_set mb.mb_b !off job.q1.Wire.sb
+        | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ -> assert false);
         off := !off + len)
       query_jobs;
     match
@@ -405,9 +426,9 @@ let run_queries sh ~complete query_jobs =
         (fun (job, len) ->
           let reply =
             match job.kind with
-            | Query { single = true; _ } -> Wire.Estimate_reply mb.mb_out.(!off)
-            | Query { single = false; _ } -> Wire.Batch_reply (Array.sub mb.mb_out !off len)
-            | Ls_job | Invalidate_job _ -> assert false
+            | Query1 -> Wire.Estimate_reply mb.mb_out.(!off)
+            | Query _ -> Wire.Batch_reply (Array.sub mb.mb_out !off len)
+            | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ -> assert false
           in
           off := !off + len;
           ignore (Atomic.fetch_and_add sh.sh_answered len);
@@ -472,7 +493,69 @@ let process_batch_exn t sh ~complete jobs =
             complete job
               (Wire.Error_reply { code = Wire.Internal; message = Printexc.to_string e }));
           None
-        | Query { triples; single; spec } -> (
+        | Insert_job { entry; values } ->
+          (match Service.insert sh.sh_service ~name:entry values with
+          | Ok (sampled, seen) -> complete job (Wire.Inserted { sampled; seen })
+          | Error message ->
+            let code =
+              if
+                Service.adaptive_enabled sh.sh_service
+                && not (Service.mem sh.sh_service entry)
+              then Wire.Unknown_entry
+              else Wire.Bad_request
+            in
+            complete job (Wire.Error_reply { code; message })
+          | exception e ->
+            complete job
+              (Wire.Error_reply { code = Wire.Internal; message = Printexc.to_string e }));
+          None
+        | Observe_job { entry; oa; ob; actual } ->
+          (match Service.observe sh.sh_service ~name:entry ~a:oa ~b:ob ~actual with
+          | Ok refined -> complete job (Wire.Observed refined)
+          | Error message ->
+            let code =
+              if
+                Service.adaptive_enabled sh.sh_service
+                && not (Service.mem sh.sh_service entry)
+              then Wire.Unknown_entry
+              else Wire.Bad_request
+            in
+            complete job (Wire.Error_reply { code; message })
+          | exception e ->
+            complete job
+              (Wire.Error_reply { code = Wire.Internal; message = Printexc.to_string e }));
+          None
+        | Query1 ->
+          if not (Service.mem sh.sh_service job.q1_entry) then begin
+            complete job
+              (Wire.Error_reply
+                 {
+                   code = Wire.Unknown_entry;
+                   message = Printf.sprintf "unknown catalog entry %S" job.q1_entry;
+                 });
+            None
+          end
+          else begin
+            let spec_conflict =
+              job.q1_spec <> ""
+              &&
+              match Service.info sh.sh_service job.q1_entry with
+              | Some i -> i.Service.spec <> job.q1_spec
+              | None -> false
+            in
+            if spec_conflict then begin
+              complete job
+                (Wire.Error_reply
+                   {
+                     code = Wire.Spec_mismatch;
+                     message =
+                       Printf.sprintf "entry was not built with spec %S" job.q1_spec;
+                   });
+              None
+            end
+            else Some (job, 1)
+          end
+        | Query { triples } -> (
           match
             Array.find_opt
               (fun (name, _, _) -> not (Service.mem sh.sh_service name))
@@ -486,27 +569,7 @@ let process_batch_exn t sh ~complete jobs =
                    message = Printf.sprintf "unknown catalog entry %S" name;
                  });
             None
-          | None ->
-            let spec_conflict =
-              single && spec <> ""
-              &&
-              match triples with
-              | [| (name, _, _) |] -> (
-                match Service.info sh.sh_service name with
-                | Some i -> i.Service.spec <> spec
-                | None -> false)
-              | _ -> false
-            in
-            if spec_conflict then begin
-              complete job
-                (Wire.Error_reply
-                   {
-                     code = Wire.Spec_mismatch;
-                     message = Printf.sprintf "entry was not built with spec %S" spec;
-                   });
-              None
-            end
-            else Some (job, Array.length triples)))
+          | None -> Some (job, Array.length triples)))
       live
   in
   run_queries sh ~complete query_jobs
@@ -547,11 +610,37 @@ let shard_down_reply sh =
    enqueue, and no connection can park forever on a dead shard. *)
 let dispatcher_domain t sh () =
   (try
+     (* Adaptive maintenance interleaves with batches: a tick after every
+        dispatch, plus one on each wake with an empty queue — the rebuild
+        worker pokes [sh_c] when its result is ready, so the swap lands
+        promptly even on an idle shard.  [wake] runs on the worker thread
+        and only touches the shard's mutex/condition. *)
+     let wake () =
+       Mutex.lock sh.sh_m;
+       Condition.broadcast sh.sh_c;
+       Mutex.unlock sh.sh_m
+     in
+     let maintain () =
+       let swaps = Service.adaptive_tick ~wake sh.sh_service in
+       if swaps > 0 then ignore (Atomic.fetch_and_add sh.sh_swaps swaps)
+     in
      let rec loop () =
        match next_jobs t sh with
-       | [] -> () (* stop flag with an empty queue: orderly retirement *)
+       | [] ->
+         if Atomic.get sh.sh_stop then
+           (* Orderly retirement: finish (don't abandon) any in-flight
+              rebuild so its swap is persisted before the shard goes
+              down. *)
+           Service.adaptive_drain sh.sh_service
+         else begin
+           (* Woken with nothing queued: a rebuild result is (probably)
+              ready. *)
+           maintain ();
+           loop ()
+         end
        | jobs ->
          process_batch t sh jobs;
+         maintain ();
          loop ()
      in
      loop ()
@@ -602,6 +691,9 @@ let fresh_job () =
     job_m = Mutex.create ();
     job_c = Condition.create ();
     reply = None;
+    q1_entry = "";
+    q1_spec = "";
+    q1 = { Wire.sa = 0.0; sb = 0.0 };
   }
 
 let send w fd response = Wire.write_response w fd response
@@ -619,10 +711,7 @@ let await_reply job =
    finished with it before the previous [await_reply] returned) and park
    it on the shard's queue — unless the shard is down, in which case the
    job completes immediately with the typed refusal. *)
-let enqueue t cs shard_idx kind =
-  let sh = t.shards.(shard_idx) in
-  let job = cs.jobs.(shard_idx) in
-  job.kind <- kind;
+let park sh job =
   job.enqueued_at <- Unix.gettimeofday ();
   job.reply <- None;
   Mutex.lock sh.sh_m;
@@ -636,6 +725,26 @@ let enqueue t cs shard_idx kind =
     Mutex.unlock sh.sh_m
   end;
   job
+
+let enqueue t cs shard_idx kind =
+  let sh = t.shards.(shard_idx) in
+  let job = cs.jobs.(shard_idx) in
+  job.kind <- kind;
+  park sh job
+
+(* The hot enqueue: the decoded fields move from the connection's wire
+   scratch into the job record field-by-field (string refs and
+   float-record stores — no request value, no closure), so parking a
+   single estimate allocates nothing. *)
+let enqueue_estimate t cs shard_idx (sc : Wire.scratch) =
+  let sh = t.shards.(shard_idx) in
+  let job = cs.jobs.(shard_idx) in
+  job.kind <- Query1;
+  job.q1_entry <- sc.Wire.s_entry;
+  job.q1_spec <- sc.Wire.s_spec;
+  job.q1.Wire.sa <- sc.Wire.s_q.Wire.sa;
+  job.q1.Wire.sb <- sc.Wire.s_q.Wire.sb;
+  park sh job
 
 let shard_of t name = Service.shard_of_name ~shards:(Array.length t.shards) name
 
@@ -664,7 +773,7 @@ let route_batch t cs triples =
     (* Single-shard frame (the common case, and every frame when
        [shards = 1]): no splitting, no scatter — the job carries the
        client's array as-is. *)
-    await_reply (enqueue t cs s (Query { triples; single = false; spec = "" }))
+    await_reply (enqueue t cs s (Query { triples }))
   | involved ->
     let subs = Array.make nshards [||] in
     List.iter
@@ -680,7 +789,7 @@ let route_batch t cs triples =
        their slices concurrently. *)
     List.iter
       (fun s ->
-        ignore (enqueue t cs s (Query { triples = subs.(s); single = false; spec = "" })))
+        ignore (enqueue t cs s (Query { triples = subs.(s) })))
       involved;
     let replies = List.map (fun s -> (s, await_reply cs.jobs.(s))) involved in
     let error =
@@ -739,10 +848,23 @@ let route t cs req =
   | Wire.Ls -> if Array.length t.shards = 1 then await_reply (enqueue t cs 0 Ls_job) else route_ls t cs
   | Wire.Invalidate name -> await_reply (enqueue t cs (shard_of t name) (Invalidate_job name))
   | Wire.Estimate { entry; a; b; spec } ->
-    await_reply
-      (enqueue t cs (shard_of t entry)
-         (Query { triples = [| (entry, a, b) |]; single = true; spec }))
+    (* Only reachable for an [Estimate] arriving as a [Decoded] value
+       (e.g. via tests calling [decode_request]); the serving read loop
+       takes the scratch path through [enqueue_estimate] instead. *)
+    let shard_idx = shard_of t entry in
+    let job = cs.jobs.(shard_idx) in
+    job.kind <- Query1;
+    job.q1_entry <- entry;
+    job.q1_spec <- spec;
+    job.q1.Wire.sa <- a;
+    job.q1.Wire.sb <- b;
+    await_reply (park t.shards.(shard_idx) job)
   | Wire.Batch_estimate triples -> route_batch t cs triples
+  | Wire.Insert { entry; values } ->
+    await_reply (enqueue t cs (shard_of t entry) (Insert_job { entry; values }))
+  | Wire.Observe { entry; a; b; actual } ->
+    await_reply
+      (enqueue t cs (shard_of t entry) (Observe_job { entry; oa = a; ob = b; actual }))
   | Wire.Ping -> assert false
 
 (* ---------------- connection threads ---------------- *)
@@ -784,32 +906,79 @@ let handle_request t w fd cs req =
         ~finally:(fun () -> Atomic.decr t.inflight)
         (fun () -> send w fd (route t cs req))
 
+(* [handle_request] specialized to the scratch-decoded single estimate.
+   Same admission/draining protocol, but the unwind is an explicit
+   match rather than [Fun.protect]: the hot path allocates neither the
+   [~finally] closure nor the body thunk. *)
+let handle_estimate t w fd cs sc =
+  if Atomic.get t.draining then begin
+    Atomic.incr t.s_refused_draining;
+    send w fd (Wire.Error_reply { code = Wire.Draining; message = "server is draining" })
+  end
+  else begin
+    let prev = Atomic.fetch_and_add t.inflight 1 in
+    if prev >= t.config.max_inflight then begin
+      Atomic.decr t.inflight;
+      Atomic.incr t.s_overloaded;
+      Telemetry.Metrics.incr t.m_overloaded;
+      send w fd
+        (Wire.Error_reply
+           {
+             code = Wire.Overloaded;
+             message =
+               Printf.sprintf "%d requests in flight (limit %d)" prev
+                 t.config.max_inflight;
+           })
+    end
+    else
+      match
+        send w fd (await_reply (enqueue_estimate t cs (shard_of t sc.Wire.s_entry) sc))
+      with
+      | () -> Atomic.decr t.inflight
+      | exception e ->
+        Atomic.decr t.inflight;
+        raise e
+  end
+
 let conn_loop t fd =
   let w = Wire.create_writer () in
+  let r = Wire.create_reader () in
+  let sc = Wire.create_scratch () in
   let cs = { jobs = Array.init (Array.length t.shards) (fun _ -> fresh_job ()) } in
   let rec loop () =
-    match Wire.read_frame fd with
-    | Ok None -> ()
-    | Error message ->
+    let len = Wire.read_frame_into r fd in
+    if len = -1 then () (* clean EOF at a frame boundary *)
+    else if len = -2 then begin
       (* The stream is no longer frame-aligned: reply if possible, then
          hang up. *)
       Atomic.incr t.s_protocol_errors;
-      (try send w fd (Wire.Error_reply { code = Wire.Bad_request; message }) with _ -> ())
-    | Ok (Some payload) -> (
-      match Wire.decode_request payload with
+      try
+        send w fd
+          (Wire.Error_reply { code = Wire.Bad_request; message = Wire.reader_error r })
+      with _ -> ()
+    end
+    else
+      match Wire.decode_request_scratch (Wire.reader_buffer r) ~len sc with
       | Error message ->
         (* Frame boundaries are intact, so the connection survives a
            malformed payload. *)
         Atomic.incr t.s_protocol_errors;
         send w fd (Wire.Error_reply { code = Wire.Bad_request; message });
         loop ()
-      | Ok req ->
+      | Ok Wire.Fast_estimate ->
+        Atomic.incr t.s_requests;
+        Telemetry.Metrics.incr t.m_requests;
+        let t0 = Unix.gettimeofday () in
+        handle_estimate t w fd cs sc;
+        Telemetry.Metrics.observe_s t.m_request_seconds (Unix.gettimeofday () -. t0);
+        loop ()
+      | Ok (Wire.Decoded req) ->
         Atomic.incr t.s_requests;
         Telemetry.Metrics.incr t.m_requests;
         let t0 = Unix.gettimeofday () in
         handle_request t w fd cs req;
         Telemetry.Metrics.observe_s t.m_request_seconds (Unix.gettimeofday () -. t0);
-        loop ())
+        loop ()
   in
   try loop () with
   | Unix.Unix_error _ | Sys_error _ -> ()

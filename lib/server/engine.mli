@@ -70,6 +70,10 @@ type shard_stats = {
   shard_batches : int;  (** [Catalog.Service.answer_into] calls this shard issued *)
   shard_batched_queries : int;  (** range queries folded into those calls *)
   shard_answered : int;  (** range queries this shard answered with an estimate *)
+  shard_swaps : int;
+      (** adaptive summary versions this shard's dispatcher swapped in
+          (rebuilds and feedback refreshes; [0] unless the services were
+          {!Catalog.Service.enable_adaptive}d) *)
 }
 
 type stats = {
@@ -82,6 +86,7 @@ type stats = {
   protocol_errors : int;  (** malformed frames or payloads received *)
   batches : int;  (** dispatcher batches across all shards *)
   batched_queries : int;  (** range queries folded into those batches *)
+  swaps : int;  (** adaptive summary swaps across all shards *)
   shards : int;  (** number of shards the engine was created with *)
   per_shard : shard_stats array;
       (** per-shard batching counters, indexed by shard id — the skew

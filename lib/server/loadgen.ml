@@ -233,13 +233,18 @@ type slot = {
   mutable s_sent : int;
 }
 
-let run_open_loop ?(client_config = Client.default_config) ?(max_clients = 64)
-    ?(late_factor = 1.0) ~rate ~duration_s ~address requests =
-  if rate <= 0.0 then invalid_arg "Server.Loadgen.run_open_loop: rate must be > 0";
-  if duration_s <= 0.0 then invalid_arg "Server.Loadgen.run_open_loop: duration_s must be > 0";
-  if max_clients < 1 then invalid_arg "Server.Loadgen.run_open_loop: max_clients must be >= 1";
-  if Array.length requests = 0 then
-    invalid_arg "Server.Loadgen.run_open_loop: no requests";
+(* The open-loop machinery shared by {!run_open_loop} and {!run_drift}:
+   schedule arrivals at [t0 + i/rate], hand each to a free virtual
+   client (or drop it), and let [exec slot client arrival out] perform
+   the exchange, recording success/failure into [out].  Lateness,
+   latency-from-arrival and the scheduler's offered/dropped counters
+   are measured here so every open-loop mode reports them the same
+   way. *)
+let open_loop_drive ~who ~(client_config : Client.config) ~max_clients ~late_factor
+    ~rate ~duration_s ~address ~exec =
+  if rate <= 0.0 then invalid_arg (who ^ ": rate must be > 0");
+  if duration_s <= 0.0 then invalid_arg (who ^ ": duration_s must be > 0");
+  if max_clients < 1 then invalid_arg (who ^ ": max_clients must be >= 1");
   let m_queries =
     Telemetry.Metrics.counter "loadgen_queries_total" ~help:"Queries issued by the load generator"
   in
@@ -299,10 +304,7 @@ let run_open_loop ?(client_config = Client.default_config) ?(max_clients = 64)
           Telemetry.Metrics.incr m_late
         end;
         s.s_sent <- s.s_sent + 1;
-        let entry, a, b = requests.(idx) in
-        (match Client.estimate client ~entry ~a ~b with
-        | Ok _ -> s.s_out.w_ok <- s.s_out.w_ok + 1
-        | Error e -> record_error s.s_out (error_class e));
+        exec i client idx s.s_out;
         (* Open-loop latency runs from the *scheduled* arrival, not the
            send: queueing delay born of the server falling behind the
            arrival process is the signal, and measuring from the send
@@ -351,7 +353,7 @@ let run_open_loop ?(client_config = Client.default_config) ?(max_clients = 64)
        | Some w ->
          let s = slots.(w) in
          Mutex.lock s.s_m;
-         s.s_task <- Some (!i mod Array.length requests, sched);
+         s.s_task <- Some (!i, sched);
          Condition.signal s.s_c;
          Mutex.unlock s.s_m);
        incr i
@@ -406,6 +408,173 @@ let run_open_loop ?(client_config = Client.default_config) ?(max_clients = 64)
     o_errors = errors;
   }
 
+let run_open_loop ?(client_config = Client.default_config) ?(max_clients = 64)
+    ?(late_factor = 1.0) ~rate ~duration_s ~address requests =
+  if Array.length requests = 0 then
+    invalid_arg "Server.Loadgen.run_open_loop: no requests";
+  let exec _slot client arrival out =
+    let entry, a, b = requests.(arrival mod Array.length requests) in
+    match Client.estimate client ~entry ~a ~b with
+    | Ok _ -> out.w_ok <- out.w_ok + 1
+    | Error e -> record_error out (error_class e)
+  in
+  open_loop_drive ~who:"Server.Loadgen.run_open_loop" ~client_config ~max_clients
+    ~late_factor ~rate ~duration_s ~address ~exec
+
+(* ---------------- drift (adaptive serving) ---------------- *)
+
+type drift_report = {
+  d_open : open_report;
+  d_estimates : int;
+  d_est_ok : int;
+  d_inserts : int;
+  d_insert_ok : int;
+  d_observes : int;
+  d_observe_ok : int;
+  d_mean_abs_err : float;
+  d_max_abs_err : float;
+  d_est_invalid : int;
+}
+
+(* Per-slot drift accumulator, merged after the run (slots are threads;
+   sharing one record would race). *)
+type drift_acc = {
+  mutable da_est : int;
+  mutable da_est_ok : int;
+  mutable da_ins : int;
+  mutable da_ins_ok : int;
+  mutable da_obs : int;
+  mutable da_obs_ok : int;
+  mutable da_err_sum : float;
+  mutable da_err_max : float;
+  mutable da_invalid : int;
+}
+
+let run_drift ?(client_config = Client.default_config) ?(max_clients = 64)
+    ?(late_factor = 1.0) ?(insert_every = 4) ?(insert_batch = 32) ?(observe_every = 4)
+    ?(window = 0.25) ?(seed = 0xd41f7L) ~rate ~duration_s ~entry ~address () =
+  if insert_every < 2 then
+    invalid_arg "Server.Loadgen.run_drift: insert_every must be >= 2";
+  if insert_batch < 1 then
+    invalid_arg "Server.Loadgen.run_drift: insert_batch must be >= 1";
+  if observe_every < 2 then
+    invalid_arg "Server.Loadgen.run_drift: observe_every must be >= 2";
+  if not (window > 0.0 && window <= 1.0) then
+    invalid_arg "Server.Loadgen.run_drift: window must be in (0, 1]";
+  let name = entry.Wire.name in
+  let lo, hi = entry.Wire.domain in
+  let dom_w = hi -. lo in
+  if not (dom_w > 0.0) then invalid_arg "Server.Loadgen.run_drift: empty entry domain";
+  let win_w = window *. dom_w in
+  (* The drift model: the relation's live values are Uniform over a
+     window [win_w] wide whose center slides linearly from one end of
+     the domain to the other across the run's scheduled arrivals.  The
+     window position is a function of the arrival *index*, not the
+     clock, so the stream (and the analytic truth below) is fully
+     deterministic from [seed] and the run shape. *)
+  let horizon = max 1 (int_of_float (Float.ceil (rate *. duration_s))) in
+  let window_at arrival =
+    let p =
+      if horizon <= 1 then 0.0
+      else float_of_int (min arrival (horizon - 1)) /. float_of_int (horizon - 1)
+    in
+    let c = lo +. (win_w /. 2.0) +. (p *. (dom_w -. win_w)) in
+    (c -. (win_w /. 2.0), c +. (win_w /. 2.0))
+  in
+  (* True selectivity of Q(a,b) against the current window: the overlap
+     fraction of a uniform distribution over [wl, wh]. *)
+  let truth_at arrival a b =
+    let wl, wh = window_at arrival in
+    (* Clamped: when [a,b] covers the whole window, [wh -. wl] can land
+       an ulp above [win_w] and the ratio a hair above 1, which the
+       server's observe validation would (rightly) reject. *)
+    Float.min 1.0 (Float.max 0.0 (Float.min b wh -. Float.max a wl) /. win_w)
+  in
+  let accs =
+    Array.init max_clients (fun _ ->
+        {
+          da_est = 0;
+          da_est_ok = 0;
+          da_ins = 0;
+          da_ins_ok = 0;
+          da_obs = 0;
+          da_obs_ok = 0;
+          da_err_sum = 0.0;
+          da_err_max = 0.0;
+          da_invalid = 0;
+        })
+  in
+  let exec slot client arrival out =
+    let acc = accs.(slot) in
+    (* Per-arrival PRNG: the payload of arrival [i] does not depend on
+       which slot won the race to execute it. *)
+    let rng = Prng.Splitmix64.create (Int64.add seed (Int64.of_int arrival)) in
+    let wl, wh = window_at arrival in
+    if arrival mod insert_every = 0 then begin
+      let values =
+        Array.init insert_batch (fun _ ->
+            wl +. ((wh -. wl) *. Prng.Splitmix64.next_float rng))
+      in
+      acc.da_ins <- acc.da_ins + 1;
+      match Client.insert client ~entry:name values with
+      | Ok _ ->
+        acc.da_ins_ok <- acc.da_ins_ok + 1;
+        out.w_ok <- out.w_ok + 1
+      | Error e -> record_error out (error_class e)
+    end
+    else begin
+      let x = lo +. (dom_w *. Prng.Splitmix64.next_float rng) in
+      let y = lo +. (dom_w *. Prng.Splitmix64.next_float rng) in
+      let a = Float.min x y and b = Float.max x y in
+      if arrival mod observe_every = 1 then begin
+        acc.da_obs <- acc.da_obs + 1;
+        match Client.observe client ~entry:name ~a ~b ~actual:(truth_at arrival a b) with
+        | Ok _ ->
+          acc.da_obs_ok <- acc.da_obs_ok + 1;
+          out.w_ok <- out.w_ok + 1
+        | Error e -> record_error out (error_class e)
+      end
+      else begin
+        acc.da_est <- acc.da_est + 1;
+        match Client.estimate client ~entry:name ~a ~b with
+        | Ok est ->
+          acc.da_est_ok <- acc.da_est_ok + 1;
+          out.w_ok <- out.w_ok + 1;
+          if not (Float.is_finite est && est >= 0.0 && est <= 1.0) then
+            acc.da_invalid <- acc.da_invalid + 1
+          else begin
+            let err = Float.abs (est -. truth_at arrival a b) in
+            acc.da_err_sum <- acc.da_err_sum +. err;
+            if err > acc.da_err_max then acc.da_err_max <- err
+          end
+        | Error e -> record_error out (error_class e)
+      end
+    end
+  in
+  let d_open =
+    open_loop_drive ~who:"Server.Loadgen.run_drift" ~client_config ~max_clients
+      ~late_factor ~rate ~duration_s ~address ~exec
+  in
+  let est = Array.fold_left (fun n a -> n + a.da_est) 0 accs in
+  let est_ok = Array.fold_left (fun n a -> n + a.da_est_ok) 0 accs in
+  let invalid = Array.fold_left (fun n a -> n + a.da_invalid) 0 accs in
+  let err_sum = Array.fold_left (fun s a -> s +. a.da_err_sum) 0.0 accs in
+  let err_max = Array.fold_left (fun m a -> Float.max m a.da_err_max) 0.0 accs in
+  let measured = est_ok - invalid in
+  {
+    d_open;
+    d_estimates = est;
+    d_est_ok = est_ok;
+    d_inserts = Array.fold_left (fun n a -> n + a.da_ins) 0 accs;
+    d_insert_ok = Array.fold_left (fun n a -> n + a.da_ins_ok) 0 accs;
+    d_observes = Array.fold_left (fun n a -> n + a.da_obs) 0 accs;
+    d_observe_ok = Array.fold_left (fun n a -> n + a.da_obs_ok) 0 accs;
+    d_mean_abs_err =
+      (if measured > 0 then err_sum /. float_of_int measured else Float.nan);
+    d_max_abs_err = (if measured > 0 then err_max else Float.nan);
+    d_est_invalid = invalid;
+  }
+
 let open_report_to_string r =
   let b = Buffer.create 256 in
   Buffer.add_string b
@@ -422,4 +591,16 @@ let open_report_to_string r =
     Buffer.add_string b "  errors:";
     List.iter (fun (cls, n) -> Buffer.add_string b (Printf.sprintf " %s=%d" cls n)) r.o_errors
   end;
+  Buffer.contents b
+
+let drift_report_to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (open_report_to_string r.d_open);
+  Buffer.add_string b
+    (Printf.sprintf "\nops: estimate %d/%d  insert %d/%d  observe %d/%d"
+       r.d_est_ok r.d_estimates r.d_insert_ok r.d_inserts r.d_observe_ok r.d_observes);
+  Buffer.add_string b
+    (Printf.sprintf
+       "\nestimate error vs generator truth: mean abs %.4f  max abs %.4f  invalid %d"
+       r.d_mean_abs_err r.d_max_abs_err r.d_est_invalid);
   Buffer.contents b

@@ -137,3 +137,60 @@ val run_open_loop :
 val open_report_to_string : open_report -> string
 (** Multi-line human-readable summary (offered/achieved rate, drop and
     late counts, latency-from-arrival percentiles). *)
+
+type drift_report = {
+  d_open : open_report;  (** the underlying open-loop measurements *)
+  d_estimates : int;  (** estimate exchanges sent *)
+  d_est_ok : int;  (** estimates answered *)
+  d_inserts : int;  (** insert exchanges sent *)
+  d_insert_ok : int;  (** inserts acknowledged *)
+  d_observes : int;  (** observe exchanges sent *)
+  d_observe_ok : int;  (** observes acknowledged *)
+  d_mean_abs_err : float;
+      (** mean [|estimate - generator truth|] over answered estimates
+          (the drive-level accuracy signal; [nan] if none answered) *)
+  d_max_abs_err : float;  (** worst single estimate error *)
+  d_est_invalid : int;
+      (** answered estimates that were non-finite or outside [0, 1] —
+          always [0] against a correct server *)
+}
+(** Result of one {!run_drift} run: the open-loop report plus per-op
+    counts and accuracy against the generator's analytic truth. *)
+
+val run_drift :
+  ?client_config:Client.config ->
+  ?max_clients:int ->
+  ?late_factor:float ->
+  ?insert_every:int ->
+  ?insert_batch:int ->
+  ?observe_every:int ->
+  ?window:float ->
+  ?seed:int64 ->
+  rate:float ->
+  duration_s:float ->
+  entry:Wire.entry_info ->
+  address:Wire.address ->
+  unit ->
+  drift_report
+(** Drive one entry of an adaptive server ([serve --adaptive]) with a
+    {e shifting} workload on the open-loop scheduler: the relation's
+    live values are modeled as uniform over a window [window] (default
+    [0.25]) of the entry's domain wide, whose center slides linearly
+    across the domain over the run.  Arrival [i] is an {!Client.insert}
+    of [insert_batch] window-distributed values when [i mod insert_every
+    = 0], an {!Client.observe} carrying the analytic true selectivity
+    when [i mod observe_every = 1], and an {!Client.estimate} otherwise
+    (defaults: every 4th arrival inserts, every 4th observes, half
+    estimate).  Every payload is a function of [seed] and the arrival
+    index alone, so runs are reproducible and the report's
+    [d_mean_abs_err] can be compared across server configurations —
+    the adaptive-on vs adaptive-off comparison is automated in
+    [bench/main.ml] ([--drift]) and walked through in
+    [docs/ADAPTIVITY.md].
+    @raise Invalid_argument if [rate <= 0.], [duration_s <= 0.],
+    [max_clients < 1], [insert_every < 2], [insert_batch < 1],
+    [observe_every < 2], or [window] outside [(0, 1]]. *)
+
+val drift_report_to_string : drift_report -> string
+(** {!open_report_to_string} plus per-op counts and the accuracy-vs-
+    truth line. *)

@@ -1,4 +1,4 @@
-(* The selest wire protocol, version 1.
+(* The selest wire protocol, version 2.
 
    Frame = 4-byte big-endian payload length, then the payload.
    Payload = version byte, opcode byte, opcode-specific body.  All
@@ -6,6 +6,11 @@
    their IEEE-754 representation, so selectivities survive the wire
    bit-for-bit.  Strings carry a 16-bit length prefix; arrays a 32-bit
    count.
+
+   Version 2 adds the adaptivity pair: [Insert] (0x06) streams fresh
+   attribute values into an entry's reservoir, [Observe] (0x07) feeds
+   back an executed query's true selectivity.  Everything carried over
+   from version 1 is byte-identical except the version byte itself.
 
    Decoding is total: every malformed input — wrong version, unknown
    opcode, truncated body, trailing bytes, oversized counts — comes back
@@ -21,7 +26,7 @@ let sockaddr_of_address = function
   | Unix_socket path -> Unix.ADDR_UNIX path
   | Tcp { host; port } -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
 
-let version = 1
+let version = 2
 let max_frame_bytes = 1 lsl 24
 
 type request =
@@ -30,6 +35,8 @@ type request =
   | Estimate of { entry : string; a : float; b : float; spec : string }
   | Batch_estimate of (string * float * float) array
   | Invalidate of string
+  | Insert of { entry : string; values : float array }
+  | Observe of { entry : string; a : float; b : float; actual : float }
 
 type error_code =
   | Bad_request
@@ -63,6 +70,8 @@ type response =
   | Estimate_reply of float
   | Batch_reply of float array
   | Invalidated
+  | Inserted of { sampled : int; seen : int }
+  | Observed of float
   | Error_reply of { code : error_code; message : string }
 
 (* ---------------- encoding ---------------- *)
@@ -127,6 +136,17 @@ let encode_request_into buf req =
   | Invalidate name ->
     add_u8 buf 0x05;
     add_string16 buf name
+  | Insert { entry; values } ->
+    add_u8 buf 0x06;
+    add_string16 buf entry;
+    add_u32 buf (Array.length values);
+    Array.iter (add_f64 buf) values
+  | Observe { entry; a; b; actual } ->
+    add_u8 buf 0x07;
+    add_string16 buf entry;
+    add_f64 buf a;
+    add_f64 buf b;
+    add_f64 buf actual
 
 let encode_response_into buf resp =
   add_u8 buf version;
@@ -152,6 +172,13 @@ let encode_response_into buf resp =
     add_u32 buf (Array.length vs);
     Array.iter (add_f64 buf) vs
   | Invalidated -> add_u8 buf 0x85
+  | Inserted { sampled; seen } ->
+    add_u8 buf 0x86;
+    add_u32 buf sampled;
+    add_u32 buf seen
+  | Observed v ->
+    add_u8 buf 0x87;
+    add_f64 buf v
   | Error_reply { code; message } ->
     add_u8 buf 0x8f;
     add_u8 buf (code_of_error code);
@@ -169,20 +196,24 @@ let encode_response resp =
 
 (* ---------------- decoding ---------------- *)
 
-(* A cursor over the payload.  Readers raise [Malformed] internally; the
-   public decoders catch it, which keeps the total-decode contract in one
-   place. *)
+(* A cursor over the payload bytes.  Readers raise [Malformed]
+   internally; the public decoders catch it, which keeps the total-decode
+   contract in one place.  The cursor works on [bytes] rather than
+   [string] so it can decode straight out of a connection's reusable
+   [reader] buffer (below) without first copying the payload into a
+   fresh string; string payloads wrap through [Bytes.unsafe_of_string],
+   which is safe here because the cursor only reads. *)
 exception Malformed of string
 
-type cursor = { data : string; mutable pos : int }
+type cursor = { data : Bytes.t; mutable pos : int; limit : int }
 
 let need cur n what =
-  if cur.pos + n > String.length cur.data then
+  if cur.pos + n > cur.limit then
     raise (Malformed (Printf.sprintf "truncated %s at byte %d" what cur.pos))
 
 let get_u8 cur what =
   need cur 1 what;
-  let v = Char.code cur.data.[cur.pos] in
+  let v = Char.code (Bytes.get cur.data cur.pos) in
   cur.pos <- cur.pos + 1;
   v
 
@@ -198,18 +229,40 @@ let get_u32 cur what =
 
 let get_f64 cur what =
   need cur 8 what;
-  let bits = ref 0L in
-  for _ = 1 to 8 do
-    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (get_u8 cur what))
-  done;
-  Int64.float_of_bits !bits
+  let v = Int64.float_of_bits (Bytes.get_int64_be cur.data cur.pos) in
+  cur.pos <- cur.pos + 8;
+  v
 
 let get_string16 cur what =
   let len = get_u16 cur what in
   need cur len what;
-  let s = String.sub cur.data cur.pos len in
+  let s = Bytes.sub_string cur.data cur.pos len in
   cur.pos <- cur.pos + len;
   s
+
+(* Like [get_string16], but when the field's bytes equal [prev], return
+   [prev] itself instead of a fresh copy — so a connection decoding the
+   same entry name frame after frame allocates it once.  The comparison
+   is byte-for-byte; a miss costs one extra scan over at most 64 KiB. *)
+(* Top level (not a local loop) so the repeat-frame path stays
+   allocation-free: a local [ref] counter or [let rec] closure would
+   cost two minor words per string field, which is exactly the kind of
+   leak the micro gate's wire.decode row exists to catch. *)
+let rec bytes_eq_string data pos s i len =
+  i = len
+  || (Bytes.unsafe_get data (pos + i) = String.unsafe_get s i
+     && bytes_eq_string data pos s (i + 1) len)
+
+let intern_string data pos len prev =
+  if String.length prev = len && bytes_eq_string data pos prev 0 len then prev
+  else Bytes.sub_string data pos len
+
+let get_string16_interned cur prev what =
+  let len = get_u16 cur what in
+  need cur len what;
+  let pos = cur.pos in
+  cur.pos <- pos + len;
+  intern_string cur.data pos len prev
 
 (* Counts are bounded by what could physically fit in a maximal frame, so
    a corrupt length cannot make the decoder allocate gigabytes. *)
@@ -235,38 +288,161 @@ let error_of_code = function
   | 6 -> Internal
   | c -> raise (Malformed (Printf.sprintf "unknown error code %d" c))
 
+let check_version cur =
+  let v = get_u8 cur "version byte" in
+  if v <> version then
+    raise (Malformed (Printf.sprintf "unsupported protocol version %d (want %d)" v version))
+
+let check_consumed kind cur =
+  if cur.pos <> cur.limit then
+    raise
+      (Malformed (Printf.sprintf "%d trailing bytes after %s" (cur.limit - cur.pos) kind))
+
 let decode kind payload parse_op =
-  let cur = { data = payload; pos = 0 } in
+  let cur = { data = Bytes.unsafe_of_string payload; pos = 0; limit = String.length payload } in
   match
-    let v = get_u8 cur "version byte" in
-    if v <> version then
-      raise (Malformed (Printf.sprintf "unsupported protocol version %d (want %d)" v version));
+    check_version cur;
     let op = get_u8 cur "opcode" in
     let msg = parse_op cur op in
-    if cur.pos <> String.length payload then
-      raise
-        (Malformed
-           (Printf.sprintf "%d trailing bytes after %s" (String.length payload - cur.pos) kind));
+    check_consumed kind cur;
     msg
   with
   | msg -> Ok msg
   | exception Malformed why -> Error why
 
-let decode_request payload =
-  decode "request" payload (fun cur -> function
-    | 0x01 -> Ping
-    | 0x02 -> Ls
-    | 0x03 ->
-      let entry = get_string16 cur "entry name" in
-      let a = get_f64 cur "bound a" in
-      let b = get_f64 cur "bound b" in
-      let spec = get_string16 cur "spec" in
-      Estimate { entry; a; b; spec }
-    | 0x04 ->
-      let n = get_count cur ~item_bytes:18 "batch" in
-      Batch_estimate (Array.init n (fun _ -> get_triple cur))
-    | 0x05 -> Invalidate (get_string16 cur "entry name")
-    | op -> raise (Malformed (Printf.sprintf "unknown request opcode 0x%02x" op)))
+let parse_request_op cur = function
+  | 0x01 -> Ping
+  | 0x02 -> Ls
+  | 0x03 ->
+    let entry = get_string16 cur "entry name" in
+    let a = get_f64 cur "bound a" in
+    let b = get_f64 cur "bound b" in
+    let spec = get_string16 cur "spec" in
+    Estimate { entry; a; b; spec }
+  | 0x04 ->
+    let n = get_count cur ~item_bytes:18 "batch" in
+    Batch_estimate (Array.init n (fun _ -> get_triple cur))
+  | 0x05 -> Invalidate (get_string16 cur "entry name")
+  | 0x06 ->
+    let entry = get_string16 cur "entry name" in
+    let n = get_count cur ~item_bytes:8 "insert" in
+    Insert { entry; values = Array.init n (fun _ -> get_f64 cur "insert value") }
+  | 0x07 ->
+    let entry = get_string16 cur "entry name" in
+    let a = get_f64 cur "bound a" in
+    let b = get_f64 cur "bound b" in
+    let actual = get_f64 cur "observed selectivity" in
+    Observe { entry; a; b; actual }
+  | op -> raise (Malformed (Printf.sprintf "unknown request opcode 0x%02x" op))
+
+let decode_request payload = decode "request" payload parse_request_op
+
+(* ---- the reusable-scratch decode (the served read fast path) ----
+
+   [decode_request_scratch] is [decode_request] restructured so that the
+   hot opcode — a single Estimate — deposits its fields into a
+   caller-owned scratch record instead of building a fresh request value.
+   The float fields live in an all-float sub-record (unboxed by the
+   runtime's float-record representation), the strings are interned
+   against the previous frame's, and the result on the hot path is a
+   preallocated constant — so a connection asking single estimates for
+   the same entry decodes with zero allocation.  Every other opcode
+   falls back to the allocating parser above, bit-for-bit. *)
+
+type qnums = { mutable sa : float; mutable sb : float }
+
+type scratch = {
+  mutable s_entry : string;
+  mutable s_spec : string;
+  s_q : qnums;
+}
+
+let create_scratch () = { s_entry = ""; s_spec = ""; s_q = { sa = 0.0; sb = 0.0 } }
+
+type incoming = Fast_estimate | Decoded of request
+
+let ok_fast_estimate : (incoming, string) result = Ok Fast_estimate
+
+(* [Bytes.get_int64_be] is an ordinary stdlib function, so without
+   cross-module inlining each call returns a {e boxed} int64 — 2 minor
+   words per bound, the last allocation left on the read path.  Reading
+   through the compiler primitives instead keeps the whole
+   load-swap-reinterpret chain unboxed (the bounds are range-checked by
+   [need] first, so the unsafe load is safe). *)
+external get_64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external swap_64 : int64 -> int64 = "%bswap_int64"
+
+(* Any frame the fast path below declines: every other opcode, and every
+   malformed single-estimate frame (so the error messages stay
+   bit-identical to [decode_request]'s).  Allocating the cursor record
+   here is fine — this path builds request values anyway. *)
+let decode_request_scratch_slow data ~len scratch =
+  let cur = { data; pos = 0; limit = len } in
+  match
+    check_version cur;
+    get_u8 cur "opcode"
+  with
+  | exception Malformed why -> Error why
+  | 0x03 -> (
+    match
+      scratch.s_entry <- get_string16_interned cur scratch.s_entry "entry name";
+      need cur 16 "bounds";
+      let bits_a = get_64u cur.data cur.pos in
+      scratch.s_q.sa <-
+        Int64.float_of_bits (if Sys.big_endian then bits_a else swap_64 bits_a);
+      let bits_b = get_64u cur.data (cur.pos + 8) in
+      scratch.s_q.sb <-
+        Int64.float_of_bits (if Sys.big_endian then bits_b else swap_64 bits_b);
+      cur.pos <- cur.pos + 16;
+      scratch.s_spec <- get_string16_interned cur scratch.s_spec "spec";
+      check_consumed "request" cur
+    with
+    | () -> ok_fast_estimate
+    | exception Malformed why -> Error why)
+  | op -> (
+    match
+      let msg = parse_request_op cur op in
+      check_consumed "request" cur;
+      msg
+    with
+    | msg -> Ok (Decoded msg)
+    | exception Malformed why -> Error why)
+
+(* The hot path parses a well-formed single estimate with raw offsets —
+   even the 4-word cursor record would show up in the micro gate's
+   wire.decode row.  Every length is validated before the scratch is
+   touched; anything that doesn't check out falls back to the slow path
+   above, whose accept/reject behaviour is the reference. *)
+let decode_request_scratch data ~len scratch =
+  if
+    len >= 4
+    && Bytes.unsafe_get data 0 = '\x02'
+    && Bytes.unsafe_get data 1 = '\x03'
+  then begin
+    let elen =
+      (Char.code (Bytes.unsafe_get data 2) lsl 8) lor Char.code (Bytes.unsafe_get data 3)
+    in
+    if len >= 22 + elen then begin
+      let slen =
+        (Char.code (Bytes.unsafe_get data (20 + elen)) lsl 8)
+        lor Char.code (Bytes.unsafe_get data (21 + elen))
+      in
+      if len = 22 + elen + slen then begin
+        scratch.s_entry <- intern_string data 4 elen scratch.s_entry;
+        let bits_a = get_64u data (4 + elen) in
+        scratch.s_q.sa <-
+          Int64.float_of_bits (if Sys.big_endian then bits_a else swap_64 bits_a);
+        let bits_b = get_64u data (12 + elen) in
+        scratch.s_q.sb <-
+          Int64.float_of_bits (if Sys.big_endian then bits_b else swap_64 bits_b);
+        scratch.s_spec <- intern_string data (22 + elen) slen scratch.s_spec;
+        ok_fast_estimate
+      end
+      else decode_request_scratch_slow data ~len scratch
+    end
+    else decode_request_scratch_slow data ~len scratch
+  end
+  else decode_request_scratch_slow data ~len scratch
 
 let decode_response payload =
   decode "response" payload (fun cur -> function
@@ -292,6 +468,11 @@ let decode_response payload =
       let n = get_count cur ~item_bytes:8 "batch reply" in
       Batch_reply (Array.init n (fun _ -> get_f64 cur "batch reply value"))
     | 0x85 -> Invalidated
+    | 0x86 ->
+      let sampled = get_u32 cur "inserted sampled count" in
+      let seen = get_u32 cur "inserted seen count" in
+      Inserted { sampled; seen }
+    | 0x87 -> Observed (get_f64 cur "observed reply")
     | 0x8f ->
       let code = error_of_code (get_u8 cur "error code") in
       let message = get_string16 cur "error message" in
@@ -403,6 +584,72 @@ let read_frame fd =
       | `Eof _ -> Error "connection closed inside a frame body"
       | `Ok payload -> Ok (Some payload))
 
+(* A per-connection frame reader, the read-side twin of [writer]: a
+   fixed 4-byte header buffer and a payload buffer reused (and grown
+   geometrically, never shrunk) across frames.  [read_frame_into]
+   signals through an integer instead of a result value so the
+   steady-state read loop allocates nothing at all; the error message of
+   a [-2] return waits in [reader_error]. *)
+type reader = {
+  r_head : Bytes.t;
+  mutable r_buf : Bytes.t;
+  mutable r_error : string;
+}
+
+let create_reader () =
+  { r_head = Bytes.create 4; r_buf = Bytes.create 256; r_error = "" }
+
+let reader_buffer r = r.r_buf
+let reader_error r = r.r_error
+
+(* Reads exactly [n] bytes into [buf]; returns how many arrived (short
+   only when the peer closed mid-read). *)
+let really_read_into fd buf n =
+  let off = ref 0 in
+  let eof = ref false in
+  while !off < n && not !eof do
+    match Unix.read fd buf !off (n - !off) with
+    | 0 -> eof := true
+    | k -> off := !off + k
+  done;
+  !off
+
+let read_frame_into r fd =
+  match really_read_into fd r.r_head 4 with
+  | 0 -> -1
+  | k when k < 4 ->
+    r.r_error <- "connection closed inside a frame header";
+    -2
+  | _ ->
+    let len =
+      (Char.code (Bytes.unsafe_get r.r_head 0) lsl 24)
+      lor (Char.code (Bytes.unsafe_get r.r_head 1) lsl 16)
+      lor (Char.code (Bytes.unsafe_get r.r_head 2) lsl 8)
+      lor Char.code (Bytes.unsafe_get r.r_head 3)
+    in
+    if len > max_frame_bytes then begin
+      r.r_error <- Printf.sprintf "frame of %d bytes exceeds limit" len;
+      -2
+    end
+    else if len < 2 then begin
+      r.r_error <- Printf.sprintf "frame of %d bytes is below the 2-byte header" len;
+      -2
+    end
+    else begin
+      if Bytes.length r.r_buf < len then begin
+        let cap = ref (2 * Bytes.length r.r_buf) in
+        while !cap < len do
+          cap := 2 * !cap
+        done;
+        r.r_buf <- Bytes.create !cap
+      end;
+      if really_read_into fd r.r_buf len < len then begin
+        r.r_error <- "connection closed inside a frame body";
+        -2
+      end
+      else len
+    end
+
 (* ---------------- equality and printing ---------------- *)
 
 let float_eq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
@@ -418,7 +665,15 @@ let equal_request r1 r2 =
   | Batch_estimate t1, Batch_estimate t2 ->
     Array.length t1 = Array.length t2 && Array.for_all2 triple_eq t1 t2
   | Invalidate n1, Invalidate n2 -> String.equal n1 n2
-  | (Ping | Ls | Estimate _ | Batch_estimate _ | Invalidate _), _ -> false
+  | Insert i1, Insert i2 ->
+    String.equal i1.entry i2.entry
+    && Array.length i1.values = Array.length i2.values
+    && Array.for_all2 float_eq i1.values i2.values
+  | Observe o1, Observe o2 ->
+    String.equal o1.entry o2.entry && float_eq o1.a o2.a && float_eq o1.b o2.b
+    && float_eq o1.actual o2.actual
+  | (Ping | Ls | Estimate _ | Batch_estimate _ | Invalidate _ | Insert _ | Observe _), _ ->
+    false
 
 let entry_info_eq e1 e2 =
   String.equal e1.name e2.name && String.equal e1.spec e2.spec && e1.cells = e2.cells
@@ -433,8 +688,12 @@ let equal_response r1 r2 =
   | Estimate_reply v1, Estimate_reply v2 -> float_eq v1 v2
   | Batch_reply v1, Batch_reply v2 ->
     Array.length v1 = Array.length v2 && Array.for_all2 float_eq v1 v2
+  | Inserted i1, Inserted i2 -> i1.sampled = i2.sampled && i1.seen = i2.seen
+  | Observed v1, Observed v2 -> float_eq v1 v2
   | Error_reply e1, Error_reply e2 -> e1.code = e2.code && String.equal e1.message e2.message
-  | (Pong | Ls_reply _ | Estimate_reply _ | Batch_reply _ | Invalidated | Error_reply _), _ ->
+  | ( ( Pong | Ls_reply _ | Estimate_reply _ | Batch_reply _ | Invalidated | Inserted _
+      | Observed _ | Error_reply _ ),
+      _ ) ->
     false
 
 let request_to_string = function
@@ -444,6 +703,9 @@ let request_to_string = function
     Printf.sprintf "estimate %S [%h, %h] spec=%S" entry a b spec
   | Batch_estimate triples -> Printf.sprintf "batch_estimate(%d)" (Array.length triples)
   | Invalidate name -> Printf.sprintf "invalidate %S" name
+  | Insert { entry; values } -> Printf.sprintf "insert %S (%d values)" entry (Array.length values)
+  | Observe { entry; a; b; actual } ->
+    Printf.sprintf "observe %S [%h, %h] actual=%h" entry a b actual
 
 let response_to_string = function
   | Pong -> "pong"
@@ -451,5 +713,7 @@ let response_to_string = function
   | Estimate_reply v -> Printf.sprintf "estimate_reply %h" v
   | Batch_reply vs -> Printf.sprintf "batch_reply(%d)" (Array.length vs)
   | Invalidated -> "invalidated"
+  | Inserted { sampled; seen } -> Printf.sprintf "inserted sampled=%d seen=%d" sampled seen
+  | Observed v -> Printf.sprintf "observed %h" v
   | Error_reply { code; message } ->
     Printf.sprintf "error %s: %s" (error_code_to_string code) message

@@ -27,8 +27,11 @@ val sockaddr_of_address : address -> Unix.sockaddr
     @raise Failure on a [Tcp] host that is not a literal IP address. *)
 
 val version : int
-(** Protocol version spoken by this build ([1]); both decoders reject
-    payloads carrying any other version byte. *)
+(** Protocol version spoken by this build ([2]); both decoders reject
+    payloads carrying any other version byte.  Version 2 added the
+    adaptivity pair {!request.Insert}/{!request.Observe} (and their
+    replies); every frame carried over from version 1 is byte-identical
+    except the version byte itself. *)
 
 val max_frame_bytes : int
 (** Upper bound on a frame payload (16 MiB).  {!write_frame} refuses
@@ -45,6 +48,15 @@ type request =
   | Batch_estimate of (string * float * float) array
       (** many [(entry, a, b)] queries answered in one frame, in order *)
   | Invalidate of string  (** force-stale an entry, as [Service.invalidate] *)
+  | Insert of { entry : string; values : float array }
+      (** stream freshly inserted attribute values of the entry's
+          relation into its reservoir sample and staleness budget
+          (adaptive servers only; see [docs/ADAPTIVITY.md]).  {e Not}
+          idempotent: a retried insert offers its values again. *)
+  | Observe of { entry : string; a : float; b : float; actual : float }
+      (** feed back the true selectivity [actual] of an executed query
+          [Q(a,b)], refining the entry's ST-histogram (adaptive servers
+          only) *)
 
 type error_code =
   | Bad_request  (** malformed frame or unparseable payload *)
@@ -75,6 +87,13 @@ type response =
   | Estimate_reply of float  (** the selectivity, bit-identical to a direct call *)
   | Batch_reply of float array  (** per-query selectivities in request order *)
   | Invalidated  (** acknowledgement of {!request.Invalidate} *)
+  | Inserted of { sampled : int; seen : int }
+      (** acknowledgement of {!request.Insert}: current reservoir
+          occupancy and lifetime offered count for the entry *)
+  | Observed of float
+      (** acknowledgement of {!request.Observe}: the refined in-memory
+          estimate for the observed range, which converges toward the
+          fed-back values over repeated observations *)
   | Error_reply of { code : error_code; message : string }
       (** typed failure; [message] is human-readable detail *)
 
@@ -136,8 +155,69 @@ val write_frame : Unix.file_descr -> string -> unit
 val read_frame : Unix.file_descr -> (string option, string) result
 (** Read one frame: [Ok (Some payload)], or [Ok None] on a clean EOF at a
     frame boundary, or [Error] on a truncated or oversized frame.
+    Allocates a fresh payload string per frame — fine for clients; the
+    serving engine reads through a {!reader} instead.
     @raise Unix.Unix_error on I/O failure, including [EAGAIN] when the
     descriptor carries a receive timeout that expires. *)
+
+type reader
+(** A per-connection frame reader, the read-side twin of {!writer}: a
+    fixed header buffer and a payload buffer reused (and grown
+    geometrically, never shrunk) across frames, so steady-state reads
+    allocate nothing.  Single-owner, like the connection it serves. *)
+
+val create_reader : unit -> reader
+(** A fresh reader with a small initial payload buffer. *)
+
+val read_frame_into : reader -> Unix.file_descr -> int
+(** Read one frame into the reader's buffers.  Returns the payload
+    length (>= 0) with the payload in {!reader_buffer}; [-1] on a clean
+    EOF at a frame boundary; [-2] on a truncated or oversized frame,
+    with the message in {!reader_error}.  The integer signalling (rather
+    than a result value) is what keeps the steady-state read loop
+    allocation-free.  Wire-equivalent to {!read_frame}.
+    @raise Unix.Unix_error on I/O failure, as {!read_frame}. *)
+
+val reader_buffer : reader -> Bytes.t
+(** The payload buffer; only the first [len] bytes of the last
+    successful {!read_frame_into} are meaningful, and the next call
+    overwrites them.  Pass it straight to {!decode_request_scratch}. *)
+
+val reader_error : reader -> string
+(** The framing-error message of the last [-2] return. *)
+
+type qnums = { mutable sa : float; mutable sb : float }
+(** The scratch record's range bounds, split into an all-float record so
+    the runtime stores them unboxed and redecoding touches no
+    allocator. *)
+
+type scratch = {
+  mutable s_entry : string;  (** entry name of the last fast estimate *)
+  mutable s_spec : string;  (** spec pin of the last fast estimate *)
+  s_q : qnums;  (** range bounds of the last fast estimate *)
+}
+(** A reusable decoded-request record for the hot opcode (single
+    estimate).  String fields are interned against the previous frame —
+    a connection querying the same entry repeatedly decodes with zero
+    allocation. *)
+
+val create_scratch : unit -> scratch
+(** A fresh scratch with empty strings (so the first frame always
+    allocates its field values once). *)
+
+type incoming =
+  | Fast_estimate
+      (** the frame was a single estimate; its fields are in the scratch *)
+  | Decoded of request  (** any other opcode, parsed as {!decode_request} *)
+
+val decode_request_scratch :
+  Bytes.t -> len:int -> scratch -> (incoming, string) result
+(** [decode_request_scratch buf ~len scratch] decodes the request in
+    [buf.[0..len-1]] — {!decode_request} restructured so the hot opcode
+    deposits into [scratch] (returning a preallocated [Ok Fast_estimate])
+    instead of building a request value.  Identical accept/reject
+    behaviour and field values to {!decode_request} on every input.
+    Never raises. *)
 
 val equal_request : request -> request -> bool
 (** Structural equality with floats compared by their IEEE-754 bits, so

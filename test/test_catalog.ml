@@ -303,6 +303,97 @@ let test_cache_pressure () =
   check Alcotest.bool "reloaded summary bit-identical" true
     (v = Service.answer svc2 [| ("users/age", 0.0, 30.5) |])
 
+(* ---------------- adaptive maintenance ---------------- *)
+
+let adaptive_probes =
+  [|
+    ("orders/amount", 3.0, 40.0);
+    ("orders/amount", -0.5, 96.5);
+    ("orders/amount", 50.0, 60.0);
+    ("orders/amount", 0.0, 1.0);
+  |]
+
+let bits a = Array.map Int64.bits_of_float a
+
+let adaptive_fixture () =
+  let dir = fresh_dir () in
+  let svc, _ =
+    Service.open_dir
+      ~config:{ Service.default_config with Service.rebuild_after_inserts = 50 }
+      dir
+  in
+  ignore
+    (or_fail
+       (Service.build svc ~name:"orders/amount" ~spec:"ewh:16" ~domain:domain_a
+          ~sample:sample_a));
+  Service.enable_adaptive svc;
+  (dir, svc)
+
+(* The swap contract: between the staleness trip and the reap, every
+   read serves the old summary bit-for-bit (never a torn or partially
+   rebuilt one); after the reap, the swapped summary is also what a
+   reopen loads — cache, metadata and snapshot moved together. *)
+let test_adaptive_swap_never_tears () =
+  let dir, svc = adaptive_fixture () in
+  let before = bits (Service.answer svc adaptive_probes) in
+  ignore (or_fail (Service.insert svc ~name:"orders/amount" sample_b));
+  check Alcotest.bool "insert past the budget marks stale" true
+    (Option.get (Service.info svc "orders/amount")).Service.stale;
+  check (Alcotest.array Alcotest.int64) "stale reads serve the old bits" before
+    (bits (Service.answer svc adaptive_probes));
+  check Alcotest.int "launch tick swaps nothing yet" 0 (Service.adaptive_tick svc);
+  (* A rebuild worker is live right now; reads still see the old bits. *)
+  check (Alcotest.array Alcotest.int64) "mid-rebuild reads serve the old bits" before
+    (bits (Service.answer svc adaptive_probes));
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let swaps = ref 0 in
+  while !swaps = 0 && Unix.gettimeofday () < deadline do
+    swaps := Service.adaptive_tick svc;
+    if !swaps = 0 then Thread.delay 0.005
+  done;
+  check Alcotest.bool "background rebuild swapped in" true (!swaps > 0);
+  let i = Option.get (Service.info svc "orders/amount") in
+  check Alcotest.bool "swap clears staleness" false i.Service.stale;
+  check Alcotest.int "swap resets the insert count" 0 i.Service.inserts;
+  let after = bits (Service.answer svc adaptive_probes) in
+  let svc2, skipped = Service.open_dir dir in
+  check Alcotest.int "swap persisted without snapshot damage" 0 (List.length skipped);
+  check (Alcotest.array Alcotest.int64) "reopen serves the swapped bits" after
+    (bits (Service.answer svc2 adaptive_probes))
+
+(* Kill-during-rebuild: drop the service with a rebuild worker in flight
+   (no drain — a crash).  The worker only ever touches its private
+   sample copy, so the snapshot directory must reopen undamaged, serving
+   the old summary bit-for-bit, with the persisted stale flag still set
+   so the rebuild re-runs. *)
+let test_adaptive_kill_during_rebuild_recovers () =
+  let dir, svc = adaptive_fixture () in
+  let before = bits (Service.answer svc adaptive_probes) in
+  ignore (or_fail (Service.insert svc ~name:"orders/amount" sample_b));
+  ignore (Service.adaptive_tick svc);
+  (* Crash here: [svc] is abandoned, its worker never reaped. *)
+  let svc2, skipped = Service.open_dir dir in
+  check Alcotest.int "no corruption after the kill" 0 (List.length skipped);
+  check (Alcotest.array Alcotest.int64) "old summary intact" before
+    (bits (Service.answer svc2 adaptive_probes));
+  check Alcotest.bool "staleness survived the kill" true
+    (Option.get (Service.info svc2 "orders/amount")).Service.stale
+
+(* Orderly shutdown is the opposite contract: adaptive_drain reaps the
+   in-flight rebuild instead of discarding it, so the swap lands and
+   persists. *)
+let test_adaptive_drain_reaps_pending () =
+  let dir, svc = adaptive_fixture () in
+  ignore (or_fail (Service.insert svc ~name:"orders/amount" sample_b));
+  ignore (Service.adaptive_tick svc);
+  Service.adaptive_drain svc;
+  let i = Option.get (Service.info svc "orders/amount") in
+  check Alcotest.bool "drain reaped the rebuild" false i.Service.stale;
+  let after = bits (Service.answer svc adaptive_probes) in
+  let svc2, _ = Service.open_dir dir in
+  check (Alcotest.array Alcotest.int64) "drained swap persisted" after
+    (bits (Service.answer svc2 adaptive_probes))
+
 let test_build_errors () =
   let dir = fresh_dir () in
   let svc, _ = Service.open_dir dir in
@@ -485,6 +576,15 @@ let () =
           Alcotest.test_case "cache pressure: hits, misses, evictions" `Quick
             test_cache_pressure;
           Alcotest.test_case "build errors are Errors" `Quick test_build_errors;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "rebuild swap is atomic, reads never torn" `Quick
+            test_adaptive_swap_never_tears;
+          Alcotest.test_case "kill during rebuild recovers intact" `Quick
+            test_adaptive_kill_during_rebuild_recovers;
+          Alcotest.test_case "drain reaps the in-flight rebuild" `Quick
+            test_adaptive_drain_reaps_pending;
         ] );
       ( "shards",
         [

@@ -87,6 +87,67 @@ let test_estimated_count_scaling () =
   Alcotest.(check bool) "low nonneg" true (low >= 0.0);
   Alcotest.(check bool) "high bounded" true (high <= 1e6)
 
+(* --- reservoir --- *)
+
+module R = Online.Reservoir
+
+let test_reservoir_validation () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Reservoir.create: capacity must be positive")
+    (fun () -> ignore (R.create ~capacity:0 ()))
+
+let test_reservoir_accounting () =
+  let r = R.create ~capacity:8 () in
+  R.add_array r (batch 11L 5 0.0 100.0);
+  Alcotest.(check int) "below capacity retains all" 5 (R.size r);
+  Alcotest.(check int) "seen counts offered" 5 (R.seen r);
+  R.add_array r (batch 12L 100 0.0 100.0);
+  Alcotest.(check int) "capped at capacity" 8 (R.size r);
+  Alcotest.(check int) "seen keeps counting" 105 (R.seen r);
+  Alcotest.(check int) "capacity preserved" 8 (R.capacity r)
+
+let test_reservoir_deterministic_and_batch_independent () =
+  (* The retained sample is a pure function of (seed, offered stream):
+     same seed + same values = identical sample, regardless of how the
+     stream is chopped into add/add_array calls.  This is what makes an
+     adaptive server's resample rebuilds reproducible from its insert
+     log. *)
+  let stream = batch 13L 500 0.0 100.0 in
+  let one = R.create ~seed:42L ~capacity:32 () in
+  R.add_array one stream;
+  let whole = R.sample one in
+  let chopped = R.create ~seed:42L ~capacity:32 () in
+  Array.iteri
+    (fun i v ->
+      if i mod 3 = 0 then R.add chopped v
+      else if i mod 17 = 1 then R.add_array chopped [| v |]
+      else R.add chopped v)
+    stream;
+  Alcotest.(check (array (float 0.0))) "batch boundaries don't matter" whole (R.sample chopped);
+  let again = R.create ~seed:42L ~capacity:32 () in
+  R.add_array again stream;
+  Alcotest.(check (array (float 0.0))) "same seed reproduces exactly" whole (R.sample again);
+  let other = R.create ~seed:43L ~capacity:32 () in
+  R.add_array other stream;
+  Alcotest.(check bool) "different seed retains a different sample" true
+    (R.sample other <> whole)
+
+let test_reservoir_uniformity () =
+  (* Values from the late half of the stream must be retained at roughly
+     the same rate as the early half — the defining property of
+     Algorithm R (a recency-biased buffer would fail this hard). *)
+  let r = R.create ~seed:7L ~capacity:200 () in
+  let n = 10_000 in
+  (* Value i is simply [float i], so retained values identify their
+     arrival position. *)
+  for i = 0 to n - 1 do
+    R.add r (float_of_int i)
+  done;
+  let late = Array.fold_left (fun acc v -> if v >= 5000.0 then acc + 1 else acc) 0 (R.sample r) in
+  Alcotest.(check bool)
+    (Printf.sprintf "late-half share %d/200 within [60,140]" late)
+    true
+    (late >= 60 && late <= 140)
+
 (* --- Data.Io --- *)
 
 let temp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
@@ -148,6 +209,15 @@ let () =
           Alcotest.test_case "refit per batch" `Quick test_refit_happens_per_batch;
           Alcotest.test_case "degenerate start" `Quick test_single_sample_degenerate_start;
           Alcotest.test_case "count scaling" `Quick test_estimated_count_scaling;
+        ] );
+      ( "reservoir",
+        [
+          Alcotest.test_case "create validation" `Quick test_reservoir_validation;
+          Alcotest.test_case "size/seen/capacity accounting" `Quick test_reservoir_accounting;
+          Alcotest.test_case "deterministic, batch-boundary independent" `Quick
+            test_reservoir_deterministic_and_batch_independent;
+          Alcotest.test_case "retention is uniform over the stream" `Quick
+            test_reservoir_uniformity;
         ] );
       ( "data io",
         [

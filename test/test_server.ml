@@ -84,6 +84,15 @@ let gen_request =
         list_size (int_bound 16) (triple gen_str gen_float gen_float) >>= fun l ->
         return (Wire.Batch_estimate (Array.of_list l)) );
       (1, gen_str >>= fun s -> return (Wire.Invalidate s));
+      ( 2,
+        gen_str >>= fun entry ->
+        list_size (int_bound 16) gen_float >>= fun l ->
+        return (Wire.Insert { entry; values = Array.of_list l }) );
+      ( 2,
+        gen_str >>= fun entry ->
+        gen_float >>= fun a ->
+        gen_float >>= fun b ->
+        gen_float >>= fun actual -> return (Wire.Observe { entry; a; b; actual }) );
     ]
 
 let gen_entry_info =
@@ -113,6 +122,10 @@ let gen_response =
         list_size (int_bound 16) gen_float >>= fun l ->
         return (Wire.Batch_reply (Array.of_list l)) );
       (1, return Wire.Invalidated);
+      ( 2,
+        int_bound 100000 >>= fun sampled ->
+        int_bound 1000000 >>= fun seen -> return (Wire.Inserted { sampled; seen }) );
+      (2, gen_float >>= fun x -> return (Wire.Observed x));
       ( 2,
         gen_error_code >>= fun code ->
         gen_str >>= fun message -> return (Wire.Error_reply { code; message }) );
@@ -156,6 +169,53 @@ let qcheck_truncation_is_error =
       done;
       !ok)
 
+(* The serving engine reads through [decode_request_scratch]; its
+   contract is bit-for-bit agreement with [decode_request] on every
+   input — same accept/reject decision, same field values, same error
+   message. *)
+let scratch_agrees payload =
+  let sc = Wire.create_scratch () in
+  let buf = Bytes.of_string payload in
+  match (Wire.decode_request payload, Wire.decode_request_scratch buf ~len:(Bytes.length buf) sc) with
+  | Ok (Wire.Estimate { entry; a; b; spec }), Ok Wire.Fast_estimate ->
+    String.equal sc.Wire.s_entry entry
+    && String.equal sc.Wire.s_spec spec
+    && Int64.bits_of_float sc.Wire.s_q.Wire.sa = Int64.bits_of_float a
+    && Int64.bits_of_float sc.Wire.s_q.Wire.sb = Int64.bits_of_float b
+  | Ok (Wire.Estimate _), _ -> false
+  | Ok req, Ok (Wire.Decoded req') -> Wire.equal_request req req'
+  | Error m, Error m' -> String.equal m m'
+  | _ -> false
+
+let qcheck_scratch_decode_agrees =
+  QCheck.Test.make ~count:500 ~name:"scratch decode agrees with decode_request"
+    request_arb (fun req -> scratch_agrees (Wire.encode_request req))
+
+let qcheck_scratch_decode_agrees_on_noise =
+  QCheck.Test.make ~count:1000 ~name:"scratch decode agrees on arbitrary bytes"
+    QCheck.(string_gen QCheck.Gen.char)
+    scratch_agrees
+
+let test_scratch_interning () =
+  (* Re-decoding a frame for the same entry must reuse the previous
+     string values physically — that reuse is what makes the steady-state
+     read path allocation-free (the micro gate's wire.decode row). *)
+  let payload =
+    Wire.encode_request (Wire.Estimate { entry = "orders/amount"; a = 1.0; b = 2.0; spec = "ewh:16" })
+  in
+  let buf = Bytes.of_string payload in
+  let len = Bytes.length buf in
+  let sc = Wire.create_scratch () in
+  (match Wire.decode_request_scratch buf ~len sc with
+  | Ok Wire.Fast_estimate -> ()
+  | _ -> Alcotest.fail "first decode rejected");
+  let entry1 = sc.Wire.s_entry and spec1 = sc.Wire.s_spec in
+  (match Wire.decode_request_scratch buf ~len sc with
+  | Ok Wire.Fast_estimate -> ()
+  | _ -> Alcotest.fail "second decode rejected");
+  check Alcotest.bool "entry string reused physically" true (sc.Wire.s_entry == entry1);
+  check Alcotest.bool "spec string reused physically" true (sc.Wire.s_spec == spec1)
+
 let test_wire_malformed_cases () =
   let expect_error label s =
     match Wire.decode_request s with
@@ -163,22 +223,25 @@ let test_wire_malformed_cases () =
     | Ok req -> Alcotest.failf "%s decoded to %s" label (Wire.request_to_string req)
   in
   expect_error "empty payload" "";
-  expect_error "version only" "\x01";
-  (* Valid ping is version 1, opcode 0x01. *)
-  (match Wire.decode_request "\x01\x01" with
+  expect_error "version only" "\x02";
+  (* Valid ping is version 2, opcode 0x01. *)
+  (match Wire.decode_request "\x02\x01" with
   | Ok Wire.Ping -> ()
   | other ->
     Alcotest.failf "ping payload rejected: %s"
       (match other with
       | Ok r -> Wire.request_to_string r
       | Error m -> m));
-  expect_error "wrong version" "\x02\x01";
-  expect_error "unknown opcode" "\x01\x7f";
-  expect_error "trailing bytes" "\x01\x01\x00";
+  expect_error "old protocol version" "\x01\x01";
+  expect_error "future protocol version" "\x03\x01";
+  expect_error "unknown opcode" "\x02\x7f";
+  expect_error "trailing bytes" "\x02\x01\x00";
   (* Batch count far beyond what the frame could carry. *)
-  expect_error "implausible array count" "\x01\x04\xff\xff\xff\xff";
+  expect_error "implausible array count" "\x02\x04\xff\xff\xff\xff";
+  (* Insert value count far beyond what the frame could carry. *)
+  expect_error "implausible insert count" "\x02\x06\x00\x00\xff\xff\xff\xff";
   (* String length past the end of the payload. *)
-  expect_error "truncated string" "\x01\x05\x00\x10ab"
+  expect_error "truncated string" "\x02\x05\x00\x10ab"
 
 (* ---------------- Engine + Client ---------------- *)
 
@@ -227,9 +290,19 @@ let test_basic_requests () =
       let entries = or_fail_client (Client.ls client) in
       check Alcotest.bool "invalidate marks stale" true
         (List.exists (fun (e : Wire.entry_info) -> e.Wire.name = "users/age" && e.Wire.stale) entries);
-      match Client.invalidate client "ghost" with
+      (match Client.invalidate client "ghost" with
       | Error (Client.Server (Wire.Unknown_entry, _)) -> ()
-      | _ -> Alcotest.fail "invalidate of unknown entry not typed")
+      | _ -> Alcotest.fail "invalidate of unknown entry not typed");
+      (* Adaptive ops against a non-adaptive server are typed refusals,
+         not protocol errors. *)
+      (match Client.insert client ~entry:"users/age" [| 30.0 |] with
+      | Error (Client.Server (Wire.Bad_request, _)) -> ()
+      | Ok _ -> Alcotest.fail "insert accepted by a non-adaptive server"
+      | Error e -> Alcotest.failf "expected bad_request, got %s" (Client.error_to_string e));
+      match Client.observe client ~entry:"users/age" ~a:0.0 ~b:30.0 ~actual:0.5 with
+      | Error (Client.Server (Wire.Bad_request, _)) -> ()
+      | Ok _ -> Alcotest.fail "observe accepted by a non-adaptive server"
+      | Error e -> Alcotest.failf "expected bad_request, got %s" (Client.error_to_string e))
 
 let test_tcp_round_trip () =
   let dir = fresh_dir () in
@@ -648,6 +721,84 @@ let test_kill_shard_dispatcher () =
      assertion; killing it twice must be harmless. *)
   Engine.kill_shard_dispatcher engine 0
 
+(* ---------------- adaptive serving ---------------- *)
+
+(* Tentpole acceptance, end to end: an adaptive engine accepts insert
+   and observe frames, routes them through the shard dispatcher into the
+   reservoir and the feedback histogram, swaps a rebuilt summary in the
+   background, and still drains cleanly.  Typed refusals for bad
+   adaptive traffic ride along. *)
+let test_adaptive_insert_observe_e2e () =
+  let dir = fresh_dir () in
+  let svc, _ =
+    Service.open_dir
+      ~config:{ Service.default_config with Service.rebuild_after_inserts = 100 }
+      dir
+  in
+  build_two svc;
+  Service.enable_adaptive svc;
+  let address = Wire.Unix_socket (sock_path ()) in
+  let engine = Engine.create ~services:[| svc |] address in
+  let server = Thread.create Engine.serve engine in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.initiate_drain engine;
+      Thread.join server)
+    (fun () ->
+      let client = or_fail_client (Client.connect address) in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          (* Inserts are acknowledged with reservoir accounting. *)
+          let values = Array.init 200 (fun i -> float_of_int (i mod 61)) in
+          let sampled, seen = or_fail_client (Client.insert client ~entry:"users/age" values) in
+          check Alcotest.int "seen counts every offered value" 200 seen;
+          check Alcotest.bool "reservoir retained some values" true
+            (sampled > 0 && sampled <= 200);
+          (* 200 inserts tripped the 100-insert budget: a background
+             rebuild must swap in without any manual rebuild call. *)
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while
+            (Engine.stats engine).Engine.swaps = 0 && Unix.gettimeofday () < deadline
+          do
+            Thread.delay 0.01
+          done;
+          check Alcotest.bool "background rebuild swapped a summary in" true
+            ((Engine.stats engine).Engine.swaps > 0);
+          (* The swapped summary still serves sane estimates. *)
+          let x = or_fail_client (Client.estimate client ~entry:"users/age" ~a:0.0 ~b:30.5) in
+          check Alcotest.bool "estimate after swap in [0,1]" true
+            (Float.is_finite x && x >= 0.0 && x <= 1.0);
+          (* Observes refine toward the fed-back truth. *)
+          let r1 =
+            or_fail_client (Client.observe client ~entry:"users/age" ~a:0.0 ~b:30.0 ~actual:0.9)
+          in
+          let r2 =
+            or_fail_client (Client.observe client ~entry:"users/age" ~a:0.0 ~b:30.0 ~actual:0.9)
+          in
+          check Alcotest.bool "refined estimates in [0,1]" true
+            (r1 >= 0.0 && r1 <= 1.0 && r2 >= 0.0 && r2 <= 1.0);
+          check Alcotest.bool "repeat observation converges toward actual" true
+            (Float.abs (r2 -. 0.9) <= Float.abs (r1 -. 0.9) +. 1e-9);
+          (* Typed refusals: unknown entry, non-finite value, actual
+             outside [0, 1]. *)
+          (match Client.insert client ~entry:"ghost" [| 1.0 |] with
+          | Error (Client.Server (Wire.Unknown_entry, _)) -> ()
+          | Ok _ -> Alcotest.fail "insert into unknown entry accepted"
+          | Error e -> Alcotest.failf "expected unknown_entry, got %s" (Client.error_to_string e));
+          (match Client.insert client ~entry:"users/age" [| Float.nan |] with
+          | Error (Client.Server (Wire.Bad_request, _)) -> ()
+          | Ok _ -> Alcotest.fail "non-finite insert accepted"
+          | Error e -> Alcotest.failf "expected bad_request, got %s" (Client.error_to_string e));
+          (match Client.observe client ~entry:"users/age" ~a:0.0 ~b:1.0 ~actual:1.5 with
+          | Error (Client.Server (Wire.Bad_request, _)) -> ()
+          | Ok _ -> Alcotest.fail "out-of-range actual accepted"
+          | Error e -> Alcotest.failf "expected bad_request, got %s" (Client.error_to_string e))));
+  (* The drain above completing with adaptive maintenance enabled (and
+     possibly a rebuild in flight) is itself the adaptive-drain
+     assertion. *)
+  check Alcotest.bool "drained" true (Engine.draining engine)
+
 (* Open-loop generator sanity: the arrival schedule is honored (offered
    ~= rate * duration), accounting is consistent, and at a tame rate
    everything is answered. *)
@@ -678,6 +829,10 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_response_round_trip;
           QCheck_alcotest.to_alcotest qcheck_decode_total;
           QCheck_alcotest.to_alcotest qcheck_truncation_is_error;
+          QCheck_alcotest.to_alcotest qcheck_scratch_decode_agrees;
+          QCheck_alcotest.to_alcotest qcheck_scratch_decode_agrees_on_noise;
+          Alcotest.test_case "scratch decode interns repeated strings" `Quick
+            test_scratch_interning;
           Alcotest.test_case "malformed payload cases" `Quick test_wire_malformed_cases;
         ] );
       ( "engine",
@@ -702,6 +857,11 @@ let () =
         [
           Alcotest.test_case "SIGTERM kill-and-reconnect" `Quick
             test_sigterm_drain_and_reconnect;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "insert/observe end to end, background swap, drain" `Quick
+            test_adaptive_insert_observe_e2e;
         ] );
       ( "shards",
         [
