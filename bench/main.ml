@@ -163,7 +163,7 @@ module Record = struct
     let targets = List.rev !order in
     let buf = Buffer.create 4096 in
     Buffer.add_string buf "{\n";
-    Buffer.add_string buf "  \"schema_version\": 5,\n";
+    Buffer.add_string buf "  \"schema_version\": 6,\n";
     Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
     Buffer.add_string buf "  \"targets\": {\n";
     List.iteri
@@ -767,6 +767,36 @@ let ext_join () =
         exact
         (density_pct (Est.Equi_width Est.Normal_scale_bins))
         (density_pct Est.kernel_defaults) sample_pct)
+    pairs;
+  (* Inequality predicates: the histogram-pair sweep over per-relation
+     equi-depth histograms against the merge-count oracle.  The relative
+     errors land in mre_by_spec so EXPERIMENTS.md's table is diffable. *)
+  header "ext_join: inequality joins (eq/lt/le) via EDH pairs vs the exact merge-count oracle";
+  Printf.printf "%-16s %-5s %-12s %-12s %-8s\n" "R x S" "pred" "exact" "estimated" "of_exact%";
+  List.iter
+    (fun (rn, sn) ->
+      let r = dataset rn and s = dataset sn in
+      let domain = E.domain_of r in
+      let sr = E.sample_of r ~seed:sample_seed ~n:2000 in
+      let ss = E.sample_of s ~seed:(Int64.add sample_seed 1L) ~n:2000 in
+      let summary =
+        Join.Ineqjoin.summarize ~buckets:64 ~domain ~n_r:(Data.Dataset.size r)
+          ~n_s:(Data.Dataset.size s) sr ss
+      in
+      List.iter
+        (fun pred ->
+          let exact = float_of_int (Join.Ineqjoin.exact_inequality_size r s ~pred) in
+          let est = Join.Ineqjoin.estimate summary ~pred in
+          let mre = if exact > 0.0 then Float.abs (est -. exact) /. exact else Float.nan in
+          Record.note
+            ~key:
+              (Printf.sprintf "%s x %s/%s" rn sn (Selest.Stored.join_pred_to_string pred))
+            ~mre ~build_s:0.0 ~queries:0 ~query_s:0.0;
+          Printf.printf "%-16s %-5s %-12.3e %-12.3e %-8.1f\n" (rn ^ " x " ^ sn)
+            (Selest.Stored.join_pred_to_string pred)
+            exact est
+            (100.0 *. est /. exact))
+        [ Selest.Stored.Join_eq; Selest.Stored.Join_lt; Selest.Stored.Join_le ])
     pairs
 
 let ext_mise () =
@@ -1135,7 +1165,142 @@ let bench_serve () =
     "server: shards=1 %d requests, shards=%d %d requests (%d batches, %d queries merged), \
      all bit-identical to direct answers (jobs %d)\n"
     stats1.Server.Engine.requests shards stats4.Server.Engine.requests
-    stats4.Server.Engine.batches stats4.Server.Engine.batched_queries !jobs
+    stats4.Server.Engine.batches stats4.Server.Engine.batched_queries !jobs;
+  (* Pass 3: mixed kinds.  Add one rect entry (the street-grid joint
+     file) and one join entry (n(20) x u(20)) to the now-sharded catalog
+     through their owner shards, serve all three kinds at shards = 4,
+     and gate every served answer bit-identical to the direct
+     Catalog.Service call.  Per-kind MRE is scored against the exact
+     oracles: Data.Dataset.exact_selectivity for range,
+     Multidim.Dataset2d.exact_selectivity for rect, and
+     Join.Ineqjoin.exact_inequality_size for join. *)
+  header "serve: mixed-kind pass (range + rect + join entries, shards=4)";
+  let services, skipped = Cat.open_sharded ~shards dir in
+  if skipped <> [] then
+    failwith (Printf.sprintf "serve mixed: %d snapshots skipped on open" (List.length skipped));
+  let owner name = services.(Cat.shard_of_name ~shards name) in
+  let street =
+    Multidim.Generate2d.street_grid ~name:"street" ~bits:16 ~count:50_000 ~seed:data_seed
+  in
+  let rect_name = "street/hist2d" in
+  let dom16 = (-0.5, 65535.5) in
+  (match
+     Cat.build_rect (owner rect_name) ~name:rect_name ~spec:"hist2d:64" ~domain_x:dom16
+       ~domain_y:dom16
+       ~points:
+         (Multidim.Dataset2d.sample_without_replacement street
+            (Prng.Xoshiro256pp.create sample_seed)
+            ~n:2000)
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith ("serve mixed: build rect: " ^ msg));
+  let join_r = dataset "n(20)" and join_s = dataset "u(20)" in
+  let join_name = "n(20)_join_u(20)/edh" in
+  (match
+     Cat.build_join (owner join_name) ~name:join_name ~spec:"edh:64"
+       ~domain:(E.domain_of join_r) ~n_r:(Data.Dataset.size join_r)
+       ~n_s:(Data.Dataset.size join_s)
+       ~sample_r:(E.sample_of join_r ~seed:sample_seed ~n:2000)
+       ~sample_s:(E.sample_of join_s ~seed:(Int64.add sample_seed 1L) ~n:2000)
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith ("serve mixed: build join: " ^ msg));
+  let engine = Server.Engine.create ~config ~services address in
+  let server_thread = Thread.create Server.Engine.serve engine in
+  let mixed, mreport =
+    Fun.protect
+      ~finally:(fun () ->
+        Server.Engine.initiate_drain engine;
+        Thread.join server_thread)
+      (fun () ->
+        let entries =
+          match Server.Client.connect address with
+          | Error e -> failwith ("serve mixed: connect: " ^ Server.Client.error_to_string e)
+          | Ok client ->
+            let entries =
+              match Server.Client.ls client with
+              | Ok entries -> entries
+              | Error e -> failwith ("serve mixed: ls: " ^ Server.Client.error_to_string e)
+            in
+            Server.Client.close client;
+            entries
+        in
+        let mixed = Server.Loadgen.synthetic_mixed_requests ~entries ~count:4800 ~seed:2025L in
+        (mixed, Server.Loadgen.run_mixed ~connections ~address mixed))
+  in
+  (* Bit-identity per request against the same services the engine used. *)
+  let direct_of req =
+    match req with
+    | Server.Loadgen.Mix_range (name, a, b) -> Cat.answer_one (owner name) ~name ~a ~b
+    | Server.Loadgen.Mix_rect { m_entry; m_x_lo; m_x_hi; m_y_lo; m_y_hi } ->
+      Cat.answer_rect (owner m_entry) ~name:m_entry ~x_lo:m_x_lo ~x_hi:m_x_hi ~y_lo:m_y_lo
+        ~y_hi:m_y_hi
+    | Server.Loadgen.Mix_join { m_entry; m_pred } ->
+      Cat.answer_join (owner m_entry) ~name:m_entry ~pred:m_pred
+  in
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun i served ->
+      match direct_of mixed.(i) with
+      | Error _ -> incr mismatches
+      | Ok expected ->
+        if Float.is_nan served || Int64.bits_of_float served <> Int64.bits_of_float expected
+        then incr mismatches)
+    mreport.Server.Loadgen.answers;
+  if !mismatches > 0 then
+    failwith
+      (Printf.sprintf "serve mixed: %d served answers diverge from direct calls" !mismatches);
+  (* Per-kind accuracy against the exact oracles.  Relative error needs
+     truth > 0; zero-truth queries are skipped (and counted). *)
+  let truth_of req =
+    match req with
+    | Server.Loadgen.Mix_range (name, a, b) ->
+      let file = String.sub name 0 (String.index name '/') in
+      Data.Dataset.exact_selectivity (dataset file) ~lo:a ~hi:b
+    | Server.Loadgen.Mix_rect { m_x_lo; m_x_hi; m_y_lo; m_y_hi; _ } ->
+      Multidim.Dataset2d.exact_selectivity street ~x_lo:m_x_lo ~x_hi:m_x_hi ~y_lo:m_y_lo
+        ~y_hi:m_y_hi
+    | Server.Loadgen.Mix_join { m_pred; _ } ->
+      float_of_int (Join.Ineqjoin.exact_inequality_size join_r join_s ~pred:m_pred)
+  in
+  let mre_of_kind kind =
+    let sum = ref 0.0 and n = ref 0 in
+    Array.iteri
+      (fun i served ->
+        if Server.Loadgen.mixed_kind mixed.(i) = kind then begin
+          let truth = truth_of mixed.(i) in
+          if truth > 0.0 then begin
+            sum := !sum +. (Float.abs (served -. truth) /. truth);
+            incr n
+          end
+        end)
+      mreport.Server.Loadgen.answers;
+    if !n = 0 then Float.nan else !sum /. float_of_int !n
+  in
+  List.iter
+    (fun (kind, g) ->
+      Record.note_group ~section:"mixed_by_kind" ~group:kind
+        [
+          ("queries", float_of_int g.Server.Loadgen.g_n);
+          ( "throughput_qps",
+            float_of_int g.Server.Loadgen.g_n /. mreport.Server.Loadgen.wall_s );
+          ("mre", mre_of_kind kind);
+          ("p50_ms", g.Server.Loadgen.g_p50_ms);
+          ("p99_ms", g.Server.Loadgen.g_p99_ms);
+        ])
+    mreport.Server.Loadgen.groups;
+  Printf.printf "shards=%d mixed kinds (range/rect/join classes):\n%s\n" shards
+    (Server.Loadgen.report_to_string mreport);
+  List.iter
+    (fun (kind, (g : Server.Loadgen.group)) ->
+      Printf.printf "  %-6s n=%-5d mre=%.4f p50=%.3fms p99=%.3fms\n" kind
+        g.Server.Loadgen.g_n (mre_of_kind kind) g.Server.Loadgen.g_p50_ms
+        g.Server.Loadgen.g_p99_ms)
+    mreport.Server.Loadgen.groups;
+  Printf.printf
+    "server: mixed pass %d requests over %d kinds, all bit-identical to direct calls\n"
+    (Array.length mixed)
+    (List.length mreport.Server.Loadgen.groups)
 
 (* ------------------------------------------------------------------ *)
 (* Drift: adaptive serving under a shifting distribution               *)

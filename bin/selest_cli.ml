@@ -387,49 +387,124 @@ let detect_shards dir =
   | exception Sys_error msg -> or_die (Error msg)
 
 let catalog_build_cmd =
+  let kind_arg =
+    Arg.(value & opt (enum [ ("range", `Range); ("rect", `Rect); ("join", `Join) ]) `Range
+         & info [ "kind"; "k" ] ~docv:"KIND"
+             ~doc:"Summary kind to build: $(b,range) (1-D selectivity, the default), \
+                   $(b,rect) (2-D rectangle grid over $(b,--file) x $(b,--with)), or \
+                   $(b,join) (per-relation equi-depth histograms of $(b,--file) and \
+                   $(b,--with) for equality and inequality join sizes).")
+  in
   let spec_arg =
-    Arg.(value & opt string "kernel" & info [ "estimator"; "e" ] ~docv:"SPEC"
-         ~doc:"Estimator spec to fit, in the compact syntax (e.g. ewh:40, kernel, hybrid).")
+    Arg.(value & opt (some string) None & info [ "estimator"; "e" ] ~docv:"SPEC"
+         ~doc:"Summary spec in the kind's compact syntax: range specs like ewh:40 or \
+               kernel (default kernel), hist2d:BXxBY for rect (default hist2d), \
+               edh:BUCKETS for join (default edh).")
+  in
+  let with_arg =
+    Arg.(value & opt (some string) None & info [ "with"; "g" ] ~docv:"FILE"
+         ~doc:"Second data file: the y-attribute for $(b,--kind rect), the S relation \
+               for $(b,--kind join).")
   in
   let name_arg =
     Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
-         ~doc:"Catalog entry name; defaults to \"<file>/<spec>\".")
+         ~doc:"Catalog entry name; defaults to \"<file>/<spec>\" (range) or \
+               \"<file>_<kind>_<with>/<spec>\".")
   in
   let cells_arg =
     Arg.(value & opt int 256 & info [ "cells" ] ~docv:"N" ~doc:"Summary grid resolution.")
   in
-  let run seed sample_seed n file spec name dir cells =
+  let run seed sample_seed n file kind spec with_file name dir cells =
     let ds = or_die (load_dataset seed file) in
-    let sample = E.sample_of ds ~seed:sample_seed ~n in
     let svc = open_catalog ~config:{ Cat.default_config with Cat.cells } dir in
-    let name = Option.value name ~default:(file ^ "/" ^ spec) in
-    match Cat.build svc ~name ~spec ~domain:(E.domain_of ds) ~sample with
-    | Error msg -> or_die (Error msg)
-    | Ok info ->
-      Printf.printf "built %S: %s over %s, %d cells, sample of %d -> %s\n" info.Cat.name
-        info.Cat.spec (Data.Dataset.name ds) info.Cat.cells n
-        (Catalog.Snapshot.path ~dir name)
+    let second what =
+      match with_file with
+      | Some f -> or_die (load_dataset seed f)
+      | None -> or_die (Error (Printf.sprintf "catalog build --kind %s needs --with FILE" what))
+    in
+    let report (info : Cat.info) sample_note =
+      Printf.printf "built %S: %s %s over %s, %d cells, %s -> %s\n" info.Cat.name
+        (Selest.Stored.kind_name info.Cat.kind) info.Cat.spec (Data.Dataset.name ds)
+        info.Cat.cells sample_note
+        (Catalog.Snapshot.path ~dir info.Cat.name)
+    in
+    match kind with
+    | `Range ->
+      let spec = Option.value spec ~default:"kernel" in
+      let sample = E.sample_of ds ~seed:sample_seed ~n in
+      let name = Option.value name ~default:(file ^ "/" ^ spec) in
+      (match Cat.build svc ~name ~spec ~domain:(E.domain_of ds) ~sample with
+      | Error msg -> or_die (Error msg)
+      | Ok info -> report info (Printf.sprintf "sample of %d" n))
+    | `Rect ->
+      let spec = Option.value spec ~default:"hist2d" in
+      let dy = second "rect" in
+      (* Pair the two attributes index-wise: sample both relations with
+         the same seed so row i's x and y stay together. *)
+      let xs = E.sample_of ds ~seed:sample_seed ~n in
+      let ys = E.sample_of dy ~seed:sample_seed ~n:(Array.length xs) in
+      let m = min (Array.length xs) (Array.length ys) in
+      let points = Array.init m (fun i -> (xs.(i), ys.(i))) in
+      let name =
+        Option.value name
+          ~default:(Printf.sprintf "%s_rect_%s/%s" file (Option.get with_file) spec)
+      in
+      (match
+         Cat.build_rect svc ~name ~spec ~domain_x:(E.domain_of ds)
+           ~domain_y:(E.domain_of dy) ~points
+       with
+      | Error msg -> or_die (Error msg)
+      | Ok info -> report info (Printf.sprintf "%d points" m))
+    | `Join ->
+      let spec = Option.value spec ~default:"edh" in
+      let s = second "join" in
+      if Data.Dataset.bits ds <> Data.Dataset.bits s then
+        or_die (Error "catalog build --kind join: the two files must share domain bits");
+      let sample_r = E.sample_of ds ~seed:sample_seed ~n in
+      let sample_s = E.sample_of s ~seed:(Int64.add sample_seed 1L) ~n in
+      let name =
+        Option.value name
+          ~default:(Printf.sprintf "%s_join_%s/%s" file (Option.get with_file) spec)
+      in
+      (match
+         Cat.build_join svc ~name ~spec ~domain:(E.domain_of ds)
+           ~n_r:(Data.Dataset.size ds) ~n_s:(Data.Dataset.size s) ~sample_r ~sample_s
+       with
+      | Error msg -> or_die (Error msg)
+      | Ok info ->
+        report info
+          (Printf.sprintf "samples of %d+%d for |R|=%d |S|=%d" (Array.length sample_r)
+             (Array.length sample_s) (Data.Dataset.size ds) (Data.Dataset.size s)))
   in
-  let doc = "ANALYZE a data file into a named catalog entry (build or rebuild)." in
+  let doc =
+    "ANALYZE data files into a named catalog entry of any kind: 1-D range summaries, \
+     2-D rectangle grids, or join summaries (build or rebuild)."
+  in
   Cmd.v (Cmd.info "build" ~doc)
-    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ spec_arg
-          $ name_arg $ catalog_dir_arg $ cells_arg)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ kind_arg
+          $ spec_arg $ with_arg $ name_arg $ catalog_dir_arg $ cells_arg)
 
 let catalog_ls_cmd =
   let run dir =
     let svc = open_catalog dir in
-    Printf.printf "%-28s %-18s %-6s %-22s %-9s %-6s %-6s\n" "name" "spec" "cells" "domain"
-      "inserts" "stale" "cached";
+    Printf.printf "%-28s %-6s %-18s %-6s %-22s %-9s %-6s %-6s\n" "name" "kind" "spec"
+      "cells" "domain" "inserts" "stale" "cached";
     List.iter
       (fun (i : Cat.info) ->
         let lo, hi = i.Cat.domain in
-        Printf.printf "%-28s %-18s %-6d [%-8g, %8g] %-9d %-6s %-6s\n" i.Cat.name i.Cat.spec
-          i.Cat.cells lo hi i.Cat.inserts
+        let domain =
+          match i.Cat.domain_y with
+          | None -> Printf.sprintf "[%g, %g]" lo hi
+          | Some (ylo, yhi) -> Printf.sprintf "[%g,%g]x[%g,%g]" lo hi ylo yhi
+        in
+        Printf.printf "%-28s %-6s %-18s %-6d %-22s %-9d %-6s %-6s\n" i.Cat.name
+          (Selest.Stored.kind_name i.Cat.kind)
+          i.Cat.spec i.Cat.cells domain i.Cat.inserts
           (if i.Cat.stale then "yes" else "no")
           (if i.Cat.cached then "yes" else "no"))
       (Cat.infos svc)
   in
-  let doc = "List the catalog's entries with their staleness state." in
+  let doc = "List the catalog's entries (all kinds) with their staleness state." in
   Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ catalog_dir_arg)
 
 (* A batch line is "name a b"; the bounds are the last two whitespace
@@ -708,13 +783,25 @@ let loadgen_cmd =
     Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"NAME"
          ~doc:"The served entry $(b,--drift) targets (default: the first listed).")
   in
+  let mix_arg =
+    Arg.(value & flag & info [ "mix" ]
+         ~doc:"Mixed-kind closed loop: each synthetic query matches its entry's kind — \
+               range selectivities, rectangle selectivities (0x08) and join sizes \
+               (0x09) — and per-kind latency groups are reported.  With $(b,--verify), \
+               every served answer is checked bit-identical against the direct \
+               Catalog.Service call of the same kind.")
+  in
   let run socket port host connections queries batch seed verify rate duration_s max_clients
-      drift entry =
+      drift entry mix =
     if connections < 1 then or_die (Error "loadgen: --connections must be >= 1");
     if queries < 0 then or_die (Error "loadgen: --queries must be >= 0");
     if batch < 1 then or_die (Error "loadgen: --batch must be >= 1");
     if drift && rate = None then or_die (Error "loadgen: --drift needs --rate");
     if entry <> None && not drift then or_die (Error "loadgen: --entry only applies to --drift");
+    if mix && (drift || rate <> None) then
+      or_die (Error "loadgen: --mix is a closed-loop mode; drop --rate/--drift");
+    if mix && batch <> 1 then
+      or_die (Error "loadgen: --mix sends one exchange per query; drop --batch");
     (match rate with
     | Some r when r <= 0.0 -> or_die (Error "loadgen: --rate must be > 0")
     | Some _ when verify <> None && not drift ->
@@ -736,6 +823,48 @@ let loadgen_cmd =
       | Error e -> or_die (Error ("loadgen: ls: " ^ Server.Client.error_to_string e))
     in
     Server.Client.close client;
+    if mix then begin
+      let requests = Server.Loadgen.synthetic_mixed_requests ~entries ~count:queries ~seed in
+      let report = Server.Loadgen.run_mixed ~connections ~address requests in
+      print_endline (Server.Loadgen.report_to_string report);
+      match verify with
+      | None -> ()
+      | Some dir ->
+        (* Recompute each answer through the entry's owner shard with the
+           direct call of its kind; served bytes must match exactly. *)
+        let shards = detect_shards dir in
+        let services =
+          if shards = 1 then [| open_catalog dir |] else open_sharded_catalog ~shards dir
+        in
+        let svc_of name = services.(Cat.shard_of_name ~shards name) in
+        let mismatches = ref 0 and checked = ref 0 in
+        Array.iteri
+          (fun i req ->
+            let served = report.Server.Loadgen.answers.(i) in
+            if not (Float.is_nan served) then begin
+              let direct =
+                match req with
+                | Server.Loadgen.Mix_range (name, a, b) ->
+                  or_die (Cat.answer_one (svc_of name) ~name ~a ~b)
+                | Server.Loadgen.Mix_rect { m_entry; m_x_lo; m_x_hi; m_y_lo; m_y_hi } ->
+                  or_die
+                    (Cat.answer_rect (svc_of m_entry) ~name:m_entry ~x_lo:m_x_lo
+                       ~x_hi:m_x_hi ~y_lo:m_y_lo ~y_hi:m_y_hi)
+                | Server.Loadgen.Mix_join { m_entry; m_pred } ->
+                  or_die (Cat.answer_join (svc_of m_entry) ~name:m_entry ~pred:m_pred)
+              in
+              incr checked;
+              if Int64.bits_of_float served <> Int64.bits_of_float direct then
+                incr mismatches
+            end)
+          requests;
+        Printf.printf
+          "verify: %d/%d served answers bit-identical to direct Catalog.Service calls\n"
+          (!checked - !mismatches) !checked;
+        if !mismatches > 0 then
+          or_die (Error "loadgen: served answers diverge from direct calls")
+    end
+    else
     let requests = Server.Loadgen.synthetic_requests ~entries ~count:queries ~seed in
     match rate with
     | Some rate when drift ->
@@ -814,16 +943,17 @@ let loadgen_cmd =
   in
   let doc =
     "Load generator against a running `selest serve': closed loop by default \
-     (--connections workers, peak capacity), open loop with --rate (fixed arrival \
-     schedule, drop/late accounting, latency from scheduled arrival), shifting-workload \
-     drift mode with --drift (inserts + feedback against an adaptive server); synthetic \
-     range queries, exact p50/p95/p99, error classes (docs/SERVING.md, \
-     docs/ADAPTIVITY.md)."
+     (--connections workers, peak capacity), mixed-kind closed loop with --mix \
+     (range + rectangle + join exchanges, per-kind latency groups), open loop with \
+     --rate (fixed arrival schedule, drop/late accounting, latency from scheduled \
+     arrival), shifting-workload drift mode with --drift (inserts + feedback against \
+     an adaptive server); synthetic queries, exact p50/p95/p99, error classes \
+     (docs/SERVING.md, docs/ADAPTIVITY.md)."
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const run $ socket_arg $ port_arg $ host_arg $ connections_arg
           $ queries_arg $ batch_arg $ seed_arg $ verify_dir_arg $ rate_arg
-          $ duration_arg $ max_clients_arg $ drift_arg $ entry_arg)
+          $ duration_arg $ max_clients_arg $ drift_arg $ entry_arg $ mix_arg)
 
 (* --- main --- *)
 

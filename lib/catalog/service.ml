@@ -9,9 +9,11 @@ let default_config = { capacity = 32; rebuild_after_inserts = 10_000; cells = 25
 (* Per-entry metadata stays resident even when the summary itself is
    evicted: staleness must be trackable without touching the disk. *)
 type meta = {
+  kind : Selest.Stored.kind;
   spec : string;
   mutable cells : int;
-  domain : float * float;
+  domain : float * float; (* x-domain for rect entries *)
+  domain_y : (float * float) option; (* rect entries only *)
   mutable inserts : int;
   mutable stale : bool;
 }
@@ -38,7 +40,15 @@ let default_adaptive_config =
    worker below runs off-thread, and it never touches this record. *)
 type astate = {
   reservoir : Online.Reservoir.t;
-  mutable feedback : Feedback.Adaptive.t;
+      (* range: attribute values; rect: x coordinates; join: R-side values *)
+  reservoir_y : Online.Reservoir.t option;
+      (* rect entries only: y coordinates, created with the same seed as
+         [reservoir] and fed in lockstep.  Algorithm R's replacement
+         decisions depend only on (seed, seen count), never on the values,
+         so the two reservoirs make identical slot choices and slot [i]
+         of each always holds the coordinates of the same point. *)
+  mutable feedback : Feedback.Adaptive.t option;
+      (* range entries only: rect/join summaries have no ST-histogram *)
   mutable observes_since_refresh : int;
   mutable rebuild_failed : string option;
       (* last background rebuild error; cleared by fresh inserts so the
@@ -51,7 +61,7 @@ type astate = {
 type pending = {
   p_name : string;
   p_m : Mutex.t;
-  mutable p_result : (Selest.Stored.t, string) result option;
+  mutable p_result : (Selest.Stored.any, string) result option;
   mutable p_thread : Thread.t option;
 }
 
@@ -65,7 +75,7 @@ type t = {
   dir : string;
   config : config;
   index : (string, meta) Hashtbl.t;
-  cache : Selest.Stored.t Lru.t;
+  cache : Selest.Stored.any Lru.t;
   mutable adaptive : adaptive_rt option;
   m_entries : Telemetry.Metrics.gauge;
   m_builds : Telemetry.Metrics.counter;
@@ -82,9 +92,11 @@ type t = {
 
 type info = {
   name : string;
+  kind : Selest.Stored.kind;
   spec : string;
   cells : int;
   domain : float * float;
+  domain_y : (float * float) option;
   inserts : int;
   stale : bool;
   cached : bool;
@@ -148,9 +160,14 @@ let open_dir ?(config = default_config) ?shard dir =
     (fun (e : Snapshot.entry) ->
       Hashtbl.replace t.index e.name
         {
+          kind = Selest.Stored.any_kind e.summary;
           spec = e.spec;
-          cells = Selest.Stored.cells e.summary;
-          domain = Selest.Stored.domain e.summary;
+          cells = Selest.Stored.any_cells e.summary;
+          domain = Selest.Stored.any_domain e.summary;
+          domain_y =
+            (match e.summary with
+            | Selest.Stored.Rect r -> Some (snd (Selest.Stored.rect_domains r))
+            | _ -> None);
           inserts = e.inserts;
           stale = e.stale;
         })
@@ -167,9 +184,11 @@ let mem t name = Hashtbl.mem t.index name
 let info_of t name (m : meta) =
   {
     name;
+    kind = m.kind;
     spec = m.spec;
     cells = m.cells;
     domain = m.domain;
+    domain_y = m.domain_y;
     inserts = m.inserts;
     stale = m.stale;
     cached = Lru.mem t.cache name;
@@ -198,11 +217,44 @@ let persist t name (m : meta) =
     { Snapshot.name; spec = m.spec; inserts = m.inserts; stale = m.stale; summary };
   Telemetry.Metrics.incr t.m_snapshot_writes
 
-let build t ~name ~spec ~domain ~sample =
-  if name = "" then Error "Catalog.Service.build: entry name must not be empty"
+(* Shared tail of every build path: index, cache and snapshot move
+   together, so a successful build is immediately servable and survives a
+   restart. *)
+let install_built t ~name ~spec summary =
+  let existed = Hashtbl.mem t.index name in
+  let m =
+    {
+      kind = Selest.Stored.any_kind summary;
+      spec;
+      cells = Selest.Stored.any_cells summary;
+      domain = Selest.Stored.any_domain summary;
+      domain_y =
+        (match summary with
+        | Selest.Stored.Rect r -> Some (snd (Selest.Stored.rect_domains r))
+        | _ -> None);
+      inserts = 0;
+      stale = false;
+    }
+  in
+  Hashtbl.replace t.index name m;
+  Lru.add t.cache name summary;
+  Snapshot.save ~dir:t.dir { Snapshot.name; spec; inserts = 0; stale = false; summary };
+  Telemetry.Metrics.incr t.m_snapshot_writes;
+  Telemetry.Metrics.incr t.m_builds;
+  if existed then Telemetry.Metrics.incr t.m_rebuilds;
+  Telemetry.Metrics.set t.m_entries (float_of_int (Hashtbl.length t.index));
+  Ok (info_of t name m)
+
+let check_name who name =
+  if name = "" then Error (who ^ ": entry name must not be empty")
   else if String.contains name '\n' then
-    Error "Catalog.Service.build: entry name must not contain newlines"
-  else
+    Error (who ^ ": entry name must not contain newlines")
+  else Ok ()
+
+let build t ~name ~spec ~domain ~sample =
+  match check_name "Catalog.Service.build" name with
+  | Error msg -> Error msg
+  | Ok () -> (
     match Selest.Estimator.spec_of_string spec with
     | Error e -> Error e
     | Ok parsed -> (
@@ -212,26 +264,48 @@ let build t ~name ~spec ~domain ~sample =
             Selest.Stored.of_estimator ~cells:t.config.cells ~domain est)
       with
       | exception Invalid_argument msg -> Error msg
-      | summary ->
-        let existed = Hashtbl.mem t.index name in
-        let m =
-          { spec; cells = t.config.cells; domain; inserts = 0; stale = false }
-        in
-        Hashtbl.replace t.index name m;
-        Lru.add t.cache name summary;
-        Snapshot.save ~dir:t.dir
-          { Snapshot.name; spec; inserts = 0; stale = false; summary };
-        Telemetry.Metrics.incr t.m_snapshot_writes;
-        Telemetry.Metrics.incr t.m_builds;
-        if existed then Telemetry.Metrics.incr t.m_rebuilds;
-        Telemetry.Metrics.set t.m_entries (float_of_int (Hashtbl.length t.index));
-        Ok (info_of t name m))
+      | summary -> install_built t ~name ~spec (Selest.Stored.Range summary)))
+
+let build_rect t ~name ~spec ~domain_x ~domain_y ~points =
+  match check_name "Catalog.Service.build_rect" name with
+  | Error msg -> Error msg
+  | Ok () -> (
+    match Selest.Stored.rect_spec_of_string spec with
+    | Error e -> Error e
+    | Ok (bins_x, bins_y) -> (
+      match
+        Telemetry.Span.with_span "catalog.build" (fun () ->
+            Selest.Stored.rect_of_points ~domain_x ~domain_y ~bins_x ~bins_y points)
+      with
+      | exception Invalid_argument msg -> Error msg
+      | rect -> install_built t ~name ~spec (Selest.Stored.Rect rect)))
+
+let build_join t ~name ~spec ~domain ~n_r ~n_s ~sample_r ~sample_s =
+  match check_name "Catalog.Service.build_join" name with
+  | Error msg -> Error msg
+  | Ok () -> (
+    match Selest.Stored.join_spec_of_string spec with
+    | Error e -> Error e
+    | Ok buckets -> (
+      match
+        Telemetry.Span.with_span "catalog.build" (fun () ->
+            Selest.Stored.join_of_samples ~domain ~buckets ~n_r ~n_s sample_r sample_s)
+      with
+      | exception Invalid_argument msg -> Error msg
+      | join -> install_built t ~name ~spec (Selest.Stored.Join join)))
 
 let unknown name = Error (Printf.sprintf "unknown catalog entry %S" name)
+
+let kind_mismatch name ~want ~got =
+  Error
+    (Printf.sprintf "catalog entry %S is a %s entry, not %s" name
+       (Selest.Stored.kind_name got) (Selest.Stored.kind_name want))
 
 let rebuild t ~name ~sample =
   match Hashtbl.find_opt t.index name with
   | None -> unknown name
+  | Some m when m.kind <> Selest.Stored.Range_kind ->
+    kind_mismatch name ~want:Selest.Stored.Range_kind ~got:m.kind
   | Some m -> build t ~name ~spec:m.spec ~domain:m.domain ~sample
 
 (* Raise the stale flag if the insert budget is spent; returns whether the
@@ -300,6 +374,17 @@ let resolve_exn t name =
     | Error msg ->
       invalid_arg (Printf.sprintf "Catalog.Service: snapshot of %S unreadable: %s" name msg))
 
+(* The range-query paths keep their historical exception contract; a
+   range request against a rect/join entry is a caller error of the same
+   class as an unknown name. *)
+let resolve_range_exn t name =
+  match resolve_exn t name with
+  | Selest.Stored.Range s -> s
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Catalog.Service: entry %S is a %s entry, not range" name
+         (Selest.Stored.kind_name (Selest.Stored.any_kind other)))
+
 let answer ?(jobs = 1) t requests =
   if jobs < 1 then invalid_arg "Catalog.Service.answer: jobs must be >= 1";
   Telemetry.Metrics.add t.m_batch_requests (Array.length requests);
@@ -312,7 +397,7 @@ let answer ?(jobs = 1) t requests =
       Array.iter
         (fun (name, _, _) ->
           if not (Hashtbl.mem resolved name) then
-            Hashtbl.replace resolved name (resolve_exn t name))
+            Hashtbl.replace resolved name (resolve_range_exn t name))
         requests;
       Parallel.Map.map ~jobs
         (fun (name, a, b) ->
@@ -336,7 +421,7 @@ let answer_into t ~n ~names ~a ~b ~out =
   let i = ref 0 in
   while !i < n do
     let name = Array.unsafe_get names !i in
-    let summary = resolve_exn t name in
+    let summary = resolve_range_exn t name in
     let j = ref (!i + 1) in
     while !j < n && String.equal (Array.unsafe_get names !j) name do
       incr j
@@ -350,9 +435,37 @@ let answer_into t ~n ~names ~a ~b ~out =
 let answer_one t ~name ~a ~b =
   if not (mem t name) then unknown name
   else
-    match resolve_exn t name with
+    match resolve_range_exn t name with
     | exception Invalid_argument msg -> Error msg
     | summary -> Ok (Selest.Stored.selectivity summary ~a ~b)
+
+(* The rect/join answer paths: one cache access, then pure arithmetic in
+   [Selest.Stored] — the same functions Multidim.Hist2d and Join.Ineqjoin
+   delegate to, which is what makes a served answer bit-identical to the
+   direct library call. *)
+let answer_rect t ~name ~x_lo ~x_hi ~y_lo ~y_hi =
+  if not (mem t name) then unknown name
+  else
+    match resolve_exn t name with
+    | exception Invalid_argument msg -> Error msg
+    | Selest.Stored.Rect r ->
+      Telemetry.Metrics.incr t.m_batch_requests;
+      Ok (Selest.Stored.rect_selectivity r ~x_lo ~x_hi ~y_lo ~y_hi)
+    | other ->
+      kind_mismatch name ~want:Selest.Stored.Rect_kind
+        ~got:(Selest.Stored.any_kind other)
+
+let answer_join t ~name ~pred =
+  if not (mem t name) then unknown name
+  else
+    match resolve_exn t name with
+    | exception Invalid_argument msg -> Error msg
+    | Selest.Stored.Join j ->
+      Telemetry.Metrics.incr t.m_batch_requests;
+      Ok (Selest.Stored.join_estimate j ~pred)
+    | other ->
+      kind_mismatch name ~want:Selest.Stored.Join_kind
+        ~got:(Selest.Stored.any_kind other)
 
 let cache_stats t = Lru.stats t.cache
 
@@ -390,12 +503,18 @@ let adaptive_disabled =
   Error "adaptive serving is disabled (start the server with --adaptive)"
 
 (* Seed the per-entry feedback histogram from the entry's current summary,
-   at the summary's own grid resolution so a later refresh loses nothing. *)
+   at the summary's own grid resolution so a later refresh loses nothing.
+   Only range summaries carry one; rect/join adaptivity is
+   reservoir-rebuild only. *)
 let seed_feedback rt (m : meta) summary =
-  Feedback.Adaptive.create ~buckets:m.cells ~learning_rate:rt.acfg.learning_rate
-    ~domain:m.domain
-    ~base:(fun ~a ~b -> Selest.Stored.selectivity summary ~a ~b)
-    ()
+  match (summary : Selest.Stored.any) with
+  | Selest.Stored.Range s ->
+    Some
+      (Feedback.Adaptive.create ~buckets:m.cells ~learning_rate:rt.acfg.learning_rate
+         ~domain:m.domain
+         ~base:(fun ~a ~b -> Selest.Stored.selectivity s ~a ~b)
+         ())
+  | Selest.Stored.Rect _ | Selest.Stored.Join _ -> None
 
 let adaptive_state t rt name (m : meta) =
   match Hashtbl.find_opt rt.states name with
@@ -409,6 +528,10 @@ let adaptive_state t rt name (m : meta) =
         {
           reservoir =
             Online.Reservoir.create ~seed ~capacity:rt.acfg.reservoir_capacity ();
+          reservoir_y =
+            (if m.kind = Selest.Stored.Rect_kind then
+               Some (Online.Reservoir.create ~seed ~capacity:rt.acfg.reservoir_capacity ())
+             else None);
           feedback = seed_feedback rt m summary;
           observes_since_refresh = 0;
           rebuild_failed = None;
@@ -426,19 +549,37 @@ let insert t ~name values =
     | Some m ->
       if Array.exists (fun v -> not (Float.is_finite v)) values then
         Error "insert: values must be finite"
+      else if m.kind = Selest.Stored.Rect_kind && Array.length values mod 2 <> 0 then
+        Error "insert: rect entries take flattened (x, y) pairs; even length required"
       else (
         match adaptive_state t rt name m with
         | Error _ as e -> e
         | Ok st ->
-          Online.Reservoir.add_array st.reservoir values;
+          let inserted =
+            match st.reservoir_y with
+            | None ->
+              (* Range values, or join R-side values: one reservoir. *)
+              Online.Reservoir.add_array st.reservoir values;
+              Array.length values
+            | Some ry ->
+              (* Rect: de-interleave the flattened pairs into the two
+                 lockstep reservoirs (same seed, same seen count — same
+                 slot decisions, so pairing survives sampling). *)
+              let pairs = Array.length values / 2 in
+              for p = 0 to pairs - 1 do
+                Online.Reservoir.add st.reservoir values.(2 * p);
+                Online.Reservoir.add ry values.((2 * p) + 1)
+              done;
+              pairs
+          in
           st.rebuild_failed <- None;
-          m.inserts <- m.inserts + Array.length values;
+          m.inserts <- m.inserts + inserted;
           (* Persist only on the stale transition: one snapshot write per
              budget cycle instead of one per insert frame.  Staleness
              still survives restarts once tripped; sub-budget counts are
              the acceptable loss on kill. *)
           if refresh_staleness t m then persist t name m;
-          Telemetry.Metrics.add t.m_adaptive_inserts (Array.length values);
+          Telemetry.Metrics.add t.m_adaptive_inserts inserted;
           Ok (Online.Reservoir.size st.reservoir, Online.Reservoir.seen st.reservoir)))
 
 let observe t ~name ~a ~b ~actual =
@@ -455,11 +596,18 @@ let observe t ~name ~a ~b ~actual =
       else (
         match adaptive_state t rt name m with
         | Error _ as e -> e
-        | Ok st ->
-          Feedback.Adaptive.observe st.feedback ~a ~b ~actual;
-          st.observes_since_refresh <- st.observes_since_refresh + 1;
-          Telemetry.Metrics.incr t.m_observations;
-          Ok (Feedback.Adaptive.selectivity st.feedback ~a ~b)))
+        | Ok st -> (
+          match st.feedback with
+          | None ->
+            Error
+              (Printf.sprintf
+                 "observe: entry %S is a %s entry; only range entries take feedback"
+                 name (Selest.Stored.kind_name m.kind))
+          | Some fb ->
+            Feedback.Adaptive.observe fb ~a ~b ~actual;
+            st.observes_since_refresh <- st.observes_since_refresh + 1;
+            Telemetry.Metrics.incr t.m_observations;
+            Ok (Feedback.Adaptive.selectivity fb ~a ~b))))
 
 (* Install [summary] as the entry's served version: cache, metadata and
    snapshot move together, and the feedback histogram is reseeded from the
@@ -468,7 +616,7 @@ let observe t ~name ~a ~b ~actual =
    a read sees the old bits or the new bits, never a torn mix. *)
 let install_summary t rt name (m : meta) (st : astate) summary ~reset_staleness =
   Lru.add t.cache name summary;
-  m.cells <- Selest.Stored.cells summary;
+  m.cells <- Selest.Stored.any_cells summary;
   if reset_staleness then begin
     m.inserts <- 0;
     m.stale <- false
@@ -480,26 +628,79 @@ let install_summary t rt name (m : meta) (st : astate) summary ~reset_staleness 
 
 (* The worker closes over its own copy of the reservoir sample and the
    entry's immutable build inputs — it never touches service state.  The
-   (cheap) snapshot copy happens here in the owner. *)
-let launch_rebuild rt name (m : meta) (st : astate) wake =
-  let sample = Online.Reservoir.sample st.reservoir in
-  let spec = m.spec and domain = m.domain and cells = m.cells in
+   (cheap) snapshot copy happens here in the owner.  What a rebuild means
+   is kind-specific: range refits the spec on the sample; rect re-grids
+   the paired reservoirs; join re-buckets the R side from its reservoir
+   while keeping the summarized S side (inserts stream into R). *)
+let launch_rebuild t rt name (m : meta) (st : astate) wake =
   let p =
     { p_name = name; p_m = Mutex.create (); p_result = None; p_thread = None }
   in
+  let job : unit -> (Selest.Stored.any, string) result =
+    match m.kind with
+    | Selest.Stored.Range_kind ->
+      let sample = Online.Reservoir.sample st.reservoir in
+      let spec = m.spec and domain = m.domain and cells = m.cells in
+      fun () -> (
+        match Selest.Estimator.spec_of_string spec with
+        | Error e -> Error e
+        | Ok parsed -> (
+          match
+            Selest.Stored.of_estimator ~cells ~domain
+              (Selest.Estimator.build parsed ~domain sample)
+          with
+          | summary -> Ok (Selest.Stored.Range summary)
+          | exception Invalid_argument msg -> Error msg))
+    | Selest.Stored.Rect_kind ->
+      let xs = Online.Reservoir.sample st.reservoir in
+      let ys =
+        match st.reservoir_y with
+        | Some ry -> Online.Reservoir.sample ry
+        | None -> [||]
+      in
+      let spec = m.spec and domain_x = m.domain in
+      let domain_y = Option.value ~default:m.domain m.domain_y in
+      fun () -> (
+        match Selest.Stored.rect_spec_of_string spec with
+        | Error e -> Error e
+        | Ok (bins_x, bins_y) ->
+          if Array.length xs <> Array.length ys then
+            Error "rect rebuild: reservoirs out of lockstep"
+          else (
+            match
+              Selest.Stored.rect_of_points ~domain_x ~domain_y ~bins_x ~bins_y
+                (Array.map2 (fun x y -> (x, y)) xs ys)
+            with
+            | rect -> Ok (Selest.Stored.Rect rect)
+            | exception Invalid_argument msg -> Error msg))
+    | Selest.Stored.Join_kind ->
+      let sample_r = Online.Reservoir.sample st.reservoir in
+      let spec = m.spec and domain = m.domain in
+      let current =
+        match Lru.peek t.cache name with
+        | Some (Selest.Stored.Join j) -> Some j
+        | _ -> (
+          match Snapshot.load ~path:(Snapshot.path ~dir:t.dir name) with
+          | Ok { Snapshot.summary = Selest.Stored.Join j; _ } -> Some j
+          | _ -> None)
+      in
+      fun () -> (
+        match (Selest.Stored.join_spec_of_string spec, current) with
+        | Error e, _ -> Error e
+        | Ok _, None -> Error "join rebuild: current summary unreadable"
+        | Ok buckets, Some j ->
+          let n_r, n_s = Selest.Stored.join_sizes j in
+          let _, sample_s = Selest.Stored.join_samples j in
+          (match
+             Selest.Stored.join_of_samples ~domain ~buckets ~n_r ~n_s sample_r
+               sample_s
+           with
+          | join -> Ok (Selest.Stored.Join join)
+          | exception Invalid_argument msg -> Error msg))
+  in
   rt.pending <- Some p;
   let worker () =
-    let result =
-      match Selest.Estimator.spec_of_string spec with
-      | Error e -> Error e
-      | Ok parsed -> (
-        match
-          Selest.Stored.of_estimator ~cells ~domain
-            (Selest.Estimator.build parsed ~domain sample)
-        with
-        | summary -> Ok summary
-        | exception Invalid_argument msg -> Error msg)
-    in
+    let result = job () in
     Mutex.lock p.p_m;
     p.p_result <- Some result;
     Mutex.unlock p.p_m;
@@ -545,17 +746,19 @@ let adaptive_tick ?(wake = fun () -> ()) t =
        ST-histogram over the grid is microseconds; no worker needed). *)
     Hashtbl.iter
       (fun name st ->
-        if st.observes_since_refresh >= rt.acfg.refresh_after_observes then
+        match st.feedback with
+        | Some fb when st.observes_since_refresh >= rt.acfg.refresh_after_observes -> (
           match Hashtbl.find_opt t.index name with
           | None -> ()
           | Some m ->
-            let fb = st.feedback in
             let summary =
               Selest.Stored.of_fn ~cells:m.cells ~domain:m.domain (fun ~a ~b ->
                   Feedback.Adaptive.selectivity fb ~a ~b)
             in
-            install_summary t rt name m st summary ~reset_staleness:false;
+            install_summary t rt name m st (Selest.Stored.Range summary)
+              ~reset_staleness:false;
             incr swaps)
+        | _ -> ())
       rt.states;
     (* 3. Launch at most one background resample rebuild for the first
        stale entry with enough reservoir (sorted order for determinism). *)
@@ -573,7 +776,7 @@ let adaptive_tick ?(wake = fun () -> ()) t =
         | [] -> ()
         | name :: rest -> (
           match due name with
-          | Some (m, st) -> launch_rebuild rt name m st wake
+          | Some (m, st) -> launch_rebuild t rt name m st wake
           | None -> first rest)
       in
       first (names t)
@@ -615,7 +818,9 @@ let adaptive_stats t =
     Hashtbl.iter
       (fun _ st ->
         sampled := !sampled + Online.Reservoir.seen st.reservoir;
-        obs := !obs + Feedback.Adaptive.feedback_count st.feedback;
+        (match st.feedback with
+        | Some fb -> obs := !obs + Feedback.Adaptive.feedback_count fb
+        | None -> ());
         if !err = None then err := st.rebuild_failed)
       rt.states;
     {

@@ -93,9 +93,15 @@ val mem : t -> string -> bool
 
 type info = {
   name : string;
+  kind : Selest.Stored.kind;  (** range, rect or join *)
   spec : string;  (** compact spec syntax the entry was built with *)
-  cells : int;  (** summary grid resolution *)
-  domain : float * float;  (** estimation domain of the summary *)
+  cells : int;
+      (** summary size: grid cells (range), [bins_x * bins_y] (rect), or
+          total equi-depth buckets across both relations (join) *)
+  domain : float * float;
+      (** estimation domain of the summary (the x-axis domain for rect
+          entries, the shared attribute domain for join entries) *)
+  domain_y : (float * float) option;  (** rect entries: the y-axis domain *)
   inserts : int;  (** records changed since the summary was built *)
   stale : bool;  (** past the insert budget, or explicitly invalidated *)
   cached : bool;  (** currently resident in the LRU cache *)
@@ -121,9 +127,47 @@ val build :
     reset.  [Error] on an empty or newline-containing name, an unparseable
     spec, or estimator-construction failure (empty sample, empty domain). *)
 
+val build_rect :
+  t ->
+  name:string ->
+  spec:string ->
+  domain_x:float * float ->
+  domain_y:float * float ->
+  points:(float * float) array ->
+  (info, string) result
+(** [build_rect t ~name ~spec ~domain_x ~domain_y ~points] builds a 2-D
+    grid summary ([Selest.Stored.rect_of_points]) from a point sample and
+    installs it exactly as {!build} installs a range entry.  [spec] uses
+    the [Selest.Stored.rect_spec_of_string] syntax
+    ([hist2d], [hist2d:B], [hist2d:BXxBY]).  Served rectangle queries
+    against the entry are bit-identical to [Multidim.Hist2d] on the same
+    sample — both delegate to the same [Selest.Stored] arithmetic.
+    [Error] on a bad name or spec, an empty sample or an empty domain. *)
+
+val build_join :
+  t ->
+  name:string ->
+  spec:string ->
+  domain:float * float ->
+  n_r:int ->
+  n_s:int ->
+  sample_r:float array ->
+  sample_s:float array ->
+  (info, string) result
+(** [build_join t ~name ~spec ~domain ~n_r ~n_s ~sample_r ~sample_s]
+    builds a join summary ([Selest.Stored.join_of_samples]: one equi-depth
+    histogram per relation plus the retained samples) and installs it.
+    [spec] uses the [Selest.Stored.join_spec_of_string] syntax ([edh],
+    [edh:BUCKETS]).  Served join estimates are bit-identical to
+    [Join.Ineqjoin.estimate] on the same summary.  [Error] on a bad name
+    or spec, empty samples, non-positive sizes or an empty domain. *)
+
 val rebuild : t -> name:string -> sample:float array -> (info, string) result
 (** Re-ANALYZE: {!build} with the entry's recorded spec and domain on a
-    fresh sample, clearing its staleness.  [Error] on an unknown name. *)
+    fresh sample, clearing its staleness.  [Error] on an unknown name, or
+    on a rect/join entry (their samples are not one float array; rebuild
+    those with {!build_rect} / {!build_join}, or let the adaptive tick
+    resample them). *)
 
 val record_inserts : t -> name:string -> int -> (unit, string) result
 (** Tell the catalog the entry's relation changed by that many records
@@ -184,6 +228,27 @@ val answer_into :
 val answer_one : t -> name:string -> a:float -> b:float -> (float, string) result
 (** Single-query {!answer} with an [Error] instead of an exception. *)
 
+val answer_rect :
+  t ->
+  name:string ->
+  x_lo:float ->
+  x_hi:float ->
+  y_lo:float ->
+  y_hi:float ->
+  (float, string) result
+(** Selectivity of a closed rectangle against a rect entry: one cache
+    access, then [Selest.Stored.rect_selectivity] — the function
+    [Multidim.Hist2d.selectivity] is an alias of, so the served answer is
+    bit-identical to the direct library call.  [Error] on an unknown
+    name, a non-rect entry, or an unreadable snapshot. *)
+
+val answer_join :
+  t -> name:string -> pred:Selest.Stored.join_pred -> (float, string) result
+(** Estimated size of [R JOIN_pred S] from a join entry
+    ([Selest.Stored.join_estimate], the function [Join.Ineqjoin.estimate]
+    is an alias of).  [Error] on an unknown name, a non-join entry, or an
+    unreadable snapshot. *)
+
 val cache_stats : t -> Lru.stats
 (** Lifetime hit/miss/eviction counts of the summary cache. *)
 
@@ -236,14 +301,21 @@ val adaptive_enabled : t -> bool
 (** Whether {!enable_adaptive} has been called. *)
 
 val insert : t -> name:string -> float array -> (int * int, string) result
-(** [insert t ~name values] streams freshly inserted attribute values of
-    the entry's relation into its reservoir and advances its staleness
-    count by [Array.length values] (the same budget {!record_inserts}
-    spends).  Returns [(retained, seen)] — current reservoir occupancy
-    and lifetime offered count.  The stale flag is persisted when it
-    trips; sub-budget counts live in memory only, so a kill loses at
-    most one budget of progress.  [Error] on an unknown entry, a
-    non-finite value, or when adaptivity is disabled. *)
+(** [insert t ~name values] streams freshly inserted records of the
+    entry's relation into its reservoir(s) and advances its staleness
+    count (the same budget {!record_inserts} spends).  What a value means
+    is kind-specific: range entries take attribute values; rect entries
+    take flattened [(x, y)] pairs ([x0; y0; x1; y1; ...] — even length
+    required), kept paired through reservoir sampling by two same-seed
+    lockstep reservoirs; join entries take R-side attribute values (the
+    adaptive rebuild re-buckets R from the reservoir and keeps the
+    summarized S side).  The staleness count advances by the number of
+    records — pairs for rect entries, values otherwise.  Returns
+    [(retained, seen)] — current reservoir occupancy and lifetime offered
+    count.  The stale flag is persisted when it trips; sub-budget counts
+    live in memory only, so a kill loses at most one budget of progress.
+    [Error] on an unknown entry, a non-finite value, an odd-length rect
+    frame, or when adaptivity is disabled. *)
 
 val observe :
   t -> name:string -> a:float -> b:float -> actual:float -> (float, string) result
@@ -252,8 +324,10 @@ val observe :
     the entry's ST-histogram where the workload actually queries.
     Returns the refined in-memory estimate for the same range — it
     converges toward [actual] over repeated observations, while the
-    {e served} summary only changes at the next refresh swap.  [Error]
-    on an unknown entry, [actual] outside [0, 1], non-finite bounds, or
+    {e served} summary only changes at the next refresh swap.  Range
+    entries only — rect and join summaries carry no ST-histogram, so
+    their adaptivity is reservoir-rebuild only.  [Error] on an unknown
+    or non-range entry, [actual] outside [0, 1], non-finite bounds, or
     when adaptivity is disabled. *)
 
 val adaptive_tick : ?wake:(unit -> unit) -> t -> int

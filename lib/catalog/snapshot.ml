@@ -3,7 +3,7 @@ type entry = {
   spec : string;
   inserts : int;
   stale : bool;
-  summary : Selest.Stored.t;
+  summary : Selest.Stored.any;
 }
 
 let magic = "selest-catalog v1"
@@ -67,7 +67,7 @@ let save ~dir entry =
      Printf.fprintf oc "%s\nname %s\nspec %s\ninserts %d\nstale %d\n" magic entry.name
        entry.spec entry.inserts
        (if entry.stale then 1 else 0);
-     output_string oc (Selest.Stored.to_string entry.summary);
+     output_string oc (Selest.Stored.any_to_string entry.summary);
      close_out oc
    with e ->
      close_out_noerr oc;
@@ -96,13 +96,6 @@ let parse contents =
       let* spec =
         Option.to_result ~none:"missing spec line" (field "spec" spec_line)
       in
-      let* () =
-        (* A snapshot whose spec no longer parses cannot be rebuilt when it
-           goes stale; treat it as corrupt now rather than at rebuild time. *)
-        match Selest.Estimator.spec_of_string spec with
-        | Ok _ -> Ok ()
-        | Error e -> Error (Printf.sprintf "unparseable spec %S: %s" spec e)
-      in
       let* inserts =
         match Option.bind (field "inserts" inserts_line) int_of_string_opt with
         | Some n when n >= 0 -> Ok n
@@ -116,7 +109,22 @@ let parse contents =
         | Some _ -> Error "malformed stale flag"
         | None -> Error "missing stale line"
       in
-      let* summary = Selest.Stored.of_string (String.concat "\n" rest) in
+      let* summary = Selest.Stored.any_of_string (String.concat "\n" rest) in
+      let* () =
+        (* A snapshot whose spec no longer parses cannot be rebuilt when it
+           goes stale; treat it as corrupt now rather than at rebuild time.
+           The payload header decides which spec syntax applies, so the
+           summary is parsed first. *)
+        let describe = function
+          | Ok _ -> Ok ()
+          | Error e -> Error (Printf.sprintf "unparseable spec %S: %s" spec e)
+        in
+        match Selest.Stored.any_kind summary with
+        | Selest.Stored.Range_kind ->
+          describe (Selest.Estimator.spec_of_string spec)
+        | Selest.Stored.Rect_kind -> describe (Selest.Stored.rect_spec_of_string spec)
+        | Selest.Stored.Join_kind -> describe (Selest.Stored.join_spec_of_string spec)
+      in
       Ok { name; spec; inserts; stale; summary }
   | _ -> Error "truncated header"
 

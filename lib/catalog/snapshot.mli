@@ -1,9 +1,10 @@
 (** On-disk snapshots of catalog entries.
 
     Every catalog entry persists as one text file inside the catalog
-    directory: a versioned [selest-catalog v1] header (name, estimator
-    spec, staleness state) followed by the [Selest.Stored] payload.  The
-    full format, with a worked example, is documented in
+    directory: a versioned [selest-catalog v1] header (name, build spec,
+    staleness state) followed by the [Selest.Stored.any] payload, whose
+    own header line says whether the entry is a range, rect or join
+    summary.  The full format, with a worked example, is documented in
     [docs/CATALOG.md].
 
     Writes are atomic: the file is written to a [.tmp] sibling and
@@ -15,11 +16,15 @@
 type entry = {
   name : string;  (** catalog entry name; must not contain newlines *)
   spec : string;
-      (** estimator spec in the [Selest.Estimator.spec_of_string] syntax
-          the entry was built with (kept so a stale entry can be rebuilt) *)
+      (** build spec in the syntax of the entry's kind —
+          [Selest.Estimator.spec_of_string] for range summaries,
+          [Selest.Stored.rect_spec_of_string] for rect,
+          [Selest.Stored.join_spec_of_string] for join (kept so a stale
+          entry can be rebuilt) *)
   inserts : int;  (** records inserted since the summary was built *)
   stale : bool;  (** true once invalidated or past the rebuild budget *)
-  summary : Selest.Stored.t;  (** the serving payload *)
+  summary : Selest.Stored.any;
+      (** the serving payload; its own header line names the kind *)
 }
 
 val extension : string

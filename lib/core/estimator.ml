@@ -250,6 +250,7 @@ let selectivity t ~a ~b =
     s
   end
 let density t x = Option.map (fun f -> f x) t.density
+let has_density t = Option.is_some t.density
 
 let estimate_count t ~n_records ~a ~b = float_of_int n_records *. t.selectivity ~a ~b
 

@@ -126,6 +126,12 @@ val density : t -> float -> float option
 (** The underlying density estimate where one exists ([None] for pure
     sampling). *)
 
+val has_density : t -> bool
+(** Whether this estimator exposes a density — the capability check
+    behind {!density}'s option, answerable without probing a point
+    (consumers like [Join.Equijoin] use it instead of probing the
+    density at an arbitrary coordinate). *)
+
 val default_suite : spec list
 (** The estimators of the paper's final comparison (Figure 12): EWH with
     normal-scale bins, kernel with boundary kernels and DPI2, hybrid, and

@@ -57,3 +57,172 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 (** Inverse of {!to_string}; [Error] describes the first malformed field. *)
+
+(** {1 Rectangle (2-D grid) summaries}
+
+    The 2-D analog of {!t}: an equal-width grid of cell masses over a
+    product domain, answering rectangle queries under the
+    uniform-within-cell assumption.  [Multidim.Hist2d] delegates its
+    arithmetic here, so a served rectangle estimate is bit-identical to
+    the direct library call. *)
+
+type rect
+
+val canonical_rect :
+  x_lo:float ->
+  x_hi:float ->
+  y_lo:float ->
+  y_hi:float ->
+  (float * float * float * float) option
+(** Closed-rectangle-on-the-integer-grid canonicalization, the shared
+    query semantics of every 2-D estimator in this codebase: the rectangle
+    means the integer points it contains, and the continuous region
+    actually evaluated is the union of their unit cells —
+    [(ceil x_lo - 0.5, floor x_hi + 0.5)] per axis.  Queries already
+    phrased on half-integer cell edges map to themselves; a degenerate
+    [[a, a]] query becomes the unit cell around [a], agreeing with the
+    inclusive exact count of [Multidim.Dataset2d].  [None] when no integer
+    point lies inside (inverted, empty or NaN bounds). *)
+
+val rect_of_points :
+  domain_x:float * float ->
+  domain_y:float * float ->
+  bins_x:int ->
+  bins_y:int ->
+  (float * float) array ->
+  rect
+(** Build the grid by binning sample points (cell indices clamped in
+    float space, so out-of-domain and infinite coordinates land in edge
+    cells).  @raise Invalid_argument on an empty sample, empty domains or
+    non-positive bin counts. *)
+
+val rect_of_fn :
+  domain_x:float * float ->
+  domain_y:float * float ->
+  bins_x:int ->
+  bins_y:int ->
+  (x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float) ->
+  rect
+(** Probe any 2-D selectivity function once per cell (the 2-D {!of_fn}):
+    cell [(i, j)] stores [max 0 (f cell_rect)].  Use to reduce a
+    product-kernel or independence estimator onto a servable grid.
+    @raise Invalid_argument on empty domains or non-positive bins. *)
+
+val rect_bins : rect -> int * int
+(** Grid resolution [(bins_x, bins_y)]. *)
+
+val rect_domains : rect -> (float * float) * (float * float)
+(** The product domain [(domain_x, domain_y)] the grid partitions. *)
+
+val rect_selectivity :
+  rect -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float
+(** Selectivity of the canonicalized ({!canonical_rect}) rectangle:
+    per-cell mass times overlapped area fraction, clamped to [[0, 1]];
+    [0] when the rectangle contains no integer point. *)
+
+val rect_density : rect -> float -> float -> float
+(** Cell mass over [total * cell area]; 0 outside the grid. *)
+
+val rect_to_string : rect -> string
+(** Textual serialization (["selest-stored-rect v1"] header). *)
+
+val rect_of_string : string -> (rect, string) result
+(** Inverse of {!rect_to_string}; total on malformed input. *)
+
+val rect_spec_of_string : string -> (int * int, string) result
+(** Parse the compact rect spec syntax the catalog stores:
+    ["hist2d"] (32x32 default), ["hist2d:64"], ["hist2d:64x32"].
+    Returns the bin counts [(bins_x, bins_y)]. *)
+
+(** {1 Join summaries}
+
+    Per-relation equi-depth histograms plus the retained build samples,
+    answering equi- and inequality-join size estimates.  The arithmetic
+    (density product for [eq], histogram-pair sweep for [lt]/[le]) lives
+    here so [Join.Ineqjoin] and the serving stack share one code path. *)
+
+type join_pred = Join_eq | Join_lt | Join_le
+
+val join_pred_to_string : join_pred -> string
+(** ["eq"], ["lt"] or ["le"]. *)
+
+val join_pred_of_string : string -> (join_pred, string) result
+(** Inverse of {!join_pred_to_string}; [Error] on anything else. *)
+
+type join
+
+val join_of_samples :
+  domain:float * float ->
+  buckets:int ->
+  n_r:int ->
+  n_s:int ->
+  float array ->
+  float array ->
+  join
+(** [join_of_samples ~domain ~buckets ~n_r ~n_s sample_r sample_s] builds
+    per-relation equi-depth histograms (at most [buckets] buckets each;
+    zero-width buckets merge) from the two samples, clamped to the shared
+    domain, and retains the sorted samples for adaptive rebuilds.
+    @raise Invalid_argument on empty samples, non-finite values,
+    non-positive sizes/buckets, or an empty domain. *)
+
+val join_domain : join -> float * float
+(** The shared attribute domain. *)
+
+val join_sizes : join -> int * int
+(** The relation sizes [(n_r, n_s)] estimates scale by. *)
+
+val join_buckets : join -> int * int
+(** Bucket counts of the two equi-depth histograms. *)
+
+val join_samples : join -> float array * float array
+(** The retained (sorted, domain-clamped) build samples. *)
+
+val join_estimate : join -> pred:join_pred -> float
+(** Estimated size of [R.A pred S.B]: the density-product integral for
+    [Join_eq] (each integer value occupying a unit cell), the
+    histogram-pair sweep [sum_ij m_i m_j P(x < y)] for [Join_lt], and
+    their sum for [Join_le]. *)
+
+val join_to_string : join -> string
+(** Textual serialization (["selest-stored-join v1"] header). *)
+
+val join_of_string : string -> (join, string) result
+(** Inverse of {!join_to_string}; total on malformed input. *)
+
+val join_spec_of_string : string -> (int, string) result
+(** Parse the compact join spec syntax the catalog stores: ["edh"]
+    (64 buckets default) or ["edh:128"].  Returns the bucket budget. *)
+
+(** {1 Kind-dispatched summaries}
+
+    What the catalog snapshots and the server caches: one of the three
+    summary kinds, serialized with a kind-identifying header line. *)
+
+type kind = Range_kind | Rect_kind | Join_kind
+
+val kind_name : kind -> string
+(** ["range"], ["rect"] or ["join"]. *)
+
+val kind_of_name : string -> (kind, string) result
+(** Inverse of {!kind_name}; [Error] on anything else. *)
+
+type any = Range of t | Rect of rect | Join of join
+
+val any_kind : any -> kind
+(** The constructor's kind. *)
+
+val any_cells : any -> int
+(** Summary resolution: grid cells for range, [bins_x * bins_y] for rect,
+    total histogram buckets for join. *)
+
+val any_domain : any -> float * float
+(** The (x-axis, for rect) estimation domain. *)
+
+val any_to_string : any -> string
+(** The kind's serialization — headers stay distinct, so {!any_of_string}
+    can dispatch, and a v1 range snapshot loads unchanged. *)
+
+val any_of_string : string -> (any, string) result
+(** Parse any of the three summary serializations by header line; total
+    on malformed input. *)

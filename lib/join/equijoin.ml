@@ -34,47 +34,61 @@ let from_densities ?(grid = 2048) ~domain:(lo, hi) f_r f_s ~n_r ~n_s =
   float_of_int n_r *. float_of_int n_s *. integral
 
 let estimate ?grid ~domain est_r est_s ~n_r ~n_s =
-  let lo, _ = domain in
-  (* Probe the densities once to detect estimators without one (sampling). *)
-  match (Selest.Estimator.density est_r lo, Selest.Estimator.density est_s lo) with
-  | Some _, Some _ ->
+  if Selest.Estimator.has_density est_r && Selest.Estimator.has_density est_s then begin
     let f est x = Option.value ~default:0.0 (Selest.Estimator.density est x) in
     Some (from_densities ?grid ~domain (f est_r) (f est_s) ~n_r ~n_s)
-  | None, _ | _, None -> None
+  end
+  else None
 
 let exact_range_restricted_size r s ~lo ~hi =
   let vr = Data.Dataset.sorted_values r and vs = Data.Dataset.sorted_values s in
   let nr = Array.length vr and ns = Array.length vs in
-  let ilo = int_of_float (Float.ceil lo) and ihi = int_of_float (Float.floor hi) in
-  let total = ref 0 in
-  let i = ref (Stats.Array_util.int_lower_bound vr ilo) in
-  let j = ref 0 in
-  while !i < nr && vr.(!i) <= ihi && !j < ns do
-    let a = vr.(!i) and b = vs.(!j) in
-    if a < b then incr i
-    else if a > b then incr j
-    else begin
-      let i0 = !i and j0 = !j in
-      while !i < nr && vr.(!i) = a do
-        incr i
-      done;
-      while !j < ns && vs.(!j) = a do
-        incr j
-      done;
-      total := !total + ((!i - i0) * (!j - j0))
-    end
-  done;
-  !total
+  (* Clamp in float space to the array's value range before the int
+     conversion: [int_of_float] is unspecified outside [min_int, max_int],
+     so an unbounded range like [hi = infinity] must never reach it (the
+     Kernels.Lut.cdf bug class).  NaN bounds fail the [<=] guards and
+     fall out as an empty range. *)
+  let v_min = float_of_int vr.(0) and v_max = float_of_int vr.(nr - 1) in
+  let flo = Float.ceil lo and fhi = Float.floor hi in
+  if not (flo <= fhi && flo <= v_max && fhi >= v_min) then 0
+  else begin
+    let ilo = int_of_float (Float.max v_min flo)
+    and ihi = int_of_float (Float.min v_max fhi) in
+    let total = ref 0 in
+    let i = ref (Stats.Array_util.int_lower_bound vr ilo) in
+    let j = ref 0 in
+    while !i < nr && vr.(!i) <= ihi && !j < ns do
+      let a = vr.(!i) and b = vs.(!j) in
+      if a < b then incr i
+      else if a > b then incr j
+      else begin
+        let i0 = !i and j0 = !j in
+        while !i < nr && vr.(!i) = a do
+          incr i
+        done;
+        while !j < ns && vs.(!j) = a do
+          incr j
+        done;
+        total := !total + ((!i - i0) * (!j - j0))
+      end
+    done;
+    !total
+  end
 
+(* [None] means "these estimators cannot answer" and nothing else: the
+   capability check comes first, so an empty clamped range is [Some 0.0]
+   exactly when a non-empty one would have produced an estimate. *)
 let range_restricted ?(grid = 2048) ~domain:(dlo, dhi) est_r est_s ~n_r ~n_s ~lo ~hi =
-  let lo = Float.max lo dlo and hi = Float.min hi dhi in
-  if lo >= hi then Some 0.0
-  else
-    match (Selest.Estimator.density est_r lo, Selest.Estimator.density est_s lo) with
-    | Some _, Some _ ->
+  if not (Selest.Estimator.has_density est_r && Selest.Estimator.has_density est_s) then
+    None
+  else begin
+    let lo = Float.max lo dlo and hi = Float.min hi dhi in
+    if lo >= hi then Some 0.0
+    else begin
       let f est x = Option.value ~default:0.0 (Selest.Estimator.density est x) in
       Some (from_densities ~grid ~domain:(lo, hi) (f est_r) (f est_s) ~n_r ~n_s)
-    | None, _ | _, None -> None
+    end
+  end
 
 let sample_join sample_r sample_s ~n_r ~n_s =
   let mr = Array.length sample_r and ms = Array.length sample_s in

@@ -44,14 +44,18 @@ val estimate :
   n_s:int ->
   float option
 (** {!from_densities} over two fitted estimators (pass the attribute domain
-    they were built with); [None] when either lacks a density (pure
-    sampling). *)
+    they were built with).  [None] if and only if either estimator lacks a
+    density ([Selest.Estimator.has_density] — pure sampling); with two
+    density-backed estimators the result is always [Some]. *)
 
 val exact_range_restricted_size :
   Data.Dataset.t -> Data.Dataset.t -> lo:float -> hi:float -> int
 (** Exact size of [sigma_(lo <= A <= hi)(R) JOIN S] — a selection pushed
     below the join, the plan shape whose cardinality errors compound
-    (Ioannidis' error-propagation setting [2]). *)
+    (Ioannidis' error-propagation setting [2]).  Total for any float
+    bounds: [±infinity] act as unbounded ends, NaN as an empty range (the
+    bounds are clamped to the value range in float space before any int
+    conversion, so nothing reaches [int_of_float]'s unspecified cases). *)
 
 val range_restricted :
   ?grid:int ->
@@ -64,8 +68,11 @@ val range_restricted :
   hi:float ->
   float option
 (** Density-product estimate of the range-restricted join
-    [N_R N_S int_lo^hi f_R f_S]; [None] when either estimator lacks a
-    density. *)
+    [N_R N_S int_lo^hi f_R f_S].  The option mirrors {!estimate}'s
+    contract exactly: [None] if and only if either estimator lacks a
+    density ([Selest.Estimator.has_density]), regardless of the range —
+    a range that clamps to empty is [Some 0.0] precisely when a
+    non-empty one would have produced an estimate. *)
 
 val sample_join :
   float array -> float array -> n_r:int -> n_s:int -> float

@@ -1,0 +1,32 @@
+let exact_inequality_size r s ~pred =
+  match (pred : Selest.Stored.join_pred) with
+  | Join_eq -> Equijoin.exact_size r s
+  | Join_lt | Join_le ->
+    let vr = Data.Dataset.sorted_values r and vs = Data.Dataset.sorted_values s in
+    let nr = Array.length vr in
+    let strict = pred = Selest.Stored.Join_lt in
+    (* Both arrays sorted ascending: the count of R values below each
+       successive S value is non-decreasing, so one pointer sweeps R
+       exactly once — O(|R| + |S|) for the quadratic-output predicate. *)
+    let total = ref 0 and i = ref 0 in
+    Array.iter
+      (fun v ->
+        if strict then
+          while !i < nr && vr.(!i) < v do
+            incr i
+          done
+        else
+          while !i < nr && vr.(!i) <= v do
+            incr i
+          done;
+        total := !total + !i)
+      vs;
+    !total
+
+let summarize ?(buckets = 64) ~domain ~n_r ~n_s sample_r sample_s =
+  Selest.Stored.join_of_samples ~domain ~buckets ~n_r ~n_s sample_r sample_s
+
+let estimate = Selest.Stored.join_estimate
+
+let estimate_of_samples ?buckets ~domain ~n_r ~n_s sample_r sample_s ~pred =
+  estimate (summarize ?buckets ~domain ~n_r ~n_s sample_r sample_s) ~pred

@@ -63,14 +63,23 @@ let count_in_sorted a lo hi =
   else Stats.Array_util.int_upper_bound a hi - Stats.Array_util.int_lower_bound a lo
 
 let exact_count t ~x_lo ~x_hi ~y_lo ~y_hi =
-  if x_lo > x_hi || y_lo > y_hi then 0
+  (* Clamp in float space to the integer domain before any int conversion:
+     [int_of_float] is unspecified outside [min_int, max_int], so unbounded
+     bounds (±infinity) or NaN must never reach it.  NaN fails the [<=]
+     guard below and empties the rectangle. *)
+  let max_x = float_of_int ((1 lsl t.bits_x) - 1) in
+  let max_y = float_of_int ((1 lsl t.bits_y) - 1) in
+  let fx_lo = Float.max 0.0 (Float.ceil x_lo) in
+  let fx_hi = Float.min max_x (Float.floor x_hi) in
+  let fy_lo = Float.max 0.0 (Float.ceil y_lo) in
+  let fy_hi = Float.min max_y (Float.floor y_hi) in
+  if not (fx_lo <= fx_hi && fy_lo <= fy_hi) then 0
   else begin
-    let ix_lo = int_of_float (Float.ceil x_lo) in
-    let ix_hi = int_of_float (Float.floor x_hi) in
-    let iy_lo = int_of_float (Float.ceil y_lo) in
-    let iy_hi = int_of_float (Float.floor y_hi) in
-    if ix_lo > ix_hi || iy_lo > iy_hi then 0
-    else begin
+    let ix_lo = int_of_float fx_lo in
+    let ix_hi = int_of_float fx_hi in
+    let iy_lo = int_of_float fy_lo in
+    let iy_hi = int_of_float fy_hi in
+    begin
       let total = ref 0 in
       Array.iter
         (fun b ->

@@ -1,77 +1,39 @@
-type t = {
-  x_lo : float;
-  y_lo : float;
-  wx : float; (* cell width along x *)
-  wy : float;
-  bins_x : int;
-  bins_y : int;
-  counts : float array; (* row-major: cell (i, j) at [j * bins_x + i] *)
-  total : float;
-}
+(* The 2-D grid histogram is a thin wrapper over the core's servable
+   summary kind: build, query and density all delegate to
+   [Selest.Stored.rect], which is what makes a catalog-served rectangle
+   estimate bit-identical to the direct library call. *)
 
-let build ~domain_x:(x_lo, x_hi) ~domain_y:(y_lo, y_hi) ~bins_x ~bins_y points =
-  if x_lo >= x_hi || y_lo >= y_hi then invalid_arg "Hist2d.build: empty domain";
-  if bins_x <= 0 || bins_y <= 0 then invalid_arg "Hist2d.build: bins must be positive";
-  if Array.length points = 0 then invalid_arg "Hist2d.build: empty sample";
-  let wx = (x_hi -. x_lo) /. float_of_int bins_x in
-  let wy = (y_hi -. y_lo) /. float_of_int bins_y in
-  let counts = Array.make (bins_x * bins_y) 0.0 in
-  let cell_index lo w bins v =
-    Int.max 0 (Int.min (bins - 1) (int_of_float (Float.floor ((v -. lo) /. w))))
-  in
-  Array.iter
-    (fun (x, y) ->
-      let i = cell_index x_lo wx bins_x x in
-      let j = cell_index y_lo wy bins_y y in
-      counts.((j * bins_x) + i) <- counts.((j * bins_x) + i) +. 1.0)
-    points;
-  { x_lo; y_lo; wx; wy; bins_x; bins_y; counts; total = float_of_int (Array.length points) }
+type t = Selest.Stored.rect
 
-let bins t = (t.bins_x, t.bins_y)
+let build ~domain_x ~domain_y ~bins_x ~bins_y points =
+  try Selest.Stored.rect_of_points ~domain_x ~domain_y ~bins_x ~bins_y points
+  with Invalid_argument msg ->
+    (* Keep the historical error prefix for callers matching on it. *)
+    invalid_arg
+      (Printf.sprintf "Hist2d.build: %s"
+         (match String.index_opt msg ':' with
+         | Some i -> String.trim (String.sub msg (i + 1) (String.length msg - i - 1))
+         | None -> msg))
 
-(* Overlap of [lo, hi] with cell [k] along an axis with origin [origin] and
-   width [w], as a fraction of the cell width. *)
-let overlap_fraction ~origin ~w k lo hi =
-  let c_lo = origin +. (float_of_int k *. w) in
-  let c_hi = c_lo +. w in
-  let o = Float.min hi c_hi -. Float.max lo c_lo in
-  if o <= 0.0 then 0.0 else o /. w
-
-let selectivity t ~x_lo ~x_hi ~y_lo ~y_hi =
-  if x_lo > x_hi || y_lo > y_hi then 0.0
-  else begin
-    let first ~origin ~w v = Int.max 0 (int_of_float (Float.floor ((v -. origin) /. w))) in
-    let last ~origin ~w ~bins v =
-      Int.min (bins - 1) (int_of_float (Float.floor ((v -. origin) /. w)))
-    in
-    let i0 = first ~origin:t.x_lo ~w:t.wx x_lo in
-    let i1 = last ~origin:t.x_lo ~w:t.wx ~bins:t.bins_x x_hi in
-    let j0 = first ~origin:t.y_lo ~w:t.wy y_lo in
-    let j1 = last ~origin:t.y_lo ~w:t.wy ~bins:t.bins_y y_hi in
-    let acc = ref 0.0 in
-    for j = j0 to j1 do
-      let fy = overlap_fraction ~origin:t.y_lo ~w:t.wy j y_lo y_hi in
-      if fy > 0.0 then
-        for i = i0 to i1 do
-          let fx = overlap_fraction ~origin:t.x_lo ~w:t.wx i x_lo x_hi in
-          if fx > 0.0 then acc := !acc +. (t.counts.((j * t.bins_x) + i) *. fx *. fy)
-        done
-    done;
-    Float.max 0.0 (Float.min 1.0 (!acc /. t.total))
-  end
-
-let density t x y =
-  let i = int_of_float (Float.floor ((x -. t.x_lo) /. t.wx)) in
-  let j = int_of_float (Float.floor ((y -. t.y_lo) /. t.wy)) in
-  if i < 0 || i >= t.bins_x || j < 0 || j >= t.bins_y then 0.0
-  else t.counts.((j * t.bins_x) + i) /. (t.total *. t.wx *. t.wy)
+let bins = Selest.Stored.rect_bins
+let selectivity = Selest.Stored.rect_selectivity
+let density = Selest.Stored.rect_density
+let to_stored t = t
+let of_stored r = r
 
 let sampling_selectivity points ~x_lo ~x_hi ~y_lo ~y_hi =
   let n = Array.length points in
   if n = 0 then invalid_arg "Hist2d.sampling_selectivity: empty sample";
-  let inside = ref 0 in
-  Array.iter
-    (fun (x, y) ->
-      if x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi then incr inside)
-    points;
-  float_of_int !inside /. float_of_int n
+  (* Same closed-rectangle semantics as every other 2-D estimator: count
+     the integer points of the canonical rectangle (boundaries
+     inclusive), so a degenerate [a, a] query agrees with the grid and
+     kernel estimators instead of silently being its own case. *)
+  match Selest.Stored.canonical_rect ~x_lo ~x_hi ~y_lo ~y_hi with
+  | None -> 0.0
+  | Some (x_lo, x_hi, y_lo, y_hi) ->
+    let inside = ref 0 in
+    Array.iter
+      (fun (x, y) ->
+        if x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi then incr inside)
+      points;
+    float_of_int !inside /. float_of_int n

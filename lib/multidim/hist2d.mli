@@ -1,9 +1,20 @@
 (** Two-dimensional equi-width grid histogram: the baseline the 2-D kernel
     estimator is compared against (the straightforward generalization of
     Section 3.1's equi-width histogram and of formula (4) to rectangles,
-    under a uniform-within-cell assumption). *)
+    under a uniform-within-cell assumption).
 
-type t
+    Rectangle queries follow the closed-rectangle-on-the-integer-grid
+    semantics shared by every 2-D estimator here
+    ({!Selest.Stored.canonical_rect}): a query means the integer points it
+    contains, so a degenerate [[a, a]] bound selects the unit cell around
+    [a] and agrees with the inclusive exact count — and with
+    {!sampling_selectivity}.
+
+    The type is the core's servable summary ({!Selest.Stored.rect}); the
+    catalog snapshots it and the server answers it bit-identically to the
+    direct calls below. *)
+
+type t = Selest.Stored.rect
 
 val build :
   domain_x:float * float ->
@@ -20,13 +31,22 @@ val bins : t -> int * int
 
 val selectivity :
   t -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float
-(** Sum over grid cells of [count/n] times the overlapped area fraction,
-    clamped to [[0, 1]]. *)
+(** Sum over grid cells of [count/n] times the overlapped area fraction of
+    the canonical rectangle, clamped to [[0, 1]]; [0] when the rectangle
+    contains no integer point. *)
 
 val density : t -> float -> float -> float
 (** Cell count over [n * cell area]; 0 outside the grid. *)
 
+val to_stored : t -> Selest.Stored.rect
+(** The summary itself (the identity — exposed so intent reads at call
+    sites that hand a histogram to the catalog). *)
+
+val of_stored : Selest.Stored.rect -> t
+(** Adopt a summary loaded from a snapshot as a queryable histogram. *)
+
 val sampling_selectivity :
   (float * float) array -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> float
-(** Pure 2-D sampling: the fraction of sample points inside the rectangle
-    (the baseline estimator, here because it needs no structure). *)
+(** Pure 2-D sampling: the fraction of sample points inside the canonical
+    rectangle, boundaries inclusive (the baseline estimator, here because
+    it needs no structure). *)

@@ -1,8 +1,15 @@
 type marginal = a:float -> b:float -> float
 
 let selectivity mx my ~x_lo ~x_hi ~y_lo ~y_hi =
-  let v = mx ~a:x_lo ~b:x_hi *. my ~a:y_lo ~b:y_hi in
-  Float.max 0.0 (Float.min 1.0 v)
+  (* Canonicalize before splitting into marginals, so the independence
+     estimator answers the same closed rectangle as the 2-D estimators
+     it approximates (degenerate bounds become the unit cell instead of
+     a zero-measure range each marginal treats differently). *)
+  match Selest.Stored.canonical_rect ~x_lo ~x_hi ~y_lo ~y_hi with
+  | None -> 0.0
+  | Some (x_lo, x_hi, y_lo, y_hi) ->
+    let v = mx ~a:x_lo ~b:x_hi *. my ~a:y_lo ~b:y_hi in
+    Float.max 0.0 (Float.min 1.0 v)
 
 let of_samples ?(spec = Selest.Estimator.kernel_defaults) ~domain_x ~domain_y points ~x_lo
     ~x_hi ~y_lo ~y_hi =

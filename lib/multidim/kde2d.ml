@@ -47,8 +47,12 @@ let axis_mass t ~h ~dlo ~dhi lo hi c =
   end
 
 let selectivity t ~x_lo ~x_hi ~y_lo ~y_hi =
-  if x_lo > x_hi || y_lo > y_hi then 0.0
-  else begin
+  (* Shared closed-rectangle semantics: evaluate the canonical unit-cell
+     union, so degenerate bounds agree with the grid histogram and the
+     exact count instead of returning a zero-measure 0. *)
+  match Selest.Stored.canonical_rect ~x_lo ~x_hi ~y_lo ~y_hi with
+  | None -> 0.0
+  | Some (x_lo, x_hi, y_lo, y_hi) ->
     let dx_lo, dx_hi = t.dom_x and dy_lo, dy_hi = t.dom_y in
     let x_lo = Float.max x_lo dx_lo and x_hi = Float.min x_hi dx_hi in
     let y_lo = Float.max y_lo dy_lo and y_hi = Float.min y_hi dy_hi in
@@ -65,7 +69,6 @@ let selectivity t ~x_lo ~x_hi ~y_lo ~y_hi =
       done;
       Float.max 0.0 (Float.min 1.0 (!acc /. float_of_int n))
     end
-  end
 
 let axis_density t ~h ~dlo ~dhi x c =
   let eval u = K.eval t.kernel u /. h in

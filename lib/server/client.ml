@@ -188,6 +188,20 @@ let observe t ~entry ~a ~b ~actual =
   | Ok other -> unexpected other
   | Error e -> Error e
 
+let estimate_rect t ~entry ~x_lo ~x_hi ~y_lo ~y_hi =
+  match rpc t (Wire.Estimate_rect { entry; x_lo; x_hi; y_lo; y_hi }) with
+  | Ok (Wire.Estimate_reply x) -> Ok x
+  | Ok (Wire.Error_reply { code; message }) -> Error (Server (code, message))
+  | Ok other -> unexpected other
+  | Error e -> Error e
+
+let estimate_join t ~entry ~pred =
+  match rpc t (Wire.Estimate_join { entry; pred }) with
+  | Ok (Wire.Estimate_reply x) -> Ok x
+  | Ok (Wire.Error_reply { code; message }) -> Error (Server (code, message))
+  | Ok other -> unexpected other
+  | Error e -> Error e
+
 let invalidate t name =
   match rpc t (Wire.Invalidate name) with
   | Ok Wire.Invalidated -> Ok ()

@@ -70,6 +70,26 @@ val batch_estimate : t -> (string * float * float) array -> (float array, error)
     request order.  [Protocol] if the reply count disagrees with the
     query count. *)
 
+val estimate_rect :
+  t ->
+  entry:string ->
+  x_lo:float ->
+  x_hi:float ->
+  y_lo:float ->
+  y_hi:float ->
+  (float, error) result
+(** One rectangle-selectivity query [[x_lo, x_hi] x [y_lo, y_hi]]
+    against a rect entry; the answer is bit-identical to
+    [Multidim.Hist2d.selectivity] on the served summary.  [Server
+    Bad_request] against an entry of another kind. *)
+
+val estimate_join :
+  t -> entry:string -> pred:Selest.Stored.join_pred -> (float, error) result
+(** One join-size query against a join entry: the estimated number of
+    result pairs of [R JOIN_pred S] (a size, not a selectivity),
+    bit-identical to [Join.Ineqjoin.estimate] on the served summary.
+    [Server Bad_request] against an entry of another kind. *)
+
 val invalidate : t -> string -> (unit, error) result
 (** Force-stale a served entry, as [Catalog.Service.invalidate]. *)
 

@@ -108,6 +108,8 @@ type job_kind =
   | Invalidate_job of string
   | Insert_job of { entry : string; values : float array }
   | Observe_job of { entry : string; oa : float; ob : float; actual : float }
+  | Rect_job of { entry : string; rx_lo : float; rx_hi : float; ry_lo : float; ry_hi : float }
+  | Join_job of { entry : string; pred : Selest.Stored.join_pred }
 
 type job = {
   mutable kind : job_kind;
@@ -344,7 +346,9 @@ let next_jobs t sh =
     let cost =
       match j.kind with
       | Query { triples } -> max 1 (Array.length triples)
-      | Query1 | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ -> 1
+      | Query1 | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ | Rect_job _
+      | Join_job _ ->
+        1
     in
     if !jobs <> [] && !merged + cost > t.config.max_batch then full := true
     else begin
@@ -366,6 +370,8 @@ let ls_reply sh =
            cells = i.Service.cells;
            stale = i.Service.stale;
            domain = i.Service.domain;
+           kind = i.Service.kind;
+           domain_y = i.Service.domain_y;
          })
        (Service.infos sh.sh_service))
 
@@ -413,7 +419,9 @@ let run_queries sh ~complete query_jobs =
           Array.unsafe_set mb.mb_names !off job.q1_entry;
           Array.unsafe_set mb.mb_a !off job.q1.Wire.sa;
           Array.unsafe_set mb.mb_b !off job.q1.Wire.sb
-        | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ -> assert false);
+        | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ | Rect_job _
+        | Join_job _ ->
+          assert false);
         off := !off + len)
       query_jobs;
     match
@@ -428,7 +436,9 @@ let run_queries sh ~complete query_jobs =
             match job.kind with
             | Query1 -> Wire.Estimate_reply mb.mb_out.(!off)
             | Query _ -> Wire.Batch_reply (Array.sub mb.mb_out !off len)
-            | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ -> assert false
+            | Ls_job | Invalidate_job _ | Insert_job _ | Observe_job _ | Rect_job _
+            | Join_job _ ->
+              assert false
           in
           off := !off + len;
           ignore (Atomic.fetch_and_add sh.sh_answered len);
@@ -519,6 +529,44 @@ let process_batch_exn t sh ~complete jobs =
                 && not (Service.mem sh.sh_service entry)
               then Wire.Unknown_entry
               else Wire.Bad_request
+            in
+            complete job (Wire.Error_reply { code; message })
+          | exception e ->
+            complete job
+              (Wire.Error_reply { code = Wire.Internal; message = Printexc.to_string e }));
+          None
+        | Rect_job { entry; rx_lo; rx_hi; ry_lo; ry_hi } ->
+          (* Delegates to the same [Selest.Stored.rect_selectivity] a
+             direct [Multidim.Hist2d] call uses, so the served bits are
+             identical by construction.  A wrong-kind entry is the
+             caller's mistake (Bad_request), an unknown one is the
+             routing's usual typed refusal. *)
+          (match
+             Service.answer_rect sh.sh_service ~name:entry ~x_lo:rx_lo ~x_hi:rx_hi
+               ~y_lo:ry_lo ~y_hi:ry_hi
+           with
+          | Ok v ->
+            Atomic.incr sh.sh_answered;
+            complete job (Wire.Estimate_reply v)
+          | Error message ->
+            let code =
+              if Service.mem sh.sh_service entry then Wire.Bad_request
+              else Wire.Unknown_entry
+            in
+            complete job (Wire.Error_reply { code; message })
+          | exception e ->
+            complete job
+              (Wire.Error_reply { code = Wire.Internal; message = Printexc.to_string e }));
+          None
+        | Join_job { entry; pred } ->
+          (match Service.answer_join sh.sh_service ~name:entry ~pred with
+          | Ok v ->
+            Atomic.incr sh.sh_answered;
+            complete job (Wire.Estimate_reply v)
+          | Error message ->
+            let code =
+              if Service.mem sh.sh_service entry then Wire.Bad_request
+              else Wire.Unknown_entry
             in
             complete job (Wire.Error_reply { code; message })
           | exception e ->
@@ -865,6 +913,12 @@ let route t cs req =
   | Wire.Observe { entry; a; b; actual } ->
     await_reply
       (enqueue t cs (shard_of t entry) (Observe_job { entry; oa = a; ob = b; actual }))
+  | Wire.Estimate_rect { entry; x_lo; x_hi; y_lo; y_hi } ->
+    await_reply
+      (enqueue t cs (shard_of t entry)
+         (Rect_job { entry; rx_lo = x_lo; rx_hi = x_hi; ry_lo = y_lo; ry_hi = y_hi }))
+  | Wire.Estimate_join { entry; pred } ->
+    await_reply (enqueue t cs (shard_of t entry) (Join_job { entry; pred }))
   | Wire.Ping -> assert false
 
 (* ---------------- connection threads ---------------- *)

@@ -38,6 +38,56 @@ let synthetic_requests ~entries ~count ~seed =
       let y = lo +. (width *. Prng.Splitmix64.next_float rng) in
       (e.Wire.name, Float.min x y, Float.max x y))
 
+type mixed_request =
+  | Mix_range of string * float * float
+  | Mix_rect of {
+      m_entry : string;
+      m_x_lo : float;
+      m_x_hi : float;
+      m_y_lo : float;
+      m_y_hi : float;
+    }
+  | Mix_join of { m_entry : string; m_pred : Selest.Stored.join_pred }
+
+let mixed_kind = function
+  | Mix_range _ -> "range"
+  | Mix_rect _ -> "rect"
+  | Mix_join _ -> "join"
+
+let synthetic_mixed_requests ~entries ~count ~seed =
+  if entries = [] then invalid_arg "Server.Loadgen.synthetic_mixed_requests: no entries";
+  if count < 0 then invalid_arg "Server.Loadgen.synthetic_mixed_requests: count < 0";
+  let pool = Array.of_list entries in
+  let rng = Prng.Splitmix64.create seed in
+  let draw lo hi = lo +. ((hi -. lo) *. Prng.Splitmix64.next_float rng) in
+  Array.init count (fun _ ->
+      let e = pool.(Prng.Splitmix64.next_below rng (Array.length pool)) in
+      let lo, hi = e.Wire.domain in
+      match e.Wire.kind with
+      | Selest.Stored.Range_kind ->
+        let x = draw lo hi and y = draw lo hi in
+        Mix_range (e.Wire.name, Float.min x y, Float.max x y)
+      | Selest.Stored.Rect_kind ->
+        let ylo, yhi = Option.value ~default:e.Wire.domain e.Wire.domain_y in
+        let x1 = draw lo hi and x2 = draw lo hi in
+        let y1 = draw ylo yhi and y2 = draw ylo yhi in
+        Mix_rect
+          {
+            m_entry = e.Wire.name;
+            m_x_lo = Float.min x1 x2;
+            m_x_hi = Float.max x1 x2;
+            m_y_lo = Float.min y1 y2;
+            m_y_hi = Float.max y1 y2;
+          }
+      | Selest.Stored.Join_kind ->
+        let m_pred =
+          match Prng.Splitmix64.next_below rng 3 with
+          | 0 -> Selest.Stored.Join_eq
+          | 1 -> Selest.Stored.Join_lt
+          | _ -> Selest.Stored.Join_le
+        in
+        Mix_join { m_entry = e.Wire.name; m_pred })
+
 (* Exact q-quantile of a sorted array: the smallest element with at
    least [ceil (q*n)] observations at or below it. *)
 let percentile sorted q =
@@ -179,6 +229,96 @@ let run ?(client_config = Client.default_config) ?(batch = 1) ?classify ~connect
     errors;
     answers;
     groups = (match classify with None -> [] | Some _ -> merge_groups outs);
+  }
+
+(* The mixed-kind closed loop: one exchange per request, dispatched by
+   the request's kind.  Per-kind latency groups are always on — they are
+   the point of a mixed run — keyed ["range"], ["rect"], ["join"]. *)
+let run_mixed ?(client_config = Client.default_config) ~connections ~address requests =
+  if connections < 1 then invalid_arg "Server.Loadgen.run_mixed: connections < 1";
+  let total = Array.length requests in
+  let answers = Array.make total Float.nan in
+  let m_queries =
+    Telemetry.Metrics.counter "loadgen_queries_total" ~help:"Queries issued by the load generator"
+  in
+  let m_latency =
+    Telemetry.Metrics.histogram "loadgen_latency_seconds"
+      ~help:"Round-trip latency of load-generator exchanges"
+  in
+  let outs =
+    Array.init connections (fun _ ->
+        { w_latencies = []; w_ok = 0; w_errors = []; w_classed = [] })
+  in
+  let worker i () =
+    let out = outs.(i) in
+    let start, len = slice_bounds total connections i in
+    let client =
+      Client.create
+        ~config:{ client_config with seed = Int64.add client_config.seed (Int64.of_int i) }
+        address
+    in
+    for pos = start to start + len - 1 do
+      let req = requests.(pos) in
+      let t0 = Unix.gettimeofday () in
+      (match
+         match req with
+         | Mix_range (entry, a, b) -> Client.estimate client ~entry ~a ~b
+         | Mix_rect { m_entry; m_x_lo; m_x_hi; m_y_lo; m_y_hi } ->
+           Client.estimate_rect client ~entry:m_entry ~x_lo:m_x_lo ~x_hi:m_x_hi
+             ~y_lo:m_y_lo ~y_hi:m_y_hi
+         | Mix_join { m_entry; m_pred } ->
+           Client.estimate_join client ~entry:m_entry ~pred:m_pred
+       with
+      | Ok x ->
+        answers.(pos) <- x;
+        out.w_ok <- out.w_ok + 1
+      | Error e -> record_error out (error_class e));
+      let dt = Unix.gettimeofday () -. t0 in
+      out.w_latencies <- dt :: out.w_latencies;
+      out.w_classed <- (mixed_kind req, dt) :: out.w_classed;
+      Telemetry.Metrics.incr m_queries;
+      Telemetry.Metrics.observe_s m_latency dt
+    done;
+    Client.close client
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = Array.init connections (fun i -> Thread.create (worker i) ()) in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc o -> List.rev_append o.w_latencies acc) [] outs)
+  in
+  Array.sort compare latencies;
+  let ok = Array.fold_left (fun n o -> n + o.w_ok) 0 outs in
+  let errors =
+    Array.fold_left
+      (fun acc o ->
+        List.fold_left
+          (fun acc (cls, n) ->
+            match List.assoc_opt cls acc with
+            | Some m -> (cls, m + n) :: List.remove_assoc cls acc
+            | None -> (cls, n) :: acc)
+          acc o.w_errors)
+      [] outs
+    |> List.sort compare
+  in
+  let ms x = 1000.0 *. x in
+  let sum = Array.fold_left ( +. ) 0.0 latencies in
+  let exchanges = Array.length latencies in
+  {
+    connections;
+    queries = total;
+    ok;
+    wall_s;
+    throughput_qps = (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
+    mean_ms = (if exchanges > 0 then ms (sum /. float_of_int exchanges) else Float.nan);
+    p50_ms = ms (percentile latencies 0.50);
+    p95_ms = ms (percentile latencies 0.95);
+    p99_ms = ms (percentile latencies 0.99);
+    max_ms = (if exchanges > 0 then ms latencies.(exchanges - 1) else Float.nan);
+    errors;
+    answers;
+    groups = merge_groups outs;
   }
 
 let report_to_string r =

@@ -64,6 +64,33 @@ val synthetic_requests :
     deterministic from [seed].  Feed it the {!Client.ls} reply.
     @raise Invalid_argument on an empty entry list or negative count. *)
 
+type mixed_request =
+  | Mix_range of string * float * float  (** one range query [(entry, a, b)] *)
+  | Mix_rect of {
+      m_entry : string;
+      m_x_lo : float;
+      m_x_hi : float;
+      m_y_lo : float;
+      m_y_hi : float;
+    }  (** one rectangle query against a rect entry *)
+  | Mix_join of { m_entry : string; m_pred : Selest.Stored.join_pred }
+      (** one join-size query against a join entry *)
+(** One exchange of a mixed-kind workload (see {!run_mixed}). *)
+
+val mixed_kind : mixed_request -> string
+(** The class key of a mixed request: ["range"], ["rect"] or ["join"] —
+    the group names {!run_mixed} reports under. *)
+
+val synthetic_mixed_requests :
+  entries:Wire.entry_info list -> count:int -> seed:int64 -> mixed_request array
+(** [count] random queries over the given entries, each matched to its
+    entry's kind (uniform entry choice): range entries get ordered
+    uniform endpoints as {!synthetic_requests}; rect entries get an
+    axis-aligned rectangle with ordered uniform endpoints per axis (the
+    y-axis drawn from the entry's [domain_y]); join entries cycle the
+    three predicates uniformly.  Fully deterministic from [seed].
+    @raise Invalid_argument on an empty entry list or negative count. *)
+
 val run :
   ?client_config:Client.config ->
   ?batch:int ->
@@ -84,6 +111,22 @@ val run :
     runs are reproducible.  Counts also flow into the [Telemetry]
     registry as [loadgen_*] metrics when telemetry is enabled.
     @raise Invalid_argument if [connections < 1] or [batch < 1]. *)
+
+val run_mixed :
+  ?client_config:Client.config ->
+  connections:int ->
+  address:Wire.address ->
+  mixed_request array ->
+  report
+(** {!run} for a mixed-kind workload: one exchange per request —
+    [estimate], [estimate_rect] or [estimate_join] by the request's
+    constructor — over [connections] closed-loop workers.  Per-kind
+    latency groups (keys ["range"], ["rect"], ["join"]) are always
+    reported; [answers] carries the served value of every exchange
+    (selectivities for range/rect, estimated sizes for join), [nan]
+    where it failed, so callers can verify bit-identity against direct
+    [Catalog.Service] calls.
+    @raise Invalid_argument if [connections < 1]. *)
 
 val report_to_string : report -> string
 (** Multi-line human-readable summary (throughput, latency percentiles,

@@ -1,4 +1,4 @@
-(* The selest wire protocol, version 2.
+(* The selest wire protocol, version 3.
 
    Frame = 4-byte big-endian payload length, then the payload.
    Payload = version byte, opcode byte, opcode-specific body.  All
@@ -7,10 +7,16 @@
    bit-for-bit.  Strings carry a 16-bit length prefix; arrays a 32-bit
    count.
 
-   Version 2 adds the adaptivity pair: [Insert] (0x06) streams fresh
+   Version 2 added the adaptivity pair: [Insert] (0x06) streams fresh
    attribute values into an entry's reservoir, [Observe] (0x07) feeds
-   back an executed query's true selectivity.  Everything carried over
-   from version 1 is byte-identical except the version byte itself.
+   back an executed query's true selectivity.  Version 3 adds the
+   multidimensional pair — [Estimate_rect] (0x08) asks a rectangle
+   selectivity of a 2-D grid entry, [Estimate_join] (0x09) asks an
+   estimated join size (predicate byte: 0 eq, 1 lt, 2 le) of a join
+   entry — and extends each [Ls_reply] row with a kind byte (0 range,
+   1 rect, 2 join) and an optional y-axis domain.  Everything carried
+   over from version 2 is byte-identical except the version byte
+   itself.
 
    Decoding is total: every malformed input — wrong version, unknown
    opcode, truncated body, trailing bytes, oversized counts — comes back
@@ -26,7 +32,7 @@ let sockaddr_of_address = function
   | Unix_socket path -> Unix.ADDR_UNIX path
   | Tcp { host; port } -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
 
-let version = 2
+let version = 3
 let max_frame_bytes = 1 lsl 24
 
 type request =
@@ -37,6 +43,14 @@ type request =
   | Invalidate of string
   | Insert of { entry : string; values : float array }
   | Observe of { entry : string; a : float; b : float; actual : float }
+  | Estimate_rect of {
+      entry : string;
+      x_lo : float;
+      x_hi : float;
+      y_lo : float;
+      y_hi : float;
+    }
+  | Estimate_join of { entry : string; pred : Selest.Stored.join_pred }
 
 type error_code =
   | Bad_request
@@ -62,6 +76,8 @@ type entry_info = {
   cells : int;
   stale : bool;
   domain : float * float;
+  kind : Selest.Stored.kind;
+  domain_y : (float * float) option;
 }
 
 type response =
@@ -114,6 +130,16 @@ let code_of_error = function
   | Draining -> 5
   | Internal -> 6
 
+let code_of_pred = function
+  | Selest.Stored.Join_eq -> 0
+  | Selest.Stored.Join_lt -> 1
+  | Selest.Stored.Join_le -> 2
+
+let code_of_kind = function
+  | Selest.Stored.Range_kind -> 0
+  | Selest.Stored.Rect_kind -> 1
+  | Selest.Stored.Join_kind -> 2
+
 (* [_into] encoders append to a caller-owned buffer, so a connection can
    reuse one buffer for every frame it writes (see [writer] below); the
    string-returning forms below them keep the original API. *)
@@ -147,6 +173,17 @@ let encode_request_into buf req =
     add_f64 buf a;
     add_f64 buf b;
     add_f64 buf actual
+  | Estimate_rect { entry; x_lo; x_hi; y_lo; y_hi } ->
+    add_u8 buf 0x08;
+    add_string16 buf entry;
+    add_f64 buf x_lo;
+    add_f64 buf x_hi;
+    add_f64 buf y_lo;
+    add_f64 buf y_hi
+  | Estimate_join { entry; pred } ->
+    add_u8 buf 0x09;
+    add_string16 buf entry;
+    add_u8 buf (code_of_pred pred)
 
 let encode_response_into buf resp =
   add_u8 buf version;
@@ -162,7 +199,14 @@ let encode_response_into buf resp =
         add_u32 buf e.cells;
         add_u8 buf (if e.stale then 1 else 0);
         add_f64 buf (fst e.domain);
-        add_f64 buf (snd e.domain))
+        add_f64 buf (snd e.domain);
+        add_u8 buf (code_of_kind e.kind);
+        match e.domain_y with
+        | None -> add_u8 buf 0
+        | Some (lo, hi) ->
+          add_u8 buf 1;
+          add_f64 buf lo;
+          add_f64 buf hi)
       entries
   | Estimate_reply v ->
     add_u8 buf 0x83;
@@ -288,6 +332,18 @@ let error_of_code = function
   | 6 -> Internal
   | c -> raise (Malformed (Printf.sprintf "unknown error code %d" c))
 
+let pred_of_code = function
+  | 0 -> Selest.Stored.Join_eq
+  | 1 -> Selest.Stored.Join_lt
+  | 2 -> Selest.Stored.Join_le
+  | c -> raise (Malformed (Printf.sprintf "unknown join predicate %d" c))
+
+let kind_of_code = function
+  | 0 -> Selest.Stored.Range_kind
+  | 1 -> Selest.Stored.Rect_kind
+  | 2 -> Selest.Stored.Join_kind
+  | c -> raise (Malformed (Printf.sprintf "unknown entry kind %d" c))
+
 let check_version cur =
   let v = get_u8 cur "version byte" in
   if v <> version then
@@ -333,6 +389,17 @@ let parse_request_op cur = function
     let b = get_f64 cur "bound b" in
     let actual = get_f64 cur "observed selectivity" in
     Observe { entry; a; b; actual }
+  | 0x08 ->
+    let entry = get_string16 cur "entry name" in
+    let x_lo = get_f64 cur "rect bound x_lo" in
+    let x_hi = get_f64 cur "rect bound x_hi" in
+    let y_lo = get_f64 cur "rect bound y_lo" in
+    let y_hi = get_f64 cur "rect bound y_hi" in
+    Estimate_rect { entry; x_lo; x_hi; y_lo; y_hi }
+  | 0x09 ->
+    let entry = get_string16 cur "entry name" in
+    let pred = pred_of_code (get_u8 cur "join predicate") in
+    Estimate_join { entry; pred }
   | op -> raise (Malformed (Printf.sprintf "unknown request opcode 0x%02x" op))
 
 let decode_request payload = decode "request" payload parse_request_op
@@ -416,8 +483,8 @@ let decode_request_scratch_slow data ~len scratch =
 let decode_request_scratch data ~len scratch =
   if
     len >= 4
-    && Bytes.unsafe_get data 0 = '\x02'
-    && Bytes.unsafe_get data 1 = '\x03'
+    && Bytes.unsafe_get data 0 = '\x03' (* the version byte *)
+    && Bytes.unsafe_get data 1 = '\x03' (* the Estimate opcode *)
   then begin
     let elen =
       (Char.code (Bytes.unsafe_get data 2) lsl 8) lor Char.code (Bytes.unsafe_get data 3)
@@ -448,7 +515,7 @@ let decode_response payload =
   decode "response" payload (fun cur -> function
     | 0x81 -> Pong
     | 0x82 ->
-      let n = get_count cur ~item_bytes:25 "ls" in
+      let n = get_count cur ~item_bytes:27 "ls" in
       Ls_reply
         (List.init n (fun _ ->
              let name = get_string16 cur "ls name" in
@@ -462,7 +529,17 @@ let decode_response payload =
              in
              let lo = get_f64 cur "ls domain lo" in
              let hi = get_f64 cur "ls domain hi" in
-             { name; spec; cells; stale; domain = (lo, hi) }))
+             let kind = kind_of_code (get_u8 cur "ls kind") in
+             let domain_y =
+               match get_u8 cur "ls domain_y flag" with
+               | 0 -> None
+               | 1 ->
+                 let ylo = get_f64 cur "ls domain_y lo" in
+                 let yhi = get_f64 cur "ls domain_y hi" in
+                 Some (ylo, yhi)
+               | v -> raise (Malformed (Printf.sprintf "malformed domain_y flag %d" v))
+             in
+             { name; spec; cells; stale; domain = (lo, hi); kind; domain_y }))
     | 0x83 -> Estimate_reply (get_f64 cur "estimate reply")
     | 0x84 ->
       let n = get_count cur ~item_bytes:8 "batch reply" in
@@ -672,7 +749,15 @@ let equal_request r1 r2 =
   | Observe o1, Observe o2 ->
     String.equal o1.entry o2.entry && float_eq o1.a o2.a && float_eq o1.b o2.b
     && float_eq o1.actual o2.actual
-  | (Ping | Ls | Estimate _ | Batch_estimate _ | Invalidate _ | Insert _ | Observe _), _ ->
+  | Estimate_rect r1, Estimate_rect r2 ->
+    String.equal r1.entry r2.entry && float_eq r1.x_lo r2.x_lo
+    && float_eq r1.x_hi r2.x_hi && float_eq r1.y_lo r2.y_lo
+    && float_eq r1.y_hi r2.y_hi
+  | Estimate_join j1, Estimate_join j2 ->
+    String.equal j1.entry j2.entry && j1.pred = j2.pred
+  | ( ( Ping | Ls | Estimate _ | Batch_estimate _ | Invalidate _ | Insert _ | Observe _
+      | Estimate_rect _ | Estimate_join _ ),
+      _ ) ->
     false
 
 let entry_info_eq e1 e2 =
@@ -680,6 +765,11 @@ let entry_info_eq e1 e2 =
   && Bool.equal e1.stale e2.stale
   && float_eq (fst e1.domain) (fst e2.domain)
   && float_eq (snd e1.domain) (snd e2.domain)
+  && e1.kind = e2.kind
+  && (match (e1.domain_y, e2.domain_y) with
+     | None, None -> true
+     | Some (l1, h1), Some (l2, h2) -> float_eq l1 l2 && float_eq h1 h2
+     | None, Some _ | Some _, None -> false)
 
 let equal_response r1 r2 =
   match (r1, r2) with
@@ -706,6 +796,14 @@ let request_to_string = function
   | Insert { entry; values } -> Printf.sprintf "insert %S (%d values)" entry (Array.length values)
   | Observe { entry; a; b; actual } ->
     Printf.sprintf "observe %S [%h, %h] actual=%h" entry a b actual
+  | Estimate_rect { entry; x_lo; x_hi; y_lo; y_hi } ->
+    Printf.sprintf "estimate_rect %S [%h, %h] x [%h, %h]" entry x_lo x_hi y_lo y_hi
+  | Estimate_join { entry; pred } ->
+    Printf.sprintf "estimate_join %S pred=%s" entry
+      (match pred with
+      | Selest.Stored.Join_eq -> "eq"
+      | Selest.Stored.Join_lt -> "lt"
+      | Selest.Stored.Join_le -> "le")
 
 let response_to_string = function
   | Pong -> "pong"

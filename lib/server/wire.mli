@@ -27,10 +27,13 @@ val sockaddr_of_address : address -> Unix.sockaddr
     @raise Failure on a [Tcp] host that is not a literal IP address. *)
 
 val version : int
-(** Protocol version spoken by this build ([2]); both decoders reject
+(** Protocol version spoken by this build ([3]); both decoders reject
     payloads carrying any other version byte.  Version 2 added the
     adaptivity pair {!request.Insert}/{!request.Observe} (and their
-    replies); every frame carried over from version 1 is byte-identical
+    replies); version 3 adds the multidimensional pair
+    {!request.Estimate_rect}/{!request.Estimate_join} and extends each
+    {!entry_info} row with its summary kind and optional y-axis domain.
+    Every frame carried over from the previous version is byte-identical
     except the version byte itself. *)
 
 val max_frame_bytes : int
@@ -57,6 +60,21 @@ type request =
       (** feed back the true selectivity [actual] of an executed query
           [Q(a,b)], refining the entry's ST-histogram (adaptive servers
           only) *)
+  | Estimate_rect of {
+      entry : string;
+      x_lo : float;
+      x_hi : float;
+      y_lo : float;
+      y_hi : float;
+    }
+      (** one rectangle-selectivity query
+          [[x_lo, x_hi] x [y_lo, y_hi]] against a rect entry (opcode
+          0x08); answered with {!response.Estimate_reply} *)
+  | Estimate_join of { entry : string; pred : Selest.Stored.join_pred }
+      (** one join-size query against a join entry (opcode 0x09; the
+          predicate travels as one byte — 0 eq, 1 lt, 2 le); answered
+          with {!response.Estimate_reply} carrying the estimated join
+          {e size}, not a selectivity *)
 
 type error_code =
   | Bad_request  (** malformed frame or unparseable payload *)
@@ -76,7 +94,11 @@ type entry_info = {
   spec : string;  (** compact estimator spec the entry was built with *)
   cells : int;  (** summary grid resolution *)
   stale : bool;  (** past its insert budget or explicitly invalidated *)
-  domain : float * float;  (** estimation domain, for query generation *)
+  domain : float * float;
+      (** estimation domain, for query generation (the x-axis domain for
+          rect entries, the shared attribute domain for join entries) *)
+  kind : Selest.Stored.kind;  (** range, rect or join *)
+  domain_y : (float * float) option;  (** rect entries: the y-axis domain *)
 }
 (** One row of an {!response.Ls_reply} — the metadata a client needs to
     address (and generate load against) an entry. *)

@@ -57,7 +57,8 @@ let test_lru_replace () =
 (* ---------------- Snapshot ---------------- *)
 
 let stored_of sample domain =
-  Selest.Stored.of_sample ~cells:32 ~spec:Selest.Estimator.Sampling ~domain sample
+  Selest.Stored.Range
+    (Selest.Stored.of_sample ~cells:32 ~spec:Selest.Estimator.Sampling ~domain sample)
 
 let test_snapshot_round_trip () =
   let dir = fresh_dir () in
@@ -87,8 +88,8 @@ let test_snapshot_round_trip () =
   check Alcotest.int "inserts" 123 loaded.Snapshot.inserts;
   check Alcotest.bool "stale" true loaded.Snapshot.stale;
   check Alcotest.string "summary bit-identical"
-    (Selest.Stored.to_string entry.Snapshot.summary)
-    (Selest.Stored.to_string loaded.Snapshot.summary)
+    (Selest.Stored.any_to_string entry.Snapshot.summary)
+    (Selest.Stored.any_to_string loaded.Snapshot.summary)
 
 let write_file path contents =
   let oc = open_out path in
@@ -178,6 +179,65 @@ let test_service_reopen () =
   check (Alcotest.list Alcotest.string) "survivors keep serving"
     [ "orders/amount"; "users/age" ] (Service.names svc3);
   check Alcotest.bool "survivor answers intact" true (Service.answer svc3 requests = before)
+
+(* All three summary kinds persist through the same snapshot layer:
+   build range + rect + join, kill the handle, reopen cold, and require
+   every answer bit-identical and every info kind-faithful. *)
+let test_multikind_reopen () =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  build_two svc;
+  let points = Array.init 300 (fun i -> (float_of_int (i * 7 mod 97), float_of_int (i * i mod 61))) in
+  ignore
+    (or_fail
+       (Service.build_rect svc ~name:"orders/amount_x_age" ~spec:"hist2d:8"
+          ~domain_x:domain_a ~domain_y:domain_b ~points));
+  ignore
+    (or_fail
+       (Service.build_join svc ~name:"orders_join_users" ~spec:"edh:16" ~domain:domain_a
+          ~n_r:5000 ~n_s:4000 ~sample_r:sample_a ~sample_s:sample_b));
+  let rect_queries =
+    [ (3.0, 40.0, 0.0, 30.0); (17.0, 17.0, 4.0, 4.0); (-10.0, 200.0, -10.0, 100.0) ]
+  in
+  let answers_of s =
+    List.map
+      (fun (x_lo, x_hi, y_lo, y_hi) ->
+        or_fail (Service.answer_rect s ~name:"orders/amount_x_age" ~x_lo ~x_hi ~y_lo ~y_hi))
+      rect_queries
+    @ List.map
+        (fun pred -> or_fail (Service.answer_join s ~name:"orders_join_users" ~pred))
+        [ Selest.Stored.Join_eq; Selest.Stored.Join_lt; Selest.Stored.Join_le ]
+  in
+  let before = answers_of svc in
+  let svc2, warnings2 = Service.open_dir dir in
+  check Alcotest.int "clean reopen has no warnings" 0 (List.length warnings2);
+  check Alcotest.bool "rect/join answers bit-identical across reopen" true
+    (List.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       before (answers_of svc2));
+  (* Kind metadata survives the round trip. *)
+  let kind_of name =
+    match Service.info svc2 name with
+    | Some i -> Selest.Stored.kind_name i.Service.kind
+    | None -> Alcotest.failf "entry %s lost across reopen" name
+  in
+  check Alcotest.string "range kind" "range" (kind_of "orders/amount");
+  check Alcotest.string "rect kind" "rect" (kind_of "orders/amount_x_age");
+  check Alcotest.string "join kind" "join" (kind_of "orders_join_users");
+  (match Service.info svc2 "orders/amount_x_age" with
+  | Some i ->
+    check Alcotest.bool "rect domain_y survives" true (i.Service.domain_y = Some domain_b)
+  | None -> Alcotest.fail "rect entry lost");
+  (* Kind mismatches answer Error, never raise. *)
+  (match Service.answer_rect svc2 ~name:"orders/amount" ~x_lo:0.0 ~x_hi:1.0 ~y_lo:0.0 ~y_hi:1.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "answer_rect accepted a range entry");
+  (match Service.answer_join svc2 ~name:"orders/amount_x_age" ~pred:Selest.Stored.Join_eq with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "answer_join accepted a rect entry");
+  match Service.answer_one svc2 ~name:"orders_join_users" ~a:0.0 ~b:1.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "answer_one accepted a join entry"
 
 let test_answer_jobs_identical () =
   let dir = fresh_dir () in
@@ -566,6 +626,7 @@ let () =
       ( "service",
         [
           Alcotest.test_case "kill-and-reopen round trip" `Quick test_service_reopen;
+          Alcotest.test_case "multi-kind entries survive reopen" `Quick test_multikind_reopen;
           Alcotest.test_case "batch answers independent of jobs" `Quick
             test_answer_jobs_identical;
           Alcotest.test_case "answer_into: identity and zero allocation" `Quick

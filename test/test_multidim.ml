@@ -166,12 +166,15 @@ let test_kde2d_single_point_factorizes () =
   let expected u_lo u_hi v_lo v_hi =
     (f u_hi -. f u_lo) *. (f v_hi -. f v_lo)
   in
+  (* Queries canonicalize to closed integer rectangles: [a, b] becomes
+     [a - 0.5, b + 0.5] per axis, so the kernel arguments shift by half a
+     unit cell relative to the raw bounds. *)
   checkf 1e-12 "full mass" 1.0 (K2.selectivity est ~x_lo:40.0 ~x_hi:60.0 ~y_lo:30.0 ~y_hi:70.0);
   checkf 1e-12 "quarter"
-    (expected 0.0 1.0 0.0 1.0)
+    (expected (-0.05) 1.05 (-0.025) 1.025)
     (K2.selectivity est ~x_lo:50.0 ~x_hi:60.0 ~y_lo:50.0 ~y_hi:70.0);
   checkf 1e-12 "partial"
-    (expected (-0.5) 0.5 (-0.25) 0.25)
+    (expected (-0.55) 0.55 (-0.275) 0.275)
     (K2.selectivity est ~x_lo:45.0 ~x_hi:55.0 ~y_lo:45.0 ~y_hi:55.0)
 
 let test_kde2d_mass_with_reflection () =
@@ -191,8 +194,10 @@ let test_kde2d_mass_lost_without_reflection () =
 let test_kde2d_density_integrates_to_selectivity () =
   let pts = uniform_square 8L 300 in
   let est = K2.create ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~hx:10.0 ~hy:10.0 pts in
-  (* 2-D numeric integration over a small rectangle. *)
-  let x_lo = 30.0 and x_hi = 50.0 and y_lo = 40.0 and y_hi = 55.0 in
+  (* 2-D numeric integration over a small rectangle.  Half-integer bounds
+     are their own canonical rectangle, so the integration limits match
+     what the estimator actually evaluates. *)
+  let x_lo = 29.5 and x_hi = 50.5 and y_lo = 39.5 and y_hi = 55.5 in
   let inner y =
     Stats.Integrate.simpson (fun x -> K2.density est x y) ~a:x_lo ~b:x_hi ~n:60
   in
@@ -250,7 +255,10 @@ let test_hist2d_counts () =
   let pts = [| (10.0, 10.0); (10.0, 90.0); (90.0, 10.0); (90.0, 90.0) |] in
   let h = H2.build ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~bins_x:2 ~bins_y:2 pts in
   Alcotest.(check (pair int int)) "bins" (2, 2) (H2.bins h);
-  checkf 1e-12 "one quadrant" 0.25
+  (* [0, 50]^2 canonicalizes to [-0.5, 50.5]^2: the quadrant cell fully,
+     plus 0.5/50 = 1% of each neighbouring cell per axis, so
+     (1 + 0.01 + 0.01 + 0.0001) / 4. *)
+  checkf 1e-12 "one quadrant" 0.255025
     (H2.selectivity h ~x_lo:0.0 ~x_hi:50.0 ~y_lo:0.0 ~y_hi:50.0);
   checkf 1e-12 "full" 1.0 (H2.selectivity h ~x_lo:0.0 ~x_hi:100.0 ~y_lo:0.0 ~y_hi:100.0)
 
@@ -259,7 +267,9 @@ let test_hist2d_partial_overlap () =
      selectivity 0.25 under the uniform assumption. *)
   let pts = [| (10.0, 10.0); (20.0, 90.0); (90.0, 15.0); (90.0, 90.0) |] in
   let h = H2.build ~domain_x:(0.0, 100.0) ~domain_y:(0.0, 100.0) ~bins_x:1 ~bins_y:1 pts in
-  checkf 1e-12 "area fraction" 0.25
+  (* Canonical rectangle [-0.5, 50.5]^2 clipped to the cell covers
+     50.5/100 of each axis. *)
+  checkf 1e-12 "area fraction" (0.505 *. 0.505)
     (H2.selectivity h ~x_lo:0.0 ~x_hi:50.0 ~y_lo:0.0 ~y_hi:50.0)
 
 let test_hist2d_density () =

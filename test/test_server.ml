@@ -93,6 +93,17 @@ let gen_request =
         gen_float >>= fun a ->
         gen_float >>= fun b ->
         gen_float >>= fun actual -> return (Wire.Observe { entry; a; b; actual }) );
+      ( 2,
+        gen_str >>= fun entry ->
+        gen_float >>= fun x_lo ->
+        gen_float >>= fun x_hi ->
+        gen_float >>= fun y_lo ->
+        gen_float >>= fun y_hi ->
+        return (Wire.Estimate_rect { entry; x_lo; x_hi; y_lo; y_hi }) );
+      ( 2,
+        gen_str >>= fun entry ->
+        oneofl [ Selest.Stored.Join_eq; Selest.Stored.Join_lt; Selest.Stored.Join_le ]
+        >>= fun pred -> return (Wire.Estimate_join { entry; pred }) );
     ]
 
 let gen_entry_info =
@@ -102,7 +113,16 @@ let gen_entry_info =
   int_bound 100000 >>= fun cells ->
   bool >>= fun stale ->
   gen_float >>= fun lo ->
-  gen_float >>= fun hi -> return { Wire.name; spec; cells; stale; domain = (lo, hi) }
+  gen_float >>= fun hi ->
+  oneofl [ Selest.Stored.Range_kind; Selest.Stored.Rect_kind; Selest.Stored.Join_kind ]
+  >>= fun kind ->
+  oneof
+    [
+      return None;
+      (gen_float >>= fun ylo -> gen_float >>= fun yhi -> return (Some (ylo, yhi)));
+    ]
+  >>= fun domain_y ->
+  return { Wire.name; spec; cells; stale; domain = (lo, hi); kind; domain_y }
 
 let gen_error_code =
   QCheck.Gen.oneofl
@@ -223,25 +243,30 @@ let test_wire_malformed_cases () =
     | Ok req -> Alcotest.failf "%s decoded to %s" label (Wire.request_to_string req)
   in
   expect_error "empty payload" "";
-  expect_error "version only" "\x02";
-  (* Valid ping is version 2, opcode 0x01. *)
-  (match Wire.decode_request "\x02\x01" with
+  expect_error "version only" "\x03";
+  (* Valid ping is version 3, opcode 0x01. *)
+  (match Wire.decode_request "\x03\x01" with
   | Ok Wire.Ping -> ()
   | other ->
     Alcotest.failf "ping payload rejected: %s"
       (match other with
       | Ok r -> Wire.request_to_string r
       | Error m -> m));
-  expect_error "old protocol version" "\x01\x01";
-  expect_error "future protocol version" "\x03\x01";
-  expect_error "unknown opcode" "\x02\x7f";
-  expect_error "trailing bytes" "\x02\x01\x00";
+  expect_error "old protocol version" "\x02\x01";
+  expect_error "future protocol version" "\x04\x01";
+  expect_error "unknown opcode" "\x03\x7f";
+  expect_error "trailing bytes" "\x03\x01\x00";
   (* Batch count far beyond what the frame could carry. *)
-  expect_error "implausible array count" "\x02\x04\xff\xff\xff\xff";
+  expect_error "implausible array count" "\x03\x04\xff\xff\xff\xff";
   (* Insert value count far beyond what the frame could carry. *)
-  expect_error "implausible insert count" "\x02\x06\x00\x00\xff\xff\xff\xff";
+  expect_error "implausible insert count" "\x03\x06\x00\x00\xff\xff\xff\xff";
   (* String length past the end of the payload. *)
-  expect_error "truncated string" "\x02\x05\x00\x10ab"
+  expect_error "truncated string" "\x03\x05\x00\x10ab";
+  (* Rect frame cut off inside its fourth coordinate. *)
+  expect_error "truncated rect"
+    "\x03\x08\x00\x01a\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00";
+  (* Join frame with an out-of-range predicate code. *)
+  expect_error "unknown join predicate" "\x03\x09\x00\x01a\x07"
 
 (* ---------------- Engine + Client ---------------- *)
 
@@ -799,6 +824,217 @@ let test_adaptive_insert_observe_e2e () =
      assertion. *)
   check Alcotest.bool "drained" true (Engine.draining engine)
 
+(* ---------------- rect and join serving ---------------- *)
+
+let rect_points =
+  Array.init 600 (fun i ->
+      (float_of_int (i * 7 mod 97), float_of_int (i * i mod 61)))
+
+let join_r = Array.init 300 (fun i -> float_of_int (i * 5 mod 89))
+let join_s = Array.init 250 (fun i -> float_of_int (i * 11 mod 89))
+
+(* One entry of each kind, so mixed workloads and kind-mismatch errors
+   are exercised against the same catalog. *)
+let build_three_kinds svc =
+  ignore
+    (or_fail
+       (Service.build svc ~name:"orders/amount" ~spec:"ewh:16" ~domain:domain_a
+          ~sample:sample_a));
+  ignore
+    (or_fail
+       (Service.build_rect svc ~name:"orders/amount_x_qty" ~spec:"hist2d:16"
+          ~domain_x:(-0.5, 96.5) ~domain_y:(-0.5, 60.5) ~points:rect_points));
+  ignore
+    (or_fail
+       (Service.build_join svc ~name:"orders_join_users" ~spec:"edh:24"
+          ~domain:(-0.5, 88.5) ~n_r:3000 ~n_s:2500 ~sample_r:join_r
+          ~sample_s:join_s))
+
+(* Tentpole acceptance: served rectangle and join answers are
+   bit-identical to the direct Catalog.Service calls (which are aliases
+   of Multidim.Hist2d.selectivity / Join.Ineqjoin.estimate), kind
+   mismatches are typed Bad_request, unknown entries typed
+   Unknown_entry, and ls reports kind and domain_y. *)
+let test_rect_join_requests () =
+  let dir = fresh_dir () in
+  let svc, _ = Service.open_dir dir in
+  build_three_kinds svc;
+  let address = Wire.Unix_socket (sock_path ()) in
+  let engine = Engine.create ~services:[| svc |] address in
+  let server = Thread.create Engine.serve engine in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.initiate_drain engine;
+      Thread.join server)
+    (fun () ->
+      let client = or_fail_client (Client.connect address) in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let direct_svc, _ = Service.open_dir dir in
+          (* Rectangles, including a degenerate zero-width one. *)
+          List.iter
+            (fun (x_lo, x_hi, y_lo, y_hi) ->
+              let served =
+                or_fail_client
+                  (Client.estimate_rect client ~entry:"orders/amount_x_qty" ~x_lo
+                     ~x_hi ~y_lo ~y_hi)
+              in
+              let direct =
+                or_fail
+                  (Service.answer_rect direct_svc ~name:"orders/amount_x_qty"
+                     ~x_lo ~x_hi ~y_lo ~y_hi)
+              in
+              check Alcotest.bool
+                (Printf.sprintf "rect [%g,%g]x[%g,%g] bit-identical" x_lo x_hi
+                   y_lo y_hi)
+                true
+                (Int64.bits_of_float served = Int64.bits_of_float direct))
+            [
+              (3.0, 40.0, 5.0, 30.0);
+              (0.0, 96.0, 0.0, 60.0);
+              (17.0, 17.0, 4.0, 4.0);
+              (50.0, 10.0, 0.0, 60.0);
+            ];
+          (* Joins under all three predicates. *)
+          List.iter
+            (fun pred ->
+              let served =
+                or_fail_client
+                  (Client.estimate_join client ~entry:"orders_join_users" ~pred)
+              in
+              let direct =
+                or_fail
+                  (Service.answer_join direct_svc ~name:"orders_join_users" ~pred)
+              in
+              check Alcotest.bool
+                (Selest.Stored.join_pred_to_string pred ^ " join bit-identical")
+                true
+                (Int64.bits_of_float served = Int64.bits_of_float direct))
+            [ Selest.Stored.Join_eq; Selest.Stored.Join_lt; Selest.Stored.Join_le ];
+          (* Kind mismatches are typed Bad_request, not Unknown_entry. *)
+          (match
+             Client.estimate_rect client ~entry:"orders/amount" ~x_lo:0.0
+               ~x_hi:1.0 ~y_lo:0.0 ~y_hi:1.0
+           with
+          | Error (Client.Server (Wire.Bad_request, _)) -> ()
+          | Ok _ -> Alcotest.fail "rect query answered by a range entry"
+          | Error e ->
+            Alcotest.failf "expected bad_request, got %s" (Client.error_to_string e));
+          (match
+             Client.estimate_join client ~entry:"orders/amount_x_qty"
+               ~pred:Selest.Stored.Join_eq
+           with
+          | Error (Client.Server (Wire.Bad_request, _)) -> ()
+          | Ok _ -> Alcotest.fail "join query answered by a rect entry"
+          | Error e ->
+            Alcotest.failf "expected bad_request, got %s" (Client.error_to_string e));
+          (match
+             Client.estimate_rect client ~entry:"ghost" ~x_lo:0.0 ~x_hi:1.0
+               ~y_lo:0.0 ~y_hi:1.0
+           with
+          | Error (Client.Server (Wire.Unknown_entry, _)) -> ()
+          | Ok _ -> Alcotest.fail "rect query against unknown entry answered"
+          | Error e ->
+            Alcotest.failf "expected unknown_entry, got %s" (Client.error_to_string e));
+          (match
+             Client.estimate_join client ~entry:"ghost" ~pred:Selest.Stored.Join_lt
+           with
+          | Error (Client.Server (Wire.Unknown_entry, _)) -> ()
+          | Ok _ -> Alcotest.fail "join query against unknown entry answered"
+          | Error e ->
+            Alcotest.failf "expected unknown_entry, got %s" (Client.error_to_string e));
+          (* Ls reports the kinds and the rect y-domain. *)
+          let entries = or_fail_client (Client.ls client) in
+          let find n = List.find (fun (e : Wire.entry_info) -> e.Wire.name = n) entries in
+          check Alcotest.bool "range kind" true
+            ((find "orders/amount").Wire.kind = Selest.Stored.Range_kind);
+          check Alcotest.bool "rect kind" true
+            ((find "orders/amount_x_qty").Wire.kind = Selest.Stored.Rect_kind);
+          check Alcotest.bool "join kind" true
+            ((find "orders_join_users").Wire.kind = Selest.Stored.Join_kind);
+          check Alcotest.bool "rect entry carries domain_y" true
+            ((find "orders/amount_x_qty").Wire.domain_y = Some (-0.5, 60.5));
+          check Alcotest.bool "range entry has no domain_y" true
+            ((find "orders/amount").Wire.domain_y = None)))
+
+(* Satellite acceptance: a mixed range/rect/join workload served at
+   shards = 1 and shards = 4 over byte-copied snapshot dirs answers
+   bit-identically, and run_mixed reports per-kind latency groups. *)
+let test_mixed_sharded_bit_identity () =
+  let dir1 = fresh_dir () in
+  let svc1, _ = Service.open_dir dir1 in
+  build_three_kinds svc1;
+  let dir4 = fresh_dir () in
+  copy_flat_dir dir1 dir4;
+  let services4, skipped = Service.open_sharded ~shards:4 dir4 in
+  check Alcotest.int "sharded open skips nothing" 0 (List.length skipped);
+  let addr1 = Wire.Unix_socket (sock_path ()) in
+  let addr4 = Wire.Unix_socket (sock_path ()) in
+  let engine1 = Engine.create ~services:[| svc1 |] addr1 in
+  let engine4 = Engine.create ~services:services4 addr4 in
+  let server1 = Thread.create Engine.serve engine1 in
+  let server4 = Thread.create Engine.serve engine4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.initiate_drain engine1;
+      Engine.initiate_drain engine4;
+      Thread.join server1;
+      Thread.join server4)
+    (fun () ->
+      let client = or_fail_client (Client.connect addr1) in
+      let entries = or_fail_client (Client.ls client) in
+      Client.close client;
+      let requests = Loadgen.synthetic_mixed_requests ~entries ~count:240 ~seed:17L in
+      check Alcotest.bool "workload mixes all three kinds" true
+        (let kinds =
+           List.sort_uniq compare
+             (Array.to_list (Array.map Loadgen.mixed_kind requests))
+         in
+         kinds = [ "join"; "range"; "rect" ]);
+      let r1 = Loadgen.run_mixed ~connections:8 ~address:addr1 requests in
+      let r4 = Loadgen.run_mixed ~connections:8 ~address:addr4 requests in
+      check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "zero errors at shards=1"
+        [] r1.Loadgen.errors;
+      check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "zero errors at shards=4"
+        [] r4.Loadgen.errors;
+      check Alcotest.int "all answered at shards=1" 240 r1.Loadgen.ok;
+      check Alcotest.int "all answered at shards=4" 240 r4.Loadgen.ok;
+      (* Served equals served across shard counts, slot for slot... *)
+      Array.iteri
+        (fun i x1 ->
+          let x4 = r4.Loadgen.answers.(i) in
+          if Int64.bits_of_float x1 <> Int64.bits_of_float x4 then
+            Alcotest.failf "request %d: shards=1 %h, shards=4 %h" i x1 x4)
+        r1.Loadgen.answers;
+      (* ...and both equal the direct library answer. *)
+      let direct_svc, _ = Service.open_dir dir1 in
+      Array.iteri
+        (fun i req ->
+          let direct =
+            match req with
+            | Loadgen.Mix_range (entry, a, b) ->
+              or_fail (Service.answer_one direct_svc ~name:entry ~a ~b)
+            | Loadgen.Mix_rect { m_entry; m_x_lo; m_x_hi; m_y_lo; m_y_hi } ->
+              or_fail
+                (Service.answer_rect direct_svc ~name:m_entry ~x_lo:m_x_lo
+                   ~x_hi:m_x_hi ~y_lo:m_y_lo ~y_hi:m_y_hi)
+            | Loadgen.Mix_join { m_entry; m_pred } ->
+              or_fail (Service.answer_join direct_svc ~name:m_entry ~pred:m_pred)
+          in
+          if Int64.bits_of_float r1.Loadgen.answers.(i) <> Int64.bits_of_float direct
+          then
+            Alcotest.failf "request %d (%s): served %h, direct %h" i
+              (Loadgen.mixed_kind req) r1.Loadgen.answers.(i) direct)
+        requests;
+      (* Per-kind latency groups are always on for mixed runs. *)
+      let group_names = List.map fst r1.Loadgen.groups in
+      check (Alcotest.list Alcotest.string) "per-kind groups reported"
+        [ "join"; "range"; "rect" ] group_names;
+      List.iter
+        (fun (_, g) -> check Alcotest.bool "group populated" true (g.Loadgen.g_n > 0))
+        r1.Loadgen.groups)
+
 (* Open-loop generator sanity: the arrival schedule is honored (offered
    ~= rate * duration), accounting is consistent, and at a tame rate
    everything is answered. *)
@@ -862,6 +1098,13 @@ let () =
         [
           Alcotest.test_case "insert/observe end to end, background swap, drain" `Quick
             test_adaptive_insert_observe_e2e;
+        ] );
+      ( "rect-join",
+        [
+          Alcotest.test_case "served rect/join bit-identical, typed kind errors"
+            `Quick test_rect_join_requests;
+          Alcotest.test_case "mixed workload bit-identical at shards=1 vs 4" `Quick
+            test_mixed_sharded_bit_identity;
         ] );
       ( "shards",
         [

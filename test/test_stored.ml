@@ -83,6 +83,82 @@ let prop_round_trip_of_sample =
           (fun (a, b) -> Float.equal (Stored.selectivity t ~a ~b) (Stored.selectivity t' ~a ~b))
           [ (0.0, 1024.0); (-0.5, 1024.5); (100.0, 101.0); (512.0, 300.0); (1000.0, 2000.0) ])
 
+(* Rect summaries: round trips must reproduce rectangle selectivities
+   bit-identically, including degenerate and inverted query bounds, and
+   Multidim.Hist2d must agree exactly (its type IS Stored.rect). *)
+let prop_rect_round_trip =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 1 200 in
+        let* points =
+          array_size (return n)
+            (pair (float_bound_inclusive 96.0) (float_bound_inclusive 60.0))
+        in
+        let* bins_x = int_range 1 16 in
+        let* bins_y = int_range 1 16 in
+        let* queries =
+          list_size (int_range 1 12)
+            (quad
+               (float_range (-10.0) 110.0)
+               (float_range (-10.0) 110.0)
+               (float_range (-10.0) 70.0)
+               (float_range (-10.0) 70.0))
+        in
+        return (points, bins_x, bins_y, queries))
+  in
+  QCheck.Test.make ~count:120 ~name:"rect_of_string (rect_to_string r) bit-identical" arb
+    (fun (points, bins_x, bins_y, queries) ->
+      let domain_x = (-0.5, 96.5) and domain_y = (-0.5, 60.5) in
+      let r = Stored.rect_of_points ~domain_x ~domain_y ~bins_x ~bins_y points in
+      match Stored.rect_of_string (Stored.rect_to_string r) with
+      | Error msg -> QCheck.Test.fail_reportf "rect round trip rejected: %s" msg
+      | Ok r' ->
+        Stored.rect_bins r' = Stored.rect_bins r
+        && Stored.rect_domains r' = Stored.rect_domains r
+        && Stored.rect_to_string r' = Stored.rect_to_string r
+        && List.for_all
+             (fun (x_lo, x_hi, y_lo, y_hi) ->
+               let s = Stored.rect_selectivity r ~x_lo ~x_hi ~y_lo ~y_hi in
+               Float.equal s (Stored.rect_selectivity r' ~x_lo ~x_hi ~y_lo ~y_hi)
+               && Float.equal s (Multidim.Hist2d.selectivity r' ~x_lo ~x_hi ~y_lo ~y_hi))
+             queries)
+
+(* Join summaries: round trips must reproduce the estimated size of all
+   three predicates bit-identically, and Join.Ineqjoin.estimate must
+   agree exactly (it is an alias of Stored.join_estimate). *)
+let prop_join_round_trip =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        let* nr = int_range 1 300 in
+        let* ns = int_range 1 300 in
+        let* sample_r = array_size (return nr) (float_bound_inclusive 512.0) in
+        let* sample_s = array_size (return ns) (float_bound_inclusive 512.0) in
+        let* buckets = int_range 1 32 in
+        return (sample_r, sample_s, buckets))
+  in
+  QCheck.Test.make ~count:120 ~name:"join_of_string (join_to_string j) bit-identical" arb
+    (fun (sample_r, sample_s, buckets) ->
+      let domain = (-0.5, 512.5) in
+      let j =
+        Stored.join_of_samples ~domain ~buckets ~n_r:10_000 ~n_s:8_000 sample_r sample_s
+      in
+      match Stored.join_of_string (Stored.join_to_string j) with
+      | Error msg -> QCheck.Test.fail_reportf "join round trip rejected: %s" msg
+      | Ok j' ->
+        Stored.join_domain j' = Stored.join_domain j
+        && Stored.join_sizes j' = Stored.join_sizes j
+        && Stored.join_buckets j' = Stored.join_buckets j
+        && Stored.join_samples j' = Stored.join_samples j
+        && Stored.join_to_string j' = Stored.join_to_string j
+        && List.for_all
+             (fun pred ->
+               let e = Stored.join_estimate j ~pred in
+               Float.equal e (Stored.join_estimate j' ~pred)
+               && Float.equal e (Join.Ineqjoin.estimate j' ~pred))
+             [ Stored.Join_eq; Stored.Join_lt; Stored.Join_le ])
+
 (* of_string never raises: every malformed input maps to Error. *)
 let malformed_cases =
   [
@@ -114,6 +190,45 @@ let test_malformed () =
         Alcotest.failf "%s: of_string raised %s" label (Printexc.to_string e))
     malformed_cases
 
+(* The rect and join parsers share the totality contract, including
+   cross-kind confusion: feeding one kind's text to another's parser
+   must be a clean Error. *)
+let test_malformed_rect_join () =
+  let rect_text =
+    Stored.rect_to_string
+      (Stored.rect_of_points ~domain_x:(0.0, 4.0) ~domain_y:(0.0, 4.0) ~bins_x:2 ~bins_y:2
+         [| (1.0, 1.0); (3.0, 3.0) |])
+  in
+  let join_text =
+    Stored.join_to_string
+      (Stored.join_of_samples ~domain:(0.0, 8.0) ~buckets:4 ~n_r:100 ~n_s:100
+         [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0 |])
+  in
+  let expect_error parser label input =
+    match parser input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: malformed input accepted" label
+    | exception e -> Alcotest.failf "%s: parser raised %s" label (Printexc.to_string e)
+  in
+  List.iter
+    (expect_error Stored.rect_of_string "rect")
+    [ ""; "garbage"; join_text; stored_text ~lo:0.0 ~hi:1.0 [ 0.5 ] ];
+  List.iter
+    (expect_error Stored.join_of_string "join")
+    [ ""; "garbage"; rect_text; stored_text ~lo:0.0 ~hi:1.0 [ 0.5 ] ];
+  (* Every truncation of well-formed text must be handled without
+     raising (a benign cut, e.g. the trailing newline, may still parse). *)
+  let sweep parser text =
+    for len = 0 to String.length text - 1 do
+      match parser (String.sub text 0 len) with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+        Alcotest.failf "truncated at %d: parser raised %s" len (Printexc.to_string e)
+    done
+  in
+  sweep Stored.rect_of_string rect_text;
+  sweep Stored.join_of_string join_text
+
 (* to_string survives weights that only differ past float precision. *)
 let test_tiny_weights () =
   let t = stored_of_weights ~lo:0.0 ~hi:1.0 [ 1e-300; 4.9e-324; 0.0; 0.25 ] in
@@ -125,13 +240,17 @@ let test_tiny_weights () =
     0.25
 
 let () =
-  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_round_trip; prop_round_trip_of_sample ] in
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_round_trip; prop_round_trip_of_sample; prop_rect_round_trip; prop_join_round_trip ]
+  in
   Alcotest.run "stored"
     [
       ("round-trip", qsuite);
       ( "malformed",
         [
           Alcotest.test_case "errors, never raises" `Quick test_malformed;
+          Alcotest.test_case "rect/join parsers total" `Quick test_malformed_rect_join;
           Alcotest.test_case "denormal weights" `Quick test_tiny_weights;
         ] );
     ]
