@@ -163,7 +163,7 @@ module Record = struct
     let targets = List.rev !order in
     let buf = Buffer.create 4096 in
     Buffer.add_string buf "{\n";
-    Buffer.add_string buf "  \"schema_version\": 6,\n";
+    Buffer.add_string buf "  \"schema_version\": 7,\n";
     Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
     Buffer.add_string buf "  \"targets\": {\n";
     List.iteri
@@ -1777,6 +1777,107 @@ let micro () =
     Printf.printf "gate: batch paths allocation-free, all per-op speedup floors hold\n"
 
 (* ------------------------------------------------------------------ *)
+(* Advise: workload-grid crossover matrix and chosen-spec regret gate   *)
+(* ------------------------------------------------------------------ *)
+
+(* Set when the advise gate fails; like the micro gate, the failing
+   numbers land in BENCH_results.json before the non-zero exit. *)
+let advise_gate_failed = ref false
+
+(* The default policy trades up to its 10% tie margin of accuracy for
+   cost, so the chosen spec's regret against the sweep's best single
+   spec is at most 1.10 by construction; the ceiling sits above that to
+   catch scoring/normalization drift, not measurement noise. *)
+let advise_regret_ceiling = 1.25
+
+let advise_datasets = [ "n(20)"; "e(20)"; "arap1" ]
+
+(* Four selectivity bands spanning the paper's 0.1%-50% range, crossed
+   with the default data-skew and uniform placement profiles. *)
+let advise_targets = [ 0.001; 0.01; 0.1; 0.4 ]
+
+let bench_advise () =
+  header "advise: targeted-selectivity sweep, crossover matrix, regret gate";
+  List.iter
+    (fun file ->
+      let ds = dataset file in
+      let s = sample ds in
+      let sweep =
+        Advisor.Sweep.run ~jobs:!jobs ~targets:advise_targets ds ~seed:query_seed
+          ~sample:s
+      in
+      let r =
+        match Advisor.Recommend.recommend sweep with
+        | Ok r -> r
+        | Error msg -> failwith (Printf.sprintf "advise %s: %s" file msg)
+      in
+      let open Advisor in
+      let cells = List.length sweep.Sweep.s_workloads in
+      let grid_queries = cells * sweep.Sweep.s_count in
+      (* mre_by_spec rows (one per swept spec), with the grid's query
+         volume and each spec's build time attributed to this target. *)
+      List.iter2
+        (fun (c : Sweep.cost) (p : Pareto.point) ->
+          Record.note ~key:(file ^ "/" ^ c.Sweep.c_spec) ~mre:p.Pareto.p_mre
+            ~build_s:c.Sweep.c_build_s ~queries:grid_queries
+            ~query_s:(c.Sweep.c_ns_per_estimate *. float_of_int grid_queries *. 1e-9))
+        sweep.Sweep.s_costs
+        (Pareto.points_of_sweep sweep);
+      (* The crossover matrix, one group per grid cell holding every
+         spec's MRE there; the winner is the argmin, so the printed
+         column below is recomputable from the serialized fields. *)
+      List.iter
+        (fun (b : Pareto.band) ->
+          Record.note_group ~section:"crossover"
+            ~group:
+              (Printf.sprintf "%s|%s|%g" file
+                 (Workloads.placement_name b.Pareto.b_placement)
+                 b.Pareto.b_target)
+            b.Pareto.b_mres)
+        r.Recommend.r_crossover;
+      Printf.printf "%-8s %-10s %-9s %-14s %-8s\n" "dataset" "placement" "target%"
+        "winner" "mre%";
+      List.iter
+        (fun (b : Pareto.band) ->
+          Printf.printf "%-8s %-10s %-9.3f %-14s %-8.2f\n" file
+            (Workloads.placement_name b.Pareto.b_placement)
+            (100. *. b.Pareto.b_target) b.Pareto.b_winner
+            (100. *. b.Pareto.b_winner_mre))
+        r.Recommend.r_crossover;
+      List.iter
+        (fun (f : Workloads.failure) ->
+          Printf.printf "%s: target %.3f%% (%s) unachievable: %s\n" file
+            (100. *. f.Workloads.f_target)
+            (Workloads.placement_name f.Workloads.f_placement)
+            f.Workloads.f_reason)
+        sweep.Sweep.s_skipped;
+      Record.note_extra ~key:(Printf.sprintf "advisor_chosen_mre_%s" file)
+        r.Recommend.r_mean_mre;
+      Record.note_extra ~key:(Printf.sprintf "advisor_best_mre_%s" file)
+        r.Recommend.r_best_mre;
+      Record.note_extra ~key:(Printf.sprintf "advisor_regret_%s" file)
+        r.Recommend.r_regret;
+      Record.note_extra ~key:(Printf.sprintf "advisor_oracle_regret_%s" file)
+        r.Recommend.r_oracle_regret;
+      Printf.printf
+        "%s: chose %s  mean mre %.2f%%  regret %.3fx vs best spec, %.3fx vs per-cell \
+         oracle\n%!"
+        file r.Recommend.r_spec
+        (100. *. r.Recommend.r_mean_mre)
+        r.Recommend.r_regret r.Recommend.r_oracle_regret;
+      if r.Recommend.r_regret > advise_regret_ceiling then begin
+        advise_gate_failed := true;
+        Printf.printf "GATE FAIL: %s chosen-spec regret %.3fx above the %.2fx ceiling\n"
+          file r.Recommend.r_regret advise_regret_ceiling
+      end)
+    advise_datasets;
+  if not !advise_gate_failed then
+    Printf.printf
+      "gate: chosen-spec regret within %.2fx of the sweep's best on all %d datasets\n"
+      advise_regret_ceiling
+      (List.length advise_datasets)
+
+(* ------------------------------------------------------------------ *)
 (* Registry and main                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1804,6 +1905,7 @@ let targets =
     ("ext_join", ext_join);
     ("ext_mise", ext_mise);
     ("catalog", bench_catalog);
+    ("advise", bench_advise);
     ("serve", bench_serve);
     ("drift", bench_drift);
     ("timing", timing);
@@ -1856,6 +1958,9 @@ let parse_args argv =
     | "--micro" :: rest ->
       (* Alias for the scalar-vs-batch microbenchmark target. *)
       go ("micro" :: acc) rest
+    | "--advise" :: rest ->
+      (* Alias for the advisor crossover-and-regret target. *)
+      go ("advise" :: acc) rest
     | "--drift" :: rest ->
       (* Alias for the adaptive-serving drift-timeline target. *)
       go ("drift" :: acc) rest
@@ -1886,6 +1991,10 @@ let finish_run () =
   write_telemetry ();
   if !micro_gate_failed then begin
     prerr_endline "micro gate failed (see GATE FAIL lines above)";
+    exit 1
+  end;
+  if !advise_gate_failed then begin
+    prerr_endline "advise gate failed (see GATE FAIL lines above)";
     exit 1
   end
 

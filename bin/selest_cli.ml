@@ -5,6 +5,8 @@
      export      write a catalog dataset's values to a file (one per line)
      estimate    answer one range query with a chosen estimator vs the truth
      compare     MRE of several estimators on a size-separated query file
+     advise      sweep the estimator zoo over a targeted-selectivity grid
+                 and recommend a spec from the measured Pareto fronts
      sweep       MRE of the equi-width histogram across bin counts
      bandwidths  show the smoothing parameters the rules pick for a sample
      analyze     per-position error profile of an estimator (Figures 3/10)
@@ -154,26 +156,208 @@ let compare_cmd =
              ~doc:"Evaluate estimators on $(docv) parallel domains (1 = sequential). The \
                    reported numbers are bit-identical for every value.")
   in
-  let run seed sample_seed n name fraction count jobs specs =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the machine-readable report instead of the table (the advisor's \
+                   shared report schema; see docs/ADVISOR.md).")
+  in
+  let run seed sample_seed n name fraction count jobs json specs =
     if jobs < 1 then or_die (Error "compare: --jobs must be >= 1");
     let ds = or_die (load_dataset seed name) in
     let sample = E.sample_of ds ~seed:sample_seed ~n in
     let queries = G.size_separated ds ~seed:9L ~fraction ~count in
     let specs = if specs = [] then Est.default_suite else specs in
-    Printf.printf "file: %s   queries: %d x %.1f%%   sample: %d   jobs: %d\n\n"
-      (Data.Dataset.name ds) count (100.0 *. fraction) n jobs;
-    Printf.printf "%-36s %-8s %-10s %-10s\n" "estimator" "mre%" "mae" "worst_rel";
-    List.iter
-      (fun (label, summary) ->
-        Printf.printf "%-36s %-8.2f %-10.1f %-10.2f\n" label
-          (100.0 *. summary.Workload.Metrics.mre)
-          summary.Workload.Metrics.mae summary.Workload.Metrics.max_relative)
-      (E.compare_specs ~jobs ds ~sample ~queries specs)
+    let rows = E.compare_specs ~jobs ds ~sample ~queries specs in
+    if json then
+      print_string
+        (Advisor.Report.to_string
+           (Advisor.Report.compare_report ~dataset:(Data.Dataset.name ds)
+              ~records:(Data.Dataset.size ds) ~sample_size:n ~fraction ~count rows))
+    else begin
+      Printf.printf "file: %s   queries: %d x %.1f%%   sample: %d   jobs: %d\n\n"
+        (Data.Dataset.name ds) count (100.0 *. fraction) n jobs;
+      Printf.printf "%-36s %-8s %-10s %-10s\n" "estimator" "mre%" "mae" "worst_rel";
+      List.iter
+        (fun (label, summary) ->
+          Printf.printf "%-36s %-8.2f %-10.1f %-10.2f\n" label
+            (100.0 *. summary.Workload.Metrics.mre)
+            summary.Workload.Metrics.mae summary.Workload.Metrics.max_relative)
+        rows
+    end
   in
   let doc = "Compare estimators' mean relative error on a size-separated query file." in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ file_arg $ fraction_arg
-          $ count_arg $ jobs_arg $ estimators_arg)
+          $ count_arg $ jobs_arg $ json_arg $ estimators_arg)
+
+(* --- advise --- *)
+
+let advise_cmd =
+  let attr_arg =
+    let doc =
+      "Attribute to advise on: a catalog name (one of: "
+      ^ String.concat ", " Data.Catalog.names
+      ^ ") or a path to a text file with one integer value per line."
+    in
+    Arg.(required & opt (some string) None
+         & info [ "attr"; "file"; "f" ] ~docv:"ATTR" ~doc)
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Sweep specs on $(docv) parallel domains (1 = sequential). Swept error \
+                   figures are bit-identical for every value; wall-clock costs are not.")
+  in
+  let weights_arg =
+    Arg.(value & opt (some string) None
+         & info [ "weights"; "w" ] ~docv:"ACC,BUILD,QUERY[,MARGIN]"
+             ~doc:"Scoring weights over normalized mean MRE, build time and ns/estimate, \
+                   plus an optional relative tie margin. The default (1,0,0,0.1) is \
+                   accuracy-first: specs within 10% of the best score tie and the \
+                   cheapest wins.")
+  in
+  let targets_arg =
+    Arg.(value & opt (some string) None
+         & info [ "targets" ] ~docv:"T1,T2,..."
+             ~doc:"Target selectivities as fractions in (0, 1]; default \
+                   0.001,0.01,0.05,0.1,0.25,0.5.")
+  in
+  let placements_arg =
+    Arg.(value & opt (some string) None
+         & info [ "placements" ] ~docv:"P1,P2,..."
+             ~doc:"Query-center placement profiles: $(b,data) (follows the records), \
+                   $(b,uniform) (uniform positions), $(b,antimode) (low-density \
+                   regions); default data,uniform.")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float Advisor.Workloads.default_tolerance
+         & info [ "tolerance" ] ~docv:"T"
+             ~doc:"Accepted relative deviation of achieved from target selectivity, in \
+                   (0, 1).")
+  in
+  let wl_count_arg =
+    Arg.(value & opt int 200
+         & info [ "queries"; "q" ] ~docv:"N" ~doc:"Queries per workload grid cell.")
+  in
+  let query_seed_arg =
+    Arg.(value & opt int64 9L
+         & info [ "query-seed" ] ~docv:"SEED" ~doc:"Seed for workload synthesis.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the machine-readable report (shared schema with \
+                   $(b,compare --json); see docs/ADVISOR.md).")
+  in
+  let parse_targets s =
+    let parts = String.split_on_char ',' s in
+    let floats = List.filter_map (fun p -> float_of_string_opt (String.trim p)) parts in
+    if List.length floats <> List.length parts || floats = [] then
+      Error (Printf.sprintf "advise: bad --targets %S" s)
+    else Ok floats
+  in
+  let parse_placements s =
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+        match Advisor.Workloads.placement_of_string p with
+        | Ok pl -> go (pl :: acc) rest
+        | Error msg -> Error ("advise: " ^ msg))
+    in
+    go [] parts
+  in
+  let run seed sample_seed n attr jobs weights targets placements tolerance count
+      query_seed json =
+    if jobs < 1 then or_die (Error "advise: --jobs must be >= 1");
+    let ds = or_die (load_dataset seed attr) in
+    let sample = E.sample_of ds ~seed:sample_seed ~n in
+    let weights =
+      match weights with
+      | None -> Advisor.Recommend.default_weights
+      | Some s -> or_die (Advisor.Recommend.weights_of_string s)
+    in
+    let targets = Option.map (fun s -> or_die (parse_targets s)) targets in
+    let placements = Option.map (fun s -> or_die (parse_placements s)) placements in
+    let sweep =
+      try
+        Advisor.Sweep.run ~jobs ?targets ?placements ~tolerance ~count ds
+          ~seed:query_seed ~sample
+      with Invalid_argument msg -> or_die (Error msg)
+    in
+    let r = or_die (Advisor.Recommend.recommend ~weights sweep) in
+    if json then
+      print_string (Advisor.Report.to_string (Advisor.Report.advise_report sweep r))
+    else begin
+      let module W = Advisor.Workloads in
+      let module P = Advisor.Pareto in
+      let module R = Advisor.Recommend in
+      let module S = Advisor.Sweep in
+      Printf.printf "file: %s   records: %d   sample: %d   jobs: %d\n"
+        (Data.Dataset.name ds) (Data.Dataset.size ds) n jobs;
+      Printf.printf "workload grid: %d cell(s) x %d queries, tolerance +/-%.0f%%\n\n"
+        (List.length sweep.S.s_workloads) count (100.0 *. tolerance);
+      Printf.printf "%-10s %-9s %-10s\n" "placement" "target%" "achieved%";
+      List.iter
+        (fun (p, t, (wl : W.t)) ->
+          Printf.printf "%-10s %-9.3f %-10.3f\n" (W.placement_name p) (100.0 *. t)
+            (100.0 *. wl.W.mean_achieved))
+        sweep.S.s_workloads;
+      List.iter
+        (fun (f : W.failure) ->
+          Printf.printf "skipped    %-9.3f unachievable: %s\n"
+            (100.0 *. f.W.f_target) f.W.f_reason)
+        sweep.S.s_skipped;
+      Printf.printf "\ncrossover matrix (winner per cell):\n";
+      Printf.printf "%-10s %-9s %-14s %-8s\n" "placement" "target%" "winner" "mre%";
+      List.iter
+        (fun (b : P.band) ->
+          Printf.printf "%-10s %-9.3f %-14s %-8.2f\n"
+            (W.placement_name b.P.b_placement)
+            (100.0 *. b.P.b_target) b.P.b_winner
+            (100.0 *. b.P.b_winner_mre))
+        r.R.r_crossover;
+      Printf.printf "\nper-spec costs and mean error:\n";
+      Printf.printf "%-12s %-8s %-10s %-10s %-10s\n" "spec" "mre%" "build_ms" "ns/est"
+        "vc_eps";
+      let points = P.points_of_sweep sweep in
+      List.iter2
+        (fun (c : S.cost) (p : P.point) ->
+          Printf.printf "%-12s %-8.2f %-10.3f %-10.0f %-10s\n" c.S.c_spec
+            (100.0 *. p.P.p_mre)
+            (1000.0 *. c.S.c_build_s)
+            c.S.c_ns_per_estimate
+            (match c.S.c_vc_epsilon with
+            | None -> "-"
+            | Some e -> Printf.sprintf "%.4f" e))
+        sweep.S.s_costs points;
+      Printf.printf "\npareto front: %s\n"
+        (String.concat ", " (List.map (fun (p : P.point) -> p.P.p_spec) r.R.r_front));
+      Printf.printf
+        "recommendation: %s (%s)  mean mre %.2f%%  regret %.3fx vs best spec, %.3fx vs \
+         per-cell oracle\n"
+        r.R.r_spec r.R.r_label
+        (100.0 *. r.R.r_mean_mre)
+        r.R.r_regret r.R.r_oracle_regret;
+      (match r.R.r_vc_epsilon with
+      | Some e ->
+        Printf.printf
+          "confidence: sampling VC bound: selectivity within +/-%.4f with 95%% \
+           probability at this sample size\n"
+          e
+      | None -> ());
+      Printf.printf "provenance: %s\n" r.R.r_provenance
+    end
+  in
+  let doc =
+    "Sweep every estimator spec over a targeted-selectivity workload grid and recommend \
+     one from the measured accuracy/build-cost/query-cost Pareto front (docs/ADVISOR.md)."
+  in
+  Cmd.v (Cmd.info "advise" ~doc)
+    Term.(const run $ seed_arg $ sample_seed_arg $ sample_size_arg $ attr_arg $ jobs_arg
+          $ weights_arg $ targets_arg $ placements_arg $ tolerance_arg $ wl_count_arg
+          $ query_seed_arg $ json_arg)
 
 (* --- sweep --- *)
 
@@ -396,10 +580,12 @@ let catalog_build_cmd =
                    $(b,--with) for equality and inequality join sizes).")
   in
   let spec_arg =
-    Arg.(value & opt (some string) None & info [ "estimator"; "e" ] ~docv:"SPEC"
+    Arg.(value & opt (some string) None & info [ "estimator"; "e"; "spec" ] ~docv:"SPEC"
          ~doc:"Summary spec in the kind's compact syntax: range specs like ewh:40 or \
                kernel (default kernel), hist2d:BXxBY for rect (default hist2d), \
-               edh:BUCKETS for join (default edh).")
+               edh:BUCKETS for join (default edh). For $(b,--kind range), $(b,auto) \
+               runs the advisor sweep on the sample and builds its recommended spec, \
+               recording the recommendation line as the entry's provenance.")
   in
   let with_arg =
     Arg.(value & opt (some string) None & info [ "with"; "g" ] ~docv:"FILE"
@@ -428,12 +614,29 @@ let catalog_build_cmd =
         info.Cat.cells sample_note
         (Catalog.Snapshot.path ~dir info.Cat.name)
     in
+    if spec = Some "auto" && kind <> `Range then
+      or_die (Error "catalog build: --spec auto is only supported for --kind range");
     match kind with
     | `Range ->
       let spec = Option.value spec ~default:"kernel" in
       let sample = E.sample_of ds ~seed:sample_seed ~n in
+      let spec, provenance =
+        if spec <> "auto" then (spec, None)
+        else begin
+          (* The advisor sweeps the full suite on this very sample; the
+             recommendation line rides into the entry as provenance so
+             `catalog ls` can answer "why this spec?". *)
+          let sweep = Advisor.Sweep.run ds ~seed:9L ~sample in
+          let r = or_die (Advisor.Recommend.recommend sweep) in
+          Printf.printf "advisor: chose %s (%s): mean mre %.2f%%, regret %.3fx vs best\n"
+            r.Advisor.Recommend.r_spec r.Advisor.Recommend.r_label
+            (100.0 *. r.Advisor.Recommend.r_mean_mre)
+            r.Advisor.Recommend.r_regret;
+          (r.Advisor.Recommend.r_spec, Some r.Advisor.Recommend.r_provenance)
+        end
+      in
       let name = Option.value name ~default:(file ^ "/" ^ spec) in
-      (match Cat.build svc ~name ~spec ~domain:(E.domain_of ds) ~sample with
+      (match Cat.build ?provenance svc ~name ~spec ~domain:(E.domain_of ds) ~sample with
       | Error msg -> or_die (Error msg)
       | Ok info -> report info (Printf.sprintf "sample of %d" n))
     | `Rect ->
@@ -487,8 +690,8 @@ let catalog_build_cmd =
 let catalog_ls_cmd =
   let run dir =
     let svc = open_catalog dir in
-    Printf.printf "%-28s %-6s %-18s %-6s %-22s %-9s %-6s %-6s\n" "name" "kind" "spec"
-      "cells" "domain" "inserts" "stale" "cached";
+    Printf.printf "%-28s %-6s %-18s %-6s %-22s %-9s %-6s %-6s %s\n" "name" "kind" "spec"
+      "cells" "domain" "inserts" "stale" "cached" "provenance";
     List.iter
       (fun (i : Cat.info) ->
         let lo, hi = i.Cat.domain in
@@ -497,11 +700,12 @@ let catalog_ls_cmd =
           | None -> Printf.sprintf "[%g, %g]" lo hi
           | Some (ylo, yhi) -> Printf.sprintf "[%g,%g]x[%g,%g]" lo hi ylo yhi
         in
-        Printf.printf "%-28s %-6s %-18s %-6d %-22s %-9d %-6s %-6s\n" i.Cat.name
+        Printf.printf "%-28s %-6s %-18s %-6d %-22s %-9d %-6s %-6s %s\n" i.Cat.name
           (Selest.Stored.kind_name i.Cat.kind)
           i.Cat.spec i.Cat.cells domain i.Cat.inserts
           (if i.Cat.stale then "yes" else "no")
-          (if i.Cat.cached then "yes" else "no"))
+          (if i.Cat.cached then "yes" else "no")
+          (Option.value i.Cat.provenance ~default:"-"))
       (Cat.infos svc)
   in
   let doc = "List the catalog's entries (all kinds) with their staleness state." in
@@ -997,6 +1201,7 @@ let () =
             export_cmd;
             estimate_cmd;
             compare_cmd;
+            advise_cmd;
             sweep_cmd;
             bandwidths_cmd;
             analyze_cmd;

@@ -1,0 +1,83 @@
+type point = {
+  p_spec : string;
+  p_label : string;
+  p_mre : float;
+  p_build_s : float;
+  p_ns : float;
+}
+
+let points_of_sweep (s : Sweep.t) =
+  List.map
+    (fun (c : Sweep.cost) ->
+      let cells =
+        List.filter (fun (m : Sweep.measurement) -> m.Sweep.m_spec = c.Sweep.c_spec) s.Sweep.s_cells
+      in
+      let n = List.length cells in
+      let mean =
+        if n = 0 then nan
+        else
+          List.fold_left
+            (fun acc (m : Sweep.measurement) -> acc +. m.Sweep.m_summary.Workload.Metrics.mre)
+            0. cells
+          /. float_of_int n
+      in
+      {
+        p_spec = c.Sweep.c_spec;
+        p_label = c.Sweep.c_label;
+        p_mre = mean;
+        p_build_s = c.Sweep.c_build_s;
+        p_ns = c.Sweep.c_ns_per_estimate;
+      })
+    s.Sweep.s_costs
+
+let dominates p q =
+  p.p_mre <= q.p_mre && p.p_build_s <= q.p_build_s && p.p_ns <= q.p_ns
+  && (p.p_mre < q.p_mre || p.p_build_s < q.p_build_s || p.p_ns < q.p_ns)
+
+let front points =
+  List.filter (fun p -> not (List.exists (fun q -> q != p && dominates q p) points)) points
+
+type band = {
+  b_placement : Workloads.placement;
+  b_target : float;
+  b_winner : string;
+  b_winner_label : string;
+  b_winner_mre : float;
+  b_mres : (string * float) list;
+}
+
+let crossover (s : Sweep.t) =
+  List.map
+    (fun (placement, target, _) ->
+      let column =
+        List.filter
+          (fun (m : Sweep.measurement) ->
+            m.Sweep.m_placement = placement && m.Sweep.m_target = target)
+          s.Sweep.s_cells
+      in
+      match column with
+      | [] -> invalid_arg "Advisor.Pareto.crossover: workload cell with no measurements"
+      | first :: rest ->
+          (* strict [<] keeps the earliest (cheapest) spec on ties *)
+          let winner =
+            List.fold_left
+              (fun (acc : Sweep.measurement) (m : Sweep.measurement) ->
+                if m.Sweep.m_summary.Workload.Metrics.mre
+                   < acc.Sweep.m_summary.Workload.Metrics.mre
+                then m
+                else acc)
+              first rest
+          in
+          {
+            b_placement = placement;
+            b_target = target;
+            b_winner = winner.Sweep.m_spec;
+            b_winner_label = winner.Sweep.m_label;
+            b_winner_mre = winner.Sweep.m_summary.Workload.Metrics.mre;
+            b_mres =
+              List.map
+                (fun (m : Sweep.measurement) ->
+                  (m.Sweep.m_spec, m.Sweep.m_summary.Workload.Metrics.mre))
+                column;
+          })
+    s.Sweep.s_workloads

@@ -1,0 +1,45 @@
+(** Pareto fronts and the crossover matrix over a completed sweep.
+
+    A spec is summarized as a 3-D {!point} — accuracy (mean MRE over the
+    workload grid), build cost, query cost — and the {!front} keeps only
+    the non-dominated ones: a dominated spec is worse-or-equal on every
+    axis and strictly worse on at least one, so no scoring policy with
+    non-negative weights can prefer it.  The {!crossover} matrix is the
+    paper's Section 5 story made machine-readable: the winning spec per
+    (selectivity band × placement profile) cell. *)
+
+type point = {
+  p_spec : string;  (** compact spec syntax *)
+  p_label : string;  (** display name *)
+  p_mre : float;  (** mean MRE across the achieved workload cells *)
+  p_build_s : float;  (** build wall-time, seconds *)
+  p_ns : float;  (** batch-path ns per estimate *)
+}
+(** One spec's position in accuracy × build-cost × query-cost space. *)
+
+val points_of_sweep : Sweep.t -> point list
+(** One point per swept spec, in suite order. *)
+
+val dominates : point -> point -> bool
+(** [dominates p q] iff [p] is no worse than [q] on all three axes and
+    strictly better on at least one. *)
+
+val front : point list -> point list
+(** The non-dominated subset, preserving input order.  Duplicate
+    coordinates survive (neither copy strictly beats the other). *)
+
+type band = {
+  b_placement : Workloads.placement;
+  b_target : float;
+  b_winner : string;  (** spec with the lowest MRE in this cell *)
+  b_winner_label : string;
+  b_winner_mre : float;
+  b_mres : (string * float) list;  (** every spec's MRE, suite order *)
+}
+(** One crossover cell: a selectivity band × placement profile, with the
+    winning spec and the full MRE column. *)
+
+val crossover : Sweep.t -> band list
+(** The crossover matrix in workload-grid order.  Ties go to the spec
+    earliest in the suite order (the cheapest, by the documented suite
+    ladder). *)

@@ -1,0 +1,211 @@
+(* Targeted-selectivity workload synthesis by empirical-CDF inversion.
+
+   A query is a run of [w] consecutive integer atoms around a center drawn
+   per the placement profile, represented with the repository's
+   half-integer bounds ([a - 0.5, a + w - 1 + 0.5]) so the exact oracle
+   and the density estimators agree on which atoms it covers.  For a fixed
+   center the covered interval is nested as [w] grows (the left edge only
+   moves left, the right edge only moves right, and domain clamping only
+   ever extends the opposite side), so the exact count is monotone
+   non-decreasing in [w] and the smallest width reaching the target is
+   found by plain binary search — at most [log2 domain_size] oracle
+   probes, each an [O(log n)] bisection on the sorted values. *)
+
+module D = Data.Dataset
+module Q = Workload.Query
+module Rng = Prng.Xoshiro256pp
+
+type placement = Data_skew | Uniform | Antimode
+
+let placement_name = function
+  | Data_skew -> "data"
+  | Uniform -> "uniform"
+  | Antimode -> "antimode"
+
+let placement_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "data" | "skew" | "data-skew" -> Ok Data_skew
+  | "uniform" -> Ok Uniform
+  | "antimode" | "anti" -> Ok Antimode
+  | other ->
+      Error
+        (Printf.sprintf "unknown placement %S (expected data, uniform or antimode)" other)
+
+type t = {
+  target : float;
+  tolerance : float;
+  placement : placement;
+  queries : Q.t array;
+  achieved : float array;
+  mean_achieved : float;
+}
+
+type failure = {
+  f_target : float;
+  f_placement : placement;
+  f_best : float;
+  f_reason : string;
+}
+
+let default_tolerance = 0.1
+let default_targets = [ 0.001; 0.01; 0.05; 0.10; 0.25; 0.50 ]
+let default_placements = [ Data_skew; Uniform ]
+
+(* Redraw budget per query: enough for placement profiles that land on
+   unlucky centers, small enough that a degenerate attribute fails fast. *)
+let attempts_per_query = 64
+
+(* Number of candidate positions probed for the antimode profile, and the
+   half-width (as a fraction of the domain) of the density window. *)
+let antimode_candidates = 8
+
+let bounds_of ~limit ~center w =
+  let a = center - (w / 2) in
+  let a = if a < 0 then 0 else if a + w > limit then limit - w else a in
+  (float_of_int a -. 0.5, float_of_int (a + w - 1) +. 0.5)
+
+let selectivity_of ds ~limit ~center w =
+  let lo, hi = bounds_of ~limit ~center w in
+  D.exact_selectivity ds ~lo ~hi
+
+(* Smallest [w] whose selectivity reaches [target]; exists because the
+   full-domain query has selectivity 1 >= target. *)
+let minimal_width ds ~limit ~center ~target =
+  if selectivity_of ds ~limit ~center 1 >= target then 1
+  else begin
+    let lo = ref 1 and hi = ref limit in
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if selectivity_of ds ~limit ~center mid >= target then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let draw_center ds rng ~limit = function
+  | Data_skew ->
+      let values = D.values ds in
+      values.(Rng.int_below rng (Array.length values))
+  | Uniform -> Rng.int_below rng limit
+  | Antimode ->
+      let window = float_of_int (max 1 (limit / 256)) in
+      let best = ref 0 and best_count = ref max_int in
+      for _ = 1 to antimode_candidates do
+        let c = Rng.int_below rng limit in
+        let count =
+          D.exact_count ds ~lo:(float_of_int c -. window) ~hi:(float_of_int c +. window)
+        in
+        if count < !best_count then begin
+          best := c;
+          best_count := count
+        end
+      done;
+      !best
+
+let diagnose ds ~target ~best =
+  if D.distinct_count ds = 1 then
+    Printf.sprintf
+      "constant column: every query touching the data has selectivity 1 (closest \
+       achieved %g for target %g)"
+      best target
+  else
+    Printf.sprintf
+      "achievable selectivities too coarse near %g: closest achieved %g (%d distinct \
+       values, max duplicate frequency %d)"
+      target best (D.distinct_count ds)
+      (D.max_duplicate_frequency ds)
+
+exception Unachievable
+
+let generate ds ~seed ~placement ~target ?(tolerance = default_tolerance) ~count () =
+  if not (target > 0. && target <= 1.) then
+    invalid_arg "Advisor.Workloads.generate: target must be in (0, 1]";
+  if not (tolerance > 0. && tolerance < 1.) then
+    invalid_arg "Advisor.Workloads.generate: tolerance must be in (0, 1)";
+  if count < 1 then invalid_arg "Advisor.Workloads.generate: count must be >= 1";
+  let rng = Rng.create seed in
+  let limit = D.domain_size ds in
+  let queries = Array.make count (Q.make ~lo:0. ~hi:0.) in
+  let achieved = Array.make count 0. in
+  (* Closest positive achieved selectivity over every candidate probed,
+     kept for the failure report. *)
+  let best = ref nan in
+  let note sel =
+    if sel > 0. then
+      match classify_float !best with
+      | FP_nan -> best := sel
+      | _ -> if abs_float (sel -. target) < abs_float (!best -. target) then best := sel
+  in
+  try
+    for i = 0 to count - 1 do
+      let placed = ref false in
+      let attempt = ref 0 in
+      while (not !placed) && !attempt < attempts_per_query do
+        incr attempt;
+        let center = draw_center ds rng ~limit placement in
+        let w = minimal_width ds ~limit ~center ~target in
+        let consider wc =
+          if (not !placed) && wc >= 1 then begin
+            let sel = selectivity_of ds ~limit ~center wc in
+            note sel;
+            if sel > 0. && abs_float (sel -. target) <= tolerance *. target then begin
+              let lo, hi = bounds_of ~limit ~center wc in
+              queries.(i) <- Q.make ~lo ~hi;
+              achieved.(i) <- sel;
+              placed := true
+            end
+          end
+        in
+        (* [w] reaches the target from above, [w - 1] undershoots; try the
+           closer of the two first. *)
+        let sel_w = selectivity_of ds ~limit ~center w in
+        let sel_pred = if w > 1 then selectivity_of ds ~limit ~center (w - 1) else 0. in
+        if
+          w > 1 && sel_pred > 0.
+          && abs_float (sel_pred -. target) < abs_float (sel_w -. target)
+        then begin
+          consider (w - 1);
+          consider w
+        end
+        else begin
+          consider w;
+          consider (w - 1)
+        end
+      done;
+      if not !placed then raise Unachievable
+    done;
+    let mean = Array.fold_left ( +. ) 0. achieved /. float_of_int count in
+    Ok { target; tolerance; placement; queries; achieved; mean_achieved = mean }
+  with Unachievable ->
+    let best = match classify_float !best with FP_nan -> 0. | _ -> !best in
+    Error
+      {
+        f_target = target;
+        f_placement = placement;
+        f_best = best;
+        f_reason = diagnose ds ~target ~best;
+      }
+
+(* Splitmix64 finalizer: the cell seed depends only on (seed, placement,
+   target), never on the grid shape, so any cell can be regenerated in
+   isolation. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let cell_seed seed placement target =
+  let tag = match placement with Data_skew -> 1L | Uniform -> 2L | Antimode -> 3L in
+  mix64
+    (Int64.add seed
+       (Int64.add (Int64.mul tag 0x9E3779B97F4A7C15L) (Int64.bits_of_float target)))
+
+let grid ds ~seed ?(targets = default_targets) ?(placements = default_placements)
+    ?(tolerance = default_tolerance) ~count () =
+  List.concat_map
+    (fun placement ->
+      List.map
+        (fun target ->
+          let seed = cell_seed seed placement target in
+          (placement, target, generate ds ~seed ~placement ~target ~tolerance ~count ()))
+        targets)
+    placements

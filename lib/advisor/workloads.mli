@@ -1,0 +1,97 @@
+(** Targeted-selectivity workload synthesis.
+
+    {!Workload.Generate} draws queries of a fixed {e width fraction}; their
+    achieved selectivity is whatever the data makes it.  The advisor needs
+    the opposite: query sets whose {e achieved} selectivity lands within a
+    stated tolerance of a target (0.1%–50%), across placement profiles,
+    so estimator sweeps compare specs at the selectivity bands where the
+    paper's Section 5 crossovers live.
+
+    Generation inverts the empirical CDF: each query picks a center per the
+    placement profile, then binary-searches the smallest integer width
+    whose exact selectivity (via {!Data.Dataset.exact_count}) reaches the
+    target — counts are monotone in the width, so the search is exact —
+    and accepts the width (or its predecessor, whichever lands closer) only
+    when the achieved selectivity is within the tolerance.  Everything is
+    deterministic from the seed ({!Prng.Xoshiro256pp}).
+
+    Degenerate attributes (constant columns, fewer distinct values than
+    the duplicate mass needs, targets below the attribute's selectivity
+    granularity) are reported as a typed {!failure} instead of looping or
+    emitting zero-selectivity queries: a generated workload's queries
+    always have finite bounds and strictly positive true result sizes. *)
+
+type placement =
+  | Data_skew  (** centers drawn from record values — follows the data *)
+  | Uniform  (** centers drawn uniformly over the integer domain *)
+  | Antimode
+      (** centers biased to low-density regions: the sparsest of several
+          uniform candidate positions (an adversarial profile for
+          sample-based estimators) *)
+
+val placement_name : placement -> string
+(** ["data"], ["uniform"] or ["antimode"] — also the CLI syntax. *)
+
+val placement_of_string : string -> (placement, string) result
+(** Inverse of {!placement_name}. *)
+
+type t = {
+  target : float;  (** requested selectivity, in [(0, 1]] *)
+  tolerance : float;  (** accepted relative deviation, in [(0, 1)] *)
+  placement : placement;
+  queries : Workload.Query.t array;  (** the generated query set *)
+  achieved : float array;
+      (** exact selectivity of each query; every entry is positive and
+          within [tolerance * target] of [target] *)
+  mean_achieved : float;  (** mean of [achieved] *)
+}
+
+type failure = {
+  f_target : float;
+  f_placement : placement;
+  f_best : float;
+      (** achieved selectivity closest to the target over all attempts
+          (0 when no candidate was evaluated) *)
+  f_reason : string;  (** human-readable diagnosis, e.g. a constant column *)
+}
+
+val default_tolerance : float
+(** 0.1 — accept within ±10% (relative) of the target. *)
+
+val default_targets : float list
+(** The advisor's selectivity grid: 0.1%, 1%, 5%, 10%, 25%, 50%. *)
+
+val default_placements : placement list
+(** [[Data_skew; Uniform]] — the two profiles every sweep covers. *)
+
+val generate :
+  Data.Dataset.t ->
+  seed:int64 ->
+  placement:placement ->
+  target:float ->
+  ?tolerance:float ->
+  count:int ->
+  unit ->
+  (t, failure) result
+(** [generate ds ~seed ~placement ~target ~count ()] synthesizes [count]
+    queries whose exact selectivity on [ds] is within
+    [tolerance * target] (relative) of [target].  Deterministic from
+    [seed].  Attempts per query are bounded; if any query cannot be
+    placed the whole workload fails with the closest achieved selectivity
+    and a diagnosis.
+    @raise Invalid_argument if [target] is outside [(0, 1]], [tolerance]
+    outside [(0, 1)], or [count < 1]. *)
+
+val grid :
+  Data.Dataset.t ->
+  seed:int64 ->
+  ?targets:float list ->
+  ?placements:placement list ->
+  ?tolerance:float ->
+  count:int ->
+  unit ->
+  (placement * float * (t, failure) result) list
+(** The full workload grid: every placement × target cell, each generated
+    from an independent substream of [seed] (so cells are individually
+    reproducible regardless of grid shape).  Cells that fail are reported
+    in place, never silently dropped. *)

@@ -11,6 +11,7 @@ let default_config = { capacity = 32; rebuild_after_inserts = 10_000; cells = 25
 type meta = {
   kind : Selest.Stored.kind;
   spec : string;
+  provenance : string option; (* audit trail of where the spec came from *)
   mutable cells : int;
   domain : float * float; (* x-domain for rect entries *)
   domain_y : (float * float) option; (* rect entries only *)
@@ -94,6 +95,7 @@ type info = {
   name : string;
   kind : Selest.Stored.kind;
   spec : string;
+  provenance : string option;
   cells : int;
   domain : float * float;
   domain_y : (float * float) option;
@@ -162,6 +164,7 @@ let open_dir ?(config = default_config) ?shard dir =
         {
           kind = Selest.Stored.any_kind e.summary;
           spec = e.spec;
+          provenance = e.provenance;
           cells = Selest.Stored.any_cells e.summary;
           domain = Selest.Stored.any_domain e.summary;
           domain_y =
@@ -186,6 +189,7 @@ let info_of t name (m : meta) =
     name;
     kind = m.kind;
     spec = m.spec;
+    provenance = m.provenance;
     cells = m.cells;
     domain = m.domain;
     domain_y = m.domain_y;
@@ -214,18 +218,26 @@ let persist t name (m : meta) =
           (Sys_error (Printf.sprintf "catalog: snapshot of %S unreadable: %s" name msg)))
   in
   Snapshot.save ~dir:t.dir
-    { Snapshot.name; spec = m.spec; inserts = m.inserts; stale = m.stale; summary };
+    {
+      Snapshot.name;
+      spec = m.spec;
+      inserts = m.inserts;
+      stale = m.stale;
+      provenance = m.provenance;
+      summary;
+    };
   Telemetry.Metrics.incr t.m_snapshot_writes
 
 (* Shared tail of every build path: index, cache and snapshot move
    together, so a successful build is immediately servable and survives a
    restart. *)
-let install_built t ~name ~spec summary =
+let install_built t ~name ~spec ~provenance summary =
   let existed = Hashtbl.mem t.index name in
   let m =
     {
       kind = Selest.Stored.any_kind summary;
       spec;
+      provenance;
       cells = Selest.Stored.any_cells summary;
       domain = Selest.Stored.any_domain summary;
       domain_y =
@@ -238,7 +250,8 @@ let install_built t ~name ~spec summary =
   in
   Hashtbl.replace t.index name m;
   Lru.add t.cache name summary;
-  Snapshot.save ~dir:t.dir { Snapshot.name; spec; inserts = 0; stale = false; summary };
+  Snapshot.save ~dir:t.dir
+    { Snapshot.name; spec; inserts = 0; stale = false; provenance; summary };
   Telemetry.Metrics.incr t.m_snapshot_writes;
   Telemetry.Metrics.incr t.m_builds;
   if existed then Telemetry.Metrics.incr t.m_rebuilds;
@@ -251,7 +264,7 @@ let check_name who name =
     Error (who ^ ": entry name must not contain newlines")
   else Ok ()
 
-let build t ~name ~spec ~domain ~sample =
+let build ?provenance t ~name ~spec ~domain ~sample =
   match check_name "Catalog.Service.build" name with
   | Error msg -> Error msg
   | Ok () -> (
@@ -264,7 +277,7 @@ let build t ~name ~spec ~domain ~sample =
             Selest.Stored.of_estimator ~cells:t.config.cells ~domain est)
       with
       | exception Invalid_argument msg -> Error msg
-      | summary -> install_built t ~name ~spec (Selest.Stored.Range summary)))
+      | summary -> install_built t ~name ~spec ~provenance (Selest.Stored.Range summary)))
 
 let build_rect t ~name ~spec ~domain_x ~domain_y ~points =
   match check_name "Catalog.Service.build_rect" name with
@@ -278,7 +291,7 @@ let build_rect t ~name ~spec ~domain_x ~domain_y ~points =
             Selest.Stored.rect_of_points ~domain_x ~domain_y ~bins_x ~bins_y points)
       with
       | exception Invalid_argument msg -> Error msg
-      | rect -> install_built t ~name ~spec (Selest.Stored.Rect rect)))
+      | rect -> install_built t ~name ~spec ~provenance:None (Selest.Stored.Rect rect)))
 
 let build_join t ~name ~spec ~domain ~n_r ~n_s ~sample_r ~sample_s =
   match check_name "Catalog.Service.build_join" name with
@@ -292,7 +305,7 @@ let build_join t ~name ~spec ~domain ~n_r ~n_s ~sample_r ~sample_s =
             Selest.Stored.join_of_samples ~domain ~buckets ~n_r ~n_s sample_r sample_s)
       with
       | exception Invalid_argument msg -> Error msg
-      | join -> install_built t ~name ~spec (Selest.Stored.Join join)))
+      | join -> install_built t ~name ~spec ~provenance:None (Selest.Stored.Join join)))
 
 let unknown name = Error (Printf.sprintf "unknown catalog entry %S" name)
 
@@ -306,7 +319,9 @@ let rebuild t ~name ~sample =
   | None -> unknown name
   | Some m when m.kind <> Selest.Stored.Range_kind ->
     kind_mismatch name ~want:Selest.Stored.Range_kind ~got:m.kind
-  | Some m -> build t ~name ~spec:m.spec ~domain:m.domain ~sample
+  | Some m ->
+    (* The spec's origin is unchanged by refitting it on a fresh sample. *)
+    build ?provenance:m.provenance t ~name ~spec:m.spec ~domain:m.domain ~sample
 
 (* Raise the stale flag if the insert budget is spent; returns whether the
    entry transitioned. *)

@@ -95,6 +95,11 @@ type info = {
   name : string;
   kind : Selest.Stored.kind;  (** range, rect or join *)
   spec : string;  (** compact spec syntax the entry was built with *)
+  provenance : string option;
+      (** where the spec came from, when recorded — e.g. the advisor's
+          recommendation line behind [catalog build --spec auto].
+          Persisted in the snapshot and preserved across rebuilds and
+          adaptive swaps *)
   cells : int;
       (** summary size: grid cells (range), [bins_x * bins_y] (rect), or
           total equi-depth buckets across both relations (join) *)
@@ -114,6 +119,7 @@ val infos : t -> info list
 (** {!info} for every entry, sorted by name. *)
 
 val build :
+  ?provenance:string ->
   t ->
   name:string ->
   spec:string ->
@@ -124,8 +130,11 @@ val build :
     [Selest.Estimator.spec_of_string] syntax) on the sample, reduces it to
     a [config.cells]-cell summary, snapshots it atomically and caches it.
     An existing entry of the same name is replaced and its staleness
-    reset.  [Error] on an empty or newline-containing name, an unparseable
-    spec, or estimator-construction failure (empty sample, empty domain). *)
+    reset.  [provenance] (newline-free) records where the spec came from
+    — the advisor passes its recommendation line — and rides along in the
+    snapshot from then on.  [Error] on an empty or newline-containing
+    name, an unparseable spec, or estimator-construction failure (empty
+    sample, empty domain). *)
 
 val build_rect :
   t ->

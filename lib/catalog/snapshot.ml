@@ -3,6 +3,7 @@ type entry = {
   spec : string;
   inserts : int;
   stale : bool;
+  provenance : string option;
   summary : Selest.Stored.any;
 }
 
@@ -60,6 +61,10 @@ let save ~dir entry =
     invalid_arg "Snapshot.save: entry name must not contain newlines";
   if String.contains entry.spec '\n' then
     invalid_arg "Snapshot.save: spec must not contain newlines";
+  (match entry.provenance with
+  | Some p when String.contains p '\n' ->
+    invalid_arg "Snapshot.save: provenance must not contain newlines"
+  | _ -> ());
   let final = path ~dir entry.name in
   let tmp = final ^ ".tmp" in
   let oc = open_out tmp in
@@ -67,6 +72,9 @@ let save ~dir entry =
      Printf.fprintf oc "%s\nname %s\nspec %s\ninserts %d\nstale %d\n" magic entry.name
        entry.spec entry.inserts
        (if entry.stale then 1 else 0);
+     (match entry.provenance with
+     | Some p -> Printf.fprintf oc "provenance %s\n" p
+     | None -> ());
      output_string oc (Selest.Stored.any_to_string entry.summary);
      close_out oc
    with e ->
@@ -109,6 +117,19 @@ let parse contents =
         | Some _ -> Error "malformed stale flag"
         | None -> Error "missing stale line"
       in
+      (* The provenance line is optional (introduced after the first v1
+         files shipped): present iff the next line carries the key.  No
+         payload header starts with "provenance " — they all start with
+         "selest-stored" — so peeking is unambiguous, and pre-provenance
+         snapshots parse unchanged. *)
+      let provenance, rest =
+        match rest with
+        | line :: tail -> (
+          match field "provenance" line with
+          | Some p -> (Some p, tail)
+          | None -> (None, rest))
+        | [] -> (None, rest)
+      in
       let* summary = Selest.Stored.any_of_string (String.concat "\n" rest) in
       let* () =
         (* A snapshot whose spec no longer parses cannot be rebuilt when it
@@ -125,7 +146,7 @@ let parse contents =
         | Selest.Stored.Rect_kind -> describe (Selest.Stored.rect_spec_of_string spec)
         | Selest.Stored.Join_kind -> describe (Selest.Stored.join_spec_of_string spec)
       in
-      Ok { name; spec; inserts; stale; summary }
+      Ok { name; spec; inserts; stale; provenance; summary }
   | _ -> Error "truncated header"
 
 let load ~path =

@@ -23,6 +23,14 @@ type entry = {
           entry can be rebuilt) *)
   inserts : int;  (** records inserted since the summary was built *)
   stale : bool;  (** true once invalidated or past the rebuild budget *)
+  provenance : string option;
+      (** optional free-form audit line recording where the spec came
+          from (e.g. the advisor's recommendation string behind
+          [catalog build --spec auto]); must not contain newlines.
+          Written as an optional [provenance] header line, so snapshots
+          without one — including every pre-provenance file — still
+          parse, and files saved with [None] are byte-identical to the
+          original v1 format *)
   summary : Selest.Stored.any;
       (** the serving payload; its own header line names the kind *)
 }

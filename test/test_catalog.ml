@@ -68,6 +68,7 @@ let test_snapshot_round_trip () =
       spec = "ewh:16";
       inserts = 123;
       stale = true;
+      provenance = Some "advisor v1 spec=ewh:16 regret=1.020";
       summary = stored_of sample_a domain_a;
     }
   in
@@ -87,6 +88,8 @@ let test_snapshot_round_trip () =
   check Alcotest.string "spec" "ewh:16" loaded.Snapshot.spec;
   check Alcotest.int "inserts" 123 loaded.Snapshot.inserts;
   check Alcotest.bool "stale" true loaded.Snapshot.stale;
+  check (Alcotest.option Alcotest.string) "provenance survives the round trip"
+    entry.Snapshot.provenance loaded.Snapshot.provenance;
   check Alcotest.string "summary bit-identical"
     (Selest.Stored.any_to_string entry.Snapshot.summary)
     (Selest.Stored.any_to_string loaded.Snapshot.summary)
@@ -100,10 +103,10 @@ let test_snapshot_corrupt_skip () =
   let dir = fresh_dir () in
   Snapshot.save ~dir
     { Snapshot.name = "good1"; spec = "ewh:8"; inserts = 0; stale = false;
-      summary = stored_of sample_a domain_a };
+      provenance = None; summary = stored_of sample_a domain_a };
   Snapshot.save ~dir
     { Snapshot.name = "good2"; spec = "sampling"; inserts = 0; stale = false;
-      summary = stored_of sample_b domain_b };
+      provenance = None; summary = stored_of sample_b domain_b };
   write_file (Filename.concat dir "corrupt.summary") "selest-catalog v1\nname broken\n";
   write_file (Filename.concat dir "badspec.summary")
     "selest-catalog v1\nname x\nspec nosuchspec\ninserts 0\nstale 0\nselest-stored v1\ndomain 0 1\ncells 1\n1\n";
@@ -119,7 +122,7 @@ let test_snapshot_orphan_tmp_sweep () =
   let dir = fresh_dir () in
   Snapshot.save ~dir
     { Snapshot.name = "good"; spec = "ewh:8"; inserts = 0; stale = false;
-      summary = stored_of sample_a domain_a };
+      provenance = None; summary = stored_of sample_a domain_a };
   (* A crash between temp-write and rename leaves the temp file behind. *)
   let orphan = Filename.concat dir ("dead" ^ Snapshot.tmp_extension) in
   write_file orphan "selest-catalog v1\nname dead\ntruncated mid-write";
@@ -561,7 +564,7 @@ let test_sharded_skip_reports_shard () =
   let dir = fresh_dir () in
   Snapshot.save ~dir
     { Snapshot.name = "good"; spec = "ewh:8"; inserts = 0; stale = false;
-      summary = stored_of sample_a domain_a };
+      provenance = None; summary = stored_of sample_a domain_a };
   write_file (Filename.concat dir "corrupt.summary") "selest-catalog v1\nname broken\n";
   write_file (Filename.concat dir ("dead" ^ Snapshot.tmp_extension)) "orphan";
   let entries, skipped = Snapshot.load_dir ~shard:7 ~dir () in
